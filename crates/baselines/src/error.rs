@@ -1,0 +1,54 @@
+//! Error type shared by the baseline detectors.
+
+use std::fmt;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the baseline detectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The series is too short for the requested subsequence length.
+    SeriesTooShort {
+        /// Length of the input series.
+        series_len: usize,
+        /// Minimum required length.
+        required: usize,
+    },
+    /// A parameter is out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SeriesTooShort { series_len, required } => write!(
+                f,
+                "series of length {series_len} is too short; at least {required} points required"
+            ),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::SeriesTooShort { series_len: 5, required: 10 };
+        assert!(e.to_string().contains('5'));
+        let e = Error::InvalidParameter { name: "window", message: "must be > 3".into() };
+        assert!(e.to_string().contains("window"));
+    }
+}

@@ -1,0 +1,230 @@
+//! GrammarViz-style discord detection: grammar induction over SAX words and
+//! rule-density scoring (Senin et al., EDBT 2015).
+//!
+//! The idea: discretise the series into SAX words, induce a context-free
+//! grammar over the word sequence (here with an offline Re-Pair style
+//! digram-substitution loop, equivalent in spirit to the online Sequitur used
+//! by GrammarViz), and count for every position of the original series how
+//! many grammar rules cover it. Regions that are part of recurring grammar
+//! rules are "grammatically compressible" (normal); regions covered by few or
+//! no rules do not repeat anywhere and are reported as discords.
+
+use s2g_timeseries::TimeSeries;
+
+use crate::error::{Error, Result};
+use crate::sax::sax_transform;
+
+/// Parameters of the GrammarViz-style detector.
+#[derive(Debug, Clone, Copy)]
+pub struct GrammarVizParams {
+    /// Number of PAA segments per SAX word.
+    pub segments: usize,
+    /// SAX alphabet size.
+    pub alphabet: usize,
+    /// Maximum number of digram-substitution passes of the grammar induction.
+    pub max_rules: usize,
+}
+
+impl Default for GrammarVizParams {
+    fn default() -> Self {
+        Self { segments: 8, alphabet: 4, max_rules: 256 }
+    }
+}
+
+/// Symbol of the working sequence during grammar induction: either an
+/// original SAX word (terminal) or an induced rule id (non-terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Symbol {
+    Terminal(u32),
+    Rule(u32),
+}
+
+/// Computes the GrammarViz-style anomaly scores of every subsequence of
+/// length `window`: the inverse of the grammar-rule coverage density, rescaled
+/// so that higher = more anomalous.
+///
+/// # Errors
+/// * [`Error::InvalidParameter`] for degenerate windows/alphabet.
+/// * [`Error::SeriesTooShort`] when no subsequence fits.
+pub fn grammarviz_anomaly_scores(
+    series: &TimeSeries,
+    window: usize,
+    params: GrammarVizParams,
+) -> Result<Vec<f64>> {
+    if window < 4 {
+        return Err(Error::InvalidParameter {
+            name: "window",
+            message: format!("must be at least 4, got {window}"),
+        });
+    }
+    if params.alphabet < 2 || params.segments == 0 {
+        return Err(Error::InvalidParameter {
+            name: "alphabet/segments",
+            message: "alphabet must be >= 2 and segments >= 1".into(),
+        });
+    }
+    let n = series.len();
+    if n < window {
+        return Err(Error::SeriesTooShort { series_len: n, required: window });
+    }
+    let n_sub = n - window + 1;
+
+    // 1. SAX transform with numerosity reduction.
+    let sax = sax_transform(series.values(), window, params.segments, params.alphabet);
+    let positions = &sax.reduced_positions;
+    if positions.len() < 2 {
+        // Every window has the same word: nothing is anomalous.
+        return Ok(vec![0.0; n_sub]);
+    }
+
+    // 2. Dictionary-encode the reduced word sequence into terminal symbols.
+    let mut dictionary: std::collections::HashMap<Vec<u8>, u32> = std::collections::HashMap::new();
+    let mut sequence: Vec<Symbol> = Vec::with_capacity(positions.len());
+    for &p in positions {
+        let next_id = dictionary.len() as u32;
+        let id = *dictionary.entry(sax.words[p].clone()).or_insert(next_id);
+        sequence.push(Symbol::Terminal(id));
+    }
+
+    // 3. Re-Pair style grammar induction: repeatedly replace the most frequent
+    //    digram (appearing at least twice) with a fresh rule symbol. We track,
+    //    for every element of the working sequence, which *original reduced
+    //    positions* it spans, so rule coverage can be mapped back to the series.
+    let mut spans: Vec<(usize, usize)> = (0..sequence.len()).map(|i| (i, i)).collect();
+    // rule_uses[p] = how many grammar rules cover reduced position p.
+    let mut rule_cover = vec![0usize; positions.len()];
+
+    for _ in 0..params.max_rules {
+        // Count digrams.
+        let mut counts: std::collections::HashMap<(Symbol, Symbol), usize> =
+            std::collections::HashMap::new();
+        for pair in sequence.windows(2) {
+            *counts.entry((pair[0], pair[1])).or_insert(0) += 1;
+        }
+        let Some((&best_digram, &best_count)) =
+            counts.iter().max_by_key(|(_, &c)| c)
+        else {
+            break;
+        };
+        if best_count < 2 {
+            break;
+        }
+
+        // Replace every non-overlapping occurrence of the digram.
+        let rule_id = Symbol::Rule(u32::MAX - rule_cover.len() as u32); // unique-ish id per pass
+        let mut new_sequence = Vec::with_capacity(sequence.len());
+        let mut new_spans = Vec::with_capacity(spans.len());
+        let mut i = 0usize;
+        while i < sequence.len() {
+            if i + 1 < sequence.len() && (sequence[i], sequence[i + 1]) == best_digram {
+                let span = (spans[i].0, spans[i + 1].1);
+                // Every reduced position covered by this rule occurrence gets credit.
+                for p in span.0..=span.1 {
+                    rule_cover[p] += 1;
+                }
+                new_sequence.push(rule_id);
+                new_spans.push(span);
+                i += 2;
+            } else {
+                new_sequence.push(sequence[i]);
+                new_spans.push(spans[i]);
+                i += 1;
+            }
+        }
+        if new_sequence.len() == sequence.len() {
+            break;
+        }
+        sequence = new_sequence;
+        spans = new_spans;
+    }
+
+    // 4. Map rule coverage back to per-subsequence coverage of the series:
+    //    reduced position p "owns" the offsets [positions[p], positions[p+1]).
+    let mut coverage = vec![0.0; n_sub];
+    for (idx, &p) in positions.iter().enumerate() {
+        let end = positions.get(idx + 1).copied().unwrap_or(n_sub);
+        for c in coverage.iter_mut().take(end).skip(p) {
+            *c = rule_cover[idx] as f64;
+        }
+    }
+
+    // 5. Anomaly score: low coverage = anomalous. Rescale to max - coverage so
+    //    the convention (higher = more anomalous) matches the other detectors.
+    let max_cover = coverage.iter().cloned().fold(0.0, f64::max);
+    Ok(coverage.into_iter().map(|c| max_cover - c).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
+        let mut values: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
+        for i in at..(at + len).min(n) {
+            let local = (i - at) as f64;
+            values[i] = 1.5 * (std::f64::consts::TAU * local / 9.0).sin() - 0.4;
+        }
+        TimeSeries::from(values)
+    }
+
+    #[test]
+    fn output_length_and_range() {
+        let series = sine_with_anomaly(1200, 600, 60);
+        let scores = grammarviz_anomaly_scores(&series, 60, GrammarVizParams::default()).unwrap();
+        assert_eq!(scores.len(), 1200 - 60 + 1);
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn anomaly_has_low_rule_coverage() {
+        let series = sine_with_anomaly(3000, 1500, 80);
+        let scores = grammarviz_anomaly_scores(&series, 80, GrammarVizParams::default()).unwrap();
+        let anomaly_peak =
+            scores[1450..1580].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let normal_typical: f64 =
+            scores[200..1000].iter().sum::<f64>() / 800.0;
+        assert!(
+            anomaly_peak > normal_typical,
+            "anomaly score {anomaly_peak} should exceed typical normal score {normal_typical}"
+        );
+    }
+
+    #[test]
+    fn pure_periodic_series_scores_uniformly() {
+        let series = TimeSeries::from(
+            (0..1500).map(|i| (std::f64::consts::TAU * i as f64 / 75.0).sin()).collect::<Vec<_>>(),
+        );
+        let scores = grammarviz_anomaly_scores(&series, 75, GrammarVizParams::default()).unwrap();
+        // On perfectly repetitive data the score spread should be small
+        // relative to its maximum (most positions are covered by rules).
+        let max = scores.iter().cloned().fold(0.0, f64::max);
+        let covered = scores.iter().filter(|&&s| s < 0.5 * max.max(1e-9)).count();
+        assert!(
+            covered > scores.len() / 2,
+            "most positions should be rule-covered, got {covered}/{}",
+            scores.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let series = sine_with_anomaly(500, 250, 30);
+        assert!(grammarviz_anomaly_scores(&series, 2, GrammarVizParams::default()).is_err());
+        assert!(grammarviz_anomaly_scores(
+            &series,
+            50,
+            GrammarVizParams { alphabet: 1, ..Default::default() }
+        )
+        .is_err());
+        let tiny = TimeSeries::from(vec![1.0; 10]);
+        assert!(grammarviz_anomaly_scores(&tiny, 50, GrammarVizParams::default()).is_err());
+    }
+
+    #[test]
+    fn constant_series_is_all_normal() {
+        let series = TimeSeries::from(vec![2.0; 400]);
+        let scores = grammarviz_anomaly_scores(&series, 40, GrammarVizParams::default()).unwrap();
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,291 @@
+//! Isolation Forest (Liu, Ting & Zhou, ICDM 2008) applied to subsequences.
+//!
+//! Each subsequence of length `ℓ` is z-normalised and summarised by a PAA
+//! vector; an ensemble of isolation trees is built on a random sample of
+//! those vectors, and the anomaly score of every subsequence is
+//! `2^(−E[h(x)]/c(ψ))` where `E[h(x)]` is its average isolation depth — the
+//! standard formulation. Shorter isolation paths mean easier to isolate,
+//! i.e. more anomalous.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use s2g_timeseries::{normalize, TimeSeries};
+
+use crate::error::{Error, Result};
+use crate::sax::paa;
+
+/// Parameters of the Isolation Forest detector.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationForestParams {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Sub-sample size used to grow each tree (ψ in the paper, classically 256).
+    pub sample_size: usize,
+    /// Dimensionality of the PAA summary of each subsequence.
+    pub paa_segments: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for IsolationForestParams {
+    fn default() -> Self {
+        Self { n_trees: 100, sample_size: 256, paa_segments: 12, seed: 0x1F0_4E57 }
+    }
+}
+
+/// One node of an isolation tree.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Internal { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf { size: usize },
+}
+
+/// A trained isolation forest over subsequence summaries.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    trees: Vec<Vec<TreeNode>>,
+    sample_size: usize,
+    paa_segments: usize,
+    window: usize,
+}
+
+/// Average unsuccessful-search path length of a BST with `n` nodes — the
+/// normalisation constant `c(n)` of the Isolation Forest score.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+}
+
+fn build_tree(
+    data: &[Vec<f64>],
+    indices: &mut Vec<usize>,
+    rng: &mut StdRng,
+    max_depth: usize,
+) -> Vec<TreeNode> {
+    let mut nodes = Vec::new();
+    build_tree_rec(data, indices, rng, max_depth, 0, &mut nodes);
+    nodes
+}
+
+fn build_tree_rec(
+    data: &[Vec<f64>],
+    indices: &mut Vec<usize>,
+    rng: &mut StdRng,
+    max_depth: usize,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let node_index = nodes.len();
+    if depth >= max_depth || indices.len() <= 1 {
+        nodes.push(TreeNode::Leaf { size: indices.len() });
+        return node_index;
+    }
+    let dim = data[indices[0]].len();
+    // Pick a feature with non-zero spread (up to a few attempts).
+    let mut feature = 0usize;
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    let mut found = false;
+    for _ in 0..dim.max(4) {
+        feature = rng.gen_range(0..dim);
+        lo = indices.iter().map(|&i| data[i][feature]).fold(f64::INFINITY, f64::min);
+        hi = indices.iter().map(|&i| data[i][feature]).fold(f64::NEG_INFINITY, f64::max);
+        if hi - lo > 1e-12 {
+            found = true;
+            break;
+        }
+    }
+    if !found {
+        nodes.push(TreeNode::Leaf { size: indices.len() });
+        return node_index;
+    }
+    let threshold = rng.gen_range(lo..hi);
+    let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| data[i][feature] < threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        nodes.push(TreeNode::Leaf { size: indices.len() });
+        return node_index;
+    }
+    // Placeholder; children indices patched after recursion.
+    nodes.push(TreeNode::Internal { feature, threshold, left: 0, right: 0 });
+    let left = build_tree_rec(data, &mut left_idx, rng, max_depth, depth + 1, nodes);
+    let right = build_tree_rec(data, &mut right_idx, rng, max_depth, depth + 1, nodes);
+    if let TreeNode::Internal { left: l, right: r, .. } = &mut nodes[node_index] {
+        *l = left;
+        *r = right;
+    }
+    node_index
+}
+
+fn path_length(tree: &[TreeNode], point: &[f64]) -> f64 {
+    let mut node = 0usize;
+    let mut depth = 0.0;
+    loop {
+        match &tree[node] {
+            TreeNode::Leaf { size } => return depth + average_path_length(*size),
+            TreeNode::Internal { feature, threshold, left, right } => {
+                depth += 1.0;
+                node = if point[*feature] < *threshold { *left } else { *right };
+            }
+        }
+    }
+}
+
+impl IsolationForest {
+    /// Trains an isolation forest on the subsequences of `series` of length
+    /// `window`.
+    ///
+    /// # Errors
+    /// * [`Error::InvalidParameter`] for degenerate parameters.
+    /// * [`Error::SeriesTooShort`] when no subsequence fits.
+    pub fn fit(series: &TimeSeries, window: usize, params: IsolationForestParams) -> Result<Self> {
+        if window < 4 {
+            return Err(Error::InvalidParameter {
+                name: "window",
+                message: format!("must be at least 4, got {window}"),
+            });
+        }
+        if params.n_trees == 0 || params.sample_size < 2 || params.paa_segments == 0 {
+            return Err(Error::InvalidParameter {
+                name: "forest",
+                message: "n_trees >= 1, sample_size >= 2, paa_segments >= 1 required".into(),
+            });
+        }
+        let n = series.len();
+        if n < window + 1 {
+            return Err(Error::SeriesTooShort { series_len: n, required: window + 1 });
+        }
+        let n_sub = n - window + 1;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // Build feature vectors lazily only for the sampled subsequences of
+        // each tree (cheaper than materialising all of them for huge series).
+        let feature_of = |start: usize| -> Vec<f64> {
+            let z = normalize::znormalize(&series.values()[start..start + window]);
+            paa(&z, params.paa_segments)
+        };
+
+        let sample_size = params.sample_size.min(n_sub);
+        let max_depth = (sample_size as f64).log2().ceil() as usize + 1;
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let sample: Vec<Vec<f64>> =
+                (0..sample_size).map(|_| feature_of(rng.gen_range(0..n_sub))).collect();
+            let mut indices: Vec<usize> = (0..sample.len()).collect();
+            trees.push(build_tree(&sample, &mut indices, &mut rng, max_depth));
+        }
+        Ok(Self { trees, sample_size, paa_segments: params.paa_segments, window })
+    }
+
+    /// Anomaly score of one subsequence (already extracted), in `(0, 1)`.
+    pub fn score_window(&self, values: &[f64]) -> f64 {
+        let z = normalize::znormalize(values);
+        let features = paa(&z, self.paa_segments);
+        let mean_depth: f64 =
+            self.trees.iter().map(|t| path_length(t, &features)).sum::<f64>()
+                / self.trees.len() as f64;
+        let c = average_path_length(self.sample_size).max(1e-12);
+        2f64.powf(-mean_depth / c)
+    }
+
+    /// Anomaly scores of every subsequence of `series` (one per start offset).
+    pub fn score_series(&self, series: &TimeSeries) -> Result<Vec<f64>> {
+        let n = series.len();
+        if n < self.window {
+            return Err(Error::SeriesTooShort { series_len: n, required: self.window });
+        }
+        Ok((0..=n - self.window)
+            .map(|i| self.score_window(&series.values()[i..i + self.window]))
+            .collect())
+    }
+}
+
+/// Convenience wrapper: fit + score in one call (what the evaluation harness uses).
+pub fn iforest_anomaly_scores(
+    series: &TimeSeries,
+    window: usize,
+    params: IsolationForestParams,
+) -> Result<Vec<f64>> {
+    IsolationForest::fit(series, window, params)?.score_series(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
+        let mut values: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
+        for i in at..(at + len).min(n) {
+            let local = (i - at) as f64;
+            values[i] = 2.0 * (std::f64::consts::TAU * local / 7.0).sin();
+        }
+        TimeSeries::from(values)
+    }
+
+    #[test]
+    fn average_path_length_known_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        assert!((average_path_length(2) - 0.1544).abs() < 1e-3);
+        assert!(average_path_length(256) > average_path_length(16));
+    }
+
+    #[test]
+    fn scores_are_probability_like() {
+        let series = sine_with_anomaly(1500, 700, 60);
+        let scores = iforest_anomaly_scores(&series, 60, IsolationForestParams::default()).unwrap();
+        assert_eq!(scores.len(), 1500 - 60 + 1);
+        assert!(scores.iter().all(|&s| s > 0.0 && s < 1.0));
+    }
+
+    #[test]
+    fn anomaly_scores_higher_than_normal() {
+        let series = sine_with_anomaly(3000, 1500, 80);
+        let params = IsolationForestParams { n_trees: 60, ..Default::default() };
+        let scores = iforest_anomaly_scores(&series, 80, params).unwrap();
+        let anomaly_peak =
+            scores[1450..1580].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let normal_mean: f64 = scores[200..1200].iter().sum::<f64>() / 1000.0;
+        assert!(
+            anomaly_peak > normal_mean,
+            "anomaly {anomaly_peak} should exceed typical normal {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let series = sine_with_anomaly(800, 400, 40);
+        let p = IsolationForestParams { n_trees: 20, seed: 9, ..Default::default() };
+        let a = iforest_anomaly_scores(&series, 40, p).unwrap();
+        let b = iforest_anomaly_scores(&series, 40, p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let series = sine_with_anomaly(500, 250, 30);
+        assert!(IsolationForest::fit(&series, 2, IsolationForestParams::default()).is_err());
+        assert!(IsolationForest::fit(
+            &series,
+            50,
+            IsolationForestParams { n_trees: 0, ..Default::default() }
+        )
+        .is_err());
+        let tiny = TimeSeries::from(vec![1.0; 10]);
+        assert!(IsolationForest::fit(&tiny, 50, IsolationForestParams::default()).is_err());
+    }
+
+    #[test]
+    fn score_window_works_standalone() {
+        let series = sine_with_anomaly(1000, 500, 50);
+        let forest = IsolationForest::fit(&series, 50, IsolationForestParams::default()).unwrap();
+        let normal = forest.score_window(&series.values()[100..150]);
+        let anomalous = forest.score_window(&series.values()[500..550]);
+        assert!(anomalous > normal * 0.8, "anomalous {anomalous} vs normal {normal}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # s2g-baselines
+//!
+//! The comparator methods of the Series2Graph evaluation (Section 5.6 of the
+//! paper), implemented from scratch:
+//!
+//! * [`matrix_profile`] — **STOMP**: the exact z-normalised nearest-neighbour
+//!   distance profile; the classical discord detector.
+//! * [`discord`] — Top-k 1st discords and **m-th discords** (the definition
+//!   used by the Disk-Aware Discord Discovery algorithm, DAD).
+//! * [`lof`] — **Local Outlier Factor** over embedded subsequence vectors.
+//! * [`iforest`] — **Isolation Forest** over subsequence summaries.
+//! * [`sax`] + [`grammar`] — SAX discretisation and a grammar-induction
+//!   (Sequitur/Re-Pair style) rule-density discord detector in the spirit of
+//!   **GrammarViz**.
+//! * [`forecast`] — an autoregressive neural forecaster standing in for
+//!   **LSTM-AD** (forecast-error based detection, trained on a prefix assumed
+//!   to be mostly normal).
+//!
+//! All detectors share the same output convention: a score per subsequence
+//! start offset (`|T| − ℓ + 1` scores), **higher score = more anomalous**, so
+//! the evaluation harness can treat every method uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod discord;
+pub mod error;
+pub mod forecast;
+pub mod grammar;
+pub mod iforest;
+pub mod lof;
+pub mod matrix_profile;
+pub mod sax;
+
+pub use error::{Error, Result};

@@ -1,0 +1,197 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000) applied to subsequences.
+//!
+//! Each subsequence of length `ℓ` is z-normalised and summarised by a
+//! Piecewise Aggregate Approximation (PAA) vector, and LOF is computed over
+//! those vectors: the score of a subsequence is the ratio of its local
+//! reachability density to that of its k nearest neighbours — values well
+//! above 1 indicate an outlier. To keep the quadratic neighbour search
+//! tractable on long series, candidate subsequences are taken with a stride
+//! (default `ℓ/4`) and every position inherits the score of the candidate it
+//! overlaps most; the paper itself notes LOF is not subsequence-specific, and
+//! this is the standard adaptation.
+
+use s2g_timeseries::{normalize, TimeSeries};
+
+use crate::error::{Error, Result};
+use crate::sax::paa;
+
+/// Parameters of the LOF detector.
+#[derive(Debug, Clone, Copy)]
+pub struct LofParams {
+    /// Number of neighbours considered (`MinPts` in the original paper).
+    pub k: usize,
+    /// Stride between candidate subsequences (`ℓ/4` when `None`).
+    pub stride: Option<usize>,
+    /// Dimensionality of the PAA summary of each subsequence.
+    pub paa_segments: usize,
+}
+
+impl Default for LofParams {
+    fn default() -> Self {
+        Self { k: 10, stride: None, paa_segments: 12 }
+    }
+}
+
+/// Computes LOF anomaly scores for every subsequence of length `window`.
+/// Returns one score per start offset (higher = more anomalous).
+///
+/// # Errors
+/// * [`Error::InvalidParameter`] for degenerate windows or `k == 0`.
+/// * [`Error::SeriesTooShort`] when fewer than `k + 2` candidates exist.
+pub fn lof_anomaly_scores(series: &TimeSeries, window: usize, params: LofParams) -> Result<Vec<f64>> {
+    if window < 4 {
+        return Err(Error::InvalidParameter {
+            name: "window",
+            message: format!("must be at least 4, got {window}"),
+        });
+    }
+    if params.k == 0 {
+        return Err(Error::InvalidParameter { name: "k", message: "must be at least 1".into() });
+    }
+    let n = series.len();
+    if n < window {
+        return Err(Error::SeriesTooShort { series_len: n, required: window });
+    }
+    let stride = params.stride.unwrap_or((window / 4).max(1)).max(1);
+    let n_sub = n - window + 1;
+
+    // Candidate subsequences: z-normalised PAA vectors.
+    let mut starts = Vec::new();
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut pos = 0usize;
+    while pos < n_sub {
+        let win = &series.values()[pos..pos + window];
+        let z = normalize::znormalize(win);
+        features.push(paa(&z, params.paa_segments));
+        starts.push(pos);
+        pos += stride;
+    }
+    let m = features.len();
+    if m < params.k + 2 {
+        return Err(Error::SeriesTooShort { series_len: n, required: (params.k + 2) * stride + window });
+    }
+    let k = params.k.min(m - 1);
+
+    // Pairwise distances between candidates (m is series_len/stride, small).
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+
+    // k-nearest neighbours (distances + indices) for every candidate.
+    let mut knn_dist = vec![Vec::with_capacity(k); m];
+    let mut knn_idx = vec![Vec::with_capacity(k); m];
+    for i in 0..m {
+        let mut neighbours: Vec<(f64, usize)> = (0..m)
+            .filter(|&j| j != i)
+            .map(|j| (dist(&features[i], &features[j]), j))
+            .collect();
+        neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        neighbours.truncate(k);
+        knn_dist[i] = neighbours.iter().map(|&(d, _)| d).collect();
+        knn_idx[i] = neighbours.iter().map(|&(_, j)| j).collect();
+    }
+
+    // k-distance of each candidate = distance to its k-th neighbour.
+    let k_distance: Vec<f64> =
+        knn_dist.iter().map(|d| d.last().copied().unwrap_or(0.0)).collect();
+
+    // Local reachability density.
+    let mut lrd = vec![0.0; m];
+    for i in 0..m {
+        let mut reach_sum = 0.0;
+        for (pos_in_list, &j) in knn_idx[i].iter().enumerate() {
+            let reach = knn_dist[i][pos_in_list].max(k_distance[j]);
+            reach_sum += reach;
+        }
+        let denom = reach_sum / k as f64;
+        lrd[i] = if denom > 1e-12 { 1.0 / denom } else { 1e12 };
+    }
+
+    // LOF score: mean ratio of neighbour densities to own density.
+    let mut lof = vec![0.0; m];
+    for i in 0..m {
+        let ratio_sum: f64 = knn_idx[i].iter().map(|&j| lrd[j] / lrd[i].max(1e-12)).sum();
+        lof[i] = ratio_sum / k as f64;
+    }
+
+    // Expand candidate scores back to one score per subsequence start.
+    let mut out = vec![0.0; n_sub];
+    for i in 0..n_sub {
+        let candidate = (i + stride / 2) / stride;
+        let candidate = candidate.min(m - 1);
+        out[i] = lof[candidate];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
+        let mut values: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
+        for i in at..(at + len).min(n) {
+            values[i] = 1.2 * (std::f64::consts::TAU * i as f64 / 11.0).sin();
+        }
+        TimeSeries::from(values)
+    }
+
+    #[test]
+    fn output_length_matches_subsequence_count() {
+        let series = sine_with_anomaly(1500, 700, 60);
+        let scores = lof_anomaly_scores(&series, 60, LofParams::default()).unwrap();
+        assert_eq!(scores.len(), 1500 - 60 + 1);
+        assert!(scores.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn anomalous_region_scores_higher() {
+        let series = sine_with_anomaly(2000, 1000, 80);
+        let scores = lof_anomaly_scores(&series, 80, LofParams::default()).unwrap();
+        let anomaly_peak =
+            scores[950..1080].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let normal_peak = scores[100..500].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            anomaly_peak > normal_peak,
+            "anomaly LOF {anomaly_peak} should exceed normal LOF {normal_peak}"
+        );
+    }
+
+    #[test]
+    fn uniform_periodic_series_has_scores_near_one() {
+        let series = TimeSeries::from(
+            (0..1200).map(|i| (std::f64::consts::TAU * i as f64 / 60.0).sin()).collect::<Vec<_>>(),
+        );
+        let scores = lof_anomaly_scores(&series, 60, LofParams::default()).unwrap();
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!((mean - 1.0).abs() < 0.3, "mean LOF on uniform data = {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let series = sine_with_anomaly(400, 200, 20);
+        assert!(lof_anomaly_scores(&series, 2, LofParams::default()).is_err());
+        assert!(lof_anomaly_scores(&series, 40, LofParams { k: 0, ..Default::default() }).is_err());
+        let tiny = TimeSeries::from(vec![1.0, 2.0, 3.0]);
+        assert!(lof_anomaly_scores(&tiny, 40, LofParams::default()).is_err());
+    }
+
+    #[test]
+    fn stride_controls_candidate_count_but_not_output_length() {
+        let series = sine_with_anomaly(1000, 500, 40);
+        let coarse = lof_anomaly_scores(
+            &series,
+            50,
+            LofParams { stride: Some(50), ..Default::default() },
+        )
+        .unwrap();
+        let fine = lof_anomaly_scores(
+            &series,
+            50,
+            LofParams { stride: Some(5), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(coarse.len(), fine.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! STOMP: the exact matrix profile (z-normalised nearest-neighbour distance
+//! profile) of a data series.
+//!
+//! Following Yeh et al. (ICDM 2016) and Zhu et al. ("STOMP"), the profile is
+//! computed with rolling dot products: the dot product between window `i+1`
+//! and window `j+1` is obtained from the one between windows `i` and `j` in
+//! constant time, giving `O(n²)` total work and `O(n)` memory — no
+//! per-pair re-scan of the windows. Trivial matches (windows overlapping by
+//! more than half their length) are excluded from the nearest-neighbour
+//! search.
+//!
+//! The matrix profile is the canonical *discord* detector of the paper's
+//! evaluation: subsequences with the largest nearest-neighbour distance are
+//! flagged as anomalies. It is also the method whose sensitivity to the
+//! subsequence-length parameter is demonstrated in Figure 4.
+
+use s2g_timeseries::{distance, stats, window, TimeSeries};
+
+use crate::error::{Error, Result};
+
+/// The matrix profile of a series: for every subsequence, the z-normalised
+/// Euclidean distance to (and index of) its nearest non-trivial neighbour.
+#[derive(Debug, Clone)]
+pub struct MatrixProfile {
+    /// Subsequence length the profile was computed for.
+    pub window: usize,
+    /// Nearest-neighbour distance of each subsequence.
+    pub profile: Vec<f64>,
+    /// Index of the nearest neighbour of each subsequence.
+    pub profile_index: Vec<usize>,
+}
+
+impl MatrixProfile {
+    /// Anomaly scores under the discord definition: the profile itself
+    /// (larger nearest-neighbour distance = more anomalous).
+    pub fn anomaly_scores(&self) -> &[f64] {
+        &self.profile
+    }
+
+    /// Start offsets of the top-`k` non-overlapping discords.
+    pub fn top_k_discords(&self, k: usize) -> Vec<usize> {
+        window::top_k_non_overlapping(&self.profile, k, self.window)
+    }
+}
+
+/// Computes the exact matrix profile of `series` for subsequences of length
+/// `window` (the STOMP algorithm).
+///
+/// # Errors
+/// * [`Error::InvalidParameter`] when `window < 4`.
+/// * [`Error::SeriesTooShort`] when fewer than two non-overlapping windows fit.
+pub fn stomp(series: &TimeSeries, window: usize) -> Result<MatrixProfile> {
+    if window < 4 {
+        return Err(Error::InvalidParameter {
+            name: "window",
+            message: format!("must be at least 4, got {window}"),
+        });
+    }
+    let n = series.len();
+    if n < 2 * window {
+        return Err(Error::SeriesTooShort { series_len: n, required: 2 * window });
+    }
+    let values = series.values();
+    let n_sub = n - window + 1;
+    let exclusion = window::exclusion_zone(window).max(1);
+
+    // Rolling means and standard deviations of every window.
+    let means = stats::rolling_mean(values, window);
+    let stds = stats::rolling_std(values, window);
+
+    let mut profile = vec![f64::INFINITY; n_sub];
+    let mut profile_index = vec![0usize; n_sub];
+
+    // First row of the distance matrix: dot products of window 0 with every window j.
+    let mut first_row_dots = vec![0.0; n_sub];
+    for (j, dot) in first_row_dots.iter_mut().enumerate() {
+        *dot = dot_product(&values[0..window], &values[j..j + window]);
+    }
+
+    // `dots[j]` holds the dot product between window i and window j for the
+    // current row i; it is updated incrementally from row i−1.
+    let mut dots = first_row_dots.clone();
+    for i in 0..n_sub {
+        if i > 0 {
+            // Update in place from the previous row, iterating right-to-left so
+            // that dots[j-1] still holds the previous row's value when needed.
+            for j in (1..n_sub).rev() {
+                dots[j] = dots[j - 1] - values[j - 1] * values[i - 1]
+                    + values[j + window - 1] * values[i + window - 1];
+            }
+            dots[0] = first_row_dots[i];
+        }
+        let (mean_i, std_i) = (means[i], stds[i]);
+        let mut best = f64::INFINITY;
+        let mut best_j = i;
+        for j in 0..n_sub {
+            if j.abs_diff(i) < exclusion {
+                continue;
+            }
+            let d = distance::znorm_euclidean_from_stats(
+                window, dots[j], mean_i, std_i, means[j], stds[j],
+            );
+            if d < best {
+                best = d;
+                best_j = j;
+            }
+        }
+        profile[i] = best;
+        profile_index[i] = best_j;
+    }
+
+    Ok(MatrixProfile { window, profile, profile_index })
+}
+
+fn dot_product(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Computes only the anomaly-score profile (the nearest-neighbour distances).
+/// Convenience wrapper used by the evaluation harness.
+pub fn stomp_anomaly_scores(series: &TimeSeries, window: usize) -> Result<Vec<f64>> {
+    Ok(stomp(series, window)?.profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_with_anomaly(n: usize, anomaly_at: usize, anomaly_len: usize) -> TimeSeries {
+        let mut values: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
+        for i in anomaly_at..(anomaly_at + anomaly_len).min(n) {
+            values[i] = 0.5 * (std::f64::consts::TAU * i as f64 / 13.0).sin() + 0.8;
+        }
+        TimeSeries::from(values)
+    }
+
+    /// Brute-force matrix profile for validation.
+    fn brute_force(series: &TimeSeries, window: usize) -> Vec<f64> {
+        let values = series.values();
+        let n_sub = values.len() - window + 1;
+        let exclusion = window / 2;
+        let mut out = vec![f64::INFINITY; n_sub];
+        for i in 0..n_sub {
+            for j in 0..n_sub {
+                if i.abs_diff(j) < exclusion.max(1) {
+                    continue;
+                }
+                let d = distance::znorm_euclidean(
+                    &values[i..i + window],
+                    &values[j..j + window],
+                )
+                .unwrap();
+                if d < out[i] {
+                    out[i] = d;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_series() {
+        let series = sine_with_anomaly(300, 150, 30);
+        let window = 25;
+        let fast = stomp(&series, window).unwrap();
+        let slow = brute_force(&series, window);
+        assert_eq!(fast.profile.len(), slow.len());
+        for (i, (a, b)) in fast.profile.iter().zip(slow.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-6, "mismatch at {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn periodic_series_has_near_zero_profile() {
+        let series = TimeSeries::from(
+            (0..2000).map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin()).collect::<Vec<_>>(),
+        );
+        let mp = stomp(&series, 40).unwrap();
+        let max = mp.profile.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 1e-3, "pure periodic series should have ~0 profile, max = {max}");
+    }
+
+    #[test]
+    fn discord_is_at_injected_anomaly() {
+        let series = sine_with_anomaly(3000, 1500, 60);
+        let mp = stomp(&series, 60).unwrap();
+        let discords = mp.top_k_discords(1);
+        assert_eq!(discords.len(), 1);
+        assert!(
+            (discords[0] as i64 - 1500).abs() < 80,
+            "discord found at {} instead of ~1500",
+            discords[0]
+        );
+    }
+
+    #[test]
+    fn profile_index_points_to_a_similar_subsequence() {
+        let series = sine_with_anomaly(1000, 400, 50);
+        let window = 50;
+        let mp = stomp(&series, window).unwrap();
+        // For a normal subsequence, the neighbour distance must be small and
+        // the recorded index must reproduce that distance.
+        let i = 100;
+        let j = mp.profile_index[i];
+        let d = distance::znorm_euclidean(
+            &series.values()[i..i + window],
+            &series.values()[j..j + window],
+        )
+        .unwrap();
+        assert!((d - mp.profile[i]).abs() < 1e-6);
+        assert!(j.abs_diff(i) >= window / 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let series = TimeSeries::from(vec![1.0; 100]);
+        assert!(matches!(stomp(&series, 2), Err(Error::InvalidParameter { .. })));
+        assert!(matches!(stomp(&series, 80), Err(Error::SeriesTooShort { .. })));
+    }
+
+    #[test]
+    fn anomaly_scores_wrapper_matches_profile() {
+        let series = sine_with_anomaly(600, 300, 40);
+        let scores = stomp_anomaly_scores(&series, 40).unwrap();
+        let mp = stomp(&series, 40).unwrap();
+        assert_eq!(scores, mp.profile);
+    }
+}

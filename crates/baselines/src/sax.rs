@@ -1,0 +1,170 @@
+//! Symbolic Aggregate approXimation (SAX) and Piecewise Aggregate
+//! Approximation (PAA).
+//!
+//! SAX discretises a z-normalised subsequence into a short word over a small
+//! alphabet by (1) averaging the subsequence over equal-width segments (PAA)
+//! and (2) quantising each segment mean with breakpoints that make the
+//! symbols equiprobable under a standard normal distribution. SAX words are
+//! the input representation of the GrammarViz-style detector in
+//! [`crate::grammar`].
+
+use s2g_timeseries::normalize;
+
+/// Piecewise Aggregate Approximation: mean of `segments` equal-width chunks.
+/// When the input is shorter than `segments`, the input itself is returned.
+pub fn paa(values: &[f64], segments: usize) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 || segments == 0 {
+        return Vec::new();
+    }
+    if n <= segments {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(segments);
+    for s in 0..segments {
+        let lo = s * n / segments;
+        let hi = ((s + 1) * n / segments).max(lo + 1);
+        let mean = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        out.push(mean);
+    }
+    out
+}
+
+/// Gaussian breakpoints for alphabet sizes 2–10 (classic SAX lookup table):
+/// `breakpoints(a)` returns `a − 1` thresholds splitting N(0,1) into `a`
+/// equiprobable regions.
+pub fn breakpoints(alphabet: usize) -> Vec<f64> {
+    match alphabet {
+        0 | 1 => Vec::new(),
+        2 => vec![0.0],
+        3 => vec![-0.43, 0.43],
+        4 => vec![-0.67, 0.0, 0.67],
+        5 => vec![-0.84, -0.25, 0.25, 0.84],
+        6 => vec![-0.97, -0.43, 0.0, 0.43, 0.97],
+        7 => vec![-1.07, -0.57, -0.18, 0.18, 0.57, 1.07],
+        8 => vec![-1.15, -0.67, -0.32, 0.0, 0.32, 0.67, 1.15],
+        9 => vec![-1.22, -0.76, -0.43, -0.14, 0.14, 0.43, 0.76, 1.22],
+        _ => vec![-1.28, -0.84, -0.52, -0.25, 0.0, 0.25, 0.52, 0.84, 1.28],
+    }
+}
+
+/// A SAX word: the symbol indices (`0..alphabet`) of one subsequence.
+pub type SaxWord = Vec<u8>;
+
+/// Converts one subsequence into a SAX word of `segments` symbols over an
+/// alphabet of size `alphabet`. The subsequence is z-normalised first.
+pub fn sax_word(values: &[f64], segments: usize, alphabet: usize) -> SaxWord {
+    let z = normalize::znormalize(values);
+    let reduced = paa(&z, segments);
+    let bps = breakpoints(alphabet);
+    reduced
+        .iter()
+        .map(|&v| {
+            let mut symbol = 0u8;
+            for &bp in &bps {
+                if v > bp {
+                    symbol += 1;
+                }
+            }
+            symbol
+        })
+        .collect()
+}
+
+/// The SAX transform of a whole series: the SAX word of every subsequence of
+/// length `window` (stride 1), plus the result of *numerosity reduction* —
+/// positions where the word differs from the previous one (the classical
+/// GrammarViz preprocessing that collapses runs of identical words).
+#[derive(Debug, Clone)]
+pub struct SaxSeries {
+    /// SAX word of every subsequence (indexed by start offset).
+    pub words: Vec<SaxWord>,
+    /// Start offsets kept after numerosity reduction.
+    pub reduced_positions: Vec<usize>,
+}
+
+/// Computes the SAX transform of a series.
+pub fn sax_transform(values: &[f64], window: usize, segments: usize, alphabet: usize) -> SaxSeries {
+    if window == 0 || values.len() < window {
+        return SaxSeries { words: Vec::new(), reduced_positions: Vec::new() };
+    }
+    let n_sub = values.len() - window + 1;
+    let mut words = Vec::with_capacity(n_sub);
+    for i in 0..n_sub {
+        words.push(sax_word(&values[i..i + window], segments, alphabet));
+    }
+    let mut reduced_positions = Vec::new();
+    for i in 0..n_sub {
+        if i == 0 || words[i] != words[i - 1] {
+            reduced_positions.push(i);
+        }
+    }
+    SaxSeries { words, reduced_positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paa_averages_segments() {
+        let xs = [1.0, 1.0, 3.0, 3.0, 5.0, 5.0];
+        assert_eq!(paa(&xs, 3), vec![1.0, 3.0, 5.0]);
+        assert_eq!(paa(&xs, 6), xs.to_vec());
+        assert_eq!(paa(&[1.0, 2.0], 4), vec![1.0, 2.0]);
+        assert!(paa(&[], 3).is_empty());
+        assert!(paa(&xs, 0).is_empty());
+    }
+
+    #[test]
+    fn breakpoints_are_sorted_and_sized() {
+        for a in 2..=10 {
+            let bp = breakpoints(a);
+            assert_eq!(bp.len(), a - 1);
+            assert!(bp.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(breakpoints(1).is_empty());
+    }
+
+    #[test]
+    fn sax_word_symbols_are_in_alphabet() {
+        let values: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 5.0 + 2.0).collect();
+        let word = sax_word(&values, 8, 4);
+        assert_eq!(word.len(), 8);
+        assert!(word.iter().all(|&s| s < 4));
+    }
+
+    #[test]
+    fn identical_shapes_share_words() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * 7.0 + 100.0).collect();
+        assert_eq!(sax_word(&a, 6, 5), sax_word(&b, 6, 5));
+    }
+
+    #[test]
+    fn different_shapes_get_different_words() {
+        let rising: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let falling: Vec<f64> = (0..40).map(|i| -(i as f64)).collect();
+        assert_ne!(sax_word(&rising, 5, 4), sax_word(&falling, 5, 4));
+    }
+
+    #[test]
+    fn numerosity_reduction_collapses_constant_regions() {
+        // A slow ramp: consecutive windows have identical SAX words, so the
+        // reduced positions are far fewer than the raw windows.
+        let values: Vec<f64> = (0..500).map(|i| (i as f64 / 100.0).sin()).collect();
+        let sax = sax_transform(&values, 50, 5, 4);
+        assert_eq!(sax.words.len(), 451);
+        assert!(sax.reduced_positions.len() < sax.words.len() / 2);
+        assert_eq!(sax.reduced_positions[0], 0);
+        // Reduced positions are strictly increasing.
+        assert!(sax.reduced_positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sax_transform_handles_short_series() {
+        let sax = sax_transform(&[1.0, 2.0], 10, 4, 4);
+        assert!(sax.words.is_empty());
+        assert!(sax.reduced_positions.is_empty());
+    }
+}

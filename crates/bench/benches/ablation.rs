@@ -1,0 +1,86 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! covariance vs randomized-SVD PCA, ray count `r`, bandwidth rule, and the
+//! moving-average smoothing of the score profile.
+//!
+//! Besides timing, the accuracy impact of each choice is exercised by the
+//! `fig7` experiment binary; these benches isolate the runtime cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2g_core::config::BandwidthRule;
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+use s2g_linalg::pca::PcaSolver;
+
+fn pca_solver_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/pca_solver");
+    group.sample_size(10);
+    let data = generate_mba_with_length(MbaRecord::R806, 10_000, 4);
+    let solvers: [(&str, PcaSolver); 2] = [
+        ("covariance", PcaSolver::Covariance),
+        (
+            "randomized_svd",
+            PcaSolver::RandomizedSvd { oversample: 7, power_iterations: 2, seed: 3 },
+        ),
+    ];
+    for (name, solver) in solvers {
+        let config = S2gConfig::new(50).with_lambda(16).with_pca_solver(solver);
+        group.bench_function(name, |b| {
+            b.iter(|| Series2Graph::fit(&data.series, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ray_count_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ray_count");
+    group.sample_size(10);
+    let data = generate_mba_with_length(MbaRecord::R806, 10_000, 4);
+    for &rate in &[20usize, 50, 100] {
+        let config = S2gConfig::new(50).with_lambda(16).with_rate(rate);
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, _| {
+            b.iter(|| Series2Graph::fit(&data.series, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bandwidth_rule_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bandwidth");
+    group.sample_size(10);
+    let data = generate_mba_with_length(MbaRecord::R806, 10_000, 4);
+    let rules: [(&str, BandwidthRule); 3] = [
+        ("scott", BandwidthRule::Scott),
+        ("sigma_0.1", BandwidthRule::SigmaRatio(0.1)),
+        ("sigma_0.7", BandwidthRule::SigmaRatio(0.7)),
+    ];
+    for (name, rule) in rules {
+        let config = S2gConfig::new(50).with_lambda(16).with_bandwidth(rule);
+        group.bench_function(name, |b| {
+            b.iter(|| Series2Graph::fit(&data.series, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn smoothing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/smoothing");
+    group.sample_size(20);
+    let data = generate_mba_with_length(MbaRecord::R806, 10_000, 4);
+    for (name, smooth) in [("on", true), ("off", false)] {
+        let config = S2gConfig::new(50).with_lambda(16).with_smoothing(smooth);
+        let model = Series2Graph::fit(&data.series, &config).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| model.anomaly_scores(&data.series, 75).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    pca_solver_ablation,
+    ray_count_ablation,
+    bandwidth_rule_ablation,
+    smoothing_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the pattern-embedding step (Algorithm 1):
+//! rolling convolution, PCA fit, rotation and projection, as a function of
+//! the series length and of the pattern length ℓ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2g_core::embedding::Embedding;
+use s2g_core::S2gConfig;
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+
+fn embedding_vs_series_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding/series_length");
+    group.sample_size(10);
+    for &length in &[5_000usize, 10_000, 20_000] {
+        let data = generate_mba_with_length(MbaRecord::R803, length, 7);
+        let config = S2gConfig::new(50).with_lambda(16);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| Embedding::fit(&data.series, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn embedding_vs_pattern_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding/pattern_length");
+    group.sample_size(10);
+    let data = generate_mba_with_length(MbaRecord::R803, 10_000, 7);
+    for &ell in &[50usize, 100, 200] {
+        let config = S2gConfig::new(ell);
+        group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, _| {
+            b.iter(|| Embedding::fit(&data.series, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn projection_of_unseen_series(c: &mut Criterion) {
+    let data = generate_mba_with_length(MbaRecord::R803, 10_000, 7);
+    let unseen = generate_mba_with_length(MbaRecord::R803, 5_000, 9);
+    let config = S2gConfig::new(50).with_lambda(16);
+    let embedding = Embedding::fit(&data.series, &config).unwrap();
+    c.bench_function("embedding/project_unseen_5k", |b| {
+        b.iter(|| embedding.project(&unseen.series).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    embedding_vs_series_length,
+    embedding_vs_pattern_length,
+    projection_of_unseen_series
+);
+criterion_main!(benches);

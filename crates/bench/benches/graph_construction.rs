@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the node-extraction (Algorithm 2) and
+//! edge-extraction (Algorithm 3 / Definition 8) steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2g_core::edges::EdgeExtraction;
+use s2g_core::embedding::Embedding;
+use s2g_core::nodes::NodeSet;
+use s2g_core::S2gConfig;
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+use s2g_linalg::vector::Vec2;
+
+fn prepared_points(length: usize) -> (Vec<Vec2>, S2gConfig) {
+    let data = generate_mba_with_length(MbaRecord::R820, length, 3);
+    let config = S2gConfig::new(50).with_lambda(16);
+    let embedding = Embedding::fit(&data.series, &config).unwrap();
+    (embedding.points, config)
+}
+
+fn node_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/node_extraction");
+    group.sample_size(10);
+    for &length in &[5_000usize, 10_000, 20_000] {
+        let (points, config) = prepared_points(length);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| NodeSet::extract(&points, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn node_extraction_vs_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/node_extraction_rate");
+    group.sample_size(10);
+    let data = generate_mba_with_length(MbaRecord::R820, 10_000, 3);
+    for &rate in &[25usize, 50, 100] {
+        let config = S2gConfig::new(50).with_lambda(16).with_rate(rate);
+        let embedding = Embedding::fit(&data.series, &config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, _| {
+            b.iter(|| NodeSet::extract(&embedding.points, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn edge_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/edge_extraction");
+    group.sample_size(10);
+    for &length in &[5_000usize, 10_000, 20_000] {
+        let (points, config) = prepared_points(length);
+        let nodes = NodeSet::extract(&points, &config).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| EdgeExtraction::extract(&points, &nodes).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, node_extraction, node_extraction_vs_rate, edge_extraction);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark comparing the end-to-end runtime of every evaluated
+//! method on the same dataset — the micro-benchmark counterpart of the
+//! Figure 9 wall-clock tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2g_bench::runner::time_method;
+use s2g_bench::Method;
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+use s2g_datasets::srw::{generate_srw, SrwConfig};
+
+fn methods_on_mba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("methods/mba_5k");
+    group.sample_size(10);
+    let data = generate_mba_with_length(MbaRecord::R803, 5_000, 21);
+    for method in Method::ALL {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                let k = data.anomaly_count().max(1);
+                method.score(&data, 75, k).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn methods_on_srw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("methods/srw_5k");
+    group.sample_size(10);
+    let data = generate_srw(SrwConfig {
+        length: 5_000,
+        num_anomalies: 4,
+        noise_ratio: 0.0,
+        anomaly_length: 200,
+        seed: 21,
+    });
+    for method in Method::FAST {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| time_method(&data, method, 200).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, methods_on_mba, methods_on_srw);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion counterpart of Figure 9(a): end-to-end Series2Graph and STOMP
+//! runtime as the series length grows, to verify the scaling shapes
+//! (near-linear for Series2Graph, quadratic for STOMP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2g_baselines::matrix_profile::stomp_anomaly_scores;
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+
+fn s2g_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/series2graph");
+    group.sample_size(10);
+    for &length in &[5_000usize, 10_000, 20_000, 40_000] {
+        let data = generate_mba_with_length(MbaRecord::R14046, length, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| {
+                let model =
+                    Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+                model.anomaly_scores(&data.series, 75).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn stomp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability/stomp");
+    group.sample_size(10);
+    for &length in &[5_000usize, 10_000, 20_000] {
+        let data = generate_mba_with_length(MbaRecord::R14046, length, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| stomp_anomaly_scores(&data.series, 75).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, s2g_scaling, stomp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the subsequence-scoring step (Algorithm 4):
+//! scoring the training series for several query lengths, and scoring unseen
+//! data through the Time2Path conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+
+fn scoring_vs_query_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring/query_length");
+    group.sample_size(20);
+    let data = generate_mba_with_length(MbaRecord::R803, 10_000, 5);
+    let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+    for &query in &[75usize, 150, 300, 600] {
+        group.bench_with_input(BenchmarkId::from_parameter(query), &query, |b, _| {
+            b.iter(|| model.anomaly_scores(&data.series, query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn scoring_unseen_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring/unseen_series");
+    group.sample_size(10);
+    let train = generate_mba_with_length(MbaRecord::R803, 10_000, 5);
+    let model = Series2Graph::fit(&train.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+    for &length in &[2_000usize, 5_000, 10_001] {
+        let unseen = generate_mba_with_length(MbaRecord::R803, length, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(length), &length, |b, _| {
+            b.iter(|| model.anomaly_scores(&unseen.series, 150).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn single_subsequence_scoring(c: &mut Criterion) {
+    let data = generate_mba_with_length(MbaRecord::R803, 10_000, 5);
+    let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+    let window = data.series.subsequence(4_000, 300).unwrap().to_vec();
+    c.bench_function("scoring/single_subsequence_300", |b| {
+        b.iter(|| model.score_subsequence(&window).unwrap())
+    });
+}
+
+criterion_group!(benches, scoring_vs_query_length, scoring_unseen_series, single_subsequence_scoring);
+criterion_main!(benches);

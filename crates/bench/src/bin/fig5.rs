@@ -1,0 +1,78 @@
+//! Figure 5: the graph `G_ℓ` of an MBA(820)-like ECG for ℓ ∈ {80, 100, 120}.
+//!
+//! The paper shows that for all three input lengths the anomalous
+//! trajectories (S and V premature beats) remain separable from the heavy
+//! normal trajectory. This harness reproduces the quantitative counterpart:
+//! for each ℓ it builds the graph, reports its size, and compares the mean
+//! normality score of anomalous windows to normal windows (the separation
+//! that the figure shows visually), plus the resulting Top-k accuracy.
+//!
+//! Usage: `cargo run --release -p s2g-bench --bin fig5 [--scale 0.2] [--seed 1]`
+
+use s2g_bench::runner::{ground_truth, scale_from_args, seed_from_args};
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_datasets::mba::{generate_mba_with_length, MbaRecord};
+use s2g_eval::table::{fmt_accuracy, Table};
+use s2g_eval::topk::top_k_accuracy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let length = ((100_000.0 * scale) as usize).max(10_000);
+    let query_length = 160usize; // > every swept ℓ; covers both anomaly types
+
+    println!("Figure 5 — graph structure vs input length ℓ on MBA(820)-like ECG ({length} points)\n");
+    let data = generate_mba_with_length(MbaRecord::R820, length, seed);
+    let truth = ground_truth(&data);
+    let k = truth.count();
+
+    let mut table = Table::new(vec![
+        "ℓ",
+        "nodes",
+        "edges",
+        "mean normality (normal)",
+        "mean normality (anomaly)",
+        "separation ratio",
+        "Top-k accuracy",
+    ]);
+
+    for ell in [80usize, 100, 120] {
+        let config = S2gConfig::new(ell);
+        let model = Series2Graph::fit(&data.series, &config).expect("fit failed");
+        let normality = model.normality_scores(&data.series, query_length).expect("scoring failed");
+
+        let mut normal_sum = 0.0;
+        let mut normal_count = 0usize;
+        let mut anomaly_sum = 0.0;
+        let mut anomaly_count = 0usize;
+        for (i, &score) in normality.iter().enumerate() {
+            if data.window_is_anomalous(i, query_length) {
+                anomaly_sum += score;
+                anomaly_count += 1;
+            } else {
+                normal_sum += score;
+                normal_count += 1;
+            }
+        }
+        let normal_mean = normal_sum / normal_count.max(1) as f64;
+        let anomaly_mean = anomaly_sum / anomaly_count.max(1) as f64;
+        let anomaly_scores = model.anomaly_scores(&data.series, query_length).unwrap();
+        let accuracy = top_k_accuracy(&anomaly_scores, query_length, &truth, k);
+
+        table.push_row(vec![
+            ell.to_string(),
+            model.node_count().to_string(),
+            model.graph().edge_count().to_string(),
+            format!("{normal_mean:.1}"),
+            format!("{anomaly_mean:.1}"),
+            format!("{:.2}x", normal_mean / anomaly_mean.max(1e-9)),
+            fmt_accuracy(accuracy),
+        ]);
+    }
+    println!("{}", table.to_fixed_width());
+    println!(
+        "\nPaper's claim: for every ℓ the anomalous trajectories keep lower edge weights than the\n\
+         normal trajectory (separation ratio > 1), so the anomalies remain detectable for any ℓ."
+    );
+}

@@ -1,0 +1,66 @@
+//! Table 3: Top-k accuracy of every method on the full evaluation corpus
+//! (SED, the five MBA records, and the fifteen SRW synthetic datasets), with
+//! k equal to the number of annotated anomalies per dataset.
+//!
+//! Usage:
+//! `cargo run --release -p s2g-bench --bin table3 [--scale 0.2] [--seed 1] [--methods s2g,stomp,...]`
+//!
+//! `--scale 1.0` reproduces the paper-sized 100K-point datasets (slow: the
+//! quadratic baselines dominate); the default 0.2 keeps the whole table in
+//! the minutes range while preserving the anomaly structure.
+
+use s2g_bench::runner::{evaluate, ground_truth, methods_from_args, scale_from_args, seed_from_args};
+use s2g_datasets::catalog::Dataset;
+use s2g_eval::table::{fmt_accuracy, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let methods = methods_from_args(&args);
+
+    println!(
+        "Table 3 — Top-k accuracy (k = number of anomalies), scale {scale}, seed {seed}\n"
+    );
+
+    let mut headers: Vec<String> = vec!["dataset".into(), "k".into()];
+    headers.extend(methods.iter().map(|m| m.name().to_string()));
+    let mut table = Table::new(headers);
+    let mut sums = vec![0.0f64; methods.len()];
+    let mut count = 0usize;
+
+    for dataset in Dataset::table3_corpus() {
+        let spec = dataset.spec();
+        let length = ((spec.length as f64) * scale) as usize;
+        let data = dataset.generate_with_length(length.max(spec.anomaly_length * 6), seed);
+        let truth = ground_truth(&data);
+        let mut row = vec![spec.name.clone(), truth.count().to_string()];
+        for (i, method) in methods.iter().enumerate() {
+            match evaluate(&data, *method, spec.anomaly_length) {
+                Ok(outcome) => {
+                    row.push(fmt_accuracy(outcome.accuracy));
+                    sums[i] += outcome.accuracy;
+                }
+                Err(e) => {
+                    eprintln!("{} on {}: {e}", method.name(), spec.name);
+                    row.push("-".to_string());
+                }
+            }
+        }
+        table.push_row(row);
+        count += 1;
+        eprintln!("... finished {}", spec.name);
+    }
+
+    let mut avg_row = vec!["Average".to_string(), String::new()];
+    avg_row.extend(sums.iter().map(|s| fmt_accuracy(s / count.max(1) as f64)));
+    table.push_row(avg_row);
+
+    println!("{}", table.to_fixed_width());
+    println!("\nMarkdown version:\n{}", table.to_markdown());
+    println!(
+        "Paper's claim: Series2Graph (both half- and full-trained) has the highest average\n\
+         accuracy, discord methods degrade on the recurrent-anomaly (MBA) datasets, and\n\
+         Isolation Forest is the strongest non-S2G unsupervised baseline."
+    );
+}

@@ -1,0 +1,68 @@
+//! # s2g-core — Series2Graph
+//!
+//! Rust implementation of **Series2Graph** (Boniol & Palpanas, VLDB 2020):
+//! unsupervised, domain-agnostic subsequence anomaly detection for univariate
+//! data series.
+//!
+//! The method works in four steps (Section 4 of the paper):
+//!
+//! 1. **Subsequence embedding** ([`embedding`], Algorithm 1): every
+//!    subsequence of length `ℓ` is summarised by local convolutions of size
+//!    `λ = ℓ/3`, reduced to three dimensions with PCA, and rotated so that the
+//!    offset direction `v_ref` aligns with the x-axis. The remaining `(y, z)`
+//!    plane preserves shape information: recurrent shapes form dense
+//!    trajectories, rare shapes stay isolated.
+//! 2. **Node creation** ([`nodes`], Algorithm 2): `r` angular rays sample the
+//!    `(y, z)` plane; the radii at which the trajectory crosses each ray are
+//!    collected and a Gaussian KDE (Scott bandwidth) extracts the local
+//!    density maxima, each becoming a graph node.
+//! 3. **Edge creation** ([`edges`], Algorithm 3): walking the trajectory in
+//!    time order, every ray crossing is snapped to its nearest node; each
+//!    consecutive pair of visited nodes becomes a directed edge whose weight
+//!    counts its occurrences.
+//! 4. **Subsequence scoring** ([`scoring`], Algorithm 4): the normality of a
+//!    subsequence of length `ℓ_q ≥ ℓ` is the sum of `w(e)·(deg(src)−1)` along
+//!    its path through the graph, divided by `ℓ_q`; low normality means
+//!    anomalous. A moving-average filter smooths the resulting profile.
+//!
+//! The [`Series2Graph`] type ties the steps together with a
+//! `fit → score → top-k` API.
+//!
+//! ## Example
+//!
+//! ```
+//! use s2g_core::{Series2Graph, S2gConfig};
+//! use s2g_timeseries::TimeSeries;
+//!
+//! // A sine wave with one distorted cycle.
+//! let mut values: Vec<f64> = (0..4000)
+//!     .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+//!     .collect();
+//! for (k, v) in values[2000..2100].iter_mut().enumerate() {
+//!     *v = (std::f64::consts::TAU * k as f64 / 25.0).sin();
+//! }
+//! let series = TimeSeries::from(values);
+//!
+//! let config = S2gConfig::new(50);
+//! let model = Series2Graph::fit(&series, &config).unwrap();
+//! let scores = model.anomaly_scores(&series, 100).unwrap();
+//! let top = model.top_k_anomalies(&scores, 1, 100);
+//! assert!((1900..2200).contains(&top[0]), "anomaly found at {}", top[0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod edges;
+pub mod embedding;
+pub mod error;
+pub mod model;
+pub mod nodes;
+pub mod scoring;
+pub mod streaming;
+
+pub use config::S2gConfig;
+pub use error::{Error, Result};
+pub use model::Series2Graph;
+pub use streaming::StreamingScorer;

@@ -1,0 +1,244 @@
+//! Streaming scoring against a fixed Series2Graph model.
+//!
+//! The paper lists streaming operation as future work; this module provides
+//! the natural building block for it: a [`StreamingScorer`] that owns a
+//! fitted [`Series2Graph`] model and consumes points one at a time (or in
+//! batches), emitting the normality score of every completed window of the
+//! configured query length. Internally it keeps only the last
+//! `ℓ_q + ℓ` points, so memory is constant regardless of how long the stream
+//! runs, and each appended point costs one embedding projection plus one node
+//! assignment.
+
+use std::collections::VecDeque;
+
+use crate::error::{Error, Result};
+use crate::model::Series2Graph;
+use crate::scoring;
+
+/// Incremental scorer over a fixed, already fitted Series2Graph model.
+#[derive(Debug, Clone)]
+pub struct StreamingScorer {
+    model: Series2Graph,
+    query_length: usize,
+    /// Rolling buffer of the most recent raw points (bounded).
+    buffer: VecDeque<f64>,
+    /// Rolling buffer of per-gap normality contributions (bounded).
+    contributions: VecDeque<f64>,
+    /// Node assigned to the most recent embedded point, if any.
+    last_node: Option<usize>,
+    /// Total number of points consumed so far.
+    consumed: usize,
+}
+
+impl StreamingScorer {
+    /// Creates a streaming scorer emitting scores for windows of
+    /// `query_length` points.
+    ///
+    /// # Errors
+    /// [`Error::QueryShorterThanPattern`] when `query_length < ℓ`.
+    pub fn new(model: Series2Graph, query_length: usize) -> Result<Self> {
+        if query_length < model.pattern_length() {
+            return Err(Error::QueryShorterThanPattern {
+                query_length,
+                pattern_length: model.pattern_length(),
+            });
+        }
+        Ok(Self {
+            model,
+            query_length,
+            buffer: VecDeque::new(),
+            contributions: VecDeque::new(),
+            last_node: None,
+            consumed: 0,
+        })
+    }
+
+    /// The fixed model scores are computed against.
+    pub fn model(&self) -> &Series2Graph {
+        &self.model
+    }
+
+    /// Number of points consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Appends one point. Returns `Some((window_start, normality))` once a
+    /// full window of `query_length` points has been observed: the normality
+    /// score of the window *ending* at this point (i.e. starting at
+    /// `consumed − query_length`).
+    pub fn push(&mut self, value: f64) -> Result<Option<(usize, f64)>> {
+        let ell = self.model.pattern_length();
+        self.buffer.push_back(value);
+        self.consumed += 1;
+        // Keep just enough raw history to embed the newest pattern.
+        while self.buffer.len() > self.query_length.max(ell) + ell {
+            self.buffer.pop_front();
+        }
+
+        // Embed the newest pattern (the last ℓ points) once available.
+        if self.buffer.len() >= ell {
+            let window: Vec<f64> =
+                self.buffer.iter().rev().take(ell).rev().copied().collect();
+            // Project the single newest subsequence with the fitted embedding.
+            let points = self.model.embedding().project_slice(&window)?;
+            let newest = points.last().copied();
+            if let Some(point) = newest {
+                let node = self.model.node_set().assign(point);
+                if let (Some(prev), Some(current)) = (self.last_node, node) {
+                    let graph = self.model.graph();
+                    let weight = graph.edge_weight(prev, current).unwrap_or(0.0);
+                    let degree = graph.degree(prev) as f64;
+                    self.contributions.push_back(weight * (degree - 1.0).max(0.0));
+                    let max_gaps = self.query_length.saturating_sub(ell).max(1);
+                    while self.contributions.len() > max_gaps {
+                        self.contributions.pop_front();
+                    }
+                }
+                if node.is_some() {
+                    self.last_node = node;
+                }
+            }
+        }
+
+        if self.consumed < self.query_length {
+            return Ok(None);
+        }
+        let start = self.consumed - self.query_length;
+        let gaps_needed = self.query_length.saturating_sub(ell).max(1);
+        if self.contributions.len() < gaps_needed.min(1) {
+            return Ok(Some((start, 0.0)));
+        }
+        let total: f64 = self.contributions.iter().sum();
+        Ok(Some((start, total / self.query_length as f64)))
+    }
+
+    /// Appends a batch of points and returns the emitted `(start, normality)`
+    /// pairs, in order.
+    pub fn push_batch(&mut self, values: &[f64]) -> Result<Vec<(usize, f64)>> {
+        let mut out = Vec::new();
+        for &v in values {
+            if let Some(emitted) = self.push(v)? {
+                out.push(emitted);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts the emitted normality scores of a batch into anomaly scores
+    /// in `[0, 1]` (helper mirroring [`Series2Graph::anomaly_scores`]).
+    pub fn to_anomaly_scores(normality: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let values: Vec<f64> = normality.iter().map(|&(_, s)| s).collect();
+        let anomaly = scoring::anomaly_profile(&values);
+        normality.iter().map(|&(start, _)| start).zip(anomaly).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::S2gConfig;
+    use s2g_timeseries::TimeSeries;
+
+    fn sine_with_burst(n: usize, burst_at: usize, burst_len: usize) -> Vec<f64> {
+        let mut values: Vec<f64> =
+            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin()).collect();
+        for i in burst_at..(burst_at + burst_len).min(n) {
+            values[i] = 0.8 * (std::f64::consts::TAU * i as f64 / 24.0).sin();
+        }
+        values
+    }
+
+    fn fitted_model() -> Series2Graph {
+        let train = TimeSeries::from(sine_with_burst(6_000, 0, 0));
+        Series2Graph::fit(&train, &S2gConfig::new(50)).unwrap()
+    }
+
+    #[test]
+    fn rejects_too_short_query() {
+        let model = fitted_model();
+        assert!(matches!(
+            StreamingScorer::new(model, 10),
+            Err(Error::QueryShorterThanPattern { .. })
+        ));
+    }
+
+    #[test]
+    fn emits_one_score_per_point_after_warmup() {
+        let model = fitted_model();
+        let mut scorer = StreamingScorer::new(model, 200).unwrap();
+        let stream = sine_with_burst(1_000, 0, 0);
+        let emitted = scorer.push_batch(&stream).unwrap();
+        assert_eq!(emitted.len(), 1_000 - 200 + 1);
+        assert_eq!(emitted[0].0, 0);
+        assert_eq!(emitted.last().unwrap().0, 800);
+        assert_eq!(scorer.consumed(), 1_000);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let model = fitted_model();
+        let mut scorer = StreamingScorer::new(model, 150).unwrap();
+        for &v in sine_with_burst(5_000, 0, 0).iter() {
+            scorer.push(v).unwrap();
+        }
+        assert!(scorer.buffer.len() <= 150 + 2 * 50);
+        assert!(scorer.contributions.len() <= 100);
+    }
+
+    #[test]
+    fn anomalous_burst_lowers_streamed_normality() {
+        let model = fitted_model();
+        let mut scorer = StreamingScorer::new(model, 150).unwrap();
+        let stream = sine_with_burst(3_000, 1_500, 200);
+        let emitted = scorer.push_batch(&stream).unwrap();
+        // Mean normality of windows fully inside the burst vs fully normal windows.
+        let burst: Vec<f64> = emitted
+            .iter()
+            .filter(|(start, _)| *start >= 1_480 && *start < 1_560)
+            .map(|&(_, s)| s)
+            .collect();
+        let normal: Vec<f64> = emitted
+            .iter()
+            .filter(|(start, _)| *start >= 400 && *start < 900)
+            .map(|&(_, s)| s)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&burst) < mean(&normal),
+            "burst normality {} should be below normal {}",
+            mean(&burst),
+            mean(&normal)
+        );
+    }
+
+    #[test]
+    fn streamed_scores_track_batch_scores() {
+        // The streaming scorer is an approximation of the offline scorer
+        // (trailing window instead of centred smoothing); both must agree on
+        // which half of the series is anomalous.
+        let model = fitted_model();
+        let stream = sine_with_burst(2_000, 1_200, 200);
+        let offline = model
+            .normality_scores(&TimeSeries::from(stream.clone()), 150)
+            .unwrap();
+        let mut scorer = StreamingScorer::new(model, 150).unwrap();
+        let streamed = scorer.push_batch(&stream).unwrap();
+        let offline_burst_is_low = offline[1_200] < offline[500];
+        let streamed_map: std::collections::HashMap<usize, f64> =
+            streamed.into_iter().collect();
+        let streamed_burst_is_low = streamed_map[&1_250] < streamed_map[&500];
+        assert_eq!(offline_burst_is_low, streamed_burst_is_low);
+        assert!(offline_burst_is_low);
+    }
+
+    #[test]
+    fn anomaly_conversion_helper() {
+        let normality = vec![(0usize, 10.0), (1, 0.0), (2, 5.0)];
+        let anomaly = StreamingScorer::to_anomaly_scores(&normality);
+        assert_eq!(anomaly.len(), 3);
+        assert_eq!(anomaly[0], (0, 0.0));
+        assert_eq!(anomaly[1], (1, 1.0));
+        assert!((anomaly[2].1 - 0.5).abs() < 1e-12);
+    }
+}

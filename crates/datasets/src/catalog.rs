@@ -1,0 +1,222 @@
+//! Catalogue of every dataset used in the paper's evaluation (Table 2), so
+//! the experiment harness can iterate over the exact corpus of Table 3.
+
+use crate::keogh::{self, DiscordDataset};
+use crate::labels::LabeledSeries;
+use crate::mba::{self, MbaRecord};
+use crate::sed;
+use crate::srw::{self, SrwConfig};
+
+/// One dataset of the evaluation corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dataset {
+    /// Simulated engine disk data (NASA), 50 anomalies of length 75.
+    Sed,
+    /// One of the MBA electrocardiogram records.
+    Mba(MbaRecord),
+    /// One of the classical single-discord datasets.
+    Discord(DiscordDataset),
+    /// A synthetic SRW dataset (sinusoid + random walk).
+    Srw {
+        /// Number of injected anomalies.
+        num_anomalies: usize,
+        /// Noise ratio (0.0–0.25 in the paper).
+        noise_ratio: f64,
+        /// Anomaly length (100–1600 in the paper).
+        anomaly_length: usize,
+    },
+}
+
+/// Static description of a dataset: the columns of Table 2.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// The dataset.
+    pub dataset: Dataset,
+    /// Display name.
+    pub name: String,
+    /// Default series length.
+    pub length: usize,
+    /// Anomaly length `ℓ_A`.
+    pub anomaly_length: usize,
+    /// Number of annotated anomalies `N_A` (as generated at full length).
+    pub anomaly_count: usize,
+    /// Application domain.
+    pub domain: &'static str,
+}
+
+impl Dataset {
+    /// Builds the static spec (Table 2 row) for this dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        match *self {
+            Dataset::Sed => DatasetSpec {
+                dataset: *self,
+                name: "SED".to_string(),
+                length: sed::SED_LENGTH,
+                anomaly_length: sed::SED_ANOMALY_LENGTH,
+                anomaly_count: sed::SED_ANOMALY_COUNT,
+                domain: "Electronic",
+            },
+            Dataset::Mba(record) => DatasetSpec {
+                dataset: *self,
+                name: record.name(),
+                length: mba::MBA_LENGTH,
+                anomaly_length: mba::MBA_ANOMALY_LENGTH,
+                anomaly_count: record.anomaly_count(),
+                domain: "Cardiology",
+            },
+            Dataset::Discord(d) => DatasetSpec {
+                dataset: *self,
+                name: d.name().to_string(),
+                length: d.length(),
+                anomaly_length: d.anomaly_length(),
+                anomaly_count: 1,
+                domain: d.domain(),
+            },
+            Dataset::Srw { num_anomalies, noise_ratio, anomaly_length } => {
+                let cfg = SrwConfig {
+                    num_anomalies,
+                    noise_ratio,
+                    anomaly_length,
+                    ..Default::default()
+                };
+                DatasetSpec {
+                    dataset: *self,
+                    name: cfg.name(),
+                    length: srw::SRW_LENGTH,
+                    anomaly_length,
+                    anomaly_count: num_anomalies,
+                    domain: "Synthetic",
+                }
+            }
+        }
+    }
+
+    /// Generates the dataset at its default (Table 2) length.
+    pub fn generate(&self, seed: u64) -> LabeledSeries {
+        self.generate_with_length(self.spec().length, seed)
+    }
+
+    /// Generates the dataset at a custom length (anomaly counts scale for the
+    /// periodic datasets; SRW keeps its configured count when it fits).
+    pub fn generate_with_length(&self, length: usize, seed: u64) -> LabeledSeries {
+        match *self {
+            Dataset::Sed => sed::generate_sed_with_length(length, seed),
+            Dataset::Mba(record) => mba::generate_mba_with_length(record, length, seed),
+            Dataset::Discord(d) => keogh::generate_discord_dataset_with_length(d, length, seed),
+            Dataset::Srw { num_anomalies, noise_ratio, anomaly_length } => {
+                srw::generate_srw(SrwConfig {
+                    length,
+                    num_anomalies,
+                    noise_ratio,
+                    anomaly_length,
+                    seed,
+                })
+            }
+        }
+    }
+
+    /// The real (annotated) datasets of the first section of Table 3:
+    /// SED plus the five MBA records.
+    pub fn real_multi_anomaly() -> Vec<Dataset> {
+        let mut v = vec![Dataset::Sed];
+        v.extend(MbaRecord::ALL.iter().map(|&r| Dataset::Mba(r)));
+        v
+    }
+
+    /// The four single-discord datasets (Section 5.5 / Figure 8).
+    pub fn discord_datasets() -> Vec<Dataset> {
+        DiscordDataset::ALL.iter().map(|&d| Dataset::Discord(d)).collect()
+    }
+
+    /// The synthetic SRW datasets exactly as listed in Table 3:
+    /// varying anomaly count, then noise, then anomaly length.
+    pub fn srw_table3() -> Vec<Dataset> {
+        let mut v = Vec::new();
+        // SRW-[20..100]-[0%]-[200]
+        for n in [20usize, 40, 60, 80, 100] {
+            v.push(Dataset::Srw { num_anomalies: n, noise_ratio: 0.0, anomaly_length: 200 });
+        }
+        // SRW-[60]-[5%..25%]-[200]
+        for noise in [0.05, 0.10, 0.15, 0.20, 0.25] {
+            v.push(Dataset::Srw { num_anomalies: 60, noise_ratio: noise, anomaly_length: 200 });
+        }
+        // SRW-[60]-[0%]-[100..1600]
+        for len in [100usize, 200, 400, 800, 1600] {
+            v.push(Dataset::Srw { num_anomalies: 60, noise_ratio: 0.0, anomaly_length: len });
+        }
+        v
+    }
+
+    /// The full Table 3 corpus: real multi-anomaly datasets plus the SRW family.
+    pub fn table3_corpus() -> Vec<Dataset> {
+        let mut v = Self::real_multi_anomaly();
+        v.extend(Self::srw_table3());
+        v
+    }
+
+    /// The full Table 2 list (Table 3 corpus plus the single-discord datasets).
+    pub fn table2_corpus() -> Vec<Dataset> {
+        let mut v = Self::real_multi_anomaly();
+        v.extend(Self::discord_datasets());
+        v.extend(Self::srw_table3());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_corpus_has_21_datasets() {
+        // 6 real (SED + 5 MBA) + 15 SRW = 21 rows, matching Table 3.
+        assert_eq!(Dataset::table3_corpus().len(), 21);
+        assert_eq!(Dataset::srw_table3().len(), 15);
+        assert_eq!(Dataset::real_multi_anomaly().len(), 6);
+        assert_eq!(Dataset::discord_datasets().len(), 4);
+        assert_eq!(Dataset::table2_corpus().len(), 25);
+    }
+
+    #[test]
+    fn specs_match_table2_metadata() {
+        let sed = Dataset::Sed.spec();
+        assert_eq!(sed.length, 100_000);
+        assert_eq!(sed.anomaly_length, 75);
+        assert_eq!(sed.anomaly_count, 50);
+
+        let mba = Dataset::Mba(MbaRecord::R805).spec();
+        assert_eq!(mba.anomaly_count, 30);
+        assert_eq!(mba.name, "MBA(805)");
+
+        let srw = Dataset::Srw { num_anomalies: 60, noise_ratio: 0.1, anomaly_length: 200 }.spec();
+        assert_eq!(srw.name, "SRW-[60]-[10%]-[200]");
+        assert_eq!(srw.anomaly_count, 60);
+
+        let valve = Dataset::Discord(DiscordDataset::MarottaValve).spec();
+        assert_eq!(valve.length, 20_000);
+        assert_eq!(valve.anomaly_count, 1);
+    }
+
+    #[test]
+    fn generation_respects_custom_length() {
+        for ds in [
+            Dataset::Sed,
+            Dataset::Mba(MbaRecord::R803),
+            Dataset::Discord(DiscordDataset::BidmcChf),
+            Dataset::Srw { num_anomalies: 10, noise_ratio: 0.0, anomaly_length: 100 },
+        ] {
+            let ls = ds.generate_with_length(12_000, 3);
+            assert_eq!(ls.len(), 12_000, "{:?}", ds);
+            assert!(ls.anomaly_count() >= 1, "{:?}", ds);
+        }
+    }
+
+    #[test]
+    fn generated_names_match_specs() {
+        for ds in Dataset::table2_corpus() {
+            let spec = ds.spec();
+            let ls = ds.generate_with_length(8_000, 1);
+            assert_eq!(ls.name, spec.name);
+        }
+    }
+}

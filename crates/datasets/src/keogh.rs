@@ -1,0 +1,256 @@
+//! Synthetic equivalents of the classical single-discord datasets used in the
+//! discord-discovery literature and in Section 5.5 / Figure 8 of the paper:
+//!
+//! * Space Shuttle **Marotta Valve** (TEK16) — 20K points, one anomaly of
+//!   length ~1000 (a distorted energise/de-energise valve cycle),
+//! * **Ann Gun** — 11K points, one anomaly of length ~800 (the actor misses
+//!   the holster during the draw–aim–re-holster gesture),
+//! * **Patient respiration** — 24K points, one anomaly of length ~800
+//!   (an irregular breath),
+//! * **BIDMC CHF record 15** — 15K points, one anomaly of length 256
+//!   (an ectopic heartbeat).
+//!
+//! Each synthetic series is a repeated domain-flavoured cycle with exactly one
+//! distorted cycle, preserving the "single isolated discord in an otherwise
+//! periodic signal" structure that those datasets contribute to the
+//! evaluation.
+
+use crate::labels::{AnomalyKind, LabeledSeries};
+use crate::periodic::{gaussian_bump_template, generate, harmonic_template, AnomalySpec, PeriodicConfig};
+
+/// Which single-discord dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscordDataset {
+    /// Space Shuttle Marotta Valve (TEK16)-like series.
+    MarottaValve,
+    /// Ann Gun gesture-like series.
+    AnnGun,
+    /// Patient respiration-like series.
+    PatientRespiration,
+    /// BIDMC Congestive Heart Failure record 15-like series.
+    BidmcChf,
+}
+
+impl DiscordDataset {
+    /// All datasets in Table 2 order.
+    pub const ALL: [DiscordDataset; 4] = [
+        DiscordDataset::MarottaValve,
+        DiscordDataset::AnnGun,
+        DiscordDataset::PatientRespiration,
+        DiscordDataset::BidmcChf,
+    ];
+
+    /// Dataset name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiscordDataset::MarottaValve => "Marotta Valve",
+            DiscordDataset::AnnGun => "Ann Gun",
+            DiscordDataset::PatientRespiration => "Patient Respiration",
+            DiscordDataset::BidmcChf => "BIDMC CHF",
+        }
+    }
+
+    /// Series length (Table 2).
+    pub fn length(&self) -> usize {
+        match self {
+            DiscordDataset::MarottaValve => 20_000,
+            DiscordDataset::AnnGun => 11_000,
+            DiscordDataset::PatientRespiration => 24_000,
+            DiscordDataset::BidmcChf => 15_000,
+        }
+    }
+
+    /// Anomaly length `ℓ_A` (Table 2).
+    pub fn anomaly_length(&self) -> usize {
+        match self {
+            DiscordDataset::MarottaValve => 1_000,
+            DiscordDataset::AnnGun => 800,
+            DiscordDataset::PatientRespiration => 800,
+            DiscordDataset::BidmcChf => 256,
+        }
+    }
+
+    /// Period of the normal cycle in the synthetic equivalent.
+    pub fn period(&self) -> usize {
+        match self {
+            DiscordDataset::MarottaValve => 1_000,
+            DiscordDataset::AnnGun => 800,
+            DiscordDataset::PatientRespiration => 400,
+            DiscordDataset::BidmcChf => 256,
+        }
+    }
+
+    /// Application domain (Table 2).
+    pub fn domain(&self) -> &'static str {
+        match self {
+            DiscordDataset::MarottaValve => "Aerospace engineering",
+            DiscordDataset::AnnGun => "Gesture recognition",
+            DiscordDataset::PatientRespiration => "Medicine",
+            DiscordDataset::BidmcChf => "Cardiology",
+        }
+    }
+}
+
+fn normal_template(dataset: DiscordDataset) -> crate::periodic::Template {
+    match dataset {
+        // Valve cycle: energised plateau with supply ripple, sharp transient,
+        // de-energised level with a weaker ripple.
+        DiscordDataset::MarottaValve => Box::new(|phase: f64| {
+            let tau = std::f64::consts::TAU;
+            if phase < 0.35 {
+                1.0 + 0.12 * (tau * 6.0 * phase).sin()
+            } else if phase < 0.45 {
+                // sharp ramp down with a transient spike
+                1.0 - (phase - 0.35) * 12.0 + 0.8 * (-((phase - 0.40) / 0.01).powi(2)).exp()
+            } else {
+                -0.2 + 0.10 * (tau * 6.0 * phase).sin()
+            }
+        }),
+        // Gesture: smooth lift, hold, return (asymmetric bump + small dip).
+        DiscordDataset::AnnGun => gaussian_bump_template(vec![
+            (0.30, 0.10, 1.0),
+            (0.55, 0.08, 0.85),
+            (0.80, 0.05, -0.25),
+        ]),
+        // Breathing: slow near-sinusoid with a slightly sharper inhale.
+        DiscordDataset::PatientRespiration => {
+            harmonic_template(vec![1.0, 0.25], vec![0.0, 0.8])
+        }
+        // ECG-like beat.
+        DiscordDataset::BidmcChf => gaussian_bump_template(vec![
+            (0.20, 0.04, 0.20),
+            (0.45, 0.015, 1.0),
+            (0.50, 0.015, -0.30),
+            (0.72, 0.06, 0.35),
+        ]),
+    }
+}
+
+fn anomaly_template(dataset: DiscordDataset) -> crate::periodic::Template {
+    match dataset {
+        // The anomalous valve cycle exhibits flutter: instead of the sharp
+        // energise/de-energise switch, the level oscillates while decaying
+        // (the distinctive ringing of the original TEK16 discord).
+        DiscordDataset::MarottaValve => Box::new(|phase: f64| {
+            let tau = std::f64::consts::TAU;
+            if phase < 0.3 {
+                1.0 - 0.3 * phase + 0.18 * (tau * 9.0 * phase).sin()
+            } else {
+                0.55 * (-(phase - 0.3) * 3.0).exp() * (1.0 + 0.5 * (tau * 14.0 * phase).sin())
+                    - 0.1
+            }
+        }),
+        // Missed holster: the return dip is replaced by a second, lower lift.
+        DiscordDataset::AnnGun => gaussian_bump_template(vec![
+            (0.25, 0.10, 1.0),
+            (0.55, 0.10, 0.40),
+            (0.80, 0.08, 0.55),
+        ]),
+        // Apnea-like pause followed by a deep recovery breath.
+        DiscordDataset::PatientRespiration => Box::new(|phase: f64| {
+            if phase < 0.5 {
+                0.05 * (std::f64::consts::TAU * phase).sin()
+            } else {
+                1.6 * (std::f64::consts::TAU * (phase - 0.5)).sin()
+            }
+        }),
+        // Ectopic wide beat.
+        DiscordDataset::BidmcChf => gaussian_bump_template(vec![
+            (0.35, 0.09, -0.6),
+            (0.55, 0.10, 1.3),
+            (0.75, 0.07, -0.35),
+        ]),
+    }
+}
+
+/// Generates the requested single-discord dataset with its Table 2 length and
+/// exactly one labelled anomaly.
+pub fn generate_discord_dataset(dataset: DiscordDataset, seed: u64) -> LabeledSeries {
+    generate_discord_dataset_with_length(dataset, dataset.length(), seed)
+}
+
+/// Generates the requested single-discord dataset with a custom length.
+pub fn generate_discord_dataset_with_length(
+    dataset: DiscordDataset,
+    length: usize,
+    seed: u64,
+) -> LabeledSeries {
+    generate(PeriodicConfig {
+        name: dataset.name().to_string(),
+        length,
+        period: dataset.period(),
+        template: normal_template(dataset),
+        amplitude_jitter: 0.03,
+        noise_ratio: 0.015,
+        trend_step_std: 0.0,
+        anomalies: vec![AnomalySpec {
+            count: 1,
+            length: dataset.anomaly_length(),
+            kind: AnomalyKind::Shape,
+            shape: anomaly_template(dataset),
+            blend: 1.0,
+        }],
+        seed: seed.wrapping_add(dataset.length() as u64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_matches_table2() {
+        assert_eq!(DiscordDataset::MarottaValve.length(), 20_000);
+        assert_eq!(DiscordDataset::MarottaValve.anomaly_length(), 1_000);
+        assert_eq!(DiscordDataset::AnnGun.length(), 11_000);
+        assert_eq!(DiscordDataset::AnnGun.anomaly_length(), 800);
+        assert_eq!(DiscordDataset::PatientRespiration.length(), 24_000);
+        assert_eq!(DiscordDataset::BidmcChf.anomaly_length(), 256);
+        assert_eq!(DiscordDataset::BidmcChf.domain(), "Cardiology");
+    }
+
+    #[test]
+    fn each_dataset_has_exactly_one_anomaly() {
+        for d in DiscordDataset::ALL {
+            let ls = generate_discord_dataset(d, 1);
+            assert_eq!(ls.anomaly_count(), 1, "{}", d.name());
+            assert_eq!(ls.len(), d.length(), "{}", d.name());
+            assert_eq!(ls.anomalies[0].length, d.anomaly_length(), "{}", d.name());
+            assert_eq!(ls.name, d.name());
+        }
+    }
+
+    #[test]
+    fn anomalous_cycle_differs_from_normal_cycle() {
+        for d in DiscordDataset::ALL {
+            let ls = generate_discord_dataset(d, 5);
+            let a = ls.anomalies[0];
+            let values = ls.series.values();
+            let window = &values[a.start..a.end()];
+            // Compare to a normal window of the same length away from the anomaly.
+            let normal_start = if a.start > 2 * a.length { a.start - 2 * a.length } else { a.end() + a.length };
+            let normal = &values[normal_start..normal_start + a.length];
+            let diff: f64 = window
+                .iter()
+                .zip(normal.iter())
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>()
+                / a.length as f64;
+            assert!(diff > 0.05, "{}: anomaly indistinguishable (diff={diff})", d.name());
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_discord_dataset(DiscordDataset::AnnGun, 42);
+        let b = generate_discord_dataset(DiscordDataset::AnnGun, 42);
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn custom_length_supported() {
+        let ls = generate_discord_dataset_with_length(DiscordDataset::MarottaValve, 50_000, 7);
+        assert_eq!(ls.len(), 50_000);
+        assert_eq!(ls.anomaly_count(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Ground-truth labelling of generated series.
+
+use s2g_timeseries::TimeSeries;
+
+/// The kind of injected anomaly. Mirrors the annotation vocabulary of the
+/// paper's datasets (MBA distinguishes supraventricular "S" and ventricular
+/// "V" premature beats; the other datasets have generic anomalies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Supraventricular premature beat (narrow, early heartbeat).
+    SupraventricularBeat,
+    /// Premature ventricular contraction (wide, high-amplitude beat).
+    VentricularBeat,
+    /// Generic shape anomaly (distorted cycle, missed gesture, etc.).
+    Shape,
+    /// Frequency/phase anomaly (the SRW sinusoid anomalies).
+    Frequency,
+}
+
+/// A labelled anomaly: a contiguous range `[start, start+length)` of the series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyRange {
+    /// First offset of the anomalous subsequence.
+    pub start: usize,
+    /// Length of the anomalous subsequence.
+    pub length: usize,
+    /// Kind of anomaly.
+    pub kind: AnomalyKind,
+}
+
+impl AnomalyRange {
+    /// Creates a new anomaly range.
+    pub fn new(start: usize, length: usize, kind: AnomalyKind) -> Self {
+        Self { start, length, kind }
+    }
+
+    /// End offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.length
+    }
+
+    /// `true` when `position` falls inside the range.
+    pub fn contains(&self, position: usize) -> bool {
+        position >= self.start && position < self.end()
+    }
+
+    /// `true` when the window `[other_start, other_start+other_len)` overlaps
+    /// this range by at least one point.
+    pub fn overlaps_window(&self, other_start: usize, other_len: usize) -> bool {
+        let other_end = other_start + other_len;
+        self.start < other_end && other_start < self.end()
+    }
+}
+
+/// A generated series together with its ground-truth anomaly ranges.
+#[derive(Debug, Clone)]
+pub struct LabeledSeries {
+    /// The data series.
+    pub series: TimeSeries,
+    /// Ground-truth anomaly ranges, sorted by start offset.
+    pub anomalies: Vec<AnomalyRange>,
+    /// Human-readable dataset name (e.g. `"MBA(803)"`).
+    pub name: String,
+}
+
+impl LabeledSeries {
+    /// Creates a labelled series, sorting the anomaly ranges by start offset.
+    pub fn new(name: impl Into<String>, series: TimeSeries, mut anomalies: Vec<AnomalyRange>) -> Self {
+        anomalies.sort_by_key(|a| a.start);
+        Self { series, anomalies, name: name.into() }
+    }
+
+    /// Number of labelled anomalies (the `k` of the paper's Top-k accuracy).
+    pub fn anomaly_count(&self) -> usize {
+        self.anomalies.len()
+    }
+
+    /// Length of the series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// `true` when the window starting at `start` with length `len` overlaps
+    /// any labelled anomaly.
+    pub fn window_is_anomalous(&self, start: usize, len: usize) -> bool {
+        self.anomalies.iter().any(|a| a.overlaps_window(start, len))
+    }
+
+    /// Returns a copy with the series truncated to its first `len` points and
+    /// labels clipped accordingly (used for prefix-training experiments).
+    pub fn truncated(&self, len: usize) -> LabeledSeries {
+        let series = self.series.prefix(len);
+        let anomalies =
+            self.anomalies.iter().copied().filter(|a| a.end() <= series.len()).collect();
+        LabeledSeries { series, anomalies, name: self.name.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_and_end() {
+        let r = AnomalyRange::new(10, 5, AnomalyKind::Shape);
+        assert_eq!(r.end(), 15);
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn window_overlap_rules() {
+        let r = AnomalyRange::new(100, 50, AnomalyKind::Shape);
+        assert!(r.overlaps_window(90, 20));
+        assert!(r.overlaps_window(140, 100));
+        assert!(r.overlaps_window(100, 50));
+        assert!(!r.overlaps_window(0, 100));
+        assert!(!r.overlaps_window(150, 10));
+    }
+
+    #[test]
+    fn labeled_series_sorts_and_counts() {
+        let ts = TimeSeries::zeros(1000);
+        let ls = LabeledSeries::new(
+            "toy",
+            ts,
+            vec![
+                AnomalyRange::new(500, 10, AnomalyKind::Shape),
+                AnomalyRange::new(100, 10, AnomalyKind::Frequency),
+            ],
+        );
+        assert_eq!(ls.anomaly_count(), 2);
+        assert_eq!(ls.anomalies[0].start, 100);
+        assert!(ls.window_is_anomalous(95, 10));
+        assert!(!ls.window_is_anomalous(0, 50));
+    }
+
+    #[test]
+    fn truncation_clips_labels() {
+        let ts = TimeSeries::zeros(1000);
+        let ls = LabeledSeries::new(
+            "toy",
+            ts,
+            vec![
+                AnomalyRange::new(100, 10, AnomalyKind::Shape),
+                AnomalyRange::new(900, 200, AnomalyKind::Shape),
+            ],
+        );
+        let cut = ls.truncated(500);
+        assert_eq!(cut.len(), 500);
+        assert_eq!(cut.anomaly_count(), 1);
+        assert_eq!(cut.anomalies[0].start, 100);
+    }
+}

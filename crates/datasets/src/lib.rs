@@ -1,0 +1,36 @@
+//! # s2g-datasets
+//!
+//! Dataset substrate for the Series2Graph evaluation.
+//!
+//! The paper evaluates on real recordings (MIT-BIH MBA electrocardiograms,
+//! NASA SED disk revolutions, the Keogh discord datasets) plus the SRW family
+//! of synthetic sinusoid + random-walk series. The raw recordings are not
+//! redistributable here, so this crate generates *synthetic equivalents* that
+//! preserve the structure the algorithms are sensitive to:
+//!
+//! * a strongly periodic normal background (heartbeats, disk revolutions,
+//!   valve cycles, breathing, gestures),
+//! * injected anomalies whose **shape** deviates from the normal cycle,
+//! * the same anomaly length, anomaly count and dataset length as Table 2,
+//! * recurrent (mutually similar) anomalies for the MBA-like datasets and
+//!   single isolated discords for the Keogh-like datasets.
+//!
+//! Every generator is deterministic given its `u64` seed.
+//!
+//! The [`catalog`] module enumerates the full Table 2 corpus so the benchmark
+//! harness can iterate over it exactly as the paper's Table 3 does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod keogh;
+pub mod labels;
+pub mod mba;
+pub mod noise;
+pub mod periodic;
+pub mod sed;
+pub mod srw;
+
+pub use catalog::{Dataset, DatasetSpec};
+pub use labels::{AnomalyKind, AnomalyRange, LabeledSeries};

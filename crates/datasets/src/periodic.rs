@@ -1,0 +1,288 @@
+//! Generic "periodic background + injected shape anomalies" generator.
+//!
+//! All real datasets of the paper share one structural skeleton: a strongly
+//! periodic normal regime (heartbeats, valve cycles, breathing, gestures,
+//! disk revolutions) in which a handful of cycles are replaced by cycles of a
+//! *different shape*. This module provides that skeleton; the dataset-specific
+//! modules ([`crate::mba`], [`crate::sed`], [`crate::keogh`]) only supply the
+//! cycle templates and the anomaly morphologies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use s2g_timeseries::TimeSeries;
+
+use crate::labels::{AnomalyKind, AnomalyRange, LabeledSeries};
+use crate::noise;
+
+/// A cycle template: produces one period of the signal given a phase in `[0, 1)`.
+pub type Template = Box<dyn Fn(f64) -> f64>;
+
+/// Description of one anomaly class to inject.
+pub struct AnomalySpec {
+    /// How many anomalies of this class to inject.
+    pub count: usize,
+    /// Length of the anomalous subsequence (`ℓ_A` of Table 2).
+    pub length: usize,
+    /// Kind recorded in the ground truth.
+    pub kind: AnomalyKind,
+    /// Shape of the anomalous segment, as a function of the phase in `[0, 1)`
+    /// over the anomaly length.
+    pub shape: Template,
+    /// Blend factor in `[0, 1]`: 1.0 fully replaces the background with the
+    /// anomalous shape, smaller values mix it with the normal signal
+    /// (subtler anomalies, used by the "Type S" heartbeats).
+    pub blend: f64,
+}
+
+/// Configuration for the periodic generator.
+pub struct PeriodicConfig {
+    /// Dataset name recorded in the output.
+    pub name: String,
+    /// Total series length.
+    pub length: usize,
+    /// Period of the normal cycle, in points.
+    pub period: usize,
+    /// Normal cycle shape as a function of phase in `[0, 1)`.
+    pub template: Template,
+    /// Amplitude jitter applied per cycle (relative, e.g. 0.05).
+    pub amplitude_jitter: f64,
+    /// Standard deviation of additive Gaussian noise relative to signal std.
+    pub noise_ratio: f64,
+    /// Standard deviation of the slow random-walk trend per step
+    /// (0.0 disables the trend).
+    pub trend_step_std: f64,
+    /// Anomaly classes to inject.
+    pub anomalies: Vec<AnomalySpec>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// Generates a labelled series from a periodic configuration.
+///
+/// The normal background is the template evaluated cyclically with a small
+/// per-cycle amplitude jitter; anomalies replace (or blend into) windows of
+/// the configured length at non-overlapping random positions; finally a
+/// random-walk trend and relative Gaussian noise are added on top.
+pub fn generate(config: PeriodicConfig) -> LabeledSeries {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.length;
+    let period = config.period.max(2);
+
+    // 1. Periodic background with per-cycle amplitude jitter.
+    let mut values = Vec::with_capacity(n);
+    let mut cycle_amp = 1.0;
+    for i in 0..n {
+        if i % period == 0 {
+            cycle_amp = 1.0 + noise::standard_normal(&mut rng) * config.amplitude_jitter;
+        }
+        let phase = (i % period) as f64 / period as f64;
+        values.push(cycle_amp * (config.template)(phase));
+    }
+
+    // 2. Inject anomalies at non-overlapping positions (also avoiding overlap
+    //    across anomaly classes).
+    let mut labels: Vec<AnomalyRange> = Vec::new();
+    let mut occupied: Vec<(usize, usize)> = Vec::new();
+    for spec in &config.anomalies {
+        let mut placed = 0usize;
+        let margin = spec.length.max(period);
+        let mut attempts = 0usize;
+        let max_attempts = spec.count * 400 + 1000;
+        while placed < spec.count && attempts < max_attempts {
+            attempts += 1;
+            if n <= 2 * margin + spec.length {
+                break;
+            }
+            let start = rng.gen_range(margin..n - spec.length - margin);
+            let clashes = occupied.iter().any(|&(s, l)| {
+                let gap = spec.length.max(l);
+                start < s + l + gap && s < start + spec.length + gap
+            });
+            if clashes {
+                continue;
+            }
+            for (offset, value) in values[start..start + spec.length].iter_mut().enumerate() {
+                let phase = offset as f64 / spec.length as f64;
+                let anomalous = (spec.shape)(phase);
+                *value = spec.blend * anomalous + (1.0 - spec.blend) * *value;
+            }
+            occupied.push((start, spec.length));
+            labels.push(AnomalyRange::new(start, spec.length, spec.kind));
+            placed += 1;
+        }
+    }
+
+    // 3. Slow trend + relative noise.
+    if config.trend_step_std > 0.0 {
+        let trend = noise::random_walk(&mut rng, n, config.trend_step_std);
+        for (v, t) in values.iter_mut().zip(trend.iter()) {
+            *v += t;
+        }
+    }
+    noise::add_relative_noise(&mut rng, &mut values, config.noise_ratio);
+
+    LabeledSeries::new(config.name, TimeSeries::from(values), labels)
+}
+
+/// A convenience sine template with the given harmonic content, usable by
+/// several dataset modules: `sum_k amps[k] * sin(2π·(k+1)·phase + phases[k])`.
+pub fn harmonic_template(amps: Vec<f64>, phases: Vec<f64>) -> Template {
+    Box::new(move |phase| {
+        amps.iter()
+            .zip(phases.iter())
+            .enumerate()
+            .map(|(k, (a, p))| a * (std::f64::consts::TAU * (k as f64 + 1.0) * phase + p).sin())
+            .sum()
+    })
+}
+
+/// A template made of Gaussian bumps: each `(center, width, amplitude)` adds
+/// `amplitude · exp(−(phase−center)²/(2·width²))`. This is the classical
+/// synthetic-ECG construction (P, Q, R, S, T waves as bumps).
+pub fn gaussian_bump_template(bumps: Vec<(f64, f64, f64)>) -> Template {
+    Box::new(move |phase| {
+        bumps
+            .iter()
+            .map(|&(center, width, amp)| {
+                let d = phase - center;
+                amp * (-(d * d) / (2.0 * width * width)).exp()
+            })
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config(anomalies: Vec<AnomalySpec>) -> PeriodicConfig {
+        PeriodicConfig {
+            name: "test".into(),
+            length: 20_000,
+            period: 100,
+            template: harmonic_template(vec![1.0], vec![0.0]),
+            amplitude_jitter: 0.02,
+            noise_ratio: 0.0,
+            trend_step_std: 0.0,
+            anomalies,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn background_is_periodic() {
+        let ls = generate(base_config(vec![]));
+        assert_eq!(ls.len(), 20_000);
+        assert_eq!(ls.anomaly_count(), 0);
+        // Autocorrelation at one period should be strongly positive.
+        let v = ls.series.values();
+        let mut corr = 0.0;
+        for i in 0..1000 {
+            corr += v[i] * v[i + 100];
+        }
+        assert!(corr > 0.0);
+    }
+
+    #[test]
+    fn anomalies_are_injected_and_labelled() {
+        let spec = AnomalySpec {
+            count: 10,
+            length: 150,
+            kind: AnomalyKind::Shape,
+            shape: Box::new(|p| 5.0 * (std::f64::consts::TAU * 3.0 * p).sin()),
+            blend: 1.0,
+        };
+        let ls = generate(base_config(vec![spec]));
+        assert_eq!(ls.anomaly_count(), 10);
+        for a in &ls.anomalies {
+            assert_eq!(a.length, 150);
+            assert!(a.end() <= ls.len());
+        }
+        // Labels must be pairwise non-overlapping.
+        for (i, a) in ls.anomalies.iter().enumerate() {
+            for b in ls.anomalies.iter().skip(i + 1) {
+                assert!(!a.overlaps_window(b.start, b.length));
+            }
+        }
+    }
+
+    #[test]
+    fn anomalous_windows_differ_from_normal_ones() {
+        let spec = AnomalySpec {
+            count: 5,
+            length: 100,
+            kind: AnomalyKind::Shape,
+            shape: Box::new(|_| 4.0),
+            blend: 1.0,
+        };
+        let ls = generate(base_config(vec![spec]));
+        for a in &ls.anomalies {
+            let window = &ls.series.values()[a.start..a.end()];
+            let mean: f64 = window.iter().sum::<f64>() / window.len() as f64;
+            assert!((mean - 4.0).abs() < 0.5, "anomalous window mean {mean}");
+        }
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let mk = || {
+            generate(base_config(vec![AnomalySpec {
+                count: 3,
+                length: 80,
+                kind: AnomalyKind::Shape,
+                shape: Box::new(|p| p),
+                blend: 1.0,
+            }]))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.anomalies, b.anomalies);
+    }
+
+    #[test]
+    fn noise_and_trend_change_signal_but_not_labels() {
+        let mut cfg = base_config(vec![AnomalySpec {
+            count: 4,
+            length: 120,
+            kind: AnomalyKind::Shape,
+            shape: Box::new(|p| (p * 20.0).sin() * 3.0),
+            blend: 1.0,
+        }]);
+        cfg.noise_ratio = 0.1;
+        cfg.trend_step_std = 0.01;
+        let ls = generate(cfg);
+        assert_eq!(ls.anomaly_count(), 4);
+        // Trend makes the series wander away from a zero mean over time.
+        let head_mean: f64 =
+            ls.series.values()[..500].iter().sum::<f64>() / 500.0;
+        let tail_mean: f64 =
+            ls.series.values()[ls.len() - 500..].iter().sum::<f64>() / 500.0;
+        // They should typically differ (random walk), but we only check the
+        // series remained finite and labelled consistently.
+        assert!(head_mean.is_finite() && tail_mean.is_finite());
+    }
+
+    #[test]
+    fn gaussian_bump_template_peaks_at_center() {
+        let t = gaussian_bump_template(vec![(0.5, 0.05, 2.0)]);
+        assert!(t(0.5) > t(0.3));
+        assert!(t(0.5) > t(0.7));
+        assert!((t(0.5) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_small_series_yields_fewer_anomalies_without_panic() {
+        let mut cfg = base_config(vec![AnomalySpec {
+            count: 50,
+            length: 5_000,
+            kind: AnomalyKind::Shape,
+            shape: Box::new(|_| 1.0),
+            blend: 1.0,
+        }]);
+        cfg.length = 8_000;
+        let ls = generate(cfg);
+        assert!(ls.anomaly_count() < 50);
+    }
+}

@@ -1,0 +1,27 @@
+//! # s2g-eval
+//!
+//! Evaluation harness for subsequence anomaly detection, following the
+//! protocol of the Series2Graph paper:
+//!
+//! * [`topk`] — **Top-k accuracy**: the fraction of the `k` highest-scoring,
+//!   mutually non-overlapping subsequences that overlap a labelled anomaly,
+//!   with `k` set to the number of labelled anomalies (the metric of Table 3
+//!   and Figures 6–7).
+//! * [`metrics`] — precision@k / recall@k, and AUC-ROC / AUC-PR over
+//!   point-wise labels, useful for finer-grained comparisons and ablations.
+//! * [`table`] — small fixed-width / markdown table renderer used by the
+//!   experiment binaries to print paper-style tables.
+//!
+//! The crate is detector-agnostic: every detector (Series2Graph and all the
+//! baselines) produces a score per subsequence start offset with the
+//! convention "higher = more anomalous", and the functions here consume those
+//! profiles together with ground-truth anomaly ranges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod table;
+pub mod topk;
+
+pub use topk::{top_k_accuracy, top_k_hits, GroundTruth};

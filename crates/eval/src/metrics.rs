@@ -1,0 +1,181 @@
+//! Additional accuracy metrics: precision/recall at k and area-under-curve
+//! metrics over point-wise labels. These complement the paper's Top-k
+//! accuracy for ablation studies and finer-grained comparisons.
+
+use crate::topk::GroundTruth;
+use s2g_timeseries::window;
+
+/// Precision@k: fraction of the top-k detections that overlap an anomaly
+/// (detections hitting the same anomaly all count as correct — this is the
+/// "how many of my alarms were real" view).
+pub fn precision_at_k(scores: &[f64], window_len: usize, truth: &GroundTruth, k: usize) -> f64 {
+    if k == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let picks = window::top_k_non_overlapping(scores, k, window_len);
+    if picks.is_empty() {
+        return 0.0;
+    }
+    let hits =
+        picks.iter().filter(|&&p| truth.window_overlaps_anomaly(p, window_len)).count();
+    hits as f64 / picks.len() as f64
+}
+
+/// Recall@k: fraction of the labelled anomalies that are hit by at least one
+/// of the top-k detections.
+pub fn recall_at_k(scores: &[f64], window_len: usize, truth: &GroundTruth, k: usize) -> f64 {
+    if truth.is_empty() || scores.is_empty() {
+        return 0.0;
+    }
+    let picks = window::top_k_non_overlapping(scores, k, window_len);
+    let mut hit = std::collections::BTreeSet::new();
+    for p in picks {
+        if let Some(idx) = truth.matching_anomaly(p, window_len) {
+            hit.insert(idx);
+        }
+    }
+    hit.len() as f64 / truth.count() as f64
+}
+
+/// Converts subsequence scores and ground-truth ranges into point-wise
+/// (score, label) pairs: each subsequence start is labelled positive when the
+/// window overlaps an anomaly.
+pub fn pointwise_labels(scores: &[f64], window_len: usize, truth: &GroundTruth) -> Vec<(f64, bool)> {
+    scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, truth.window_overlaps_anomaly(i, window_len)))
+        .collect()
+}
+
+/// Area under the ROC curve computed by the rank-sum (Mann–Whitney) method.
+/// Returns 0.5 when either class is empty.
+pub fn auc_roc(pairs: &[(f64, bool)]) -> f64 {
+    let positives = pairs.iter().filter(|(_, y)| *y).count();
+    let negatives = pairs.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Rank all scores (average ranks for ties).
+    let mut indexed: Vec<(f64, bool)> = pairs.to_vec();
+    indexed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0usize;
+    let n = indexed.len();
+    let mut rank = 1.0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && indexed[j + 1].0 == indexed[i].0 {
+            j += 1;
+        }
+        let avg_rank = (rank + rank + (j - i) as f64) / 2.0;
+        for item in indexed.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        rank += (j - i + 1) as f64;
+        i = j + 1;
+    }
+    let p = positives as f64;
+    let q = negatives as f64;
+    (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * q)
+}
+
+/// Area under the precision–recall curve (average precision).
+pub fn auc_pr(pairs: &[(f64, bool)]) -> f64 {
+    let positives = pairs.iter().filter(|(_, y)| *y).count();
+    if positives == 0 || pairs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<(f64, bool)> = pairs.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    for (i, (_, label)) in sorted.iter().enumerate() {
+        if *label {
+            tp += 1;
+            ap += tp as f64 / (i + 1) as f64;
+        }
+    }
+    ap / positives as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new(vec![(100, 50), (500, 50)])
+    }
+
+    #[test]
+    fn precision_and_recall_perfect_case() {
+        let mut scores = vec![0.0; 800];
+        scores[110] = 2.0;
+        scores[510] = 1.5;
+        assert!((precision_at_k(&scores, 50, &truth(), 2) - 1.0).abs() < 1e-12);
+        assert!((recall_at_k(&scores, 50, &truth(), 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_counts_false_alarms() {
+        let mut scores = vec![0.0; 800];
+        scores[110] = 2.0; // hit
+        scores[300] = 1.5; // false alarm
+        assert!((precision_at_k(&scores, 50, &truth(), 2) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&scores, 50, &truth(), 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(precision_at_k(&[], 50, &truth(), 2), 0.0);
+        assert_eq!(precision_at_k(&[1.0], 50, &truth(), 0), 0.0);
+        assert_eq!(recall_at_k(&[1.0], 50, &GroundTruth::default(), 2), 0.0);
+    }
+
+    #[test]
+    fn auc_roc_perfect_and_random() {
+        // Perfect separation.
+        let pairs: Vec<(f64, bool)> =
+            (0..100).map(|i| (i as f64, i >= 90)).collect();
+        assert!((auc_roc(&pairs) - 1.0).abs() < 1e-12);
+        // Inverted separation.
+        let pairs: Vec<(f64, bool)> =
+            (0..100).map(|i| (i as f64, i < 10)).collect();
+        assert!(auc_roc(&pairs) < 0.01);
+        // Single class.
+        let pairs: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, false)).collect();
+        assert_eq!(auc_roc(&pairs), 0.5);
+    }
+
+    #[test]
+    fn auc_roc_handles_ties() {
+        let pairs = vec![(1.0, false), (1.0, true), (1.0, false), (1.0, true)];
+        assert!((auc_roc(&pairs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_pr_behaviour() {
+        let pairs: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, i >= 95)).collect();
+        assert!((auc_pr(&pairs) - 1.0).abs() < 1e-12);
+        assert_eq!(auc_pr(&[]), 0.0);
+        assert_eq!(auc_pr(&[(1.0, false)]), 0.0);
+        // Random-ish scores give PR roughly equal to the positive rate.
+        let pairs: Vec<(f64, bool)> =
+            (0..1000).map(|i| (((i * 37) % 1000) as f64, i % 10 == 0)).collect();
+        let pr = auc_pr(&pairs);
+        assert!(pr > 0.03 && pr < 0.3, "pr = {pr}");
+    }
+
+    #[test]
+    fn pointwise_labels_align_with_truth() {
+        let scores = vec![0.0; 200];
+        let labels = pointwise_labels(&scores, 50, &GroundTruth::new(vec![(100, 20)]));
+        assert_eq!(labels.len(), 200);
+        assert!(labels[60].1); // window [60,110) overlaps [100,120)
+        assert!(!labels[0].1);
+        assert!(labels[119].1);
+        assert!(!labels[120].1);
+    }
+}

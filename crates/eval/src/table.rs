@@ -1,0 +1,131 @@
+//! Minimal table rendering for the experiment binaries (paper-style tables
+//! printed to stdout and dumped as markdown into EXPERIMENTS.md).
+
+/// A simple table: a header row plus data rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (extra cells are dropped, missing cells padded with "").
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with fixed-width columns (for terminal output).
+    pub fn to_fixed_width(&self) -> String {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats an accuracy value the way the paper's tables do (two decimals).
+pub fn fmt_accuracy(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds < 0.1 {
+        format!("{:.1}ms", seconds * 1000.0)
+    } else if seconds < 10.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{seconds:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_builds_and_pads_rows() {
+        let mut t = Table::new(vec!["dataset", "S2G", "STOMP"]);
+        t.push_row(vec!["SED", "1.00", "0.73"]);
+        t.push_row(vec!["MBA(803)"]); // short row gets padded
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.to_fixed_width();
+        assert!(text.contains("dataset"));
+        assert!(text.contains("SED"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_accuracy(0.955), "0.95");
+        assert_eq!(fmt_accuracy(1.0), "1.00");
+        assert_eq!(fmt_seconds(0.01234), "12.3ms");
+        assert_eq!(fmt_seconds(1.5), "1.50s");
+        assert_eq!(fmt_seconds(75.0), "75.0s");
+    }
+}

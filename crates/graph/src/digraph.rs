@@ -1,0 +1,261 @@
+//! Directed weighted graph with cumulative edge weights.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+
+/// Identifier of a node inside a [`DiGraph`]. Node ids are dense indices
+/// assigned in insertion order.
+pub type NodeId = usize;
+
+/// A borrowed view of one edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRef {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Cumulative weight (number of observed transitions).
+    pub weight: f64,
+}
+
+/// A directed graph with weighted edges and optional per-node payloads.
+///
+/// Adding the same `(from, to)` pair repeatedly accumulates the edge weight,
+/// which matches how Series2Graph counts transitions: the weight of an edge
+/// is the number of times the corresponding pair of subsequences was observed
+/// one after the other in the input series.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// Outgoing adjacency: `out[u][v] = w(u, v)`.
+    out_edges: Vec<BTreeMap<NodeId, f64>>,
+    /// Incoming adjacency: `incoming[v][u] = w(u, v)`.
+    in_edges: Vec<BTreeMap<NodeId, f64>>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self { out_edges: vec![BTreeMap::new(); n], in_edges: vec![BTreeMap::new(); n] }
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out_edges.push(BTreeMap::new());
+        self.in_edges.push(BTreeMap::new());
+        self.out_edges.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(|m| m.len()).sum()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out_edges.is_empty()
+    }
+
+    /// Returns `true` if `node` is a valid node id.
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node < self.out_edges.len()
+    }
+
+    /// Adds `weight` to the edge `from -> to`, creating it if needed.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`] when either endpoint does not exist.
+    pub fn add_edge_weight(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<()> {
+        if !self.contains_node(from) {
+            return Err(Error::UnknownNode(from));
+        }
+        if !self.contains_node(to) {
+            return Err(Error::UnknownNode(to));
+        }
+        *self.out_edges[from].entry(to).or_insert(0.0) += weight;
+        *self.in_edges[to].entry(from).or_insert(0.0) += weight;
+        Ok(())
+    }
+
+    /// Records one observation of the transition `from -> to`
+    /// (adds weight 1 to the edge).
+    pub fn record_transition(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.add_edge_weight(from, to, 1.0)
+    }
+
+    /// Weight of the edge `from -> to`, or `None` when absent.
+    pub fn edge_weight(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        self.out_edges.get(from).and_then(|m| m.get(&to)).copied()
+    }
+
+    /// Out-degree of a node: number of distinct outgoing edges.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_edges.get(node).map_or(0, |m| m.len())
+    }
+
+    /// In-degree of a node: number of distinct incoming edges.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_edges.get(node).map_or(0, |m| m.len())
+    }
+
+    /// Total degree `deg(N)`: number of distinct edges adjacent to the node
+    /// (incoming plus outgoing), as used by the normality score
+    /// `w(e)·(deg(N)−1)`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_degree(node) + self.in_degree(node)
+    }
+
+    /// Sum of the weights of the outgoing edges of a node.
+    pub fn out_strength(&self, node: NodeId) -> f64 {
+        self.out_edges.get(node).map_or(0.0, |m| m.values().sum())
+    }
+
+    /// Sum of the weights of the incoming edges of a node.
+    pub fn in_strength(&self, node: NodeId) -> f64 {
+        self.in_edges.get(node).map_or(0.0, |m| m.values().sum())
+    }
+
+    /// Iterator over the outgoing edges of a node.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out_edges
+            .get(node)
+            .into_iter()
+            .flat_map(move |m| m.iter().map(move |(&to, &weight)| EdgeRef { from: node, to, weight }))
+    }
+
+    /// Iterator over every edge in the graph.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        (0..self.node_count()).flat_map(move |n| self.out_edges(n))
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count()
+    }
+
+    /// Total weight over all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges().map(|e| e.weight).sum()
+    }
+
+    /// Maximum edge weight in the graph (0.0 for an edgeless graph).
+    pub fn max_edge_weight(&self) -> f64 {
+        self.edges().map(|e| e.weight).fold(0.0, f64::max)
+    }
+
+    /// Returns the ids of nodes with at least one adjacent edge.
+    pub fn connected_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.degree(n) > 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DiGraph {
+        let mut g = DiGraph::with_nodes(3);
+        g.record_transition(0, 1).unwrap();
+        g.record_transition(1, 2).unwrap();
+        g.record_transition(2, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(g.node_count(), 2);
+        g.record_transition(a, b).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(a, b), Some(1.0));
+        assert_eq!(g.edge_weight(b, a), None);
+    }
+
+    #[test]
+    fn repeated_transitions_accumulate_weight() {
+        let mut g = DiGraph::with_nodes(2);
+        for _ in 0..5 {
+            g.record_transition(0, 1).unwrap();
+        }
+        assert_eq!(g.edge_weight(0, 1), Some(5.0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = DiGraph::with_nodes(1);
+        assert_eq!(g.record_transition(0, 3), Err(Error::UnknownNode(3)));
+        assert_eq!(g.record_transition(7, 0), Err(Error::UnknownNode(7)));
+    }
+
+    #[test]
+    fn degrees_count_distinct_edges() {
+        let mut g = DiGraph::with_nodes(4);
+        g.record_transition(0, 1).unwrap();
+        g.record_transition(0, 1).unwrap(); // same edge, still degree 1 contribution
+        g.record_transition(0, 2).unwrap();
+        g.record_transition(3, 0).unwrap();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn self_loop_counts_in_both_directions() {
+        let mut g = DiGraph::with_nodes(1);
+        g.record_transition(0, 0).unwrap();
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edge_weight(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn strengths_sum_weights() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge_weight(0, 1, 2.0).unwrap();
+        g.add_edge_weight(0, 2, 3.0).unwrap();
+        g.add_edge_weight(1, 0, 4.0).unwrap();
+        assert_eq!(g.out_strength(0), 5.0);
+        assert_eq!(g.in_strength(0), 4.0);
+    }
+
+    #[test]
+    fn edge_iteration_covers_all() {
+        let g = triangle();
+        let edges: Vec<EdgeRef> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|e| e.weight == 1.0));
+        assert_eq!(g.max_edge_weight(), 1.0);
+    }
+
+    #[test]
+    fn out_edges_of_missing_node_is_empty() {
+        let g = triangle();
+        assert_eq!(g.out_edges(99).count(), 0);
+        assert_eq!(g.degree(99), 0);
+    }
+
+    #[test]
+    fn connected_nodes_excludes_isolated() {
+        let mut g = DiGraph::with_nodes(5);
+        g.record_transition(1, 3).unwrap();
+        assert_eq!(g.connected_nodes(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the graph model.
+
+use std::fmt;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the graph model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A node id referenced by an operation does not exist in the graph.
+    UnknownNode(usize),
+    /// An edge referenced by an operation does not exist in the graph.
+    UnknownEdge {
+        /// Source node id.
+        from: usize,
+        /// Destination node id.
+        to: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            Error::UnknownEdge { from, to } => write!(f, "unknown edge {from} -> {to}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::UnknownNode(3).to_string().contains('3'));
+        assert!(Error::UnknownEdge { from: 1, to: 2 }.to_string().contains("1 -> 2"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the linear-algebra kernels.
+
+use std::fmt;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// The matrix is empty where data was required.
+    EmptyMatrix,
+    /// Requested more components than the data supports.
+    TooManyComponents {
+        /// Requested number of components.
+        requested: usize,
+        /// Maximum supported by the input (min(rows, cols)).
+        available: usize,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence(&'static str),
+    /// A model was used before being fitted.
+    NotFitted(&'static str),
+    /// An input that must be non-empty was empty.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::EmptyMatrix => write!(f, "matrix must not be empty"),
+            Error::TooManyComponents { requested, available } => {
+                write!(f, "requested {requested} components but only {available} are available")
+            }
+            Error::NoConvergence(what) => write!(f, "{what} did not converge"),
+            Error::NotFitted(what) => write!(f, "{what} used before fit()"),
+            Error::EmptyInput(what) => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::ShapeMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(Error::EmptyMatrix.to_string().contains("empty"));
+        assert!(Error::TooManyComponents { requested: 5, available: 2 }
+            .to_string()
+            .contains('5'));
+        assert!(Error::NotFitted("pca").to_string().contains("pca"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Gaussian kernel density estimation and local-maxima extraction.
+//!
+//! The node-extraction step of Series2Graph (Algorithm 2) estimates, for each
+//! angular ray ψ, the density of the radii at which the embedded trajectory
+//! crosses that ray, and places one node at every local maximum of that
+//! density. The bandwidth follows Scott's rule `h = σ(I)·|I|^(-1/5)`,
+//! optionally scaled by a user-provided ratio (Figure 7(a) of the paper
+//! sweeps this ratio).
+
+use crate::error::{Error, Result};
+
+/// Scott's rule-of-thumb bandwidth: `σ · n^(-1/5)`.
+///
+/// Returns a small positive floor when the sample is constant so the KDE
+/// remains well defined.
+pub fn scott_bandwidth(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let sigma = var.sqrt();
+    let h = sigma * n.powf(-0.2);
+    if h <= f64::EPSILON {
+        1e-6
+    } else {
+        h
+    }
+}
+
+/// A Gaussian kernel density estimator over a 1-D sample.
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Builds a KDE with Scott's bandwidth.
+    ///
+    /// # Errors
+    /// [`Error::EmptyInput`] when `samples` is empty.
+    pub fn new(samples: Vec<f64>) -> Result<Self> {
+        let h = scott_bandwidth(&samples);
+        Self::with_bandwidth(samples, h)
+    }
+
+    /// Builds a KDE with an explicit bandwidth (must be positive).
+    ///
+    /// # Errors
+    /// [`Error::EmptyInput`] when `samples` is empty or the bandwidth is not positive.
+    pub fn with_bandwidth(samples: Vec<f64>, bandwidth: f64) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(Error::EmptyInput("KDE samples"));
+        }
+        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+            return Err(Error::EmptyInput("KDE bandwidth"));
+        }
+        Ok(Self { samples, bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of samples backing the estimate.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the estimator holds no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Evaluates the density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let n = self.samples.len() as f64;
+        let h = self.bandwidth;
+        let norm = 1.0 / (n * h * (std::f64::consts::TAU).sqrt());
+        let mut acc = 0.0;
+        for &s in &self.samples {
+            let z = (x - s) / h;
+            acc += (-0.5 * z * z).exp();
+        }
+        norm * acc
+    }
+
+    /// Evaluates the density on a regular grid of `points` values spanning the
+    /// sample range expanded by three bandwidths on each side. Returns the
+    /// grid positions and the density values.
+    pub fn density_grid(&self, points: usize) -> (Vec<f64>, Vec<f64>) {
+        let points = points.max(2);
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let hi =
+            self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let step = (hi - lo) / (points - 1) as f64;
+        let xs: Vec<f64> = (0..points).map(|i| lo + step * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ys)
+    }
+
+    /// Finds the positions of the local maxima of the density evaluated on a
+    /// grid of `points` values (end points count as maxima when they dominate
+    /// their single neighbour). Always returns at least one position — the
+    /// global maximum — even for unimodal flat-ish densities.
+    pub fn local_maxima(&self, points: usize) -> Vec<f64> {
+        let (xs, ys) = self.density_grid(points);
+        let mut maxima = Vec::new();
+        for i in 0..ys.len() {
+            let left = if i == 0 { f64::NEG_INFINITY } else { ys[i - 1] };
+            let right = if i + 1 == ys.len() { f64::NEG_INFINITY } else { ys[i + 1] };
+            if ys[i] > left && ys[i] >= right && ys[i] > 0.0 {
+                maxima.push(xs[i]);
+            }
+        }
+        if maxima.is_empty() {
+            // Perfectly flat grid (pathological): fall back to the global max.
+            if let Some((idx, _)) = ys
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                maxima.push(xs[idx]);
+            }
+        }
+        maxima
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scott_bandwidth_scales_with_sigma() {
+        let narrow: Vec<f64> = (0..100).map(|i| (i % 10) as f64 * 0.01).collect();
+        let wide: Vec<f64> = (0..100).map(|i| (i % 10) as f64 * 10.0).collect();
+        assert!(scott_bandwidth(&wide) > scott_bandwidth(&narrow));
+        assert!(scott_bandwidth(&[]) > 0.0);
+        assert!(scott_bandwidth(&[3.0, 3.0, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let samples = vec![-1.0, 0.0, 0.5, 2.0, 2.2, 2.4];
+        let kde = GaussianKde::new(samples).unwrap();
+        let (xs, ys) = kde.density_grid(2000);
+        let step = xs[1] - xs[0];
+        let integral: f64 = ys.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.02, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_sample_cluster() {
+        let mut samples = vec![0.0; 50];
+        samples.extend(vec![10.0; 5]);
+        let kde = GaussianKde::new(samples).unwrap();
+        assert!(kde.density(0.0) > kde.density(10.0));
+        assert!(kde.density(10.0) > kde.density(5.0));
+    }
+
+    #[test]
+    fn bimodal_sample_yields_two_maxima() {
+        let mut samples: Vec<f64> = (0..60).map(|i| (i % 7) as f64 * 0.05).collect();
+        samples.extend((0..60).map(|i| 8.0 + (i % 7) as f64 * 0.05));
+        let kde = GaussianKde::new(samples).unwrap();
+        let maxima = kde.local_maxima(400);
+        assert!(maxima.len() >= 2, "expected >= 2 maxima, got {maxima:?}");
+        assert!(maxima.iter().any(|&m| (m - 0.15).abs() < 1.0));
+        assert!(maxima.iter().any(|&m| (m - 8.15).abs() < 1.0));
+    }
+
+    #[test]
+    fn large_bandwidth_merges_modes() {
+        let mut samples: Vec<f64> = vec![0.0; 30];
+        samples.extend(vec![4.0; 30]);
+        let wide = GaussianKde::with_bandwidth(samples.clone(), 10.0).unwrap();
+        assert_eq!(wide.local_maxima(300).len(), 1);
+        let narrow = GaussianKde::with_bandwidth(samples, 0.2).unwrap();
+        assert!(narrow.local_maxima(300).len() >= 2);
+    }
+
+    #[test]
+    fn single_sample_has_single_maximum_at_sample() {
+        let kde = GaussianKde::with_bandwidth(vec![3.5], 0.5).unwrap();
+        let maxima = kde.local_maxima(200);
+        assert_eq!(maxima.len(), 1);
+        assert!((maxima[0] - 3.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_empty_or_bad_bandwidth() {
+        assert!(GaussianKde::new(vec![]).is_err());
+        assert!(GaussianKde::with_bandwidth(vec![1.0], 0.0).is_err());
+        assert!(GaussianKde::with_bandwidth(vec![1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn local_maxima_never_empty() {
+        let kde = GaussianKde::with_bandwidth(vec![1.0, 1.0, 1.0], 1e-6).unwrap();
+        assert!(!kde.local_maxima(50).is_empty());
+    }
+}

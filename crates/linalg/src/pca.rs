@@ -1,0 +1,290 @@
+//! Principal component analysis used for the 3-dimensional reduction of the
+//! subsequence projection matrix `Proj(T, ℓ, λ)`.
+
+use crate::eigen::symmetric_eigen;
+use crate::error::{Error, Result};
+use crate::matrix::DMatrix;
+use crate::svd::{randomized_svd, RandomizedSvdOptions};
+
+/// Which solver computes the principal directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcaSolver {
+    /// Exact eigen-decomposition of the `d × d` covariance matrix. Best when
+    /// `d = ℓ − λ` is small (the common case, tens of columns).
+    Covariance,
+    /// Randomized truncated SVD (Halko et al.), matching the method cited by
+    /// the paper; preferable when `d` grows to hundreds of columns.
+    RandomizedSvd {
+        /// Extra sketch columns beyond the requested rank.
+        oversample: usize,
+        /// Number of power iterations.
+        power_iterations: usize,
+        /// Random seed for the Gaussian test matrix.
+        seed: u64,
+    },
+}
+
+impl Default for PcaSolver {
+    fn default() -> Self {
+        PcaSolver::Covariance
+    }
+}
+
+/// A fitted PCA model: column means plus the top-`k` principal directions.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `d × k` matrix whose columns are the principal directions.
+    components: DMatrix,
+    explained_variance: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits a PCA with `k` components on the rows of `data` using the default
+    /// (covariance) solver.
+    pub fn fit(data: &DMatrix, k: usize) -> Result<Self> {
+        Self::fit_with(data, k, PcaSolver::Covariance)
+    }
+
+    /// Fits a PCA with `k` components using the requested solver.
+    ///
+    /// # Errors
+    /// * [`Error::EmptyMatrix`] for empty input.
+    /// * [`Error::TooManyComponents`] when `k > min(n, d)`.
+    pub fn fit_with(data: &DMatrix, k: usize, solver: PcaSolver) -> Result<Self> {
+        let (n, d) = data.shape();
+        if n == 0 || d == 0 {
+            return Err(Error::EmptyMatrix);
+        }
+        if k == 0 || k > n.min(d) {
+            return Err(Error::TooManyComponents { requested: k, available: n.min(d) });
+        }
+
+        let (centered, mean) = data.centered();
+        let denom = (n.max(2) - 1) as f64;
+
+        match solver {
+            PcaSolver::Covariance => {
+                let mut cov = centered.gram();
+                cov.scale_in_place(1.0 / denom);
+                let eig = symmetric_eigen(&cov)?;
+                let total_variance: f64 = eig.eigenvalues.iter().map(|v| v.max(0.0)).sum();
+                let mut components = DMatrix::zeros(d, k);
+                let mut explained = Vec::with_capacity(k);
+                for c in 0..k {
+                    explained.push(eig.eigenvalues[c].max(0.0));
+                    for r in 0..d {
+                        components.set(r, c, eig.eigenvectors.get(r, c));
+                    }
+                }
+                Ok(Self { mean, components, explained_variance: explained, total_variance })
+            }
+            PcaSolver::RandomizedSvd { oversample, power_iterations, seed } => {
+                let svd = randomized_svd(
+                    &centered,
+                    RandomizedSvdOptions { rank: k, oversample, power_iterations, seed },
+                )?;
+                let explained: Vec<f64> =
+                    svd.singular_values.iter().map(|s| (s * s) / denom).collect();
+                // Total variance from the centred data directly (cheap single pass).
+                let total_variance =
+                    centered.as_slice().iter().map(|x| x * x).sum::<f64>() / denom;
+                Ok(Self {
+                    mean,
+                    components: svd.v,
+                    explained_variance: explained,
+                    total_variance,
+                })
+            }
+        }
+    }
+
+    /// Number of components kept.
+    pub fn n_components(&self) -> usize {
+        self.components.ncols()
+    }
+
+    /// Input dimensionality the model was fitted on.
+    pub fn input_dim(&self) -> usize {
+        self.components.nrows()
+    }
+
+    /// Column means subtracted before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The principal directions as a `d × k` matrix (columns are directions).
+    pub fn components(&self) -> &DMatrix {
+        &self.components
+    }
+
+    /// Variance captured by each kept component.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of the total variance captured by the kept components
+    /// (the paper reports ≈95% on average for 3 components over its corpus).
+    pub fn explained_variance_ratio(&self) -> f64 {
+        if self.total_variance <= 0.0 {
+            return 0.0;
+        }
+        self.explained_variance.iter().sum::<f64>() / self.total_variance
+    }
+
+    /// Projects a single row vector into the component space.
+    ///
+    /// # Errors
+    /// [`Error::ShapeMismatch`] when `x.len()` differs from the fitted dimensionality.
+    pub fn transform_row(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let d = self.components.nrows();
+        if x.len() != d {
+            return Err(Error::ShapeMismatch {
+                op: "pca_transform",
+                left: (1, x.len()),
+                right: (d, self.components.ncols()),
+            });
+        }
+        let k = self.components.ncols();
+        let mut out = vec![0.0; k];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..d {
+                acc += (x[i] - self.mean[i]) * self.components.get(i, j);
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Projects every row of `data` into the component space, returning an
+    /// `n × k` matrix.
+    pub fn transform(&self, data: &DMatrix) -> Result<DMatrix> {
+        let (n, d) = data.shape();
+        if d != self.components.nrows() {
+            return Err(Error::ShapeMismatch {
+                op: "pca_transform",
+                left: (n, d),
+                right: self.components.shape(),
+            });
+        }
+        let k = self.components.ncols();
+        let mut out = DMatrix::zeros(n, k);
+        for r in 0..n {
+            let row = data.row(r);
+            let out_row = out.row_mut(r);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for i in 0..d {
+                    acc += (row[i] - self.mean[i]) * self.components.get(i, j);
+                }
+                *o = acc;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates rows living (mostly) on a 2-D plane inside R^5.
+    fn planar_data(n: usize) -> DMatrix {
+        let d1 = [2.0, 0.0, 1.0, 0.0, 0.0];
+        let d2 = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i as f64 * 0.17).sin() * 8.0;
+            let b = (i as f64 * 0.05).cos() * 3.0;
+            let noise = (i as f64 * 13.37).sin() * 1e-3;
+            let row: Vec<f64> =
+                (0..5).map(|j| a * d1[j] + b * d2[j] + noise + 5.0).collect();
+            rows.push(row);
+        }
+        DMatrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn covariance_pca_captures_planar_variance() {
+        let data = planar_data(400);
+        let pca = Pca::fit(&data, 2).unwrap();
+        assert_eq!(pca.n_components(), 2);
+        assert!(pca.explained_variance_ratio() > 0.999);
+        assert!(pca.explained_variance()[0] >= pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn randomized_pca_agrees_with_covariance_pca() {
+        let data = planar_data(400);
+        let exact = Pca::fit(&data, 2).unwrap();
+        let rand = Pca::fit_with(
+            &data,
+            2,
+            PcaSolver::RandomizedSvd { oversample: 5, power_iterations: 3, seed: 1 },
+        )
+        .unwrap();
+        // The projected coordinates must agree up to a per-component sign flip.
+        let pe = exact.transform(&data).unwrap();
+        let pr = rand.transform(&data).unwrap();
+        for c in 0..2 {
+            let dot: f64 = (0..data.nrows()).map(|r| pe.get(r, c) * pr.get(r, c)).sum();
+            let ne: f64 = (0..data.nrows()).map(|r| pe.get(r, c).powi(2)).sum::<f64>().sqrt();
+            let nr: f64 = (0..data.nrows()).map(|r| pr.get(r, c).powi(2)).sum::<f64>().sqrt();
+            let corr = (dot / (ne * nr)).abs();
+            assert!(corr > 0.999, "component {c} correlation {corr}");
+        }
+    }
+
+    #[test]
+    fn transform_row_matches_transform() {
+        let data = planar_data(100);
+        let pca = Pca::fit(&data, 3).unwrap();
+        let all = pca.transform(&data).unwrap();
+        for r in [0usize, 17, 99] {
+            let row = pca.transform_row(data.row(r)).unwrap();
+            for c in 0..3 {
+                assert!((row[c] - all.get(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn projected_data_is_centred() {
+        let data = planar_data(200);
+        let pca = Pca::fit(&data, 2).unwrap();
+        let proj = pca.transform(&data).unwrap();
+        for c in 0..2 {
+            let mean: f64 = proj.col(c).iter().sum::<f64>() / proj.nrows() as f64;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_component_counts() {
+        let data = planar_data(10);
+        assert!(Pca::fit(&data, 0).is_err());
+        assert!(Pca::fit(&data, 6).is_err());
+        assert!(Pca::fit(&DMatrix::zeros(0, 0), 1).is_err());
+    }
+
+    #[test]
+    fn transform_validates_dimension() {
+        let data = planar_data(50);
+        let pca = Pca::fit(&data, 2).unwrap();
+        assert!(pca.transform_row(&[1.0, 2.0]).is_err());
+        assert!(pca.transform(&DMatrix::zeros(3, 4)).is_err());
+    }
+
+    #[test]
+    fn component_directions_are_unit_norm() {
+        let data = planar_data(150);
+        let pca = Pca::fit(&data, 3).unwrap();
+        for c in 0..3 {
+            let n: f64 = pca.components().col(c).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((n - 1.0).abs() < 1e-9, "component {c} norm {n}");
+        }
+    }
+}

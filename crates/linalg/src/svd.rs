@@ -1,0 +1,296 @@
+//! Randomized truncated singular value decomposition.
+//!
+//! Implements the random-projection sketching scheme of Halko, Martinsson &
+//! Tropp ("Finding structure with randomness", SIAM Review 2011), which is
+//! the algorithm the Series2Graph paper cites for its PCA step. The input is
+//! an `n × d` matrix with `n` potentially in the millions and `d = ℓ − λ`
+//! (tens to a few hundreds); only the top `k` right singular vectors are
+//! needed, so a sketch of `k + oversample` columns is sufficient.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::eigen::symmetric_eigen;
+use crate::error::{Error, Result};
+use crate::matrix::DMatrix;
+
+/// Options controlling the randomized SVD.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomizedSvdOptions {
+    /// Number of singular triplets to compute.
+    pub rank: usize,
+    /// Extra sketch columns beyond `rank` (Halko et al. recommend 5–10).
+    pub oversample: usize,
+    /// Number of power iterations (improves accuracy when the spectrum decays slowly).
+    pub power_iterations: usize,
+    /// Seed of the Gaussian test matrix.
+    pub seed: u64,
+}
+
+impl Default for RandomizedSvdOptions {
+    fn default() -> Self {
+        Self { rank: 3, oversample: 7, power_iterations: 2, seed: 0x5eed_5eed }
+    }
+}
+
+/// A truncated SVD `A ≈ U · diag(σ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Singular values in decreasing order (length `rank`).
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors as the columns of a `d × rank` matrix.
+    pub v: DMatrix,
+}
+
+/// Computes a randomized truncated SVD of `a` (returning singular values and
+/// right singular vectors, which is what PCA needs).
+///
+/// # Errors
+/// * [`Error::EmptyMatrix`] on an empty input.
+/// * [`Error::TooManyComponents`] when `rank` exceeds `min(n, d)`.
+pub fn randomized_svd(a: &DMatrix, opts: RandomizedSvdOptions) -> Result<TruncatedSvd> {
+    let (n, d) = a.shape();
+    if n == 0 || d == 0 {
+        return Err(Error::EmptyMatrix);
+    }
+    let max_rank = n.min(d);
+    if opts.rank == 0 || opts.rank > max_rank {
+        return Err(Error::TooManyComponents { requested: opts.rank, available: max_rank });
+    }
+    let sketch = (opts.rank + opts.oversample).min(max_rank);
+
+    // 1. Gaussian test matrix Ω (d × sketch).
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut omega = DMatrix::zeros(d, sketch);
+    for r in 0..d {
+        for c in 0..sketch {
+            omega.set(r, c, standard_normal(&mut rng));
+        }
+    }
+
+    // 2. Sample the range of A: Y = A Ω  (n × sketch), orthonormalise.
+    let mut y = a.matmul(&omega)?;
+    let mut q = orthonormalize_columns(&mut y);
+
+    // 3. Optional power iterations to sharpen the subspace: Y = A (Aᵀ Q).
+    for _ in 0..opts.power_iterations {
+        let z = matmul_transpose_left(a, &q)?; // d × sketch
+        let mut z = orthonormalize_columns_owned(z);
+        let mut y2 = a.matmul(&z)?;
+        q = orthonormalize_columns(&mut y2);
+        // keep z alive only within the loop
+        z.scale_in_place(1.0);
+    }
+
+    // 4. Project: B = Qᵀ A  (sketch × d).
+    let b = matmul_transpose_left(&q, a)?; // (sketch × d): (Qᵀ A)
+
+    // 5. Exact SVD of the small matrix B via the eigen-decomposition of B Bᵀ.
+    let bbt = gram_of_transpose(&b); // sketch × sketch
+    let eig = symmetric_eigen(&bbt)?;
+
+    let mut singular_values = Vec::with_capacity(opts.rank);
+    let mut v = DMatrix::zeros(d, opts.rank);
+    for comp in 0..opts.rank {
+        let lambda = eig.eigenvalues[comp].max(0.0);
+        let sigma = lambda.sqrt();
+        singular_values.push(sigma);
+        // Right singular vector: v = Bᵀ u / σ (fall back to zeros for σ ≈ 0).
+        let u = eig.eigenvectors.col(comp);
+        if sigma > 1e-12 {
+            for row in 0..d {
+                let mut acc = 0.0;
+                for (s, &u_s) in u.iter().enumerate() {
+                    acc += b.get(s, row) * u_s;
+                }
+                v.set(row, comp, acc / sigma);
+            }
+        }
+    }
+
+    Ok(TruncatedSvd { singular_values, v })
+}
+
+/// Draws a standard normal variate via the Box–Muller transform (keeps the
+/// dependency surface to plain `rand` without `rand_distr`).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Orthonormalises the columns of `m` in place (modified Gram–Schmidt) and
+/// returns the resulting matrix. Columns that become numerically zero are
+/// left as zeros.
+fn orthonormalize_columns(m: &mut DMatrix) -> DMatrix {
+    let (n, k) = m.shape();
+    for j in 0..k {
+        // Subtract projections on previous columns.
+        for prev in 0..j {
+            let mut dot = 0.0;
+            for r in 0..n {
+                dot += m.get(r, j) * m.get(r, prev);
+            }
+            for r in 0..n {
+                let v = m.get(r, j) - dot * m.get(r, prev);
+                m.set(r, j, v);
+            }
+        }
+        let mut norm = 0.0;
+        for r in 0..n {
+            norm += m.get(r, j) * m.get(r, j);
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-12 {
+            for r in 0..n {
+                m.set(r, j, m.get(r, j) / norm);
+            }
+        }
+    }
+    m.clone()
+}
+
+fn orthonormalize_columns_owned(mut m: DMatrix) -> DMatrix {
+    orthonormalize_columns(&mut m)
+}
+
+/// Computes `leftᵀ · right` without materialising `leftᵀ`.
+fn matmul_transpose_left(left: &DMatrix, right: &DMatrix) -> Result<DMatrix> {
+    let (n_l, k) = left.shape();
+    let (n_r, d) = right.shape();
+    if n_l != n_r {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_transpose_left",
+            left: (n_l, k),
+            right: (n_r, d),
+        });
+    }
+    let mut out = DMatrix::zeros(k, d);
+    for r in 0..n_l {
+        let lrow = left.row(r);
+        let rrow = right.row(r);
+        for (i, &li) in lrow.iter().enumerate() {
+            if li == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (j, &rj) in rrow.iter().enumerate() {
+                out_row[j] += li * rj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `m · mᵀ`.
+fn gram_of_transpose(m: &DMatrix) -> DMatrix {
+    let (rows, _cols) = m.shape();
+    let mut out = DMatrix::zeros(rows, rows);
+    for i in 0..rows {
+        for j in i..rows {
+            let dot: f64 = m.row(i).iter().zip(m.row(j).iter()).map(|(a, b)| a * b).sum();
+            out.set(i, j, dot);
+            out.set(j, i, dot);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a low-rank matrix with known principal directions.
+    fn low_rank_matrix(n: usize) -> DMatrix {
+        // Rows are combinations of two orthogonal direction vectors in R^6.
+        let d1 = [1.0, 1.0, 0.0, 0.0, -1.0, -1.0];
+        let d2 = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i as f64 * 0.37).sin() * 10.0;
+            let b = (i as f64 * 0.11).cos() * 2.0;
+            let row: Vec<f64> = (0..6).map(|j| a * d1[j] + b * d2[j]).collect();
+            rows.push(row);
+        }
+        DMatrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn recovers_dominant_direction_of_low_rank_matrix() {
+        let a = low_rank_matrix(500);
+        let svd = randomized_svd(&a, RandomizedSvdOptions { rank: 2, ..Default::default() })
+            .unwrap();
+        assert_eq!(svd.v.shape(), (6, 2));
+        // First right singular vector must align with d1 (normalised) up to sign.
+        let d1_norm = 2.0; // ||(1,1,0,0,-1,-1)|| = 2
+        let expected: Vec<f64> = [1.0, 1.0, 0.0, 0.0, -1.0, -1.0]
+            .iter()
+            .map(|x| x / d1_norm)
+            .collect();
+        let got = svd.v.col(0);
+        let dot: f64 = got.iter().zip(expected.iter()).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.999, "dominant direction not recovered, |dot|={}", dot.abs());
+        // Singular values are sorted and the third would be ~0 for rank-2 data.
+        assert!(svd.singular_values[0] >= svd.singular_values[1]);
+    }
+
+    #[test]
+    fn right_singular_vectors_are_orthonormal() {
+        let a = low_rank_matrix(300);
+        let svd = randomized_svd(&a, RandomizedSvdOptions { rank: 2, ..Default::default() })
+            .unwrap();
+        let v = &svd.v;
+        let dot01: f64 = v.col(0).iter().zip(v.col(1).iter()).map(|(a, b)| a * b).sum();
+        let n0: f64 = v.col(0).iter().map(|x| x * x).sum::<f64>().sqrt();
+        let n1: f64 = v.col(1).iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(dot01.abs() < 1e-6);
+        assert!((n0 - 1.0).abs() < 1e-6);
+        assert!((n1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = low_rank_matrix(200);
+        let o = RandomizedSvdOptions { rank: 2, seed: 42, ..Default::default() };
+        let s1 = randomized_svd(&a, o).unwrap();
+        let s2 = randomized_svd(&a, o).unwrap();
+        assert_eq!(s1.v, s2.v);
+        assert_eq!(s1.singular_values, s2.singular_values);
+    }
+
+    #[test]
+    fn rejects_bad_rank_and_empty() {
+        let a = low_rank_matrix(10);
+        assert!(randomized_svd(&a, RandomizedSvdOptions { rank: 0, ..Default::default() })
+            .is_err());
+        assert!(randomized_svd(&a, RandomizedSvdOptions { rank: 7, ..Default::default() })
+            .is_err());
+        let empty = DMatrix::zeros(0, 0);
+        assert!(randomized_svd(&empty, RandomizedSvdOptions::default()).is_err());
+    }
+
+    #[test]
+    fn singular_values_match_frobenius_energy_for_full_rank_request() {
+        // For a small matrix, the sum of squared singular values of the full
+        // decomposition equals the squared Frobenius norm.
+        let a = DMatrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![0.0, 1.0, -1.0],
+            vec![3.0, 0.2, 0.1],
+            vec![1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let svd = randomized_svd(
+            &a,
+            RandomizedSvdOptions { rank: 3, oversample: 3, power_iterations: 4, seed: 7 },
+        )
+        .unwrap();
+        let energy: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        let frob2 = a.frobenius_norm().powi(2);
+        assert!((energy - frob2).abs() < 1e-6 * frob2, "{energy} vs {frob2}");
+    }
+}

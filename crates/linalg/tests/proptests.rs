@@ -1,0 +1,135 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use proptest::prelude::*;
+use s2g_linalg::eigen::symmetric_eigen;
+use s2g_linalg::kde::{scott_bandwidth, GaussianKde};
+use s2g_linalg::matrix::DMatrix;
+use s2g_linalg::pca::Pca;
+use s2g_linalg::rotation::align_to_x_axis;
+use s2g_linalg::vector::Vec3;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = DMatrix> {
+    (2usize..max_dim, 2usize..max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| DMatrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+fn symmetric_matrix(max_dim: usize) -> impl Strategy<Value = DMatrix> {
+    (2usize..max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-10.0f64..10.0, n * n).prop_map(move |data| {
+            let a = DMatrix::from_vec(n, n, data).unwrap();
+            // Symmetrise: (A + Aᵀ) / 2
+            let at = a.transpose();
+            let mut s = DMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    s.set(i, j, 0.5 * (a.get(i, j) + at.get(i, j)));
+                }
+            }
+            s
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity_op(m in small_matrix(8)) {
+        let i = DMatrix::identity(m.ncols());
+        let p = m.matmul(&i).unwrap();
+        for r in 0..m.nrows() {
+            for c in 0..m.ncols() {
+                prop_assert!((p.get(r, c) - m.get(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_psd_diagonal(m in small_matrix(8)) {
+        let g = m.gram();
+        for i in 0..g.nrows() {
+            prop_assert!(g.get(i, i) >= -1e-9);
+            for j in 0..g.ncols() {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_trace_and_orthogonality(m in symmetric_matrix(7)) {
+        let e = symmetric_eigen(&m).unwrap();
+        let n = m.nrows();
+        let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6 * trace.abs().max(1.0));
+        let vtv = e.eigenvectors.transpose().matmul(&e.eigenvectors).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((vtv.get(i, j) - expected).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_aligns_and_preserves_norm(
+        x in -50.0f64..50.0,
+        y in -50.0f64..50.0,
+        z in -50.0f64..50.0,
+    ) {
+        let v = Vec3::new(x, y, z);
+        prop_assume!(v.norm() > 1e-6);
+        let r = align_to_x_axis(v);
+        let rotated = r.apply(v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-9);
+        prop_assert!((rotated.x - v.norm()).abs() < 1e-6);
+        prop_assert!(rotated.y.abs() < 1e-6);
+        prop_assert!(rotated.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn pca_explained_ratio_bounded(m in small_matrix(8)) {
+        prop_assume!(m.nrows() >= 3 && m.ncols() >= 3);
+        if let Ok(pca) = Pca::fit(&m, 2) {
+            let ratio = pca.explained_variance_ratio();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&ratio), "ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative_and_finite(
+        samples in prop::collection::vec(-100.0f64..100.0, 1..50),
+        query in -200.0f64..200.0,
+    ) {
+        let kde = GaussianKde::new(samples).unwrap();
+        let d = kde.density(query);
+        prop_assert!(d.is_finite());
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn scott_bandwidth_positive(samples in prop::collection::vec(-1e4f64..1e4, 0..100)) {
+        prop_assert!(scott_bandwidth(&samples) > 0.0);
+    }
+
+    #[test]
+    fn kde_local_maxima_fall_within_extended_range(
+        samples in prop::collection::vec(-100.0f64..100.0, 2..60),
+    ) {
+        let kde = GaussianKde::new(samples.clone()).unwrap();
+        let maxima = kde.local_maxima(200);
+        prop_assert!(!maxima.is_empty());
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min) - 4.0 * kde.bandwidth();
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 4.0 * kde.bandwidth();
+        for m in maxima {
+            prop_assert!(m >= lo && m <= hi);
+        }
+    }
+}

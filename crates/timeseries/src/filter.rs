@@ -1,0 +1,166 @@
+//! Smoothing filters applied to score profiles and raw series.
+
+/// Centred moving-average filter of width `w`.
+///
+/// Output has the same length as the input. Near the boundaries the window is
+/// truncated to the available points, so no artificial padding values are
+/// introduced. This is the filter applied to the `NormalityScore` vector in
+/// the last line of Algorithm 4.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if xs.is_empty() || w <= 1 {
+        return xs.to_vec();
+    }
+    let half_left = (w - 1) / 2;
+    let half_right = w / 2;
+    // Prefix sums for O(n) evaluation.
+    let mut prefix = Vec::with_capacity(xs.len() + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+        prefix.push(acc);
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_left);
+        let hi = (i + half_right + 1).min(n);
+        let sum = prefix[hi] - prefix[lo];
+        out.push(sum / (hi - lo) as f64);
+    }
+    out
+}
+
+/// Trailing (causal) moving average: each output point only looks at the `w`
+/// most recent values. Useful for streaming-style scoring.
+pub fn trailing_moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if xs.is_empty() || w <= 1 {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+        if i >= w {
+            acc -= xs[i - w];
+        }
+        let count = (i + 1).min(w) as f64;
+        out.push(acc / count);
+    }
+    out
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha` in `(0, 1]`.
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    let alpha = alpha.clamp(f64::EPSILON, 1.0);
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state: Option<f64> = None;
+    for &x in xs {
+        let next = match state {
+            None => x,
+            Some(prev) => alpha * x + (1.0 - alpha) * prev,
+        };
+        out.push(next);
+        state = Some(next);
+    }
+    out
+}
+
+/// Simple median filter of odd width `w` (width is rounded up to odd).
+/// Robust alternative to [`moving_average`] used in ablation experiments.
+pub fn median_filter(xs: &[f64], w: usize) -> Vec<f64> {
+    if xs.is_empty() || w <= 1 {
+        return xs.to_vec();
+    }
+    let w = if w % 2 == 0 { w + 1 } else { w };
+    let half = w / 2;
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    let mut buf: Vec<f64> = Vec::with_capacity(w);
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        buf.clear();
+        buf.extend_from_slice(&xs[lo..hi]);
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        out.push(buf[buf.len() / 2]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_identity_for_small_window() {
+        let xs = vec![1.0, 2.0, 3.0];
+        assert_eq!(moving_average(&xs, 1), xs);
+        assert_eq!(moving_average(&xs, 0), xs);
+        assert!(moving_average(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn moving_average_constant_series_unchanged() {
+        let xs = vec![2.0; 20];
+        let out = moving_average(&xs, 7);
+        for v in out {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_matches_naive() {
+        let xs: Vec<f64> = (0..30).map(|i| (i as f64).sin() * 2.0 + i as f64 * 0.1).collect();
+        let w = 5usize;
+        let fast = moving_average(&xs, w);
+        for i in 0..xs.len() {
+            let lo = i.saturating_sub((w - 1) / 2);
+            let hi = (i + w / 2 + 1).min(xs.len());
+            let naive: f64 = xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            assert!((fast[i] - naive).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_length() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        for w in [2, 3, 10, 101, 200] {
+            assert_eq!(moving_average(&xs, w).len(), xs.len());
+        }
+    }
+
+    #[test]
+    fn trailing_average_is_causal() {
+        let xs = vec![0.0, 0.0, 0.0, 9.0];
+        let out = trailing_moving_average(&xs, 3);
+        // The spike at index 3 must not leak into earlier outputs.
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 0.0);
+        assert!(out[3] > 0.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let xs = vec![5.0; 50];
+        let out = ewma(&xs, 0.3);
+        assert!((out.last().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_first_value_passthrough() {
+        let out = ewma(&[3.0, 10.0], 0.5);
+        assert_eq!(out[0], 3.0);
+        assert_eq!(out[1], 6.5);
+    }
+
+    #[test]
+    fn median_filter_removes_spike() {
+        let mut xs = vec![1.0; 21];
+        xs[10] = 100.0;
+        let out = median_filter(&xs, 5);
+        assert_eq!(out[10], 1.0);
+        assert_eq!(out.len(), xs.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Minimal CSV-style persistence for series, score profiles and label ranges.
+//!
+//! The on-disk format is intentionally simple: one value per line for plain
+//! series, and comma-separated rows for labelled or multi-column outputs.
+//! This keeps the experiment harness self-contained without pulling a CSV
+//! dependency into the workspace.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::series::TimeSeries;
+
+/// Reads a single-column series (one floating point value per line).
+///
+/// Empty lines and lines starting with `#` are skipped. A header line that
+/// does not parse as a number is also skipped (only for the first line).
+pub fn read_series<P: AsRef<Path>>(path: P) -> Result<TimeSeries> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut values = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let token = line.trim();
+        if token.is_empty() || token.starts_with('#') {
+            continue;
+        }
+        // Take the first comma-separated field; extra columns are ignored.
+        let field = token.split(',').next().unwrap_or(token).trim();
+        match field.parse::<f64>() {
+            Ok(v) => values.push(v),
+            Err(_) if lineno == 0 => continue, // tolerate a header row
+            Err(_) => {
+                return Err(Error::Parse { line: lineno + 1, token: field.to_string() });
+            }
+        }
+    }
+    Ok(TimeSeries::from(values))
+}
+
+/// Writes a series as one value per line.
+pub fn write_series<P: AsRef<Path>>(path: P, series: &TimeSeries) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for v in series.iter() {
+        writeln!(w, "{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes aligned columns as CSV with a header row. All columns must have the
+/// same length.
+///
+/// # Errors
+/// [`Error::LengthMismatch`] when column lengths differ,
+/// [`Error::Empty`] when no columns are given.
+pub fn write_columns<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    columns: &[&[f64]],
+) -> Result<()> {
+    if columns.is_empty() || headers.len() != columns.len() {
+        return Err(Error::Empty("columns"));
+    }
+    let len = columns[0].len();
+    for c in columns {
+        if c.len() != len {
+            return Err(Error::LengthMismatch { left: len, right: c.len() });
+        }
+    }
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{}", headers.join(","))?;
+    for i in 0..len {
+        let row: Vec<String> = columns.iter().map(|c| c[i].to_string()).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads `(start, length)` anomaly-range labels from a two-column CSV file.
+pub fn read_label_ranges<P: AsRef<Path>>(path: P) -> Result<Vec<(usize, usize)>> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let token = line.trim();
+        if token.is_empty() || token.starts_with('#') {
+            continue;
+        }
+        let mut parts = token.split(',').map(str::trim);
+        let a = parts.next().unwrap_or("");
+        let b = parts.next().unwrap_or("");
+        let parse = |t: &str| -> Result<usize> {
+            t.parse::<usize>().map_err(|_| Error::Parse { line: lineno + 1, token: t.to_string() })
+        };
+        match (parse(a), parse(b)) {
+            (Ok(s), Ok(l)) => out.push((s, l)),
+            _ if lineno == 0 => continue, // header
+            (Err(e), _) | (_, Err(e)) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Writes `(start, length)` anomaly-range labels as a two-column CSV file.
+pub fn write_label_ranges<P: AsRef<Path>>(path: P, ranges: &[(usize, usize)]) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "start,length")?;
+    for (s, l) in ranges {
+        writeln!(w, "{s},{l}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("s2g_io_test_{}_{name}", std::process::id()));
+        dir
+    }
+
+    #[test]
+    fn roundtrip_series() {
+        let path = tmp("series.csv");
+        let ts = TimeSeries::from(vec![1.5, -2.25, 3.0, 0.0]);
+        write_series(&path, &ts).unwrap();
+        let back = read_series(&path).unwrap();
+        assert_eq!(back, ts);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_skips_header_comments_and_extra_columns() {
+        let path = tmp("headered.csv");
+        std::fs::write(&path, "value,label\n# comment\n1.0,0\n2.5,1\n\n3.0,0\n").unwrap();
+        let ts = read_series(&path).unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.5, 3.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn read_reports_bad_value() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1.0\nnot_a_number\n").unwrap();
+        let err = read_series(&path).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_label_ranges() {
+        let path = tmp("labels.csv");
+        let ranges = vec![(10usize, 75usize), (500, 80)];
+        write_label_ranges(&path, &ranges).unwrap();
+        let back = read_label_ranges(&path).unwrap();
+        assert_eq!(back, ranges);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn write_columns_validates_shapes() {
+        let path = tmp("cols.csv");
+        let a = [1.0, 2.0];
+        let b = [3.0];
+        assert!(write_columns(&path, &["a", "b"], &[&a, &b]).is_err());
+        assert!(write_columns(&path, &[], &[]).is_err());
+        let b2 = [3.0, 4.0];
+        write_columns(&path, &["a", "b"], &[&a, &b2]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("a,b\n1,3\n"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_series("/definitely/not/here.csv").unwrap_err();
+        assert!(matches!(err, Error::Io(_)));
+    }
+}

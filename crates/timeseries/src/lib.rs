@@ -1,0 +1,47 @@
+//! # s2g-timeseries
+//!
+//! Time/data series substrate for the Series2Graph workspace.
+//!
+//! A *data series* in this crate (following the paper terminology) is an
+//! ordered sequence of real-valued points. The crate provides:
+//!
+//! * [`TimeSeries`] — an owned, contiguous `f64` series with convenience
+//!   accessors, subsequence views and basic statistics,
+//! * z-normalisation and the z-normalised Euclidean distance used by every
+//!   discord-style baseline ([`normalize`], [`distance`]),
+//! * sliding-window iteration with trivial-match semantics ([`window`]),
+//! * rolling sums / moving averages used by the Series2Graph embedding and
+//!   the final score filter ([`filter`]),
+//! * simple single-column CSV I/O for persisting series and scores ([`io`]).
+//!
+//! The crate is dependency-free and deterministic; it is the bottom layer of
+//! the workspace and is reused by the datasets, core, baselines and eval
+//! crates.
+//!
+//! ## Example
+//!
+//! ```
+//! use s2g_timeseries::{TimeSeries, distance::znorm_euclidean};
+//!
+//! let ts = TimeSeries::from(vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0]);
+//! let a = ts.subsequence(0, 4).unwrap();
+//! let b = ts.subsequence(4, 4).unwrap();
+//! // identical shapes => zero z-normalised distance
+//! assert!(znorm_euclidean(a, b).unwrap() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod error;
+pub mod filter;
+pub mod io;
+pub mod normalize;
+pub mod series;
+pub mod stats;
+pub mod window;
+
+pub use error::{Error, Result};
+pub use series::TimeSeries;
+pub use window::SlidingWindows;

@@ -1,0 +1,114 @@
+//! Property-based tests for the time-series substrate invariants.
+
+use proptest::prelude::*;
+use s2g_timeseries::{distance, filter, normalize, stats, window, TimeSeries};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn znormalized_sequences_have_zero_mean_unit_std(xs in finite_vec(200)) {
+        let z = normalize::znormalize(&xs);
+        prop_assert_eq!(z.len(), xs.len());
+        prop_assert!(stats::mean(&z).abs() < 1e-6);
+        let s = stats::std(&z);
+        // Either the input was (near-)constant (std ~ 0) or std must be ~1.
+        prop_assert!(s < 1e-6 || (s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn znorm_distance_is_symmetric_and_nonnegative(
+        a in finite_vec(64),
+        b in finite_vec(64),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let dab = distance::znorm_euclidean(a, b).unwrap();
+        let dba = distance::znorm_euclidean(b, a).unwrap();
+        prop_assert!(dab >= 0.0);
+        prop_assert!((dab - dba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn znorm_distance_invariant_under_affine_transform(
+        xs in finite_vec(64),
+        scale in 0.1f64..100.0,
+        offset in -1e4f64..1e4,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * scale + offset).collect();
+        let d = distance::znorm_euclidean(&xs, &ys).unwrap();
+        prop_assert!(d < 1e-5, "affine transform should preserve shape, d={d}");
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in prop::collection::vec(-1e3f64..1e3, 8),
+        b in prop::collection::vec(-1e3f64..1e3, 8),
+        c in prop::collection::vec(-1e3f64..1e3, 8),
+    ) {
+        let ab = distance::euclidean(&a, &b).unwrap();
+        let bc = distance::euclidean(&b, &c).unwrap();
+        let ac = distance::euclidean(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn rolling_sum_equals_naive(xs in finite_vec(128), w in 1usize..16) {
+        prop_assume!(w <= xs.len());
+        let fast = stats::rolling_sum(&xs, w);
+        prop_assert_eq!(fast.len(), xs.len() - w + 1);
+        for (i, v) in fast.iter().enumerate() {
+            let naive: f64 = xs[i..i + w].iter().sum();
+            prop_assert!((v - naive).abs() < 1e-6 * naive.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn moving_average_stays_within_range(xs in finite_vec(128), w in 1usize..32) {
+        let out = filter::moving_average(&xs, w);
+        prop_assert_eq!(out.len(), xs.len());
+        let lo = stats::min(&xs).unwrap();
+        let hi = stats::max(&xs).unwrap();
+        for v in out {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_cover_series(xs in finite_vec(128), w in 1usize..16) {
+        prop_assume!(w <= xs.len());
+        let ts = TimeSeries::from(xs.clone());
+        let mut count = 0usize;
+        for (start, win) in window::SlidingWindows::new(&ts, w) {
+            prop_assert_eq!(win, &xs[start..start + w]);
+            count += 1;
+        }
+        prop_assert_eq!(count, xs.len() - w + 1);
+    }
+
+    #[test]
+    fn top_k_results_are_mutually_non_trivial(
+        xs in finite_vec(256),
+        k in 1usize..8,
+        len in 2usize..32,
+    ) {
+        let picks = window::top_k_non_overlapping(&xs, k, len);
+        prop_assert!(picks.len() <= k);
+        for (i, &a) in picks.iter().enumerate() {
+            for &b in picks.iter().skip(i + 1) {
+                prop_assert!(!window::is_trivial_match(a, b, len));
+            }
+        }
+    }
+
+    #[test]
+    fn subsequence_accessor_matches_slice(xs in finite_vec(128), start in 0usize..64, len in 1usize..32) {
+        let ts = TimeSeries::from(xs.clone());
+        match ts.subsequence(start, len) {
+            Ok(s) => prop_assert_eq!(s, &xs[start..start + len]),
+            Err(_) => prop_assert!(start + len > xs.len()),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # series2graph
+//!
+//! A Rust implementation of **Series2Graph** (Boniol & Palpanas, VLDB 2020):
+//! unsupervised, domain-agnostic subsequence anomaly detection for univariate
+//! data series, together with the complete evaluation substrate of the paper
+//! (dataset generators, baseline detectors, evaluation metrics).
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `s2g-core` | the Series2Graph model (`fit` → `score` → `top-k`) |
+//! | [`timeseries`] | `s2g-timeseries` | series container, distances, windows, filters, CSV I/O |
+//! | [`linalg`] | `s2g-linalg` | PCA, randomized SVD, rotations, KDE |
+//! | [`graph`] | `s2g-graph` | weighted digraph, θ-Normality subgraphs |
+//! | [`datasets`] | `s2g-datasets` | synthetic equivalents of the paper's evaluation corpus |
+//! | [`baselines`] | `s2g-baselines` | STOMP, discords/DAD, LOF, Isolation Forest, GrammarViz-style, forecasting |
+//! | [`eval`] | `s2g-eval` | Top-k accuracy, precision/recall, AUC, result tables |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use series2graph::prelude::*;
+//!
+//! // A periodic signal with a burst of different shape in the middle.
+//! let mut values: Vec<f64> = (0..6000)
+//!     .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+//!     .collect();
+//! for (offset, v) in values[3000..3150].iter_mut().enumerate() {
+//!     *v = (std::f64::consts::TAU * offset as f64 / 30.0).sin();
+//! }
+//! let series = TimeSeries::from(values);
+//!
+//! // Fit the graph with pattern length ℓ = 50 and score windows of length 150.
+//! let model = Series2Graph::fit(&series, &S2gConfig::new(50)).unwrap();
+//! let scores = model.anomaly_scores(&series, 150).unwrap();
+//! let detections = model.top_k_anomalies(&scores, 1, 150);
+//! assert!((2900..3200).contains(&detections[0]));
+//! ```
+//!
+//! See the `examples/` directory for complete scenarios (ECG monitoring,
+//! variable-length anomalies, method comparison, prefix/streaming models) and
+//! the `s2g-bench` crate for the harness regenerating every table and figure
+//! of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The Series2Graph model (re-export of `s2g-core`).
+pub use s2g_core as core;
+
+/// Time-series substrate (re-export of `s2g-timeseries`).
+pub use s2g_timeseries as timeseries;
+
+/// Linear-algebra kernels (re-export of `s2g-linalg`).
+pub use s2g_linalg as linalg;
+
+/// Graph model (re-export of `s2g-graph`).
+pub use s2g_graph as graph;
+
+/// Dataset generators (re-export of `s2g-datasets`).
+pub use s2g_datasets as datasets;
+
+/// Baseline detectors (re-export of `s2g-baselines`).
+pub use s2g_baselines as baselines;
+
+/// Evaluation metrics (re-export of `s2g-eval`).
+pub use s2g_eval as eval;
+
+/// The most commonly used types, importable with one `use`.
+pub mod prelude {
+    pub use s2g_core::{S2gConfig, Series2Graph};
+    pub use s2g_datasets::{AnomalyKind, AnomalyRange, Dataset, LabeledSeries};
+    pub use s2g_eval::topk::{top_k_accuracy, GroundTruth};
+    pub use s2g_timeseries::TimeSeries;
+}

@@ -1,0 +1,179 @@
+//! End-to-end integration tests spanning the whole workspace: dataset
+//! generation → Series2Graph → evaluation, plus head-to-head comparisons with
+//! the baselines on the scenarios the paper builds its claims on.
+
+use series2graph::baselines::discord::dad_anomaly_scores;
+use series2graph::baselines::iforest::{iforest_anomaly_scores, IsolationForestParams};
+use series2graph::baselines::matrix_profile::stomp_anomaly_scores;
+use series2graph::datasets::keogh::{generate_discord_dataset, DiscordDataset};
+use series2graph::datasets::mba::{generate_mba_with_length, MbaRecord};
+use series2graph::datasets::sed::generate_sed_with_length;
+use series2graph::datasets::srw::{generate_srw, SrwConfig};
+use series2graph::prelude::*;
+
+fn truth_of(data: &LabeledSeries) -> GroundTruth {
+    GroundTruth::new(data.anomalies.iter().map(|a| (a.start, a.length)).collect())
+}
+
+fn s2g_accuracy(data: &LabeledSeries, window: usize) -> f64 {
+    let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16))
+        .expect("fit failed");
+    let scores = model.anomaly_scores(&data.series, window).expect("scoring failed");
+    let truth = truth_of(data);
+    top_k_accuracy(&scores, window, &truth, truth.count())
+}
+
+#[test]
+fn s2g_detects_recurrent_anomalies_on_srw() {
+    let data = generate_srw(SrwConfig {
+        length: 15_000,
+        num_anomalies: 8,
+        noise_ratio: 0.0,
+        anomaly_length: 200,
+        seed: 5,
+    });
+    let accuracy = s2g_accuracy(&data, 200);
+    assert!(accuracy >= 0.85, "S2G accuracy on clean SRW too low: {accuracy}");
+}
+
+#[test]
+fn s2g_is_robust_to_noise_on_srw() {
+    // Paper claim (Table 3): S2G accuracy is stable as noise grows to 25%.
+    let mut accuracies = Vec::new();
+    for noise in [0.0, 0.15, 0.25] {
+        let data = generate_srw(SrwConfig {
+            length: 12_000,
+            num_anomalies: 8,
+            noise_ratio: noise,
+            anomaly_length: 200,
+            seed: 9,
+        });
+        accuracies.push(s2g_accuracy(&data, 200));
+    }
+    for (i, acc) in accuracies.iter().enumerate() {
+        assert!(*acc >= 0.6, "accuracy at noise level #{i} dropped to {acc}");
+    }
+}
+
+#[test]
+fn s2g_detects_ecg_premature_beats() {
+    let data = generate_mba_with_length(MbaRecord::R803, 20_000, 3);
+    let accuracy = s2g_accuracy(&data, 75);
+    assert!(accuracy >= 0.5, "S2G accuracy on MBA(803)-like ECG too low: {accuracy}");
+}
+
+#[test]
+fn s2g_finds_the_single_discord_on_every_keogh_dataset() {
+    for dataset in DiscordDataset::ALL {
+        let data = generate_discord_dataset(dataset, 2);
+        // Input lengths follow the paper's Figure 8 captions (G_200 for the
+        // Marotta valve, G_150 for Ann Gun, G_50 for respiration, G_80 for BIDMC).
+        let ell = match dataset {
+            DiscordDataset::MarottaValve => 200,
+            DiscordDataset::AnnGun => 150,
+            DiscordDataset::PatientRespiration => 50,
+            DiscordDataset::BidmcChf => 80,
+        };
+        let query = dataset.anomaly_length();
+        let model = Series2Graph::fit(&data.series, &S2gConfig::new(ell)).expect("fit failed");
+        let scores = model.anomaly_scores(&data.series, query).expect("scoring failed");
+        let truth = truth_of(&data);
+        let accuracy = top_k_accuracy(&scores, query, &truth, 1);
+        assert!(
+            accuracy >= 1.0,
+            "{}: the single discord was not the top detection",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn s2g_beats_first_discord_methods_on_recurrent_anomalies() {
+    // The motivating claim of the paper: when the same anomaly repeats, plain
+    // nearest-neighbour discords (STOMP) miss them, Series2Graph does not.
+    let data = generate_mba_with_length(MbaRecord::R14046, 20_000, 8);
+    let window = 75;
+    let truth = truth_of(&data);
+    let k = truth.count();
+
+    let s2g = s2g_accuracy(&data, window);
+    let stomp = stomp_anomaly_scores(&data.series, window)
+        .map(|s| top_k_accuracy(&s, window, &truth, k))
+        .unwrap();
+    assert!(
+        s2g >= stomp,
+        "S2G ({s2g}) should not be worse than STOMP ({stomp}) on recurrent anomalies"
+    );
+}
+
+#[test]
+fn half_trained_model_remains_accurate() {
+    // Paper Table 3: S2G|T|/2 is close to S2G|T|.
+    let data = generate_sed_with_length(20_000, 4);
+    let window = 75;
+    let truth = truth_of(&data);
+    let k = truth.count();
+
+    let full = s2g_accuracy(&data, window);
+
+    let half = Series2Graph::fit(
+        &data.series.prefix(data.len() / 2),
+        &S2gConfig::new(50).with_lambda(16),
+    )
+    .and_then(|m| m.anomaly_scores(&data.series, window))
+    .map(|s| top_k_accuracy(&s, window, &truth, k))
+    .unwrap();
+
+    assert!(half >= full - 0.3, "half-trained accuracy {half} fell too far below full {full}");
+}
+
+#[test]
+fn model_scores_unseen_continuation() {
+    // Fit on one recording, score a different recording from the same process.
+    let train = generate_sed_with_length(15_000, 10);
+    let test = generate_sed_with_length(8_000, 11);
+    let model = Series2Graph::fit(&train.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+    let scores = model.anomaly_scores(&test.series, 75).unwrap();
+    assert_eq!(scores.len(), test.len() - 75 + 1);
+    let truth = truth_of(&test);
+    let accuracy = top_k_accuracy(&scores, 75, &truth, truth.count());
+    assert!(accuracy > 0.0, "cross-recording scoring found nothing at all");
+}
+
+#[test]
+fn baselines_and_s2g_agree_on_profile_lengths() {
+    let data = generate_srw(SrwConfig {
+        length: 6_000,
+        num_anomalies: 3,
+        noise_ratio: 0.0,
+        anomaly_length: 150,
+        seed: 2,
+    });
+    let window = 150;
+    let expected = data.len() - window + 1;
+
+    let stomp = stomp_anomaly_scores(&data.series, window).unwrap();
+    let dad = dad_anomaly_scores(&data.series, window, 3).unwrap();
+    let iforest =
+        iforest_anomaly_scores(&data.series, window, IsolationForestParams::default()).unwrap();
+    let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+    let s2g = model.anomaly_scores(&data.series, window).unwrap();
+
+    assert_eq!(stomp.len(), expected);
+    assert_eq!(dad.len(), expected);
+    assert_eq!(iforest.len(), expected);
+    assert_eq!(s2g.len(), expected);
+}
+
+#[test]
+fn facade_prelude_exposes_the_public_api() {
+    // Compile-time check that the prelude covers the quick-start workflow.
+    let series = TimeSeries::from(
+        (0..2000).map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin()).collect::<Vec<_>>(),
+    );
+    let model = Series2Graph::fit(&series, &S2gConfig::new(20)).unwrap();
+    let scores = model.anomaly_scores(&series, 40).unwrap();
+    assert_eq!(scores.len(), series.len() - 40 + 1);
+    let _ = AnomalyRange::new(0, 10, AnomalyKind::Shape);
+    let _ = Dataset::Sed.spec();
+}

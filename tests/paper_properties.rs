@@ -1,0 +1,132 @@
+//! Property-based integration tests for the paper's structural claims:
+//! whatever the (reasonable) generator parameters, the Series2Graph pipeline
+//! must keep its invariants — score profiles have the right length, normality
+//! is non-negative, θ-Normality/θ-Anomaly subgraphs partition the edges, and
+//! anomaly scores stay within [0, 1].
+
+use proptest::prelude::*;
+
+use series2graph::core::scoring;
+use series2graph::graph::normality::{theta_anomaly, theta_normality};
+use series2graph::prelude::*;
+
+fn srw_series(length: usize, anomalies: usize, noise: f64, seed: u64) -> LabeledSeries {
+    series2graph::datasets::srw::generate_srw(series2graph::datasets::srw::SrwConfig {
+        length,
+        num_anomalies: anomalies,
+        noise_ratio: noise,
+        anomaly_length: 150,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pipeline_invariants_hold_for_random_srw_datasets(
+        seed in 0u64..500,
+        anomalies in 1usize..6,
+        noise in 0.0f64..0.2,
+        query in 150usize..400,
+    ) {
+        let data = srw_series(6_000, anomalies, noise, seed);
+        let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+
+        // Graph invariants.
+        prop_assert!(model.node_count() > 0);
+        prop_assert!(model.graph().edge_count() > 0);
+        prop_assert!(model.graph().total_weight() > 0.0);
+
+        // Normality scores: correct length, finite, non-negative.
+        let normality = model.normality_scores(&data.series, query).unwrap();
+        prop_assert_eq!(normality.len(), data.len() - query + 1);
+        prop_assert!(normality.iter().all(|s| s.is_finite() && *s >= 0.0));
+
+        // Anomaly scores: same length, all within [0, 1].
+        let anomaly = model.anomaly_scores(&data.series, query).unwrap();
+        prop_assert_eq!(anomaly.len(), normality.len());
+        prop_assert!(anomaly.iter().all(|s| (0.0..=1.0).contains(s)));
+
+        // Top-k never returns trivially overlapping detections.
+        let picks = model.top_k_anomalies(&anomaly, 5, query);
+        for (i, &a) in picks.iter().enumerate() {
+            for &b in picks.iter().skip(i + 1) {
+                prop_assert!(a.abs_diff(b) >= query / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_subgraphs_partition_edges_for_fitted_models(
+        seed in 0u64..200,
+        theta in 0.5f64..500.0,
+    ) {
+        let data = srw_series(4_000, 2, 0.05, seed);
+        let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+        let graph = model.graph();
+        let normal = theta_normality(graph, theta);
+        let anomalous = theta_anomaly(graph, theta);
+        // Every edge belongs to exactly one of the two subgraphs.
+        prop_assert_eq!(normal.edge_count() + anomalous.edge_count(), graph.edge_count());
+        // Node sets are disjoint (Definition 4).
+        for n in &anomalous.nodes {
+            prop_assert!(!normal.contains_node(*n));
+        }
+    }
+
+    #[test]
+    fn lemma1_low_path_normality_implies_theta_anomaly_membership(
+        seed in 0u64..100,
+    ) {
+        // Lemma 1 of the paper: if Norm(path) < θ then the path is not fully
+        // inside the θ-Normality subgraph. We verify it on the model's own
+        // training transitions.
+        let data = srw_series(4_000, 2, 0.0, seed);
+        let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+        let graph = model.graph();
+        let query = 200usize;
+        let normality = model.normality_scores(&data.series, query).unwrap();
+        // Pick θ as the median per-edge normality; any subsequence scoring
+        // below θ/ℓq-normalised terms must contain at least one sub-θ edge.
+        let theta = {
+            let mut values: Vec<f64> = graph
+                .edges()
+                .map(|e| e.weight * (graph.degree(e.from) as f64 - 1.0))
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            values[values.len() / 2]
+        };
+        let normal_subgraph = theta_normality(graph, theta);
+        // Scores are per-start averages; a score strictly below θ·(gaps)/ℓq can
+        // only happen when at least one traversed edge is below θ.
+        let gaps = (query - 50) as f64;
+        for (start, &score) in normality.iter().enumerate().step_by(257) {
+            if score * (query as f64) < theta * gaps - 1e-9 {
+                // Re-derive this subsequence's transitions and check membership.
+                let window = data.series.subsequence(start, query).unwrap();
+                let points = model.embedding().project_slice(window).unwrap();
+                let transitions = series2graph::core::edges::EdgeExtraction::map_transitions(
+                    &points,
+                    model.node_set(),
+                );
+                let any_below = transitions.iter().any(|&(from, to)| {
+                    graph
+                        .edge_weight(from, to)
+                        .map(|w| w * (graph.degree(from) as f64 - 1.0) < theta)
+                        .unwrap_or(true)
+                });
+                prop_assert!(
+                    any_below,
+                    "subsequence at {start} scores below θ but all its edges are θ-normal"
+                );
+                // Consistency with the subgraph view.
+                let full_path_inside = transitions.iter().all(|&(from, to)| {
+                    normal_subgraph.contains_edge(from, to)
+                });
+                prop_assert!(!full_path_inside || transitions.is_empty());
+            }
+        }
+        let _ = scoring::anomaly_profile(&normality);
+    }
+}
