@@ -52,7 +52,11 @@ impl MthDiscordProfile {
 /// * [`Error::InvalidParameter`] for `window < 4` or `m == 0`.
 /// * [`Error::SeriesTooShort`] when the series cannot host `m + 1`
 ///   non-overlapping subsequences.
-pub fn mth_discord_profile(series: &TimeSeries, window: usize, m: usize) -> Result<MthDiscordProfile> {
+pub fn mth_discord_profile(
+    series: &TimeSeries,
+    window: usize,
+    m: usize,
+) -> Result<MthDiscordProfile> {
     if window < 4 {
         return Err(Error::InvalidParameter {
             name: "window",
@@ -60,11 +64,17 @@ pub fn mth_discord_profile(series: &TimeSeries, window: usize, m: usize) -> Resu
         });
     }
     if m == 0 {
-        return Err(Error::InvalidParameter { name: "m", message: "must be at least 1".into() });
+        return Err(Error::InvalidParameter {
+            name: "m",
+            message: "must be at least 1".into(),
+        });
     }
     let n = series.len();
     if n < (m + 1) * window {
-        return Err(Error::SeriesTooShort { series_len: n, required: (m + 1) * window });
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: (m + 1) * window,
+        });
     }
     let values = series.values();
     let n_sub = n - window + 1;
@@ -75,7 +85,11 @@ pub fn mth_discord_profile(series: &TimeSeries, window: usize, m: usize) -> Resu
 
     let mut first_row_dots = vec![0.0; n_sub];
     for (j, dot) in first_row_dots.iter_mut().enumerate() {
-        *dot = values[0..window].iter().zip(&values[j..j + window]).map(|(a, b)| a * b).sum();
+        *dot = values[0..window]
+            .iter()
+            .zip(&values[j..j + window])
+            .map(|(a, b)| a * b)
+            .sum();
     }
 
     let mut profile = vec![0.0; n_sub];
@@ -128,17 +142,19 @@ mod tests {
     use crate::matrix_profile::stomp;
 
     fn sine(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect()
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect()
     }
 
     /// A series where the *same* anomalous shape appears `count` times.
     fn recurrent_anomalies(n: usize, starts: &[usize], len: usize) -> TimeSeries {
         let mut values = sine(n);
         for &s in starts {
-            for i in s..(s + len).min(n) {
+            for (i, v) in values.iter_mut().enumerate().take((s + len).min(n)).skip(s) {
                 // Identical anomalous shape at every occurrence (same phase).
                 let local = (i - s) as f64;
-                values[i] = 0.9 * (std::f64::consts::TAU * local / 12.5).sin();
+                *v = 0.9 * (std::f64::consts::TAU * local / 12.5).sin();
             }
         }
         TimeSeries::from(values)
@@ -181,7 +197,11 @@ mod tests {
             top2,
             top1
         );
-        assert_eq!(hits(&top2), 2, "m=2 discord must find both recurrent anomalies: {top2:?}");
+        assert_eq!(
+            hits(&top2),
+            2,
+            "m=2 discord must find both recurrent anomalies: {top2:?}"
+        );
     }
 
     #[test]

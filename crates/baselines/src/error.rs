@@ -27,7 +27,10 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::SeriesTooShort { series_len, required } => write!(
+            Error::SeriesTooShort {
+                series_len,
+                required,
+            } => write!(
                 f,
                 "series of length {series_len} is too short; at least {required} points required"
             ),
@@ -46,9 +49,15 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = Error::SeriesTooShort { series_len: 5, required: 10 };
+        let e = Error::SeriesTooShort {
+            series_len: 5,
+            required: 10,
+        };
         assert!(e.to_string().contains('5'));
-        let e = Error::InvalidParameter { name: "window", message: "must be > 3".into() };
+        let e = Error::InvalidParameter {
+            name: "window",
+            message: "must be > 3".into(),
+        };
         assert!(e.to_string().contains("window"));
     }
 }

@@ -63,11 +63,22 @@ pub struct NeuralForecaster {
 impl NeuralForecaster {
     fn new(context: usize, hidden: usize, rng: &mut StdRng) -> Self {
         let scale = (1.0 / context as f64).sqrt();
-        let w1 = (0..hidden * context).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
+        let w1 = (0..hidden * context)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
         let b1 = vec![0.0; hidden];
         let hscale = (1.0 / hidden as f64).sqrt();
-        let w2 = (0..hidden).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * hscale).collect();
-        Self { context, hidden, w1, b1, w2, b2: 0.0 }
+        let w2 = (0..hidden)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * hscale)
+            .collect();
+        Self {
+            context,
+            hidden,
+            w1,
+            b1,
+            w2,
+            b2: 0.0,
+        }
     }
 
     /// Forward pass: returns (hidden activations, prediction).
@@ -80,7 +91,13 @@ impl NeuralForecaster {
             }
             *hj = acc.tanh();
         }
-        let y = self.w2.iter().zip(h.iter()).map(|(w, a)| w * a).sum::<f64>() + self.b2;
+        let y = self
+            .w2
+            .iter()
+            .zip(h.iter())
+            .map(|(w, a)| w * a)
+            .sum::<f64>()
+            + self.b2;
         (h, y)
     }
 
@@ -95,8 +112,8 @@ impl NeuralForecaster {
             self.w2[j] -= lr * grad_w2;
             // Hidden layer gradients (tanh').
             let grad_pre = grad_h * (1.0 - hj * hj);
-            for i in 0..self.context {
-                self.w1[j * self.context + i] -= lr * grad_pre * input[i];
+            for (i, &x) in input.iter().enumerate().take(self.context) {
+                self.w1[j * self.context + i] -= lr * grad_pre * x;
             }
             self.b1[j] -= lr * grad_pre;
         }
@@ -173,14 +190,22 @@ impl ForecastDetector {
             }
         }
 
-        Ok(Self { model, params, mean, std })
+        Ok(Self {
+            model,
+            params,
+            mean,
+            std,
+        })
     }
 
     /// Pointwise squared forecast errors over the whole series (0 for the
     /// first `context` points, which cannot be predicted).
     pub fn pointwise_errors(&self, series: &TimeSeries) -> Vec<f64> {
-        let values: Vec<f64> =
-            series.values().iter().map(|x| (x - self.mean) / self.std).collect();
+        let values: Vec<f64> = series
+            .values()
+            .iter()
+            .map(|x| (x - self.mean) / self.std)
+            .collect();
         let c = self.params.context;
         let mut errors = vec![0.0; values.len()];
         if values.len() <= c {
@@ -198,7 +223,10 @@ impl ForecastDetector {
     /// forecast error over the window (higher = more anomalous).
     pub fn anomaly_scores(&self, series: &TimeSeries, window: usize) -> Result<Vec<f64>> {
         if window == 0 || series.len() < window {
-            return Err(Error::SeriesTooShort { series_len: series.len(), required: window.max(1) });
+            return Err(Error::SeriesTooShort {
+                series_len: series.len(),
+                required: window.max(1),
+            });
         }
         let errors = self.pointwise_errors(series);
         // Mean error per window via the trailing moving average shifted to
@@ -232,11 +260,17 @@ mod tests {
     use super::*;
 
     fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin()).collect();
-        for i in at..(at + len).min(n) {
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin())
+            .collect();
+        for (i, v) in values
+            .iter_mut()
+            .enumerate()
+            .take((at + len).min(n))
+            .skip(at)
+        {
             let local = (i - at) as f64;
-            values[i] = 1.3 * (std::f64::consts::TAU * local / 9.0).sin() + 0.3;
+            *v = 1.3 * (std::f64::consts::TAU * local / 9.0).sin() + 0.3;
         }
         TimeSeries::from(values)
     }
@@ -244,13 +278,17 @@ mod tests {
     #[test]
     fn learns_to_forecast_a_sine() {
         let series = TimeSeries::from(
-            (0..3000).map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin()).collect::<Vec<_>>(),
+            (0..3000)
+                .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin())
+                .collect::<Vec<_>>(),
         );
         let detector = ForecastDetector::fit(&series, ForecastParams::default()).unwrap();
         let errors = detector.pointwise_errors(&series);
-        let mean_err: f64 =
-            errors[100..].iter().sum::<f64>() / (errors.len() - 100) as f64;
-        assert!(mean_err < 0.1, "forecast error too high on a pure sine: {mean_err}");
+        let mean_err: f64 = errors[100..].iter().sum::<f64>() / (errors.len() - 100) as f64;
+        assert!(
+            mean_err < 0.1,
+            "forecast error too high on a pure sine: {mean_err}"
+        );
     }
 
     #[test]
@@ -259,8 +297,10 @@ mod tests {
         let detector = ForecastDetector::fit(&series, ForecastParams::default()).unwrap();
         let scores = detector.anomaly_scores(&series, 100).unwrap();
         assert_eq!(scores.len(), 4000 - 100 + 1);
-        let anomaly_peak =
-            scores[2950..3080].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let anomaly_peak = scores[2950..3080]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let normal_mean: f64 = scores[500..2000].iter().sum::<f64>() / 1500.0;
         assert!(
             anomaly_peak > 3.0 * normal_mean.max(1e-9),
@@ -281,12 +321,18 @@ mod tests {
         let series = sine_with_anomaly(500, 400, 30);
         assert!(ForecastDetector::fit(
             &series,
-            ForecastParams { context: 1, ..Default::default() }
+            ForecastParams {
+                context: 1,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(ForecastDetector::fit(
             &series,
-            ForecastParams { train_fraction: 0.0, ..Default::default() }
+            ForecastParams {
+                train_fraction: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
         let tiny = TimeSeries::from(vec![1.0; 20]);

@@ -27,7 +27,11 @@ pub struct GrammarVizParams {
 
 impl Default for GrammarVizParams {
     fn default() -> Self {
-        Self { segments: 8, alphabet: 4, max_rules: 256 }
+        Self {
+            segments: 8,
+            alphabet: 4,
+            max_rules: 256,
+        }
     }
 }
 
@@ -65,7 +69,10 @@ pub fn grammarviz_anomaly_scores(
     }
     let n = series.len();
     if n < window {
-        return Err(Error::SeriesTooShort { series_len: n, required: window });
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: window,
+        });
     }
     let n_sub = n - window + 1;
 
@@ -101,9 +108,7 @@ pub fn grammarviz_anomaly_scores(
         for pair in sequence.windows(2) {
             *counts.entry((pair[0], pair[1])).or_insert(0) += 1;
         }
-        let Some((&best_digram, &best_count)) =
-            counts.iter().max_by_key(|(_, &c)| c)
-        else {
+        let Some((&best_digram, &best_count)) = counts.iter().max_by_key(|(_, &c)| c) else {
             break;
         };
         if best_count < 2 {
@@ -119,8 +124,8 @@ pub fn grammarviz_anomaly_scores(
             if i + 1 < sequence.len() && (sequence[i], sequence[i + 1]) == best_digram {
                 let span = (spans[i].0, spans[i + 1].1);
                 // Every reduced position covered by this rule occurrence gets credit.
-                for p in span.0..=span.1 {
-                    rule_cover[p] += 1;
+                for cover in &mut rule_cover[span.0..=span.1] {
+                    *cover += 1;
                 }
                 new_sequence.push(rule_id);
                 new_spans.push(span);
@@ -159,11 +164,17 @@ mod tests {
     use super::*;
 
     fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
-        for i in at..(at + len).min(n) {
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        for (i, v) in values
+            .iter_mut()
+            .enumerate()
+            .take((at + len).min(n))
+            .skip(at)
+        {
             let local = (i - at) as f64;
-            values[i] = 1.5 * (std::f64::consts::TAU * local / 9.0).sin() - 0.4;
+            *v = 1.5 * (std::f64::consts::TAU * local / 9.0).sin() - 0.4;
         }
         TimeSeries::from(values)
     }
@@ -180,10 +191,11 @@ mod tests {
     fn anomaly_has_low_rule_coverage() {
         let series = sine_with_anomaly(3000, 1500, 80);
         let scores = grammarviz_anomaly_scores(&series, 80, GrammarVizParams::default()).unwrap();
-        let anomaly_peak =
-            scores[1450..1580].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let normal_typical: f64 =
-            scores[200..1000].iter().sum::<f64>() / 800.0;
+        let anomaly_peak = scores[1450..1580]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let normal_typical: f64 = scores[200..1000].iter().sum::<f64>() / 800.0;
         assert!(
             anomaly_peak > normal_typical,
             "anomaly score {anomaly_peak} should exceed typical normal score {normal_typical}"
@@ -193,7 +205,9 @@ mod tests {
     #[test]
     fn pure_periodic_series_scores_uniformly() {
         let series = TimeSeries::from(
-            (0..1500).map(|i| (std::f64::consts::TAU * i as f64 / 75.0).sin()).collect::<Vec<_>>(),
+            (0..1500)
+                .map(|i| (std::f64::consts::TAU * i as f64 / 75.0).sin())
+                .collect::<Vec<_>>(),
         );
         let scores = grammarviz_anomaly_scores(&series, 75, GrammarVizParams::default()).unwrap();
         // On perfectly repetitive data the score spread should be small
@@ -214,7 +228,10 @@ mod tests {
         assert!(grammarviz_anomaly_scores(
             &series,
             50,
-            GrammarVizParams { alphabet: 1, ..Default::default() }
+            GrammarVizParams {
+                alphabet: 1,
+                ..Default::default()
+            }
         )
         .is_err());
         let tiny = TimeSeries::from(vec![1.0; 10]);

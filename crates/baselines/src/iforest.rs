@@ -30,15 +30,27 @@ pub struct IsolationForestParams {
 
 impl Default for IsolationForestParams {
     fn default() -> Self {
-        Self { n_trees: 100, sample_size: 256, paa_segments: 12, seed: 0x1F0_4E57 }
+        Self {
+            n_trees: 100,
+            sample_size: 256,
+            paa_segments: 12,
+            seed: 0x1F0_4E57,
+        }
     }
 }
 
 /// One node of an isolation tree.
 #[derive(Debug, Clone)]
 enum TreeNode {
-    Internal { feature: usize, threshold: f64, left: usize, right: usize },
-    Leaf { size: usize },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        size: usize,
+    },
 }
 
 /// A trained isolation forest over subsequence summaries.
@@ -62,7 +74,7 @@ fn average_path_length(n: usize) -> f64 {
 
 fn build_tree(
     data: &[Vec<f64>],
-    indices: &mut Vec<usize>,
+    indices: &mut [usize],
     rng: &mut StdRng,
     max_depth: usize,
 ) -> Vec<TreeNode> {
@@ -73,7 +85,7 @@ fn build_tree(
 
 fn build_tree_rec(
     data: &[Vec<f64>],
-    indices: &mut Vec<usize>,
+    indices: &mut [usize],
     rng: &mut StdRng,
     max_depth: usize,
     depth: usize,
@@ -81,7 +93,9 @@ fn build_tree_rec(
 ) -> usize {
     let node_index = nodes.len();
     if depth >= max_depth || indices.len() <= 1 {
-        nodes.push(TreeNode::Leaf { size: indices.len() });
+        nodes.push(TreeNode::Leaf {
+            size: indices.len(),
+        });
         return node_index;
     }
     let dim = data[indices[0]].len();
@@ -92,29 +106,47 @@ fn build_tree_rec(
     let mut found = false;
     for _ in 0..dim.max(4) {
         feature = rng.gen_range(0..dim);
-        lo = indices.iter().map(|&i| data[i][feature]).fold(f64::INFINITY, f64::min);
-        hi = indices.iter().map(|&i| data[i][feature]).fold(f64::NEG_INFINITY, f64::max);
+        lo = indices
+            .iter()
+            .map(|&i| data[i][feature])
+            .fold(f64::INFINITY, f64::min);
+        hi = indices
+            .iter()
+            .map(|&i| data[i][feature])
+            .fold(f64::NEG_INFINITY, f64::max);
         if hi - lo > 1e-12 {
             found = true;
             break;
         }
     }
     if !found {
-        nodes.push(TreeNode::Leaf { size: indices.len() });
+        nodes.push(TreeNode::Leaf {
+            size: indices.len(),
+        });
         return node_index;
     }
     let threshold = rng.gen_range(lo..hi);
     let (mut left_idx, mut right_idx): (Vec<usize>, Vec<usize>) =
         indices.iter().partition(|&&i| data[i][feature] < threshold);
     if left_idx.is_empty() || right_idx.is_empty() {
-        nodes.push(TreeNode::Leaf { size: indices.len() });
+        nodes.push(TreeNode::Leaf {
+            size: indices.len(),
+        });
         return node_index;
     }
     // Placeholder; children indices patched after recursion.
-    nodes.push(TreeNode::Internal { feature, threshold, left: 0, right: 0 });
+    nodes.push(TreeNode::Internal {
+        feature,
+        threshold,
+        left: 0,
+        right: 0,
+    });
     let left = build_tree_rec(data, &mut left_idx, rng, max_depth, depth + 1, nodes);
     let right = build_tree_rec(data, &mut right_idx, rng, max_depth, depth + 1, nodes);
-    if let TreeNode::Internal { left: l, right: r, .. } = &mut nodes[node_index] {
+    if let TreeNode::Internal {
+        left: l, right: r, ..
+    } = &mut nodes[node_index]
+    {
         *l = left;
         *r = right;
     }
@@ -127,9 +159,18 @@ fn path_length(tree: &[TreeNode], point: &[f64]) -> f64 {
     loop {
         match &tree[node] {
             TreeNode::Leaf { size } => return depth + average_path_length(*size),
-            TreeNode::Internal { feature, threshold, left, right } => {
+            TreeNode::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 depth += 1.0;
-                node = if point[*feature] < *threshold { *left } else { *right };
+                node = if point[*feature] < *threshold {
+                    *left
+                } else {
+                    *right
+                };
             }
         }
     }
@@ -157,7 +198,10 @@ impl IsolationForest {
         }
         let n = series.len();
         if n < window + 1 {
-            return Err(Error::SeriesTooShort { series_len: n, required: window + 1 });
+            return Err(Error::SeriesTooShort {
+                series_len: n,
+                required: window + 1,
+            });
         }
         let n_sub = n - window + 1;
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -173,21 +217,30 @@ impl IsolationForest {
         let max_depth = (sample_size as f64).log2().ceil() as usize + 1;
         let mut trees = Vec::with_capacity(params.n_trees);
         for _ in 0..params.n_trees {
-            let sample: Vec<Vec<f64>> =
-                (0..sample_size).map(|_| feature_of(rng.gen_range(0..n_sub))).collect();
+            let sample: Vec<Vec<f64>> = (0..sample_size)
+                .map(|_| feature_of(rng.gen_range(0..n_sub)))
+                .collect();
             let mut indices: Vec<usize> = (0..sample.len()).collect();
             trees.push(build_tree(&sample, &mut indices, &mut rng, max_depth));
         }
-        Ok(Self { trees, sample_size, paa_segments: params.paa_segments, window })
+        Ok(Self {
+            trees,
+            sample_size,
+            paa_segments: params.paa_segments,
+            window,
+        })
     }
 
     /// Anomaly score of one subsequence (already extracted), in `(0, 1)`.
     pub fn score_window(&self, values: &[f64]) -> f64 {
         let z = normalize::znormalize(values);
         let features = paa(&z, self.paa_segments);
-        let mean_depth: f64 =
-            self.trees.iter().map(|t| path_length(t, &features)).sum::<f64>()
-                / self.trees.len() as f64;
+        let mean_depth: f64 = self
+            .trees
+            .iter()
+            .map(|t| path_length(t, &features))
+            .sum::<f64>()
+            / self.trees.len() as f64;
         let c = average_path_length(self.sample_size).max(1e-12);
         2f64.powf(-mean_depth / c)
     }
@@ -196,7 +249,10 @@ impl IsolationForest {
     pub fn score_series(&self, series: &TimeSeries) -> Result<Vec<f64>> {
         let n = series.len();
         if n < self.window {
-            return Err(Error::SeriesTooShort { series_len: n, required: self.window });
+            return Err(Error::SeriesTooShort {
+                series_len: n,
+                required: self.window,
+            });
         }
         Ok((0..=n - self.window)
             .map(|i| self.score_window(&series.values()[i..i + self.window]))
@@ -218,11 +274,17 @@ mod tests {
     use super::*;
 
     fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
-        for i in at..(at + len).min(n) {
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        for (i, v) in values
+            .iter_mut()
+            .enumerate()
+            .take((at + len).min(n))
+            .skip(at)
+        {
             let local = (i - at) as f64;
-            values[i] = 2.0 * (std::f64::consts::TAU * local / 7.0).sin();
+            *v = 2.0 * (std::f64::consts::TAU * local / 7.0).sin();
         }
         TimeSeries::from(values)
     }
@@ -246,10 +308,15 @@ mod tests {
     #[test]
     fn anomaly_scores_higher_than_normal() {
         let series = sine_with_anomaly(3000, 1500, 80);
-        let params = IsolationForestParams { n_trees: 60, ..Default::default() };
+        let params = IsolationForestParams {
+            n_trees: 60,
+            ..Default::default()
+        };
         let scores = iforest_anomaly_scores(&series, 80, params).unwrap();
-        let anomaly_peak =
-            scores[1450..1580].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let anomaly_peak = scores[1450..1580]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let normal_mean: f64 = scores[200..1200].iter().sum::<f64>() / 1000.0;
         assert!(
             anomaly_peak > normal_mean,
@@ -260,7 +327,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let series = sine_with_anomaly(800, 400, 40);
-        let p = IsolationForestParams { n_trees: 20, seed: 9, ..Default::default() };
+        let p = IsolationForestParams {
+            n_trees: 20,
+            seed: 9,
+            ..Default::default()
+        };
         let a = iforest_anomaly_scores(&series, 40, p).unwrap();
         let b = iforest_anomaly_scores(&series, 40, p).unwrap();
         assert_eq!(a, b);
@@ -273,7 +344,10 @@ mod tests {
         assert!(IsolationForest::fit(
             &series,
             50,
-            IsolationForestParams { n_trees: 0, ..Default::default() }
+            IsolationForestParams {
+                n_trees: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         let tiny = TimeSeries::from(vec![1.0; 10]);
@@ -286,6 +360,9 @@ mod tests {
         let forest = IsolationForest::fit(&series, 50, IsolationForestParams::default()).unwrap();
         let normal = forest.score_window(&series.values()[100..150]);
         let anomalous = forest.score_window(&series.values()[500..550]);
-        assert!(anomalous > normal * 0.8, "anomalous {anomalous} vs normal {normal}");
+        assert!(
+            anomalous > normal * 0.8,
+            "anomalous {anomalous} vs normal {normal}"
+        );
     }
 }

@@ -28,7 +28,11 @@ pub struct LofParams {
 
 impl Default for LofParams {
     fn default() -> Self {
-        Self { k: 10, stride: None, paa_segments: 12 }
+        Self {
+            k: 10,
+            stride: None,
+            paa_segments: 12,
+        }
     }
 }
 
@@ -38,7 +42,11 @@ impl Default for LofParams {
 /// # Errors
 /// * [`Error::InvalidParameter`] for degenerate windows or `k == 0`.
 /// * [`Error::SeriesTooShort`] when fewer than `k + 2` candidates exist.
-pub fn lof_anomaly_scores(series: &TimeSeries, window: usize, params: LofParams) -> Result<Vec<f64>> {
+pub fn lof_anomaly_scores(
+    series: &TimeSeries,
+    window: usize,
+    params: LofParams,
+) -> Result<Vec<f64>> {
     if window < 4 {
         return Err(Error::InvalidParameter {
             name: "window",
@@ -46,11 +54,17 @@ pub fn lof_anomaly_scores(series: &TimeSeries, window: usize, params: LofParams)
         });
     }
     if params.k == 0 {
-        return Err(Error::InvalidParameter { name: "k", message: "must be at least 1".into() });
+        return Err(Error::InvalidParameter {
+            name: "k",
+            message: "must be at least 1".into(),
+        });
     }
     let n = series.len();
     if n < window {
-        return Err(Error::SeriesTooShort { series_len: n, required: window });
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: window,
+        });
     }
     let stride = params.stride.unwrap_or((window / 4).max(1)).max(1);
     let n_sub = n - window + 1;
@@ -68,13 +82,20 @@ pub fn lof_anomaly_scores(series: &TimeSeries, window: usize, params: LofParams)
     }
     let m = features.len();
     if m < params.k + 2 {
-        return Err(Error::SeriesTooShort { series_len: n, required: (params.k + 2) * stride + window });
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: (params.k + 2) * stride + window,
+        });
     }
     let k = params.k.min(m - 1);
 
     // Pairwise distances between candidates (m is series_len/stride, small).
     let dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     };
 
     // k-nearest neighbours (distances + indices) for every candidate.
@@ -92,8 +113,10 @@ pub fn lof_anomaly_scores(series: &TimeSeries, window: usize, params: LofParams)
     }
 
     // k-distance of each candidate = distance to its k-th neighbour.
-    let k_distance: Vec<f64> =
-        knn_dist.iter().map(|d| d.last().copied().unwrap_or(0.0)).collect();
+    let k_distance: Vec<f64> = knn_dist
+        .iter()
+        .map(|d| d.last().copied().unwrap_or(0.0))
+        .collect();
 
     // Local reachability density.
     let mut lrd = vec![0.0; m];
@@ -116,10 +139,10 @@ pub fn lof_anomaly_scores(series: &TimeSeries, window: usize, params: LofParams)
 
     // Expand candidate scores back to one score per subsequence start.
     let mut out = vec![0.0; n_sub];
-    for i in 0..n_sub {
+    for (i, o) in out.iter_mut().enumerate() {
         let candidate = (i + stride / 2) / stride;
         let candidate = candidate.min(m - 1);
-        out[i] = lof[candidate];
+        *o = lof[candidate];
     }
     Ok(out)
 }
@@ -129,10 +152,16 @@ mod tests {
     use super::*;
 
     fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
-        for i in at..(at + len).min(n) {
-            values[i] = 1.2 * (std::f64::consts::TAU * i as f64 / 11.0).sin();
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        for (i, v) in values
+            .iter_mut()
+            .enumerate()
+            .take((at + len).min(n))
+            .skip(at)
+        {
+            *v = 1.2 * (std::f64::consts::TAU * i as f64 / 11.0).sin();
         }
         TimeSeries::from(values)
     }
@@ -149,9 +178,14 @@ mod tests {
     fn anomalous_region_scores_higher() {
         let series = sine_with_anomaly(2000, 1000, 80);
         let scores = lof_anomaly_scores(&series, 80, LofParams::default()).unwrap();
-        let anomaly_peak =
-            scores[950..1080].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let normal_peak = scores[100..500].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let anomaly_peak = scores[950..1080]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let normal_peak = scores[100..500]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(
             anomaly_peak > normal_peak,
             "anomaly LOF {anomaly_peak} should exceed normal LOF {normal_peak}"
@@ -161,18 +195,31 @@ mod tests {
     #[test]
     fn uniform_periodic_series_has_scores_near_one() {
         let series = TimeSeries::from(
-            (0..1200).map(|i| (std::f64::consts::TAU * i as f64 / 60.0).sin()).collect::<Vec<_>>(),
+            (0..1200)
+                .map(|i| (std::f64::consts::TAU * i as f64 / 60.0).sin())
+                .collect::<Vec<_>>(),
         );
         let scores = lof_anomaly_scores(&series, 60, LofParams::default()).unwrap();
         let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
-        assert!((mean - 1.0).abs() < 0.3, "mean LOF on uniform data = {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.3,
+            "mean LOF on uniform data = {mean}"
+        );
     }
 
     #[test]
     fn rejects_bad_parameters() {
         let series = sine_with_anomaly(400, 200, 20);
         assert!(lof_anomaly_scores(&series, 2, LofParams::default()).is_err());
-        assert!(lof_anomaly_scores(&series, 40, LofParams { k: 0, ..Default::default() }).is_err());
+        assert!(lof_anomaly_scores(
+            &series,
+            40,
+            LofParams {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let tiny = TimeSeries::from(vec![1.0, 2.0, 3.0]);
         assert!(lof_anomaly_scores(&tiny, 40, LofParams::default()).is_err());
     }
@@ -183,13 +230,19 @@ mod tests {
         let coarse = lof_anomaly_scores(
             &series,
             50,
-            LofParams { stride: Some(50), ..Default::default() },
+            LofParams {
+                stride: Some(50),
+                ..Default::default()
+            },
         )
         .unwrap();
         let fine = lof_anomaly_scores(
             &series,
             50,
-            LofParams { stride: Some(5), ..Default::default() },
+            LofParams {
+                stride: Some(5),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(coarse.len(), fine.len());

@@ -58,7 +58,10 @@ pub fn stomp(series: &TimeSeries, window: usize) -> Result<MatrixProfile> {
     }
     let n = series.len();
     if n < 2 * window {
-        return Err(Error::SeriesTooShort { series_len: n, required: 2 * window });
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: 2 * window,
+        });
     }
     let values = series.values();
     let n_sub = n - window + 1;
@@ -109,7 +112,11 @@ pub fn stomp(series: &TimeSeries, window: usize) -> Result<MatrixProfile> {
         profile_index[i] = best_j;
     }
 
-    Ok(MatrixProfile { window, profile, profile_index })
+    Ok(MatrixProfile {
+        window,
+        profile,
+        profile_index,
+    })
 }
 
 fn dot_product(a: &[f64], b: &[f64]) -> f64 {
@@ -127,10 +134,16 @@ mod tests {
     use super::*;
 
     fn sine_with_anomaly(n: usize, anomaly_at: usize, anomaly_len: usize) -> TimeSeries {
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin()).collect();
-        for i in anomaly_at..(anomaly_at + anomaly_len).min(n) {
-            values[i] = 0.5 * (std::f64::consts::TAU * i as f64 / 13.0).sin() + 0.8;
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        for (i, v) in values
+            .iter_mut()
+            .enumerate()
+            .take((anomaly_at + anomaly_len).min(n))
+            .skip(anomaly_at)
+        {
+            *v = 0.5 * (std::f64::consts::TAU * i as f64 / 13.0).sin() + 0.8;
         }
         TimeSeries::from(values)
     }
@@ -146,11 +159,8 @@ mod tests {
                 if i.abs_diff(j) < exclusion.max(1) {
                     continue;
                 }
-                let d = distance::znorm_euclidean(
-                    &values[i..i + window],
-                    &values[j..j + window],
-                )
-                .unwrap();
+                let d = distance::znorm_euclidean(&values[i..i + window], &values[j..j + window])
+                    .unwrap();
                 if d < out[i] {
                     out[i] = d;
                 }
@@ -174,11 +184,16 @@ mod tests {
     #[test]
     fn periodic_series_has_near_zero_profile() {
         let series = TimeSeries::from(
-            (0..2000).map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin()).collect::<Vec<_>>(),
+            (0..2000)
+                .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin())
+                .collect::<Vec<_>>(),
         );
         let mp = stomp(&series, 40).unwrap();
         let max = mp.profile.iter().cloned().fold(0.0, f64::max);
-        assert!(max < 1e-3, "pure periodic series should have ~0 profile, max = {max}");
+        assert!(
+            max < 1e-3,
+            "pure periodic series should have ~0 profile, max = {max}"
+        );
     }
 
     #[test]
@@ -215,8 +230,14 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let series = TimeSeries::from(vec![1.0; 100]);
-        assert!(matches!(stomp(&series, 2), Err(Error::InvalidParameter { .. })));
-        assert!(matches!(stomp(&series, 80), Err(Error::SeriesTooShort { .. })));
+        assert!(matches!(
+            stomp(&series, 2),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            stomp(&series, 80),
+            Err(Error::SeriesTooShort { .. })
+        ));
     }
 
     #[test]

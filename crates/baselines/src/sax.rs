@@ -86,7 +86,10 @@ pub struct SaxSeries {
 /// Computes the SAX transform of a series.
 pub fn sax_transform(values: &[f64], window: usize, segments: usize, alphabet: usize) -> SaxSeries {
     if window == 0 || values.len() < window {
-        return SaxSeries { words: Vec::new(), reduced_positions: Vec::new() };
+        return SaxSeries {
+            words: Vec::new(),
+            reduced_positions: Vec::new(),
+        };
     }
     let n_sub = values.len() - window + 1;
     let mut words = Vec::with_capacity(n_sub);
@@ -99,7 +102,10 @@ pub fn sax_transform(values: &[f64], window: usize, segments: usize, alphabet: u
             reduced_positions.push(i);
         }
     }
-    SaxSeries { words, reduced_positions }
+    SaxSeries {
+        words,
+        reduced_positions,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +134,9 @@ mod tests {
 
     #[test]
     fn sax_word_symbols_are_in_alphabet() {
-        let values: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() * 5.0 + 2.0).collect();
+        let values: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).sin() * 5.0 + 2.0)
+            .collect();
         let word = sax_word(&values, 8, 4);
         assert_eq!(word.len(), 8);
         assert!(word.iter().all(|&s| s < 4));

@@ -19,7 +19,11 @@ fn pca_solver_ablation(c: &mut Criterion) {
         ("covariance", PcaSolver::Covariance),
         (
             "randomized_svd",
-            PcaSolver::RandomizedSvd { oversample: 7, power_iterations: 2, seed: 3 },
+            PcaSolver::RandomizedSvd {
+                oversample: 7,
+                power_iterations: 2,
+                seed: 3,
+            },
         ),
     ];
     for (name, solver) in solvers {

@@ -55,5 +55,10 @@ fn edge_extraction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, node_extraction, node_extraction_vs_rate, edge_extraction);
+criterion_group!(
+    benches,
+    node_extraction,
+    node_extraction_vs_rate,
+    edge_extraction
+);
 criterion_main!(benches);

@@ -42,5 +42,10 @@ fn single_subsequence_scoring(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, scoring_vs_query_length, scoring_unseen_series, single_subsequence_scoring);
+criterion_group!(
+    benches,
+    scoring_vs_query_length,
+    scoring_unseen_series,
+    single_subsequence_scoring
+);
 criterion_main!(benches);

@@ -37,7 +37,11 @@ fn main() {
         table.push_row(vec![
             window.to_string(),
             top.to_string(),
-            if hit { "yes".to_string() } else { "NO (false positive)".to_string() },
+            if hit {
+                "yes".to_string()
+            } else {
+                "NO (false positive)".to_string()
+            },
             format!("{max_d:.3}"),
         ]);
     }

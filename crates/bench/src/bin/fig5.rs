@@ -22,7 +22,9 @@ fn main() {
     let length = ((100_000.0 * scale) as usize).max(10_000);
     let query_length = 160usize; // > every swept ℓ; covers both anomaly types
 
-    println!("Figure 5 — graph structure vs input length ℓ on MBA(820)-like ECG ({length} points)\n");
+    println!(
+        "Figure 5 — graph structure vs input length ℓ on MBA(820)-like ECG ({length} points)\n"
+    );
     let data = generate_mba_with_length(MbaRecord::R820, length, seed);
     let truth = ground_truth(&data);
     let k = truth.count();
@@ -40,7 +42,9 @@ fn main() {
     for ell in [80usize, 100, 120] {
         let config = S2gConfig::new(ell);
         let model = Series2Graph::fit(&data.series, &config).expect("fit failed");
-        let normality = model.normality_scores(&data.series, query_length).expect("scoring failed");
+        let normality = model
+            .normality_scores(&data.series, query_length)
+            .expect("scoring failed");
 
         let mut normal_sum = 0.0;
         let mut normal_count = 0usize;

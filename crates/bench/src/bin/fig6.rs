@@ -99,6 +99,8 @@ trait CloneHeaders {
 impl CloneHeaders for Table {
     fn clone_headers(&self) -> Table {
         // The eval Table does not expose headers; rebuild with the same labels.
-        Table::new(vec!["dataset", "ℓA-60", "ℓA-40", "ℓA-20", "ℓA", "ℓA+20", "ℓA+40", "ℓA+60"])
+        Table::new(vec![
+            "dataset", "ℓA-60", "ℓA-40", "ℓA-20", "ℓA", "ℓA+20", "ℓA+40", "ℓA+60",
+        ])
     }
 }

@@ -47,9 +47,13 @@ fn part_a(data: &[LabeledSeries]) {
     for ds in data {
         let mut row = vec![ds.name.clone()];
         for &ratio in &ratios {
-            let config = S2gConfig::new(PATTERN_LENGTH)
-                .with_bandwidth(BandwidthRule::SigmaRatio(ratio));
-            row.push(fmt_accuracy(accuracy_with_config(ds, &config, QUERY_LENGTH)));
+            let config =
+                S2gConfig::new(PATTERN_LENGTH).with_bandwidth(BandwidthRule::SigmaRatio(ratio));
+            row.push(fmt_accuracy(accuracy_with_config(
+                ds,
+                &config,
+                QUERY_LENGTH,
+            )));
         }
         let scott = S2gConfig::new(PATTERN_LENGTH).with_bandwidth(BandwidthRule::Scott);
         row.push(fmt_accuracy(accuracy_with_config(ds, &scott, QUERY_LENGTH)));

@@ -53,7 +53,9 @@ fn main() {
         let query = data.anomalies[0].length.max(ell);
 
         let model = Series2Graph::fit(&data.series, &S2gConfig::new(ell)).expect("fit failed");
-        let normality = model.normality_scores(&data.series, query).expect("scoring failed");
+        let normality = model
+            .normality_scores(&data.series, query)
+            .expect("scoring failed");
         let anomaly_scores = model.anomaly_scores(&data.series, query).unwrap();
         let top = model.top_k_anomalies(&anomaly_scores, 1, query)[0];
         let hit = truth.window_overlaps_anomaly(top, query);
@@ -69,7 +71,11 @@ fn main() {
             ell.to_string(),
             top.to_string(),
             discord_start.to_string(),
-            if hit { "yes".to_string() } else { "NO".to_string() },
+            if hit {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
             format!("{discord_normality:.1}"),
             format!("{median:.1}"),
         ]);

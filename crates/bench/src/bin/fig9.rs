@@ -20,12 +20,18 @@ fn methods(args: &[String]) -> Vec<Method> {
     if args.iter().any(|a| a == "--fast") {
         Method::FAST.to_vec()
     } else {
-        Method::ALL.iter().copied().filter(|m| *m != Method::S2gHalf).collect()
+        Method::ALL
+            .iter()
+            .copied()
+            .filter(|m| *m != Method::S2gHalf)
+            .collect()
     }
 }
 
 fn header(methods: &[Method], first: &str) -> Vec<String> {
-    std::iter::once(first.to_string()).chain(methods.iter().map(|m| m.name().to_string())).collect()
+    std::iter::once(first.to_string())
+        .chain(methods.iter().map(|m| m.name().to_string()))
+        .collect()
 }
 
 fn part_size(args: &[String], scale: f64, seed: u64) {
@@ -37,7 +43,11 @@ fn part_size(args: &[String], scale: f64, seed: u64) {
     let methods = methods(args);
     for (label, dataset, window) in [
         ("MBA(14046)-like", Dataset::Mba(MbaRecord::R14046), 75usize),
-        ("Concatenated Marotta-like", Dataset::Discord(DiscordDataset::MarottaValve), 1_000),
+        (
+            "Concatenated Marotta-like",
+            Dataset::Discord(DiscordDataset::MarottaValve),
+            1_000,
+        ),
         ("Concatenated SED-like", Dataset::Sed, 75),
     ] {
         println!("\n  {label}:");

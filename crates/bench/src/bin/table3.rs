@@ -9,7 +9,9 @@
 //! quadratic baselines dominate); the default 0.2 keeps the whole table in
 //! the minutes range while preserving the anomaly structure.
 
-use s2g_bench::runner::{evaluate, ground_truth, methods_from_args, scale_from_args, seed_from_args};
+use s2g_bench::runner::{
+    evaluate, ground_truth, methods_from_args, scale_from_args, seed_from_args,
+};
 use s2g_datasets::catalog::Dataset;
 use s2g_eval::table::{fmt_accuracy, Table};
 
@@ -19,9 +21,7 @@ fn main() {
     let seed = seed_from_args(&args);
     let methods = methods_from_args(&args);
 
-    println!(
-        "Table 3 — Top-k accuracy (k = number of anomalies), scale {scale}, seed {seed}\n"
-    );
+    println!("Table 3 — Top-k accuracy (k = number of anomalies), scale {scale}, seed {seed}\n");
 
     let mut headers: Vec<String> = vec!["dataset".into(), "k".into()];
     headers.extend(methods.iter().map(|m| m.name().to_string()));

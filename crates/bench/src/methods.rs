@@ -110,10 +110,10 @@ impl Method {
                 } else {
                     series.clone()
                 };
-                let model =
-                    Series2Graph::fit(&train, &config).map_err(|e| e.to_string())?;
-                let scores =
-                    model.anomaly_scores(series, query).map_err(|e| e.to_string())?;
+                let model = Series2Graph::fit(&train, &config).map_err(|e| e.to_string())?;
+                let scores = model
+                    .anomaly_scores(series, query)
+                    .map_err(|e| e.to_string())?;
                 Ok((scores, query))
             }
             Method::Stomp => {
@@ -122,14 +122,12 @@ impl Method {
             }
             Method::Dad => {
                 let m = k.max(1);
-                let scores =
-                    dad_anomaly_scores(series, window, m).map_err(|e| e.to_string())?;
+                let scores = dad_anomaly_scores(series, window, m).map_err(|e| e.to_string())?;
                 Ok((scores, window))
             }
             Method::GrammarViz => {
-                let scores =
-                    grammarviz_anomaly_scores(series, window, GrammarVizParams::default())
-                        .map_err(|e| e.to_string())?;
+                let scores = grammarviz_anomaly_scores(series, window, GrammarVizParams::default())
+                    .map_err(|e| e.to_string())?;
                 Ok((scores, window))
             }
             Method::Lof => {
@@ -144,9 +142,8 @@ impl Method {
                 Ok((scores, window))
             }
             Method::LstmAd => {
-                let scores =
-                    forecast_anomaly_scores(series, window, ForecastParams::default())
-                        .map_err(|e| e.to_string())?;
+                let scores = forecast_anomaly_scores(series, window, ForecastParams::default())
+                    .map_err(|e| e.to_string())?;
                 Ok((scores, window))
             }
         }
@@ -198,7 +195,11 @@ mod tests {
                 "{}: wrong profile length",
                 m.name()
             );
-            assert!(scores.iter().all(|s| s.is_finite()), "{}: non-finite score", m.name());
+            assert!(
+                scores.iter().all(|s| s.is_finite()),
+                "{}: non-finite score",
+                m.name()
+            );
         }
     }
 

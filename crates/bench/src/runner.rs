@@ -32,7 +32,11 @@ pub fn ground_truth(data: &LabeledSeries) -> GroundTruth {
 /// Runs one method on an already generated labelled series, timing the score
 /// computation and evaluating Top-k accuracy with `k` equal to the number of
 /// labelled anomalies. Returns `Err` with the method's message on failure.
-pub fn evaluate(data: &LabeledSeries, method: Method, window: usize) -> Result<EvalOutcome, String> {
+pub fn evaluate(
+    data: &LabeledSeries,
+    method: Method,
+    window: usize,
+) -> Result<EvalOutcome, String> {
     let truth = ground_truth(data);
     let k = truth.count();
     let start = Instant::now();
@@ -75,17 +79,24 @@ pub fn time_method(data: &LabeledSeries, method: Method, window: usize) -> Resul
 /// Parses a simple `--flag value` style command line shared by the experiment
 /// binaries. Returns the value following `flag`, if any.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Parses the `--scale` argument (default 0.2).
 pub fn scale_from_args(args: &[String]) -> f64 {
-    arg_value(args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.2)
+    arg_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2)
 }
 
 /// Parses the `--seed` argument (default 1).
 pub fn seed_from_args(args: &[String]) -> u64 {
-    arg_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(1)
+    arg_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Parses the `--methods` argument (comma-separated labels); defaults to all.
@@ -93,8 +104,10 @@ pub fn methods_from_args(args: &[String]) -> Vec<Method> {
     match arg_value(args, "--methods") {
         None => Method::ALL.to_vec(),
         Some(list) => {
-            let parsed: Vec<Method> =
-                list.split(',').filter_map(|m| Method::parse(m.trim())).collect();
+            let parsed: Vec<Method> = list
+                .split(',')
+                .filter_map(|m| Method::parse(m.trim()))
+                .collect();
             if parsed.is_empty() {
                 Method::ALL.to_vec()
             } else {
@@ -144,7 +157,11 @@ mod tests {
     #[test]
     fn evaluate_scaled_respects_scale() {
         let outcome = evaluate_scaled(
-            Dataset::Srw { num_anomalies: 3, noise_ratio: 0.0, anomaly_length: 100 },
+            Dataset::Srw {
+                num_anomalies: 3,
+                noise_ratio: 0.0,
+                anomaly_length: 100,
+            },
             Method::Stomp,
             0.05,
             2,
@@ -162,11 +179,17 @@ mod tests {
 
     #[test]
     fn argument_parsing() {
-        let args: Vec<String> =
-            ["--scale", "0.5", "--seed", "9", "--methods", "s2g,stomp,bogus"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "--scale",
+            "0.5",
+            "--seed",
+            "9",
+            "--methods",
+            "s2g,stomp,bogus",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(scale_from_args(&args), 0.5);
         assert_eq!(seed_from_args(&args), 9);
         assert_eq!(methods_from_args(&args), vec![Method::S2g, Method::Stomp]);

@@ -120,11 +120,16 @@ impl S2gConfig {
             )));
         }
         if self.rate < 3 {
-            return Err(Error::InvalidConfig(format!("rate must be at least 3, got {}", self.rate)));
+            return Err(Error::InvalidConfig(format!(
+                "rate must be at least 3, got {}",
+                self.rate
+            )));
         }
         if let BandwidthRule::SigmaRatio(r) = self.bandwidth {
-            if !(r > 0.0) || !r.is_finite() {
-                return Err(Error::InvalidConfig(format!("bandwidth ratio must be positive, got {r}")));
+            if r <= 0.0 || !r.is_finite() {
+                return Err(Error::InvalidConfig(format!(
+                    "bandwidth ratio must be positive, got {r}"
+                )));
             }
         }
         if self.kde_grid_points < 10 {
@@ -176,7 +181,10 @@ mod tests {
         assert!(S2gConfig::new(50).with_lambda(50).validate().is_err());
         assert!(S2gConfig::new(50).with_lambda(48).validate().is_err()); // dim < 3
         assert!(S2gConfig::new(50).with_rate(2).validate().is_err());
-        assert!(S2gConfig::new(50).with_bandwidth(BandwidthRule::SigmaRatio(0.0)).validate().is_err());
+        assert!(S2gConfig::new(50)
+            .with_bandwidth(BandwidthRule::SigmaRatio(0.0))
+            .validate()
+            .is_err());
         assert!(S2gConfig::new(50)
             .with_bandwidth(BandwidthRule::SigmaRatio(f64::NAN))
             .validate()

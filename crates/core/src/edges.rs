@@ -39,7 +39,11 @@ impl EdgeExtraction {
             graph.record_transition(pair[0], pair[1])?;
             transitions.push((pair[0], pair[1]));
         }
-        Ok(Self { graph, node_sequence, transitions })
+        Ok(Self {
+            graph,
+            node_sequence,
+            transitions,
+        })
     }
 
     /// Maps a (query) trajectory onto transitions of an *existing* node set
@@ -87,7 +91,11 @@ mod tests {
         // Eight nodes; transitions are either self-loops (within a sector) or
         // hops to the next sector, so at most 16 distinct edges.
         assert_eq!(ext.graph.node_count(), 8);
-        assert!(ext.graph.edge_count() <= 16, "edges = {}", ext.graph.edge_count());
+        assert!(
+            ext.graph.edge_count() <= 16,
+            "edges = {}",
+            ext.graph.edge_count()
+        );
         // Each inter-sector hop happens once per turn.
         let hop_weights: Vec<f64> = ext
             .graph
@@ -200,10 +208,18 @@ mod tests {
         let cfg = config(8);
         let nodes = NodeSet::extract(&points, &cfg).unwrap();
         let ext = EdgeExtraction::extract(&points, &nodes).unwrap();
-        let self_loop_weight: f64 =
-            ext.graph.edges().filter(|e| e.from == e.to).map(|e| e.weight).sum();
-        let hop_weight: f64 =
-            ext.graph.edges().filter(|e| e.from != e.to).map(|e| e.weight).sum();
+        let self_loop_weight: f64 = ext
+            .graph
+            .edges()
+            .filter(|e| e.from == e.to)
+            .map(|e| e.weight)
+            .sum();
+        let hop_weight: f64 = ext
+            .graph
+            .edges()
+            .filter(|e| e.from != e.to)
+            .map(|e| e.weight)
+            .sum();
         assert!(self_loop_weight > hop_weight);
     }
 }

@@ -53,7 +53,10 @@ impl Embedding {
         // We need at least a few embedded points to fit a 3-D PCA.
         let min_len = ell + 4;
         if series.len() < min_len {
-            return Err(Error::SeriesTooShort { series_len: series.len(), required: min_len });
+            return Err(Error::SeriesTooShort {
+                series_len: series.len(),
+                required: min_len,
+            });
         }
 
         // Convolution matrix Proj(T, ℓ, λ): row i = rolling sums of width λ of
@@ -87,7 +90,9 @@ impl Embedding {
         let zero_proj = pca.transform_row(&zero_point)?;
         let v_ref = Vec3::from_slice(&ref_proj) - Vec3::from_slice(&zero_proj);
         if v_ref.norm() < 1e-12 {
-            return Err(Error::DegenerateEmbedding("reference vector collapsed to zero"));
+            return Err(Error::DegenerateEmbedding(
+                "reference vector collapsed to zero",
+            ));
         }
         let rotation = align_to_x_axis(v_ref);
 
@@ -107,6 +112,38 @@ impl Embedding {
             points,
             explained_variance_ratio: explained,
         })
+    }
+
+    /// Reassembles a fitted embedding from its parts (the inverse of
+    /// [`Embedding::pca`], [`Embedding::rotation`] and the public fields).
+    /// Used by model persistence; performs no refitting.
+    pub fn from_parts(
+        pattern_length: usize,
+        lambda: usize,
+        pca: Pca,
+        rotation: Rotation3,
+        points: Vec<Vec2>,
+        explained_variance_ratio: f64,
+    ) -> Self {
+        Self {
+            pattern_length,
+            lambda,
+            pca,
+            rotation,
+            points,
+            explained_variance_ratio,
+        }
+    }
+
+    /// The fitted PCA (exposed for model persistence).
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// The fitted rotation aligning `v_ref` with the x-axis (exposed for
+    /// model persistence).
+    pub fn rotation(&self) -> &Rotation3 {
+        &self.rotation
     }
 
     /// Number of embedded points of the training series.
@@ -130,7 +167,10 @@ impl Embedding {
     pub fn project(&self, series: &TimeSeries) -> Result<Vec<Vec2>> {
         let ell = self.pattern_length;
         if series.len() < ell {
-            return Err(Error::SeriesTooShort { series_len: series.len(), required: ell });
+            return Err(Error::SeriesTooShort {
+                series_len: series.len(),
+                required: ell,
+            });
         }
         let dim = ell - self.lambda;
         let conv = stats::rolling_sum(series.values(), self.lambda);
@@ -157,7 +197,9 @@ mod tests {
 
     fn sine_series(n: usize, period: f64) -> TimeSeries {
         TimeSeries::from(
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / period).sin()).collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| (std::f64::consts::TAU * i as f64 / period).sin())
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -187,8 +229,9 @@ mod tests {
         // nearly identical (y, z) trajectories: the offset lives on the
         // rotated x-axis (this is the whole point of the v_ref rotation).
         let n = 3000;
-        let base: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 80.0).sin()).collect();
+        let base: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 80.0).sin())
+            .collect();
         let mut shifted = base.clone();
         for v in shifted[1500..].iter_mut() {
             *v += 5.0;
@@ -200,11 +243,7 @@ mod tests {
         // same phase positions, one period apart from the shift point.
         let p_early = emb.points[400];
         let p_late = emb.points[400 + 2000]; // same phase (2000 = 25 periods)
-        let spread: f64 = emb
-            .points
-            .iter()
-            .map(|p| p.norm())
-            .fold(0.0, f64::max);
+        let spread: f64 = emb.points.iter().map(|p| p.norm()).fold(0.0, f64::max);
         assert!(
             p_early.distance(&p_late) < 0.15 * spread.max(1e-9),
             "shape-equal subsequences too far apart: {} vs spread {}",
@@ -218,10 +257,11 @@ mod tests {
         // A sine with a burst of doubled frequency: the burst's embedded
         // points should lie far from the dense normal trajectory.
         let n = 4000;
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin()).collect();
-        for i in 2000..2150 {
-            values[i] = (std::f64::consts::TAU * (i as f64) / 25.0).sin();
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+            .collect();
+        for (i, v) in values.iter_mut().enumerate().take(2150).skip(2000) {
+            *v = (std::f64::consts::TAU * (i as f64) / 25.0).sin();
         }
         let series = TimeSeries::from(values);
         let emb = Embedding::fit(&series, &S2gConfig::new(50)).unwrap();
@@ -230,12 +270,20 @@ mod tests {
         // point. Points of other normal cycles sit right on the normal
         // trajectory (distance ≈ 0), anomalous points do not.
         let normal_points = &emb.points[..1800];
-        let nearest_normal =
-            |p: &Vec2| normal_points.iter().map(|q| p.distance(q)).fold(f64::INFINITY, f64::min);
-        let anomaly_isolation =
-            emb.points[2020..2080].iter().map(|p| nearest_normal(p)).fold(0.0, f64::max);
-        let normal_isolation =
-            emb.points[2500..2600].iter().map(|p| nearest_normal(p)).fold(0.0, f64::max);
+        let nearest_normal = |p: &Vec2| {
+            normal_points
+                .iter()
+                .map(|q| p.distance(q))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let anomaly_isolation = emb.points[2020..2080]
+            .iter()
+            .map(&nearest_normal)
+            .fold(0.0, f64::max);
+        let normal_isolation = emb.points[2500..2600]
+            .iter()
+            .map(nearest_normal)
+            .fold(0.0, f64::max);
         assert!(
             anomaly_isolation > 5.0 * (normal_isolation + 1e-9),
             "anomalous points not isolated: {anomaly_isolation} vs normal isolation {normal_isolation}"

@@ -90,9 +90,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = Error::SeriesTooShort { series_len: 10, required: 100 };
+        let e = Error::SeriesTooShort {
+            series_len: 10,
+            required: 100,
+        };
         assert!(e.to_string().contains("10") && e.to_string().contains("100"));
-        let e = Error::QueryShorterThanPattern { query_length: 40, pattern_length: 80 };
+        let e = Error::QueryShorterThanPattern {
+            query_length: 40,
+            pattern_length: 80,
+        };
         assert!(e.to_string().contains("40"));
         let e = Error::InvalidConfig("lambda too big".into());
         assert!(e.to_string().contains("lambda"));

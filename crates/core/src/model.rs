@@ -49,6 +49,47 @@ impl Series2Graph {
         })
     }
 
+    /// Reassembles a fitted model from its parts without refitting, e.g. when
+    /// loading a persisted model. The parts must come from a consistent fit:
+    /// the graph must have one node per [`NodeSet`] node and
+    /// `train_contributions` must be the per-gap contributions of the
+    /// training series.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when the configuration is invalid or the
+    /// graph/node-set sizes disagree.
+    pub fn from_parts(
+        config: S2gConfig,
+        embedding: Embedding,
+        nodes: NodeSet,
+        graph: DiGraph,
+        train_contributions: Vec<f64>,
+        train_len: usize,
+    ) -> Result<Self> {
+        config.validate()?;
+        if graph.node_count() != nodes.node_count() {
+            return Err(Error::InvalidConfig(format!(
+                "graph has {} nodes but the node set has {}",
+                graph.node_count(),
+                nodes.node_count()
+            )));
+        }
+        Ok(Self {
+            config,
+            embedding,
+            nodes,
+            graph,
+            train_contributions,
+            train_len,
+        })
+    }
+
+    /// Per-gap normality contributions of the training series, cached at fit
+    /// time (exposed for model persistence).
+    pub fn train_contributions(&self) -> &[f64] {
+        &self.train_contributions
+    }
+
     /// The configuration the model was fitted with.
     pub fn config(&self) -> &S2gConfig {
         &self.config
@@ -118,13 +159,13 @@ impl Series2Graph {
             let transitions = EdgeExtraction::map_transitions(&points, &self.nodes);
             scoring::gap_contributions(&self.graph, &transitions)
         };
-        let profile = scoring::normality_profile(
-            &contributions,
-            self.config.pattern_length,
-            query_length,
-        );
+        let profile =
+            scoring::normality_profile(&contributions, self.config.pattern_length, query_length);
         if self.config.smooth_scores {
-            Ok(scoring::smooth_profile(&profile, self.config.pattern_length))
+            Ok(scoring::smooth_profile(
+                &profile,
+                self.config.pattern_length,
+            ))
         } else {
             Ok(profile)
         }
@@ -143,13 +184,22 @@ impl Series2Graph {
         self.check_query_length(values.len())?;
         let points = self.embedding.project_slice(values)?;
         let transitions = EdgeExtraction::map_transitions(&points, &self.nodes);
-        Ok(scoring::path_normality(&self.graph, &transitions, values.len()))
+        Ok(scoring::path_normality(
+            &self.graph,
+            &transitions,
+            values.len(),
+        ))
     }
 
     /// Returns the start offsets of the `k` most anomalous, mutually
     /// non-overlapping subsequences according to an anomaly-score profile
     /// (as produced by [`Series2Graph::anomaly_scores`]).
-    pub fn top_k_anomalies(&self, anomaly_scores: &[f64], k: usize, query_length: usize) -> Vec<usize> {
+    pub fn top_k_anomalies(
+        &self,
+        anomaly_scores: &[f64],
+        k: usize,
+        query_length: usize,
+    ) -> Vec<usize> {
         window::top_k_non_overlapping(anomaly_scores, k, query_length)
     }
 }
@@ -162,11 +212,13 @@ mod tests {
     /// Sine series with anomalies: bursts of doubled frequency at known places.
     fn series_with_anomalies(n: usize, anomaly_starts: &[usize], anomaly_len: usize) -> TimeSeries {
         let period = 100.0;
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / period).sin()).collect();
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period).sin())
+            .collect();
         for &start in anomaly_starts {
-            for i in start..(start + anomaly_len).min(n) {
-                values[i] = (std::f64::consts::TAU * i as f64 / (period / 3.0)).sin() * 0.8;
+            let end = (start + anomaly_len).min(n);
+            for (i, v) in values.iter_mut().enumerate().take(end).skip(start) {
+                *v = (std::f64::consts::TAU * i as f64 / (period / 3.0)).sin() * 0.8;
             }
         }
         TimeSeries::from(values)
@@ -208,7 +260,9 @@ mod tests {
         assert_eq!(top.len(), 3);
         for &found in &top {
             assert!(
-                starts.iter().any(|&s| (s as i64 - found as i64).abs() < 200),
+                starts
+                    .iter()
+                    .any(|&s| (s as i64 - found as i64).abs() < 200),
                 "unexpected anomaly position {found}"
             );
         }
@@ -281,7 +335,10 @@ mod tests {
         let anomalous_window = series.subsequence(4000, 200).unwrap();
         let n = model.score_subsequence(normal_window).unwrap();
         let a = model.score_subsequence(anomalous_window).unwrap();
-        assert!(n > a, "normal window normality {n} should exceed anomalous {a}");
+        assert!(
+            n > a,
+            "normal window normality {n} should exceed anomalous {a}"
+        );
         assert!(model.score_subsequence(&normal_window[..10]).is_err());
     }
 

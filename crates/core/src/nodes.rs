@@ -119,7 +119,43 @@ impl NodeSet {
             offsets.push(total);
             total += r.len();
         }
-        Ok(Self { rate, radii, offsets, total })
+        Ok(Self {
+            rate,
+            radii,
+            offsets,
+            total,
+        })
+    }
+
+    /// Reassembles a node set from the per-ray node radii, as produced by
+    /// [`NodeSet::ray_nodes`]. Offsets and totals are recomputed; radii within
+    /// each ray must be sorted ascending (they are re-sorted defensively).
+    /// Used by model persistence.
+    ///
+    /// # Errors
+    /// [`Error::DegenerateEmbedding`] when `radii.len() != rate` or every ray
+    /// is empty.
+    pub fn from_parts(rate: usize, mut radii: Vec<Vec<f64>>) -> Result<Self> {
+        if radii.len() != rate || radii.iter().all(|r| r.is_empty()) {
+            return Err(Error::DegenerateEmbedding(
+                "node set parts must provide one (non-universally-empty) radius list per ray",
+            ));
+        }
+        for ray in &mut radii {
+            ray.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        let mut offsets = Vec::with_capacity(rate);
+        let mut total = 0usize;
+        for r in &radii {
+            offsets.push(total);
+            total += r.len();
+        }
+        Ok(Self {
+            rate,
+            radii,
+            offsets,
+            total,
+        })
     }
 
     /// Number of rays.
@@ -156,7 +192,7 @@ impl NodeSet {
         for &c in &candidates {
             if c < nodes.len() {
                 let d = (nodes[c] - radius).abs();
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((c, d));
                 }
             }
@@ -221,7 +257,11 @@ fn extract_ray_nodes(radius_set: &[f64], config: &S2gConfig) -> Vec<f64> {
         BandwidthRule::SigmaRatio(ratio) => {
             let n = radius_set.len() as f64;
             let mean = radius_set.iter().sum::<f64>() / n;
-            let var = radius_set.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let var = radius_set
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / n;
             (var.sqrt() * ratio).max(1e-9)
         }
     };
@@ -294,11 +334,19 @@ mod tests {
         let config = S2gConfig::new(50).with_rate(16);
         let nodes = NodeSet::extract(&points, &config).unwrap();
         assert_eq!(nodes.rate(), 16);
-        assert_eq!(nodes.node_count(), 16, "each ray should get exactly one node");
+        assert_eq!(
+            nodes.node_count(),
+            16,
+            "each ray should get exactly one node"
+        );
         for ray in 0..16 {
             let radii = nodes.ray_nodes(ray);
             assert_eq!(radii.len(), 1);
-            assert!((radii[0] - 2.0).abs() < 0.1, "ray {ray} radius {}", radii[0]);
+            assert!(
+                (radii[0] - 2.0).abs() < 0.1,
+                "ray {ray} radius {}",
+                radii[0]
+            );
         }
     }
 
@@ -404,12 +452,16 @@ mod tests {
         }
         let coarse = NodeSet::extract(
             &points,
-            &S2gConfig::new(50).with_rate(8).with_bandwidth(BandwidthRule::SigmaRatio(3.0)),
+            &S2gConfig::new(50)
+                .with_rate(8)
+                .with_bandwidth(BandwidthRule::SigmaRatio(3.0)),
         )
         .unwrap();
         let fine = NodeSet::extract(
             &points,
-            &S2gConfig::new(50).with_rate(8).with_bandwidth(BandwidthRule::SigmaRatio(0.1)),
+            &S2gConfig::new(50)
+                .with_rate(8)
+                .with_bandwidth(BandwidthRule::SigmaRatio(0.1)),
         )
         .unwrap();
         assert!(

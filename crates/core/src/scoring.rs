@@ -99,11 +99,7 @@ pub fn anomaly_profile(normality: &[f64]) -> Vec<f64> {
 
 /// Normality of a single path expressed as explicit transitions (Definition 9):
 /// used when scoring subsequences that are not part of the training series.
-pub fn path_normality(
-    graph: &DiGraph,
-    transitions: &[(usize, usize)],
-    query_length: usize,
-) -> f64 {
+pub fn path_normality(graph: &DiGraph, transitions: &[(usize, usize)], query_length: usize) -> f64 {
     if query_length == 0 {
         return 0.0;
     }
@@ -201,7 +197,9 @@ mod tests {
 
     #[test]
     fn smoothing_preserves_length_and_reduces_variance() {
-        let scores: Vec<f64> = (0..200).map(|i| if i % 17 == 0 { 10.0 } else { 1.0 }).collect();
+        let scores: Vec<f64> = (0..200)
+            .map(|i| if i % 17 == 0 { 10.0 } else { 1.0 })
+            .collect();
         let smoothed = smooth_profile(&scores, 20);
         assert_eq!(smoothed.len(), scores.len());
         let var = |v: &[f64]| {

@@ -26,6 +26,9 @@ pub struct StreamingScorer {
     contributions: VecDeque<f64>,
     /// Node assigned to the most recent embedded point, if any.
     last_node: Option<usize>,
+    /// Whether at least one point has been embedded (a gap completes on
+    /// every embedded point after the first).
+    embedded_any: bool,
     /// Total number of points consumed so far.
     consumed: usize,
 }
@@ -49,6 +52,7 @@ impl StreamingScorer {
             buffer: VecDeque::new(),
             contributions: VecDeque::new(),
             last_node: None,
+            embedded_any: false,
             consumed: 0,
         })
     }
@@ -78,23 +82,34 @@ impl StreamingScorer {
 
         // Embed the newest pattern (the last ℓ points) once available.
         if self.buffer.len() >= ell {
-            let window: Vec<f64> =
-                self.buffer.iter().rev().take(ell).rev().copied().collect();
+            let window: Vec<f64> = self.buffer.iter().rev().take(ell).rev().copied().collect();
             // Project the single newest subsequence with the fitted embedding.
             let points = self.model.embedding().project_slice(&window)?;
             let newest = points.last().copied();
             if let Some(point) = newest {
                 let node = self.model.node_set().assign(point);
-                if let (Some(prev), Some(current)) = (self.last_node, node) {
-                    let graph = self.model.graph();
-                    let weight = graph.edge_weight(prev, current).unwrap_or(0.0);
-                    let degree = graph.degree(prev) as f64;
-                    self.contributions.push_back(weight * (degree - 1.0).max(0.0));
-                    let max_gaps = self.query_length.saturating_sub(ell).max(1);
+                if self.embedded_any {
+                    // A trajectory gap completes on *every* embedded point
+                    // after the first, so the deque stays aligned with window
+                    // positions: exactly one entry per gap. A transition with
+                    // an unassignable endpoint contributes zero, mirroring how
+                    // offline scoring treats unseen transitions.
+                    let contribution = match (self.last_node, node) {
+                        (Some(prev), Some(current)) => {
+                            let graph = self.model.graph();
+                            let weight = graph.edge_weight(prev, current).unwrap_or(0.0);
+                            let degree = graph.degree(prev) as f64;
+                            weight * (degree - 1.0).max(0.0)
+                        }
+                        _ => 0.0,
+                    };
+                    self.contributions.push_back(contribution);
+                    let max_gaps = Self::gaps_per_window(self.query_length, ell);
                     while self.contributions.len() > max_gaps {
                         self.contributions.pop_front();
                     }
                 }
+                self.embedded_any = true;
                 if node.is_some() {
                     self.last_node = node;
                 }
@@ -105,12 +120,38 @@ impl StreamingScorer {
             return Ok(None);
         }
         let start = self.consumed - self.query_length;
-        let gaps_needed = self.query_length.saturating_sub(ell).max(1);
-        if self.contributions.len() < gaps_needed.min(1) {
-            return Ok(Some((start, 0.0)));
-        }
+        let gaps_needed = Self::gaps_per_window(self.query_length, ell);
         let total: f64 = self.contributions.iter().sum();
+        if self.contributions.len() < gaps_needed {
+            // Partial window: only possible while the stream is still warming
+            // up (e.g. the zero-gap first window when ℓq = ℓ) — once warm the
+            // deque always holds exactly one entry per gap. Dividing the
+            // partial sum by the full ℓq would bias these windows towards
+            // "anomalous", so normalise by the effective covered length
+            // instead, and never silently pretend the window was complete.
+            if self.contributions.is_empty() {
+                return Ok(Some((start, 0.0)));
+            }
+            let effective = (self.contributions.len() + ell).min(self.query_length);
+            return Ok(Some((start, total / effective as f64)));
+        }
         Ok(Some((start, total / self.query_length as f64)))
+    }
+
+    /// Number of gap contributions a complete window of `query_length` spans
+    /// (`ℓq − ℓ`, with a floor of one gap when `ℓq = ℓ`, mirroring
+    /// [`scoring::normality_profile`]).
+    fn gaps_per_window(query_length: usize, pattern_length: usize) -> usize {
+        query_length.saturating_sub(pattern_length).max(1)
+    }
+
+    /// `true` once the contribution buffer spans a complete window, i.e. the
+    /// next emitted score covers all `ℓq − ℓ` gaps of its window. Before this
+    /// point [`StreamingScorer::push`] emits explicitly partial scores
+    /// normalised by the covered length only.
+    pub fn is_warmed_up(&self) -> bool {
+        self.contributions.len()
+            >= Self::gaps_per_window(self.query_length, self.model.pattern_length())
     }
 
     /// Appends a batch of points and returns the emitted `(start, normality)`
@@ -130,7 +171,11 @@ impl StreamingScorer {
     pub fn to_anomaly_scores(normality: &[(usize, f64)]) -> Vec<(usize, f64)> {
         let values: Vec<f64> = normality.iter().map(|&(_, s)| s).collect();
         let anomaly = scoring::anomaly_profile(&values);
-        normality.iter().map(|&(start, _)| start).zip(anomaly).collect()
+        normality
+            .iter()
+            .map(|&(start, _)| start)
+            .zip(anomaly)
+            .collect()
     }
 }
 
@@ -141,10 +186,12 @@ mod tests {
     use s2g_timeseries::TimeSeries;
 
     fn sine_with_burst(n: usize, burst_at: usize, burst_len: usize) -> Vec<f64> {
-        let mut values: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin()).collect();
-        for i in burst_at..(burst_at + burst_len).min(n) {
-            values[i] = 0.8 * (std::f64::consts::TAU * i as f64 / 24.0).sin();
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+            .collect();
+        let end = (burst_at + burst_len).min(n);
+        for (i, v) in values.iter_mut().enumerate().take(end).skip(burst_at) {
+            *v = 0.8 * (std::f64::consts::TAU * i as f64 / 24.0).sin();
         }
         values
     }
@@ -225,11 +272,33 @@ mod tests {
         let mut scorer = StreamingScorer::new(model, 150).unwrap();
         let streamed = scorer.push_batch(&stream).unwrap();
         let offline_burst_is_low = offline[1_200] < offline[500];
-        let streamed_map: std::collections::HashMap<usize, f64> =
-            streamed.into_iter().collect();
+        let streamed_map: std::collections::HashMap<usize, f64> = streamed.into_iter().collect();
         let streamed_burst_is_low = streamed_map[&1_250] < streamed_map[&500];
         assert_eq!(offline_burst_is_low, streamed_burst_is_low);
         assert!(offline_burst_is_low);
+    }
+
+    #[test]
+    fn partial_windows_are_explicit_not_complete() {
+        // With ℓq = ℓ the first emitted window spans zero completed gaps: the
+        // old guard (`len < gaps_needed.min(1)`, i.e. `< 1`) emitted such
+        // under-filled windows as if they were complete. They must now come
+        // out as explicit partials (0.0 for an empty buffer) and the scorer
+        // must only report warmed-up once a full window of gaps is buffered.
+        let model = fitted_model(); // ℓ = 50
+        let mut scorer = StreamingScorer::new(model, 50).unwrap();
+        assert!(!scorer.is_warmed_up());
+        let stream = sine_with_burst(300, 0, 0);
+        let emitted = scorer.push_batch(&stream).unwrap();
+        assert_eq!(emitted.len(), 300 - 50 + 1);
+        assert_eq!(
+            emitted[0],
+            (0, 0.0),
+            "zero-gap first window must be an explicit partial"
+        );
+        assert!(scorer.is_warmed_up());
+        // Complete windows on training-like data carry genuine path weight.
+        assert!(emitted.iter().skip(1).any(|&(_, s)| s > 0.0));
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl Dataset {
                 anomaly_count: 1,
                 domain: d.domain(),
             },
-            Dataset::Srw { num_anomalies, noise_ratio, anomaly_length } => {
+            Dataset::Srw {
+                num_anomalies,
+                noise_ratio,
+                anomaly_length,
+            } => {
                 let cfg = SrwConfig {
                     num_anomalies,
                     noise_ratio,
@@ -103,15 +107,17 @@ impl Dataset {
             Dataset::Sed => sed::generate_sed_with_length(length, seed),
             Dataset::Mba(record) => mba::generate_mba_with_length(record, length, seed),
             Dataset::Discord(d) => keogh::generate_discord_dataset_with_length(d, length, seed),
-            Dataset::Srw { num_anomalies, noise_ratio, anomaly_length } => {
-                srw::generate_srw(SrwConfig {
-                    length,
-                    num_anomalies,
-                    noise_ratio,
-                    anomaly_length,
-                    seed,
-                })
-            }
+            Dataset::Srw {
+                num_anomalies,
+                noise_ratio,
+                anomaly_length,
+            } => srw::generate_srw(SrwConfig {
+                length,
+                num_anomalies,
+                noise_ratio,
+                anomaly_length,
+                seed,
+            }),
         }
     }
 
@@ -125,7 +131,10 @@ impl Dataset {
 
     /// The four single-discord datasets (Section 5.5 / Figure 8).
     pub fn discord_datasets() -> Vec<Dataset> {
-        DiscordDataset::ALL.iter().map(|&d| Dataset::Discord(d)).collect()
+        DiscordDataset::ALL
+            .iter()
+            .map(|&d| Dataset::Discord(d))
+            .collect()
     }
 
     /// The synthetic SRW datasets exactly as listed in Table 3:
@@ -134,15 +143,27 @@ impl Dataset {
         let mut v = Vec::new();
         // SRW-[20..100]-[0%]-[200]
         for n in [20usize, 40, 60, 80, 100] {
-            v.push(Dataset::Srw { num_anomalies: n, noise_ratio: 0.0, anomaly_length: 200 });
+            v.push(Dataset::Srw {
+                num_anomalies: n,
+                noise_ratio: 0.0,
+                anomaly_length: 200,
+            });
         }
         // SRW-[60]-[5%..25%]-[200]
         for noise in [0.05, 0.10, 0.15, 0.20, 0.25] {
-            v.push(Dataset::Srw { num_anomalies: 60, noise_ratio: noise, anomaly_length: 200 });
+            v.push(Dataset::Srw {
+                num_anomalies: 60,
+                noise_ratio: noise,
+                anomaly_length: 200,
+            });
         }
         // SRW-[60]-[0%]-[100..1600]
         for len in [100usize, 200, 400, 800, 1600] {
-            v.push(Dataset::Srw { num_anomalies: 60, noise_ratio: 0.0, anomaly_length: len });
+            v.push(Dataset::Srw {
+                num_anomalies: 60,
+                noise_ratio: 0.0,
+                anomaly_length: len,
+            });
         }
         v
     }
@@ -188,7 +209,12 @@ mod tests {
         assert_eq!(mba.anomaly_count, 30);
         assert_eq!(mba.name, "MBA(805)");
 
-        let srw = Dataset::Srw { num_anomalies: 60, noise_ratio: 0.1, anomaly_length: 200 }.spec();
+        let srw = Dataset::Srw {
+            num_anomalies: 60,
+            noise_ratio: 0.1,
+            anomaly_length: 200,
+        }
+        .spec();
         assert_eq!(srw.name, "SRW-[60]-[10%]-[200]");
         assert_eq!(srw.anomaly_count, 60);
 
@@ -203,7 +229,11 @@ mod tests {
             Dataset::Sed,
             Dataset::Mba(MbaRecord::R803),
             Dataset::Discord(DiscordDataset::BidmcChf),
-            Dataset::Srw { num_anomalies: 10, noise_ratio: 0.0, anomaly_length: 100 },
+            Dataset::Srw {
+                num_anomalies: 10,
+                noise_ratio: 0.0,
+                anomaly_length: 100,
+            },
         ] {
             let ls = ds.generate_with_length(12_000, 3);
             assert_eq!(ls.len(), 12_000, "{:?}", ds);

@@ -16,7 +16,9 @@
 //! evaluation.
 
 use crate::labels::{AnomalyKind, LabeledSeries};
-use crate::periodic::{gaussian_bump_template, generate, harmonic_template, AnomalySpec, PeriodicConfig};
+use crate::periodic::{
+    gaussian_bump_template, generate, harmonic_template, AnomalySpec, PeriodicConfig,
+};
 
 /// Which single-discord dataset to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,9 +115,7 @@ fn normal_template(dataset: DiscordDataset) -> crate::periodic::Template {
             (0.80, 0.05, -0.25),
         ]),
         // Breathing: slow near-sinusoid with a slightly sharper inhale.
-        DiscordDataset::PatientRespiration => {
-            harmonic_template(vec![1.0, 0.25], vec![0.0, 0.8])
-        }
+        DiscordDataset::PatientRespiration => harmonic_template(vec![1.0, 0.25], vec![0.0, 0.8]),
         // ECG-like beat.
         DiscordDataset::BidmcChf => gaussian_bump_template(vec![
             (0.20, 0.04, 0.20),
@@ -136,8 +136,7 @@ fn anomaly_template(dataset: DiscordDataset) -> crate::periodic::Template {
             if phase < 0.3 {
                 1.0 - 0.3 * phase + 0.18 * (tau * 9.0 * phase).sin()
             } else {
-                0.55 * (-(phase - 0.3) * 3.0).exp() * (1.0 + 0.5 * (tau * 14.0 * phase).sin())
-                    - 0.1
+                0.55 * (-(phase - 0.3) * 3.0).exp() * (1.0 + 0.5 * (tau * 14.0 * phase).sin()) - 0.1
             }
         }),
         // Missed holster: the return dip is replaced by a second, lower lift.
@@ -228,7 +227,11 @@ mod tests {
             let values = ls.series.values();
             let window = &values[a.start..a.end()];
             // Compare to a normal window of the same length away from the anomaly.
-            let normal_start = if a.start > 2 * a.length { a.start - 2 * a.length } else { a.end() + a.length };
+            let normal_start = if a.start > 2 * a.length {
+                a.start - 2 * a.length
+            } else {
+                a.end() + a.length
+            };
             let normal = &values[normal_start..normal_start + a.length];
             let diff: f64 = window
                 .iter()
@@ -236,7 +239,11 @@ mod tests {
                 .map(|(x, y)| (x - y).abs())
                 .sum::<f64>()
                 / a.length as f64;
-            assert!(diff > 0.05, "{}: anomaly indistinguishable (diff={diff})", d.name());
+            assert!(
+                diff > 0.05,
+                "{}: anomaly indistinguishable (diff={diff})",
+                d.name()
+            );
         }
     }
 

@@ -31,7 +31,11 @@ pub struct AnomalyRange {
 impl AnomalyRange {
     /// Creates a new anomaly range.
     pub fn new(start: usize, length: usize, kind: AnomalyKind) -> Self {
-        Self { start, length, kind }
+        Self {
+            start,
+            length,
+            kind,
+        }
     }
 
     /// End offset (exclusive).
@@ -65,9 +69,17 @@ pub struct LabeledSeries {
 
 impl LabeledSeries {
     /// Creates a labelled series, sorting the anomaly ranges by start offset.
-    pub fn new(name: impl Into<String>, series: TimeSeries, mut anomalies: Vec<AnomalyRange>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        series: TimeSeries,
+        mut anomalies: Vec<AnomalyRange>,
+    ) -> Self {
         anomalies.sort_by_key(|a| a.start);
-        Self { series, anomalies, name: name.into() }
+        Self {
+            series,
+            anomalies,
+            name: name.into(),
+        }
     }
 
     /// Number of labelled anomalies (the `k` of the paper's Top-k accuracy).
@@ -95,9 +107,17 @@ impl LabeledSeries {
     /// labels clipped accordingly (used for prefix-training experiments).
     pub fn truncated(&self, len: usize) -> LabeledSeries {
         let series = self.series.prefix(len);
-        let anomalies =
-            self.anomalies.iter().copied().filter(|a| a.end() <= series.len()).collect();
-        LabeledSeries { series, anomalies, name: self.name.clone() }
+        let anomalies = self
+            .anomalies
+            .iter()
+            .copied()
+            .filter(|a| a.end() <= series.len())
+            .collect();
+        LabeledSeries {
+            series,
+            anomalies,
+            name: self.name.clone(),
+        }
     }
 }
 

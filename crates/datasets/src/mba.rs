@@ -39,8 +39,13 @@ pub enum MbaRecord {
 
 impl MbaRecord {
     /// All records in Table 2 order.
-    pub const ALL: [MbaRecord; 5] =
-        [MbaRecord::R803, MbaRecord::R805, MbaRecord::R806, MbaRecord::R820, MbaRecord::R14046];
+    pub const ALL: [MbaRecord; 5] = [
+        MbaRecord::R803,
+        MbaRecord::R805,
+        MbaRecord::R806,
+        MbaRecord::R820,
+        MbaRecord::R14046,
+    ];
 
     /// The record number as used in the paper's tables.
     pub fn number(&self) -> u32 {
@@ -195,7 +200,11 @@ mod tests {
         let full = generate_mba_with_length(MbaRecord::R805, 100_000, 1);
         assert_eq!(full.anomaly_count(), 30);
         let half = generate_mba_with_length(MbaRecord::R805, 50_000, 1);
-        assert!((13..=17).contains(&half.anomaly_count()), "got {}", half.anomaly_count());
+        assert!(
+            (13..=17).contains(&half.anomaly_count()),
+            "got {}",
+            half.anomaly_count()
+        );
     }
 
     #[test]

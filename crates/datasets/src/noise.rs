@@ -119,8 +119,10 @@ mod tests {
         let w = random_walk(&mut rng, 1000, 1.0);
         assert_eq!(w.len(), 1000);
         // Steps should be bounded-ish while the walk itself wanders.
-        let max_step =
-            w.windows(2).map(|p| (p[1] - p[0]).abs()).fold(0.0, f64::max);
+        let max_step = w
+            .windows(2)
+            .map(|p| (p[1] - p[0]).abs())
+            .fold(0.0, f64::max);
         assert!(max_step < 6.0);
     }
 

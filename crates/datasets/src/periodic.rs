@@ -255,10 +255,8 @@ mod tests {
         let ls = generate(cfg);
         assert_eq!(ls.anomaly_count(), 4);
         // Trend makes the series wander away from a zero mean over time.
-        let head_mean: f64 =
-            ls.series.values()[..500].iter().sum::<f64>() / 500.0;
-        let tail_mean: f64 =
-            ls.series.values()[ls.len() - 500..].iter().sum::<f64>() / 500.0;
+        let head_mean: f64 = ls.series.values()[..500].iter().sum::<f64>() / 500.0;
+        let tail_mean: f64 = ls.series.values()[ls.len() - 500..].iter().sum::<f64>() / 500.0;
         // They should typically differ (random walk), but we only check the
         // series remained finite and labelled consistently.
         assert!(head_mean.is_finite() && tail_mean.is_finite());

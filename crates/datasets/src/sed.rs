@@ -76,7 +76,11 @@ mod tests {
     fn scaled_dataset_keeps_proportion() {
         let ls = generate_sed_with_length(20_000, 3);
         assert_eq!(ls.len(), 20_000);
-        assert!((8..=12).contains(&ls.anomaly_count()), "got {}", ls.anomaly_count());
+        assert!(
+            (8..=12).contains(&ls.anomaly_count()),
+            "got {}",
+            ls.anomaly_count()
+        );
     }
 
     #[test]
@@ -98,12 +102,15 @@ mod tests {
             .anomalies
             .iter()
             .map(|a| {
-                values[a.start..a.end()].iter().map(|x| x.abs()).sum::<f64>() / a.length as f64
+                values[a.start..a.end()]
+                    .iter()
+                    .map(|x| x.abs())
+                    .sum::<f64>()
+                    / a.length as f64
             })
             .sum::<f64>()
             / ls.anomaly_count() as f64;
-        let background_energy: f64 =
-            values[..5_000].iter().map(|x| x.abs()).sum::<f64>() / 5_000.0;
+        let background_energy: f64 = values[..5_000].iter().map(|x| x.abs()).sum::<f64>() / 5_000.0;
         assert!(
             (anomaly_energy - background_energy).abs() > 0.05,
             "anomaly {anomaly_energy} vs background {background_energy}"

@@ -96,10 +96,13 @@ pub fn generate_srw(config: SrwConfig) -> LabeledSeries {
         for offset in 0..config.anomaly_length {
             let i = start + offset;
             let t = i as f64;
-            values[i] =
-                (std::f64::consts::TAU * freq_mult * t / period + phase).sin() + trend[i];
+            values[i] = (std::f64::consts::TAU * freq_mult * t / period + phase).sin() + trend[i];
         }
-        labels.push(AnomalyRange::new(start, config.anomaly_length, AnomalyKind::Frequency));
+        labels.push(AnomalyRange::new(
+            start,
+            config.anomaly_length,
+            AnomalyKind::Frequency,
+        ));
     }
 
     noise::add_relative_noise(&mut rng, &mut values, config.noise_ratio);
@@ -113,15 +116,29 @@ mod tests {
 
     #[test]
     fn name_matches_paper_convention() {
-        let cfg = SrwConfig { num_anomalies: 60, noise_ratio: 0.05, anomaly_length: 200, ..Default::default() };
+        let cfg = SrwConfig {
+            num_anomalies: 60,
+            noise_ratio: 0.05,
+            anomaly_length: 200,
+            ..Default::default()
+        };
         assert_eq!(cfg.name(), "SRW-[60]-[5%]-[200]");
-        let cfg = SrwConfig { num_anomalies: 20, noise_ratio: 0.0, anomaly_length: 1600, ..Default::default() };
+        let cfg = SrwConfig {
+            num_anomalies: 20,
+            noise_ratio: 0.0,
+            anomaly_length: 1600,
+            ..Default::default()
+        };
         assert_eq!(cfg.name(), "SRW-[20]-[0%]-[1600]");
     }
 
     #[test]
     fn generates_requested_anomaly_count() {
-        let ls = generate_srw(SrwConfig { length: 50_000, num_anomalies: 30, ..Default::default() });
+        let ls = generate_srw(SrwConfig {
+            length: 50_000,
+            num_anomalies: 30,
+            ..Default::default()
+        });
         assert_eq!(ls.anomaly_count(), 30);
         assert_eq!(ls.len(), 50_000);
         assert!(ls.anomalies.iter().all(|a| a.length == 200));
@@ -129,7 +146,11 @@ mod tests {
 
     #[test]
     fn anomalies_do_not_overlap() {
-        let ls = generate_srw(SrwConfig { length: 60_000, num_anomalies: 40, ..Default::default() });
+        let ls = generate_srw(SrwConfig {
+            length: 60_000,
+            num_anomalies: 40,
+            ..Default::default()
+        });
         for (i, a) in ls.anomalies.iter().enumerate() {
             for b in ls.anomalies.iter().skip(i + 1) {
                 assert!(!a.overlaps_window(b.start, b.length));
@@ -139,16 +160,37 @@ mod tests {
 
     #[test]
     fn values_stay_bounded_without_noise() {
-        let ls = generate_srw(SrwConfig { length: 20_000, num_anomalies: 10, ..Default::default() });
+        let ls = generate_srw(SrwConfig {
+            length: 20_000,
+            num_anomalies: 10,
+            ..Default::default()
+        });
         // sinusoid in [-1,1] + slow walk: should stay within a loose band.
-        let max_abs = ls.series.values().iter().map(|x| x.abs()).fold(0.0, f64::max);
+        let max_abs = ls
+            .series
+            .values()
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0, f64::max);
         assert!(max_abs < 10.0, "max abs {max_abs}");
     }
 
     #[test]
     fn noise_increases_roughness() {
-        let clean = generate_srw(SrwConfig { length: 20_000, num_anomalies: 5, noise_ratio: 0.0, seed: 3, ..Default::default() });
-        let noisy = generate_srw(SrwConfig { length: 20_000, num_anomalies: 5, noise_ratio: 0.25, seed: 3, ..Default::default() });
+        let clean = generate_srw(SrwConfig {
+            length: 20_000,
+            num_anomalies: 5,
+            noise_ratio: 0.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let noisy = generate_srw(SrwConfig {
+            length: 20_000,
+            num_anomalies: 5,
+            noise_ratio: 0.25,
+            seed: 3,
+            ..Default::default()
+        });
         let roughness = |v: &[f64]| -> f64 {
             v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (v.len() - 1) as f64
         };
@@ -157,11 +199,18 @@ mod tests {
 
     #[test]
     fn anomalous_windows_have_higher_frequency_content() {
-        let ls = generate_srw(SrwConfig { length: 40_000, num_anomalies: 10, seed: 8, ..Default::default() });
+        let ls = generate_srw(SrwConfig {
+            length: 40_000,
+            num_anomalies: 10,
+            seed: 8,
+            ..Default::default()
+        });
         // Zero-crossing rate inside an anomaly should exceed the normal rate.
         let zc_rate = |v: &[f64]| -> f64 {
             let mean = v.iter().sum::<f64>() / v.len() as f64;
-            v.windows(2).filter(|w| (w[0] - mean) * (w[1] - mean) < 0.0).count() as f64
+            v.windows(2)
+                .filter(|w| (w[0] - mean) * (w[1] - mean) < 0.0)
+                .count() as f64
                 / v.len() as f64
         };
         let a = &ls.anomalies[0];
@@ -172,8 +221,18 @@ mod tests {
 
     #[test]
     fn determinism_given_seed() {
-        let a = generate_srw(SrwConfig { length: 10_000, num_anomalies: 5, seed: 77, ..Default::default() });
-        let b = generate_srw(SrwConfig { length: 10_000, num_anomalies: 5, seed: 77, ..Default::default() });
+        let a = generate_srw(SrwConfig {
+            length: 10_000,
+            num_anomalies: 5,
+            seed: 77,
+            ..Default::default()
+        });
+        let b = generate_srw(SrwConfig {
+            length: 10_000,
+            num_anomalies: 5,
+            seed: 77,
+            ..Default::default()
+        });
         assert_eq!(a.series, b.series);
         assert_eq!(a.anomalies, b.anomalies);
     }

@@ -1,0 +1,6 @@
+//! The `s2g` binary: CLI front-end of the Series2Graph detection engine.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(s2g_engine::cli::run(&args));
+}

@@ -1,0 +1,570 @@
+//! Versioned binary persistence for fitted [`Series2Graph`] models.
+//!
+//! Training a Series2Graph model is the expensive step of the pipeline;
+//! scoring against a fitted model is cheap. This codec makes *train once,
+//! score many times across processes* possible: it round-trips every part of
+//! a fitted model — configuration, PCA + rotation embedding, node set,
+//! transition graph and the cached training contributions — so a loaded model
+//! produces **bit-identical** scores to the in-memory one it was saved from.
+//!
+//! ## Format (`S2GMDL`, version 1)
+//!
+//! Little-endian throughout; every `f64` is stored as its IEEE-754 bit
+//! pattern (`to_bits`), which is what guarantees bit-identical round-trips.
+//! All arrays are length-prefixed with a `u64`, making the file
+//! self-describing enough to validate section by section:
+//!
+//! ```text
+//! magic      8 bytes  b"S2GMDL\xF0\x9F"
+//! version    u32
+//! [config]   pattern_length, lambda, rate, kde_grid_points: u64
+//!            smooth_scores: u8
+//!            bandwidth: tag u8 (0 = Scott | 1 = SigmaRatio + f64)
+//!            pca_solver: tag u8 (0 = Covariance
+//!                              | 1 = RandomizedSvd + oversample u64
+//!                                  + power_iterations u64 + seed u64)
+//!            seed: u64
+//! [embedding] explained_variance_ratio: f64
+//!            pca: input_dim u64, n_components u64,
+//!                 mean: f64 array, components (row-major): f64 array,
+//!                 explained_variance: f64 array, total_variance: f64
+//!            rotation: 9 × f64 (row-major 3×3)
+//!            points: n u64, then n × (y: f64, z: f64)
+//! [nodes]    rate u64, then per ray: f64 array of node radii
+//! [graph]    node_count u64, edge_count u64,
+//!            then per edge: from u64, to u64, weight f64
+//! [train]    train_len u64, contributions: f64 array
+//! checksum   u64  FNV-1a over all preceding bytes
+//! ```
+//!
+//! Any truncation, bit flip or version bump is rejected with a precise
+//! [`Error`] instead of yielding a silently wrong model.
+
+use std::path::Path;
+
+use s2g_core::config::BandwidthRule;
+use s2g_core::embedding::Embedding;
+use s2g_core::nodes::NodeSet;
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_graph::DiGraph;
+use s2g_linalg::matrix::DMatrix;
+use s2g_linalg::pca::{Pca, PcaSolver};
+use s2g_linalg::rotation::Rotation3;
+use s2g_linalg::vector::Vec2;
+
+use crate::error::{Error, Result};
+use crate::util::fnv1a;
+
+/// File magic: `S2GMDL` plus two non-ASCII bytes so text tools don't
+/// misdetect the format.
+pub const MAGIC: [u8; 8] = *b"S2GMDL\xF0\x9F";
+
+/// Highest (and currently only) format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Byte-level writer / reader
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    fn put_f64_array(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, section: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| truncated(section))?;
+        if end > self.bytes.len() {
+            return Err(truncated(section));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn get_u8(&mut self, section: &str) -> Result<u8> {
+        Ok(self.take(1, section)?[0])
+    }
+
+    fn get_u32(&mut self, section: &str) -> Result<u32> {
+        let b = self.take(4, section)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn get_u64(&mut self, section: &str) -> Result<u64> {
+        let b = self.take(8, section)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn get_usize(&mut self, section: &str) -> Result<usize> {
+        let v = self.get_u64(section)?;
+        usize::try_from(v).map_err(|_| {
+            Error::Format(format!(
+                "{section}: value {v} exceeds the platform word size"
+            ))
+        })
+    }
+
+    /// Reads a length prefix that the remaining bytes must plausibly cover
+    /// (each element occupying at least `elem_bytes`), so a corrupted length
+    /// fails fast instead of attempting a huge allocation.
+    fn get_len(&mut self, elem_bytes: usize, section: &str) -> Result<usize> {
+        let n = self.get_usize(section)?;
+        let remaining = self.bytes.len() - self.pos;
+        if n.checked_mul(elem_bytes)
+            .is_none_or(|total| total > remaining)
+        {
+            return Err(Error::Format(format!(
+                "{section}: declared length {n} exceeds the {remaining} bytes left in the file"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn get_f64(&mut self, section: &str) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64(section)?))
+    }
+
+    fn get_f64_array(&mut self, section: &str) -> Result<Vec<f64>> {
+        let n = self.get_len(8, section)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f64(section)?);
+        }
+        Ok(out)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn truncated(section: &str) -> Error {
+    Error::Format(format!("truncated while reading {section}"))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Serialises a fitted model into the versioned binary format.
+pub fn encode_model(model: &Series2Graph) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+
+    // [config]
+    let config = model.config();
+    w.put_usize(config.pattern_length);
+    w.put_usize(config.lambda);
+    w.put_usize(config.rate);
+    w.put_usize(config.kde_grid_points);
+    w.put_u8(config.smooth_scores as u8);
+    match config.bandwidth {
+        BandwidthRule::Scott => w.put_u8(0),
+        BandwidthRule::SigmaRatio(ratio) => {
+            w.put_u8(1);
+            w.put_f64(ratio);
+        }
+    }
+    match config.pca_solver {
+        PcaSolver::Covariance => w.put_u8(0),
+        PcaSolver::RandomizedSvd {
+            oversample,
+            power_iterations,
+            seed,
+        } => {
+            w.put_u8(1);
+            w.put_usize(oversample);
+            w.put_usize(power_iterations);
+            w.put_u64(seed);
+        }
+    }
+    w.put_u64(config.seed);
+
+    // [embedding]
+    let embedding = model.embedding();
+    w.put_f64(embedding.explained_variance_ratio);
+    let pca = embedding.pca();
+    w.put_usize(pca.input_dim());
+    w.put_usize(pca.n_components());
+    w.put_f64_array(pca.mean());
+    w.put_f64_array(pca.components().as_slice());
+    w.put_f64_array(pca.explained_variance());
+    w.put_f64(pca.total_variance());
+    for row in embedding.rotation().rows() {
+        for v in row {
+            w.put_f64(v);
+        }
+    }
+    w.put_usize(embedding.points.len());
+    for p in &embedding.points {
+        w.put_f64(p.x);
+        w.put_f64(p.y);
+    }
+
+    // [nodes]
+    let nodes = model.node_set();
+    w.put_usize(nodes.rate());
+    for ray in 0..nodes.rate() {
+        w.put_f64_array(nodes.ray_nodes(ray));
+    }
+
+    // [graph]
+    let graph = model.graph();
+    w.put_usize(graph.node_count());
+    w.put_usize(graph.edge_count());
+    for edge in graph.edges() {
+        w.put_usize(edge.from);
+        w.put_usize(edge.to);
+        w.put_f64(edge.weight);
+    }
+
+    // [train]
+    w.put_usize(model.train_len());
+    w.put_f64_array(model.train_contributions());
+
+    let checksum = fnv1a(&w.buf);
+    w.put_u64(checksum);
+    w.buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Deserialises a model from the versioned binary format, verifying magic,
+/// version and checksum before reconstructing any part.
+pub fn decode_model(bytes: &[u8]) -> Result<Series2Graph> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(Error::Format(
+            "file shorter than the fixed header".to_string(),
+        ));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(Error::Format(
+            "bad magic: not a Series2Graph model file".to_string(),
+        ));
+    }
+
+    // Verify integrity before trusting any length field.
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte slice"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(Error::ChecksumMismatch { stored, computed });
+    }
+
+    let mut r = Reader::new(body);
+    r.take(MAGIC.len(), "magic")?;
+    let version = r.get_u32("version")?;
+    if version != FORMAT_VERSION {
+        return Err(Error::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+
+    // [config]
+    let pattern_length = r.get_usize("config.pattern_length")?;
+    let lambda = r.get_usize("config.lambda")?;
+    let rate = r.get_usize("config.rate")?;
+    let kde_grid_points = r.get_usize("config.kde_grid_points")?;
+    let smooth_scores = match r.get_u8("config.smooth_scores")? {
+        0 => false,
+        1 => true,
+        v => {
+            return Err(Error::Format(format!(
+                "config.smooth_scores: invalid bool byte {v}"
+            )))
+        }
+    };
+    let bandwidth = match r.get_u8("config.bandwidth")? {
+        0 => BandwidthRule::Scott,
+        1 => BandwidthRule::SigmaRatio(r.get_f64("config.bandwidth.ratio")?),
+        v => return Err(Error::Format(format!("config.bandwidth: unknown tag {v}"))),
+    };
+    let pca_solver = match r.get_u8("config.pca_solver")? {
+        0 => PcaSolver::Covariance,
+        1 => PcaSolver::RandomizedSvd {
+            oversample: r.get_usize("config.pca_solver.oversample")?,
+            power_iterations: r.get_usize("config.pca_solver.power_iterations")?,
+            seed: r.get_u64("config.pca_solver.seed")?,
+        },
+        v => return Err(Error::Format(format!("config.pca_solver: unknown tag {v}"))),
+    };
+    let seed = r.get_u64("config.seed")?;
+    let config = S2gConfig {
+        pattern_length,
+        lambda,
+        rate,
+        bandwidth,
+        kde_grid_points,
+        smooth_scores,
+        pca_solver,
+        seed,
+    };
+    config.validate()?;
+
+    // [embedding]
+    let explained_variance_ratio = r.get_f64("embedding.explained_variance_ratio")?;
+    let input_dim = r.get_usize("embedding.pca.input_dim")?;
+    let n_components = r.get_usize("embedding.pca.n_components")?;
+    let mean = r.get_f64_array("embedding.pca.mean")?;
+    let components_data = r.get_f64_array("embedding.pca.components")?;
+    let explained_variance = r.get_f64_array("embedding.pca.explained_variance")?;
+    let total_variance = r.get_f64("embedding.pca.total_variance")?;
+    let components = DMatrix::from_vec(input_dim, n_components, components_data)
+        .map_err(|e| Error::Format(format!("embedding.pca.components: {e}")))?;
+    let pca = Pca::from_parts(mean, components, explained_variance, total_variance)
+        .map_err(|e| Error::Format(format!("embedding.pca: {e}")))?;
+    let mut rows = [[0.0f64; 3]; 3];
+    for row in rows.iter_mut() {
+        for v in row.iter_mut() {
+            *v = r.get_f64("embedding.rotation")?;
+        }
+    }
+    let rotation = Rotation3::from_rows(rows);
+    let n_points = r.get_len(16, "embedding.points")?;
+    let mut points = Vec::with_capacity(n_points);
+    for _ in 0..n_points {
+        let y = r.get_f64("embedding.points")?;
+        let z = r.get_f64("embedding.points")?;
+        points.push(Vec2::new(y, z));
+    }
+    let embedding = Embedding::from_parts(
+        pattern_length,
+        lambda,
+        pca,
+        rotation,
+        points,
+        explained_variance_ratio,
+    );
+
+    // [nodes]
+    let node_rate = r.get_usize("nodes.rate")?;
+    if node_rate != rate {
+        return Err(Error::Format(format!(
+            "nodes.rate {node_rate} disagrees with config.rate {rate}"
+        )));
+    }
+    let mut radii = Vec::with_capacity(node_rate);
+    for ray in 0..node_rate {
+        radii.push(r.get_f64_array(&format!("nodes.ray[{ray}]"))?);
+    }
+    let nodes =
+        NodeSet::from_parts(node_rate, radii).map_err(|e| Error::Format(format!("nodes: {e}")))?;
+
+    // [graph]
+    let node_count = r.get_usize("graph.node_count")?;
+    if node_count != nodes.node_count() {
+        return Err(Error::Format(format!(
+            "graph.node_count {node_count} disagrees with the node set's {}",
+            nodes.node_count()
+        )));
+    }
+    let edge_count = r.get_len(24, "graph.edge_count")?;
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let from = r.get_usize("graph.edge.from")?;
+        let to = r.get_usize("graph.edge.to")?;
+        let weight = r.get_f64("graph.edge.weight")?;
+        edges.push((from, to, weight));
+    }
+    let graph = DiGraph::from_edges(node_count, edges)
+        .map_err(|e| Error::Format(format!("graph.edge: {e}")))?;
+
+    // [train]
+    let train_len = r.get_usize("train.len")?;
+    let train_contributions = r.get_f64_array("train.contributions")?;
+
+    if !r.is_exhausted() {
+        return Err(Error::Format(format!(
+            "{} trailing bytes after the last section",
+            body.len() - r.pos
+        )));
+    }
+
+    Ok(Series2Graph::from_parts(
+        config,
+        embedding,
+        nodes,
+        graph,
+        train_contributions,
+        train_len,
+    )?)
+}
+
+// ---------------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------------
+
+/// Writes a fitted model to `path` in the versioned binary format.
+pub fn save_model<P: AsRef<Path>>(path: P, model: &Series2Graph) -> Result<()> {
+    std::fs::write(path, encode_model(model))?;
+    Ok(())
+}
+
+/// Reads a fitted model from `path`, verifying magic, version and checksum.
+pub fn load_model<P: AsRef<Path>>(path: P) -> Result<Series2Graph> {
+    let bytes = std::fs::read(path)?;
+    decode_model(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2g_timeseries::TimeSeries;
+
+    fn fitted() -> Series2Graph {
+        let values: Vec<f64> = (0..3000)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 80.0).sin())
+            .collect();
+        Series2Graph::fit(&TimeSeries::from(values), &S2gConfig::new(40)).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_preserves_structure() {
+        let model = fitted();
+        let bytes = encode_model(&model);
+        let back = decode_model(&bytes).unwrap();
+        assert_eq!(back.config().pattern_length, model.config().pattern_length);
+        assert_eq!(back.node_count(), model.node_count());
+        assert_eq!(back.graph().edge_count(), model.graph().edge_count());
+        assert_eq!(back.train_len(), model.train_len());
+        assert_eq!(back.train_contributions(), model.train_contributions());
+        assert_eq!(
+            back.embedding().points.len(),
+            model.embedding().points.len()
+        );
+    }
+
+    #[test]
+    fn sigma_ratio_and_randomized_solver_round_trip() {
+        let values: Vec<f64> = (0..2500)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 70.0).sin())
+            .collect();
+        let config = S2gConfig::new(35)
+            .with_bandwidth(BandwidthRule::SigmaRatio(0.4))
+            .with_pca_solver(PcaSolver::RandomizedSvd {
+                oversample: 6,
+                power_iterations: 2,
+                seed: 99,
+            })
+            .with_smoothing(false);
+        let model = Series2Graph::fit(&TimeSeries::from(values), &config).unwrap();
+        let back = decode_model(&encode_model(&model)).unwrap();
+        assert_eq!(back.config().bandwidth, BandwidthRule::SigmaRatio(0.4));
+        assert_eq!(
+            back.config().pca_solver,
+            PcaSolver::RandomizedSvd {
+                oversample: 6,
+                power_iterations: 2,
+                seed: 99
+            }
+        );
+        assert!(!back.config().smooth_scores);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let model = fitted();
+        let mut bytes = encode_model(&model);
+        bytes[0] = b'X';
+        assert!(matches!(decode_model(&bytes), Err(Error::Format(_))));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let model = fitted();
+        let mut bytes = encode_model(&model);
+        // Bump the version field and re-seal the checksum so only the version
+        // check can fire.
+        bytes[8] = 0xFF;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(Error::UnsupportedVersion {
+                found: 0xFF,
+                supported: FORMAT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn flipped_bit_is_caught_by_checksum() {
+        let model = fitted();
+        let mut bytes = encode_model(&model);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(Error::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let model = fitted();
+        let bytes = encode_model(&model);
+        // Every prefix must fail cleanly — never panic, never succeed.
+        for cut in [
+            0,
+            4,
+            MAGIC.len(),
+            MAGIC.len() + 4,
+            bytes.len() / 3,
+            bytes.len() - 1,
+        ] {
+            assert!(
+                decode_model(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+    }
+}

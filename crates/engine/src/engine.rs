@@ -1,0 +1,244 @@
+//! The high-level detection engine: registry + worker pool + streams.
+//!
+//! [`Engine`] is the long-lived serving object of the crate: it owns a
+//! [`ModelRegistry`] of fitted models and a [`WorkerPool`] of scoring
+//! threads, and exposes batch fit/score over many series plus named
+//! incremental streaming sessions — the multi-tenant workload shape the
+//! single-model `s2g-core` API doesn't cover.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_timeseries::TimeSeries;
+
+use crate::error::Result;
+use crate::pool::{FitJob, ScoreJob, WorkerPool};
+use crate::registry::ModelRegistry;
+
+/// Construction parameters for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads in the scoring pool.
+    pub workers: usize,
+    /// Registry capacity (`0` = unbounded); past it the least-recently-used
+    /// model is evicted on insert.
+    pub registry_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map_or(2, |n| n.get())
+            .clamp(1, 8);
+        EngineConfig {
+            workers,
+            registry_capacity: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the registry capacity (`0` = unbounded).
+    pub fn with_registry_capacity(mut self, capacity: usize) -> Self {
+        self.registry_capacity = capacity;
+        self
+    }
+}
+
+/// Long-lived, thread-safe detection engine serving many series and models.
+#[derive(Debug)]
+pub struct Engine {
+    registry: ModelRegistry,
+    pool: WorkerPool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Builds an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            registry: ModelRegistry::new(config.registry_capacity),
+            pool: WorkerPool::new(config.workers),
+        }
+    }
+
+    /// The engine's model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Number of worker threads in the scoring pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Fits one model inline (on the calling thread) and registers it.
+    pub fn fit_model(
+        &self,
+        name: impl Into<String>,
+        series: &TimeSeries,
+        config: &S2gConfig,
+    ) -> Result<Arc<Series2Graph>> {
+        self.registry.fit(name, series, config)
+    }
+
+    /// Fits many models in parallel across the pool and registers each under
+    /// its name. Results come back in submission order; failed fits leave the
+    /// registry untouched for that name.
+    pub fn fit_many(
+        &self,
+        jobs: Vec<(String, TimeSeries, S2gConfig)>,
+    ) -> Vec<Result<Arc<Series2Graph>>> {
+        let (names, fit_jobs): (Vec<String>, Vec<FitJob>) = jobs
+            .into_iter()
+            .map(|(name, series, config)| (name, FitJob { series, config }))
+            .unzip();
+        self.pool
+            .fit_batch(fit_jobs)
+            .into_iter()
+            .zip(names)
+            .map(|(result, name)| result.map(|model| self.registry.insert(name, model)))
+            .collect()
+    }
+
+    /// Scores many series against one registered model in parallel across the
+    /// pool, returning per-series anomaly-score profiles in input order —
+    /// identical to a sequential loop over [`Series2Graph::anomaly_scores`].
+    ///
+    /// # Errors
+    /// [`crate::Error::UnknownModel`] when `model_name` is not registered;
+    /// per-series scoring errors surface in the matching output slot.
+    pub fn score_many(
+        &self,
+        model_name: &str,
+        series: Vec<TimeSeries>,
+        query_length: usize,
+    ) -> Result<Vec<Result<Vec<f64>>>> {
+        let model = self.registry.require(model_name)?;
+        let jobs = series
+            .into_iter()
+            .map(|series| ScoreJob {
+                model: Arc::clone(&model),
+                series,
+                query_length,
+            })
+            .collect();
+        Ok(self.pool.score_batch(jobs))
+    }
+
+    /// Scores heterogeneous `(model, series, query_length)` jobs in parallel.
+    pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f64>>> {
+        self.pool.score_batch(jobs)
+    }
+
+    /// Opens a named incremental streaming session against a registered
+    /// model. The session is pinned to one pool shard; pushes for the same id
+    /// are processed in order.
+    pub fn open_stream(
+        &self,
+        stream_id: impl Into<String>,
+        model_name: &str,
+        query_length: usize,
+    ) -> Result<()> {
+        let model = self.registry.require(model_name)?;
+        self.pool.open_stream(stream_id, model, query_length)
+    }
+
+    /// Feeds points into an open stream, returning the emitted
+    /// `(window_start, normality)` pairs.
+    pub fn push_stream(&self, stream_id: &str, values: &[f64]) -> Result<Vec<(usize, f64)>> {
+        self.pool.push_stream(stream_id, values)
+    }
+
+    /// Closes a stream, returning how many points it consumed.
+    pub fn close_stream(&self, stream_id: &str) -> Result<usize> {
+        self.pool.close_stream(stream_id)
+    }
+
+    /// Persists a registered model to `path`.
+    pub fn save_model(&self, name: &str, path: impl AsRef<Path>) -> Result<()> {
+        self.registry.save(name, path)
+    }
+
+    /// Loads a persisted model from `path` into the registry under `name`.
+    pub fn load_model(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<Series2Graph>> {
+        self.registry.load(name, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64, phase: f64) -> TimeSeries {
+        TimeSeries::from(
+            (0..n)
+                .map(|i| (std::f64::consts::TAU * i as f64 / period + phase).sin())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn fit_many_registers_models() {
+        let engine = Engine::new(EngineConfig::default().with_workers(3));
+        let jobs: Vec<(String, TimeSeries, S2gConfig)> = (0..4)
+            .map(|i| {
+                (
+                    format!("m{i}"),
+                    sine(1800, 60.0 + 10.0 * i as f64, 0.0),
+                    S2gConfig::new(40),
+                )
+            })
+            .collect();
+        let results = engine.fit_many(jobs);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(engine.registry().len(), 4);
+        assert_eq!(
+            engine.registry().names(),
+            vec![
+                "m0".to_string(),
+                "m1".to_string(),
+                "m2".to_string(),
+                "m3".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn score_many_requires_known_model() {
+        let engine = Engine::default();
+        assert!(engine
+            .score_many("nope", vec![sine(500, 50.0, 0.0)], 100)
+            .is_err());
+    }
+
+    #[test]
+    fn streams_round_trip_through_engine() {
+        let engine = Engine::new(EngineConfig::default().with_workers(2));
+        engine
+            .fit_model("base", &sine(3000, 80.0, 0.0), &S2gConfig::new(40))
+            .unwrap();
+        engine.open_stream("sensor-1", "base", 160).unwrap();
+        let emitted = engine
+            .push_stream("sensor-1", sine(400, 80.0, 0.1).values())
+            .unwrap();
+        assert_eq!(emitted.len(), 400 - 160 + 1);
+        assert_eq!(engine.close_stream("sensor-1").unwrap(), 400);
+    }
+}

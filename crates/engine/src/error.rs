@@ -1,0 +1,106 @@
+//! Error type of the engine layer.
+
+use std::fmt;
+
+/// Convenience alias for engine results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the engine layer (registry, persistence, worker pool).
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying model error from `s2g-core`.
+    Core(s2g_core::Error),
+    /// Underlying I/O error from `s2g-timeseries` CSV handling.
+    TimeSeries(s2g_timeseries::Error),
+    /// Filesystem error while reading or writing a model file.
+    Io(std::io::Error),
+    /// The model file is malformed (bad magic, truncated section, impossible
+    /// field value). The message names the offending section.
+    Format(String),
+    /// The model file declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// The model file's trailing checksum does not match its content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed from the file body.
+        computed: u64,
+    },
+    /// A registry lookup referenced a model name that is not loaded.
+    UnknownModel(String),
+    /// A streaming-session operation referenced an unknown session id.
+    UnknownStream(String),
+    /// A streaming session with this id is already open.
+    StreamExists(String),
+    /// The worker pool has shut down or a worker died mid-job.
+    PoolClosed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "model error: {e}"),
+            Error::TimeSeries(e) => write!(f, "time-series error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Format(msg) => write!(f, "invalid model file: {msg}"),
+            Error::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported model format version {found} (this build reads up to {supported})"
+            ),
+            Error::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model file corrupted: stored checksum {stored:#018x} != computed {computed:#018x}"
+            ),
+            Error::UnknownModel(name) => write!(f, "no model named {name:?} in the registry"),
+            Error::UnknownStream(id) => write!(f, "no open streaming session {id:?}"),
+            Error::StreamExists(id) => write!(f, "streaming session {id:?} already open"),
+            Error::PoolClosed => write!(f, "worker pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::TimeSeries(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<s2g_core::Error> for Error {
+    fn from(e: s2g_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<s2g_timeseries::Error> for Error {
+    fn from(e: s2g_timeseries::Error) -> Self {
+        Error::TimeSeries(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<s2g_linalg::Error> for Error {
+    fn from(e: s2g_linalg::Error) -> Self {
+        Error::Core(s2g_core::Error::Linalg(e))
+    }
+}
+
+impl From<s2g_graph::Error> for Error {
+    fn from(e: s2g_graph::Error) -> Self {
+        Error::Core(s2g_core::Error::Graph(e))
+    }
+}

@@ -1,0 +1,376 @@
+//! Sharded worker pool fanning fit/score/stream jobs across OS threads.
+//!
+//! The pool owns `n` worker threads, each with its own job queue (shard).
+//! Batch jobs are dispatched round-robin by job index — a deterministic
+//! assignment, so repeated runs of the same batch land on the same shards —
+//! and results are reassembled in submission order, which makes pool output
+//! **identical** to a sequential run (scoring is a pure function of
+//! `(model, series, query_length)`).
+//!
+//! Streaming sessions are *pinned*: a session id hashes to one shard and all
+//! its pushes execute there in order, so each per-model
+//! [`StreamingScorer`] lives on exactly one thread and needs no locking.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
+use s2g_timeseries::TimeSeries;
+
+use crate::error::{Error, Result};
+
+/// A fit request: one series plus its configuration.
+pub struct FitJob {
+    /// Training series.
+    pub series: TimeSeries,
+    /// Pipeline configuration.
+    pub config: S2gConfig,
+}
+
+/// A scoring request: one series scored against one shared model.
+pub struct ScoreJob {
+    /// The fitted model to score against.
+    pub model: Arc<Series2Graph>,
+    /// The series to score.
+    pub series: TimeSeries,
+    /// Query (sliding window) length `ℓq`.
+    pub query_length: usize,
+}
+
+enum Job {
+    Fit {
+        idx: usize,
+        job: FitJob,
+        reply: Sender<(usize, Result<Series2Graph>)>,
+    },
+    Score {
+        idx: usize,
+        job: ScoreJob,
+        reply: Sender<(usize, Result<Vec<f64>>)>,
+    },
+    OpenStream {
+        id: String,
+        model: Arc<Series2Graph>,
+        query_length: usize,
+        reply: Sender<Result<()>>,
+    },
+    PushStream {
+        id: String,
+        values: Vec<f64>,
+        reply: Sender<Result<Vec<(usize, f64)>>>,
+    },
+    CloseStream {
+        id: String,
+        reply: Sender<Result<usize>>,
+    },
+}
+
+/// Fixed-size pool of worker threads with per-worker job queues.
+pub struct WorkerPool {
+    shards: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut shards = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            shards.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("s2g-worker-{shard}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn worker thread"),
+            );
+        }
+        WorkerPool { shards, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for_stream(&self, id: &str) -> usize {
+        (crate::util::fnv1a(id.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Fits one model per job, in parallel across the shards. Results come
+    /// back in submission order; each job fails independently.
+    pub fn fit_batch(&self, jobs: Vec<FitJob>) -> Vec<Result<Series2Graph>> {
+        let n = jobs.len();
+        let (reply, inbox) = channel();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let msg = Job::Fit {
+                idx,
+                job,
+                reply: reply.clone(),
+            };
+            if self.shards[idx % self.shards.len()].send(msg).is_err() {
+                return (0..n).map(|_| Err(Error::PoolClosed)).collect();
+            }
+        }
+        drop(reply);
+        Self::collect(n, inbox)
+    }
+
+    /// Scores one series per job against its (shared) model, in parallel
+    /// across the shards. Results are anomaly-score profiles in submission
+    /// order, identical to what a sequential loop over
+    /// [`Series2Graph::anomaly_scores`] produces.
+    pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f64>>> {
+        let n = jobs.len();
+        let (reply, inbox) = channel();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let msg = Job::Score {
+                idx,
+                job,
+                reply: reply.clone(),
+            };
+            if self.shards[idx % self.shards.len()].send(msg).is_err() {
+                return (0..n).map(|_| Err(Error::PoolClosed)).collect();
+            }
+        }
+        drop(reply);
+        Self::collect(n, inbox)
+    }
+
+    fn collect<T>(n: usize, inbox: Receiver<(usize, Result<T>)>) -> Vec<Result<T>> {
+        let mut out: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match inbox.recv() {
+                Ok((idx, result)) => out[idx] = Some(result),
+                Err(_) => break, // a worker died; remaining slots become PoolClosed
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.unwrap_or(Err(Error::PoolClosed)))
+            .collect()
+    }
+
+    /// Opens a streaming session pinned to one shard. All subsequent pushes
+    /// for `id` execute on that shard in submission order.
+    ///
+    /// # Errors
+    /// [`Error::StreamExists`] when the id is already open, or the scorer's
+    /// construction error.
+    pub fn open_stream(
+        &self,
+        id: impl Into<String>,
+        model: Arc<Series2Graph>,
+        query_length: usize,
+    ) -> Result<()> {
+        let id = id.into();
+        let shard = self.shard_for_stream(&id);
+        let (reply, inbox) = channel();
+        self.shards[shard]
+            .send(Job::OpenStream {
+                id,
+                model,
+                query_length,
+                reply,
+            })
+            .map_err(|_| Error::PoolClosed)?;
+        inbox.recv().map_err(|_| Error::PoolClosed)?
+    }
+
+    /// Feeds points into an open streaming session, returning the
+    /// `(window_start, normality)` pairs emitted by this chunk.
+    pub fn push_stream(&self, id: &str, values: &[f64]) -> Result<Vec<(usize, f64)>> {
+        let shard = self.shard_for_stream(id);
+        let (reply, inbox) = channel();
+        self.shards[shard]
+            .send(Job::PushStream {
+                id: id.to_string(),
+                values: values.to_vec(),
+                reply,
+            })
+            .map_err(|_| Error::PoolClosed)?;
+        inbox.recv().map_err(|_| Error::PoolClosed)?
+    }
+
+    /// Closes a streaming session, returning how many points it consumed.
+    pub fn close_stream(&self, id: &str) -> Result<usize> {
+        let shard = self.shard_for_stream(id);
+        let (reply, inbox) = channel();
+        self.shards[shard]
+            .send(Job::CloseStream {
+                id: id.to_string(),
+                reply,
+            })
+            .map_err(|_| Error::PoolClosed)?;
+        inbox.recv().map_err(|_| Error::PoolClosed)?
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping the senders ends each worker's recv loop.
+        self.shards.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>) {
+    let mut sessions: HashMap<String, StreamingScorer> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Fit { idx, job, reply } => {
+                let result = Series2Graph::fit(&job.series, &job.config).map_err(Error::from);
+                let _ = reply.send((idx, result));
+            }
+            Job::Score { idx, job, reply } => {
+                let result = job
+                    .model
+                    .anomaly_scores(&job.series, job.query_length)
+                    .map_err(Error::from);
+                let _ = reply.send((idx, result));
+            }
+            Job::OpenStream {
+                id,
+                model,
+                query_length,
+                reply,
+            } => {
+                let result = match sessions.entry(id) {
+                    std::collections::hash_map::Entry::Occupied(occupied) => {
+                        Err(Error::StreamExists(occupied.key().clone()))
+                    }
+                    std::collections::hash_map::Entry::Vacant(vacant) => {
+                        match StreamingScorer::new((*model).clone(), query_length) {
+                            Ok(scorer) => {
+                                vacant.insert(scorer);
+                                Ok(())
+                            }
+                            Err(e) => Err(Error::from(e)),
+                        }
+                    }
+                };
+                let _ = reply.send(result);
+            }
+            Job::PushStream { id, values, reply } => {
+                let result = match sessions.get_mut(&id) {
+                    Some(scorer) => scorer.push_batch(&values).map_err(Error::from),
+                    None => Err(Error::UnknownStream(id)),
+                };
+                let _ = reply.send(result);
+            }
+            Job::CloseStream { id, reply } => {
+                let result = match sessions.remove(&id) {
+                    Some(scorer) => Ok(scorer.consumed()),
+                    None => Err(Error::UnknownStream(id)),
+                };
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64, phase: f64) -> TimeSeries {
+        TimeSeries::from(
+            (0..n)
+                .map(|i| (std::f64::consts::TAU * i as f64 / period + phase).sin())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn fit_batch_returns_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<FitJob> = (0..5)
+            .map(|i| FitJob {
+                series: sine(1500 + 100 * i, 75.0, 0.0),
+                config: S2gConfig::new(40),
+            })
+            .collect();
+        let models = pool.fit_batch(jobs);
+        assert_eq!(models.len(), 5);
+        for (i, model) in models.into_iter().enumerate() {
+            assert_eq!(model.unwrap().train_len(), 1500 + 100 * i);
+        }
+    }
+
+    #[test]
+    fn failed_jobs_do_not_poison_the_batch() {
+        let pool = WorkerPool::new(2);
+        let jobs = vec![
+            FitJob {
+                series: sine(1500, 75.0, 0.0),
+                config: S2gConfig::new(40),
+            },
+            // Too short to fit: fails, but only this slot.
+            FitJob {
+                series: sine(10, 5.0, 0.0),
+                config: S2gConfig::new(40),
+            },
+            FitJob {
+                series: sine(1600, 80.0, 0.0),
+                config: S2gConfig::new(40),
+            },
+        ];
+        let results = pool.fit_batch(jobs);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn streams_are_pinned_and_isolated() {
+        let pool = WorkerPool::new(4);
+        let model =
+            Arc::new(Series2Graph::fit(&sine(3000, 80.0, 0.0), &S2gConfig::new(40)).unwrap());
+        pool.open_stream("left", Arc::clone(&model), 120).unwrap();
+        pool.open_stream("right", Arc::clone(&model), 120).unwrap();
+        assert!(matches!(
+            pool.open_stream("left", Arc::clone(&model), 120),
+            Err(Error::StreamExists(_))
+        ));
+        let chunk: Vec<f64> = sine(200, 80.0, 0.0).into_vec();
+        let left = pool.push_stream("left", &chunk).unwrap();
+        let _ = pool.push_stream("right", &chunk[..50]).unwrap();
+        assert_eq!(left.len(), 200 - 120 + 1);
+        assert_eq!(pool.close_stream("left").unwrap(), 200);
+        assert_eq!(pool.close_stream("right").unwrap(), 50);
+        assert!(matches!(
+            pool.push_stream("left", &chunk),
+            Err(Error::UnknownStream(_))
+        ));
+        assert!(matches!(
+            pool.close_stream("gone"),
+            Err(Error::UnknownStream(_))
+        ));
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let pool = WorkerPool::new(2);
+        let model =
+            Arc::new(Series2Graph::fit(&sine(2000, 70.0, 0.0), &S2gConfig::new(35)).unwrap());
+        let _ = pool.score_batch(vec![ScoreJob {
+            model,
+            series: sine(1000, 70.0, 0.3),
+            query_length: 100,
+        }]);
+        drop(pool); // must not hang or panic
+    }
+}

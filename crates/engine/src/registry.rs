@@ -1,0 +1,258 @@
+//! Named model registry with `Arc`-shared handles and LRU eviction.
+//!
+//! The registry is the engine's in-memory model store: detection workloads
+//! refer to models by name, scoring threads hold cheap [`Arc`] clones, and a
+//! bounded registry evicts the least-recently-used model when a new one is
+//! inserted past capacity. All operations are thread-safe behind a single
+//! mutex — the critical sections only touch the map, never fit or score.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_timeseries::TimeSeries;
+
+use crate::codec;
+use crate::error::{Error, Result};
+
+struct Entry {
+    model: Arc<Series2Graph>,
+    last_used: u64,
+}
+
+struct Inner {
+    models: HashMap<String, Entry>,
+    /// Logical clock: bumped on every touch, so `last_used` orders recency
+    /// without any wall-clock dependence.
+    clock: u64,
+}
+
+/// Thread-safe store of fitted models, addressed by name.
+pub struct ModelRegistry {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ModelRegistry {
+    /// Creates a registry holding at most `capacity` models (`0` means
+    /// unbounded). Inserting past capacity evicts the least-recently-used
+    /// model.
+    pub fn new(capacity: usize) -> Self {
+        ModelRegistry {
+            inner: Mutex::new(Inner {
+                models: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Creates an unbounded registry.
+    pub fn unbounded() -> Self {
+        Self::new(0)
+    }
+
+    /// Maximum number of models kept (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex means a panic while holding the map lock; the map
+        // itself cannot be left in a torn state by any of our critical
+        // sections, so recover the guard.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts a fitted model under `name`, returning its shared handle.
+    /// Replaces any model previously stored under the same name; evicts the
+    /// least-recently-used other model when over capacity.
+    pub fn insert(&self, name: impl Into<String>, model: Series2Graph) -> Arc<Series2Graph> {
+        self.insert_arc(name, Arc::new(model))
+    }
+
+    /// Inserts an already-shared model handle under `name`.
+    pub fn insert_arc(
+        &self,
+        name: impl Into<String>,
+        model: Arc<Series2Graph>,
+    ) -> Arc<Series2Graph> {
+        let name = name.into();
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.models.insert(
+            name.clone(),
+            Entry {
+                model: Arc::clone(&model),
+                last_used: stamp,
+            },
+        );
+        if self.capacity > 0 && inner.models.len() > self.capacity {
+            // Evict the least recently used entry other than the newcomer.
+            if let Some(victim) = inner
+                .models
+                .iter()
+                .filter(|(n, _)| **n != name)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(n, _)| n.clone())
+            {
+                inner.models.remove(&victim);
+            }
+        }
+        model
+    }
+
+    /// Fits a model on `series` and stores it under `name`.
+    ///
+    /// # Errors
+    /// Propagates fit errors from [`Series2Graph::fit`]; nothing is stored on
+    /// failure.
+    pub fn fit(
+        &self,
+        name: impl Into<String>,
+        series: &TimeSeries,
+        config: &S2gConfig,
+    ) -> Result<Arc<Series2Graph>> {
+        let model = Series2Graph::fit(series, config)?;
+        Ok(self.insert(name, model))
+    }
+
+    /// Returns the model stored under `name`, bumping its recency.
+    pub fn get(&self, name: &str) -> Option<Arc<Series2Graph>> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.models.get_mut(name).map(|entry| {
+            entry.last_used = stamp;
+            Arc::clone(&entry.model)
+        })
+    }
+
+    /// Like [`ModelRegistry::get`] but returns a typed error naming the
+    /// missing model.
+    pub fn require(&self, name: &str) -> Result<Arc<Series2Graph>> {
+        self.get(name)
+            .ok_or_else(|| Error::UnknownModel(name.to_string()))
+    }
+
+    /// Removes and returns the model stored under `name`.
+    pub fn remove(&self, name: &str) -> Option<Arc<Series2Graph>> {
+        self.lock().models.remove(name).map(|e| e.model)
+    }
+
+    /// Number of models currently stored.
+    pub fn len(&self) -> usize {
+        self.lock().models.len()
+    }
+
+    /// `true` when no model is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of all stored models, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lock().models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Persists the model stored under `name` to `path`.
+    ///
+    /// # Errors
+    /// [`Error::UnknownModel`] when the name is not loaded, or any codec /
+    /// filesystem error.
+    pub fn save(&self, name: &str, path: impl AsRef<Path>) -> Result<()> {
+        let model = self.require(name)?;
+        codec::save_model(path, &model)
+    }
+
+    /// Loads a persisted model from `path` and stores it under `name`,
+    /// returning its shared handle.
+    pub fn load(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<Series2Graph>> {
+        let model = codec::load_model(path)?;
+        Ok(self.insert(name, model))
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64) -> TimeSeries {
+        TimeSeries::from(
+            (0..n)
+                .map(|i| (std::f64::consts::TAU * i as f64 / period).sin())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn fit_get_remove_roundtrip() {
+        let registry = ModelRegistry::unbounded();
+        assert!(registry.is_empty());
+        let model = registry
+            .fit("ecg", &sine(2000, 90.0), &S2gConfig::new(45))
+            .unwrap();
+        assert_eq!(registry.len(), 1);
+        let fetched = registry.require("ecg").unwrap();
+        assert!(Arc::ptr_eq(&model, &fetched));
+        assert!(registry.get("missing").is_none());
+        assert!(matches!(
+            registry.require("missing"),
+            Err(Error::UnknownModel(_))
+        ));
+        assert!(registry.remove("ecg").is_some());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_models() {
+        let registry = ModelRegistry::new(2);
+        let config = S2gConfig::new(40);
+        registry.fit("a", &sine(1500, 80.0), &config).unwrap();
+        registry.fit("b", &sine(1500, 60.0), &config).unwrap();
+        // Touch "a" so "b" is the LRU when "c" arrives.
+        registry.get("a").unwrap();
+        registry.fit("c", &sine(1500, 70.0), &config).unwrap();
+        assert_eq!(registry.names(), vec!["a".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let registry = ModelRegistry::new(2);
+        let config = S2gConfig::new(40);
+        registry.fit("a", &sine(1500, 80.0), &config).unwrap();
+        registry.fit("b", &sine(1500, 60.0), &config).unwrap();
+        registry.fit("a", &sine(1500, 50.0), &config).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn shared_handles_survive_eviction() {
+        let registry = ModelRegistry::new(1);
+        let config = S2gConfig::new(40);
+        let a = registry.fit("a", &sine(1500, 80.0), &config).unwrap();
+        registry.fit("b", &sine(1500, 60.0), &config).unwrap();
+        assert!(registry.get("a").is_none(), "a should have been evicted");
+        // The Arc held by the caller keeps the evicted model alive and usable.
+        let scores = a.anomaly_scores(&sine(1500, 80.0), 120).unwrap();
+        assert_eq!(scores.len(), 1500 - 120 + 1);
+    }
+}

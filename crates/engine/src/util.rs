@@ -1,0 +1,13 @@
+//! Small crate-internal helpers shared across modules.
+
+/// FNV-1a over a byte slice. Used both as the model file's integrity
+/// checksum ([`crate::codec`]) and as the shard-pinning hash of streaming
+/// session ids ([`crate::pool`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,144 @@
+//! Cross-process CLI acceptance test: `s2g fit` in one process writes a model
+//! file that a *separate* `s2g score` process loads and scores with results
+//! identical to an in-process fit+score.
+
+use std::process::Command;
+
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_timeseries::{io, TimeSeries};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("s2g_cli_process_{}_{name}", std::process::id()));
+    dir
+}
+
+fn burst_series(n: usize, burst_at: usize) -> TimeSeries {
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+        .collect();
+    let end = (burst_at + 150).min(n);
+    for (i, v) in values.iter_mut().enumerate().take(end).skip(burst_at) {
+        *v = (std::f64::consts::TAU * i as f64 / 25.0).sin();
+    }
+    TimeSeries::from(values)
+}
+
+#[test]
+fn separate_fit_and_score_processes_match_in_process_results() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let input = tmp("input.csv");
+    let model_path = tmp("model.s2g");
+    let scores_path = tmp("scores.csv");
+
+    let series = burst_series(4000, 2600);
+    io::write_series(&input, &series).unwrap();
+
+    // Process 1: fit + persist.
+    let fit = Command::new(s2g)
+        .args([
+            "fit",
+            "--input",
+            input.to_str().unwrap(),
+            "--output",
+            model_path.to_str().unwrap(),
+            "--pattern-length",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        fit.status.success(),
+        "fit failed: {}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
+
+    // Process 2: load + score.
+    let score = Command::new(s2g)
+        .args([
+            "score",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--query-length",
+            "150",
+            "--top-k",
+            "1",
+            "--scores-out",
+            scores_path.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        score.status.success(),
+        "score failed: {}",
+        String::from_utf8_lossy(&score.stderr)
+    );
+
+    // Reference: everything in this process, no persistence involved.
+    let model = Series2Graph::fit(&series, &S2gConfig::new(50)).unwrap();
+    let expected = model.anomaly_scores(&series, 150).unwrap();
+
+    let text = std::fs::read_to_string(&scores_path).unwrap();
+    let written: Vec<f64> = text
+        .lines()
+        .skip(1)
+        .map(|line| line.split(',').nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(written.len(), expected.len());
+    for (i, (w, e)) in written.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            e.to_bits(),
+            "score {i} differs between cross-process and in-process runs"
+        );
+    }
+
+    // The reported top anomaly must be the injected burst.
+    let stdout = String::from_utf8_lossy(&score.stdout);
+    let top_line = stdout.lines().next().expect("score printed no detections");
+    let start: i64 = top_line.split('\t').nth(2).unwrap().parse().unwrap();
+    assert!(
+        (start - 2600).abs() < 250,
+        "top anomaly at {start}, expected near 2600 (stdout: {stdout})"
+    );
+
+    // Corrupted model files must fail the process with a runtime error.
+    let mut corrupt = std::fs::read(&model_path).unwrap();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&model_path, &corrupt).unwrap();
+    let broken = Command::new(s2g)
+        .args([
+            "score",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--query-length",
+            "150",
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(broken.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&broken.stderr).contains("corrupted"),
+        "stderr should name the corruption: {}",
+        String::from_utf8_lossy(&broken.stderr)
+    );
+
+    for p in [&input, &model_path, &scores_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let bad = Command::new(s2g).args(["frobnicate"]).output().unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("USAGE"));
+
+    let help = Command::new(s2g).args(["help"]).output().unwrap();
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("bench-throughput"));
+}

@@ -16,8 +16,10 @@ pub fn precision_at_k(scores: &[f64], window_len: usize, truth: &GroundTruth, k:
     if picks.is_empty() {
         return 0.0;
     }
-    let hits =
-        picks.iter().filter(|&&p| truth.window_overlaps_anomaly(p, window_len)).count();
+    let hits = picks
+        .iter()
+        .filter(|&&p| truth.window_overlaps_anomaly(p, window_len))
+        .count();
     hits as f64 / picks.len() as f64
 }
 
@@ -40,7 +42,11 @@ pub fn recall_at_k(scores: &[f64], window_len: usize, truth: &GroundTruth, k: us
 /// Converts subsequence scores and ground-truth ranges into point-wise
 /// (score, label) pairs: each subsequence start is labelled positive when the
 /// window overlaps an anomaly.
-pub fn pointwise_labels(scores: &[f64], window_len: usize, truth: &GroundTruth) -> Vec<(f64, bool)> {
+pub fn pointwise_labels(
+    scores: &[f64],
+    window_len: usize,
+    truth: &GroundTruth,
+) -> Vec<(f64, bool)> {
     scores
         .iter()
         .enumerate()
@@ -137,12 +143,10 @@ mod tests {
     #[test]
     fn auc_roc_perfect_and_random() {
         // Perfect separation.
-        let pairs: Vec<(f64, bool)> =
-            (0..100).map(|i| (i as f64, i >= 90)).collect();
+        let pairs: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, i >= 90)).collect();
         assert!((auc_roc(&pairs) - 1.0).abs() < 1e-12);
         // Inverted separation.
-        let pairs: Vec<(f64, bool)> =
-            (0..100).map(|i| (i as f64, i < 10)).collect();
+        let pairs: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, i < 10)).collect();
         assert!(auc_roc(&pairs) < 0.01);
         // Single class.
         let pairs: Vec<(f64, bool)> = (0..10).map(|i| (i as f64, false)).collect();
@@ -162,8 +166,9 @@ mod tests {
         assert_eq!(auc_pr(&[]), 0.0);
         assert_eq!(auc_pr(&[(1.0, false)]), 0.0);
         // Random-ish scores give PR roughly equal to the positive rate.
-        let pairs: Vec<(f64, bool)> =
-            (0..1000).map(|i| (((i * 37) % 1000) as f64, i % 10 == 0)).collect();
+        let pairs: Vec<(f64, bool)> = (0..1000)
+            .map(|i| (((i * 37) % 1000) as f64, i % 10 == 0))
+            .collect();
         let pr = auc_pr(&pairs);
         assert!(pr > 0.03 && pr < 0.3, "pr = {pr}");
     }

@@ -38,7 +38,9 @@ impl GroundTruth {
     /// Index of the labelled anomaly (if any) that the window overlaps.
     pub fn matching_anomaly(&self, start: usize, len: usize) -> Option<usize> {
         let end = start + len;
-        self.ranges.iter().position(|&(s, l)| s < end && start < s + l)
+        self.ranges
+            .iter()
+            .position(|&(s, l)| s < end && start < s + l)
     }
 }
 
@@ -157,7 +159,10 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         assert_eq!(top_k_accuracy(&[], 50, &truth(), 3), 0.0);
-        assert_eq!(top_k_accuracy(&[1.0, 2.0], 50, &GroundTruth::default(), 3), 0.0);
+        assert_eq!(
+            top_k_accuracy(&[1.0, 2.0], 50, &GroundTruth::default(), 3),
+            0.0
+        );
         assert_eq!(top_k_accuracy(&[1.0, 2.0], 50, &truth(), 0), 0.0);
         assert!(GroundTruth::default().is_empty());
     }

@@ -41,7 +41,27 @@ impl DiGraph {
 
     /// Creates a graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Self { out_edges: vec![BTreeMap::new(); n], in_edges: vec![BTreeMap::new(); n] }
+        Self {
+            out_edges: vec![BTreeMap::new(); n],
+            in_edges: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Rebuilds a graph from a node count and an edge list, as produced by
+    /// [`DiGraph::edges`]. Weights of repeated `(from, to)` pairs accumulate.
+    /// Used by model persistence.
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`] when an edge references a node `>= node_count`.
+    pub fn from_edges<I>(node_count: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId, f64)>,
+    {
+        let mut graph = Self::with_nodes(node_count);
+        for (from, to, weight) in edges {
+            graph.add_edge_weight(from, to, weight)?;
+        }
+        Ok(graph)
     }
 
     /// Adds a new isolated node and returns its id.
@@ -127,10 +147,13 @@ impl DiGraph {
 
     /// Iterator over the outgoing edges of a node.
     pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        self.out_edges
-            .get(node)
-            .into_iter()
-            .flat_map(move |m| m.iter().map(move |(&to, &weight)| EdgeRef { from: node, to, weight }))
+        self.out_edges.get(node).into_iter().flat_map(move |m| {
+            m.iter().map(move |(&to, &weight)| EdgeRef {
+                from: node,
+                to,
+                weight,
+            })
+        })
     }
 
     /// Iterator over every edge in the graph.

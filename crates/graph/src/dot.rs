@@ -17,7 +17,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        Self { name: "series2graph".to_string(), highlight_weight: f64::INFINITY, min_weight: 0.0 }
+        Self {
+            name: "series2graph".to_string(),
+            highlight_weight: f64::INFINITY,
+            min_weight: 0.0,
+        }
     }
 }
 
@@ -36,7 +40,11 @@ pub fn to_dot(graph: &DiGraph, options: &DotOptions) -> String {
         if e.weight < options.min_weight {
             continue;
         }
-        let width = if e.weight >= options.highlight_weight { 3.0 } else { 1.0 };
+        let width = if e.weight >= options.highlight_weight {
+            3.0
+        } else {
+            1.0
+        };
         out.push_str(&format!(
             "  n{} -> n{} [label=\"{:.0}\", penwidth={width}];\n",
             e.from, e.to, e.weight
@@ -47,8 +55,16 @@ pub fn to_dot(graph: &DiGraph, options: &DotOptions) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned: String =
-        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
     if cleaned.is_empty() {
         "graph".to_string()
     } else {
@@ -81,7 +97,10 @@ mod tests {
 
     #[test]
     fn min_weight_filters_light_edges() {
-        let opts = DotOptions { min_weight: 2.0, ..Default::default() };
+        let opts = DotOptions {
+            min_weight: 2.0,
+            ..Default::default()
+        };
         let dot = to_dot(&sample(), &opts);
         assert!(dot.contains("n0 -> n1"));
         assert!(!dot.contains("n1 -> n2"));
@@ -89,7 +108,10 @@ mod tests {
 
     #[test]
     fn highlight_thickens_heavy_edges() {
-        let opts = DotOptions { highlight_weight: 3.0, ..Default::default() };
+        let opts = DotOptions {
+            highlight_weight: 3.0,
+            ..Default::default()
+        };
         let dot = to_dot(&sample(), &opts);
         assert!(dot.contains("penwidth=3"));
         assert!(dot.contains("penwidth=1"));
@@ -97,10 +119,16 @@ mod tests {
 
     #[test]
     fn name_is_sanitized() {
-        let opts = DotOptions { name: "MBA (820) ℓ=80".to_string(), ..Default::default() };
+        let opts = DotOptions {
+            name: "MBA (820) ℓ=80".to_string(),
+            ..Default::default()
+        };
         let dot = to_dot(&sample(), &opts);
         assert!(dot.starts_with("digraph MBA__820"));
-        let empty = DotOptions { name: "   ".to_string(), ..Default::default() };
+        let empty = DotOptions {
+            name: "   ".to_string(),
+            ..Default::default()
+        };
         assert!(to_dot(&sample(), &empty).starts_with("digraph ___"));
     }
 

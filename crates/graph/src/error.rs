@@ -37,6 +37,8 @@ mod tests {
     #[test]
     fn display() {
         assert!(Error::UnknownNode(3).to_string().contains('3'));
-        assert!(Error::UnknownEdge { from: 1, to: 2 }.to_string().contains("1 -> 2"));
+        assert!(Error::UnknownEdge { from: 1, to: 2 }
+            .to_string()
+            .contains("1 -> 2"));
     }
 }

@@ -58,7 +58,11 @@ pub fn theta_normality(graph: &DiGraph, theta: f64) -> Subgraph {
             edges.push(e);
         }
     }
-    Subgraph { theta, nodes, edges }
+    Subgraph {
+        theta,
+        nodes,
+        edges,
+    }
 }
 
 /// Extracts the θ-Anomaly subgraph: the edges excluded from the θ-Normality
@@ -78,7 +82,11 @@ pub fn theta_anomaly(graph: &DiGraph, theta: f64) -> Subgraph {
             }
         }
     }
-    Subgraph { theta, nodes, edges }
+    Subgraph {
+        theta,
+        nodes,
+        edges,
+    }
 }
 
 /// Checks whether a node path (a sequence of node ids traversed by a
@@ -92,7 +100,11 @@ pub fn path_in_theta_normality(graph: &DiGraph, path: &[NodeId], theta: f64) -> 
         graph
             .edge_weight(w[0], w[1])
             .map(|weight| {
-                let e = EdgeRef { from: w[0], to: w[1], weight };
+                let e = EdgeRef {
+                    from: w[0],
+                    to: w[1],
+                    weight,
+                };
                 edge_normality(graph, &e) >= theta
             })
             .unwrap_or(false)
@@ -124,10 +136,18 @@ mod tests {
     fn edge_normality_uses_weight_and_degree() {
         let g = toy_graph();
         // Edge 0->1: weight 10, deg(0) = out(0->1) + in(2->0) = 2, so normality = 10*(2-1)=10.
-        let e = EdgeRef { from: 0, to: 1, weight: g.edge_weight(0, 1).unwrap() };
+        let e = EdgeRef {
+            from: 0,
+            to: 1,
+            weight: g.edge_weight(0, 1).unwrap(),
+        };
         assert_eq!(edge_normality(&g, &e), 10.0);
         // Edge 3->4: weight 1, deg(3) = 2 (1->3 and 3->4), normality = 1.
-        let e = EdgeRef { from: 3, to: 4, weight: g.edge_weight(3, 4).unwrap() };
+        let e = EdgeRef {
+            from: 3,
+            to: 4,
+            weight: g.edge_weight(3, 4).unwrap(),
+        };
         assert_eq!(edge_normality(&g, &e), 1.0);
     }
 
@@ -177,7 +197,10 @@ mod tests {
         let loose = theta_normality(&g, 1.0);
         let strict = theta_normality(&g, 8.0);
         for e in strict.edges.iter() {
-            assert!(loose.contains_edge(e.from, e.to), "strict edge missing from loose subgraph");
+            assert!(
+                loose.contains_edge(e.from, e.to),
+                "strict edge missing from loose subgraph"
+            );
         }
         assert!(strict.edge_count() <= loose.edge_count());
     }

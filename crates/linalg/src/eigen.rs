@@ -35,7 +35,11 @@ pub fn symmetric_eigen(matrix: &DMatrix) -> Result<SymmetricEigen> {
         return Err(Error::EmptyMatrix);
     }
     if n != m {
-        return Err(Error::ShapeMismatch { op: "symmetric_eigen", left: (n, m), right: (n, n) });
+        return Err(Error::ShapeMismatch {
+            op: "symmetric_eigen",
+            left: (n, m),
+            right: (n, n),
+        });
     }
 
     let mut a = matrix.clone();
@@ -107,7 +111,10 @@ pub fn symmetric_eigen(matrix: &DMatrix) -> Result<SymmetricEigen> {
         }
     }
 
-    Ok(SymmetricEigen { eigenvalues, eigenvectors })
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
 }
 
 fn off_diagonal_norm(a: &DMatrix) -> f64 {

@@ -43,8 +43,14 @@ impl fmt::Display for Error {
                 left.0, left.1, right.0, right.1
             ),
             Error::EmptyMatrix => write!(f, "matrix must not be empty"),
-            Error::TooManyComponents { requested, available } => {
-                write!(f, "requested {requested} components but only {available} are available")
+            Error::TooManyComponents {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} components but only {available} are available"
+                )
             }
             Error::NoConvergence(what) => write!(f, "{what} did not converge"),
             Error::NotFitted(what) => write!(f, "{what} used before fit()"),
@@ -61,12 +67,19 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = Error::ShapeMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        let e = Error::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert!(e.to_string().contains("matmul"));
         assert!(Error::EmptyMatrix.to_string().contains("empty"));
-        assert!(Error::TooManyComponents { requested: 5, available: 2 }
-            .to_string()
-            .contains('5'));
+        assert!(Error::TooManyComponents {
+            requested: 5,
+            available: 2
+        }
+        .to_string()
+        .contains('5'));
         assert!(Error::NotFitted("pca").to_string().contains("pca"));
     }
 }

@@ -54,7 +54,7 @@ impl GaussianKde {
         if samples.is_empty() {
             return Err(Error::EmptyInput("KDE samples"));
         }
-        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
             return Err(Error::EmptyInput("KDE bandwidth"));
         }
         Ok(Self { samples, bandwidth })
@@ -94,8 +94,12 @@ impl GaussianKde {
     pub fn density_grid(&self, points: usize) -> (Vec<f64>, Vec<f64>) {
         let points = points.max(2);
         let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
-        let hi =
-            self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let hi = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + 3.0 * self.bandwidth;
         let step = (hi - lo) / (points - 1) as f64;
         let xs: Vec<f64> = (0..points).map(|i| lo + step * i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| self.density(x)).collect();
@@ -111,7 +115,11 @@ impl GaussianKde {
         let mut maxima = Vec::new();
         for i in 0..ys.len() {
             let left = if i == 0 { f64::NEG_INFINITY } else { ys[i - 1] };
-            let right = if i + 1 == ys.len() { f64::NEG_INFINITY } else { ys[i + 1] };
+            let right = if i + 1 == ys.len() {
+                f64::NEG_INFINITY
+            } else {
+                ys[i + 1]
+            };
             if ys[i] > left && ys[i] >= right && ys[i] > 0.0 {
                 maxima.push(xs[i]);
             }

@@ -7,10 +7,11 @@ use crate::matrix::DMatrix;
 use crate::svd::{randomized_svd, RandomizedSvdOptions};
 
 /// Which solver computes the principal directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PcaSolver {
     /// Exact eigen-decomposition of the `d × d` covariance matrix. Best when
     /// `d = ℓ − λ` is small (the common case, tens of columns).
+    #[default]
     Covariance,
     /// Randomized truncated SVD (Halko et al.), matching the method cited by
     /// the paper; preferable when `d` grows to hundreds of columns.
@@ -22,12 +23,6 @@ pub enum PcaSolver {
         /// Random seed for the Gaussian test matrix.
         seed: u64,
     },
-}
-
-impl Default for PcaSolver {
-    fn default() -> Self {
-        PcaSolver::Covariance
-    }
 }
 
 /// A fitted PCA model: column means plus the top-`k` principal directions.
@@ -58,7 +53,10 @@ impl Pca {
             return Err(Error::EmptyMatrix);
         }
         if k == 0 || k > n.min(d) {
-            return Err(Error::TooManyComponents { requested: k, available: n.min(d) });
+            return Err(Error::TooManyComponents {
+                requested: k,
+                available: n.min(d),
+            });
         }
 
         let (centered, mean) = data.centered();
@@ -78,18 +76,34 @@ impl Pca {
                         components.set(r, c, eig.eigenvectors.get(r, c));
                     }
                 }
-                Ok(Self { mean, components, explained_variance: explained, total_variance })
+                Ok(Self {
+                    mean,
+                    components,
+                    explained_variance: explained,
+                    total_variance,
+                })
             }
-            PcaSolver::RandomizedSvd { oversample, power_iterations, seed } => {
+            PcaSolver::RandomizedSvd {
+                oversample,
+                power_iterations,
+                seed,
+            } => {
                 let svd = randomized_svd(
                     &centered,
-                    RandomizedSvdOptions { rank: k, oversample, power_iterations, seed },
+                    RandomizedSvdOptions {
+                        rank: k,
+                        oversample,
+                        power_iterations,
+                        seed,
+                    },
                 )?;
-                let explained: Vec<f64> =
-                    svd.singular_values.iter().map(|s| (s * s) / denom).collect();
+                let explained: Vec<f64> = svd
+                    .singular_values
+                    .iter()
+                    .map(|s| (s * s) / denom)
+                    .collect();
                 // Total variance from the centred data directly (cheap single pass).
-                let total_variance =
-                    centered.as_slice().iter().map(|x| x * x).sum::<f64>() / denom;
+                let total_variance = centered.as_slice().iter().map(|x| x * x).sum::<f64>() / denom;
                 Ok(Self {
                     mean,
                     components: svd.v,
@@ -98,6 +112,52 @@ impl Pca {
                 })
             }
         }
+    }
+
+    /// Reassembles a fitted PCA from its raw parts, as produced by
+    /// [`Pca::mean`], [`Pca::components`], [`Pca::explained_variance`] and
+    /// [`Pca::total_variance`]. Used by model persistence.
+    ///
+    /// # Errors
+    /// * [`Error::EmptyMatrix`] when `components` has no rows or columns.
+    /// * [`Error::ShapeMismatch`] when `mean` or `explained_variance` does not
+    ///   match the component matrix shape.
+    pub fn from_parts(
+        mean: Vec<f64>,
+        components: DMatrix,
+        explained_variance: Vec<f64>,
+        total_variance: f64,
+    ) -> Result<Self> {
+        let (d, k) = components.shape();
+        if d == 0 || k == 0 {
+            return Err(Error::EmptyMatrix);
+        }
+        if mean.len() != d {
+            return Err(Error::ShapeMismatch {
+                op: "pca_from_parts_mean",
+                left: (1, mean.len()),
+                right: (d, k),
+            });
+        }
+        if explained_variance.len() != k {
+            return Err(Error::ShapeMismatch {
+                op: "pca_from_parts_variance",
+                left: (1, explained_variance.len()),
+                right: (d, k),
+            });
+        }
+        Ok(Self {
+            mean,
+            components,
+            explained_variance,
+            total_variance,
+        })
+    }
+
+    /// Total variance of the training data (denominator of
+    /// [`Pca::explained_variance_ratio`]). Exposed for model persistence.
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
     }
 
     /// Number of components kept.
@@ -151,8 +211,8 @@ impl Pca {
         let mut out = vec![0.0; k];
         for (j, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
-            for i in 0..d {
-                acc += (x[i] - self.mean[i]) * self.components.get(i, j);
+            for (i, (xi, mi)) in x.iter().zip(&self.mean).enumerate() {
+                acc += (xi - mi) * self.components.get(i, j);
             }
             *o = acc;
         }
@@ -177,8 +237,8 @@ impl Pca {
             let out_row = out.row_mut(r);
             for (j, o) in out_row.iter_mut().enumerate() {
                 let mut acc = 0.0;
-                for i in 0..d {
-                    acc += (row[i] - self.mean[i]) * self.components.get(i, j);
+                for (i, (xi, mi)) in row.iter().zip(&self.mean).enumerate() {
+                    acc += (xi - mi) * self.components.get(i, j);
                 }
                 *o = acc;
             }
@@ -200,8 +260,9 @@ mod tests {
             let a = (i as f64 * 0.17).sin() * 8.0;
             let b = (i as f64 * 0.05).cos() * 3.0;
             let noise = (i as f64 * 13.37).sin() * 1e-3;
-            let row: Vec<f64> =
-                (0..5).map(|j| a * d1[j] + b * d2[j] + noise + 5.0).collect();
+            let row: Vec<f64> = (0..5)
+                .map(|j| a * d1[j] + b * d2[j] + noise + 5.0)
+                .collect();
             rows.push(row);
         }
         DMatrix::from_rows(&rows).unwrap()
@@ -223,7 +284,11 @@ mod tests {
         let rand = Pca::fit_with(
             &data,
             2,
-            PcaSolver::RandomizedSvd { oversample: 5, power_iterations: 3, seed: 1 },
+            PcaSolver::RandomizedSvd {
+                oversample: 5,
+                power_iterations: 3,
+                seed: 1,
+            },
         )
         .unwrap();
         // The projected coordinates must agree up to a per-component sign flip.
@@ -231,8 +296,14 @@ mod tests {
         let pr = rand.transform(&data).unwrap();
         for c in 0..2 {
             let dot: f64 = (0..data.nrows()).map(|r| pe.get(r, c) * pr.get(r, c)).sum();
-            let ne: f64 = (0..data.nrows()).map(|r| pe.get(r, c).powi(2)).sum::<f64>().sqrt();
-            let nr: f64 = (0..data.nrows()).map(|r| pr.get(r, c).powi(2)).sum::<f64>().sqrt();
+            let ne: f64 = (0..data.nrows())
+                .map(|r| pe.get(r, c).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            let nr: f64 = (0..data.nrows())
+                .map(|r| pr.get(r, c).powi(2))
+                .sum::<f64>()
+                .sqrt();
             let corr = (dot / (ne * nr)).abs();
             assert!(corr > 0.999, "component {c} correlation {corr}");
         }
@@ -245,8 +316,8 @@ mod tests {
         let all = pca.transform(&data).unwrap();
         for r in [0usize, 17, 99] {
             let row = pca.transform_row(data.row(r)).unwrap();
-            for c in 0..3 {
-                assert!((row[c] - all.get(r, c)).abs() < 1e-9);
+            for (c, v) in row.iter().enumerate().take(3) {
+                assert!((v - all.get(r, c)).abs() < 1e-9);
             }
         }
     }
@@ -283,7 +354,13 @@ mod tests {
         let data = planar_data(150);
         let pca = Pca::fit(&data, 3).unwrap();
         for c in 0..3 {
-            let n: f64 = pca.components().col(c).iter().map(|x| x * x).sum::<f64>().sqrt();
+            let n: f64 = pca
+                .components()
+                .col(c)
+                .iter()
+                .map(|x| x * x)
+                .sum::<f64>()
+                .sqrt();
             assert!((n - 1.0).abs() < 1e-9, "component {c} norm {n}");
         }
     }

@@ -19,27 +19,47 @@ pub struct Rotation3 {
 }
 
 impl Rotation3 {
+    /// Builds a rotation directly from its 3×3 matrix rows. The caller is
+    /// responsible for passing an orthonormal matrix; used by model
+    /// persistence to round-trip a fitted rotation exactly.
+    pub fn from_rows(m: [[f64; 3]; 3]) -> Self {
+        Self { m }
+    }
+
+    /// The rotation's raw 3×3 matrix rows (inverse of [`Rotation3::from_rows`]).
+    pub fn rows(&self) -> [[f64; 3]; 3] {
+        self.m
+    }
+
     /// The identity rotation.
     pub fn identity() -> Self {
-        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] }
+        Self {
+            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
     }
 
     /// Rotation about the x-axis by `angle` radians.
     pub fn about_x(angle: f64) -> Self {
         let (s, c) = angle.sin_cos();
-        Self { m: [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]] }
+        Self {
+            m: [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]],
+        }
     }
 
     /// Rotation about the y-axis by `angle` radians.
     pub fn about_y(angle: f64) -> Self {
         let (s, c) = angle.sin_cos();
-        Self { m: [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]] }
+        Self {
+            m: [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]],
+        }
     }
 
     /// Rotation about the z-axis by `angle` radians.
     pub fn about_z(angle: f64) -> Self {
         let (s, c) = angle.sin_cos();
-        Self { m: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]] }
+        Self {
+            m: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+        }
     }
 
     /// Axis–angle (Rodrigues) rotation about the given axis. A zero axis
@@ -167,9 +187,21 @@ mod tests {
     #[test]
     fn basic_axis_rotations() {
         let v = Vec3::unit_y();
-        assert_vec_close(Rotation3::about_x(FRAC_PI_2).apply(v), Vec3::unit_z(), 1e-12);
-        assert_vec_close(Rotation3::about_z(FRAC_PI_2).apply(Vec3::unit_x()), Vec3::unit_y(), 1e-12);
-        assert_vec_close(Rotation3::about_y(FRAC_PI_2).apply(Vec3::unit_z()), Vec3::unit_x(), 1e-12);
+        assert_vec_close(
+            Rotation3::about_x(FRAC_PI_2).apply(v),
+            Vec3::unit_z(),
+            1e-12,
+        );
+        assert_vec_close(
+            Rotation3::about_z(FRAC_PI_2).apply(Vec3::unit_x()),
+            Vec3::unit_y(),
+            1e-12,
+        );
+        assert_vec_close(
+            Rotation3::about_y(FRAC_PI_2).apply(Vec3::unit_z()),
+            Vec3::unit_x(),
+            1e-12,
+        );
     }
 
     #[test]
@@ -214,7 +246,11 @@ mod tests {
     #[test]
     fn align_handles_antiparallel_and_zero() {
         let r = align_to_x_axis(Vec3::new(-4.0, 0.0, 0.0));
-        assert_vec_close(r.apply(Vec3::new(-4.0, 0.0, 0.0)), Vec3::new(4.0, 0.0, 0.0), 1e-9);
+        assert_vec_close(
+            r.apply(Vec3::new(-4.0, 0.0, 0.0)),
+            Vec3::new(4.0, 0.0, 0.0),
+            1e-9,
+        );
         let id = align_to_x_axis(Vec3::new(0.0, 0.0, 0.0));
         assert_eq!(id, Rotation3::identity());
     }

@@ -29,7 +29,12 @@ pub struct RandomizedSvdOptions {
 
 impl Default for RandomizedSvdOptions {
     fn default() -> Self {
-        Self { rank: 3, oversample: 7, power_iterations: 2, seed: 0x5eed_5eed }
+        Self {
+            rank: 3,
+            oversample: 7,
+            power_iterations: 2,
+            seed: 0x5eed_5eed,
+        }
     }
 }
 
@@ -55,7 +60,10 @@ pub fn randomized_svd(a: &DMatrix, opts: RandomizedSvdOptions) -> Result<Truncat
     }
     let max_rank = n.min(d);
     if opts.rank == 0 || opts.rank > max_rank {
-        return Err(Error::TooManyComponents { requested: opts.rank, available: max_rank });
+        return Err(Error::TooManyComponents {
+            requested: opts.rank,
+            available: max_rank,
+        });
     }
     let sketch = (opts.rank + opts.oversample).min(max_rank);
 
@@ -192,7 +200,12 @@ fn gram_of_transpose(m: &DMatrix) -> DMatrix {
     let mut out = DMatrix::zeros(rows, rows);
     for i in 0..rows {
         for j in i..rows {
-            let dot: f64 = m.row(i).iter().zip(m.row(j).iter()).map(|(a, b)| a * b).sum();
+            let dot: f64 = m
+                .row(i)
+                .iter()
+                .zip(m.row(j).iter())
+                .map(|(a, b)| a * b)
+                .sum();
             out.set(i, j, dot);
             out.set(j, i, dot);
         }
@@ -222,8 +235,14 @@ mod tests {
     #[test]
     fn recovers_dominant_direction_of_low_rank_matrix() {
         let a = low_rank_matrix(500);
-        let svd = randomized_svd(&a, RandomizedSvdOptions { rank: 2, ..Default::default() })
-            .unwrap();
+        let svd = randomized_svd(
+            &a,
+            RandomizedSvdOptions {
+                rank: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(svd.v.shape(), (6, 2));
         // First right singular vector must align with d1 (normalised) up to sign.
         let d1_norm = 2.0; // ||(1,1,0,0,-1,-1)|| = 2
@@ -233,7 +252,11 @@ mod tests {
             .collect();
         let got = svd.v.col(0);
         let dot: f64 = got.iter().zip(expected.iter()).map(|(a, b)| a * b).sum();
-        assert!(dot.abs() > 0.999, "dominant direction not recovered, |dot|={}", dot.abs());
+        assert!(
+            dot.abs() > 0.999,
+            "dominant direction not recovered, |dot|={}",
+            dot.abs()
+        );
         // Singular values are sorted and the third would be ~0 for rank-2 data.
         assert!(svd.singular_values[0] >= svd.singular_values[1]);
     }
@@ -241,10 +264,21 @@ mod tests {
     #[test]
     fn right_singular_vectors_are_orthonormal() {
         let a = low_rank_matrix(300);
-        let svd = randomized_svd(&a, RandomizedSvdOptions { rank: 2, ..Default::default() })
-            .unwrap();
+        let svd = randomized_svd(
+            &a,
+            RandomizedSvdOptions {
+                rank: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let v = &svd.v;
-        let dot01: f64 = v.col(0).iter().zip(v.col(1).iter()).map(|(a, b)| a * b).sum();
+        let dot01: f64 = v
+            .col(0)
+            .iter()
+            .zip(v.col(1).iter())
+            .map(|(a, b)| a * b)
+            .sum();
         let n0: f64 = v.col(0).iter().map(|x| x * x).sum::<f64>().sqrt();
         let n1: f64 = v.col(1).iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(dot01.abs() < 1e-6);
@@ -255,7 +289,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let a = low_rank_matrix(200);
-        let o = RandomizedSvdOptions { rank: 2, seed: 42, ..Default::default() };
+        let o = RandomizedSvdOptions {
+            rank: 2,
+            seed: 42,
+            ..Default::default()
+        };
         let s1 = randomized_svd(&a, o).unwrap();
         let s2 = randomized_svd(&a, o).unwrap();
         assert_eq!(s1.v, s2.v);
@@ -265,10 +303,22 @@ mod tests {
     #[test]
     fn rejects_bad_rank_and_empty() {
         let a = low_rank_matrix(10);
-        assert!(randomized_svd(&a, RandomizedSvdOptions { rank: 0, ..Default::default() })
-            .is_err());
-        assert!(randomized_svd(&a, RandomizedSvdOptions { rank: 7, ..Default::default() })
-            .is_err());
+        assert!(randomized_svd(
+            &a,
+            RandomizedSvdOptions {
+                rank: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(randomized_svd(
+            &a,
+            RandomizedSvdOptions {
+                rank: 7,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let empty = DMatrix::zeros(0, 0);
         assert!(randomized_svd(&empty, RandomizedSvdOptions::default()).is_err());
     }
@@ -286,7 +336,12 @@ mod tests {
         .unwrap();
         let svd = randomized_svd(
             &a,
-            RandomizedSvdOptions { rank: 3, oversample: 3, power_iterations: 4, seed: 7 },
+            RandomizedSvdOptions {
+                rank: 3,
+                oversample: 3,
+                power_iterations: 4,
+                seed: 7,
+            },
         )
         .unwrap();
         let energy: f64 = svd.singular_values.iter().map(|s| s * s).sum();

@@ -50,7 +50,10 @@ impl Vec2 {
 
     /// Returns the unit vector with the given angle.
     pub fn from_angle(theta: f64) -> Self {
-        Self { x: theta.cos(), y: theta.sin() }
+        Self {
+            x: theta.cos(),
+            y: theta.sin(),
+        }
     }
 }
 
@@ -247,7 +250,10 @@ mod tests {
     #[test]
     fn vec3_from_slice_padding() {
         assert_eq!(Vec3::from_slice(&[1.0]), Vec3::new(1.0, 0.0, 0.0));
-        assert_eq!(Vec3::from_slice(&[1.0, 2.0, 3.0, 4.0]), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            Vec3::from_slice(&[1.0, 2.0, 3.0, 4.0]),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
     }
 
     #[test]

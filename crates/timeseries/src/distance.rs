@@ -14,18 +14,31 @@ use crate::stats;
 /// [`Error::LengthMismatch`] when the sequences differ in length.
 pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(Error::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
-    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt())
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
 }
 
 /// Squared Euclidean distance (no square root); useful for nearest-neighbour
 /// comparisons where the monotone transform is irrelevant.
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(Error::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
-    Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>())
+    Ok(a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>())
 }
 
 /// Z-normalised Euclidean distance, the `dist` of the paper's Section 2:
@@ -39,7 +52,10 @@ pub fn squared_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
 /// [`Error::Empty`] on empty input.
 pub fn znorm_euclidean(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(Error::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(Error::Empty("sequence"));
@@ -89,7 +105,10 @@ pub fn znorm_euclidean_from_stats(
 /// Manhattan (L1) distance between two equal-length sequences.
 pub fn manhattan(a: &[f64], b: &[f64]) -> Result<f64> {
     if a.len() != b.len() {
-        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(Error::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum())
 }

@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn display_out_of_bounds() {
-        let e = Error::OutOfBounds { start: 10, len: 5, series_len: 12 };
+        let e = Error::OutOfBounds {
+            start: 10,
+            len: 5,
+            series_len: 12,
+        };
         let s = e.to_string();
         assert!(s.contains("10"));
         assert!(s.contains("12"));
@@ -109,7 +113,10 @@ mod tests {
 
     #[test]
     fn display_parse() {
-        let e = Error::Parse { line: 7, token: "abc".into() };
+        let e = Error::Parse {
+            line: 7,
+            token: "abc".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("abc") && s.contains('7'));
     }

@@ -72,7 +72,7 @@ pub fn median_filter(xs: &[f64], w: usize) -> Vec<f64> {
     if xs.is_empty() || w <= 1 {
         return xs.to_vec();
     }
-    let w = if w % 2 == 0 { w + 1 } else { w };
+    let w = if w.is_multiple_of(2) { w + 1 } else { w };
     let half = w / 2;
     let n = xs.len();
     let mut out = Vec::with_capacity(n);
@@ -111,14 +111,16 @@ mod tests {
 
     #[test]
     fn moving_average_matches_naive() {
-        let xs: Vec<f64> = (0..30).map(|i| (i as f64).sin() * 2.0 + i as f64 * 0.1).collect();
+        let xs: Vec<f64> = (0..30)
+            .map(|i| (i as f64).sin() * 2.0 + i as f64 * 0.1)
+            .collect();
         let w = 5usize;
         let fast = moving_average(&xs, w);
-        for i in 0..xs.len() {
+        for (i, f) in fast.iter().enumerate() {
             let lo = i.saturating_sub((w - 1) / 2);
             let hi = (i + w / 2 + 1).min(xs.len());
             let naive: f64 = xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-            assert!((fast[i] - naive).abs() < 1e-9);
+            assert!((f - naive).abs() < 1e-9);
         }
     }
 

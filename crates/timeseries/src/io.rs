@@ -32,7 +32,10 @@ pub fn read_series<P: AsRef<Path>>(path: P) -> Result<TimeSeries> {
             Ok(v) => values.push(v),
             Err(_) if lineno == 0 => continue, // tolerate a header row
             Err(_) => {
-                return Err(Error::Parse { line: lineno + 1, token: field.to_string() });
+                return Err(Error::Parse {
+                    line: lineno + 1,
+                    token: field.to_string(),
+                });
             }
         }
     }
@@ -56,18 +59,17 @@ pub fn write_series<P: AsRef<Path>>(path: P, series: &TimeSeries) -> Result<()> 
 /// # Errors
 /// [`Error::LengthMismatch`] when column lengths differ,
 /// [`Error::Empty`] when no columns are given.
-pub fn write_columns<P: AsRef<Path>>(
-    path: P,
-    headers: &[&str],
-    columns: &[&[f64]],
-) -> Result<()> {
+pub fn write_columns<P: AsRef<Path>>(path: P, headers: &[&str], columns: &[&[f64]]) -> Result<()> {
     if columns.is_empty() || headers.len() != columns.len() {
         return Err(Error::Empty("columns"));
     }
     let len = columns[0].len();
     for c in columns {
         if c.len() != len {
-            return Err(Error::LengthMismatch { left: len, right: c.len() });
+            return Err(Error::LengthMismatch {
+                left: len,
+                right: c.len(),
+            });
         }
     }
     let file = File::create(path)?;
@@ -96,7 +98,10 @@ pub fn read_label_ranges<P: AsRef<Path>>(path: P) -> Result<Vec<(usize, usize)>>
         let a = parts.next().unwrap_or("");
         let b = parts.next().unwrap_or("");
         let parse = |t: &str| -> Result<usize> {
-            t.parse::<usize>().map_err(|_| Error::Parse { line: lineno + 1, token: t.to_string() })
+            t.parse::<usize>().map_err(|_| Error::Parse {
+                line: lineno + 1,
+                token: t.to_string(),
+            })
         };
         match (parse(a), parse(b)) {
             (Ok(s), Ok(l)) => out.push((s, l)),

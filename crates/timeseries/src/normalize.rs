@@ -59,7 +59,10 @@ pub fn minmax_normalize(xs: &[f64]) -> Vec<f64> {
 
 /// Rescales a sequence to have the given mean and standard deviation.
 pub fn rescale(xs: &[f64], target_mean: f64, target_std: f64) -> Vec<f64> {
-    znormalize(xs).into_iter().map(|z| z * target_std + target_mean).collect()
+    znormalize(xs)
+        .into_iter()
+        .map(|z| z * target_std + target_mean)
+        .collect()
 }
 
 #[cfg(test)]
@@ -82,7 +85,10 @@ mod tests {
 
     #[test]
     fn znormalize_strict_rejects_constant() {
-        assert!(matches!(znormalize_strict(&[2.0, 2.0]), Err(Error::ZeroVariance)));
+        assert!(matches!(
+            znormalize_strict(&[2.0, 2.0]),
+            Err(Error::ZeroVariance)
+        ));
         assert!(matches!(znormalize_strict(&[]), Err(Error::Empty(_))));
         assert!(znormalize_strict(&[1.0, 2.0]).is_ok());
     }

@@ -22,17 +22,23 @@ impl TimeSeries {
 
     /// Creates an empty series with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { values: Vec::with_capacity(capacity) }
+        Self {
+            values: Vec::with_capacity(capacity),
+        }
     }
 
     /// Creates a series of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        Self { values: vec![0.0; len] }
+        Self {
+            values: vec![0.0; len],
+        }
     }
 
     /// Creates a series of `len` copies of `value`.
     pub fn constant(len: usize, value: f64) -> Self {
-        Self { values: vec![value; len] }
+        Self {
+            values: vec![value; len],
+        }
     }
 
     /// Number of points in the series (`|T|`).
@@ -82,7 +88,10 @@ impl TimeSeries {
     /// [`Error::InvalidLength`] if `len == 0`.
     pub fn subsequence(&self, start: usize, len: usize) -> Result<&[f64]> {
         if len == 0 {
-            return Err(Error::InvalidLength { len, what: "subsequence length" });
+            return Err(Error::InvalidLength {
+                len,
+                what: "subsequence length",
+            });
         }
         let end = start.checked_add(len).ok_or(Error::OutOfBounds {
             start,
@@ -90,7 +99,11 @@ impl TimeSeries {
             series_len: self.len(),
         })?;
         if end > self.len() {
-            return Err(Error::OutOfBounds { start, len, series_len: self.len() });
+            return Err(Error::OutOfBounds {
+                start,
+                len,
+                series_len: self.len(),
+            });
         }
         Ok(&self.values[start..end])
     }
@@ -163,13 +176,17 @@ impl From<Vec<f64>> for TimeSeries {
 
 impl From<&[f64]> for TimeSeries {
     fn from(values: &[f64]) -> Self {
-        Self { values: values.to_vec() }
+        Self {
+            values: values.to_vec(),
+        }
     }
 }
 
 impl FromIterator<f64> for TimeSeries {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Self { values: iter.into_iter().collect() }
+        Self {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -28,18 +28,24 @@ pub fn std(xs: &[f64]) -> f64 {
 
 /// Minimum value, `None` for an empty slice. `NaN` values are ignored.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
-        None => Some(x),
-        Some(a) => Some(a.min(x)),
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.min(x)),
+        })
 }
 
 /// Maximum value, `None` for an empty slice. `NaN` values are ignored.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| match acc {
-        None => Some(x),
-        Some(a) => Some(a.max(x)),
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.max(x)),
+        })
 }
 
 /// Sum of the slice.
@@ -118,7 +124,10 @@ pub fn rolling_sum(xs: &[f64], w: usize) -> Vec<f64> {
 
 /// Rolling means of window `w` (rolling sums divided by `w`).
 pub fn rolling_mean(xs: &[f64], w: usize) -> Vec<f64> {
-    rolling_sum(xs, w).into_iter().map(|s| s / w as f64).collect()
+    rolling_sum(xs, w)
+        .into_iter()
+        .map(|s| s / w as f64)
+        .collect()
 }
 
 /// Rolling population standard deviations of window `w`.
@@ -195,8 +204,9 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
         for w in [1, 2, 5, 17, 50] {
             let fast = rolling_sum(&xs, w);
-            let naive: Vec<f64> =
-                (0..=xs.len() - w).map(|i| xs[i..i + w].iter().sum::<f64>()).collect();
+            let naive: Vec<f64> = (0..=xs.len() - w)
+                .map(|i| xs[i..i + w].iter().sum::<f64>())
+                .collect();
             assert_eq!(fast.len(), naive.len());
             for (a, b) in fast.iter().zip(naive.iter()) {
                 assert_close(*a, *b);
@@ -212,7 +222,9 @@ mod tests {
 
     #[test]
     fn rolling_std_matches_naive() {
-        let xs: Vec<f64> = (0..40).map(|i| ((i * i) as f64).sin() * 3.0 + i as f64).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|i| ((i * i) as f64).sin() * 3.0 + i as f64)
+            .collect();
         for w in [2, 5, 13] {
             let fast = rolling_std(&xs, w);
             for (i, v) in fast.iter().enumerate() {

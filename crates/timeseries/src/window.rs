@@ -23,12 +23,22 @@ impl<'a> SlidingWindows<'a> {
 
     /// Creates a sliding-window iterator with an explicit step (`step >= 1`).
     pub fn with_step(series: &'a TimeSeries, window: usize, step: usize) -> Self {
-        Self { values: series.values(), window, step: step.max(1), pos: 0 }
+        Self {
+            values: series.values(),
+            window,
+            step: step.max(1),
+            pos: 0,
+        }
     }
 
     /// Creates a sliding-window iterator over a raw slice.
     pub fn over_slice(values: &'a [f64], window: usize) -> Self {
-        Self { values, window, step: 1, pos: 0 }
+        Self {
+            values,
+            window,
+            step: 1,
+            pos: 0,
+        }
     }
 
     /// The window length.
@@ -92,7 +102,9 @@ pub fn exclusion_zone(len: usize) -> usize {
 pub fn top_k_non_overlapping(scores: &[f64], k: usize, len: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).filter(|&i| !scores[i].is_nan()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut picked: Vec<usize> = Vec::with_capacity(k);
     for idx in order {
@@ -113,8 +125,9 @@ mod tests {
     #[test]
     fn yields_all_windows_in_order() {
         let ts = TimeSeries::from(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
-        let got: Vec<(usize, Vec<f64>)> =
-            SlidingWindows::new(&ts, 3).map(|(i, w)| (i, w.to_vec())).collect();
+        let got: Vec<(usize, Vec<f64>)> = SlidingWindows::new(&ts, 3)
+            .map(|(i, w)| (i, w.to_vec()))
+            .collect();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0], (0, vec![0.0, 1.0, 2.0]));
         assert_eq!(got[2], (2, vec![2.0, 3.0, 4.0]));
@@ -130,7 +143,9 @@ mod tests {
     #[test]
     fn step_skips_windows() {
         let ts = TimeSeries::from((0..10).map(|i| i as f64).collect::<Vec<_>>());
-        let starts: Vec<usize> = SlidingWindows::with_step(&ts, 4, 3).map(|(i, _)| i).collect();
+        let starts: Vec<usize> = SlidingWindows::with_step(&ts, 4, 3)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(starts, vec![0, 3, 6]);
     }
 

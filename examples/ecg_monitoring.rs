@@ -29,7 +29,9 @@ fn main() {
     // 3. Score windows of the annotated anomaly length (75 points ≈ one beat)
     //    and retrieve as many detections as there are annotated anomalies.
     let window = 75;
-    let scores = model.anomaly_scores(&data.series, window).expect("scoring failed");
+    let scores = model
+        .anomaly_scores(&data.series, window)
+        .expect("scoring failed");
     let k = data.anomaly_count();
     let detections = model.top_k_anomalies(&scores, k, window);
 

@@ -25,14 +25,22 @@ fn main() {
     let window = 200;
     let k = data.anomaly_count();
     let truth = GroundTruth::new(data.anomalies.iter().map(|a| (a.start, a.length)).collect());
-    println!("dataset {}: {} points, {} anomalies\n", data.name, data.len(), k);
+    println!(
+        "dataset {}: {} points, {} anomalies\n",
+        data.name,
+        data.len(),
+        k
+    );
 
     let mut results: Vec<(&str, f64)> = Vec::new();
 
     // Series2Graph (paper configuration: ℓ=50, λ=16, query length = anomaly length).
     let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
     let s2g_scores = model.anomaly_scores(&data.series, window).unwrap();
-    results.push(("Series2Graph", top_k_accuracy(&s2g_scores, window, &truth, k)));
+    results.push((
+        "Series2Graph",
+        top_k_accuracy(&s2g_scores, window, &truth, k),
+    ));
 
     // STOMP (1st discords).
     let stomp = stomp_anomaly_scores(&data.series, window).unwrap();
@@ -40,7 +48,10 @@ fn main() {
 
     // DAD (m-th discord with m = k).
     let dad = dad_anomaly_scores(&data.series, window, k).unwrap();
-    results.push(("DAD (m-th discord)", top_k_accuracy(&dad, window, &truth, k)));
+    results.push((
+        "DAD (m-th discord)",
+        top_k_accuracy(&dad, window, &truth, k),
+    ));
 
     // GrammarViz-style grammar rule density.
     let gv = grammarviz_anomaly_scores(&data.series, window, GrammarVizParams::default()).unwrap();
@@ -53,7 +64,10 @@ fn main() {
     // Isolation Forest.
     let iforest =
         iforest_anomaly_scores(&data.series, window, IsolationForestParams::default()).unwrap();
-    results.push(("Isolation Forest", top_k_accuracy(&iforest, window, &truth, k)));
+    results.push((
+        "Isolation Forest",
+        top_k_accuracy(&iforest, window, &truth, k),
+    ));
 
     println!("{:<22} Top-k accuracy", "method");
     println!("{}", "-".repeat(40));

@@ -10,10 +10,17 @@ fn main() {
     let n = 10_000;
     let anomaly_start = 6_200;
     let anomaly_len = 180;
-    let mut values: Vec<f64> =
-        (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin()).collect();
-    for i in anomaly_start..anomaly_start + anomaly_len {
-        values[i] = 0.7 * (std::f64::consts::TAU * i as f64 / 23.0).sin();
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+        .collect();
+    let burst = anomaly_start..anomaly_start + anomaly_len;
+    for (i, v) in values
+        .iter_mut()
+        .enumerate()
+        .take(burst.end)
+        .skip(burst.start)
+    {
+        *v = 0.7 * (std::f64::consts::TAU * i as f64 / 23.0).sin();
     }
     let series = TimeSeries::from(values);
 
@@ -32,12 +39,21 @@ fn main() {
     // 3. Score every subsequence of length 200 (the anomaly length does NOT
     //    need to be known exactly — any ℓq ≥ anomaly length works).
     let query_length = 200;
-    let scores = model.anomaly_scores(&series, query_length).expect("scoring failed");
+    let scores = model
+        .anomaly_scores(&series, query_length)
+        .expect("scoring failed");
 
     // 4. Report the top detection.
     let top = model.top_k_anomalies(&scores, 1, query_length);
     println!("injected anomaly at {anomaly_start} (length {anomaly_len})");
     println!("top detection at    {}", top[0]);
     let hit = (top[0] as i64 - anomaly_start as i64).abs() < query_length as i64;
-    println!("detection {}", if hit { "HITS the injected anomaly" } else { "missed" });
+    println!(
+        "detection {}",
+        if hit {
+            "HITS the injected anomaly"
+        } else {
+            "missed"
+        }
+    );
 }

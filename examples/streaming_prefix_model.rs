@@ -40,7 +40,9 @@ fn main() {
     while batch_start + window < full.len() {
         let batch_end = (batch_start + batch_len).min(full.len());
         let batch = TimeSeries::from(&full.series.values()[batch_start..batch_end]);
-        let scores = model.anomaly_scores(&batch, window).expect("scoring failed");
+        let scores = model
+            .anomaly_scores(&batch, window)
+            .expect("scoring failed");
 
         // Report windows whose anomaly score is in the top 1% of the batch.
         let mut sorted = scores.clone();

@@ -13,15 +13,16 @@ use series2graph::prelude::*;
 
 /// Injects a higher-frequency burst of the given length at `start`.
 fn inject(values: &mut [f64], start: usize, len: usize) {
-    for i in start..start + len {
-        values[i] = 0.8 * (std::f64::consts::TAU * (i - start) as f64 / 21.0).sin();
+    for (offset, v) in values[start..start + len].iter_mut().enumerate() {
+        *v = 0.8 * (std::f64::consts::TAU * offset as f64 / 21.0).sin();
     }
 }
 
 fn main() {
     let n = 30_000;
-    let mut values: Vec<f64> =
-        (0..n).map(|i| (std::f64::consts::TAU * i as f64 / 120.0).sin()).collect();
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 120.0).sin())
+        .collect();
 
     // Three anomalies with different lengths.
     let anomalies: [(usize, usize); 3] = [(6_000, 150), (15_000, 400), (24_000, 800)];
@@ -32,7 +33,11 @@ fn main() {
 
     // One model, built once, with a pattern length far below every anomaly length.
     let model = Series2Graph::fit(&series, &S2gConfig::new(60)).expect("fit failed");
-    println!("model built once: {} nodes, {} edges\n", model.node_count(), model.graph().edge_count());
+    println!(
+        "model built once: {} nodes, {} edges\n",
+        model.node_count(),
+        model.graph().edge_count()
+    );
 
     // (a) Score each anomaly at its own length.
     for &(start, len) in &anomalies {
@@ -49,12 +54,18 @@ fn main() {
     //     the top, because the score only depends on how rare the traversed
     //     edges are, not on an exact length match.
     let query = 400;
-    let scores = model.anomaly_scores(&series, query).expect("scoring failed");
+    let scores = model
+        .anomaly_scores(&series, query)
+        .expect("scoring failed");
     let top3 = model.top_k_anomalies(&scores, 3, query);
     println!("\nsingle query length {query}: top-3 detections at {top3:?}");
     let hits = top3
         .iter()
-        .filter(|&&t| anomalies.iter().any(|&(s, l)| (t as i64 - s as i64).abs() < l as i64 + query as i64))
+        .filter(|&&t| {
+            anomalies
+                .iter()
+                .any(|&(s, l)| (t as i64 - s as i64).abs() < l as i64 + query as i64)
+        })
         .count();
     println!("{hits}/3 injected anomalies recovered with one query length");
 }

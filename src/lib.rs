@@ -10,6 +10,7 @@
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `s2g-core` | the Series2Graph model (`fit` → `score` → `top-k`) |
+//! | [`engine`] | `s2g-engine` | concurrent multi-series serving: model registry, persistence, sharded worker pool, `s2g` CLI |
 //! | [`timeseries`] | `s2g-timeseries` | series container, distances, windows, filters, CSV I/O |
 //! | [`linalg`] | `s2g-linalg` | PCA, randomized SVD, rotations, KDE |
 //! | [`graph`] | `s2g-graph` | weighted digraph, θ-Normality subgraphs |
@@ -38,16 +39,55 @@
 //! assert!((2900..3200).contains(&detections[0]));
 //! ```
 //!
+//! ## Serving many series: the engine
+//!
+//! Fitting is the expensive step; scoring is cheap. The [`engine`] module
+//! turns that asymmetry into a serving layer: a thread-safe
+//! [`engine::ModelRegistry`] of named, `Arc`-shared models with LRU
+//! eviction; a versioned binary codec ([`engine::codec`]) that round-trips a
+//! fitted model **bit-identically** so one process can train and many can
+//! score; a sharded worker pool ([`engine::WorkerPool`]) fanning batched
+//! fit/score jobs and pinned streaming sessions across threads with
+//! deterministic, submission-ordered results; and the `s2g` binary exposing
+//! `fit`, `score`, `stream` and `bench-throughput` over CSV files:
+//!
+//! ```bash
+//! s2g fit   --input traffic.csv --output traffic.s2g --pattern-length 50
+//! s2g score --model traffic.s2g --query-length 150 --top-k 3 day1.csv day2.csv
+//! ```
+//!
+//! ```
+//! use series2graph::prelude::*;
+//!
+//! let engine = Engine::new(EngineConfig::default().with_workers(2));
+//! let train: Vec<f64> = (0..3000)
+//!     .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+//!     .collect();
+//! engine
+//!     .fit_model("line-7", &TimeSeries::from(train), &S2gConfig::new(50))
+//!     .unwrap();
+//! let fleet = vec![TimeSeries::from(
+//!     (0..800)
+//!         .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+//!         .collect::<Vec<f64>>(),
+//! )];
+//! let profiles = engine.score_many("line-7", fleet, 150).unwrap();
+//! assert_eq!(profiles[0].as_ref().unwrap().len(), 800 - 150 + 1);
+//! ```
+//!
 //! See the `examples/` directory for complete scenarios (ECG monitoring,
-//! variable-length anomalies, method comparison, prefix/streaming models) and
-//! the `s2g-bench` crate for the harness regenerating every table and figure
-//! of the paper.
+//! variable-length anomalies, method comparison, prefix/streaming models,
+//! an `engine_fleet` serving walkthrough) and the `s2g-bench` crate for the
+//! harness regenerating every table and figure of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// The Series2Graph model (re-export of `s2g-core`).
 pub use s2g_core as core;
+
+/// Concurrent multi-series detection engine (re-export of `s2g-engine`).
+pub use s2g_engine as engine;
 
 /// Time-series substrate (re-export of `s2g-timeseries`).
 pub use s2g_timeseries as timeseries;
@@ -69,8 +109,9 @@ pub use s2g_eval as eval;
 
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
-    pub use s2g_core::{S2gConfig, Series2Graph};
+    pub use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
     pub use s2g_datasets::{AnomalyKind, AnomalyRange, Dataset, LabeledSeries};
+    pub use s2g_engine::{Engine, EngineConfig, ModelRegistry};
     pub use s2g_eval::topk::{top_k_accuracy, GroundTruth};
     pub use s2g_timeseries::TimeSeries;
 }

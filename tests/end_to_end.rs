@@ -16,9 +16,11 @@ fn truth_of(data: &LabeledSeries) -> GroundTruth {
 }
 
 fn s2g_accuracy(data: &LabeledSeries, window: usize) -> f64 {
-    let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16))
-        .expect("fit failed");
-    let scores = model.anomaly_scores(&data.series, window).expect("scoring failed");
+    let model =
+        Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).expect("fit failed");
+    let scores = model
+        .anomaly_scores(&data.series, window)
+        .expect("scoring failed");
     let truth = truth_of(data);
     top_k_accuracy(&scores, window, &truth, truth.count())
 }
@@ -33,7 +35,10 @@ fn s2g_detects_recurrent_anomalies_on_srw() {
         seed: 5,
     });
     let accuracy = s2g_accuracy(&data, 200);
-    assert!(accuracy >= 0.85, "S2G accuracy on clean SRW too low: {accuracy}");
+    assert!(
+        accuracy >= 0.85,
+        "S2G accuracy on clean SRW too low: {accuracy}"
+    );
 }
 
 #[test]
@@ -59,7 +64,10 @@ fn s2g_is_robust_to_noise_on_srw() {
 fn s2g_detects_ecg_premature_beats() {
     let data = generate_mba_with_length(MbaRecord::R803, 20_000, 3);
     let accuracy = s2g_accuracy(&data, 75);
-    assert!(accuracy >= 0.5, "S2G accuracy on MBA(803)-like ECG too low: {accuracy}");
+    assert!(
+        accuracy >= 0.5,
+        "S2G accuracy on MBA(803)-like ECG too low: {accuracy}"
+    );
 }
 
 #[test]
@@ -76,7 +84,9 @@ fn s2g_finds_the_single_discord_on_every_keogh_dataset() {
         };
         let query = dataset.anomaly_length();
         let model = Series2Graph::fit(&data.series, &S2gConfig::new(ell)).expect("fit failed");
-        let scores = model.anomaly_scores(&data.series, query).expect("scoring failed");
+        let scores = model
+            .anomaly_scores(&data.series, query)
+            .expect("scoring failed");
         let truth = truth_of(&data);
         let accuracy = top_k_accuracy(&scores, query, &truth, 1);
         assert!(
@@ -124,7 +134,10 @@ fn half_trained_model_remains_accurate() {
     .map(|s| top_k_accuracy(&s, window, &truth, k))
     .unwrap();
 
-    assert!(half >= full - 0.3, "half-trained accuracy {half} fell too far below full {full}");
+    assert!(
+        half >= full - 0.3,
+        "half-trained accuracy {half} fell too far below full {full}"
+    );
 }
 
 #[test]
@@ -137,7 +150,10 @@ fn model_scores_unseen_continuation() {
     assert_eq!(scores.len(), test.len() - 75 + 1);
     let truth = truth_of(&test);
     let accuracy = top_k_accuracy(&scores, 75, &truth, truth.count());
-    assert!(accuracy > 0.0, "cross-recording scoring found nothing at all");
+    assert!(
+        accuracy > 0.0,
+        "cross-recording scoring found nothing at all"
+    );
 }
 
 #[test]
@@ -169,7 +185,9 @@ fn baselines_and_s2g_agree_on_profile_lengths() {
 fn facade_prelude_exposes_the_public_api() {
     // Compile-time check that the prelude covers the quick-start workflow.
     let series = TimeSeries::from(
-        (0..2000).map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin()).collect::<Vec<_>>(),
+        (0..2000)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin())
+            .collect::<Vec<_>>(),
     );
     let model = Series2Graph::fit(&series, &S2gConfig::new(20)).unwrap();
     let scores = model.anomaly_scores(&series, 40).unwrap();
