@@ -112,14 +112,21 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
 // Argument parsing
 // ---------------------------------------------------------------------------
 
-struct ParsedArgs {
+/// Hand-rolled `--flag value` / `--switch` / positional argument parser
+/// shared by every `s2g` subcommand (the workspace is offline; no `clap`).
+/// Public so front-end crates layering more subcommands on top of this CLI
+/// (e.g. the `s2g-server` crate's `serve` and `client`) parse identically.
+pub struct ParsedArgs {
     values: HashMap<&'static str, String>,
     switches: Vec<&'static str>,
     positional: Vec<String>,
 }
 
 impl ParsedArgs {
-    fn parse(
+    /// Parses `args` against a fixed set of value-taking flags and boolean
+    /// switches. Anything not starting with `--` is positional; an unknown
+    /// `--flag` is a usage error.
+    pub fn parse(
         args: &[String],
         value_flags: &'static [&'static str],
         switch_flags: &'static [&'static str],
@@ -149,14 +156,21 @@ impl ParsedArgs {
         })
     }
 
-    fn required(&self, flag: &str) -> Result<&str, CliError> {
+    /// The value of a flag that must be present, as a usage error otherwise.
+    pub fn required(&self, flag: &str) -> Result<&str, CliError> {
         self.values
             .get(flag)
             .map(String::as_str)
             .ok_or_else(|| CliError::Usage(format!("{flag} is required")))
     }
 
-    fn usize_flag(&self, flag: &str, default: Option<usize>) -> Result<usize, CliError> {
+    /// The value of an optional flag, if given.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// An integer flag with an optional default (`None` = required).
+    pub fn usize_flag(&self, flag: &str, default: Option<usize>) -> Result<usize, CliError> {
         match self.values.get(flag) {
             Some(raw) => raw
                 .parse()
@@ -165,7 +179,8 @@ impl ParsedArgs {
         }
     }
 
-    fn f64_flag(&self, flag: &str) -> Result<Option<f64>, CliError> {
+    /// A floating-point flag, `None` when absent.
+    pub fn f64_flag(&self, flag: &str) -> Result<Option<f64>, CliError> {
         match self.values.get(flag) {
             Some(raw) => raw
                 .parse()
@@ -175,8 +190,14 @@ impl ParsedArgs {
         }
     }
 
-    fn has(&self, flag: &str) -> bool {
+    /// Whether a boolean switch was given.
+    pub fn has(&self, flag: &str) -> bool {
         self.switches.contains(&flag)
+    }
+
+    /// The positional (non-flag) arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
     }
 }
 

@@ -272,6 +272,42 @@ pub fn encode_model(model: &Series2Graph) -> Vec<u8> {
     w.buf
 }
 
+/// Content checksum of a fitted model: the FNV-1a checksum its encoded form
+/// carries as trailer (the same value a model file on disk ends with).
+///
+/// Two models have equal checksums iff their encoded bytes are identical,
+/// making this a cheap *bit-for-bit* equality fingerprint: a model fitted
+/// remotely from posted values can be compared against a local fit without
+/// shipping either model over the wire.
+///
+/// # Example
+///
+/// ```
+/// use s2g_core::{S2gConfig, Series2Graph};
+/// use s2g_engine::codec;
+/// use s2g_timeseries::TimeSeries;
+///
+/// let series = TimeSeries::from(
+///     (0..2000)
+///         .map(|i| (std::f64::consts::TAU * i as f64 / 90.0).sin())
+///         .collect::<Vec<f64>>(),
+/// );
+/// let a = Series2Graph::fit(&series, &S2gConfig::new(45)).unwrap();
+/// let b = Series2Graph::fit(&series, &S2gConfig::new(45)).unwrap();
+/// // Fitting is deterministic, so two fits of the same series agree.
+/// assert_eq!(codec::model_checksum(&a), codec::model_checksum(&b));
+/// // The checksum is exactly the file trailer.
+/// let encoded = codec::encode_model(&a);
+/// let trailer = u64::from_le_bytes(encoded[encoded.len() - 8..].try_into().unwrap());
+/// assert_eq!(codec::model_checksum(&a), trailer);
+/// ```
+pub fn model_checksum(model: &Series2Graph) -> u64 {
+    let encoded = encode_model(model);
+    // The trailing 8 bytes are the checksum itself.
+    let trailer = &encoded[encoded.len() - 8..];
+    u64::from_le_bytes(trailer.try_into().expect("8-byte checksum trailer"))
+}
+
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------

@@ -14,7 +14,7 @@ use s2g_timeseries::TimeSeries;
 
 use crate::error::Result;
 use crate::pool::{FitJob, ScoreJob, WorkerPool};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelInfo, ModelRegistry};
 
 /// Construction parameters for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -94,6 +94,22 @@ impl Engine {
         self.registry.fit(name, series, config)
     }
 
+    /// Like [`Engine::fit_model`], additionally returning the
+    /// [`ModelInfo`] of exactly this registration — ordinal and checksum
+    /// included, with no re-lookup that a concurrent re-fit of the same
+    /// name could race.
+    ///
+    /// # Errors
+    /// Propagates fit errors; nothing is registered on failure.
+    pub fn fit_model_with_info(
+        &self,
+        name: impl Into<String>,
+        series: &TimeSeries,
+        config: &S2gConfig,
+    ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
+        self.registry.fit_with_info(name, series, config)
+    }
+
     /// Fits many models in parallel across the pool and registers each under
     /// its name. Results come back in submission order; failed fits leave the
     /// registry untouched for that name.
@@ -143,6 +159,58 @@ impl Engine {
         self.pool.score_batch(jobs)
     }
 
+    /// Metadata for every registered model, ordered by insertion ordinal
+    /// (oldest registration first). See [`ModelInfo`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use s2g_engine::{Engine, S2gConfig};
+    /// use s2g_timeseries::TimeSeries;
+    ///
+    /// let engine = Engine::default();
+    /// let series = TimeSeries::from(
+    ///     (0..2000)
+    ///         .map(|i| (std::f64::consts::TAU * i as f64 / 80.0).sin())
+    ///         .collect::<Vec<f64>>(),
+    /// );
+    /// engine.fit_model("pump-a", &series, &S2gConfig::new(40)).unwrap();
+    /// engine.fit_model("pump-b", &series, &S2gConfig::new(40)).unwrap();
+    /// let infos = engine.list_models();
+    /// assert_eq!(infos.len(), 2);
+    /// assert_eq!(infos[0].name, "pump-a");
+    /// assert!(infos[0].fitted_at < infos[1].fitted_at);
+    /// ```
+    pub fn list_models(&self) -> Vec<ModelInfo> {
+        self.registry.list()
+    }
+
+    /// Metadata for the model registered under `name`, if any.
+    pub fn model_info(&self, name: &str) -> Option<ModelInfo> {
+        self.registry.info(name)
+    }
+
+    /// Content checksum of the model registered under `name`: the FNV-1a
+    /// trailer of its encoded form (see [`crate::codec::model_checksum`]),
+    /// cached at registration so this lookup is O(1).
+    /// Equal checksums mean bit-identical encoded models.
+    ///
+    /// # Errors
+    /// [`crate::Error::UnknownModel`] when `name` is not registered.
+    pub fn model_checksum(&self, name: &str) -> Result<u64> {
+        self.registry
+            .info(name)
+            .map(|info| info.checksum)
+            .ok_or_else(|| crate::Error::UnknownModel(name.to_string()))
+    }
+
+    /// Removes the model registered under `name`. Returns `true` when a
+    /// model was removed. Open streaming sessions keep scoring against
+    /// their `Arc`-shared handle until they are closed.
+    pub fn remove_model(&self, name: &str) -> bool {
+        self.registry.remove(name).is_some()
+    }
+
     /// Opens a named incremental streaming session against a registered
     /// model. The session is pinned to one pool shard; pushes for the same id
     /// are processed in order.
@@ -165,6 +233,16 @@ impl Engine {
     /// Closes a stream, returning how many points it consumed.
     pub fn close_stream(&self, stream_id: &str) -> Result<usize> {
         self.pool.close_stream(stream_id)
+    }
+
+    /// Closes many streams at once, ignoring ids that are not open, and
+    /// returns how many were actually closed. This is the bulk-eviction
+    /// primitive a serving front-end uses to reap idle sessions.
+    pub fn close_streams<S: AsRef<str>>(&self, stream_ids: &[S]) -> usize {
+        stream_ids
+            .iter()
+            .filter(|id| self.pool.close_stream(id.as_ref()).is_ok())
+            .count()
     }
 
     /// Persists a registered model to `path`.
@@ -226,6 +304,41 @@ mod tests {
         assert!(engine
             .score_many("nope", vec![sine(500, 50.0, 0.0)], 100)
             .is_err());
+    }
+
+    #[test]
+    fn model_metadata_and_removal() {
+        let engine = Engine::default();
+        engine
+            .fit_model("m", &sine(2000, 80.0, 0.0), &S2gConfig::new(40))
+            .unwrap();
+        let info = engine.model_info("m").unwrap();
+        assert_eq!(info.pattern_length, 40);
+        assert_eq!(info.train_len, 2000);
+        assert_eq!(engine.list_models(), vec![info]);
+        let checksum = engine.model_checksum("m").unwrap();
+        let encoded = crate::codec::encode_model(&engine.registry().require("m").unwrap());
+        assert_eq!(
+            checksum,
+            u64::from_le_bytes(encoded[encoded.len() - 8..].try_into().unwrap())
+        );
+        assert!(engine.model_checksum("gone").is_err());
+        assert!(engine.remove_model("m"));
+        assert!(!engine.remove_model("m"));
+        assert!(engine.list_models().is_empty());
+    }
+
+    #[test]
+    fn close_streams_evicts_open_sessions_only() {
+        let engine = Engine::new(EngineConfig::default().with_workers(2));
+        engine
+            .fit_model("base", &sine(3000, 80.0, 0.0), &S2gConfig::new(40))
+            .unwrap();
+        engine.open_stream("a", "base", 160).unwrap();
+        engine.open_stream("b", "base", 160).unwrap();
+        let closed = engine.close_streams(&["a", "missing", "b"]);
+        assert_eq!(closed, 2);
+        assert!(engine.push_stream("a", &[0.0]).is_err());
     }
 
     #[test]

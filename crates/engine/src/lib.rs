@@ -70,7 +70,7 @@ mod util;
 pub use engine::{Engine, EngineConfig};
 pub use error::{Error, Result};
 pub use pool::{FitJob, ScoreJob, WorkerPool};
-pub use registry::ModelRegistry;
+pub use registry::{ModelInfo, ModelRegistry};
 
 // Re-exported so downstream users of the engine see the model types it serves.
 pub use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};

@@ -16,9 +16,51 @@ use s2g_timeseries::TimeSeries;
 use crate::codec;
 use crate::error::{Error, Result};
 
+/// Metadata snapshot of one registered model, as returned by
+/// [`ModelRegistry::list`] and [`crate::Engine::list_models`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry name of the model.
+    pub name: String,
+    /// Pattern length `ℓ` (the model's subsequence window).
+    pub pattern_length: usize,
+    /// Number of nodes in the transition graph.
+    pub node_count: usize,
+    /// Number of edges in the transition graph.
+    pub edge_count: usize,
+    /// Length of the series the model was fitted on.
+    pub train_len: usize,
+    /// Monotonic insertion ordinal: model `k` was the `k`-th registration
+    /// (1-based) since the registry was created. Re-registering a name
+    /// assigns a fresh ordinal. Useful as a wall-clock-free "fitted at".
+    pub fitted_at: u64,
+    /// Content checksum of the model (see [`codec::model_checksum`]):
+    /// equal checksums mean bit-identical encoded models. Computed once at
+    /// registration, so reading it here is free.
+    pub checksum: u64,
+}
+
 struct Entry {
     model: Arc<Series2Graph>,
     last_used: u64,
+    /// Insertion ordinal (see [`ModelInfo::fitted_at`]).
+    inserted: u64,
+    /// Content checksum, cached at insertion (see [`ModelInfo::checksum`]).
+    checksum: u64,
+}
+
+impl Entry {
+    fn info(&self, name: &str) -> ModelInfo {
+        ModelInfo {
+            name: name.to_string(),
+            pattern_length: self.model.pattern_length(),
+            node_count: self.model.node_count(),
+            edge_count: self.model.graph().edge_count(),
+            train_len: self.model.train_len(),
+            fitted_at: self.inserted,
+            checksum: self.checksum,
+        }
+    }
 }
 
 struct Inner {
@@ -78,17 +120,32 @@ impl ModelRegistry {
         name: impl Into<String>,
         model: Arc<Series2Graph>,
     ) -> Arc<Series2Graph> {
+        self.insert_arc_with_info(name, model).0
+    }
+
+    /// Like [`ModelRegistry::insert_arc`], additionally returning the
+    /// [`ModelInfo`] of exactly this insertion (ordinal and checksum
+    /// included) — race-free even if another thread immediately replaces
+    /// the name.
+    pub fn insert_arc_with_info(
+        &self,
+        name: impl Into<String>,
+        model: Arc<Series2Graph>,
+    ) -> (Arc<Series2Graph>, ModelInfo) {
         let name = name.into();
+        // Computed outside the lock: encoding is O(model size).
+        let checksum = codec::model_checksum(&model);
         let mut inner = self.lock();
         inner.clock += 1;
         let stamp = inner.clock;
-        inner.models.insert(
-            name.clone(),
-            Entry {
-                model: Arc::clone(&model),
-                last_used: stamp,
-            },
-        );
+        let entry = Entry {
+            model: Arc::clone(&model),
+            last_used: stamp,
+            inserted: stamp,
+            checksum,
+        };
+        let info = entry.info(&name);
+        inner.models.insert(name.clone(), entry);
         if self.capacity > 0 && inner.models.len() > self.capacity {
             // Evict the least recently used entry other than the newcomer.
             if let Some(victim) = inner
@@ -101,7 +158,7 @@ impl ModelRegistry {
                 inner.models.remove(&victim);
             }
         }
-        model
+        (model, info)
     }
 
     /// Fits a model on `series` and stores it under `name`.
@@ -115,8 +172,24 @@ impl ModelRegistry {
         series: &TimeSeries,
         config: &S2gConfig,
     ) -> Result<Arc<Series2Graph>> {
+        Ok(self.fit_with_info(name, series, config)?.0)
+    }
+
+    /// Like [`ModelRegistry::fit`], additionally returning the
+    /// [`ModelInfo`] of exactly this registration (see
+    /// [`ModelRegistry::insert_arc_with_info`]).
+    ///
+    /// # Errors
+    /// Propagates fit errors from [`Series2Graph::fit`]; nothing is stored
+    /// on failure.
+    pub fn fit_with_info(
+        &self,
+        name: impl Into<String>,
+        series: &TimeSeries,
+        config: &S2gConfig,
+    ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
         let model = Series2Graph::fit(series, config)?;
-        Ok(self.insert(name, model))
+        Ok(self.insert_arc_with_info(name, Arc::new(model)))
     }
 
     /// Returns the model stored under `name`, bumping its recency.
@@ -157,6 +230,25 @@ impl ModelRegistry {
         let mut names: Vec<String> = self.lock().models.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Metadata for every stored model, ordered by insertion ordinal
+    /// (oldest registration first). Does not bump recency.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let inner = self.lock();
+        let mut infos: Vec<ModelInfo> = inner
+            .models
+            .iter()
+            .map(|(name, entry)| entry.info(name))
+            .collect();
+        infos.sort_by_key(|info| info.fitted_at);
+        infos
+    }
+
+    /// Metadata for the model stored under `name`, if any. Does not bump
+    /// recency.
+    pub fn info(&self, name: &str) -> Option<ModelInfo> {
+        self.lock().models.get(name).map(|entry| entry.info(name))
     }
 
     /// Persists the model stored under `name` to `path`.
@@ -242,6 +334,28 @@ mod tests {
         registry.fit("a", &sine(1500, 50.0), &config).unwrap();
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn list_orders_by_insertion_and_tracks_reinsert() {
+        let registry = ModelRegistry::unbounded();
+        let config = S2gConfig::new(40);
+        registry.fit("first", &sine(1500, 80.0), &config).unwrap();
+        registry.fit("second", &sine(1500, 60.0), &config).unwrap();
+        let infos = registry.list();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "first");
+        assert_eq!(infos[1].name, "second");
+        assert!(infos[0].fitted_at < infos[1].fitted_at);
+        assert_eq!(infos[0].pattern_length, 40);
+        assert_eq!(infos[0].train_len, 1500);
+        assert!(infos[0].node_count > 0);
+        // Re-registering a name moves it to the back of the insertion order.
+        registry.fit("first", &sine(1500, 70.0), &config).unwrap();
+        let infos = registry.list();
+        assert_eq!(infos[1].name, "first");
+        assert_eq!(registry.info("second").unwrap(), infos[0]);
+        assert!(registry.info("missing").is_none());
     }
 
     #[test]

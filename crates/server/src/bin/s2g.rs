@@ -1,0 +1,7 @@
+//! The `s2g` binary: CLI front-end of the Series2Graph detection engine
+//! and its TCP serving layer (`serve` / `client` subcommands).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(s2g_server::cli::run(&args));
+}

@@ -1,0 +1,470 @@
+//! The full `s2g` command-line interface: serving and remote-client
+//! subcommands from this crate, layered over the local subcommands
+//! (`fit`, `score`, `stream`, `bench-throughput`) from
+//! [`s2g_engine::cli`].
+//!
+//! * `s2g serve` — run the detection server on a TCP address,
+//! * `s2g client <action>` — drive a running server (fit, score, stream,
+//!   models, info, delete, health, shutdown),
+//! * `s2g models` — shorthand for `s2g client models`,
+//! * anything else — delegated to the engine CLI, unchanged.
+//!
+//! Argument parsing is hand-rolled (the workspace is offline; no `clap`)
+//! and shares [`ParsedArgs`] with the engine CLI so flags behave
+//! identically everywhere.
+
+use std::time::Duration;
+
+use s2g_engine::cli::{CliError, ParsedArgs};
+use s2g_engine::EngineConfig;
+use s2g_timeseries::{io as ts_io, window};
+
+use crate::client::{Client, ClientError};
+use crate::json::Json;
+use crate::server::{Server, ServerConfig};
+
+/// Usage text printed by `s2g help` and on argument errors. Extends the
+/// engine CLI's usage with the serving subcommands.
+pub const USAGE: &str = "\
+s2g — Series2Graph detection engine CLI
+
+USAGE — local (in-process):
+    s2g fit    --input <series.csv> --output <model.s2g> --pattern-length <n>
+               [--lambda <n>] [--rate <n>] [--kde-grid <n>] [--sigma-ratio <x>]
+               [--seed <n>] [--no-smooth]
+    s2g score  --model <model.s2g> --query-length <n> [--top-k <k>]
+               [--scores-out <csv>] [--workers <n>] <input.csv> [<input.csv>...]
+    s2g stream --model <model.s2g> --query-length <n> [--chunk <n>]
+               [--top-k <n>] <input.csv>
+    s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
+                         [--pattern-length <n>] [--query-length <n>]
+
+USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
+    s2g serve  [--addr <host:port>] [--workers <n>] [--registry-capacity <n>]
+               [--max-clients <n>] [--max-body-bytes <n>]
+               [--session-idle-secs <n>]
+    s2g client fit      --addr <host:port> --name <model> --input <series.csv>
+                        --pattern-length <n> [--lambda <n>] [--rate <n>]
+                        [--kde-grid <n>] [--sigma-ratio <x>] [--seed <n>]
+                        [--no-smooth]
+    s2g client score    --addr <host:port> --name <model> --query-length <n>
+                        [--top-k <k>] <input.csv> [<input.csv>...]
+    s2g client stream   --addr <host:port> --name <model> --query-length <n>
+                        [--chunk <n>] <input.csv>
+    s2g client info     --addr <host:port> --name <model>
+    s2g client delete   --addr <host:port> --name <model>
+    s2g client models   --addr <host:port>
+    s2g client health   --addr <host:port>
+    s2g client shutdown --addr <host:port>
+    s2g models          --addr <host:port>      (same as `s2g client models`)
+    s2g help
+
+Series files are single-column CSVs (one value per line; `#` comments and a
+header row are tolerated). Model files use the versioned `S2GMDL` binary
+format. A model fitted over the wire scores bit-identically to the same fit
+done in-process.";
+
+/// Entry point used by the `s2g` binary: runs and maps errors to exit codes
+/// (0 success, 1 runtime failure, 2 usage error).
+pub fn run(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            1
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+/// Runs one CLI invocation, returning a typed error instead of exiting.
+/// Serving subcommands are handled here; everything else falls through to
+/// [`s2g_engine::cli::dispatch`].
+///
+/// # Errors
+/// [`CliError::Usage`] for bad arguments, [`CliError::Runtime`] for
+/// failures of the command itself.
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage("missing subcommand".to_string()));
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
+        "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &[])?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        _ => s2g_engine::cli::dispatch(args),
+    }
+}
+
+fn runtime(e: impl std::fmt::Display) -> CliError {
+    CliError::Runtime(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        args,
+        &[
+            "--addr",
+            "--workers",
+            "--registry-capacity",
+            "--max-clients",
+            "--max-body-bytes",
+            "--session-idle-secs",
+        ],
+        &[],
+    )?;
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let mut engine = EngineConfig::default();
+    if let Some(workers) = opt_usize(&args, "--workers")? {
+        engine = engine.with_workers(workers);
+    }
+    if let Some(capacity) = opt_usize(&args, "--registry-capacity")? {
+        engine = engine.with_registry_capacity(capacity);
+    }
+    let mut config = ServerConfig::default().with_addr(addr).with_engine(engine);
+    if let Some(max_clients) = opt_usize(&args, "--max-clients")? {
+        config = config.with_max_clients(max_clients);
+    }
+    if let Some(max_body) = opt_usize(&args, "--max-body-bytes")? {
+        config = config.with_max_body_bytes(max_body);
+    }
+    if let Some(idle) = opt_usize(&args, "--session-idle-secs")? {
+        let idle = (idle > 0).then(|| Duration::from_secs(idle as u64));
+        config = config.with_session_idle(idle);
+    }
+
+    let server = Server::bind(config).map_err(runtime)?;
+    // Printed (and flushed) before serving so wrappers can wait for
+    // readiness by watching stdout.
+    println!("s2g-server listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(runtime)
+}
+
+fn opt_usize(args: &ParsedArgs, flag: &str) -> Result<Option<usize>, CliError> {
+    match args.get(flag) {
+        None => Ok(None),
+        Some(_) => args.usize_flag(flag, None).map(Some),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// client
+// ---------------------------------------------------------------------------
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError::Usage("client needs an action".to_string()));
+    };
+    match action.as_str() {
+        "fit" => client_fit(rest),
+        "score" => client_score(rest),
+        "stream" => client_stream(rest),
+        "info" => client_info(rest),
+        "delete" => client_delete(rest),
+        "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &[])?),
+        "health" => client_health(rest),
+        "shutdown" => client_shutdown(rest),
+        other => Err(CliError::Usage(format!("unknown client action {other:?}"))),
+    }
+}
+
+fn connect(args: &ParsedArgs) -> Result<Client, CliError> {
+    Ok(Client::new(args.required("--addr")?))
+}
+
+fn print_model_info(info: &Json) {
+    for key in [
+        "name",
+        "pattern_length",
+        "node_count",
+        "edge_count",
+        "train_len",
+        "fitted_at",
+        "checksum",
+    ] {
+        if let Some(value) = info.get(key) {
+            let rendered = match value {
+                Json::Str(s) => s.clone(),
+                other => other.encode(),
+            };
+            println!("{key:>15}  {rendered}");
+        }
+    }
+}
+
+fn client_fit(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        args,
+        &[
+            "--addr",
+            "--name",
+            "--input",
+            "--pattern-length",
+            "--lambda",
+            "--rate",
+            "--kde-grid",
+            "--sigma-ratio",
+            "--seed",
+        ],
+        &["--no-smooth"],
+    )?;
+    let client = connect(&args)?;
+    let name = args.required("--name")?;
+    let input = args.required("--input")?;
+    let pattern_length = args.usize_flag("--pattern-length", None)?;
+
+    let mut query = format!("pattern_length={pattern_length}");
+    for (flag, key) in [
+        ("--lambda", "lambda"),
+        ("--rate", "rate"),
+        ("--kde-grid", "kde_grid"),
+        ("--seed", "seed"),
+    ] {
+        if let Some(value) = opt_usize(&args, flag)? {
+            query.push_str(&format!("&{key}={value}"));
+        }
+    }
+    if let Some(ratio) = args.f64_flag("--sigma-ratio")? {
+        query.push_str(&format!("&sigma_ratio={ratio}"));
+    }
+    if args.has("--no-smooth") {
+        query.push_str("&smooth=false");
+    }
+
+    // The file bytes go over the wire verbatim: the server parses them with
+    // the same CSV parser `s2g fit` uses locally, so the remote fit is
+    // bit-identical to a local one.
+    let csv = std::fs::read_to_string(input).map_err(runtime)?;
+    let info = client.fit_model(name, &query, &csv).map_err(runtime)?;
+    println!("fitted {name} on {input}");
+    print_model_info(&info);
+    Ok(())
+}
+
+fn client_score(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        args,
+        &["--addr", "--name", "--query-length", "--top-k"],
+        &[],
+    )?;
+    let client = connect(&args)?;
+    let name = args.required("--name")?;
+    let query_length = args.usize_flag("--query-length", None)?;
+    let top_k = args.usize_flag("--top-k", Some(3))?;
+    if args.positional().is_empty() {
+        return Err(CliError::Usage(
+            "client score needs at least one input series".to_string(),
+        ));
+    }
+
+    let mut series = Vec::new();
+    for path in args.positional() {
+        series.push(ts_io::read_series(path).map_err(runtime)?.into_vec());
+    }
+    let results = client.score(name, query_length, &series).map_err(runtime)?;
+    for (path, result) in args.positional().iter().zip(results) {
+        match result {
+            Ok(profile) => {
+                let picks = window::top_k_non_overlapping(&profile, top_k, query_length);
+                for (rank, &start) in picks.iter().enumerate() {
+                    println!("{path}\t{}\t{start}\t{}", rank + 1, profile[start]);
+                }
+            }
+            Err((code, message)) => {
+                eprintln!("{path}: {code}: {message}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn client_stream(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        args,
+        &["--addr", "--name", "--query-length", "--chunk"],
+        &[],
+    )?;
+    let client = connect(&args)?;
+    let name = args.required("--name")?;
+    let query_length = args.usize_flag("--query-length", None)?;
+    let chunk = args.usize_flag("--chunk", Some(512))?.max(1);
+    let [input] = args.positional() else {
+        return Err(CliError::Usage(
+            "client stream needs exactly one input series".to_string(),
+        ));
+    };
+
+    let series = ts_io::read_series(input).map_err(runtime)?;
+    let session = client.open_session(name, query_length).map_err(runtime)?;
+    let mut emitted = Vec::new();
+    for block in series.values().chunks(chunk) {
+        emitted.extend(client.push_session(&session, block).map_err(runtime)?);
+    }
+    let consumed = client.close_session(&session).map_err(runtime)?;
+    println!(
+        "streamed {consumed} points through session {session}: {} windows emitted",
+        emitted.len()
+    );
+    if let Some(&(start, score)) = emitted.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+        println!("lowest normality {score} at window start {start}");
+    }
+    Ok(())
+}
+
+fn client_info(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr", "--name"], &[])?;
+    let client = connect(&args)?;
+    let info = client
+        .model_info(args.required("--name")?)
+        .map_err(runtime)?;
+    print_model_info(&info);
+    Ok(())
+}
+
+fn client_delete(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr", "--name"], &[])?;
+    let client = connect(&args)?;
+    let name = args.required("--name")?;
+    client.delete_model(name).map_err(runtime)?;
+    println!("deleted {name}");
+    Ok(())
+}
+
+fn client_models(args: &ParsedArgs) -> Result<(), CliError> {
+    let client = connect(args)?;
+    let models = client.list_models().map_err(runtime)?;
+    if models.is_empty() {
+        println!("no models registered");
+        return Ok(());
+    }
+    println!("name\tpattern_length\tnode_count\ttrain_len\tfitted_at");
+    for model in models {
+        let field = |key: &str| {
+            model
+                .get(key)
+                .map(|v| match v {
+                    Json::Str(s) => s.clone(),
+                    other => other.encode(),
+                })
+                .unwrap_or_default()
+        };
+        println!(
+            "{}\t{}\t{}\t{}\t{}",
+            field("name"),
+            field("pattern_length"),
+            field("node_count"),
+            field("train_len"),
+            field("fitted_at"),
+        );
+    }
+    Ok(())
+}
+
+fn client_health(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr"], &[])?;
+    let client = connect(&args)?;
+    let health = client.health().map_err(runtime)?;
+    println!("{}", health.encode());
+    Ok(())
+}
+
+fn client_shutdown(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr"], &[])?;
+    let client = connect(&args)?;
+    match client.shutdown_server() {
+        Ok(()) => {
+            println!("server at {} is shutting down", client.addr());
+            Ok(())
+        }
+        // The server may drop the socket while racing its own shutdown;
+        // treat that as success — but a refused connection means nothing
+        // was listening, which is a real failure.
+        Err(ClientError::Io(e)) if e.kind() != std::io::ErrorKind::ConnectionRefused => {
+            println!("server at {} closed the connection", client.addr());
+            Ok(())
+        }
+        Err(e) => Err(runtime(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_subcommands_still_reach_engine_cli() {
+        assert!(matches!(
+            dispatch(&strs(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(dispatch(&strs(&[])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn client_requires_action_and_addr() {
+        assert!(matches!(
+            dispatch(&strs(&["client"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&strs(&["client", "bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&strs(&["models"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&strs(&[
+                "client",
+                "score",
+                "--addr",
+                "x",
+                "--name",
+                "m",
+                "--query-length",
+                "100"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_against_nothing_is_a_runtime_error() {
+        // Port 1 on loopback: connection refused — must NOT be treated as
+        // a successful shutdown of a live server.
+        assert!(matches!(
+            dispatch(&strs(&["client", "shutdown", "--addr", "127.0.0.1:1"])),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    #[test]
+    fn serve_validates_flags() {
+        assert!(matches!(
+            dispatch(&strs(&["serve", "--workers", "abc"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&strs(&["serve", "--bogus-flag", "1"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

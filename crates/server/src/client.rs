@@ -1,0 +1,434 @@
+//! A minimal blocking client for the `s2g-server` protocol.
+//!
+//! [`Client`] opens one TCP connection per request (the server closes every
+//! connection after responding), writes a protocol request and parses the
+//! NDJSON response. The typed helpers cover every endpoint; [`Client::request`]
+//! is the raw escape hatch.
+//!
+//! Float fidelity: score values cross the wire as JSON numbers in Rust's
+//! shortest round-trip formatting, so the `f64`s this client returns are
+//! **bit-identical** to the ones the server computed.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::{Json, JsonError};
+
+/// Errors produced by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing or reading the socket failed.
+    Io(std::io::Error),
+    /// The response was not parseable as the expected protocol shape.
+    Protocol(String),
+    /// The server answered with an error status; carries the protocol
+    /// `error` code and `message` fields.
+    Api {
+        /// HTTP status of the error response.
+        status: u16,
+        /// Stable protocol error code (e.g. `"unknown_model"`).
+        code: String,
+        /// Human-readable server message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Api {
+                status,
+                code,
+                message,
+            } => write!(f, "server error {status} ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A raw protocol response: HTTP status plus the NDJSON body lines.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Non-empty body lines, one JSON document each.
+    pub lines: Vec<String>,
+}
+
+impl ClientResponse {
+    /// Parses body line `index` as JSON.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] when the line is missing or not JSON.
+    pub fn json_line(&self, index: usize) -> Result<Json, ClientError> {
+        let line = self
+            .lines
+            .get(index)
+            .ok_or_else(|| ClientError::Protocol(format!("missing response line {index}")))?;
+        Ok(Json::parse(line)?)
+    }
+
+    /// Converts an error-status response into [`ClientError::Api`]; returns
+    /// `self` unchanged for 2xx statuses.
+    ///
+    /// # Errors
+    /// [`ClientError::Api`] for non-2xx statuses.
+    pub fn into_result(self) -> Result<ClientResponse, ClientError> {
+        if (200..300).contains(&self.status) {
+            return Ok(self);
+        }
+        let (code, message) = match self.json_line(0) {
+            Ok(body) => (
+                body.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                body.get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ),
+            Err(_) => ("unknown".to_string(), self.lines.join(" ")),
+        };
+        Err(ClientError::Api {
+            status: self.status,
+            code,
+            message,
+        })
+    }
+}
+
+/// A blocking client addressing one `s2g-server` instance.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Sets the per-request socket timeout (default 60 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request and reads the full response. `target` is the path
+    /// plus optional query string, e.g. `/models/m/score?query_length=150`.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on socket failures, [`ClientError::Protocol`] on
+    /// responses outside the protocol subset. Error *statuses* are returned
+    /// as `Ok` — use [`ClientResponse::into_result`] to surface them.
+    pub fn request(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        let write_result = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush());
+
+        // The server closes the connection after one response. A failed
+        // write does not end the exchange: the server may have rejected
+        // the request early (e.g. 413 before reading an over-cap body) and
+        // its response can still be readable — prefer that response over
+        // the local broken-pipe error.
+        let mut raw = Vec::new();
+        let read_result = stream.read_to_end(&mut raw);
+        if !raw.is_empty() {
+            if let Ok(response) = parse_response(&raw) {
+                return Ok(response);
+            }
+        }
+        write_result?;
+        read_result?;
+        parse_response(&raw)
+    }
+
+    /// Like [`Client::request`], turning error statuses into
+    /// [`ClientError::Api`].
+    ///
+    /// # Errors
+    /// See [`Client::request`] and [`ClientResponse::into_result`].
+    pub fn request_ok(
+        &self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        self.request(method, target, body)?.into_result()
+    }
+
+    // -- typed endpoint helpers --------------------------------------------
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn health(&self) -> Result<Json, ClientError> {
+        self.request_ok("GET", "/healthz", b"")?.json_line(0)
+    }
+
+    /// `PUT /models/{name}?{query}` with a CSV body (one value per line):
+    /// fits and registers a model server-side. Returns the metadata object
+    /// (including the `"checksum"` fingerprint).
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn fit_model(&self, name: &str, query: &str, csv_body: &str) -> Result<Json, ClientError> {
+        let target = format!("/models/{name}?{query}");
+        self.request_ok("PUT", &target, csv_body.as_bytes())?
+            .json_line(0)
+    }
+
+    /// `GET /models`: metadata for every registered model.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn list_models(&self) -> Result<Vec<Json>, ClientError> {
+        let body = self.request_ok("GET", "/models", b"")?.json_line(0)?;
+        let models = body
+            .get("models")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("response lacks \"models\" array".into()))?;
+        Ok(models.to_vec())
+    }
+
+    /// `GET /models/{name}`: metadata for one model.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn model_info(&self, name: &str) -> Result<Json, ClientError> {
+        self.request_ok("GET", &format!("/models/{name}"), b"")?
+            .json_line(0)
+    }
+
+    /// `DELETE /models/{name}`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn delete_model(&self, name: &str) -> Result<(), ClientError> {
+        self.request_ok("DELETE", &format!("/models/{name}"), b"")?;
+        Ok(())
+    }
+
+    /// `POST /models/{name}/score?query_length=…`: scores a batch of series
+    /// (one per line, comma-separated) and returns one result per series in
+    /// submission order. Per-series failures surface as `Err` slots with
+    /// the protocol error code.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or request-level server
+    /// errors (e.g. an unknown model).
+    #[allow(clippy::type_complexity)]
+    pub fn score(
+        &self,
+        name: &str,
+        query_length: usize,
+        series: &[Vec<f64>],
+    ) -> Result<Vec<Result<Vec<f64>, (String, String)>>, ClientError> {
+        let mut body = String::new();
+        for (index, values) in series.iter().enumerate() {
+            if values.is_empty() {
+                // An empty series would serialize to a blank line, which
+                // the server skips — shifting every later result onto the
+                // wrong series. Refuse it up front instead.
+                return Err(ClientError::Protocol(format!("series {index} is empty")));
+            }
+            let line: Vec<String> = values.iter().map(f64::to_string).collect();
+            body.push_str(&line.join(","));
+            body.push('\n');
+        }
+        let target = format!("/models/{name}/score?query_length={query_length}");
+        let response = self.request_ok("POST", &target, body.as_bytes())?;
+        if response.lines.len() != series.len() {
+            return Err(ClientError::Protocol(format!(
+                "scored {} series but received {} result lines",
+                series.len(),
+                response.lines.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(series.len());
+        for index in 0..response.lines.len() {
+            let line = response.json_line(index)?;
+            if let Some(scores) = line.get("scores").and_then(Json::as_f64_array) {
+                out.push(Ok(scores));
+            } else {
+                let code = line
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                let message = line
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                out.push(Err((code, message)));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `POST /sessions`: opens a pinned streaming session, returning its id.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn open_session(&self, model: &str, query_length: usize) -> Result<String, ClientError> {
+        let body = Json::obj([
+            ("model", Json::from(model)),
+            ("query_length", Json::from(query_length)),
+        ])
+        .encode();
+        let response = self.request_ok("POST", "/sessions", body.as_bytes())?;
+        let id = response
+            .json_line(0)?
+            .get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("response lacks \"session\" id".into()))?
+            .to_string();
+        Ok(id)
+    }
+
+    /// `POST /sessions/{id}/push`: feeds values (one per line over the
+    /// wire), returning the emitted `(window_start, normality)` pairs.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors (including
+    /// `unknown_session` after idle eviction).
+    pub fn push_session(&self, id: &str, values: &[f64]) -> Result<Vec<(usize, f64)>, ClientError> {
+        let body: String = values.iter().map(|v| format!("{v}\n")).collect();
+        let target = format!("/sessions/{id}/push");
+        let response = self.request_ok("POST", &target, body.as_bytes())?;
+        let line = response.json_line(0)?;
+        let emitted = line
+            .get("emitted")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("response lacks \"emitted\" array".into()))?;
+        emitted
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().unwrap_or(&[]);
+                match (
+                    items.first().and_then(Json::as_usize),
+                    items.get(1).and_then(Json::as_f64),
+                ) {
+                    (Some(start), Some(normality)) => Ok((start, normality)),
+                    _ => Err(ClientError::Protocol("malformed emitted pair".into())),
+                }
+            })
+            .collect()
+    }
+
+    /// `DELETE /sessions/{id}`: closes a session, returning how many points
+    /// it consumed.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn close_session(&self, id: &str) -> Result<usize, ClientError> {
+        let response = self.request_ok("DELETE", &format!("/sessions/{id}"), b"")?;
+        response
+            .json_line(0)?
+            .get("consumed")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ClientError::Protocol("response lacks \"consumed\"".into()))
+    }
+
+    /// `POST /admin/shutdown`: asks the server to stop.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn shutdown_server(&self) -> Result<(), ClientError> {
+        self.request_ok("POST", "/admin/shutdown", b"")?;
+        Ok(())
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("response without header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| ClientError::Protocol("non-UTF-8 response head".into()))?;
+    let status_line = head
+        .lines()
+        .next()
+        .ok_or_else(|| ClientError::Protocol("empty response".into()))?;
+    // `HTTP/1.1 200 OK`
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    let body = std::str::from_utf8(&raw[header_end + 4..])
+        .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
+    let lines = body
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+    Ok(ClientResponse { status, lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_response_splits_status_and_lines() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: application/x-ndjson\r\nContent-Length: 20\r\n\r\n{\"error\":\"x\"}\n";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 404);
+        assert_eq!(response.lines, vec!["{\"error\":\"x\"}".to_string()]);
+        assert!(matches!(
+            response.into_result(),
+            Err(ClientError::Api { status: 404, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_response_rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Minimal HTTP/1.1 subset: request parsing and response writing.
+//!
+//! The server speaks just enough HTTP to be driven by any stock HTTP client
+//! (`curl` included) while staying dependency-free:
+//!
+//! * request line `METHOD SP /path[?query] SP HTTP/1.1`, CRLF line endings;
+//! * headers until an empty line; only `Content-Length` is interpreted;
+//! * bodies require an explicit `Content-Length` (no chunked encoding);
+//! * each connection carries **exactly one** request; every response closes
+//!   the connection (`Connection: close`).
+//!
+//! Hard limits protect the server from hostile or broken peers: an
+//! over-long request line or header section is rejected with `400`, a body
+//! larger than the configured cap with `413` — *before* the body is read
+//! into memory. See `docs/PROTOCOL.md` for the full wire contract.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Maximum accepted request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum accepted size of one header line in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum accepted number of headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// The request methods the server understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `PUT`
+    Put,
+    /// `POST`
+    Post,
+    /// `DELETE`
+    Delete,
+}
+
+impl Method {
+    fn from_token(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "PUT" => Some(Method::Put),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Put => "PUT",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        })
+    }
+}
+
+/// A parsed request: method, path split into segments, query pairs, body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The raw path as sent (before the `?`), e.g. `/models/turbine`.
+    pub path: String,
+    /// Path split on `/` with empty segments dropped,
+    /// e.g. `["models", "turbine"]`.
+    pub segments: Vec<String>,
+    /// `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    /// [`ParseError::Malformed`] when the body is not valid UTF-8.
+    pub fn body_text(&self) -> Result<&str, ParseError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ParseError::Malformed("request body is not valid UTF-8"))
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    /// Not an error worth responding to (e.g. a health probe connecting
+    /// and hanging up); the connection is simply dropped.
+    ConnectionClosed,
+    /// The request violates the accepted HTTP subset; the message says how.
+    Malformed(&'static str),
+    /// The method token is not one of GET/PUT/POST/DELETE.
+    UnknownMethod,
+    /// The declared `Content-Length` exceeds the configured cap.
+    BodyTooLarge {
+        /// Declared body size in bytes.
+        declared: usize,
+        /// Configured maximum body size in bytes.
+        limit: usize,
+    },
+    /// The underlying socket failed mid-request.
+    Io(std::io::ErrorKind),
+}
+
+/// Reads and parses one request from a stream.
+///
+/// `max_body_bytes` caps the accepted `Content-Length`; a larger declared
+/// body is rejected as [`ParseError::BodyTooLarge`] without reading it.
+///
+/// # Example
+///
+/// ```
+/// use s2g_server::http::{read_request, Method};
+///
+/// let raw: &[u8] = b"PUT /models/pump-7?pattern_length=50 HTTP/1.1\r\n\
+///                    Content-Length: 4\r\n\r\n1\n2\n";
+/// let request = read_request(raw, 1024).unwrap();
+/// assert_eq!(request.method, Method::Put);
+/// assert_eq!(request.segments, vec!["models", "pump-7"]);
+/// assert_eq!(request.query_param("pattern_length"), Some("50"));
+/// assert_eq!(request.body_text().unwrap(), "1\n2\n");
+/// ```
+///
+/// # Errors
+/// [`ParseError`] describing the first violation encountered.
+pub fn read_request<R: Read>(stream: R, max_body_bytes: usize) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_crlf_line(&mut reader, MAX_REQUEST_LINE)?;
+    if request_line.is_empty() {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = request_line.split(' ');
+    let (Some(method_token), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(
+            "request line must be `METHOD SP TARGET SP VERSION`",
+        ));
+    };
+    let method = Method::from_token(method_token).ok_or(ParseError::UnknownMethod)?;
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Malformed("request target must start with '/'"));
+    }
+
+    // Headers: only Content-Length is interpreted, the rest are skipped.
+    let mut content_length: usize = 0;
+    for _ in 0..MAX_HEADERS {
+        let line = read_crlf_line(&mut reader, MAX_HEADER_LINE)?;
+        if line.is_empty() {
+            let body = read_body(&mut reader, content_length, max_body_bytes)?;
+            return Ok(build_request(method, target, body));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line without ':'"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed("unparseable Content-Length"))?;
+        }
+    }
+    Err(ParseError::Malformed("too many headers"))
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    content_length: usize,
+    max_body_bytes: usize,
+) -> Result<Vec<u8>, ParseError> {
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| ParseError::Io(e.kind()))?;
+    Ok(body)
+}
+
+fn build_request(method: Method, target: &str, body: Vec<u8>) -> Request {
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let segments = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let query = query_text
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Request {
+        method,
+        path: path.to_string(),
+        segments,
+        query,
+        body,
+    }
+}
+
+/// Reads one CRLF-terminated line (the CRLF is stripped; a bare LF is
+/// tolerated). Returns an empty string for a blank line *or* a cleanly
+/// closed stream — callers distinguish via context.
+fn read_crlf_line<R: BufRead>(reader: &mut R, max_len: usize) -> Result<String, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > max_len {
+                    return Err(ParseError::Malformed("line too long"));
+                }
+            }
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ParseError::Malformed("non-UTF-8 header bytes"))
+}
+
+/// An HTTP response about to be written: status code plus an NDJSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code (200, 400, 404, …).
+    pub status: u16,
+    /// Body lines; each is one JSON document, joined with `\n`.
+    pub lines: Vec<String>,
+}
+
+impl Response {
+    /// A `200 OK` response with the given NDJSON lines.
+    pub fn ok(lines: Vec<String>) -> Response {
+        Response { status: 200, lines }
+    }
+
+    /// The canonical reason phrase for the status codes the server emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response head + body; every response closes the
+    /// connection.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut body = self.lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            body.len()
+        );
+        w.write_all(head.as_bytes())?;
+        w.write_all(body.as_bytes())?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ParseError> {
+        read_request(raw, 1024)
+    }
+
+    #[test]
+    fn parses_full_request() {
+        let raw = b"POST /models/m-1/score?query_length=150&top_k=3 HTTP/1.1\r\nHost: x\r\nContent-Length: 8\r\n\r\n1\n2\n3.5\n";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/models/m-1/score");
+        assert_eq!(req.segments, vec!["models", "m-1", "score"]);
+        assert_eq!(req.query_param("query_length"), Some("150"));
+        assert_eq!(req.query_param("top_k"), Some("3"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.body_text().unwrap(), "1\n2\n3.5\n");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = parse(b"GET /models HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert!(req.body.is_empty());
+        assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse(b"GARBAGE\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(b""), Err(ParseError::ConnectionClosed)));
+        assert!(matches!(
+            parse(b"BREW /models HTTP/1.1\r\n\r\n"),
+            Err(ParseError::UnknownMethod)
+        ));
+        assert!(matches!(
+            parse(b"GET /models HTTP/0.9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET models HTTP/1.1\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /a b /c HTTP/1.1\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_by_declared_length() {
+        let raw = b"PUT /models/big HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        assert!(matches!(
+            parse(raw),
+            Err(ParseError::BodyTooLarge {
+                declared: 2048,
+                limit: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_content_length_and_truncated_bodies() {
+        assert!(matches!(
+            parse(b"PUT /m HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"PUT /m HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::ok(vec!["{\"a\":1}".to_string()])
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 8\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}\n"));
+    }
+}

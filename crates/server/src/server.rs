@@ -1,0 +1,640 @@
+//! The TCP listener, request router and endpoint handlers.
+//!
+//! One [`Server`] owns one [`Engine`] (model registry + worker pool) and one
+//! [`SessionTable`], and serves them over a hand-rolled HTTP/1.1 subset
+//! (see [`crate::http`]). Connections are handled thread-per-client behind a
+//! bounded accept semaphore: at most `max_clients` handler threads run at
+//! once, and the accept loop blocks (TCP backlog backpressure) when all
+//! slots are taken.
+//!
+//! Shutdown is cooperative: a [`ShutdownHandle`] flips an atomic flag and
+//! wakes the accept loop by connecting to the server's own address, after
+//! which `run` stops accepting, joins every in-flight handler and the
+//! session sweeper, and returns. `POST /admin/shutdown` triggers the same
+//! path remotely.
+//!
+//! The full wire contract — endpoints, framing, error codes, a worked
+//! byte-level example — is specified in `docs/PROTOCOL.md`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use s2g_core::config::BandwidthRule;
+use s2g_core::S2gConfig;
+use s2g_engine::{Engine, EngineConfig, ModelInfo};
+use s2g_timeseries::{io as ts_io, TimeSeries};
+
+use crate::error::ApiError;
+use crate::http::{read_request, Method, ParseError, Request, Response};
+use crate::json::Json;
+use crate::sessions::SessionTable;
+
+/// Construction parameters for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878`. Port `0` picks an ephemeral
+    /// port (query it via [`Server::local_addr`]).
+    pub addr: String,
+    /// Configuration of the owned [`Engine`] (worker count, registry cap).
+    pub engine: EngineConfig,
+    /// Maximum concurrently served connections; further accepts wait.
+    pub max_clients: usize,
+    /// Maximum accepted request-body size in bytes (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Streaming sessions idle longer than this are evicted
+    /// (`None` = never).
+    pub session_idle: Option<Duration>,
+    /// Per-connection socket read timeout (stalled peers are dropped).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            engine: EngineConfig::default(),
+            max_clients: 64,
+            max_body_bytes: 16 * 1024 * 1024,
+            session_idle: Some(Duration::from_secs(300)),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the concurrent-connection cap (minimum 1).
+    pub fn with_max_clients(mut self, max_clients: usize) -> Self {
+        self.max_clients = max_clients.max(1);
+        self
+    }
+
+    /// Sets the request-body size cap in bytes.
+    pub fn with_max_body_bytes(mut self, max_body_bytes: usize) -> Self {
+        self.max_body_bytes = max_body_bytes;
+        self
+    }
+
+    /// Sets the session idle timeout (`None` disables eviction).
+    pub fn with_session_idle(mut self, session_idle: Option<Duration>) -> Self {
+        self.session_idle = session_idle;
+        self
+    }
+}
+
+/// Counting semaphore bounding concurrent connection-handler threads.
+struct Slots {
+    free: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Slots {
+    fn new(count: usize) -> Self {
+        Slots {
+            free: Mutex::new(count.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        while *free == 0 {
+            free = self.available.wait(free).unwrap_or_else(|e| e.into_inner());
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *self.free.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.available.notify_one();
+    }
+}
+
+/// RAII guard for one accept slot: releases on drop, so slots survive
+/// handler panics and thread-spawn failures alike.
+struct SlotGuard(Arc<Shared>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.slots.release();
+    }
+}
+
+/// State shared by the accept loop, handler threads and shutdown handles.
+struct Shared {
+    engine: Engine,
+    sessions: SessionTable,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    slots: Slots,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and wakes the (possibly blocked) accept loop
+    /// by connecting to the server's own port. A wildcard bind address
+    /// (`0.0.0.0` / `::`) is not connectable on every platform, so the
+    /// wake-up always targets the matching loopback address instead.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if wake_addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            wake_addr.set_ip(loopback);
+        }
+        let _ = TcpStream::connect(wake_addr);
+    }
+}
+
+/// A cloneable handle that shuts a running [`Server`] down from another
+/// thread — the in-process equivalent of delivering SIGTERM.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: the accept loop stops, in-flight requests finish,
+    /// and [`Server::run`] returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound (but not yet running) detection server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the engine, without serving yet.
+    ///
+    /// # Errors
+    /// Propagates socket bind errors.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Engine::new(config.engine),
+            sessions: SessionTable::new(config.session_idle),
+            max_body_bytes: config.max_body_bytes,
+            read_timeout: config.read_timeout,
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            slots: Slots::new(config.max_clients),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The engine the server serves (e.g. to preload models before `run`).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// A handle that can stop [`Server::run`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until shutdown is requested: accepts connections (at most
+    /// `max_clients` in flight), dispatches each to a handler thread, and
+    /// reaps idle sessions in a background sweeper. Returns after every
+    /// in-flight handler has finished.
+    ///
+    /// # Errors
+    /// Propagates fatal accept errors (transient per-connection errors are
+    /// swallowed).
+    pub fn run(&self) -> io::Result<()> {
+        let sweeper = self.spawn_sweeper();
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue, // transient accept failure
+            };
+            self.shared.slots.acquire();
+            // The guard releases the slot when the handler thread ends —
+            // including by panic — so a handler bug can never leak slots
+            // and wedge the accept loop. It also covers spawn failure.
+            let slot = SlotGuard(Arc::clone(&self.shared));
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name("s2g-conn".to_string())
+                .spawn(move || {
+                    let _slot = slot;
+                    handle_connection(&shared, stream);
+                });
+            if let Ok(handle) = handle {
+                handlers.push(handle);
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        if let Some(sweeper) = sweeper {
+            let _ = sweeper.join();
+        }
+        Ok(())
+    }
+
+    /// Background thread reaping idle sessions until shutdown.
+    fn spawn_sweeper(&self) -> Option<JoinHandle<()>> {
+        let timeout = self.shared.sessions.idle_timeout()?;
+        let shared = Arc::clone(&self.shared);
+        let tick = (timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        std::thread::Builder::new()
+            .name("s2g-sweeper".to_string())
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    shared.sessions.evict_idle(&shared.engine);
+                }
+            })
+            .ok()
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.local_addr)
+            .field("models", &self.shared.engine.registry().len())
+            .field("sessions", &self.shared.sessions.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling and routing
+// ---------------------------------------------------------------------------
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let request = match read_request(&stream, shared.max_body_bytes) {
+        Ok(request) => request,
+        Err(ParseError::ConnectionClosed) => return, // probe; nothing to say
+        Err(e) => {
+            let _ = ApiError::from(e).to_response().write_to(&stream);
+            return;
+        }
+    };
+    let response = match route(shared, &request) {
+        Ok(response) => response,
+        Err(e) => e.to_response(),
+    };
+    let _ = response.write_to(&stream);
+}
+
+/// Dispatches one parsed request to its endpoint handler.
+fn route(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    use Method::{Delete, Get, Post, Put};
+    let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
+    match (request.method, segments.as_slice()) {
+        (Get, ["healthz"]) => handle_healthz(shared),
+        (Get, ["models"]) => handle_list_models(shared),
+        (Put, ["models", name]) => handle_fit(shared, name, request),
+        (Get, ["models", name]) => handle_model_info(shared, name),
+        (Delete, ["models", name]) => handle_delete_model(shared, name),
+        (Post, ["models", name, "score"]) => handle_score(shared, name, request),
+        (Post, ["sessions"]) => handle_open_session(shared, request),
+        (Post, ["sessions", id, "push"]) => handle_push_session(shared, id, request),
+        (Delete, ["sessions", id]) => handle_close_session(shared, id),
+        (Post, ["admin", "shutdown"]) => handle_shutdown(shared),
+        // Known resource, wrong method.
+        (_, ["healthz" | "models"] | ["models", ..] | ["sessions", ..] | ["admin", "shutdown"]) => {
+            Err(ApiError::new(
+                405,
+                "method_not_allowed",
+                format!("{} is not supported on {}", request.method, request.path),
+            ))
+        }
+        _ => Err(ApiError::not_found(format!(
+            "no such endpoint: {}",
+            request.path
+        ))),
+    }
+}
+
+/// Model and session names: 1–128 chars of `[A-Za-z0-9._-]`.
+fn validate_name(name: &str) -> Result<(), ApiError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ApiError::new(
+            400,
+            "invalid_name",
+            format!("invalid name {name:?}: use 1-128 chars of [A-Za-z0-9._-]"),
+        ))
+    }
+}
+
+fn query_usize(request: &Request, key: &str) -> Result<Option<usize>, ApiError> {
+    match request.query_param(key) {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| {
+            ApiError::bad_request(format!(
+                "query parameter {key} expects an integer, got {raw:?}"
+            ))
+        }),
+    }
+}
+
+fn required_query_usize(request: &Request, key: &str) -> Result<usize, ApiError> {
+    query_usize(request, key)?
+        .ok_or_else(|| ApiError::bad_request(format!("query parameter {key} is required")))
+}
+
+/// Builds an [`S2gConfig`] from `PUT /models/{name}` query parameters.
+fn config_from_query(request: &Request) -> Result<S2gConfig, ApiError> {
+    let pattern_length = required_query_usize(request, "pattern_length")?;
+    let mut config = S2gConfig::new(pattern_length);
+    if let Some(lambda) = query_usize(request, "lambda")? {
+        config.lambda = lambda;
+    }
+    if let Some(rate) = query_usize(request, "rate")? {
+        config.rate = rate;
+    }
+    if let Some(kde_grid) = query_usize(request, "kde_grid")? {
+        config.kde_grid_points = kde_grid;
+    }
+    if let Some(raw) = request.query_param("sigma_ratio") {
+        let ratio: f64 = raw.parse().map_err(|_| {
+            ApiError::bad_request(format!("sigma_ratio expects a number, got {raw:?}"))
+        })?;
+        config.bandwidth = BandwidthRule::SigmaRatio(ratio);
+    }
+    if let Some(seed) = query_usize(request, "seed")? {
+        config.seed = seed as u64;
+    }
+    if let Some(raw) = request.query_param("smooth") {
+        config.smooth_scores = match raw {
+            "true" | "1" => true,
+            "false" | "0" => false,
+            _ => {
+                return Err(ApiError::bad_request(format!(
+                    "smooth expects true|false, got {raw:?}"
+                )))
+            }
+        };
+    }
+    config
+        .validate()
+        .map_err(|e| ApiError::new(400, "invalid_config", e.to_string()))?;
+    Ok(config)
+}
+
+fn model_info_json(info: &ModelInfo) -> Json {
+    Json::obj([
+        ("name", Json::from(info.name.clone())),
+        ("pattern_length", Json::from(info.pattern_length)),
+        ("node_count", Json::from(info.node_count)),
+        ("edge_count", Json::from(info.edge_count)),
+        ("train_len", Json::from(info.train_len)),
+        ("fitted_at", Json::from(info.fitted_at as usize)),
+    ])
+}
+
+/// u64 checksums exceed what a JSON `f64` number can hold exactly, so the
+/// protocol carries them as fixed-width hex strings.
+fn checksum_string(checksum: u64) -> String {
+    format!("{checksum:#018x}")
+}
+
+fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {
+    let body = Json::obj([
+        ("status", Json::from("ok")),
+        ("models", Json::from(shared.engine.registry().len())),
+        ("sessions", Json::from(shared.sessions.len())),
+        ("workers", Json::from(shared.engine.workers())),
+    ]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_list_models(shared: &Shared) -> Result<Response, ApiError> {
+    let models: Vec<Json> = shared
+        .engine
+        .list_models()
+        .iter()
+        .map(model_info_json)
+        .collect();
+    let body = Json::obj([("models", Json::Arr(models))]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_fit(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+    validate_name(name)?;
+    let config = config_from_query(request)?;
+    // The posted CSV goes through the *same* parser as the file reader, so a
+    // remote fit sees bit-identical values to a local fit on the same file.
+    let series = ts_io::parse_series(request.body_text()?)?;
+    if series.is_empty() {
+        return Err(ApiError::bad_request("request body contains no values"));
+    }
+    // The info describes the model *this* request fitted (no registry
+    // re-lookup a concurrent re-fit of the same name could race), and its
+    // checksum was computed once at registration.
+    let (_model, info) = shared.engine.fit_model_with_info(name, &series, &config)?;
+    let mut body = model_info_json(&info);
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push((
+            "checksum".to_string(),
+            Json::from(checksum_string(info.checksum)),
+        ));
+    }
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_model_info(shared: &Shared, name: &str) -> Result<Response, ApiError> {
+    let info = shared
+        .engine
+        .model_info(name)
+        .ok_or_else(|| ApiError::new(404, "unknown_model", format!("no model named {name:?}")))?;
+    let mut body = model_info_json(&info);
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push((
+            "checksum".to_string(),
+            Json::from(checksum_string(info.checksum)),
+        ));
+    }
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_delete_model(shared: &Shared, name: &str) -> Result<Response, ApiError> {
+    if !shared.engine.remove_model(name) {
+        return Err(ApiError::new(
+            404,
+            "unknown_model",
+            format!("no model named {name:?}"),
+        ));
+    }
+    let body = Json::obj([("deleted", Json::from(name))]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+/// Parses one comma-separated series line; `Err` carries the first
+/// unparseable token.
+fn parse_series_line(line: &str) -> Result<Vec<f64>, String> {
+    let mut values = Vec::new();
+    for token in line.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        match token.parse::<f64>() {
+            Ok(value) => values.push(value),
+            Err(_) => return Err(token.to_string()),
+        }
+    }
+    Ok(values)
+}
+
+fn handle_score(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+    let query_length = required_query_usize(request, "query_length")?;
+    let text = request.body_text()?;
+    let mut series = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_series_line(line) {
+            Ok(values) => series.push(TimeSeries::from(values)),
+            // Mirror `parse_series`: an unparseable first line is treated
+            // as a header row and skipped, so the same CSV file is
+            // accepted by fit and score alike.
+            Err(_) if lineno == 0 => continue,
+            Err(token) => {
+                return Err(ApiError::new(
+                    400,
+                    "invalid_csv",
+                    format!("line {}: unparseable value {token:?}", lineno + 1),
+                ));
+            }
+        }
+    }
+    if series.is_empty() {
+        return Err(ApiError::bad_request("request body contains no series"));
+    }
+
+    // One line per input series, submission-ordered by the worker pool.
+    let results = shared.engine.score_many(name, series, query_length)?;
+    let lines = results
+        .into_iter()
+        .enumerate()
+        .map(|(index, result)| {
+            match result {
+                Ok(scores) => {
+                    Json::obj([("index", Json::from(index)), ("scores", Json::arr(scores))])
+                }
+                Err(e) => {
+                    let api = ApiError::from(e);
+                    Json::obj([
+                        ("index", Json::from(index)),
+                        ("error", Json::from(api.code)),
+                        ("message", Json::from(api.message)),
+                    ])
+                }
+            }
+            .encode()
+        })
+        .collect();
+    Ok(Response::ok(lines))
+}
+
+fn handle_open_session(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    let body = Json::parse(request.body_text()?)
+        .map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))?;
+    let model = body
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("body must set \"model\" to a string"))?;
+    let query_length = body
+        .get("query_length")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ApiError::bad_request("body must set \"query_length\" to an integer"))?;
+    let id = shared
+        .sessions
+        .create(&shared.engine, model, query_length)?;
+    let body = Json::obj([
+        ("session", Json::from(id)),
+        ("model", Json::from(model)),
+        ("query_length", Json::from(query_length)),
+    ]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_push_session(shared: &Shared, id: &str, request: &Request) -> Result<Response, ApiError> {
+    shared.sessions.touch(&shared.engine, id)?;
+    let series = ts_io::parse_series(request.body_text()?)?;
+    let emitted = shared.engine.push_stream(id, series.values())?;
+    let pairs: Vec<Json> = emitted
+        .iter()
+        .map(|&(start, normality)| Json::Arr(vec![Json::from(start), Json::from(normality)]))
+        .collect();
+    let body = Json::obj([
+        ("session", Json::from(id)),
+        ("pushed", Json::from(series.len())),
+        ("emitted", Json::Arr(pairs)),
+    ]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_close_session(shared: &Shared, id: &str) -> Result<Response, ApiError> {
+    shared.sessions.forget(id);
+    let consumed = shared.engine.close_stream(id)?;
+    let body = Json::obj([
+        ("session", Json::from(id)),
+        ("consumed", Json::from(consumed)),
+    ]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+fn handle_shutdown(shared: &Shared) -> Result<Response, ApiError> {
+    shared.trigger_shutdown();
+    let body = Json::obj([("status", Json::from("shutting-down"))]);
+    Ok(Response::ok(vec![body.encode()]))
+}

@@ -1,8 +1,11 @@
-//! Cross-process CLI acceptance test: `s2g fit` in one process writes a model
-//! file that a *separate* `s2g score` process loads and scores with results
-//! identical to an in-process fit+score.
+//! Cross-process CLI acceptance tests: `s2g fit` in one process writes a
+//! model file that a *separate* `s2g score` process loads and scores with
+//! results identical to an in-process fit+score; and an `s2g serve` process
+//! is driven end-to-end by `s2g client` / `s2g models` processes, ending
+//! with a remote graceful shutdown.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
 
 use s2g_core::{S2gConfig, Series2Graph};
 use s2g_timeseries::{io, TimeSeries};
@@ -129,6 +132,109 @@ fn separate_fit_and_score_processes_match_in_process_results() {
     for p in [&input, &model_path, &scores_path] {
         std::fs::remove_file(p).ok();
     }
+}
+
+/// Spawns `s2g serve` on an ephemeral port and waits for its readiness
+/// line, returning the child process and the bound address.
+fn spawn_server(s2g: &str) -> (Child, String) {
+    let mut child = Command::new(s2g)
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    // "s2g-server listening on 127.0.0.1:PORT"
+    let addr = line
+        .rsplit(' ')
+        .next()
+        .expect("readiness line with address")
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_and_client_processes_roundtrip_and_shut_down() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let input = tmp("serve_input.csv");
+    let series = burst_series(3000, 1900);
+    io::write_series(&input, &series).unwrap();
+
+    let (mut server, addr) = spawn_server(s2g);
+
+    // Fit remotely from a third process.
+    let fit = Command::new(s2g)
+        .args([
+            "client",
+            "fit",
+            "--addr",
+            &addr,
+            "--name",
+            "remote",
+            "--input",
+            input.to_str().unwrap(),
+            "--pattern-length",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        fit.status.success(),
+        "client fit failed: {}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
+
+    // `s2g models` sees the registered model.
+    let models = Command::new(s2g)
+        .args(["models", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(models.status.success());
+    assert!(String::from_utf8_lossy(&models.stdout).contains("remote"));
+
+    // Remote scoring finds the injected burst, exactly like a local score.
+    let score = Command::new(s2g)
+        .args([
+            "client",
+            "score",
+            "--addr",
+            &addr,
+            "--name",
+            "remote",
+            "--query-length",
+            "150",
+            "--top-k",
+            "1",
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        score.status.success(),
+        "client score failed: {}",
+        String::from_utf8_lossy(&score.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&score.stdout);
+    let top_line = stdout.lines().next().expect("no detections printed");
+    let start: i64 = top_line.split('\t').nth(2).unwrap().parse().unwrap();
+    assert!(
+        (start - 1900).abs() < 250,
+        "remote top anomaly at {start}, expected near 1900"
+    );
+
+    // Remote graceful shutdown: the serve process exits cleanly.
+    let stop = Command::new(s2g)
+        .args(["client", "shutdown", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(stop.status.success());
+    let status = server.wait().unwrap();
+    assert!(status.success(), "serve process exited with {status:?}");
+
+    std::fs::remove_file(&input).ok();
 }
 
 #[test]

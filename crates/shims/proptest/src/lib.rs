@@ -256,7 +256,8 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Size specification for [`vec`]: a fixed size or a half-open range.
+        /// Size specification for [`vec()`]: a fixed size or a half-open
+        /// range.
         pub trait SizeRange {
             /// Draws a concrete length.
             fn pick(&self, rng: &mut TestRng) -> usize;

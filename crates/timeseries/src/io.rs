@@ -12,34 +12,77 @@ use std::path::Path;
 use crate::error::{Error, Result};
 use crate::series::TimeSeries;
 
-/// Reads a single-column series (one floating point value per line).
+/// Incremental single-column series parser: the one code path behind both
+/// [`parse_series`] (in-memory text) and [`read_series`] (streamed file
+/// lines), so a value parsed from a socket body is bit-identical to the
+/// same value parsed from a file.
+struct SeriesParser {
+    values: Vec<f64>,
+}
+
+impl SeriesParser {
+    fn new() -> Self {
+        SeriesParser { values: Vec::new() }
+    }
+
+    /// Consumes one line (0-indexed). Empty lines and lines starting with
+    /// `#` are skipped; a first line that does not parse as a number is
+    /// treated as a header row; only the first comma-separated field of a
+    /// line is read.
+    fn push_line(&mut self, lineno: usize, line: &str) -> Result<()> {
+        let token = line.trim();
+        if token.is_empty() || token.starts_with('#') {
+            return Ok(());
+        }
+        let field = token.split(',').next().unwrap_or(token).trim();
+        match field.parse::<f64>() {
+            Ok(v) => {
+                self.values.push(v);
+                Ok(())
+            }
+            Err(_) if lineno == 0 => Ok(()), // tolerate a header row
+            Err(_) => Err(Error::Parse {
+                line: lineno + 1,
+                token: field.to_string(),
+            }),
+        }
+    }
+
+    fn finish(self) -> TimeSeries {
+        TimeSeries::from(self.values)
+    }
+}
+
+/// Parses a single-column series (one floating point value per line) from
+/// in-memory text.
+///
+/// Empty lines and lines starting with `#` are skipped. A header line that
+/// does not parse as a number is also skipped (only for the first line).
+/// This is the exact parser behind [`read_series`]; exposing it lets other
+/// layers (e.g. a network server receiving a posted CSV body) decode series
+/// text through the *same* code path as the file reader, so a value parsed
+/// from a socket is bit-identical to the same value parsed from a file.
+pub fn parse_series(text: &str) -> Result<TimeSeries> {
+    let mut parser = SeriesParser::new();
+    for (lineno, line) in text.lines().enumerate() {
+        parser.push_line(lineno, line)?;
+    }
+    Ok(parser.finish())
+}
+
+/// Reads a single-column series (one floating point value per line),
+/// streaming line by line (the whole file is never held in memory).
 ///
 /// Empty lines and lines starting with `#` are skipped. A header line that
 /// does not parse as a number is also skipped (only for the first line).
 pub fn read_series<P: AsRef<Path>>(path: P) -> Result<TimeSeries> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
-    let mut values = Vec::new();
+    let mut parser = SeriesParser::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let token = line.trim();
-        if token.is_empty() || token.starts_with('#') {
-            continue;
-        }
-        // Take the first comma-separated field; extra columns are ignored.
-        let field = token.split(',').next().unwrap_or(token).trim();
-        match field.parse::<f64>() {
-            Ok(v) => values.push(v),
-            Err(_) if lineno == 0 => continue, // tolerate a header row
-            Err(_) => {
-                return Err(Error::Parse {
-                    line: lineno + 1,
-                    token: field.to_string(),
-                });
-            }
-        }
+        parser.push_line(lineno, &line?)?;
     }
-    Ok(TimeSeries::from(values))
+    Ok(parser.finish())
 }
 
 /// Writes a series as one value per line.
@@ -183,6 +226,18 @@ mod tests {
         write_columns(&path, &["a", "b"], &[&a, &b2]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("a,b\n1,3\n"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_series_matches_file_reader() {
+        let text = "value\n# comment\n0.1\n-2.5e-3,9\n\n7\n";
+        let parsed = parse_series(text).unwrap();
+        let path = tmp("parse_vs_read.csv");
+        std::fs::write(&path, text).unwrap();
+        let read = read_series(&path).unwrap();
+        assert_eq!(parsed, read);
+        assert_eq!(parsed.values(), &[0.1, -2.5e-3, 7.0]);
         std::fs::remove_file(path).ok();
     }
 

@@ -102,7 +102,7 @@ pub fn argmin(xs: &[f64]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
-/// Rolling (moving) sums of window `w`: output[i] = sum(xs[i..i+w]).
+/// Rolling (moving) sums of window `w`: `output[i] = sum(xs[i..i+w])`.
 ///
 /// Returns an empty vector when `w == 0` or `w > xs.len()`. Computed with a
 /// running accumulator so the cost is `O(n)` regardless of `w` — this is the

@@ -10,7 +10,8 @@
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `s2g-core` | the Series2Graph model (`fit` → `score` → `top-k`) |
-//! | [`engine`] | `s2g-engine` | concurrent multi-series serving: model registry, persistence, sharded worker pool, `s2g` CLI |
+//! | [`engine`] | `s2g-engine` | concurrent multi-series serving: model registry, persistence, sharded worker pool |
+//! | [`server`] | `s2g-server` | TCP/HTTP front-end over the engine, protocol client, `s2g` CLI |
 //! | [`timeseries`] | `s2g-timeseries` | series container, distances, windows, filters, CSV I/O |
 //! | [`linalg`] | `s2g-linalg` | PCA, randomized SVD, rotations, KDE |
 //! | [`graph`] | `s2g-graph` | weighted digraph, θ-Normality subgraphs |
@@ -56,6 +57,17 @@
 //! s2g score --model traffic.s2g --query-length 150 --top-k 3 day1.csv day2.csv
 //! ```
 //!
+//! The [`server`] module puts the engine on the network: `s2g serve` runs a
+//! hand-rolled TCP/HTTP front-end over a shared registry, and `s2g client`
+//! fits/scores/streams against it remotely with bit-identical results (wire
+//! format: `docs/PROTOCOL.md`):
+//!
+//! ```bash
+//! s2g serve --addr 127.0.0.1:7878
+//! s2g client fit   --addr 127.0.0.1:7878 --name traffic --input traffic.csv --pattern-length 50
+//! s2g client score --addr 127.0.0.1:7878 --name traffic --query-length 150 day1.csv
+//! ```
+//!
 //! ```
 //! use series2graph::prelude::*;
 //!
@@ -88,6 +100,9 @@ pub use s2g_core as core;
 
 /// Concurrent multi-series detection engine (re-export of `s2g-engine`).
 pub use s2g_engine as engine;
+
+/// TCP/HTTP serving front-end over the engine (re-export of `s2g-server`).
+pub use s2g_server as server;
 
 /// Time-series substrate (re-export of `s2g-timeseries`).
 pub use s2g_timeseries as timeseries;
