@@ -5,16 +5,24 @@
 //! threads, and exposes batch fit/score over many series plus named
 //! incremental streaming sessions — the multi-tenant workload shape the
 //! single-model `s2g-core` API doesn't cover.
+//!
+//! An engine can additionally mount a durable [`ModelStorage`] backend
+//! (see [`Engine::attach_storage`]): every successful fit is persisted
+//! (*save-on-fit*), registry misses fall through to the store
+//! (*load-through*), and removals delete the stored file too
+//! (*delete-through*) — which is how a serving process survives restarts
+//! without refitting anything.
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use s2g_core::{S2gConfig, Series2Graph};
 use s2g_timeseries::TimeSeries;
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::pool::{FitJob, ScoreJob, WorkerPool};
-use crate::registry::{ModelInfo, ModelRegistry};
+use crate::registry::{self, ModelInfo, ModelRegistry};
+use crate::storage::{ModelStorage, StoredModelMeta};
 
 /// Construction parameters for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -57,6 +65,13 @@ impl EngineConfig {
 pub struct Engine {
     registry: ModelRegistry,
     pool: WorkerPool,
+    storage: Option<Arc<dyn ModelStorage>>,
+    /// Serialises (persist, register) and (unregister, delete) pairs so
+    /// the store and the registry can never disagree about which fit of a
+    /// name won an interleaving. Never held across a fit or a score —
+    /// only across registration bookkeeping (plus the store write on the
+    /// save-on-fit path).
+    registration: Mutex<()>,
 }
 
 impl Default for Engine {
@@ -71,7 +86,28 @@ impl Engine {
         Engine {
             registry: ModelRegistry::new(config.registry_capacity),
             pool: WorkerPool::new(config.workers),
+            storage: None,
+            registration: Mutex::new(()),
         }
+    }
+
+    fn registration_guard(&self) -> std::sync::MutexGuard<'_, ()> {
+        // The guard protects no data of its own; a poisoned lock cannot
+        // leave torn state.
+        self.registration.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mounts a durable model store: from now on every successful fit is
+    /// persisted (*save-on-fit*), registry misses fall through to the store
+    /// (*load-through*), and removals delete the stored file too
+    /// (*delete-through*). Call before the engine starts serving.
+    pub fn attach_storage(&mut self, storage: Arc<dyn ModelStorage>) {
+        self.storage = Some(storage);
+    }
+
+    /// The mounted durable store, if any.
+    pub fn storage(&self) -> Option<&Arc<dyn ModelStorage>> {
+        self.storage.as_ref()
     }
 
     /// The engine's model registry.
@@ -84,14 +120,45 @@ impl Engine {
         self.pool.workers()
     }
 
-    /// Fits one model inline (on the calling thread) and registers it.
+    /// Registers a freshly fitted model, persisting it first when a store
+    /// is mounted (save-on-fit): the model becomes durable *before* it
+    /// becomes visible, so a crash can never leave a registered-but-lost
+    /// model. The store's file trailer doubles as the registry checksum,
+    /// avoiding a second encode.
+    fn register_fitted(
+        &self,
+        name: String,
+        model: Arc<Series2Graph>,
+    ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
+        // Save + insert must be atomic per name: without the guard, two
+        // concurrent fits of the same name could interleave so that the
+        // store keeps one model while the registry serves the other —
+        // and a restart would silently change which model answers.
+        let _guard = self.registration_guard();
+        match &self.storage {
+            Some(storage) => {
+                let checksum = storage.save(&name, &model)?;
+                Ok(self
+                    .registry
+                    .insert_arc_with_checksum(name, model, checksum))
+            }
+            None => Ok(self.registry.insert_arc_with_info(name, model)),
+        }
+    }
+
+    /// Fits one model inline (on the calling thread), persists it when a
+    /// store is mounted, and registers it.
+    ///
+    /// # Errors
+    /// [`Error::InvalidName`] before any work happens; fit or persistence
+    /// errors otherwise (nothing is registered on failure).
     pub fn fit_model(
         &self,
         name: impl Into<String>,
         series: &TimeSeries,
         config: &S2gConfig,
     ) -> Result<Arc<Series2Graph>> {
-        self.registry.fit(name, series, config)
+        Ok(self.fit_model_with_info(name, series, config)?.0)
     }
 
     /// Like [`Engine::fit_model`], additionally returning the
@@ -100,33 +167,93 @@ impl Engine {
     /// name could race.
     ///
     /// # Errors
-    /// Propagates fit errors; nothing is registered on failure.
+    /// See [`Engine::fit_model`].
     pub fn fit_model_with_info(
         &self,
         name: impl Into<String>,
         series: &TimeSeries,
         config: &S2gConfig,
     ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
-        self.registry.fit_with_info(name, series, config)
+        let name = name.into();
+        registry::validate_model_name(&name)?;
+        let model = Arc::new(Series2Graph::fit(series, config)?);
+        self.register_fitted(name, model)
     }
 
     /// Fits many models in parallel across the pool and registers each under
-    /// its name. Results come back in submission order; failed fits leave the
-    /// registry untouched for that name.
+    /// its name (persisting it first when a store is mounted). Results come
+    /// back in submission order; failed fits leave the registry untouched
+    /// for that name, and invalid names fail without costing a fit.
     pub fn fit_many(
         &self,
         jobs: Vec<(String, TimeSeries, S2gConfig)>,
     ) -> Vec<Result<Arc<Series2Graph>>> {
-        let (names, fit_jobs): (Vec<String>, Vec<FitJob>) = jobs
-            .into_iter()
-            .map(|(name, series, config)| (name, FitJob { series, config }))
-            .unzip();
-        self.pool
+        let mut out: Vec<Option<Result<Arc<Series2Graph>>>> = Vec::with_capacity(jobs.len());
+        let mut names = Vec::new();
+        let mut fit_jobs = Vec::new();
+        let mut slots = Vec::new();
+        for (slot, (name, series, config)) in jobs.into_iter().enumerate() {
+            match registry::validate_model_name(&name) {
+                Err(e) => out.push(Some(Err(e))),
+                Ok(()) => {
+                    out.push(None);
+                    names.push(name);
+                    fit_jobs.push(FitJob { series, config });
+                    slots.push(slot);
+                }
+            }
+        }
+        for ((result, name), slot) in self
+            .pool
             .fit_batch(fit_jobs)
             .into_iter()
             .zip(names)
-            .map(|(result, name)| result.map(|model| self.registry.insert(name, model)))
+            .zip(slots)
+        {
+            out[slot] = Some(
+                result
+                    .and_then(|model| self.register_fitted(name, Arc::new(model)).map(|(m, _)| m)),
+            );
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot is filled"))
             .collect()
+    }
+
+    /// The model registered under `name`, loading it through from the
+    /// mounted store on a registry miss (and registering the loaded model,
+    /// so later lookups are pure cache hits).
+    ///
+    /// # Errors
+    /// [`crate::Error::UnknownModel`] when neither the registry nor the
+    /// store has the model; store I/O or decode errors otherwise.
+    pub fn model_handle(&self, name: &str) -> Result<Arc<Series2Graph>> {
+        if let Some(model) = self.registry.get(name) {
+            return Ok(model);
+        }
+        if let Some(storage) = &self.storage {
+            // The (slow, idempotent) store load runs outside the
+            // registration guard; only the insert is serialised.
+            if let Some(model) = storage.load(name)? {
+                let _guard = self.registration_guard();
+                // A fit may have registered a *newer* model while we were
+                // loading; it takes precedence over our (by now stale)
+                // load-through.
+                if let Some(current) = self.registry.get(name) {
+                    return Ok(current);
+                }
+                let handle = match storage.meta(name) {
+                    Some(meta) => {
+                        self.registry
+                            .insert_arc_with_checksum(name, model, meta.checksum)
+                            .0
+                    }
+                    None => self.registry.insert_arc(name, model),
+                };
+                return Ok(handle);
+            }
+        }
+        Err(Error::UnknownModel(name.to_string()))
     }
 
     /// Scores many series against one registered model in parallel across the
@@ -142,7 +269,7 @@ impl Engine {
         series: Vec<TimeSeries>,
         query_length: usize,
     ) -> Result<Vec<Result<Vec<f64>>>> {
-        let model = self.registry.require(model_name)?;
+        let model = self.model_handle(model_name)?;
         let jobs = series
             .into_iter()
             .map(|series| ScoreJob {
@@ -182,33 +309,71 @@ impl Engine {
     /// assert!(infos[0].fitted_at < infos[1].fitted_at);
     /// ```
     pub fn list_models(&self) -> Vec<ModelInfo> {
-        self.registry.list()
+        let mut infos = self.registry.list();
+        if let Some(storage) = &self.storage {
+            for meta in storage.list() {
+                if !infos.iter().any(|info| info.name == meta.name) {
+                    infos.push(stored_meta_to_info(meta));
+                }
+            }
+            // Store-only models carry ordinal 0 ("persisted, not loaded
+            // this process") and sort before everything fitted or loaded
+            // since startup; names break the tie deterministically.
+            infos.sort_by(|a, b| {
+                a.fitted_at
+                    .cmp(&b.fitted_at)
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+        }
+        infos
     }
 
-    /// Metadata for the model registered under `name`, if any.
+    /// Metadata for the model registered under `name`, falling back to the
+    /// mounted store's header metadata (with `fitted_at == 0`) for models
+    /// that are persisted but not loaded this process.
     pub fn model_info(&self, name: &str) -> Option<ModelInfo> {
-        self.registry.info(name)
+        self.registry.info(name).or_else(|| {
+            self.storage
+                .as_ref()
+                .and_then(|storage| storage.meta(name))
+                .map(stored_meta_to_info)
+        })
     }
 
     /// Content checksum of the model registered under `name`: the FNV-1a
     /// trailer of its encoded form (see [`crate::codec::model_checksum`]),
-    /// cached at registration so this lookup is O(1).
+    /// cached at registration — or read from the store's metadata for a
+    /// model that is persisted but not loaded — so this lookup is O(1).
     /// Equal checksums mean bit-identical encoded models.
     ///
     /// # Errors
-    /// [`crate::Error::UnknownModel`] when `name` is not registered.
+    /// [`crate::Error::UnknownModel`] when `name` is neither registered nor
+    /// stored.
     pub fn model_checksum(&self, name: &str) -> Result<u64> {
-        self.registry
-            .info(name)
+        self.model_info(name)
             .map(|info| info.checksum)
             .ok_or_else(|| crate::Error::UnknownModel(name.to_string()))
     }
 
-    /// Removes the model registered under `name`. Returns `true` when a
-    /// model was removed. Open streaming sessions keep scoring against
-    /// their `Arc`-shared handle until they are closed.
-    pub fn remove_model(&self, name: &str) -> bool {
-        self.registry.remove(name).is_some()
+    /// Removes the model registered under `name`, deleting its stored file
+    /// too when a store is mounted (delete-through). Returns `Ok(true)`
+    /// when a model was removed from either place. Open streaming sessions
+    /// keep scoring against their `Arc`-shared handle until they are
+    /// closed.
+    ///
+    /// # Errors
+    /// Store filesystem failures (the registry entry is gone regardless).
+    pub fn remove_model(&self, name: &str) -> Result<bool> {
+        // Serialised against registrations, so a racing fit either
+        // completes before the removal (and is removed) or registers
+        // after it (and survives, in both the registry and the store).
+        let _guard = self.registration_guard();
+        let in_registry = self.registry.remove(name).is_some();
+        let in_store = match &self.storage {
+            Some(storage) => storage.remove(name)?,
+            None => false,
+        };
+        Ok(in_registry || in_store)
     }
 
     /// Opens a named incremental streaming session against a registered
@@ -220,7 +385,7 @@ impl Engine {
         model_name: &str,
         query_length: usize,
     ) -> Result<()> {
-        let model = self.registry.require(model_name)?;
+        let model = self.model_handle(model_name)?;
         self.pool.open_stream(stream_id, model, query_length)
     }
 
@@ -257,6 +422,20 @@ impl Engine {
         path: impl AsRef<Path>,
     ) -> Result<Arc<Series2Graph>> {
         self.registry.load(name, path)
+    }
+}
+
+/// [`ModelInfo`] view of a stored-but-not-loaded model: ordinal 0 marks it
+/// as persisted rather than registered this process.
+fn stored_meta_to_info(meta: StoredModelMeta) -> ModelInfo {
+    ModelInfo {
+        name: meta.name,
+        pattern_length: meta.pattern_length,
+        node_count: meta.node_count,
+        edge_count: meta.edge_count,
+        train_len: meta.train_len,
+        fitted_at: 0,
+        checksum: meta.checksum,
     }
 }
 
@@ -323,8 +502,8 @@ mod tests {
             u64::from_le_bytes(encoded[encoded.len() - 8..].try_into().unwrap())
         );
         assert!(engine.model_checksum("gone").is_err());
-        assert!(engine.remove_model("m"));
-        assert!(!engine.remove_model("m"));
+        assert!(engine.remove_model("m").unwrap());
+        assert!(!engine.remove_model("m").unwrap());
         assert!(engine.list_models().is_empty());
     }
 

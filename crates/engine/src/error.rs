@@ -33,6 +33,14 @@ pub enum Error {
     },
     /// A registry lookup referenced a model name that is not loaded.
     UnknownModel(String),
+    /// A model name failed validation at the registry boundary (empty,
+    /// over-long, path-like or containing characters unsafe for store file
+    /// names). The message explains the rule that fired.
+    InvalidName(String),
+    /// A durable model store failed in a way none of the more specific
+    /// variants cover (e.g. a corrupt manifest). The message carries the
+    /// detail.
+    Storage(String),
     /// A streaming-session operation referenced an unknown session id.
     UnknownStream(String),
     /// A streaming session with this id is already open.
@@ -57,6 +65,8 @@ impl fmt::Display for Error {
                 "model file corrupted: stored checksum {stored:#018x} != computed {computed:#018x}"
             ),
             Error::UnknownModel(name) => write!(f, "no model named {name:?} in the registry"),
+            Error::InvalidName(msg) => write!(f, "invalid model name: {msg}"),
+            Error::Storage(msg) => write!(f, "model store error: {msg}"),
             Error::UnknownStream(id) => write!(f, "no open streaming session {id:?}"),
             Error::StreamExists(id) => write!(f, "streaming session {id:?} already open"),
             Error::PoolClosed => write!(f, "worker pool is shut down"),

@@ -65,12 +65,14 @@ pub mod engine;
 pub mod error;
 pub mod pool;
 pub mod registry;
+pub mod storage;
 mod util;
 
 pub use engine::{Engine, EngineConfig};
 pub use error::{Error, Result};
 pub use pool::{FitJob, ScoreJob, WorkerPool};
-pub use registry::{ModelInfo, ModelRegistry};
+pub use registry::{validate_model_name, ModelInfo, ModelRegistry};
+pub use storage::{ModelStorage, StoredModelMeta};
 
 // Re-exported so downstream users of the engine see the model types it serves.
 pub use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};

@@ -16,6 +16,46 @@ use s2g_timeseries::TimeSeries;
 use crate::codec;
 use crate::error::{Error, Result};
 
+/// Maximum byte length of a model name.
+pub const MAX_NAME_BYTES: usize = 128;
+
+/// Validates a model name at the registry/store boundary.
+///
+/// Names double as store *file names*, so the rules are strict: 1 to
+/// [`MAX_NAME_BYTES`] bytes of `[A-Za-z0-9._-]`, and not the path-like
+/// `"."` / `".."`. Every path that registers a model by name
+/// ([`ModelRegistry::fit`], [`crate::Engine::fit_model`], store puts)
+/// enforces this, so a hostile name can never escape the store directory
+/// or collide with its bookkeeping files.
+///
+/// # Errors
+/// [`Error::InvalidName`] describing the rule that fired.
+pub fn validate_model_name(name: &str) -> Result<()> {
+    if name.is_empty() {
+        return Err(Error::InvalidName("name is empty".to_string()));
+    }
+    if name.len() > MAX_NAME_BYTES {
+        return Err(Error::InvalidName(format!(
+            "name is {} bytes long (maximum {MAX_NAME_BYTES})",
+            name.len()
+        )));
+    }
+    if name == "." || name == ".." {
+        return Err(Error::InvalidName(format!(
+            "name {name:?} is a path component"
+        )));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(Error::InvalidName(format!(
+            "name {name:?} contains {bad:?}; use 1-{MAX_NAME_BYTES} chars of [A-Za-z0-9._-]"
+        )));
+    }
+    Ok(())
+}
+
 /// Metadata snapshot of one registered model, as returned by
 /// [`ModelRegistry::list`] and [`crate::Engine::list_models`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +73,9 @@ pub struct ModelInfo {
     /// Monotonic insertion ordinal: model `k` was the `k`-th registration
     /// (1-based) since the registry was created. Re-registering a name
     /// assigns a fresh ordinal. Useful as a wall-clock-free "fitted at".
+    /// `0` never occurs for a registry entry; [`crate::Engine`] uses it to
+    /// mark models that are persisted in a mounted store but not loaded
+    /// this process.
     pub fitted_at: u64,
     /// Content checksum of the model (see [`codec::model_checksum`]):
     /// equal checksums mean bit-identical encoded models. Computed once at
@@ -132,9 +175,22 @@ impl ModelRegistry {
         name: impl Into<String>,
         model: Arc<Series2Graph>,
     ) -> (Arc<Series2Graph>, ModelInfo) {
-        let name = name.into();
         // Computed outside the lock: encoding is O(model size).
         let checksum = codec::model_checksum(&model);
+        self.insert_arc_with_checksum(name, model, checksum)
+    }
+
+    /// Like [`ModelRegistry::insert_arc_with_info`] but with the content
+    /// checksum supplied by the caller, skipping the re-encode — used when
+    /// the model was just encoded anyway (e.g. persisted by a store, whose
+    /// file trailer *is* the checksum).
+    pub fn insert_arc_with_checksum(
+        &self,
+        name: impl Into<String>,
+        model: Arc<Series2Graph>,
+        checksum: u64,
+    ) -> (Arc<Series2Graph>, ModelInfo) {
+        let name = name.into();
         let mut inner = self.lock();
         inner.clock += 1;
         let stamp = inner.clock;
@@ -180,14 +236,17 @@ impl ModelRegistry {
     /// [`ModelRegistry::insert_arc_with_info`]).
     ///
     /// # Errors
-    /// Propagates fit errors from [`Series2Graph::fit`]; nothing is stored
-    /// on failure.
+    /// [`Error::InvalidName`] for a name that fails
+    /// [`validate_model_name`]; otherwise propagates fit errors from
+    /// [`Series2Graph::fit`]. Nothing is stored on failure.
     pub fn fit_with_info(
         &self,
         name: impl Into<String>,
         series: &TimeSeries,
         config: &S2gConfig,
     ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
+        let name = name.into();
+        validate_model_name(&name)?;
         let model = Series2Graph::fit(series, config)?;
         Ok(self.insert_arc_with_info(name, Arc::new(model)))
     }
@@ -263,11 +322,17 @@ impl ModelRegistry {
 
     /// Loads a persisted model from `path` and stores it under `name`,
     /// returning its shared handle.
+    ///
+    /// # Errors
+    /// [`Error::InvalidName`] for a name that fails
+    /// [`validate_model_name`], or any codec / filesystem error.
     pub fn load(
         &self,
         name: impl Into<String>,
         path: impl AsRef<Path>,
     ) -> Result<Arc<Series2Graph>> {
+        let name = name.into();
+        validate_model_name(&name)?;
         let model = codec::load_model(path)?;
         Ok(self.insert(name, model))
     }
@@ -356,6 +421,26 @@ mod tests {
         assert_eq!(infos[1].name, "first");
         assert_eq!(registry.info("second").unwrap(), infos[0]);
         assert!(registry.info("missing").is_none());
+    }
+
+    #[test]
+    fn invalid_names_are_rejected_at_the_fit_boundary() {
+        let registry = ModelRegistry::unbounded();
+        let config = S2gConfig::new(40);
+        let series = sine(1500, 80.0);
+        for bad in ["", ".", "..", "a/b", "a b", "ünïcode", &"x".repeat(129)] {
+            assert!(
+                matches!(
+                    registry.fit(bad, &series, &config),
+                    Err(Error::InvalidName(_))
+                ),
+                "name {bad:?} must be rejected"
+            );
+        }
+        assert!(registry.is_empty());
+        for good in ["a", "pump-7", "v1.2_final", &"x".repeat(128)] {
+            validate_model_name(good).unwrap();
+        }
     }
 
     #[test]

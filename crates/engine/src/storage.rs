@@ -1,0 +1,90 @@
+//! The engine ↔ durable-store boundary.
+//!
+//! The engine cannot depend on a concrete store implementation (the
+//! `s2g-store` crate depends on this crate for the codec), so durability is
+//! injected through the [`ModelStorage`] trait: an attached storage backend
+//! receives every successful fit (*save-on-fit*), answers registry misses
+//! (*load-through*) and mirrors removals (*delete-through*). The `s2g-store`
+//! crate provides the production implementation — a directory-backed,
+//! crash-safe store with lazy section loading; tests can plug in anything
+//! that satisfies the trait.
+
+use std::sync::Arc;
+
+use s2g_core::Series2Graph;
+
+use crate::error::Result;
+
+/// Metadata of one persisted model, as reported by [`ModelStorage::list`]
+/// and [`ModelStorage::meta`]. Everything here is readable from a model
+/// file's header and small sections — no points payload required — which is
+/// what keeps store listings O(models), not O(bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredModelMeta {
+    /// Model name (also the store file stem).
+    pub name: String,
+    /// `S2GMDL` format version of the file (1 or 2).
+    pub version: u32,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// The file's trailing FNV-1a checksum — identical to
+    /// [`crate::codec::model_checksum`] of the model it encodes (for the
+    /// current format version), so stored and in-registry fingerprints are
+    /// directly comparable.
+    pub checksum: u64,
+    /// Pattern length `ℓ` of the stored model.
+    pub pattern_length: usize,
+    /// Number of nodes in the transition graph.
+    pub node_count: usize,
+    /// Number of edges in the transition graph.
+    pub edge_count: usize,
+    /// Length of the series the model was fitted on.
+    pub train_len: usize,
+    /// Number of embedded training points (the lazily-loaded section).
+    pub points_len: usize,
+    /// Byte size of the points section — the residency cost of keeping
+    /// this model's lazy section in memory.
+    pub points_bytes: u64,
+}
+
+/// A durable model store the [`crate::Engine`] mounts at startup.
+///
+/// Implementations must be thread-safe: the engine calls these methods
+/// concurrently from request handlers.
+pub trait ModelStorage: Send + Sync + std::fmt::Debug {
+    /// Persists a fitted model under `name`, replacing any previous file
+    /// atomically (a crash mid-save must leave the old version intact).
+    /// Returns the content checksum of the written encoding (the file
+    /// trailer), so callers can register the model without re-encoding it.
+    ///
+    /// # Errors
+    /// Name validation, encoding or filesystem failures.
+    fn save(&self, name: &str, model: &Arc<Series2Graph>) -> Result<u64>;
+
+    /// Loads the model stored under `name`, or `Ok(None)` when the store
+    /// has no such model.
+    ///
+    /// # Errors
+    /// Filesystem or decode failures for a model that *is* present.
+    fn load(&self, name: &str) -> Result<Option<Arc<Series2Graph>>>;
+
+    /// Metadata of the model stored under `name`, without loading any
+    /// payload.
+    fn meta(&self, name: &str) -> Option<StoredModelMeta>;
+
+    /// Deletes the model stored under `name`; `Ok(false)` when it was not
+    /// present.
+    ///
+    /// # Errors
+    /// Filesystem failures.
+    fn remove(&self, name: &str) -> Result<bool>;
+
+    /// Metadata of every stored model, ordered by name.
+    fn list(&self) -> Vec<StoredModelMeta>;
+
+    /// Number of models currently persisted.
+    fn stored(&self) -> usize;
+
+    /// Bytes of lazily-loaded sections currently resident in memory.
+    fn resident_bytes(&self) -> u64;
+}

@@ -3,10 +3,13 @@
 //! (`fit`, `score`, `stream`, `bench-throughput`) from
 //! [`s2g_engine::cli`].
 //!
-//! * `s2g serve` — run the detection server on a TCP address,
+//! * `s2g serve` — run the detection server on a TCP address (with
+//!   `--data-dir` for restart-durable model persistence),
 //! * `s2g client <action>` — drive a running server (fit, score, stream,
 //!   models, info, delete, health, shutdown),
 //! * `s2g models` — shorthand for `s2g client models`,
+//! * `s2g store <action>` — inspect and maintain a model store directory
+//!   offline (ls, verify, gc, migrate),
 //! * anything else — delegated to the engine CLI, unchanged.
 //!
 //! Argument parsing is hand-rolled (the workspace is offline; no `clap`)
@@ -17,6 +20,7 @@ use std::time::Duration;
 
 use s2g_engine::cli::{CliError, ParsedArgs};
 use s2g_engine::EngineConfig;
+use s2g_store::{ModelStore, StoreConfig, StoredModelMeta};
 use s2g_timeseries::{io as ts_io, window};
 
 use crate::client::{Client, ClientError};
@@ -42,7 +46,8 @@ USAGE — local (in-process):
 USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g serve  [--addr <host:port>] [--workers <n>] [--registry-capacity <n>]
                [--max-clients <n>] [--max-body-bytes <n>]
-               [--session-idle-secs <n>]
+               [--session-idle-secs <n>] [--data-dir <dir>]
+               [--store-budget-mb <n>]
     s2g client fit      --addr <host:port> --name <model> --input <series.csv>
                         --pattern-length <n> [--lambda <n>] [--rate <n>]
                         [--kde-grid <n>] [--sigma-ratio <x>] [--seed <n>]
@@ -53,16 +58,23 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
                         [--chunk <n>] <input.csv>
     s2g client info     --addr <host:port> --name <model>
     s2g client delete   --addr <host:port> --name <model>
-    s2g client models   --addr <host:port>
+    s2g client models   --addr <host:port> [--json]
     s2g client health   --addr <host:port>
     s2g client shutdown --addr <host:port>
-    s2g models          --addr <host:port>      (same as `s2g client models`)
+    s2g models          --addr <host:port> [--json]   (same as client models)
     s2g help
+
+USAGE — model store maintenance (offline, docs/STORAGE.md):
+    s2g store ls       --data-dir <dir> [--json]
+    s2g store verify   --data-dir <dir>
+    s2g store gc       --data-dir <dir>
+    s2g store migrate  --data-dir <dir>
 
 Series files are single-column CSVs (one value per line; `#` comments and a
 header row are tolerated). Model files use the versioned `S2GMDL` binary
 format. A model fitted over the wire scores bit-identically to the same fit
-done in-process.";
+done in-process. With `serve --data-dir`, fitted models persist across
+restarts: fit once, restart freely, keep scoring.";
 
 /// Entry point used by the `s2g` binary: runs and maps errors to exit codes
 /// (0 success, 1 runtime failure, 2 usage error).
@@ -94,7 +106,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     match command.as_str() {
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
-        "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &[])?),
+        "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &["--json"])?),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -121,6 +134,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--max-clients",
             "--max-body-bytes",
             "--session-idle-secs",
+            "--data-dir",
+            "--store-budget-mb",
         ],
         &[],
     )?;
@@ -142,6 +157,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     if let Some(idle) = opt_usize(&args, "--session-idle-secs")? {
         let idle = (idle > 0).then(|| Duration::from_secs(idle as u64));
         config = config.with_session_idle(idle);
+    }
+    if let Some(data_dir) = args.get("--data-dir") {
+        config = config.with_data_dir(data_dir);
+    }
+    if let Some(budget_mb) = opt_usize(&args, "--store-budget-mb")? {
+        config = config.with_store_budget_bytes(budget_mb as u64 * 1024 * 1024);
     }
 
     let server = Server::bind(config).map_err(runtime)?;
@@ -174,7 +195,7 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         "stream" => client_stream(rest),
         "info" => client_info(rest),
         "delete" => client_delete(rest),
-        "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &[])?),
+        "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &["--json"])?),
         "health" => client_health(rest),
         "shutdown" => client_shutdown(rest),
         other => Err(CliError::Usage(format!("unknown client action {other:?}"))),
@@ -346,6 +367,12 @@ fn client_delete(args: &[String]) -> Result<(), CliError> {
 fn client_models(args: &ParsedArgs) -> Result<(), CliError> {
     let client = connect(args)?;
     let models = client.list_models().map_err(runtime)?;
+    if args.has("--json") {
+        // One machine-readable line, exactly the server's listing shape —
+        // scripts consume this instead of scraping the table below.
+        println!("{}", Json::obj([("models", Json::Arr(models))]).encode());
+        return Ok(());
+    }
     if models.is_empty() {
         println!("no models registered");
         return Ok(());
@@ -371,6 +398,115 @@ fn client_models(args: &ParsedArgs) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// store maintenance
+// ---------------------------------------------------------------------------
+
+/// Renders one stored model's metadata as the `store ls --json` object.
+/// Checksums travel as fixed-width hex strings (u64 exceeds exact JSON
+/// numbers), matching the wire protocol's convention.
+fn stored_meta_json(meta: &StoredModelMeta) -> Json {
+    Json::obj([
+        ("name", Json::from(meta.name.clone())),
+        ("version", Json::from(meta.version)),
+        ("file_len", Json::from(meta.file_len as usize)),
+        ("checksum", Json::from(format!("{:#018x}", meta.checksum))),
+        ("pattern_length", Json::from(meta.pattern_length)),
+        ("node_count", Json::from(meta.node_count)),
+        ("edge_count", Json::from(meta.edge_count)),
+        ("train_len", Json::from(meta.train_len)),
+        ("points_len", Json::from(meta.points_len)),
+        ("points_bytes", Json::from(meta.points_bytes as usize)),
+    ])
+}
+
+fn cmd_store(args: &[String]) -> Result<(), CliError> {
+    let Some((action, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "store needs an action (ls|verify|gc|migrate)".to_string(),
+        ));
+    };
+    let parsed = ParsedArgs::parse(rest, &["--data-dir"], &["--json"])?;
+    let dir = parsed.required("--data-dir")?;
+    let store = ModelStore::open(dir, StoreConfig::default()).map_err(runtime)?;
+    match action.as_str() {
+        "ls" => {
+            let metas = store.list();
+            if parsed.has("--json") {
+                let models: Vec<Json> = metas.iter().map(stored_meta_json).collect();
+                println!("{}", Json::obj([("models", Json::Arr(models))]).encode());
+                return Ok(());
+            }
+            if metas.is_empty() {
+                println!("store at {dir} holds no models");
+                return Ok(());
+            }
+            println!("name\tversion\tpattern_length\tnode_count\ttrain_len\tfile_bytes\tchecksum");
+            for m in &metas {
+                println!(
+                    "{}\tv{}\t{}\t{}\t{}\t{}\t{:#018x}",
+                    m.name,
+                    m.version,
+                    m.pattern_length,
+                    m.node_count,
+                    m.train_len,
+                    m.file_len,
+                    m.checksum,
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let report = store.verify().map_err(runtime)?;
+            for name in &report.ok {
+                println!("ok\t{name}");
+            }
+            for (file, error) in &report.failed {
+                eprintln!("FAILED\t{file}\t{error}");
+            }
+            if report.failed.is_empty() {
+                println!("verified {} model(s), no corruption", report.ok.len());
+                Ok(())
+            } else {
+                Err(CliError::Runtime(format!(
+                    "{} of {} file(s) failed verification",
+                    report.failed.len(),
+                    report.failed.len() + report.ok.len()
+                )))
+            }
+        }
+        "gc" => {
+            let report = store.gc().map_err(runtime)?;
+            for file in &report.removed_temp_files {
+                println!("removed\t{file}");
+            }
+            for (file, error) in &report.unreadable {
+                eprintln!("unreadable (kept)\t{file}\t{error}");
+            }
+            println!(
+                "gc: removed {} temp file(s), {} unreadable file(s) left in place",
+                report.removed_temp_files.len(),
+                report.unreadable.len()
+            );
+            Ok(())
+        }
+        "migrate" => {
+            let report = store.migrate().map_err(runtime)?;
+            for name in &report.migrated {
+                println!("migrated\t{name}");
+            }
+            println!(
+                "migrate: rewrote {} model(s) to format v{}, {} already current",
+                report.migrated.len(),
+                s2g_engine::codec::FORMAT_VERSION,
+                report.already_current
+            );
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown store action {other:?}"))),
+    }
 }
 
 fn client_health(args: &[String]) -> Result<(), CliError> {

@@ -114,6 +114,12 @@ impl From<s2g_engine::Error> for ApiError {
             ),
             E::Core(core) => ApiError::from_core(core, e.to_string()),
             E::PoolClosed => ApiError::new(503, "pool_closed", e.to_string()),
+            // The name is syntactically fine HTTP but semantically unusable
+            // as a model/store identifier.
+            E::InvalidName(_) => ApiError::new(422, "invalid_name", e.to_string()),
+            // Store failures (I/O, corrupt file discovered at fault time)
+            // are server-side conditions, not client mistakes.
+            E::Io(_) | E::Storage(_) => ApiError::new(500, "storage", e.to_string()),
             _ => ApiError::new(500, "internal", e.to_string()),
         }
     }

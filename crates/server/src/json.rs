@@ -77,6 +77,12 @@ impl From<usize> for Json {
     }
 }
 
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(f64::from(v))
+    }
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Self {
         Json::Bool(v)

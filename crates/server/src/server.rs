@@ -18,14 +18,16 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use s2g_core::config::BandwidthRule;
 use s2g_core::S2gConfig;
 use s2g_engine::{Engine, EngineConfig, ModelInfo};
+use s2g_store::{ModelStore, StoreConfig};
 use s2g_timeseries::{io as ts_io, TimeSeries};
 
 use crate::error::ApiError;
@@ -50,6 +52,14 @@ pub struct ServerConfig {
     pub session_idle: Option<Duration>,
     /// Per-connection socket read timeout (stalled peers are dropped).
     pub read_timeout: Duration,
+    /// When set, a durable [`ModelStore`] is mounted at this directory:
+    /// models already stored there are served without refitting
+    /// (preload), every fit is persisted, and deletes remove the stored
+    /// file too. `None` keeps the engine memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Residency budget of the mounted store in bytes (`0` = unbounded);
+    /// only meaningful with `data_dir`.
+    pub store_budget_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +71,8 @@ impl Default for ServerConfig {
             max_body_bytes: 16 * 1024 * 1024,
             session_idle: Some(Duration::from_secs(300)),
             read_timeout: Duration::from_secs(30),
+            data_dir: None,
+            store_budget_bytes: 0,
         }
     }
 }
@@ -93,6 +105,19 @@ impl ServerConfig {
     /// Sets the session idle timeout (`None` disables eviction).
     pub fn with_session_idle(mut self, session_idle: Option<Duration>) -> Self {
         self.session_idle = session_idle;
+        self
+    }
+
+    /// Mounts a durable model store at `data_dir` (see
+    /// [`ServerConfig::data_dir`]).
+    pub fn with_data_dir(mut self, data_dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(data_dir.into());
+        self
+    }
+
+    /// Sets the store residency budget in bytes (`0` = unbounded).
+    pub fn with_store_budget_bytes(mut self, bytes: u64) -> Self {
+        self.store_budget_bytes = bytes;
         self
     }
 }
@@ -144,6 +169,7 @@ struct Shared {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     slots: Slots,
+    started: Instant,
 }
 
 impl Shared {
@@ -193,21 +219,35 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the engine, without serving yet.
+    /// Binds the listener and builds the engine, without serving yet. When
+    /// [`ServerConfig::data_dir`] is set, the durable model store is
+    /// mounted first: every model already persisted there is immediately
+    /// servable (listing from the manifest, payloads faulted in lazily on
+    /// first score) — restart durability without refitting.
     ///
     /// # Errors
-    /// Propagates socket bind errors.
+    /// Propagates socket bind errors and store-mount failures.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let mut engine = Engine::new(config.engine);
+        if let Some(data_dir) = &config.data_dir {
+            let store = ModelStore::open(
+                data_dir,
+                StoreConfig::default().with_resident_budget_bytes(config.store_budget_bytes),
+            )
+            .map_err(io::Error::other)?;
+            engine.attach_storage(Arc::new(store));
+        }
         let shared = Arc::new(Shared {
-            engine: Engine::new(config.engine),
+            engine,
             sessions: SessionTable::new(config.session_idle),
             max_body_bytes: config.max_body_bytes,
             read_timeout: config.read_timeout,
             shutdown: AtomicBool::new(false),
             local_addr,
             slots: Slots::new(config.max_clients),
+            started: Instant::now(),
         });
         Ok(Server { listener, shared })
     }
@@ -354,22 +394,13 @@ fn route(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
     }
 }
 
-/// Model and session names: 1–128 chars of `[A-Za-z0-9._-]`.
+/// Model names share the registry/store boundary rules
+/// ([`s2g_engine::validate_model_name`]): 1–128 bytes of `[A-Za-z0-9._-]`,
+/// not `"."`/`".."` — safe to reuse verbatim as store file names. A bad
+/// name is a semantic (422) rejection on the wire.
 fn validate_name(name: &str) -> Result<(), ApiError> {
-    let ok = !name.is_empty()
-        && name.len() <= 128
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
-    if ok {
-        Ok(())
-    } else {
-        Err(ApiError::new(
-            400,
-            "invalid_name",
-            format!("invalid name {name:?}: use 1-128 chars of [A-Za-z0-9._-]"),
-        ))
-    }
+    s2g_engine::validate_model_name(name)
+        .map_err(|e| ApiError::new(422, "invalid_name", e.to_string()))
 }
 
 fn query_usize(request: &Request, key: &str) -> Result<Option<usize>, ApiError> {
@@ -445,11 +476,27 @@ fn checksum_string(checksum: u64) -> String {
 }
 
 fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {
+    // The original liveness fields keep their names and meanings; the
+    // status payload grew around them (uptime, persistence, residency).
+    let storage = shared.engine.storage();
     let body = Json::obj([
         ("status", Json::from("ok")),
         ("models", Json::from(shared.engine.registry().len())),
         ("sessions", Json::from(shared.sessions.len())),
         ("workers", Json::from(shared.engine.workers())),
+        (
+            "uptime_secs",
+            Json::from(shared.started.elapsed().as_secs() as usize),
+        ),
+        ("persistent", Json::from(storage.is_some())),
+        (
+            "stored_models",
+            Json::from(storage.map_or(0, |s| s.stored())),
+        ),
+        (
+            "resident_bytes",
+            Json::from(storage.map_or(0, |s| s.resident_bytes()) as usize),
+        ),
     ]);
     Ok(Response::ok(vec![body.encode()]))
 }
@@ -504,7 +551,7 @@ fn handle_model_info(shared: &Shared, name: &str) -> Result<Response, ApiError> 
 }
 
 fn handle_delete_model(shared: &Shared, name: &str) -> Result<Response, ApiError> {
-    if !shared.engine.remove_model(name) {
+    if !shared.engine.remove_model(name)? {
         return Err(ApiError::new(
             404,
             "unknown_model",

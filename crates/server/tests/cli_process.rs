@@ -137,8 +137,14 @@ fn separate_fit_and_score_processes_match_in_process_results() {
 /// Spawns `s2g serve` on an ephemeral port and waits for its readiness
 /// line, returning the child process and the bound address.
 fn spawn_server(s2g: &str) -> (Child, String) {
+    spawn_server_with(s2g, &[])
+}
+
+/// Like [`spawn_server`], with extra `serve` flags appended.
+fn spawn_server_with(s2g: &str, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(s2g)
         .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -235,6 +241,121 @@ fn serve_and_client_processes_roundtrip_and_shut_down() {
     assert!(status.success(), "serve process exited with {status:?}");
 
     std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn serve_with_data_dir_persists_models_across_server_processes() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let input = tmp("persist_input.csv");
+    let data_dir = tmp("persist_store");
+    std::fs::remove_dir_all(&data_dir).ok();
+    let series = burst_series(2500, 1600);
+    io::write_series(&input, &series).unwrap();
+    let dir_arg = data_dir.to_str().unwrap().to_string();
+
+    // Life 1: fit over the wire, then shut down.
+    let (mut server, addr) = spawn_server_with(s2g, &["--data-dir", &dir_arg]);
+    let fit = Command::new(s2g)
+        .args([
+            "client",
+            "fit",
+            "--addr",
+            &addr,
+            "--name",
+            "durable",
+            "--input",
+            input.to_str().unwrap(),
+            "--pattern-length",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        fit.status.success(),
+        "client fit failed: {}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
+    let stop = Command::new(s2g)
+        .args(["client", "shutdown", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(stop.status.success());
+    assert!(server.wait().unwrap().success());
+
+    // Offline: the store subcommands see the persisted model.
+    let ls = Command::new(s2g)
+        .args(["store", "ls", "--data-dir", &dir_arg, "--json"])
+        .output()
+        .unwrap();
+    assert!(ls.status.success());
+    let listing = String::from_utf8_lossy(&ls.stdout);
+    assert!(
+        listing.contains("\"name\":\"durable\""),
+        "store ls --json lacks the model: {listing}"
+    );
+    let verify = Command::new(s2g)
+        .args(["store", "verify", "--data-dir", &dir_arg])
+        .output()
+        .unwrap();
+    assert!(
+        verify.status.success(),
+        "store verify failed: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+
+    // Life 2: a fresh serve process on the same directory scores the model
+    // without any refit, and `s2g models --json` lists it.
+    let (mut server, addr) = spawn_server_with(s2g, &["--data-dir", &dir_arg]);
+    let models = Command::new(s2g)
+        .args(["models", "--addr", &addr, "--json"])
+        .output()
+        .unwrap();
+    assert!(models.status.success());
+    assert!(String::from_utf8_lossy(&models.stdout).contains("\"name\":\"durable\""));
+    let score = Command::new(s2g)
+        .args([
+            "client",
+            "score",
+            "--addr",
+            &addr,
+            "--name",
+            "durable",
+            "--query-length",
+            "150",
+            "--top-k",
+            "1",
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        score.status.success(),
+        "post-restart score failed: {}",
+        String::from_utf8_lossy(&score.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&score.stdout);
+    let start: i64 = stdout
+        .lines()
+        .next()
+        .expect("no detections printed")
+        .split('\t')
+        .nth(2)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        (start - 1600).abs() < 250,
+        "post-restart top anomaly at {start}, expected near 1600"
+    );
+    let stop = Command::new(s2g)
+        .args(["client", "shutdown", "--addr", &addr])
+        .output()
+        .unwrap();
+    assert!(stop.status.success());
+    assert!(server.wait().unwrap().success());
+
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_dir_all(&data_dir).ok();
 }
 
 #[test]

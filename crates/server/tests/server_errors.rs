@@ -182,10 +182,16 @@ fn invalid_inputs_get_400_or_422() {
         .unwrap_err();
     assert!(matches!(err, ClientError::Protocol(_)));
 
-    // Invalid model name.
-    let response = client.request("PUT", "/models/bad%20name?pattern_length=50", b"1\n");
-    let (status, code) = api_error(response.unwrap().into_result());
-    assert_eq!((status, code.as_str()), (400, "invalid_name"));
+    // Invalid model names: 422, since they can never be registered or
+    // stored (names double as store file names).
+    for target in [
+        "/models/bad%20name?pattern_length=50",
+        "/models/..?pattern_length=50",
+    ] {
+        let response = client.request("PUT", target, b"1\n");
+        let (status, code) = api_error(response.unwrap().into_result());
+        assert_eq!((status, code.as_str()), (422, "invalid_name"), "{target}");
+    }
 
     // Malformed session body.
     let response = client.request("POST", "/sessions", b"{not json");

@@ -1,0 +1,791 @@
+//! The directory-backed, crash-safe, lazily-loaded model store.
+//!
+//! One [`ModelStore`] owns one directory of `S2GMDL` model files plus a
+//! [`MANIFEST`](crate::manifest) listing. Three disciplines make it safe
+//! to mount under a serving process:
+//!
+//! * **Atomic writes** — every file (model or manifest) is written to a
+//!   `*.tmp` sibling, fsync'd, then renamed over the target, and the
+//!   directory is fsync'd after the rename. A crash at any instant leaves
+//!   either the old file or the new one, never a torn mix; leftover temp
+//!   files are ignored on startup and reaped by [`ModelStore::gc`].
+//! * **Lazy section residency** — opening the store reads only metadata;
+//!   first use of a model ([`ModelStore::get`]) reads its small sections
+//!   and *faults in* the dominant embedding-points section, verified by
+//!   its independent checksum. A configurable LRU budget bounds the total
+//!   resident points bytes: cold models fall back to ~nothing in memory
+//!   while their files stay on disk.
+//! * **Self-healing startup** — the manifest is trusted only where it
+//!   matches the files on disk; everything else is re-derived from file
+//!   headers, unreadable files are quarantined (reported, never deleted),
+//!   and the manifest is rewritten to match reality.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use s2g_core::Series2Graph;
+use s2g_engine::codec::{self, SectionIndex, SectionKind};
+use s2g_engine::error::{Error, Result};
+use s2g_engine::storage::{ModelStorage, StoredModelMeta};
+use s2g_engine::validate_model_name;
+
+use crate::manifest::{self, MANIFEST_FILE};
+
+/// File extension of model files inside a store directory.
+pub const MODEL_EXT: &str = "s2g";
+
+/// File extension of in-flight temp files (ignored on startup, removed by
+/// [`ModelStore::gc`]).
+pub const TEMP_EXT: &str = "tmp";
+
+/// Monotonic nonce distinguishing concurrent temp files of one process.
+static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Construction parameters for a [`ModelStore`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreConfig {
+    /// Maximum bytes of lazily-loaded (points) sections kept resident
+    /// across all models; `0` = unbounded. When a fault would exceed the
+    /// budget, the least-recently-used resident model is dropped back to
+    /// disk first. The model being faulted is never dropped, so a single
+    /// model larger than the budget still scores (the budget is then
+    /// transiently exceeded by that one model).
+    pub resident_budget_bytes: u64,
+}
+
+impl StoreConfig {
+    /// Sets the residency budget in bytes (`0` = unbounded).
+    pub fn with_resident_budget_bytes(mut self, bytes: u64) -> Self {
+        self.resident_budget_bytes = bytes;
+        self
+    }
+}
+
+/// The small, eagerly-readable sections of a v2 model file (everything but
+/// the points payload), kept as verified raw bytes so a fault only has to
+/// read and decode the points.
+struct EagerSections {
+    index: SectionIndex,
+    config: Vec<u8>,
+    embedding: Vec<u8>,
+    nodes: Vec<u8>,
+    graph: Vec<u8>,
+    train: Vec<u8>,
+}
+
+struct Entry {
+    meta: StoredModelMeta,
+    /// `None` until the first fault (or for v1 files, which have no index
+    /// and always load whole). Shared so a fault can read outside the
+    /// store lock.
+    eager: Option<Arc<EagerSections>>,
+    /// The fully materialised model, while resident.
+    resident: Option<Arc<Series2Graph>>,
+    /// LRU stamp from the store's logical clock.
+    last_used: u64,
+}
+
+struct Inner {
+    entries: BTreeMap<String, Entry>,
+    clock: u64,
+    resident_bytes: u64,
+    /// Files in the directory that failed header validation at open
+    /// (quarantined: listed, never deleted).
+    unreadable: Vec<(String, String)>,
+}
+
+/// A directory-backed, crash-safe store of fitted models with lazy section
+/// loading. See the [module docs](self) for the guarantees.
+pub struct ModelStore {
+    dir: PathBuf,
+    budget: u64,
+    inner: Mutex<Inner>,
+}
+
+/// Outcome of [`ModelStore::verify`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Models whose files decoded fully with matching checksums.
+    pub ok: Vec<String>,
+    /// `(file, error)` pairs for everything that failed.
+    pub failed: Vec<(String, String)>,
+}
+
+/// Outcome of [`ModelStore::gc`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Temp files that were deleted.
+    pub removed_temp_files: Vec<String>,
+    /// Quarantined files left in place (`(file, error)`).
+    pub unreadable: Vec<(String, String)>,
+}
+
+/// Outcome of [`ModelStore::migrate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// Models rewritten from format v1 to the current format.
+    pub migrated: Vec<String>,
+    /// Models already stored in the current format.
+    pub already_current: usize,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) the store at `dir`: loads the manifest,
+    /// reconciles it against the files actually present, quarantines
+    /// unreadable files and ignores `*.tmp` leftovers. No model payload is
+    /// read for files the manifest already describes accurately.
+    ///
+    /// # Errors
+    /// Filesystem errors on the directory itself; individual bad model
+    /// files never fail the open (see [`ModelStore::unreadable`]).
+    pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> Result<ModelStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let manifest_entries: BTreeMap<String, StoredModelMeta> =
+            match fs::read_to_string(dir.join(MANIFEST_FILE)) {
+                Ok(text) => manifest::decode(&text)
+                    .map(|entries| entries.into_iter().map(|m| (m.name.clone(), m)).collect())
+                    .unwrap_or_default(),
+                Err(_) => BTreeMap::new(),
+            };
+
+        let mut entries = BTreeMap::new();
+        let mut unreadable = Vec::new();
+        for dirent in fs::read_dir(&dir)? {
+            let path = dirent?.path();
+            let (Some(stem), Some(ext)) = (
+                path.file_stem().and_then(|s| s.to_str()),
+                path.extension().and_then(|s| s.to_str()),
+            ) else {
+                continue;
+            };
+            if ext != MODEL_EXT {
+                continue; // manifest, temp files, foreign files
+            }
+            let file_name = path
+                .file_name()
+                .and_then(|s| s.to_str())
+                .unwrap_or(stem)
+                .to_string();
+            if let Err(e) = validate_model_name(stem) {
+                unreadable.push((file_name, e.to_string()));
+                continue;
+            }
+            let file_len = match fs::metadata(&path) {
+                Ok(meta) => meta.len(),
+                Err(e) => {
+                    unreadable.push((file_name, e.to_string()));
+                    continue;
+                }
+            };
+            let (meta, eager) = match manifest_entries.get(stem) {
+                // The manifest line matches the file on disk: trust it and
+                // skip all payload reads — this is the O(1)-per-model path.
+                Some(meta) if meta.file_len == file_len => (meta.clone(), None),
+                _ => match derive_meta(&path, stem, file_len) {
+                    Ok(derived) => derived,
+                    Err(e) => {
+                        unreadable.push((file_name, e.to_string()));
+                        continue;
+                    }
+                },
+            };
+            entries.insert(
+                stem.to_string(),
+                Entry {
+                    meta,
+                    eager,
+                    resident: None,
+                    last_used: 0,
+                },
+            );
+        }
+
+        let store = ModelStore {
+            dir,
+            budget: config.resident_budget_bytes,
+            inner: Mutex::new(Inner {
+                entries,
+                clock: 0,
+                resident_bytes: 0,
+                unreadable,
+            }),
+        };
+        // Re-seal the manifest so the next open trusts every line — but
+        // only when reconciliation actually changed something, and only
+        // best-effort: the manifest is a cache, and read-only inspection
+        // (`store ls` / `verify` on a directory the operator cannot write)
+        // must still work.
+        let metas = collect_metas(&store.lock());
+        let manifest_was: Vec<StoredModelMeta> = manifest_entries.into_values().collect();
+        if metas != manifest_was {
+            let _ = store.write_manifest(&metas);
+        }
+        Ok(store)
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The residency budget in bytes (`0` = unbounded).
+    pub fn resident_budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn model_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{MODEL_EXT}"))
+    }
+
+    fn temp_path(&self, target: &str) -> PathBuf {
+        let nonce = TEMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        self.dir.join(format!(
+            "{target}.{}-{nonce}.{TEMP_EXT}",
+            std::process::id()
+        ))
+    }
+
+    /// Writes `bytes` to `final_name` inside the store directory via the
+    /// atomic temp + fsync + rename + dir-fsync sequence.
+    fn atomic_write(&self, final_name: &str, bytes: &[u8]) -> Result<()> {
+        let temp = self.temp_path(final_name);
+        let write = (|| -> Result<()> {
+            let mut file = File::create(&temp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&temp);
+            return Err(e);
+        }
+        if let Err(e) = fs::rename(&temp, self.dir.join(final_name)) {
+            let _ = fs::remove_file(&temp);
+            return Err(e.into());
+        }
+        sync_dir(&self.dir)
+    }
+
+    fn write_manifest(&self, metas: &[StoredModelMeta]) -> Result<()> {
+        self.atomic_write(MANIFEST_FILE, manifest::encode(metas).as_bytes())
+    }
+
+    /// Persists a fitted model under `name`, replacing any previous version
+    /// atomically, and leaves it resident (it is evidently hot). Returns
+    /// the stored metadata, whose `checksum` is the file trailer (identical
+    /// to [`codec::model_checksum`]).
+    ///
+    /// # Errors
+    /// [`Error::InvalidName`] for names unusable as file names; filesystem
+    /// errors otherwise (the previous version, if any, is untouched on
+    /// failure).
+    pub fn put(&self, name: &str, model: &Arc<Series2Graph>) -> Result<StoredModelMeta> {
+        validate_model_name(name)?;
+        let bytes = codec::encode_model(model);
+        let index = codec::parse_section_index(&bytes)?;
+        let points = *index.require(SectionKind::Points)?;
+        let meta = StoredModelMeta {
+            name: name.to_string(),
+            version: codec::FORMAT_VERSION,
+            file_len: bytes.len() as u64,
+            checksum: codec::checksum_trailer(&bytes),
+            pattern_length: model.pattern_length(),
+            node_count: model.node_count(),
+            edge_count: model.graph().edge_count(),
+            train_len: model.train_len(),
+            points_len: codec::points_len_from_entry(&points),
+            points_bytes: points.len,
+        };
+        let eager = Arc::new(slice_eager(&bytes, index)?);
+        self.atomic_write(&format!("{name}.{MODEL_EXT}"), &bytes)?;
+
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some(old) = inner.entries.remove(name) {
+            if old.resident.is_some() {
+                inner.resident_bytes -= old.meta.points_bytes;
+            }
+        }
+        inner.resident_bytes += meta.points_bytes;
+        inner.entries.insert(
+            name.to_string(),
+            Entry {
+                meta: meta.clone(),
+                eager: Some(eager),
+                resident: Some(Arc::clone(model)),
+                last_used: stamp,
+            },
+        );
+        self.enforce_budget(&mut inner, name);
+        let metas = collect_metas(&inner);
+        drop(inner);
+        self.write_manifest(&metas)?;
+        Ok(meta)
+    }
+
+    /// The model stored under `name`, faulting its points section in from
+    /// disk on first use (verified against its independent checksum) and
+    /// evicting the least-recently-used resident model(s) if the residency
+    /// budget would be exceeded.
+    ///
+    /// All file I/O and decoding happen *outside* the store lock, so a
+    /// slow cold fault never blocks other store operations. A concurrent
+    /// [`ModelStore::put`] of the same name can race the fault in two
+    /// ways, both handled without ever reporting spurious corruption: a
+    /// consistent read of the *previous* version is served as-is (the get
+    /// overlapped the put, so the pre-put model is a linearizable answer),
+    /// and a torn read (stale index offsets against the replacement file)
+    /// is resolved by one whole-file read, which cannot tear.
+    ///
+    /// # Errors
+    /// [`Error::UnknownModel`] when the store has no such model; I/O or
+    /// decode errors when its file went bad since open.
+    pub fn get(&self, name: &str) -> Result<Arc<Series2Graph>> {
+        let path = self.model_path(name);
+        // Snapshot under the lock; never hold it across file I/O.
+        let (meta, eager) = {
+            let mut inner = self.lock();
+            inner.clock += 1;
+            let stamp = inner.clock;
+            let Some(entry) = inner.entries.get_mut(name) else {
+                return Err(Error::UnknownModel(name.to_string()));
+            };
+            entry.last_used = stamp;
+            if let Some(model) = &entry.resident {
+                return Ok(Arc::clone(model));
+            }
+            (entry.meta.clone(), entry.eager.clone())
+        };
+
+        match fault_model(&path, &meta, eager) {
+            Ok((model, eager)) => {
+                let mut inner = self.lock();
+                match inner.entries.get_mut(name) {
+                    Some(entry) if entry.meta.checksum == meta.checksum => {
+                        if let Some(resident) = &entry.resident {
+                            // Another thread won the fault; share its
+                            // handle so all callers hold one Arc.
+                            return Ok(Arc::clone(resident));
+                        }
+                        entry.resident = Some(Arc::clone(&model));
+                        if entry.eager.is_none() {
+                            entry.eager = eager;
+                        }
+                        inner.resident_bytes += meta.points_bytes;
+                        self.enforce_budget(&mut inner, name);
+                        Ok(model)
+                    }
+                    // Replaced or removed mid-fault: the decoded model
+                    // was the store's content when the fault began —
+                    // serve it uncached (the concurrent writer's
+                    // version takes over from the next get).
+                    _ => Ok(model),
+                }
+            }
+            Err(_) => {
+                // The multi-read fault can tear when a concurrent put
+                // renames the file between section reads (stale index
+                // offsets against the replacement — and the replacement's
+                // trailer may even ABA back to the snapshot value). One
+                // whole-file read is immune (one open fd = one consistent
+                // inode, even under further renames), so it is the
+                // arbiter: if *this* also fails, the file really is bad,
+                // and the decode error names why.
+                let bytes = fs::read(&path)?;
+                let model = Arc::new(codec::decode_model(&bytes)?);
+                let trailer = codec::checksum_trailer(&bytes);
+                let mut inner = self.lock();
+                if let Some(entry) = inner.entries.get_mut(name) {
+                    if entry.meta.checksum == trailer && entry.resident.is_none() {
+                        entry.resident = Some(Arc::clone(&model));
+                        inner.resident_bytes += entry.meta.points_bytes;
+                        self.enforce_budget(&mut inner, name);
+                    }
+                }
+                Ok(model)
+            }
+        }
+    }
+
+    /// Drops least-recently-used resident models (never `keep`) until the
+    /// budget is respected.
+    fn enforce_budget(&self, inner: &mut Inner, keep: &str) {
+        if self.budget == 0 {
+            return;
+        }
+        while inner.resident_bytes > self.budget {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(name, e)| e.resident.is_some() && name.as_str() != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else {
+                break; // only `keep` is resident; it may transiently exceed
+            };
+            let entry = inner.entries.get_mut(&victim).expect("victim exists");
+            entry.resident = None;
+            inner.resident_bytes -= entry.meta.points_bytes;
+        }
+    }
+
+    /// Deletes the model stored under `name` (file, manifest line, resident
+    /// state). `Ok(false)` when it was not present.
+    ///
+    /// # Errors
+    /// Filesystem failures.
+    pub fn remove(&self, name: &str) -> Result<bool> {
+        let mut inner = self.lock();
+        let Some(entry) = inner.entries.remove(name) else {
+            return Ok(false);
+        };
+        if entry.resident.is_some() {
+            inner.resident_bytes -= entry.meta.points_bytes;
+        }
+        let metas = collect_metas(&inner);
+        drop(inner);
+        match fs::remove_file(self.model_path(name)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        sync_dir(&self.dir)?;
+        self.write_manifest(&metas)?;
+        Ok(true)
+    }
+
+    /// Metadata of the model stored under `name`, if any — header data
+    /// only, no payload read.
+    pub fn meta(&self, name: &str) -> Option<StoredModelMeta> {
+        self.lock().entries.get(name).map(|e| e.meta.clone())
+    }
+
+    /// Metadata of every stored model, ordered by name.
+    pub fn list(&self) -> Vec<StoredModelMeta> {
+        collect_metas(&self.lock())
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when the store holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of lazily-loaded (points) sections currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().resident_bytes
+    }
+
+    /// Number of models currently materialised in memory.
+    pub fn resident_models(&self) -> usize {
+        self.lock()
+            .entries
+            .values()
+            .filter(|e| e.resident.is_some())
+            .count()
+    }
+
+    /// Files quarantined at open: present in the directory but unreadable
+    /// as models (`(file, error)`). They are never deleted automatically.
+    pub fn unreadable(&self) -> Vec<(String, String)> {
+        self.lock().unreadable.clone()
+    }
+
+    /// Fully verifies every stored file: reads it whole, checks the
+    /// trailing checksum and decodes every section. Quarantined files are
+    /// reported as failures.
+    ///
+    /// # Errors
+    /// Never fails as a whole; per-file problems land in
+    /// [`VerifyReport::failed`].
+    pub fn verify(&self) -> Result<VerifyReport> {
+        let (names, mut failed) = {
+            let inner = self.lock();
+            (
+                inner.entries.keys().cloned().collect::<Vec<_>>(),
+                inner.unreadable.clone(),
+            )
+        };
+        let mut ok = Vec::new();
+        for name in names {
+            match codec::load_model(self.model_path(&name)) {
+                Ok(_) => ok.push(name),
+                Err(e) => failed.push((format!("{name}.{MODEL_EXT}"), e.to_string())),
+            }
+        }
+        Ok(VerifyReport { ok, failed })
+    }
+
+    /// Removes leftover `*.tmp` files (crash debris) and reports — without
+    /// deleting — any quarantined model files.
+    ///
+    /// # Errors
+    /// Filesystem failures while scanning or deleting.
+    pub fn gc(&self) -> Result<GcReport> {
+        let mut removed = Vec::new();
+        for dirent in fs::read_dir(&self.dir)? {
+            let path = dirent?.path();
+            if path.extension().and_then(|s| s.to_str()) == Some(TEMP_EXT) {
+                fs::remove_file(&path)?;
+                if let Some(file) = path.file_name().and_then(|s| s.to_str()) {
+                    removed.push(file.to_string());
+                }
+            }
+        }
+        if !removed.is_empty() {
+            sync_dir(&self.dir)?;
+        }
+        removed.sort();
+        Ok(GcReport {
+            removed_temp_files: removed,
+            unreadable: self.lock().unreadable.clone(),
+        })
+    }
+
+    /// Rewrites every legacy (v1) file in the current sectioned format,
+    /// atomically, leaving scores bit-identical. Already-current files are
+    /// untouched.
+    ///
+    /// # Errors
+    /// Decode or filesystem failures (the first failing model aborts the
+    /// migration; already-migrated models stay migrated).
+    pub fn migrate(&self) -> Result<MigrateReport> {
+        let mut report = MigrateReport::default();
+        let names: Vec<String> = self.lock().entries.keys().cloned().collect();
+        for name in names {
+            let is_v1 = self
+                .lock()
+                .entries
+                .get(&name)
+                .is_some_and(|e| e.meta.version == 1);
+            if !is_v1 {
+                report.already_current += 1;
+                continue;
+            }
+            let model = Arc::new(codec::load_model(self.model_path(&name))?);
+            self.put(&name, &model)?;
+            report.migrated.push(name);
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for ModelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("ModelStore")
+            .field("dir", &self.dir)
+            .field("models", &inner.entries.len())
+            .field("resident_bytes", &inner.resident_bytes)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl ModelStorage for ModelStore {
+    fn save(&self, name: &str, model: &Arc<Series2Graph>) -> Result<u64> {
+        Ok(self.put(name, model)?.checksum)
+    }
+
+    fn load(&self, name: &str) -> Result<Option<Arc<Series2Graph>>> {
+        match self.get(name) {
+            Ok(model) => Ok(Some(model)),
+            Err(Error::UnknownModel(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn meta(&self, name: &str) -> Option<StoredModelMeta> {
+        ModelStore::meta(self, name)
+    }
+
+    fn remove(&self, name: &str) -> Result<bool> {
+        ModelStore::remove(self, name)
+    }
+
+    fn list(&self) -> Vec<StoredModelMeta> {
+        ModelStore::list(self)
+    }
+
+    fn stored(&self) -> usize {
+        self.len()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        ModelStore::resident_bytes(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-level helpers
+// ---------------------------------------------------------------------------
+
+/// fsync on the directory so a rename is durable, not just ordered.
+fn sync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// Materialises a model from its file with no lock held: v1 files load
+/// whole; v2 files reuse the cached eager sections (reading them first if
+/// this is the very first fault) and read + verify just the points
+/// payload. Returns the model and the eager sections for caching.
+#[allow(clippy::type_complexity)]
+fn fault_model(
+    path: &Path,
+    meta: &StoredModelMeta,
+    eager: Option<Arc<EagerSections>>,
+) -> Result<(Arc<Series2Graph>, Option<Arc<EagerSections>>)> {
+    if meta.version == 1 {
+        // Legacy files have no section index: load whole.
+        return Ok((Arc::new(codec::load_model(path)?), None));
+    }
+    let eager = match eager {
+        Some(eager) => eager,
+        None => {
+            let file_len = fs::metadata(path)?.len();
+            Arc::new(load_eager(path, file_len)?)
+        }
+    };
+    let points = read_section(path, &eager.index, SectionKind::Points)?;
+    let model = codec::decode_model_from_sections(
+        &eager.config,
+        &eager.embedding,
+        &points,
+        &eager.nodes,
+        &eager.graph,
+        &eager.train,
+    )?;
+    Ok((Arc::new(model), Some(eager)))
+}
+
+/// Reads one section payload out of a model file by offset, verifying its
+/// independent checksum.
+fn read_section(path: &Path, index: &SectionIndex, kind: SectionKind) -> Result<Vec<u8>> {
+    let entry = *index.require(kind)?;
+    let len = usize::try_from(entry.len)
+        .map_err(|_| Error::Format(format!("{kind} length exceeds the platform word size")))?;
+    let mut file = File::open(path)?;
+    file.seek(SeekFrom::Start(entry.offset))?;
+    let mut payload = vec![0u8; len];
+    file.read_exact(&mut payload)?;
+    codec::verify_section(&entry, &payload)?;
+    Ok(payload)
+}
+
+/// Reads and verifies every eager (non-points) section of a v2 file.
+fn load_eager(path: &Path, file_len: u64) -> Result<EagerSections> {
+    let mut file = File::open(path)?;
+    let (version, index) = codec::read_header(&mut file)?;
+    drop(file);
+    let index = match (version, index) {
+        (2, Some(index)) => index,
+        _ => {
+            return Err(Error::Storage(format!(
+                "{} is a v{version} file without a section index",
+                path.display()
+            )))
+        }
+    };
+    index.validate_bounds(file_len)?;
+    Ok(EagerSections {
+        config: read_section(path, &index, SectionKind::Config)?,
+        embedding: read_section(path, &index, SectionKind::Embedding)?,
+        nodes: read_section(path, &index, SectionKind::Nodes)?,
+        graph: read_section(path, &index, SectionKind::Graph)?,
+        train: read_section(path, &index, SectionKind::Train)?,
+        index,
+    })
+}
+
+/// Slices the eager sections out of a freshly encoded model (no file I/O).
+fn slice_eager(bytes: &[u8], index: SectionIndex) -> Result<EagerSections> {
+    let slice = |kind| index.slice(bytes, kind).map(<[u8]>::to_vec);
+    Ok(EagerSections {
+        config: slice(SectionKind::Config)?,
+        embedding: slice(SectionKind::Embedding)?,
+        nodes: slice(SectionKind::Nodes)?,
+        graph: slice(SectionKind::Graph)?,
+        train: slice(SectionKind::Train)?,
+        index,
+    })
+}
+
+/// Derives a model's metadata from its file alone (manifest miss). For v2
+/// files this reads header + small sections; legacy v1 files are decoded
+/// whole (they have no index — [`ModelStore::migrate`] fixes that).
+fn derive_meta(
+    path: &Path,
+    name: &str,
+    file_len: u64,
+) -> Result<(StoredModelMeta, Option<Arc<EagerSections>>)> {
+    let mut file = File::open(path)?;
+    let (version, _) = codec::read_header(&mut file)?;
+    if version == 1 {
+        let bytes = fs::read(path)?;
+        let model = codec::decode_model(&bytes)?;
+        let points_len = model.embedding().points.len();
+        let meta = StoredModelMeta {
+            name: name.to_string(),
+            version: 1,
+            file_len,
+            checksum: codec::checksum_trailer(&bytes),
+            pattern_length: model.pattern_length(),
+            node_count: model.node_count(),
+            edge_count: model.graph().edge_count(),
+            train_len: model.train_len(),
+            points_len,
+            points_bytes: 8 + 16 * points_len as u64,
+        };
+        return Ok((meta, None));
+    }
+
+    // Current format: metadata comes from the header and small sections.
+    file.seek(SeekFrom::End(-8))?;
+    let mut trailer = [0u8; 8];
+    file.read_exact(&mut trailer)?;
+    drop(file);
+    let eager = load_eager(path, file_len)?;
+    let points = *eager.index.require(SectionKind::Points)?;
+    let config = codec::decode_config_section(&eager.config)?;
+    let (node_count, edge_count) = codec::peek_graph_counts(&eager.graph)?;
+    let meta = StoredModelMeta {
+        name: name.to_string(),
+        version,
+        file_len,
+        checksum: u64::from_le_bytes(trailer),
+        pattern_length: config.pattern_length,
+        node_count,
+        edge_count,
+        train_len: codec::peek_train_len(&eager.train)?,
+        points_len: codec::points_len_from_entry(&points),
+        points_bytes: points.len,
+    };
+    Ok((meta, Some(Arc::new(eager))))
+}
+
+fn collect_metas(inner: &Inner) -> Vec<StoredModelMeta> {
+    inner.entries.values().map(|e| e.meta.clone()).collect()
+}

@@ -1,0 +1,342 @@
+//! Acceptance tests for the durable model store: restart durability,
+//! lazy section loading under a residency budget, legacy-format adoption
+//! and migration, and crash safety around the atomic write protocol.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use s2g_core::{S2gConfig, Series2Graph};
+use s2g_engine::codec;
+use s2g_store::{ModelStore, StoreConfig};
+use s2g_timeseries::TimeSeries;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("s2g_store_test_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn sine(n: usize, period: f64) -> TimeSeries {
+    TimeSeries::from(
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period).sin())
+            .collect::<Vec<f64>>(),
+    )
+}
+
+fn fitted(period: f64) -> Arc<Series2Graph> {
+    Arc::new(Series2Graph::fit(&sine(2200, period), &S2gConfig::new(40)).unwrap())
+}
+
+fn assert_bit_identical(expected: &[f64], got: &[f64], what: &str) {
+    assert_eq!(expected.len(), got.len(), "{what}: length mismatch");
+    for (i, (e, g)) in expected.iter().zip(got).enumerate() {
+        assert_eq!(e.to_bits(), g.to_bits(), "{what}: score {i} differs");
+    }
+}
+
+#[test]
+fn reopen_lists_from_manifest_and_scores_bit_identically() {
+    let dir = test_dir("reopen");
+    let probe = sine(900, 63.0);
+    let (a, b) = (fitted(70.0), fitted(55.0));
+    let expected_a = a.anomaly_scores(&probe, 150).unwrap();
+    let expected_b = b.anomaly_scores(&probe, 150).unwrap();
+
+    {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        let meta = store.put("alpha", &a).unwrap();
+        assert_eq!(meta.checksum, codec::model_checksum(&a));
+        store.put("beta", &b).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    // A fresh mount of the same directory: listing comes from the
+    // manifest (no payload reads), scores after the lazy fault are
+    // bit-identical, and checksums prove it is the same encoded model.
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    assert!(store.unreadable().is_empty());
+    let names: Vec<String> = store.list().into_iter().map(|m| m.name).collect();
+    assert_eq!(names, vec!["alpha".to_string(), "beta".to_string()]);
+    assert_eq!(
+        store.resident_bytes(),
+        0,
+        "nothing resident before first get"
+    );
+    assert_eq!(
+        store.meta("alpha").unwrap().checksum,
+        codec::model_checksum(&a)
+    );
+    let got_a = store
+        .get("alpha")
+        .unwrap()
+        .anomaly_scores(&probe, 150)
+        .unwrap();
+    let got_b = store
+        .get("beta")
+        .unwrap()
+        .anomaly_scores(&probe, 150)
+        .unwrap();
+    assert_bit_identical(&expected_a, &got_a, "alpha after restart");
+    assert_bit_identical(&expected_b, &got_b, "beta after restart");
+    assert!(store.verify().unwrap().failed.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lazy_faulting_scores_under_a_budget_smaller_than_total_points() {
+    let dir = test_dir("budget");
+    let probe = sine(800, 64.0);
+    let models = [fitted(80.0), fitted(66.0), fitted(52.0)];
+    let expected: Vec<Vec<f64>> = models
+        .iter()
+        .map(|m| m.anomaly_scores(&probe, 150).unwrap())
+        .collect();
+    {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        for (i, model) in models.iter().enumerate() {
+            store.put(&format!("m{i}"), model).unwrap();
+        }
+    }
+
+    // Budget: enough for the largest single model but far below the sum —
+    // the store must fault sections in and drop cold ones to stay within.
+    let metas = ModelStore::open(&dir, StoreConfig::default())
+        .unwrap()
+        .list();
+    let max_single = metas.iter().map(|m| m.points_bytes).max().unwrap();
+    let total: u64 = metas.iter().map(|m| m.points_bytes).sum();
+    let budget = max_single + 1;
+    assert!(budget < total, "budget must be below total points bytes");
+
+    let store = ModelStore::open(
+        &dir,
+        StoreConfig::default().with_resident_budget_bytes(budget),
+    )
+    .unwrap();
+    for round in 0..2 {
+        for (i, expected) in expected.iter().enumerate() {
+            let model = store.get(&format!("m{i}")).unwrap();
+            let got = model.anomaly_scores(&probe, 150).unwrap();
+            assert_bit_identical(expected, &got, &format!("m{i} round {round}"));
+            assert!(
+                store.resident_bytes() <= budget,
+                "resident {} exceeds budget {budget}",
+                store.resident_bytes()
+            );
+        }
+    }
+    assert_eq!(
+        store.resident_models(),
+        1,
+        "with a one-model budget only the hot model stays resident"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v1_files_are_adopted_and_migrated_bit_identically() {
+    let dir = test_dir("migrate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = fitted(72.0);
+    let probe = sine(700, 72.0);
+    let expected = model.anomaly_scores(&probe, 120).unwrap();
+    std::fs::write(dir.join("legacy.s2g"), codec::encode_model_v1(&model)).unwrap();
+
+    // Adoption: a v1 file dropped into the directory is picked up, reads
+    // bit-identically through the v2 code path, and is listed as v1.
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    let meta = store.meta("legacy").unwrap();
+    assert_eq!(meta.version, 1);
+    let got = store
+        .get("legacy")
+        .unwrap()
+        .anomaly_scores(&probe, 120)
+        .unwrap();
+    assert_bit_identical(&expected, &got, "adopted v1 file");
+
+    // Migration rewrites it in the sectioned format, atomically.
+    let report = store.migrate().unwrap();
+    assert_eq!(report.migrated, vec!["legacy".to_string()]);
+    assert_eq!(store.meta("legacy").unwrap().version, codec::FORMAT_VERSION);
+    assert_eq!(
+        store.meta("legacy").unwrap().checksum,
+        codec::model_checksum(&model),
+        "migrated trailer equals the canonical v2 checksum"
+    );
+    let second = store.migrate().unwrap();
+    assert!(second.migrated.is_empty());
+    assert_eq!(second.already_current, 1);
+
+    // Across a restart the migrated file still scores bit-identically and
+    // now loads through the lazy path.
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.meta("legacy").unwrap().version, codec::FORMAT_VERSION);
+    let got = store
+        .get("legacy")
+        .unwrap()
+        .anomaly_scores(&probe, 120)
+        .unwrap();
+    assert_bit_identical(&expected, &got, "migrated file after restart");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn temp_and_unreadable_files_are_ignored_on_startup() {
+    let dir = test_dir("debris");
+    let model = fitted(77.0);
+    {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        store.put("good", &model).unwrap();
+    }
+    // Crash debris: a partial temp file and a truncated model file.
+    std::fs::write(dir.join("good.s2g.123-0.tmp"), b"partial write").unwrap();
+    std::fs::write(dir.join("other.s2g.99-1.tmp"), b"").unwrap();
+    let bytes = codec::encode_model(&model);
+    std::fs::write(dir.join("broken.s2g"), &bytes[..bytes.len() / 2]).unwrap();
+
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.len(), 1, "only the intact model is served");
+    let unreadable = store.unreadable();
+    assert_eq!(unreadable.len(), 1);
+    assert_eq!(unreadable[0].0, "broken.s2g");
+    let verify = store.verify().unwrap();
+    assert_eq!(verify.ok, vec!["good".to_string()]);
+    assert_eq!(verify.failed.len(), 1);
+
+    // gc reaps the temp files but never deletes quarantined models.
+    let report = store.gc().unwrap();
+    assert_eq!(
+        report.removed_temp_files,
+        vec![
+            "good.s2g.123-0.tmp".to_string(),
+            "other.s2g.99-1.tmp".to_string()
+        ]
+    );
+    assert!(dir.join("broken.s2g").exists());
+    assert!(!dir.join("good.s2g.123-0.tmp").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_between_write_and_rename_leaves_the_old_model_intact() {
+    let dir = test_dir("crash");
+    let (old, new) = (fitted(90.0), fitted(45.0));
+    let probe = sine(600, 90.0);
+    let expected = old.anomaly_scores(&probe, 120).unwrap();
+    {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        store.put("m", &old).unwrap();
+    }
+    // A re-put that died after writing its temp file but before the
+    // rename: the temp content is a complete, valid model — only the
+    // rename publishes it, so it must NOT replace the old version.
+    std::fs::write(dir.join("m.s2g.777-3.tmp"), codec::encode_model(&new)).unwrap();
+
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(
+        store.meta("m").unwrap().checksum,
+        codec::model_checksum(&old),
+        "the published version is still the old model"
+    );
+    let got = store.get("m").unwrap().anomaly_scores(&probe, 120).unwrap();
+    assert_bit_identical(&expected, &got, "old model after crashed replace");
+    store.gc().unwrap();
+    assert!(!dir.join("m.s2g.777-3.tmp").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_refits_and_cold_faults_never_report_spurious_corruption() {
+    let dir = test_dir("race");
+    let (a, b) = (fitted(70.0), fitted(55.0));
+    // A budget of one byte keeps at most the just-touched model resident,
+    // so every get of the *other* name is a cold fault hitting the disk —
+    // racing the writer's atomic replaces of the same files.
+    let store = Arc::new(
+        ModelStore::open(&dir, StoreConfig::default().with_resident_budget_bytes(1)).unwrap(),
+    );
+    store.put("m0", &a).unwrap();
+    store.put("m1", &a).unwrap();
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            for i in 0..25 {
+                let model = if i % 2 == 0 { &b } else { &a };
+                store.put("m0", model).unwrap();
+                store.put("m1", model).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..60 {
+                    // A fault racing a replace must retry against the new
+                    // version, never surface a spurious checksum error.
+                    let model = store.get(if i % 2 == 0 { "m0" } else { "m1" }).unwrap();
+                    assert!(model.node_count() > 0);
+                }
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    for reader in readers {
+        reader.join().unwrap();
+    }
+    // Quiesced: both names decode cleanly and equal the final write
+    // (the writer's last iteration, i = 24, wrote model `b`).
+    assert_eq!(
+        store.meta("m0").unwrap().checksum,
+        codec::model_checksum(&b)
+    );
+    assert_eq!(
+        store.meta("m1").unwrap().checksum,
+        codec::model_checksum(&b)
+    );
+    assert!(store.verify().unwrap().failed.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn remove_deletes_file_and_survives_restart() {
+    let dir = test_dir("remove");
+    let model = fitted(58.0);
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    store.put("gone", &model).unwrap();
+    store.put("kept", &model).unwrap();
+    assert!(store.remove("gone").unwrap());
+    assert!(!store.remove("gone").unwrap());
+    assert!(!dir.join("gone.s2g").exists());
+    drop(store);
+
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    let names: Vec<String> = store.list().into_iter().map(|m| m.name).collect();
+    assert_eq!(names, vec!["kept".to_string()]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_manifest_degrades_to_a_rescan() {
+    let dir = test_dir("manifest");
+    let model = fitted(61.0);
+    {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        store.put("m", &model).unwrap();
+    }
+    std::fs::write(dir.join("MANIFEST"), "not a manifest at all\n").unwrap();
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(
+        store.meta("m").unwrap().checksum,
+        codec::model_checksum(&model)
+    );
+    // The manifest was re-sealed at open.
+    let text = std::fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    assert!(text.starts_with("s2g-store-manifest"));
+    std::fs::remove_dir_all(&dir).ok();
+}

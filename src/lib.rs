@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`core`] | `s2g-core` | the Series2Graph model (`fit` → `score` → `top-k`) |
 //! | [`engine`] | `s2g-engine` | concurrent multi-series serving: model registry, persistence, sharded worker pool |
+//! | [`store`] | `s2g-store` | durable model store: crash-safe directory, manifest, lazy section residency |
 //! | [`server`] | `s2g-server` | TCP/HTTP front-end over the engine, protocol client, `s2g` CLI |
 //! | [`timeseries`] | `s2g-timeseries` | series container, distances, windows, filters, CSV I/O |
 //! | [`linalg`] | `s2g-linalg` | PCA, randomized SVD, rotations, KDE |
@@ -101,6 +102,9 @@ pub use s2g_core as core;
 /// Concurrent multi-series detection engine (re-export of `s2g-engine`).
 pub use s2g_engine as engine;
 
+/// Durable, lazily-loaded model store (re-export of `s2g-store`).
+pub use s2g_store as store;
+
 /// TCP/HTTP serving front-end over the engine (re-export of `s2g-server`).
 pub use s2g_server as server;
 
@@ -128,5 +132,6 @@ pub mod prelude {
     pub use s2g_datasets::{AnomalyKind, AnomalyRange, Dataset, LabeledSeries};
     pub use s2g_engine::{Engine, EngineConfig, ModelRegistry};
     pub use s2g_eval::topk::{top_k_accuracy, GroundTruth};
+    pub use s2g_store::{ModelStore, StoreConfig};
     pub use s2g_timeseries::TimeSeries;
 }
