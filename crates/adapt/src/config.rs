@@ -1,0 +1,171 @@
+//! Configuration of the online-adaptation layer.
+
+use s2g_core::{Error, Result};
+
+/// Tuning knobs of an [`AdaptiveScorer`](crate::AdaptiveScorer). Every
+/// field is deterministic — no field is interpreted against wall-clock
+/// time; intervals count points or updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptConfig {
+    /// Decay/learning rate λ of the edge updates, in `[0, 1)`. Each
+    /// confirmed-normal transition pulls its source node's outgoing
+    /// distribution toward the observation by this fraction. `0` disables
+    /// weight updates entirely (the scorer stays bit-identical to the
+    /// frozen path) while drift detection keeps running.
+    pub lambda: f64,
+    /// Quantile of the *training* window-normality distribution below
+    /// which a window is **not** trusted as normal, in `(0, 1)`. A window
+    /// must score at or above this quantile's value to feed its transition
+    /// back into the graph — the guard that keeps anomalies from teaching
+    /// the model that they are normal.
+    pub normal_quantile: f64,
+    /// Number of most recent emitted window scores the drift detector
+    /// compares against the training baseline.
+    pub drift_window: usize,
+    /// Mean-shift threshold, in units of the baseline standard deviation,
+    /// beyond which the detector reports drift.
+    pub drift_threshold: f64,
+    /// Publish an adapted snapshot every this many accepted updates
+    /// (`0` = only on refit). Snapshots carry the model's lineage and are
+    /// what the engine registers and persists.
+    pub publish_interval: u64,
+    /// Points of recent raw history retained for refits (`0` disables
+    /// refitting entirely — the policy then never returns
+    /// [`ScheduleRefit`](crate::AdaptAction::ScheduleRefit)). Must be at
+    /// least the query length so the rebased scorer resumes emitting
+    /// without a gap.
+    pub refit_buffer: usize,
+    /// Minimum number of consumed points between refits (and between a
+    /// failed refit attempt and the next), so a drifting stream cannot
+    /// hot-loop full refits.
+    pub refit_cooldown: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            lambda: 0.05,
+            normal_quantile: 0.25,
+            drift_window: 256,
+            drift_threshold: 1.0,
+            publish_interval: 1024,
+            refit_buffer: 0,
+            refit_cooldown: 2048,
+        }
+    }
+}
+
+impl AdaptConfig {
+    /// Sets the decay rate λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the confirmed-normal acceptance quantile.
+    pub fn with_normal_quantile(mut self, quantile: f64) -> Self {
+        self.normal_quantile = quantile;
+        self
+    }
+
+    /// Sets the drift-detector window length.
+    pub fn with_drift_window(mut self, window: usize) -> Self {
+        self.drift_window = window;
+        self
+    }
+
+    /// Sets the drift threshold in baseline-σ units.
+    pub fn with_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Sets the snapshot publication interval in accepted updates.
+    pub fn with_publish_interval(mut self, updates: u64) -> Self {
+        self.publish_interval = updates;
+        self
+    }
+
+    /// Sets the refit buffer length in points (`0` disables refitting).
+    pub fn with_refit_buffer(mut self, points: usize) -> Self {
+        self.refit_buffer = points;
+        self
+    }
+
+    /// Sets the refit cooldown in consumed points.
+    pub fn with_refit_cooldown(mut self, points: u64) -> Self {
+        self.refit_cooldown = points;
+        self
+    }
+
+    /// Validates the configuration against the query length it will run
+    /// with.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] naming the violated rule.
+    pub fn validate(&self, query_length: usize) -> Result<()> {
+        if !(0.0..1.0).contains(&self.lambda) {
+            return Err(Error::InvalidConfig(format!(
+                "adaptation lambda {} must lie in [0, 1)",
+                self.lambda
+            )));
+        }
+        if !(0.0..1.0).contains(&self.normal_quantile) || self.normal_quantile == 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "normal_quantile {} must lie in (0, 1)",
+                self.normal_quantile
+            )));
+        }
+        if self.drift_window < 8 {
+            return Err(Error::InvalidConfig(format!(
+                "drift_window {} is too small (minimum 8)",
+                self.drift_window
+            )));
+        }
+        if self.drift_threshold <= 0.0 || !self.drift_threshold.is_finite() {
+            return Err(Error::InvalidConfig(format!(
+                "drift_threshold {} must be a positive finite number",
+                self.drift_threshold
+            )));
+        }
+        if self.refit_buffer != 0 && self.refit_buffer < query_length {
+            return Err(Error::InvalidConfig(format!(
+                "refit_buffer {} is shorter than the query length {query_length}; \
+                 the rebased scorer could not resume without an emission gap",
+                self.refit_buffer
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        AdaptConfig::default().validate(150).unwrap();
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        for bad in [
+            AdaptConfig::default().with_lambda(1.0),
+            AdaptConfig::default().with_lambda(-0.1),
+            AdaptConfig::default().with_normal_quantile(0.0),
+            AdaptConfig::default().with_normal_quantile(1.0),
+            AdaptConfig::default().with_drift_window(3),
+            AdaptConfig::default().with_drift_threshold(0.0),
+            AdaptConfig::default().with_drift_threshold(f64::INFINITY),
+            AdaptConfig::default().with_refit_buffer(100),
+        ] {
+            assert!(bad.validate(150).is_err(), "{bad:?} must be rejected");
+        }
+        // A refit buffer of exactly the query length is acceptable.
+        AdaptConfig::default()
+            .with_refit_buffer(150)
+            .validate(150)
+            .unwrap();
+    }
+}

@@ -1,0 +1,75 @@
+//! # s2g-adapt — online graph adaptation for Series2Graph
+//!
+//! Series2Graph fits its normality graph once and scores against that frozen
+//! structure, which leaves long-lived deployments blind to concept drift:
+//! behaviour that is perfectly normal *today* slowly stops resembling the
+//! training series, the path weights of genuinely normal windows decay
+//! towards zero, and the anomaly scores lose their contrast. This crate
+//! keeps a live, deterministically-adapted copy of a fitted model:
+//!
+//! * **Decayed edge updates** ([`AdaptiveScorer`]): every streamed window
+//!   whose normality clears a configurable quantile of the *training*
+//!   score distribution is treated as confirmed-normal, and its newest
+//!   graph transition is reinforced with exponential decay
+//!   (`w ← (1−λ)·w + λ·strength`, out-strength preserving — see
+//!   [`s2g_graph::DiGraph::reweight_out_edge`]). With `λ = 0`, or with
+//!   adaptation off, scores are **bit-identical** to the frozen scorer.
+//! * **Drift detection** ([`DriftDetector`]): a rolling window of emitted
+//!   normality scores is compared against the training baseline; a mean
+//!   shift beyond a threshold (in baseline-σ units) flags that incremental
+//!   updates are no longer enough.
+//! * **Adaptive policy** ([`AdaptivePolicy`]): decides per window between
+//!   [`AdaptAction::Freeze`] (leave the model alone),
+//!   [`AdaptAction::DecayUpdate`] (reinforce the confirmed-normal
+//!   transition) and [`AdaptAction::ScheduleRefit`] (refit from the
+//!   retained recent history because the distribution has shifted).
+//! * **Versioned snapshots**: adapted models carry an
+//!   [`AdaptationLineage`] — parent checksum,
+//!   update count, decay λ — which the engine persists with the model, so
+//!   an adapted snapshot survives restarts with its provenance intact.
+//!
+//! ## Determinism contract
+//!
+//! With a fixed input stream and a fixed [`AdaptConfig`], every decision in
+//! this crate is a pure function of the stream prefix: acceptance uses a
+//! quantile precomputed from the training profile, drift uses counts and
+//! rolling means (never wall-clock time), and refits trigger on exact
+//! point counts. Two runs over the same stream produce bit-identical
+//! emitted scores, the same update counts, and the same adapted graph.
+//!
+//! ## Example
+//!
+//! ```
+//! use s2g_adapt::{AdaptConfig, AdaptiveScorer};
+//! use s2g_core::{S2gConfig, Series2Graph};
+//! use s2g_timeseries::TimeSeries;
+//!
+//! let train: Vec<f64> = (0..4000)
+//!     .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+//!     .collect();
+//! let model = Series2Graph::fit(&TimeSeries::from(train.clone()), &S2gConfig::new(50)).unwrap();
+//!
+//! let config = AdaptConfig::default().with_lambda(0.05);
+//! let mut scorer = AdaptiveScorer::new(model, 150, config, 0xfeed).unwrap();
+//! let outcome = scorer.push_batch(&train[..1000]).unwrap();
+//! assert_eq!(outcome.emitted.len(), 1000 - 150 + 1);
+//! assert!(outcome.updates > 0, "training-like data is confirmed-normal");
+//! assert!(!outcome.drift.drifting);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod drift;
+pub mod policy;
+pub mod scorer;
+
+pub use config::AdaptConfig;
+pub use drift::{DriftDetector, DriftStats};
+pub use policy::{AdaptAction, AdaptivePolicy};
+pub use scorer::{AdaptOutcome, AdaptiveScorer};
+
+// Re-exported so downstream crates name the lineage type through the
+// adaptation crate that produces it.
+pub use s2g_core::AdaptationLineage;

@@ -1,0 +1,151 @@
+//! The adaptive policy: what to do with each emitted window.
+
+use crate::config::AdaptConfig;
+use crate::drift::DriftStats;
+
+/// What the policy decided for one emitted window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptAction {
+    /// Leave the model untouched (window not confirmed-normal, λ = 0, or
+    /// nothing to update).
+    Freeze,
+    /// Reinforce the window's newest transition with decayed reweighting.
+    DecayUpdate,
+    /// Incremental updates are no longer enough: refit from the retained
+    /// recent history.
+    ScheduleRefit,
+}
+
+impl AdaptAction {
+    /// Stable lower-snake-case name, used on the wire and in CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptAction::Freeze => "freeze",
+            AdaptAction::DecayUpdate => "decay_update",
+            AdaptAction::ScheduleRefit => "schedule_refit",
+        }
+    }
+}
+
+impl std::fmt::Display for AdaptAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Decides, per emitted window, between freezing, decay-updating and
+/// scheduling a refit. Pure function of the inputs — the same stream
+/// prefix always yields the same decision sequence.
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    lambda: f64,
+    refit_enabled: bool,
+    refit_cooldown: u64,
+}
+
+impl AdaptivePolicy {
+    /// Builds the policy an [`AdaptConfig`] describes.
+    pub fn from_config(config: &AdaptConfig) -> Self {
+        AdaptivePolicy {
+            lambda: config.lambda,
+            refit_enabled: config.refit_buffer > 0,
+            refit_cooldown: config.refit_cooldown,
+        }
+    }
+
+    /// Decides the action for one emitted window.
+    ///
+    /// * `drift` — the detector's current statistics;
+    /// * `confirmed_normal` — whether the window's normality cleared the
+    ///   acceptance quantile (and the scorer is warmed up);
+    /// * `points_since_refit` — consumed points since the last (attempted)
+    ///   refit, gating the cooldown;
+    /// * `buffer_full` — whether the refit buffer holds its configured
+    ///   capacity.
+    pub fn decide(
+        &self,
+        drift: &DriftStats,
+        confirmed_normal: bool,
+        points_since_refit: u64,
+        buffer_full: bool,
+    ) -> AdaptAction {
+        if self.refit_enabled
+            && drift.drifting
+            && buffer_full
+            && points_since_refit >= self.refit_cooldown
+        {
+            return AdaptAction::ScheduleRefit;
+        }
+        if confirmed_normal && self.lambda > 0.0 {
+            return AdaptAction::DecayUpdate;
+        }
+        AdaptAction::Freeze
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(drifting: bool) -> DriftStats {
+        DriftStats {
+            observed: 100,
+            window_len: 64,
+            live_mean: 1.0,
+            baseline_mean: 2.0,
+            baseline_std: 0.5,
+            shift: if drifting { 2.0 } else { 0.1 },
+            drifting,
+        }
+    }
+
+    #[test]
+    fn decides_between_all_three_actions() {
+        let config = AdaptConfig::default()
+            .with_refit_buffer(600)
+            .with_refit_cooldown(100);
+        let policy = AdaptivePolicy::from_config(&config);
+        assert_eq!(
+            policy.decide(&stats(true), true, 200, true),
+            AdaptAction::ScheduleRefit
+        );
+        assert_eq!(
+            policy.decide(&stats(false), true, 200, true),
+            AdaptAction::DecayUpdate
+        );
+        assert_eq!(
+            policy.decide(&stats(false), false, 200, true),
+            AdaptAction::Freeze
+        );
+    }
+
+    #[test]
+    fn refit_respects_cooldown_buffer_and_enablement() {
+        let config = AdaptConfig::default()
+            .with_refit_buffer(600)
+            .with_refit_cooldown(1000);
+        let policy = AdaptivePolicy::from_config(&config);
+        // Cooldown not elapsed → fall through to decay.
+        assert_eq!(
+            policy.decide(&stats(true), true, 500, true),
+            AdaptAction::DecayUpdate
+        );
+        // Buffer not full → fall through.
+        assert_eq!(
+            policy.decide(&stats(true), true, 2000, false),
+            AdaptAction::DecayUpdate
+        );
+        // Refit disabled entirely.
+        let frozen = AdaptivePolicy::from_config(&AdaptConfig::default().with_refit_buffer(0));
+        assert_eq!(
+            frozen.decide(&stats(true), true, u64::MAX, true),
+            AdaptAction::DecayUpdate
+        );
+        // λ = 0 and not drifting → freeze even for normal windows.
+        let inert = AdaptivePolicy::from_config(&AdaptConfig::default().with_lambda(0.0));
+        assert_eq!(
+            inert.decide(&stats(false), true, 0, false),
+            AdaptAction::Freeze
+        );
+    }
+}

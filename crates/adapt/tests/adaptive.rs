@@ -1,0 +1,211 @@
+//! Acceptance tests of the adaptation subsystem:
+//!
+//! * the λ = 0 / adaptation-off path is **bit-identical** to the frozen
+//!   scorer on the same stream (property-tested over random shapes and
+//!   chunkings);
+//! * the adaptive path itself is deterministic and chunking-invariant;
+//! * under a drifting baseline the adaptive scorer keeps anomaly contrast
+//!   while the frozen model's scores degrade.
+
+use proptest::prelude::*;
+use s2g_adapt::{AdaptConfig, AdaptiveScorer};
+use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
+use s2g_timeseries::TimeSeries;
+
+fn sine(n: usize, period: f64, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| (std::f64::consts::TAU * i as f64 / period + phase).sin())
+        .collect()
+}
+
+fn fitted(values: &[f64], pattern: usize) -> Series2Graph {
+    Series2Graph::fit(&TimeSeries::from(values.to_vec()), &S2gConfig::new(pattern)).unwrap()
+}
+
+/// Splits `values` into chunks whose sizes cycle through `sizes`.
+fn chunked<'a>(values: &'a [f64], sizes: &'a [usize]) -> Vec<&'a [f64]> {
+    let mut chunks = Vec::new();
+    let mut at = 0;
+    let mut k = 0;
+    while at < values.len() {
+        let len = sizes[k % sizes.len()].max(1).min(values.len() - at);
+        chunks.push(&values[at..at + len]);
+        at += len;
+        k += 1;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// DecayUpdate with λ = 0 emits bit-identical scores to the frozen
+    /// scorer, regardless of the stream's shape or how it is chunked —
+    /// the "adaptation off costs nothing" half of the determinism
+    /// contract.
+    #[test]
+    fn lambda_zero_is_bit_identical_to_frozen(
+        period in 70.0f64..140.0,
+        phase in 0.0f64..3.0,
+        chunk_a in 1usize..97,
+        chunk_b in 1usize..311,
+    ) {
+        let model = fitted(&sine(3000, period, 0.0), 50);
+        let stream = sine(1100, period * 1.04, phase);
+
+        let mut frozen = StreamingScorer::new(model.clone(), 150).unwrap();
+        let reference = frozen.push_batch(&stream).unwrap();
+
+        let config = AdaptConfig::default().with_lambda(0.0);
+        let mut adaptive = AdaptiveScorer::new(model, 150, config, 0).unwrap();
+        let mut emitted = Vec::new();
+        let mut updates = 0;
+        for chunk in chunked(&stream, &[chunk_a, chunk_b]) {
+            let outcome = adaptive.push_batch(chunk).unwrap();
+            emitted.extend(outcome.emitted);
+            updates = outcome.updates;
+        }
+
+        prop_assert_eq!(updates, 0);
+        prop_assert_eq!(emitted.len(), reference.len());
+        for (a, b) in emitted.iter().zip(&reference) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    /// With λ > 0 the adapted scores are reproducible across runs and
+    /// chunkings of the same stream — the "adaptation on is deterministic"
+    /// half of the contract.
+    #[test]
+    fn adaptation_is_deterministic_and_chunk_invariant(
+        period in 70.0f64..140.0,
+        chunk in 1usize..257,
+    ) {
+        let model = fitted(&sine(3000, period, 0.0), 50);
+        let stream = sine(1200, period * 1.05, 0.3);
+        let config = AdaptConfig::default().with_lambda(0.08);
+
+        let mut one = AdaptiveScorer::new(model.clone(), 150, config.clone(), 9).unwrap();
+        let whole = one.push_batch(&stream).unwrap();
+
+        let mut two = AdaptiveScorer::new(model, 150, config, 9).unwrap();
+        let mut emitted = Vec::new();
+        for block in chunked(&stream, &[chunk]) {
+            emitted.extend(two.push_batch(block).unwrap().emitted);
+        }
+
+        prop_assert_eq!(one.updates(), two.updates());
+        prop_assert_eq!(whole.emitted.len(), emitted.len());
+        for (a, b) in whole.emitted.iter().zip(&emitted) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drift scenario: a rare mode becomes the baseline
+// ---------------------------------------------------------------------------
+
+const SEG: usize = 200;
+
+fn pattern_a(i: usize) -> f64 {
+    (std::f64::consts::TAU * i as f64 / 100.0).sin()
+}
+
+/// The emerging mode: same period, different shape (double hump) — present
+/// in training, but rare, so its edges carry little weight.
+fn pattern_b(i: usize) -> f64 {
+    let phi = std::f64::consts::TAU * i as f64 / 100.0;
+    0.6 * phi.sin() + 0.55 * (2.0 * phi).sin()
+}
+
+/// Per segment of `SEG` points, emits pattern B with (deterministic)
+/// share `b_share(segment)`.
+fn mode_mix(n: usize, b_share: impl Fn(usize) -> f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let seg = i / SEG;
+            let h = (seg as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+            let u = (h % 1000) as f64 / 1000.0;
+            if u < b_share(seg) {
+                pattern_b(i)
+            } else {
+                pattern_a(i)
+            }
+        })
+        .collect()
+}
+
+/// Mean normality of late-stream normal windows and anomaly windows.
+fn grade(scores: &[(usize, f64)], anomaly: usize) -> (f64, f64) {
+    let norm: Vec<f64> = scores
+        .iter()
+        .filter(|(s, _)| *s >= 7400 && (*s + 200 < anomaly || *s > anomaly + 150))
+        .map(|&(_, v)| v)
+        .collect();
+    let anom: Vec<f64> = scores
+        .iter()
+        .filter(|(s, _)| *s >= anomaly - 20 && *s < anomaly + 50)
+        .map(|&(_, v)| v)
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    (mean(&norm), mean(&anom))
+}
+
+#[test]
+fn adaptation_keeps_anomaly_contrast_while_frozen_degrades() {
+    // Training: mostly mode A with ~8% mode B.
+    let train = mode_mix(8000, |_| 0.08);
+    let model = fitted(&train, 50);
+    let baseline = s2g_core::scoring::normality_profile(model.train_contributions(), 50, 150);
+    let baseline_mean = baseline.iter().sum::<f64>() / baseline.len() as f64;
+
+    // Live stream: B's share grows linearly until it IS the baseline; a
+    // high-frequency burst is injected once B dominates.
+    let n = 9000;
+    let segs = n / SEG;
+    let mut stream = mode_mix(n, |seg| (seg as f64 / segs as f64).min(1.0));
+    let anomaly = 8300usize;
+    for (k, v) in stream[anomaly..anomaly + 100].iter_mut().enumerate() {
+        *v = 0.8 * (std::f64::consts::TAU * k as f64 / 17.0).sin();
+    }
+
+    let mut frozen = StreamingScorer::new(model.clone(), 150).unwrap();
+    let frozen_scores = frozen.push_batch(&stream).unwrap();
+
+    let config = AdaptConfig::default()
+        .with_lambda(0.1)
+        .with_drift_window(128)
+        .with_drift_threshold(1.0)
+        .with_refit_buffer(2000)
+        .with_refit_cooldown(1500);
+    let mut adaptive = AdaptiveScorer::new(model, 150, config, 0).unwrap();
+    let outcome = adaptive.push_batch(&stream).unwrap();
+    assert!(
+        outcome.updates > 1000,
+        "the shifting mode keeps being accepted"
+    );
+
+    let (frozen_normal, frozen_anomaly) = grade(&frozen_scores, anomaly);
+    let (adaptive_normal, adaptive_anomaly) = grade(&outcome.emitted, anomaly);
+
+    // The frozen model's scores degrade: the new normal scores a fraction
+    // of the training baseline, and the injected anomaly no longer stands
+    // clearly below it.
+    assert!(
+        frozen_normal < 0.5 * baseline_mean,
+        "frozen normal {frozen_normal} should collapse below half of baseline {baseline_mean}"
+    );
+    assert!(
+        frozen_normal / frozen_anomaly.max(1e-9) < 1.3,
+        "frozen contrast should be lost: normal {frozen_normal} vs anomaly {frozen_anomaly}"
+    );
+    // The adaptive model keeps the anomaly clearly below the (tracked)
+    // normal behaviour.
+    assert!(
+        adaptive_normal / adaptive_anomaly.max(1e-9) > 1.8,
+        "adaptive contrast kept: normal {adaptive_normal} vs anomaly {adaptive_anomaly}"
+    );
+}

@@ -64,5 +64,5 @@ pub mod streaming;
 
 pub use config::S2gConfig;
 pub use error::{Error, Result};
-pub use model::Series2Graph;
+pub use model::{AdaptationLineage, Series2Graph};
 pub use streaming::StreamingScorer;

@@ -10,6 +10,23 @@ use crate::error::{Error, Result};
 use crate::nodes::NodeSet;
 use crate::scoring;
 
+/// Provenance of an *adapted* model: which fit it descends from and how far
+/// it has drifted from it. Attached to a model when online adaptation
+/// (decayed edge reweighting — see [`Series2Graph::reweight_transition`])
+/// has modified the graph since the original fit, and persisted alongside
+/// the model so adapted snapshots keep their lineage across restarts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptationLineage {
+    /// Content checksum of the parent model (the fit this adapted model
+    /// descends from), as computed by the persistence codec. Opaque to this
+    /// crate.
+    pub parent_checksum: u64,
+    /// Number of decayed edge updates applied since the parent fit.
+    pub update_count: u64,
+    /// The decay rate λ the updates were applied with.
+    pub decay_lambda: f64,
+}
+
 /// A fitted Series2Graph model: the embedding (PCA + rotation), the pattern
 /// node set, the transition graph `G_ℓ(N, E)`, and the per-gap contributions
 /// of the training series that make training-series scoring `O(|T|)`.
@@ -23,6 +40,8 @@ pub struct Series2Graph {
     train_contributions: Vec<f64>,
     /// Length of the training series.
     train_len: usize,
+    /// Adaptation provenance; `None` for a pristine fit.
+    lineage: Option<AdaptationLineage>,
 }
 
 impl Series2Graph {
@@ -46,6 +65,7 @@ impl Series2Graph {
             graph: extraction.graph,
             train_contributions,
             train_len: series.len(),
+            lineage: None,
         })
     }
 
@@ -81,6 +101,7 @@ impl Series2Graph {
             graph,
             train_contributions,
             train_len,
+            lineage: None,
         })
     }
 
@@ -88,6 +109,33 @@ impl Series2Graph {
     /// time (exposed for model persistence).
     pub fn train_contributions(&self) -> &[f64] {
         &self.train_contributions
+    }
+
+    /// Adaptation provenance of this model, or `None` for a pristine fit.
+    pub fn lineage(&self) -> Option<&AdaptationLineage> {
+        self.lineage.as_ref()
+    }
+
+    /// Stamps (or clears) the adaptation lineage. Set by the adaptation
+    /// layer when publishing an adapted snapshot and by the persistence
+    /// codec when reloading one; a pristine fit carries `None`.
+    pub fn set_lineage(&mut self, lineage: Option<AdaptationLineage>) {
+        self.lineage = lineage;
+    }
+
+    /// Applies one decayed edge update to the transition graph (see
+    /// [`DiGraph::reweight_out_edge`]): the outgoing edges of `from` decay
+    /// by `1 − λ` and the freed mass reinforces `from -> to`. The embedding,
+    /// node set and cached training contributions are untouched — the cached
+    /// contributions keep describing the *parent* fit's trajectory, which is
+    /// exactly what the persisted lineage records. `λ = 0` is an exact
+    /// no-op. Returns the applied reinforcement weight.
+    ///
+    /// # Errors
+    /// Propagates [`s2g_graph::Error`] for unknown nodes or a λ outside
+    /// `[0, 1)`.
+    pub fn reweight_transition(&mut self, from: usize, to: usize, lambda: f64) -> Result<f64> {
+        Ok(self.graph.reweight_out_edge(from, to, lambda)?)
     }
 
     /// The configuration the model was fitted with.

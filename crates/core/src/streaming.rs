@@ -26,6 +26,11 @@ pub struct StreamingScorer {
     contributions: VecDeque<f64>,
     /// Node assigned to the most recent embedded point, if any.
     last_node: Option<usize>,
+    /// The graph transition completed by the most recent push, when both of
+    /// its endpoints were assignable (`None` otherwise). This is the hook
+    /// online adaptation reinforces through
+    /// [`StreamingScorer::reweight_last_transition`].
+    last_transition: Option<(usize, usize)>,
     /// Whether at least one point has been embedded (a gap completes on
     /// every embedded point after the first).
     embedded_any: bool,
@@ -52,19 +57,65 @@ impl StreamingScorer {
             buffer: VecDeque::new(),
             contributions: VecDeque::new(),
             last_node: None,
+            last_transition: None,
             embedded_any: false,
             consumed: 0,
         })
     }
 
-    /// The fixed model scores are computed against.
+    /// The model scores are computed against. Frozen unless the adaptation
+    /// hooks ([`StreamingScorer::reweight_last_transition`]) are used.
     pub fn model(&self) -> &Series2Graph {
         &self.model
+    }
+
+    /// The query (window) length `ℓq` scores are emitted for.
+    pub fn query_length(&self) -> usize {
+        self.query_length
     }
 
     /// Number of points consumed so far.
     pub fn consumed(&self) -> usize {
         self.consumed
+    }
+
+    /// The graph transition completed by the most recent push, when both of
+    /// its endpoints mapped onto nodes (`None` right after a push whose gap
+    /// had an unassignable endpoint, or before any gap completed).
+    pub fn last_transition(&self) -> Option<(usize, usize)> {
+        self.last_transition
+    }
+
+    /// Mutable-weight update hook for online adaptation: applies one
+    /// decayed edge update (see [`Series2Graph::reweight_transition`]) to
+    /// the transition completed by the most recent push, on this scorer's
+    /// own model copy. Scores already emitted are unaffected; subsequent
+    /// pushes read the updated weights. With `λ = 0`, no transition
+    /// pending, or a source node without outgoing mass, this is an exact
+    /// no-op and the frozen path stays bit-identical.
+    ///
+    /// Returns the touched edge and the reinforcement weight applied, or
+    /// `None` when nothing was updated.
+    ///
+    /// # Errors
+    /// Propagates [`Error`] for a λ outside `[0, 1)`.
+    pub fn reweight_last_transition(&mut self, lambda: f64) -> Result<Option<(usize, usize, f64)>> {
+        // Validate λ up front, so an out-of-range value fails regardless
+        // of whether a transition happens to be pending.
+        if !(0.0..1.0).contains(&lambda) {
+            return Err(s2g_graph::Error::InvalidWeight(lambda).into());
+        }
+        let Some((from, to)) = self.last_transition else {
+            return Ok(None);
+        };
+        if lambda == 0.0 {
+            return Ok(None);
+        }
+        let applied = self.model.reweight_transition(from, to, lambda)?;
+        if applied == 0.0 {
+            return Ok(None);
+        }
+        Ok(Some((from, to, applied)))
     }
 
     /// Appends one point. Returns `Some((window_start, normality))` once a
@@ -96,12 +147,16 @@ impl StreamingScorer {
                     // offline scoring treats unseen transitions.
                     let contribution = match (self.last_node, node) {
                         (Some(prev), Some(current)) => {
+                            self.last_transition = Some((prev, current));
                             let graph = self.model.graph();
                             let weight = graph.edge_weight(prev, current).unwrap_or(0.0);
                             let degree = graph.degree(prev) as f64;
                             weight * (degree - 1.0).max(0.0)
                         }
-                        _ => 0.0,
+                        _ => {
+                            self.last_transition = None;
+                            0.0
+                        }
                     };
                     self.contributions.push_back(contribution);
                     let max_gaps = Self::gaps_per_window(self.query_length, ell);
@@ -299,6 +354,61 @@ mod tests {
         assert!(scorer.is_warmed_up());
         // Complete windows on training-like data carry genuine path weight.
         assert!(emitted.iter().skip(1).any(|&(_, s)| s > 0.0));
+    }
+
+    #[test]
+    fn last_transition_tracks_completed_gaps() {
+        let model = fitted_model();
+        let mut scorer = StreamingScorer::new(model, 100).unwrap();
+        assert_eq!(scorer.last_transition(), None);
+        let stream = sine_with_burst(500, 0, 0);
+        scorer.push_batch(&stream).unwrap();
+        // On training-like data the newest gap maps onto real graph nodes.
+        let (from, to) = scorer.last_transition().unwrap();
+        assert!(scorer.model().graph().contains_node(from));
+        assert!(scorer.model().graph().contains_node(to));
+    }
+
+    #[test]
+    fn reweight_hook_mutates_only_future_scores() {
+        let model = fitted_model();
+        let stream = sine_with_burst(1_200, 0, 0);
+        let mut frozen = StreamingScorer::new(model.clone(), 150).unwrap();
+        let mut adaptive = StreamingScorer::new(model, 150).unwrap();
+
+        let a = frozen.push_batch(&stream[..600]).unwrap();
+        let b = adaptive.push_batch(&stream[..600]).unwrap();
+        assert_eq!(a, b, "identical before any update");
+
+        // λ = 0 is an exact no-op; a real λ changes the model's weights.
+        assert!(adaptive.reweight_last_transition(0.0).unwrap().is_none());
+        let (from, to, applied) = adaptive.reweight_last_transition(0.2).unwrap().unwrap();
+        assert!(applied > 0.0);
+        let adapted_strength = adaptive.model().graph().out_strength(from);
+        let frozen_strength = frozen.model().graph().out_strength(from);
+        assert!(
+            (adapted_strength - frozen_strength).abs() < 1e-9 * frozen_strength.max(1.0),
+            "reweighting preserves out-strength: {adapted_strength} vs {frozen_strength}"
+        );
+        // The touched edge lands exactly on the EWMA update equation
+        // w' = (1 − λ)·w + λ·strength.
+        let old_weight = frozen.model().graph().edge_weight(from, to).unwrap_or(0.0);
+        let expected = 0.8 * old_weight + 0.2 * frozen_strength;
+        let new_weight = adaptive.model().graph().edge_weight(from, to).unwrap();
+        assert!(
+            (new_weight - expected).abs() < 1e-9 * expected.max(1.0),
+            "edge weight {new_weight} should be {expected}"
+        );
+        assert!(
+            adaptive.reweight_last_transition(1.5).is_err(),
+            "λ outside [0,1) is rejected"
+        );
+
+        // Frozen and adapted scorers may now diverge on the continuation,
+        // but both keep emitting one score per point.
+        let a = frozen.push_batch(&stream[600..]).unwrap();
+        let b = adaptive.push_batch(&stream[600..]).unwrap();
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //! * `s2g score` — load a persisted model and score one or more CSV series
 //!   (fanned across the worker pool when more than one input is given),
 //! * `s2g stream` — replay a CSV series through an incremental
-//!   [`StreamingScorer`] session in chunks,
+//!   [`StreamingScorer`] session in chunks; `--adapt` scores through an
+//!   [`s2g_adapt::AdaptiveScorer`] instead (decayed edge
+//!   updates, drift detection, optional refits) and reports the
+//!   adaptation summary,
 //! * `s2g bench-throughput` — synthetic multi-series throughput benchmark of
-//!   the worker pool vs. a sequential loop.
+//!   the worker pool vs. a sequential loop, with per-batch latency
+//!   percentiles and optional machine-readable `--json` output.
 //!
 //! Argument parsing is hand-rolled (the workspace is offline; no `clap`).
 //! All functions are library-level so integration tests can drive the CLI
@@ -18,6 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use s2g_adapt::{AdaptConfig, AdaptiveScorer};
 use s2g_core::config::BandwidthRule;
 use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
 use s2g_timeseries::{io, TimeSeries};
@@ -37,9 +42,13 @@ USAGE:
     s2g score  --model <model.s2g> --query-length <n> [--top-k <k>]
                [--scores-out <csv>] [--workers <n>] <input.csv> [<input.csv>...]
     s2g stream --model <model.s2g> --query-length <n> [--chunk <n>]
-               [--top-k <k>] <input.csv>
+               [--top-k <k>] [--adapt] [--adapt-lambda <x>]
+               [--normal-quantile <x>] [--drift-window <n>]
+               [--drift-threshold <x>] [--refit-buffer <n>]
+               [--refit-cooldown <n>] [--adapted-out <model.s2g>] <input.csv>
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
+                         [--batches <n>] [--json]
     s2g help
 
 Series files are single-column CSVs (one value per line; `#` comments and a
@@ -355,11 +364,49 @@ fn cmd_score(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds an [`AdaptConfig`] from the shared `--adapt-*` stream flags.
+/// Used by both the local `s2g stream --adapt` and (via the server crate)
+/// `s2g client stream --adapt`, so the two spell adaptation identically.
+pub fn adapt_config_from_args(args: &ParsedArgs) -> Result<AdaptConfig, CliError> {
+    let mut config = AdaptConfig::default();
+    if let Some(lambda) = args.f64_flag("--adapt-lambda")? {
+        config.lambda = lambda;
+    }
+    if let Some(quantile) = args.f64_flag("--normal-quantile")? {
+        config.normal_quantile = quantile;
+    }
+    if args.get("--drift-window").is_some() {
+        config.drift_window = args.usize_flag("--drift-window", None)?;
+    }
+    if let Some(threshold) = args.f64_flag("--drift-threshold")? {
+        config.drift_threshold = threshold;
+    }
+    if args.get("--refit-buffer").is_some() {
+        config.refit_buffer = args.usize_flag("--refit-buffer", None)?;
+    }
+    if args.get("--refit-cooldown").is_some() {
+        config.refit_cooldown = args.usize_flag("--refit-cooldown", None)? as u64;
+    }
+    Ok(config)
+}
+
 fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     let args = ParsedArgs::parse(
         args,
-        &["--model", "--query-length", "--chunk", "--top-k"],
-        &[],
+        &[
+            "--model",
+            "--query-length",
+            "--chunk",
+            "--top-k",
+            "--adapt-lambda",
+            "--normal-quantile",
+            "--drift-window",
+            "--drift-threshold",
+            "--refit-buffer",
+            "--refit-cooldown",
+            "--adapted-out",
+        ],
+        &["--adapt"],
     )?;
     let model_path = args.required("--model")?;
     let query_length = args.usize_flag("--query-length", None)?;
@@ -371,14 +418,32 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
         ));
     };
 
+    if args.get("--adapted-out").is_some() && !args.has("--adapt") {
+        return Err(CliError::Usage(
+            "--adapted-out requires --adapt".to_string(),
+        ));
+    }
     let model = codec::load_model(model_path)?;
     let series = io::read_series(input)?;
-    let mut scorer = StreamingScorer::new(model.clone(), query_length)?;
-    let mut emitted = Vec::new();
     let started = Instant::now();
-    for block in series.values().chunks(chunk) {
-        emitted.extend(scorer.push_batch(block)?);
-    }
+    let (emitted, adapted) = if args.has("--adapt") {
+        let adapt_config = adapt_config_from_args(&args)?;
+        let parent_checksum = codec::model_checksum(&model);
+        let mut scorer =
+            AdaptiveScorer::new(model.clone(), query_length, adapt_config, parent_checksum)?;
+        let mut emitted = Vec::new();
+        for block in series.values().chunks(chunk) {
+            emitted.extend(scorer.push_batch(block)?.emitted);
+        }
+        (emitted, Some(scorer))
+    } else {
+        let mut scorer = StreamingScorer::new(model.clone(), query_length)?;
+        let mut emitted = Vec::new();
+        for block in series.values().chunks(chunk) {
+            emitted.extend(scorer.push_batch(block)?);
+        }
+        (emitted, None)
+    };
     let elapsed = started.elapsed();
 
     let anomalies = StreamingScorer::to_anomaly_scores(&emitted);
@@ -394,7 +459,34 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
         let (start, score) = anomalies[idx];
         println!("{input}\t{}\t{start}\t{score}", rank + 1);
     }
+    if let Some(scorer) = adapted {
+        let drift = scorer.drift_stats();
+        println!(
+            "adaptation: {} decayed updates, {} refits, drift shift {:.3} ({})",
+            scorer.updates(),
+            scorer.refits(),
+            drift.shift,
+            if drift.drifting { "drifting" } else { "stable" }
+        );
+        if let Some(out_path) = args.get("--adapted-out") {
+            codec::save_model(out_path, &scorer.snapshot())?;
+            println!(
+                "adapted model saved to {out_path} (parent {:#018x}, {} updates)",
+                scorer.lineage().parent_checksum,
+                scorer.updates()
+            );
+        }
+    }
     Ok(())
+}
+
+/// Nearest-rank percentile of already-sorted latencies, in milliseconds.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
@@ -406,8 +498,9 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             "--length",
             "--pattern-length",
             "--query-length",
+            "--batches",
         ],
-        &[],
+        &["--json"],
     )?;
     let workers = args
         .usize_flag("--workers", Some(EngineConfig::default().workers))?
@@ -416,6 +509,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let length = args.usize_flag("--length", Some(20_000))?.max(1_000);
     let pattern_length = args.usize_flag("--pattern-length", Some(50))?;
     let query_length = args.usize_flag("--query-length", Some(150))?;
+    let batches = args.usize_flag("--batches", Some(9))?.max(1);
+    let json = args.has("--json");
 
     // Deterministic synthetic fleet: phase-shifted sines with a small
     // index-dependent wobble, so every run measures identical work.
@@ -445,44 +540,80 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     }
     let seq_time = t0.elapsed();
 
+    // Run the same batch repeatedly through the pool and collect one
+    // latency sample per batch, so tail percentiles mean something.
     let pool = crate::pool::WorkerPool::new(workers);
-    let jobs: Vec<ScoreJob> = fleet
-        .iter()
-        .map(|series| ScoreJob {
-            model: Arc::clone(&model),
-            series: series.clone(),
-            query_length,
-        })
-        .collect();
-    let t1 = Instant::now();
-    let pooled: Vec<Vec<f64>> = pool
-        .score_batch(jobs)
-        .into_iter()
-        .collect::<Result<_, _>>()
-        .map_err(CliError::from)?;
-    let pool_time = t1.elapsed();
-
+    let mut batch_ms: Vec<f64> = Vec::with_capacity(batches);
+    let mut pooled: Vec<Vec<f64>> = Vec::new();
+    for round in 0..batches {
+        let jobs: Vec<ScoreJob> = fleet
+            .iter()
+            .map(|series| ScoreJob {
+                model: Arc::clone(&model),
+                series: series.clone(),
+                query_length,
+            })
+            .collect();
+        let t1 = Instant::now();
+        let result: Vec<Vec<f64>> = pool
+            .score_batch(jobs)
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .map_err(CliError::from)?;
+        batch_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+        if round == 0 {
+            pooled = result;
+        } else if pooled != result {
+            return Err(CliError::Runtime(
+                "pool scores diverged across batches".to_string(),
+            ));
+        }
+    }
     if pooled != sequential {
         return Err(CliError::Runtime(
             "pool scores diverged from sequential scores".to_string(),
         ));
     }
 
-    let throughput =
-        |elapsed: std::time::Duration| total_points as f64 / elapsed.as_secs_f64().max(1e-9);
-    println!(
-        "bench-throughput: {n_series} series × {length} points, ℓ={pattern_length}, ℓq={query_length}"
+    let mut sorted = batch_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    let (p50, p95, p99) = (
+        percentile_ms(&sorted, 0.50),
+        percentile_ms(&sorted, 0.95),
+        percentile_ms(&sorted, 0.99),
     );
+    let median_batch_secs = p50 / 1e3;
+    let pool_pps = total_points as f64 / median_batch_secs.max(1e-9);
+    let seq_pps = total_points as f64 / seq_time.as_secs_f64().max(1e-9);
+    let speedup = seq_time.as_secs_f64() / median_batch_secs.max(1e-9);
+
+    if json {
+        // One machine-readable line for BENCH_*.json trajectories in CI.
+        // Plain format! keeps this crate JSON-free; every value is a
+        // number or literal, so the output is always valid JSON.
+        println!(
+            "{{\"bench\":\"throughput\",\"workers\":{workers},\"series\":{n_series},\
+             \"length\":{length},\"pattern_length\":{pattern_length},\
+             \"query_length\":{query_length},\"batches\":{batches},\
+             \"total_points\":{total_points},\
+             \"sequential_ms\":{:.3},\"sequential_points_per_sec\":{:.0},\
+             \"batch_p50_ms\":{p50:.3},\"batch_p95_ms\":{p95:.3},\"batch_p99_ms\":{p99:.3},\
+             \"pool_points_per_sec\":{pool_pps:.0},\"speedup\":{speedup:.3},\
+             \"deterministic\":true}}",
+            seq_time.as_secs_f64() * 1e3,
+            seq_pps,
+        );
+        return Ok(());
+    }
+
     println!(
-        "sequential: {seq_time:.2?} ({:>12.0} points/s)",
-        throughput(seq_time)
+        "bench-throughput: {n_series} series × {length} points, ℓ={pattern_length}, ℓq={query_length}, {batches} batches"
     );
+    println!("sequential: {seq_time:.2?} ({seq_pps:>12.0} points/s)");
     println!(
-        "pool ({workers} workers): {pool_time:.2?} ({:>12.0} points/s, {:.2}x)",
-        throughput(pool_time),
-        seq_time.as_secs_f64() / pool_time.as_secs_f64().max(1e-9)
+        "pool ({workers} workers): p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms per batch ({pool_pps:>12.0} points/s, {speedup:.2}x)"
     );
-    println!("determinism: pool output identical to sequential ✓");
+    println!("determinism: pool output identical to sequential across all batches ✓");
     Ok(())
 }
 
@@ -632,7 +763,89 @@ mod tests {
             "40",
             "--query-length",
             "120",
+            "--batches",
+            "3",
         ]))
         .unwrap();
+        // The machine-readable variant must run too (stdout is asserted by
+        // the cross-process CLI test).
+        dispatch(&strs(&[
+            "bench-throughput",
+            "--workers",
+            "2",
+            "--series",
+            "2",
+            "--length",
+            "2000",
+            "--pattern-length",
+            "40",
+            "--query-length",
+            "120",
+            "--batches",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn stream_adapt_round_trips_an_adapted_model() {
+        let input = tmp("adapt_input.csv");
+        let model_path = tmp("adapt_model.s2g");
+        let adapted_path = tmp("adapt_out.s2g");
+        write_sine(&input, 4000, None);
+
+        dispatch(&strs(&[
+            "fit",
+            "--input",
+            input.to_str().unwrap(),
+            "--output",
+            model_path.to_str().unwrap(),
+            "--pattern-length",
+            "50",
+        ]))
+        .unwrap();
+
+        // --adapted-out without --adapt is a usage error.
+        assert!(matches!(
+            dispatch(&strs(&[
+                "stream",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--query-length",
+                "150",
+                "--adapted-out",
+                adapted_path.to_str().unwrap(),
+                input.to_str().unwrap(),
+            ])),
+            Err(CliError::Usage(_))
+        ));
+
+        dispatch(&strs(&[
+            "stream",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--query-length",
+            "150",
+            "--adapt",
+            "--adapt-lambda",
+            "0.05",
+            "--adapted-out",
+            adapted_path.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The adapted model reloads with lineage pointing at the parent.
+        let parent = codec::load_model(&model_path).unwrap();
+        let adapted = codec::load_model(&adapted_path).unwrap();
+        let lineage = adapted.lineage().expect("adapted model carries lineage");
+        assert_eq!(lineage.parent_checksum, codec::model_checksum(&parent));
+        assert!(lineage.update_count > 0);
+        assert_eq!(lineage.decay_lambda, 0.05);
+
+        for p in [&input, &model_path, &adapted_path] {
+            std::fs::remove_file(p).ok();
+        }
     }
 }

@@ -38,7 +38,13 @@
 //! | 3 `points` | n u64, then n × (y f64, z f64) |
 //! | 4 `nodes` | rate u64, then per ray an f64[] of node radii |
 //! | 5 `graph` | node_count u64, edge_count u64, then per edge from u64, to u64, weight f64 |
-//! | 6 `train` | train_len u64, contributions f64[] |
+//! | 6 `train` | train_len u64, contributions f64[], then *optionally* the adaptation lineage: parent_checksum u64, update_count u64, decay_lambda f64 |
+//!
+//! The lineage tail is written only for adapted models (those carrying an
+//! [`AdaptationLineage`]); pristine fits encode exactly as before, so their
+//! checksums are unchanged and older files (without the tail) keep
+//! decoding. Readers detect the tail by the bytes remaining after the
+//! contributions array.
 //!
 //! ## Version 1 (legacy, read-compatible)
 //!
@@ -59,7 +65,7 @@ use std::path::Path;
 use s2g_core::config::BandwidthRule;
 use s2g_core::embedding::Embedding;
 use s2g_core::nodes::NodeSet;
-use s2g_core::{S2gConfig, Series2Graph};
+use s2g_core::{AdaptationLineage, S2gConfig, Series2Graph};
 use s2g_graph::DiGraph;
 use s2g_linalg::matrix::DMatrix;
 use s2g_linalg::pca::{Pca, PcaSolver};
@@ -585,6 +591,13 @@ fn write_graph_section(w: &mut Writer, graph: &DiGraph) {
 fn write_train_section(w: &mut Writer, model: &Series2Graph) {
     w.put_usize(model.train_len());
     w.put_f64_array(model.train_contributions());
+    // The lineage tail is only present for adapted models, so pristine
+    // fits keep their pre-adaptation encoding (and checksum) exactly.
+    if let Some(lineage) = model.lineage() {
+        w.put_u64(lineage.parent_checksum);
+        w.put_u64(lineage.update_count);
+        w.put_f64(lineage.decay_lambda);
+    }
 }
 
 /// The six section payloads of a model, in [`SectionKind::ALL`] order.
@@ -816,13 +829,24 @@ fn read_graph_section(r: &mut Reader<'_>, expected_nodes: usize) -> Result<DiGra
     DiGraph::from_edges(node_count, edges).map_err(|e| Error::Format(format!("graph.edge: {e}")))
 }
 
-fn read_train_section(r: &mut Reader<'_>) -> Result<(usize, Vec<f64>)> {
+fn read_train_section(r: &mut Reader<'_>) -> Result<(usize, Vec<f64>, Option<AdaptationLineage>)> {
     let train_len = r.get_usize("train.len")?;
     let train_contributions = r.get_f64_array("train.contributions")?;
-    Ok((train_len, train_contributions))
+    // Adapted models append their lineage; pristine fits end here.
+    let lineage = if r.is_exhausted() {
+        None
+    } else {
+        Some(AdaptationLineage {
+            parent_checksum: r.get_u64("train.lineage.parent_checksum")?,
+            update_count: r.get_u64("train.lineage.update_count")?,
+            decay_lambda: r.get_f64("train.lineage.decay_lambda")?,
+        })
+    };
+    Ok((train_len, train_contributions, lineage))
 }
 
 /// Reassembles a model from fully-read section contents.
+#[allow(clippy::too_many_arguments)]
 fn assemble_model(
     config: S2gConfig,
     parts: EmbeddingParts,
@@ -831,6 +855,7 @@ fn assemble_model(
     graph: DiGraph,
     train_len: usize,
     train_contributions: Vec<f64>,
+    lineage: Option<AdaptationLineage>,
 ) -> Result<Series2Graph> {
     let embedding = Embedding::from_parts(
         config.pattern_length,
@@ -840,14 +865,16 @@ fn assemble_model(
         points,
         parts.explained_variance_ratio,
     );
-    Ok(Series2Graph::from_parts(
+    let mut model = Series2Graph::from_parts(
         config,
         embedding,
         nodes,
         graph,
         train_contributions,
         train_len,
-    )?)
+    )?;
+    model.set_lineage(lineage);
+    Ok(model)
 }
 
 // ---------------------------------------------------------------------------
@@ -908,7 +935,7 @@ fn decode_v1_body(body: &[u8]) -> Result<Series2Graph> {
     let points = read_points_section(&mut r)?;
     let nodes = read_nodes_section(&mut r, config.rate)?;
     let graph = read_graph_section(&mut r, nodes.node_count())?;
-    let (train_len, train_contributions) = read_train_section(&mut r)?;
+    let (train_len, train_contributions, lineage) = read_train_section(&mut r)?;
     if !r.is_exhausted() {
         return Err(Error::Format(format!(
             "{} trailing bytes after the last section",
@@ -923,6 +950,7 @@ fn decode_v1_body(body: &[u8]) -> Result<Series2Graph> {
         graph,
         train_len,
         train_contributions,
+        lineage,
     )
 }
 
@@ -962,7 +990,7 @@ pub fn decode_model_from_sections(
     r.expect_exhausted("graph")?;
 
     let mut r = Reader::new(train);
-    let (train_len, train_contributions) = read_train_section(&mut r)?;
+    let (train_len, train_contributions, lineage) = read_train_section(&mut r)?;
     r.expect_exhausted("train")?;
 
     assemble_model(
@@ -973,6 +1001,7 @@ pub fn decode_model_from_sections(
         graph,
         train_len,
         train_contributions,
+        lineage,
     )
 }
 
@@ -1011,6 +1040,31 @@ pub fn peek_graph_counts(payload: &[u8]) -> Result<(usize, usize)> {
 pub fn peek_train_len(payload: &[u8]) -> Result<usize> {
     let mut r = Reader::new(payload);
     r.get_usize("train.len")
+}
+
+/// Reads the adaptation lineage from a train section payload without
+/// materialising the contributions array: `Ok(None)` for a pristine fit
+/// (no lineage tail), the lineage for an adapted snapshot. This is how a
+/// store answers "is this file adapted, and from what?" from its already
+/// resident small sections.
+///
+/// # Errors
+/// [`Error::Format`] on a malformed payload.
+pub fn peek_train_lineage(payload: &[u8]) -> Result<Option<AdaptationLineage>> {
+    let mut r = Reader::new(payload);
+    let _train_len = r.get_usize("train.len")?;
+    let n = r.get_len(8, "train.contributions")?;
+    r.take(n * 8, "train.contributions")?;
+    if r.is_exhausted() {
+        return Ok(None);
+    }
+    let lineage = AdaptationLineage {
+        parent_checksum: r.get_u64("train.lineage.parent_checksum")?,
+        update_count: r.get_u64("train.lineage.update_count")?,
+        decay_lambda: r.get_f64("train.lineage.decay_lambda")?,
+    };
+    r.expect_exhausted("train")?;
+    Ok(Some(lineage))
 }
 
 /// Number of embedded points a points section payload declares, computed
@@ -1168,6 +1222,55 @@ mod tests {
         // Other sections still verify: the damage is localised.
         let graph = index.require(SectionKind::Graph).unwrap();
         verify_section(graph, index.slice(&bytes, SectionKind::Graph).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn lineage_round_trips_and_leaves_pristine_checksums_untouched() {
+        let pristine = fitted();
+        let pristine_bytes = encode_model(&pristine);
+
+        let mut adapted = pristine.clone();
+        adapted.set_lineage(Some(AdaptationLineage {
+            parent_checksum: checksum_trailer(&pristine_bytes),
+            update_count: 42,
+            decay_lambda: 0.05,
+        }));
+        let adapted_bytes = encode_model(&adapted);
+        // Adapted and pristine encodings differ only by the lineage tail.
+        assert_eq!(adapted_bytes.len(), pristine_bytes.len() + 24);
+        assert_ne!(
+            checksum_trailer(&adapted_bytes),
+            checksum_trailer(&pristine_bytes)
+        );
+
+        // Full decode restores the lineage bit-for-bit…
+        let back = decode_model(&adapted_bytes).unwrap();
+        let lineage = back.lineage().unwrap();
+        assert_eq!(lineage.parent_checksum, checksum_trailer(&pristine_bytes));
+        assert_eq!(lineage.update_count, 42);
+        assert_eq!(lineage.decay_lambda.to_bits(), 0.05f64.to_bits());
+        assert_eq!(encode_model(&back), adapted_bytes);
+        // …and a pristine decode carries no lineage.
+        assert!(decode_model(&pristine_bytes).unwrap().lineage().is_none());
+
+        // The peek reads the lineage from the train payload alone.
+        let index = parse_section_index(&adapted_bytes).unwrap();
+        let train = index.slice(&adapted_bytes, SectionKind::Train).unwrap();
+        let peeked = peek_train_lineage(train).unwrap().unwrap();
+        assert_eq!(peeked, *back.lineage().unwrap());
+        let pristine_index = parse_section_index(&pristine_bytes).unwrap();
+        let pristine_train = pristine_index
+            .slice(&pristine_bytes, SectionKind::Train)
+            .unwrap();
+        assert!(peek_train_lineage(pristine_train).unwrap().is_none());
+
+        // The v1 layout carries the lineage too.
+        let v1 = encode_model_v1(&adapted);
+        assert_eq!(
+            decode_model(&v1).unwrap().lineage(),
+            back.lineage(),
+            "v1 round-trip must preserve lineage"
+        );
     }
 
     #[test]

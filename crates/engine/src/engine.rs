@@ -16,13 +16,33 @@
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use s2g_core::{S2gConfig, Series2Graph};
+use s2g_adapt::{AdaptAction, AdaptConfig, DriftStats};
+use s2g_core::{AdaptationLineage, S2gConfig, Series2Graph};
 use s2g_timeseries::TimeSeries;
 
+use crate::codec;
 use crate::error::{Error, Result};
 use crate::pool::{FitJob, ScoreJob, WorkerPool};
 use crate::registry::{self, ModelInfo, ModelRegistry};
 use crate::storage::{ModelStorage, StoredModelMeta};
+
+/// Adaptation status of one push against an adaptive stream, after the
+/// engine has published any due snapshot.
+#[derive(Debug, Clone)]
+pub struct AdaptStatus {
+    /// Cumulative accepted decay updates of the session.
+    pub updates: u64,
+    /// Cumulative successful refits of the session.
+    pub refits: u64,
+    /// The last policy decision during this push.
+    pub action: AdaptAction,
+    /// Drift statistics after this push.
+    pub drift: DriftStats,
+    /// Content checksum of the snapshot this push published (registered
+    /// in the registry and persisted when a store is mounted); `None`
+    /// when no snapshot was due.
+    pub published_checksum: Option<u64>,
+}
 
 /// Construction parameters for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -135,6 +155,16 @@ impl Engine {
         // store keeps one model while the registry serves the other —
         // and a restart would silently change which model answers.
         let _guard = self.registration_guard();
+        self.register_fitted_locked(name, model)
+    }
+
+    /// [`Engine::register_fitted`] body; the caller holds the
+    /// registration guard.
+    fn register_fitted_locked(
+        &self,
+        name: String,
+        model: Arc<Series2Graph>,
+    ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
         match &self.storage {
             Some(storage) => {
                 let checksum = storage.save(&name, &model)?;
@@ -359,7 +389,9 @@ impl Engine {
     /// too when a store is mounted (delete-through). Returns `Ok(true)`
     /// when a model was removed from either place. Open streaming sessions
     /// keep scoring against their `Arc`-shared handle until they are
-    /// closed.
+    /// closed — but an *adaptive* session stops publishing snapshots for
+    /// a removed name (see [`Engine::publish_adapted`]), so the deletion
+    /// sticks.
     ///
     /// # Errors
     /// Store filesystem failures (the registry entry is gone regardless).
@@ -389,10 +421,131 @@ impl Engine {
         self.pool.open_stream(stream_id, model, query_length)
     }
 
+    /// Opens an *adaptive* streaming session: the session's model copy
+    /// tracks confirmed-normal behaviour with decayed edge updates and
+    /// refits from recent history when the score distribution drifts (see
+    /// `s2g_adapt`). Snapshots the session publishes are registered under
+    /// `model_name` — an atomic version swap: sessions already open keep
+    /// scoring their pinned version, new sessions and scores see the
+    /// adapted one — and persisted when a store is mounted. The snapshot
+    /// lineage records this model's checksum as parent.
+    pub fn open_adaptive_stream(
+        &self,
+        stream_id: impl Into<String>,
+        model_name: &str,
+        query_length: usize,
+        config: AdaptConfig,
+    ) -> Result<()> {
+        // Handle and checksum must describe the *same* registration (a
+        // by-name re-lookup could race a concurrent re-fit), so both are
+        // read under one registry lock; the checksum was cached there at
+        // registration. The re-encode fallback only runs when the model
+        // is not registry-resident even after a load-through — i.e. a
+        // concurrent removal won the race.
+        let (model, parent_checksum) = match self.registry.get_with_checksum(model_name) {
+            Some(pair) => pair,
+            None => {
+                let model = self.model_handle(model_name)?;
+                match self.registry.get_with_checksum(model_name) {
+                    Some(pair) => pair,
+                    None => {
+                        let checksum = codec::model_checksum(&model);
+                        (model, checksum)
+                    }
+                }
+            }
+        };
+        self.pool.open_adaptive_stream(
+            stream_id,
+            model,
+            query_length,
+            config,
+            model_name,
+            parent_checksum,
+        )
+    }
+
     /// Feeds points into an open stream, returning the emitted
-    /// `(window_start, normality)` pairs.
+    /// `(window_start, normality)` pairs. Due snapshots of adaptive
+    /// sessions are published as a side effect (see
+    /// [`Engine::push_stream_detailed`] for the full status).
     pub fn push_stream(&self, stream_id: &str, values: &[f64]) -> Result<Vec<(usize, f64)>> {
-        self.pool.push_stream(stream_id, values)
+        Ok(self.push_stream_detailed(stream_id, values)?.0)
+    }
+
+    /// Feeds points into an open stream, returning the emitted windows
+    /// plus — for adaptive sessions — the adaptation status. When the
+    /// session produced a snapshot, it is registered under the session's
+    /// model name (and persisted when a store is mounted) *before* this
+    /// returns, so a restart right after the push serves the adapted
+    /// model.
+    #[allow(clippy::type_complexity)]
+    pub fn push_stream_detailed(
+        &self,
+        stream_id: &str,
+        values: &[f64],
+    ) -> Result<(Vec<(usize, f64)>, Option<AdaptStatus>)> {
+        let push = self.pool.push_stream_detailed(stream_id, values)?;
+        let status = match push.adapt {
+            None => None,
+            Some(report) => {
+                let published_checksum = match report.snapshot {
+                    Some(snapshot) => {
+                        self.publish_adapted(&report.model_name, Arc::new(snapshot))?
+                    }
+                    None => None,
+                };
+                Some(AdaptStatus {
+                    updates: report.updates,
+                    refits: report.refits,
+                    action: report.action,
+                    drift: report.drift,
+                    published_checksum,
+                })
+            }
+        };
+        Ok((push.emitted, status))
+    }
+
+    /// Publishes an adapted snapshot under `name`: persisted first when a
+    /// store is mounted (durable before visible, like any fit), then
+    /// atomically swapped into the registry. Returns the snapshot's
+    /// content checksum, or `Ok(None)` when `name` no longer denotes a
+    /// model — an open adaptive session must not *resurrect* a model the
+    /// operator deleted, so publication is skipped once the name is gone
+    /// from both the registry and the store (the session keeps scoring
+    /// against its pinned handle regardless). Open sessions keep their
+    /// pinned `Arc` handles; everything that resolves `name` from now on
+    /// gets the snapshot.
+    pub fn publish_adapted(&self, name: &str, snapshot: Arc<Series2Graph>) -> Result<Option<u64>> {
+        registry::validate_model_name(name)?;
+        // The existence check and the swap share the registration guard,
+        // so a concurrent remove_model either completes before (and the
+        // publication is skipped) or after (and removes the snapshot) —
+        // never interleaved so that a deleted name comes back.
+        let _guard = self.registration_guard();
+        let exists = self.registry.peek(name).is_some()
+            || self
+                .storage
+                .as_ref()
+                .is_some_and(|storage| storage.meta(name).is_some());
+        if !exists {
+            return Ok(None);
+        }
+        let (_, info) = self.register_fitted_locked(name.to_string(), snapshot)?;
+        Ok(Some(info.checksum))
+    }
+
+    /// Adaptation lineage of the model registered under `name`: `Some`
+    /// for an adapted snapshot, `None` for a pristine fit or an unknown
+    /// name. Falls back to the mounted store for models that are persisted
+    /// but not loaded; never bumps registry recency and never faults in a
+    /// stored model's payload.
+    pub fn model_lineage(&self, name: &str) -> Option<AdaptationLineage> {
+        if let Some(model) = self.registry.peek(name) {
+            return model.lineage().copied();
+        }
+        self.storage.as_ref().and_then(|s| s.lineage(name))
     }
 
     /// Closes a stream, returning how many points it consumed.

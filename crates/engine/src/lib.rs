@@ -68,11 +68,13 @@ pub mod registry;
 pub mod storage;
 mod util;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{AdaptStatus, Engine, EngineConfig};
 pub use error::{Error, Result};
-pub use pool::{FitJob, ScoreJob, WorkerPool};
+pub use pool::{AdaptReport, FitJob, ScoreJob, StreamPush, WorkerPool};
 pub use registry::{validate_model_name, ModelInfo, ModelRegistry};
 pub use storage::{ModelStorage, StoredModelMeta};
 
-// Re-exported so downstream users of the engine see the model types it serves.
-pub use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
+// Re-exported so downstream users of the engine see the model types it
+// serves and the adaptation vocabulary its streams speak.
+pub use s2g_adapt::{AdaptAction, AdaptConfig, AdaptiveScorer, DriftStats};
+pub use s2g_core::{AdaptationLineage, S2gConfig, Series2Graph, StreamingScorer};

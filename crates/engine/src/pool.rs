@@ -16,6 +16,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use s2g_adapt::{AdaptAction, AdaptConfig, AdaptiveScorer, DriftStats};
 use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
 use s2g_timeseries::TimeSeries;
 
@@ -39,6 +40,54 @@ pub struct ScoreJob {
     pub query_length: usize,
 }
 
+/// Adaptation bookkeeping one push of an adaptive session produced, as
+/// reported by the owning worker. The engine publishes the snapshot (if
+/// any) to its registry and store; the rest is telemetry for the caller.
+#[derive(Debug)]
+pub struct AdaptReport {
+    /// Registry name of the model the session adapts (publication target).
+    pub model_name: String,
+    /// Cumulative accepted decay updates of the session.
+    pub updates: u64,
+    /// Cumulative successful refits of the session.
+    pub refits: u64,
+    /// The last policy decision during this push.
+    pub action: AdaptAction,
+    /// Drift statistics after this push.
+    pub drift: DriftStats,
+    /// A lineage-stamped adapted snapshot due for publication.
+    pub snapshot: Option<Series2Graph>,
+}
+
+/// What one stream push emitted: the scored windows plus, for adaptive
+/// sessions, the adaptation report.
+#[derive(Debug)]
+pub struct StreamPush {
+    /// Emitted `(window_start, normality)` pairs (global coordinates).
+    pub emitted: Vec<(usize, f64)>,
+    /// Adaptation bookkeeping; `None` for frozen sessions.
+    pub adapt: Option<AdaptReport>,
+}
+
+/// How a streaming session scores: frozen against a pinned model copy, or
+/// adaptively (see [`AdaptiveScorer`]).
+enum WorkerSession {
+    Frozen(Box<StreamingScorer>),
+    Adaptive {
+        scorer: Box<AdaptiveScorer>,
+        model_name: String,
+    },
+}
+
+impl WorkerSession {
+    fn consumed(&self) -> usize {
+        match self {
+            WorkerSession::Frozen(scorer) => scorer.consumed(),
+            WorkerSession::Adaptive { scorer, .. } => scorer.consumed(),
+        }
+    }
+}
+
 enum Job {
     Fit {
         idx: usize,
@@ -54,12 +103,16 @@ enum Job {
         id: String,
         model: Arc<Series2Graph>,
         query_length: usize,
+        /// `Some` opens an adaptive session: the adapt configuration, the
+        /// registry name publications go to, and the parent checksum
+        /// stamped into snapshot lineage.
+        adapt: Option<(AdaptConfig, String, u64)>,
         reply: Sender<Result<()>>,
     },
     PushStream {
         id: String,
         values: Vec<f64>,
-        reply: Sender<Result<Vec<(usize, f64)>>>,
+        reply: Sender<Result<StreamPush>>,
     },
     CloseStream {
         id: String,
@@ -154,8 +207,8 @@ impl WorkerPool {
             .collect()
     }
 
-    /// Opens a streaming session pinned to one shard. All subsequent pushes
-    /// for `id` execute on that shard in submission order.
+    /// Opens a frozen streaming session pinned to one shard. All subsequent
+    /// pushes for `id` execute on that shard in submission order.
     ///
     /// # Errors
     /// [`Error::StreamExists`] when the id is already open, or the scorer's
@@ -166,7 +219,44 @@ impl WorkerPool {
         model: Arc<Series2Graph>,
         query_length: usize,
     ) -> Result<()> {
-        let id = id.into();
+        self.open_stream_inner(id.into(), model, query_length, None)
+    }
+
+    /// Opens an *adaptive* streaming session pinned to one shard: the
+    /// session's model copy tracks confirmed-normal behaviour with decayed
+    /// edge updates and refits from recent history when the score
+    /// distribution drifts. Published snapshots name `model_name` and
+    /// carry `parent_checksum` in their lineage. Refits run on the
+    /// session's pinned worker thread — on the pool, off the caller's
+    /// serving thread for everything except the push that triggers them.
+    ///
+    /// # Errors
+    /// [`Error::StreamExists`] when the id is already open; config or
+    /// scorer construction errors.
+    pub fn open_adaptive_stream(
+        &self,
+        id: impl Into<String>,
+        model: Arc<Series2Graph>,
+        query_length: usize,
+        config: AdaptConfig,
+        model_name: impl Into<String>,
+        parent_checksum: u64,
+    ) -> Result<()> {
+        self.open_stream_inner(
+            id.into(),
+            model,
+            query_length,
+            Some((config, model_name.into(), parent_checksum)),
+        )
+    }
+
+    fn open_stream_inner(
+        &self,
+        id: String,
+        model: Arc<Series2Graph>,
+        query_length: usize,
+        adapt: Option<(AdaptConfig, String, u64)>,
+    ) -> Result<()> {
         let shard = self.shard_for_stream(&id);
         let (reply, inbox) = channel();
         self.shards[shard]
@@ -174,6 +264,7 @@ impl WorkerPool {
                 id,
                 model,
                 query_length,
+                adapt,
                 reply,
             })
             .map_err(|_| Error::PoolClosed)?;
@@ -181,8 +272,16 @@ impl WorkerPool {
     }
 
     /// Feeds points into an open streaming session, returning the
-    /// `(window_start, normality)` pairs emitted by this chunk.
+    /// `(window_start, normality)` pairs emitted by this chunk. For
+    /// adaptive sessions prefer [`WorkerPool::push_stream_detailed`] —
+    /// this helper discards the adaptation report (snapshots included).
     pub fn push_stream(&self, id: &str, values: &[f64]) -> Result<Vec<(usize, f64)>> {
+        Ok(self.push_stream_detailed(id, values)?.emitted)
+    }
+
+    /// Feeds points into an open streaming session, returning the emitted
+    /// windows plus, for adaptive sessions, the adaptation report.
+    pub fn push_stream_detailed(&self, id: &str, values: &[f64]) -> Result<StreamPush> {
         let shard = self.shard_for_stream(id);
         let (reply, inbox) = channel();
         self.shards[shard]
@@ -228,7 +327,7 @@ impl std::fmt::Debug for WorkerPool {
 }
 
 fn worker_loop(rx: Receiver<Job>) {
-    let mut sessions: HashMap<String, StreamingScorer> = HashMap::new();
+    let mut sessions: HashMap<String, WorkerSession> = HashMap::new();
     while let Ok(job) = rx.recv() {
         match job {
             Job::Fit { idx, job, reply } => {
@@ -246,6 +345,7 @@ fn worker_loop(rx: Receiver<Job>) {
                 id,
                 model,
                 query_length,
+                adapt,
                 reply,
             } => {
                 let result = match sessions.entry(id) {
@@ -253,9 +353,23 @@ fn worker_loop(rx: Receiver<Job>) {
                         Err(Error::StreamExists(occupied.key().clone()))
                     }
                     std::collections::hash_map::Entry::Vacant(vacant) => {
-                        match StreamingScorer::new((*model).clone(), query_length) {
-                            Ok(scorer) => {
-                                vacant.insert(scorer);
+                        let session = match adapt {
+                            None => StreamingScorer::new((*model).clone(), query_length)
+                                .map(|scorer| WorkerSession::Frozen(Box::new(scorer))),
+                            Some((config, model_name, parent_checksum)) => AdaptiveScorer::new(
+                                (*model).clone(),
+                                query_length,
+                                config,
+                                parent_checksum,
+                            )
+                            .map(|scorer| WorkerSession::Adaptive {
+                                scorer: Box::new(scorer),
+                                model_name,
+                            }),
+                        };
+                        match session {
+                            Ok(session) => {
+                                vacant.insert(session);
                                 Ok(())
                             }
                             Err(e) => Err(Error::from(e)),
@@ -266,14 +380,34 @@ fn worker_loop(rx: Receiver<Job>) {
             }
             Job::PushStream { id, values, reply } => {
                 let result = match sessions.get_mut(&id) {
-                    Some(scorer) => scorer.push_batch(&values).map_err(Error::from),
+                    Some(WorkerSession::Frozen(scorer)) => scorer
+                        .push_batch(&values)
+                        .map(|emitted| StreamPush {
+                            emitted,
+                            adapt: None,
+                        })
+                        .map_err(Error::from),
+                    Some(WorkerSession::Adaptive { scorer, model_name }) => scorer
+                        .push_batch(&values)
+                        .map(|outcome| StreamPush {
+                            emitted: outcome.emitted,
+                            adapt: Some(AdaptReport {
+                                model_name: model_name.clone(),
+                                updates: outcome.updates,
+                                refits: outcome.refits,
+                                action: outcome.action,
+                                drift: outcome.drift,
+                                snapshot: outcome.snapshot,
+                            }),
+                        })
+                        .map_err(Error::from),
                     None => Err(Error::UnknownStream(id)),
                 };
                 let _ = reply.send(result);
             }
             Job::CloseStream { id, reply } => {
                 let result = match sessions.remove(&id) {
-                    Some(scorer) => Ok(scorer.consumed()),
+                    Some(session) => Ok(session.consumed()),
                     None => Err(Error::UnknownStream(id)),
                 };
                 let _ = reply.send(result);

@@ -252,6 +252,14 @@ impl ModelRegistry {
     }
 
     /// Returns the model stored under `name`, bumping its recency.
+    ///
+    /// Recency contract: exactly the paths that *serve* a model bump its
+    /// `last_used` stamp — `get`/`require` (hits) and the `insert_*`
+    /// family (which is how a store load-through lands, so a loaded-through
+    /// model is as recent as a registry hit). Metadata reads
+    /// ([`ModelRegistry::info`], [`ModelRegistry::list`],
+    /// [`ModelRegistry::peek`]) never bump, so introspection cannot
+    /// perturb the eviction order.
     pub fn get(&self, name: &str) -> Option<Arc<Series2Graph>> {
         let mut inner = self.lock();
         inner.clock += 1;
@@ -259,6 +267,32 @@ impl ModelRegistry {
         inner.models.get_mut(name).map(|entry| {
             entry.last_used = stamp;
             Arc::clone(&entry.model)
+        })
+    }
+
+    /// Returns the model stored under `name` **without** bumping its
+    /// recency — for metadata and introspection paths (e.g. reading a
+    /// model's adaptation lineage) that must not disturb the LRU order
+    /// the serving paths maintain.
+    pub fn peek(&self, name: &str) -> Option<Arc<Series2Graph>> {
+        self.lock()
+            .models
+            .get(name)
+            .map(|entry| Arc::clone(&entry.model))
+    }
+
+    /// Like [`ModelRegistry::get`] (recency is bumped) but additionally
+    /// returns the entry's cached content checksum — handle and checksum
+    /// are read under one lock acquisition, so they always describe the
+    /// *same* registration even if another thread immediately replaces
+    /// the name. Spares callers a full re-encode when they need both.
+    pub fn get_with_checksum(&self, name: &str) -> Option<(Arc<Series2Graph>, u64)> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.models.get_mut(name).map(|entry| {
+            entry.last_used = stamp;
+            (Arc::clone(&entry.model), entry.checksum)
         })
     }
 

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use s2g_core::Series2Graph;
+use s2g_core::{AdaptationLineage, Series2Graph};
 
 use crate::error::Result;
 
@@ -71,6 +71,16 @@ pub trait ModelStorage: Send + Sync + std::fmt::Debug {
     /// Metadata of the model stored under `name`, without loading any
     /// payload.
     fn meta(&self, name: &str) -> Option<StoredModelMeta>;
+
+    /// Adaptation lineage of the model stored under `name`: `Some` when
+    /// the stored file is an adapted snapshot, `None` for a pristine fit,
+    /// an unknown name, or a backend that does not track lineage (the
+    /// default). Implementations should answer this from small sections
+    /// without touching the points payload.
+    fn lineage(&self, name: &str) -> Option<AdaptationLineage> {
+        let _ = name;
+        None
+    }
 
     /// Deletes the model stored under `name`; `Ok(false)` when it was not
     /// present.

@@ -180,6 +180,59 @@ impl DiGraph {
     pub fn connected_nodes(&self) -> Vec<NodeId> {
         self.nodes().filter(|&n| self.degree(n) > 0).collect()
     }
+
+    /// Exponentially-decayed in-place reweighting of the transition
+    /// `from -> to`: every outgoing edge of `from` is decayed by `1 − λ`
+    /// and the freed mass `λ · strength(from)` is reinforced onto the
+    /// observed edge, creating it if absent. The out-strength of `from` is
+    /// exactly preserved, so repeated updates steer the node's transition
+    /// *distribution* toward recent observations without inflating or
+    /// draining total edge mass — the primitive behind online model
+    /// adaptation.
+    ///
+    /// `λ = 0` is an exact no-op (weights are left untouched bit-for-bit)
+    /// and a node without outgoing mass stays untouched too (reinforcing
+    /// with zero would only mint spurious zero-weight edges, which would
+    /// change degrees and therefore scores). Returns the reinforcement
+    /// weight that was applied (`0.0` for the no-op cases).
+    ///
+    /// # Errors
+    /// [`Error::UnknownNode`] when either endpoint does not exist;
+    /// [`Error::InvalidWeight`] when `λ` is not within `[0, 1)`.
+    pub fn reweight_out_edge(&mut self, from: NodeId, to: NodeId, lambda: f64) -> Result<f64> {
+        if !self.contains_node(from) {
+            return Err(Error::UnknownNode(from));
+        }
+        if !self.contains_node(to) {
+            return Err(Error::UnknownNode(to));
+        }
+        if !(0.0..1.0).contains(&lambda) {
+            return Err(Error::InvalidWeight(lambda));
+        }
+        if lambda == 0.0 {
+            return Ok(0.0);
+        }
+        let strength = self.out_strength(from);
+        if strength <= 0.0 {
+            return Ok(0.0);
+        }
+        let retain = 1.0 - lambda;
+        // Decay every outgoing edge of `from`, mirroring into the incoming
+        // adjacency so both views stay consistent.
+        let targets: Vec<NodeId> = self.out_edges[from].keys().copied().collect();
+        for target in targets {
+            if let Some(w) = self.out_edges[from].get_mut(&target) {
+                *w *= retain;
+            }
+            if let Some(w) = self.in_edges[target].get_mut(&from) {
+                *w *= retain;
+            }
+        }
+        let reinforcement = lambda * strength;
+        *self.out_edges[from].entry(to).or_insert(0.0) += reinforcement;
+        *self.in_edges[to].entry(from).or_insert(0.0) += reinforcement;
+        Ok(reinforcement)
+    }
 }
 
 #[cfg(test)]
@@ -280,5 +333,62 @@ mod tests {
         let mut g = DiGraph::with_nodes(5);
         g.record_transition(1, 3).unwrap();
         assert_eq!(g.connected_nodes(), vec![1, 3]);
+    }
+
+    #[test]
+    fn reweight_preserves_out_strength_and_shifts_mass() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge_weight(0, 1, 6.0).unwrap();
+        g.add_edge_weight(0, 2, 2.0).unwrap();
+        let before = g.out_strength(0);
+        let applied = g.reweight_out_edge(0, 2, 0.25).unwrap();
+        assert!((applied - 0.25 * 8.0).abs() < 1e-12);
+        // Out-strength is exactly preserved; mass moved from (0,1) to (0,2).
+        assert!((g.out_strength(0) - before).abs() < 1e-12);
+        assert!((g.edge_weight(0, 1).unwrap() - 4.5).abs() < 1e-12);
+        assert!((g.edge_weight(0, 2).unwrap() - 3.5).abs() < 1e-12);
+        // The incoming adjacency mirrors the update.
+        assert!((g.in_strength(1) - 4.5).abs() < 1e-12);
+        assert!((g.in_strength(2) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweight_creates_new_edges_with_real_mass_only() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge_weight(0, 1, 4.0).unwrap();
+        // A previously unseen transition gains a real edge.
+        g.reweight_out_edge(0, 2, 0.5).unwrap();
+        assert!((g.edge_weight(0, 2).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(g.degree(2), 1);
+        // A source with no outgoing mass stays untouched: no zero-weight
+        // edges are minted (they would silently change degrees).
+        g.reweight_out_edge(2, 0, 0.5).unwrap();
+        assert_eq!(g.edge_weight(2, 0), None);
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    fn reweight_zero_lambda_is_bitwise_noop() {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge_weight(0, 1, 0.1 + 0.2).unwrap(); // a value with noisy low bits
+        let before = g.edge_weight(0, 1).unwrap().to_bits();
+        assert_eq!(g.reweight_out_edge(0, 1, 0.0).unwrap(), 0.0);
+        assert_eq!(g.edge_weight(0, 1).unwrap().to_bits(), before);
+    }
+
+    #[test]
+    fn reweight_rejects_bad_inputs() {
+        let mut g = DiGraph::with_nodes(2);
+        g.record_transition(0, 1).unwrap();
+        assert_eq!(g.reweight_out_edge(5, 1, 0.1), Err(Error::UnknownNode(5)));
+        assert_eq!(g.reweight_out_edge(0, 5, 0.1), Err(Error::UnknownNode(5)));
+        assert!(matches!(
+            g.reweight_out_edge(0, 1, 1.0),
+            Err(Error::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.reweight_out_edge(0, 1, -0.1),
+            Err(Error::InvalidWeight(_))
+        ));
     }
 }

@@ -6,7 +6,7 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Errors produced by the graph model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A node id referenced by an operation does not exist in the graph.
     UnknownNode(usize),
@@ -17,6 +17,8 @@ pub enum Error {
         /// Destination node id.
         to: usize,
     },
+    /// A reweighting factor outside the accepted `[0, 1)` range.
+    InvalidWeight(f64),
 }
 
 impl fmt::Display for Error {
@@ -24,6 +26,9 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownNode(id) => write!(f, "unknown node id {id}"),
             Error::UnknownEdge { from, to } => write!(f, "unknown edge {from} -> {to}"),
+            Error::InvalidWeight(lambda) => {
+                write!(f, "reweighting factor {lambda} is outside [0, 1)")
+            }
         }
     }
 }

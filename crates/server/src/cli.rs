@@ -39,9 +39,13 @@ USAGE — local (in-process):
     s2g score  --model <model.s2g> --query-length <n> [--top-k <k>]
                [--scores-out <csv>] [--workers <n>] <input.csv> [<input.csv>...]
     s2g stream --model <model.s2g> --query-length <n> [--chunk <n>]
-               [--top-k <n>] <input.csv>
+               [--top-k <n>] [--adapt] [--adapt-lambda <x>]
+               [--normal-quantile <x>] [--drift-window <n>]
+               [--drift-threshold <x>] [--refit-buffer <n>]
+               [--refit-cooldown <n>] [--adapted-out <model.s2g>] <input.csv>
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
+                         [--batches <n>] [--json]
 
 USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g serve  [--addr <host:port>] [--workers <n>] [--registry-capacity <n>]
@@ -55,11 +59,16 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g client score    --addr <host:port> --name <model> --query-length <n>
                         [--top-k <k>] <input.csv> [<input.csv>...]
     s2g client stream   --addr <host:port> --name <model> --query-length <n>
-                        [--chunk <n>] <input.csv>
+                        [--chunk <n>] [--adapt] [--adapt-lambda <x>]
+                        [--normal-quantile <x>] [--drift-window <n>]
+                        [--drift-threshold <x>] [--refit-buffer <n>]
+                        [--refit-cooldown <n>] [--publish-interval <n>]
+                        <input.csv>
     s2g client info     --addr <host:port> --name <model>
     s2g client delete   --addr <host:port> --name <model>
     s2g client models   --addr <host:port> [--json]
     s2g client health   --addr <host:port>
+    s2g client metrics  --addr <host:port>
     s2g client shutdown --addr <host:port>
     s2g models          --addr <host:port> [--json]   (same as client models)
     s2g help
@@ -197,6 +206,7 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         "delete" => client_delete(rest),
         "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &["--json"])?),
         "health" => client_health(rest),
+        "metrics" => client_metrics(rest),
         "shutdown" => client_shutdown(rest),
         other => Err(CliError::Usage(format!("unknown client action {other:?}"))),
     }
@@ -215,6 +225,7 @@ fn print_model_info(info: &Json) {
         "train_len",
         "fitted_at",
         "checksum",
+        "lineage",
     ] {
         if let Some(value) = info.get(key) {
             let rendered = match value {
@@ -315,8 +326,20 @@ fn client_score(args: &[String]) -> Result<(), CliError> {
 fn client_stream(args: &[String]) -> Result<(), CliError> {
     let args = ParsedArgs::parse(
         args,
-        &["--addr", "--name", "--query-length", "--chunk"],
-        &[],
+        &[
+            "--addr",
+            "--name",
+            "--query-length",
+            "--chunk",
+            "--adapt-lambda",
+            "--normal-quantile",
+            "--drift-window",
+            "--drift-threshold",
+            "--refit-buffer",
+            "--refit-cooldown",
+            "--publish-interval",
+        ],
+        &["--adapt"],
     )?;
     let client = connect(&args)?;
     let name = args.required("--name")?;
@@ -328,11 +351,49 @@ fn client_stream(args: &[String]) -> Result<(), CliError> {
         ));
     };
 
+    // The adapt options reuse the engine CLI's flag semantics, so local
+    // and remote adaptive streaming are spelled identically.
+    let adapt = if args.has("--adapt") {
+        let config = s2g_engine::cli::adapt_config_from_args(&args)?;
+        let mut pairs = vec![
+            ("lambda".to_string(), Json::from(config.lambda)),
+            (
+                "normal_quantile".to_string(),
+                Json::from(config.normal_quantile),
+            ),
+            ("drift_window".to_string(), Json::from(config.drift_window)),
+            (
+                "drift_threshold".to_string(),
+                Json::from(config.drift_threshold),
+            ),
+            ("refit_buffer".to_string(), Json::from(config.refit_buffer)),
+            (
+                "refit_cooldown".to_string(),
+                Json::from(config.refit_cooldown as usize),
+            ),
+        ];
+        if let Some(interval) = opt_usize(&args, "--publish-interval")? {
+            pairs.push(("publish_interval".to_string(), Json::from(interval)));
+        }
+        Some(Json::Obj(pairs))
+    } else {
+        None
+    };
+
     let series = ts_io::read_series(input).map_err(runtime)?;
-    let session = client.open_session(name, query_length).map_err(runtime)?;
+    let session = client
+        .open_session_with(name, query_length, adapt)
+        .map_err(runtime)?;
     let mut emitted = Vec::new();
+    let mut last_adapt: Option<Json> = None;
     for block in series.values().chunks(chunk) {
-        emitted.extend(client.push_session(&session, block).map_err(runtime)?);
+        let (pairs, adapt) = client
+            .push_session_detailed(&session, block)
+            .map_err(runtime)?;
+        emitted.extend(pairs);
+        if adapt.is_some() {
+            last_adapt = adapt;
+        }
     }
     let consumed = client.close_session(&session).map_err(runtime)?;
     println!(
@@ -341,6 +402,18 @@ fn client_stream(args: &[String]) -> Result<(), CliError> {
     );
     if let Some(&(start, score)) = emitted.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
         println!("lowest normality {score} at window start {start}");
+    }
+    if let Some(adapt) = last_adapt {
+        println!("adaptation: {}", adapt.encode());
+    }
+    Ok(())
+}
+
+fn client_metrics(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr"], &[])?;
+    let client = connect(&args)?;
+    for line in client.metrics().map_err(runtime)? {
+        println!("{line}");
     }
     Ok(())
 }

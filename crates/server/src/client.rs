@@ -208,6 +208,15 @@ impl Client {
         self.request_ok("GET", "/healthz", b"")?.json_line(0)
     }
 
+    /// `GET /metrics`: the plain-text exposition lines
+    /// (`name{labels} value`), verbatim.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn metrics(&self) -> Result<Vec<String>, ClientError> {
+        Ok(self.request_ok("GET", "/metrics", b"")?.lines)
+    }
+
     /// `PUT /models/{name}?{query}` with a CSV body (one value per line):
     /// fits and registers a model server-side. Returns the metadata object
     /// (including the `"checksum"` fingerprint).
@@ -314,11 +323,31 @@ impl Client {
     /// # Errors
     /// [`ClientError`] on connection, protocol or server errors.
     pub fn open_session(&self, model: &str, query_length: usize) -> Result<String, ClientError> {
-        let body = Json::obj([
-            ("model", Json::from(model)),
-            ("query_length", Json::from(query_length)),
-        ])
-        .encode();
+        self.open_session_with(model, query_length, None)
+    }
+
+    /// `POST /sessions` with adaptation options: `adapt` is the value of
+    /// the body's `"adapt"` member — `Json::Bool(true)` for server
+    /// defaults, or an object overriding fields (`lambda`,
+    /// `normal_quantile`, `drift_window`, `drift_threshold`,
+    /// `publish_interval`, `refit_buffer`, `refit_cooldown`).
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn open_session_with(
+        &self,
+        model: &str,
+        query_length: usize,
+        adapt: Option<Json>,
+    ) -> Result<String, ClientError> {
+        let mut pairs = vec![
+            ("model".to_string(), Json::from(model)),
+            ("query_length".to_string(), Json::from(query_length)),
+        ];
+        if let Some(adapt) = adapt {
+            pairs.push(("adapt".to_string(), adapt));
+        }
+        let body = Json::Obj(pairs).encode();
         let response = self.request_ok("POST", "/sessions", body.as_bytes())?;
         let id = response
             .json_line(0)?
@@ -336,6 +365,22 @@ impl Client {
     /// [`ClientError`] on connection, protocol or server errors (including
     /// `unknown_session` after idle eviction).
     pub fn push_session(&self, id: &str, values: &[f64]) -> Result<Vec<(usize, f64)>, ClientError> {
+        Ok(self.push_session_detailed(id, values)?.0)
+    }
+
+    /// Like [`Client::push_session`], additionally returning the session's
+    /// `"adapt"` status object (updates, refits, action, drift stats,
+    /// published checksum) — present for adaptive sessions, `None` for
+    /// frozen ones.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    #[allow(clippy::type_complexity)]
+    pub fn push_session_detailed(
+        &self,
+        id: &str,
+        values: &[f64],
+    ) -> Result<(Vec<(usize, f64)>, Option<Json>), ClientError> {
         let body: String = values.iter().map(|v| format!("{v}\n")).collect();
         let target = format!("/sessions/{id}/push");
         let response = self.request_ok("POST", &target, body.as_bytes())?;
@@ -344,7 +389,7 @@ impl Client {
             .get("emitted")
             .and_then(Json::as_array)
             .ok_or_else(|| ClientError::Protocol("response lacks \"emitted\" array".into()))?;
-        emitted
+        let pairs = emitted
             .iter()
             .map(|pair| {
                 let items = pair.as_array().unwrap_or(&[]);
@@ -356,7 +401,8 @@ impl Client {
                     _ => Err(ClientError::Protocol("malformed emitted pair".into())),
                 }
             })
-            .collect()
+            .collect::<Result<Vec<(usize, f64)>, ClientError>>()?;
+        Ok((pairs, line.get("adapt").cloned()))
     }
 
     /// `DELETE /sessions/{id}`: closes a session, returning how many points

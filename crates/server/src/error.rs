@@ -53,6 +53,7 @@ impl ApiError {
         Response {
             status: self.status,
             lines: vec![self.to_json().encode()],
+            content_type: crate::http::CONTENT_TYPE_NDJSON,
         }
     }
 }

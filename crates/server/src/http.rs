@@ -253,19 +253,41 @@ fn read_crlf_line<R: BufRead>(reader: &mut R, max_len: usize) -> Result<String, 
     String::from_utf8(line).map_err(|_| ParseError::Malformed("non-UTF-8 header bytes"))
 }
 
-/// An HTTP response about to be written: status code plus an NDJSON body.
+/// An HTTP response about to be written: status code plus a body — NDJSON
+/// lines for the API endpoints, plain text for `/metrics`.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code (200, 400, 404, …).
     pub status: u16,
-    /// Body lines; each is one JSON document, joined with `\n`.
+    /// Body lines; each is one JSON document (or one plain-text line),
+    /// joined with `\n`.
     pub lines: Vec<String>,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
 }
+
+/// Content type of the NDJSON API responses.
+pub const CONTENT_TYPE_NDJSON: &str = "application/x-ndjson";
+/// Content type of plain-text responses (`/metrics`).
+pub const CONTENT_TYPE_TEXT: &str = "text/plain; charset=utf-8";
 
 impl Response {
     /// A `200 OK` response with the given NDJSON lines.
     pub fn ok(lines: Vec<String>) -> Response {
-        Response { status: 200, lines }
+        Response {
+            status: 200,
+            lines,
+            content_type: CONTENT_TYPE_NDJSON,
+        }
+    }
+
+    /// A `200 OK` plain-text response (one string per line).
+    pub fn plain_text(lines: Vec<String>) -> Response {
+        Response {
+            status: 200,
+            lines,
+            content_type: CONTENT_TYPE_TEXT,
+        }
     }
 
     /// The canonical reason phrase for the status codes the server emits.
@@ -295,9 +317,10 @@ impl Response {
             body.push('\n');
         }
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             body.len()
         );
         w.write_all(head.as_bytes())?;

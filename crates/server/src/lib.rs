@@ -74,6 +74,7 @@ pub mod client;
 pub mod error;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod server;
 pub mod sessions;
 

@@ -1,0 +1,140 @@
+//! Serving metrics: cheap process-wide counters exported as the plain-text
+//! `GET /metrics` endpoint.
+//!
+//! The format is the Prometheus text exposition subset — `name{labels} value`
+//! lines — so any scraper (or `grep`) can consume it. Counters are
+//! monotonic over the life of the process; gauges (sessions, residency)
+//! are sampled at scrape time from the live engine. Everything is either
+//! an atomic or a small mutex-guarded map touched once per request, so
+//! recording costs nanoseconds on the serving path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide serving counters (one instance per [`crate::Server`]).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests by `(route pattern, status)` — route patterns are
+    /// normalised (`PUT /models/{name}`), not raw paths, so cardinality
+    /// stays bounded.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Successful model fits (`PUT /models/{name}`).
+    fits: AtomicU64,
+    /// Series scored by `POST /models/{name}/score` (one per input line).
+    scored_series: AtomicU64,
+    /// Streaming sessions opened.
+    sessions_opened: AtomicU64,
+    /// Accepted decayed edge updates across all adaptive sessions.
+    adapt_updates: AtomicU64,
+    /// Refits completed across all adaptive sessions.
+    adapt_refits: AtomicU64,
+    /// Adapted snapshots published (registered + persisted).
+    adapt_published: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one served request under its normalised route pattern.
+    pub fn record_request(&self, route: &'static str, status: u16) {
+        let mut requests = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+        *requests.entry((route, status)).or_insert(0) += 1;
+    }
+
+    /// Records one successful fit.
+    pub fn record_fit(&self) {
+        self.fits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` scored series.
+    pub fn record_scores(&self, n: u64) {
+        self.scored_series.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one opened streaming session.
+    pub fn record_session_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one adaptive push's deltas into the adaptation counters.
+    pub fn record_adaptation(&self, update_delta: u64, refit_delta: u64, published: bool) {
+        self.adapt_updates
+            .fetch_add(update_delta, Ordering::Relaxed);
+        self.adapt_refits.fetch_add(refit_delta, Ordering::Relaxed);
+        if published {
+            self.adapt_published.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders the exposition: counters from this struct plus the gauges
+    /// sampled by the caller.
+    pub fn render(&self, gauges: &[(&str, u64)]) -> Vec<String> {
+        let mut lines = Vec::new();
+        {
+            let requests = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+            for (&(route, status), &count) in requests.iter() {
+                lines.push(format!(
+                    "s2g_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+                ));
+            }
+        }
+        for (name, value) in [
+            ("s2g_fits_total", self.fits.load(Ordering::Relaxed)),
+            (
+                "s2g_scored_series_total",
+                self.scored_series.load(Ordering::Relaxed),
+            ),
+            (
+                "s2g_sessions_opened_total",
+                self.sessions_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "s2g_adapt_updates_total",
+                self.adapt_updates.load(Ordering::Relaxed),
+            ),
+            (
+                "s2g_adapt_refits_total",
+                self.adapt_refits.load(Ordering::Relaxed),
+            ),
+            (
+                "s2g_adapt_published_total",
+                self.adapt_published.load(Ordering::Relaxed),
+            ),
+        ] {
+            lines.push(format!("{name} {value}"));
+        }
+        for (name, value) in gauges {
+            lines.push(format!("{name} {value}"));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_counters_and_gauges() {
+        let metrics = Metrics::default();
+        metrics.record_request("GET /healthz", 200);
+        metrics.record_request("GET /healthz", 200);
+        metrics.record_request("PUT /models/{name}", 422);
+        metrics.record_fit();
+        metrics.record_scores(3);
+        metrics.record_session_opened();
+        metrics.record_adaptation(10, 1, true);
+        metrics.record_adaptation(5, 0, false);
+
+        let lines = metrics.render(&[("s2g_models_registered", 2)]);
+        let text = lines.join("\n");
+        assert!(text.contains("s2g_requests_total{route=\"GET /healthz\",status=\"200\"} 2"));
+        assert!(text.contains("s2g_requests_total{route=\"PUT /models/{name}\",status=\"422\"} 1"));
+        assert!(text.contains("s2g_fits_total 1"));
+        assert!(text.contains("s2g_scored_series_total 3"));
+        assert!(text.contains("s2g_sessions_opened_total 1"));
+        assert!(text.contains("s2g_adapt_updates_total 15"));
+        assert!(text.contains("s2g_adapt_refits_total 1"));
+        assert!(text.contains("s2g_adapt_published_total 1"));
+        assert!(text.contains("s2g_models_registered 2"));
+    }
+}

@@ -26,13 +26,14 @@ use std::time::{Duration, Instant};
 
 use s2g_core::config::BandwidthRule;
 use s2g_core::S2gConfig;
-use s2g_engine::{Engine, EngineConfig, ModelInfo};
+use s2g_engine::{AdaptConfig, Engine, EngineConfig, ModelInfo};
 use s2g_store::{ModelStore, StoreConfig};
 use s2g_timeseries::{io as ts_io, TimeSeries};
 
 use crate::error::ApiError;
 use crate::http::{read_request, Method, ParseError, Request, Response};
 use crate::json::Json;
+use crate::metrics::Metrics;
 use crate::sessions::SessionTable;
 
 /// Construction parameters for a [`Server`].
@@ -164,6 +165,7 @@ impl Drop for SlotGuard {
 struct Shared {
     engine: Engine,
     sessions: SessionTable,
+    metrics: Metrics,
     max_body_bytes: usize,
     read_timeout: Duration,
     shutdown: AtomicBool,
@@ -242,6 +244,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine,
             sessions: SessionTable::new(config.session_idle),
+            metrics: Metrics::default(),
             max_body_bytes: config.max_body_bytes,
             read_timeout: config.read_timeout,
             shutdown: AtomicBool::new(false),
@@ -353,44 +356,70 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         Ok(request) => request,
         Err(ParseError::ConnectionClosed) => return, // probe; nothing to say
         Err(e) => {
-            let _ = ApiError::from(e).to_response().write_to(&stream);
+            let response = ApiError::from(e).to_response();
+            shared.metrics.record_request("(unparsed)", response.status);
+            let _ = response.write_to(&stream);
             return;
         }
     };
-    let response = match route(shared, &request) {
+    let (pattern, result) = route(shared, &request);
+    let response = match result {
         Ok(response) => response,
         Err(e) => e.to_response(),
     };
+    shared.metrics.record_request(pattern, response.status);
     let _ = response.write_to(&stream);
 }
 
-/// Dispatches one parsed request to its endpoint handler.
-fn route(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+/// Dispatches one parsed request to its endpoint handler. Returns the
+/// handler outcome together with the **normalised route pattern** the
+/// request resolved to — the bounded label set `/metrics` counts requests
+/// under (names never leak into labels). One match produces both, so the
+/// dispatch table and the metrics labels can never drift apart.
+#[allow(clippy::type_complexity)]
+fn route(shared: &Shared, request: &Request) -> (&'static str, Result<Response, ApiError>) {
     use Method::{Delete, Get, Post, Put};
     let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
     match (request.method, segments.as_slice()) {
-        (Get, ["healthz"]) => handle_healthz(shared),
-        (Get, ["models"]) => handle_list_models(shared),
-        (Put, ["models", name]) => handle_fit(shared, name, request),
-        (Get, ["models", name]) => handle_model_info(shared, name),
-        (Delete, ["models", name]) => handle_delete_model(shared, name),
-        (Post, ["models", name, "score"]) => handle_score(shared, name, request),
-        (Post, ["sessions"]) => handle_open_session(shared, request),
-        (Post, ["sessions", id, "push"]) => handle_push_session(shared, id, request),
-        (Delete, ["sessions", id]) => handle_close_session(shared, id),
-        (Post, ["admin", "shutdown"]) => handle_shutdown(shared),
+        (Get, ["healthz"]) => ("GET /healthz", handle_healthz(shared)),
+        (Get, ["metrics"]) => ("GET /metrics", handle_metrics(shared)),
+        (Get, ["models"]) => ("GET /models", handle_list_models(shared)),
+        (Put, ["models", name]) => ("PUT /models/{name}", handle_fit(shared, name, request)),
+        (Get, ["models", name]) => ("GET /models/{name}", handle_model_info(shared, name)),
+        (Delete, ["models", name]) => ("DELETE /models/{name}", handle_delete_model(shared, name)),
+        (Post, ["models", name, "score"]) => (
+            "POST /models/{name}/score",
+            handle_score(shared, name, request),
+        ),
+        (Post, ["sessions"]) => ("POST /sessions", handle_open_session(shared, request)),
+        (Post, ["sessions", id, "push"]) => (
+            "POST /sessions/{id}/push",
+            handle_push_session(shared, id, request),
+        ),
+        (Delete, ["sessions", id]) => ("DELETE /sessions/{id}", handle_close_session(shared, id)),
+        (Post, ["admin", "shutdown"]) => ("POST /admin/shutdown", handle_shutdown(shared)),
         // Known resource, wrong method.
-        (_, ["healthz" | "models"] | ["models", ..] | ["sessions", ..] | ["admin", "shutdown"]) => {
+        (
+            _,
+            ["healthz" | "metrics" | "models"]
+            | ["models", ..]
+            | ["sessions", ..]
+            | ["admin", "shutdown"],
+        ) => (
+            "(method_not_allowed)",
             Err(ApiError::new(
                 405,
                 "method_not_allowed",
                 format!("{} is not supported on {}", request.method, request.path),
-            ))
-        }
-        _ => Err(ApiError::not_found(format!(
-            "no such endpoint: {}",
-            request.path
-        ))),
+            )),
+        ),
+        _ => (
+            "(other)",
+            Err(ApiError::not_found(format!(
+                "no such endpoint: {}",
+                request.path
+            ))),
+        ),
     }
 }
 
@@ -475,6 +504,28 @@ fn checksum_string(checksum: u64) -> String {
     format!("{checksum:#018x}")
 }
 
+fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
+    let storage = shared.engine.storage();
+    let gauges = [
+        (
+            "s2g_models_registered",
+            shared.engine.registry().len() as u64,
+        ),
+        (
+            "s2g_models_stored",
+            storage.map_or(0, |s| s.stored()) as u64,
+        ),
+        (
+            "s2g_store_resident_bytes",
+            storage.map_or(0, |s| s.resident_bytes()),
+        ),
+        ("s2g_sessions_open", shared.sessions.len() as u64),
+        ("s2g_workers", shared.engine.workers() as u64),
+        ("s2g_uptime_seconds", shared.started.elapsed().as_secs()),
+    ];
+    Ok(Response::plain_text(shared.metrics.render(&gauges)))
+}
+
 fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {
     // The original liveness fields keep their names and meanings; the
     // status payload grew around them (uptime, persistence, residency).
@@ -525,6 +576,7 @@ fn handle_fit(shared: &Shared, name: &str, request: &Request) -> Result<Response
     // re-lookup a concurrent re-fit of the same name could race), and its
     // checksum was computed once at registration.
     let (_model, info) = shared.engine.fit_model_with_info(name, &series, &config)?;
+    shared.metrics.record_fit();
     let mut body = model_info_json(&info);
     if let Json::Obj(pairs) = &mut body {
         pairs.push((
@@ -546,6 +598,21 @@ fn handle_model_info(shared: &Shared, name: &str) -> Result<Response, ApiError> 
             "checksum".to_string(),
             Json::from(checksum_string(info.checksum)),
         ));
+        // Adapted snapshots expose their provenance; pristine fits omit
+        // the key entirely.
+        if let Some(lineage) = shared.engine.model_lineage(name) {
+            pairs.push((
+                "lineage".to_string(),
+                Json::obj([
+                    (
+                        "parent_checksum",
+                        Json::from(checksum_string(lineage.parent_checksum)),
+                    ),
+                    ("updates", Json::from(lineage.update_count as usize)),
+                    ("lambda", Json::from(lineage.decay_lambda)),
+                ]),
+            ));
+        }
     }
     Ok(Response::ok(vec![body.encode()]))
 }
@@ -608,7 +675,9 @@ fn handle_score(shared: &Shared, name: &str, request: &Request) -> Result<Respon
     }
 
     // One line per input series, submission-ordered by the worker pool.
+    let n_series = series.len() as u64;
     let results = shared.engine.score_many(name, series, query_length)?;
+    shared.metrics.record_scores(n_series);
     let lines = results
         .into_iter()
         .enumerate()
@@ -632,6 +701,65 @@ fn handle_score(shared: &Shared, name: &str, request: &Request) -> Result<Respon
     Ok(Response::ok(lines))
 }
 
+/// Parses the optional `"adapt"` member of a `POST /sessions` body:
+/// absent or `false` → frozen session; `true` → adaptation with defaults;
+/// an object → defaults overridden per key.
+fn adapt_from_session_body(body: &Json) -> Result<Option<AdaptConfig>, ApiError> {
+    let Some(adapt) = body.get("adapt") else {
+        return Ok(None);
+    };
+    let mut config = AdaptConfig::default();
+    match adapt {
+        Json::Bool(false) => return Ok(None),
+        Json::Bool(true) => {}
+        Json::Obj(_) => {
+            let f64_field = |key: &str| -> Result<Option<f64>, ApiError> {
+                match adapt.get(key) {
+                    None => Ok(None),
+                    Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+                        ApiError::bad_request(format!("adapt.{key} expects a number"))
+                    }),
+                }
+            };
+            let usize_field = |key: &str| -> Result<Option<usize>, ApiError> {
+                match adapt.get(key) {
+                    None => Ok(None),
+                    Some(v) => v.as_usize().map(Some).ok_or_else(|| {
+                        ApiError::bad_request(format!("adapt.{key} expects an integer"))
+                    }),
+                }
+            };
+            if let Some(lambda) = f64_field("lambda")? {
+                config.lambda = lambda;
+            }
+            if let Some(quantile) = f64_field("normal_quantile")? {
+                config.normal_quantile = quantile;
+            }
+            if let Some(window) = usize_field("drift_window")? {
+                config.drift_window = window;
+            }
+            if let Some(threshold) = f64_field("drift_threshold")? {
+                config.drift_threshold = threshold;
+            }
+            if let Some(interval) = usize_field("publish_interval")? {
+                config.publish_interval = interval as u64;
+            }
+            if let Some(buffer) = usize_field("refit_buffer")? {
+                config.refit_buffer = buffer;
+            }
+            if let Some(cooldown) = usize_field("refit_cooldown")? {
+                config.refit_cooldown = cooldown as u64;
+            }
+        }
+        _ => {
+            return Err(ApiError::bad_request(
+                "\"adapt\" must be a boolean or an object",
+            ))
+        }
+    }
+    Ok(Some(config))
+}
+
 fn handle_open_session(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
     let body = Json::parse(request.body_text()?)
         .map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))?;
@@ -643,13 +771,17 @@ fn handle_open_session(shared: &Shared, request: &Request) -> Result<Response, A
         .get("query_length")
         .and_then(Json::as_usize)
         .ok_or_else(|| ApiError::bad_request("body must set \"query_length\" to an integer"))?;
+    let adapt = adapt_from_session_body(&body)?;
+    let adaptive = adapt.is_some();
     let id = shared
         .sessions
-        .create(&shared.engine, model, query_length)?;
+        .create(&shared.engine, model, query_length, adapt)?;
+    shared.metrics.record_session_opened();
     let body = Json::obj([
         ("session", Json::from(id)),
         ("model", Json::from(model)),
         ("query_length", Json::from(query_length)),
+        ("adaptive", Json::from(adaptive)),
     ]);
     Ok(Response::ok(vec![body.encode()]))
 }
@@ -657,16 +789,51 @@ fn handle_open_session(shared: &Shared, request: &Request) -> Result<Response, A
 fn handle_push_session(shared: &Shared, id: &str, request: &Request) -> Result<Response, ApiError> {
     shared.sessions.touch(&shared.engine, id)?;
     let series = ts_io::parse_series(request.body_text()?)?;
-    let emitted = shared.engine.push_stream(id, series.values())?;
+    let (emitted, status) = shared.engine.push_stream_detailed(id, series.values())?;
     let pairs: Vec<Json> = emitted
         .iter()
         .map(|&(start, normality)| Json::Arr(vec![Json::from(start), Json::from(normality)]))
         .collect();
-    let body = Json::obj([
+    let mut body = Json::obj([
         ("session", Json::from(id)),
         ("pushed", Json::from(series.len())),
         ("emitted", Json::Arr(pairs)),
     ]);
+    if let Some(status) = status {
+        let (update_delta, refit_delta) =
+            shared
+                .sessions
+                .record_adapt_progress(id, status.updates, status.refits);
+        shared.metrics.record_adaptation(
+            update_delta,
+            refit_delta,
+            status.published_checksum.is_some(),
+        );
+        let mut adapt = vec![
+            ("updates".to_string(), Json::from(status.updates as usize)),
+            ("refits".to_string(), Json::from(status.refits as usize)),
+            ("action".to_string(), Json::from(status.action.name())),
+            (
+                "drift".to_string(),
+                Json::obj([
+                    ("shift", Json::from(status.drift.shift)),
+                    ("drifting", Json::from(status.drift.drifting)),
+                    ("live_mean", Json::from(status.drift.live_mean)),
+                    ("baseline_mean", Json::from(status.drift.baseline_mean)),
+                    ("window", Json::from(status.drift.window_len)),
+                ]),
+            ),
+        ];
+        if let Some(checksum) = status.published_checksum {
+            adapt.push((
+                "published_checksum".to_string(),
+                Json::from(checksum_string(checksum)),
+            ));
+        }
+        if let Json::Obj(pairs) = &mut body {
+            pairs.push(("adapt".to_string(), Json::Obj(adapt)));
+        }
+    }
     Ok(Response::ok(vec![body.encode()]))
 }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use s2g_engine::Engine;
+use s2g_engine::{AdaptConfig, Engine};
 
 use crate::error::ApiError;
 
@@ -20,6 +20,9 @@ struct SessionEntry {
     model: String,
     query_length: usize,
     last_touch: Instant,
+    /// Cumulative `(updates, refits)` last reported by the engine for this
+    /// session — the baseline for computing per-push metric deltas.
+    adapt_progress: (u64, u64),
 }
 
 struct Inner {
@@ -67,17 +70,18 @@ impl SessionTable {
     }
 
     /// Opens a new session against a registered model: mints an id
-    /// (`s-1`, `s-2`, …), opens the pinned engine stream, and records the
-    /// session for idle tracking.
+    /// (`s-1`, `s-2`, …), opens the pinned engine stream (adaptive when
+    /// `adapt` is set), and records the session for idle tracking.
     ///
     /// # Errors
-    /// [`ApiError`] with `unknown_model` (404) or `query_too_short` (422)
-    /// from the engine.
+    /// [`ApiError`] with `unknown_model` (404), `query_too_short` (422) or
+    /// `invalid_config` (400, bad adapt options) from the engine.
     pub fn create(
         &self,
         engine: &Engine,
         model: &str,
         query_length: usize,
+        adapt: Option<AdaptConfig>,
     ) -> Result<String, ApiError> {
         let id = {
             let mut inner = self.lock();
@@ -85,16 +89,37 @@ impl SessionTable {
             inner.next_id += 1;
             id
         };
-        engine.open_stream(id.clone(), model, query_length)?;
+        match adapt {
+            None => engine.open_stream(id.clone(), model, query_length)?,
+            Some(config) => engine.open_adaptive_stream(id.clone(), model, query_length, config)?,
+        }
         self.lock().sessions.insert(
             id.clone(),
             SessionEntry {
                 model: model.to_string(),
                 query_length,
                 last_touch: Instant::now(),
+                adapt_progress: (0, 0),
             },
         );
         Ok(id)
+    }
+
+    /// Folds an adaptive push's cumulative `(updates, refits)` into the
+    /// session's progress and returns the `(update, refit)` deltas since
+    /// the previous push — what metric counters consume. Unknown ids (a
+    /// session racing its own eviction) report zero deltas.
+    pub fn record_adapt_progress(&self, id: &str, updates: u64, refits: u64) -> (u64, u64) {
+        let mut inner = self.lock();
+        let Some(entry) = inner.sessions.get_mut(id) else {
+            return (0, 0);
+        };
+        let (seen_updates, seen_refits) = entry.adapt_progress;
+        entry.adapt_progress = (updates, refits);
+        (
+            updates.saturating_sub(seen_updates),
+            refits.saturating_sub(seen_refits),
+        )
     }
 
     /// Marks a session as used right now, evicting it instead when its idle
@@ -205,7 +230,7 @@ mod tests {
     fn create_touch_forget_lifecycle() {
         let engine = engine_with_model();
         let table = SessionTable::new(None);
-        let id = table.create(&engine, "base", 160).unwrap();
+        let id = table.create(&engine, "base", 160, None).unwrap();
         assert_eq!(id, "s-1");
         assert_eq!(table.describe(&id), Some(("base".to_string(), 160)));
         table.touch(&engine, &id).unwrap();
@@ -213,7 +238,7 @@ mod tests {
         assert!(table.forget(&id));
         assert!(!table.forget(&id));
         assert!(table.touch(&engine, &id).is_err());
-        assert!(table.create(&engine, "ghost", 160).is_err());
+        assert!(table.create(&engine, "ghost", 160, None).is_err());
         assert_eq!(table.len(), 0);
     }
 
@@ -221,14 +246,14 @@ mod tests {
     fn idle_sessions_are_evicted() {
         let engine = engine_with_model();
         let table = SessionTable::new(Some(Duration::from_millis(30)));
-        let id = table.create(&engine, "base", 160).unwrap();
+        let id = table.create(&engine, "base", 160, None).unwrap();
         std::thread::sleep(Duration::from_millis(80));
         assert_eq!(table.evict_idle(&engine), 1);
         assert!(table.is_empty());
         // The engine stream was closed by the eviction.
         assert!(engine.push_stream(&id, &[0.0]).is_err());
         // Lazy path: an expired session dies on touch too.
-        let id2 = table.create(&engine, "base", 160).unwrap();
+        let id2 = table.create(&engine, "base", 160, None).unwrap();
         std::thread::sleep(Duration::from_millis(80));
         let err = table.touch(&engine, &id2).unwrap_err();
         assert_eq!(err.code, "unknown_session");
@@ -239,7 +264,7 @@ mod tests {
     fn eviction_disabled_keeps_sessions() {
         let engine = engine_with_model();
         let table = SessionTable::new(None);
-        let id = table.create(&engine, "base", 160).unwrap();
+        let id = table.create(&engine, "base", 160, None).unwrap();
         assert_eq!(table.evict_idle(&engine), 0);
         table.touch(&engine, &id).unwrap();
     }

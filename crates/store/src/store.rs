@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use s2g_core::Series2Graph;
+use s2g_core::{AdaptationLineage, Series2Graph};
 use s2g_engine::codec::{self, SectionIndex, SectionKind};
 use s2g_engine::error::{Error, Result};
 use s2g_engine::storage::{ModelStorage, StoredModelMeta};
@@ -371,8 +371,16 @@ impl ModelStore {
         match fault_model(&path, &meta, eager) {
             Ok((model, eager)) => {
                 let mut inner = self.lock();
+                // Re-stamp recency at fault *completion*: the stamp taken
+                // when the fault began predates every get that ran while
+                // this thread was reading the file, so keeping it would
+                // let the budget evict the model that was just used most
+                // recently — load-through and hit must agree on recency.
+                inner.clock += 1;
+                let stamp = inner.clock;
                 match inner.entries.get_mut(name) {
                     Some(entry) if entry.meta.checksum == meta.checksum => {
+                        entry.last_used = stamp;
                         if let Some(resident) = &entry.resident {
                             // Another thread won the fault; share its
                             // handle so all callers hold one Arc.
@@ -406,7 +414,10 @@ impl ModelStore {
                 let model = Arc::new(codec::decode_model(&bytes)?);
                 let trailer = codec::checksum_trailer(&bytes);
                 let mut inner = self.lock();
+                inner.clock += 1;
+                let stamp = inner.clock;
                 if let Some(entry) = inner.entries.get_mut(name) {
+                    entry.last_used = stamp;
                     if entry.meta.checksum == trailer && entry.resident.is_none() {
                         entry.resident = Some(Arc::clone(&model));
                         inner.resident_bytes += entry.meta.points_bytes;
@@ -469,6 +480,42 @@ impl ModelStore {
     /// only, no payload read.
     pub fn meta(&self, name: &str) -> Option<StoredModelMeta> {
         self.lock().entries.get(name).map(|e| e.meta.clone())
+    }
+
+    /// Adaptation lineage of the stored model under `name`: `Some` for an
+    /// adapted snapshot, `None` for a pristine fit or unknown name.
+    /// Answered from the small train section (usually already resident as
+    /// an eager section) without faulting the points payload, and without
+    /// bumping residency recency — this is a metadata read.
+    ///
+    /// Adopted **v1** files always answer `None`: the store itself only
+    /// writes the current format, and surfacing a hand-placed v1 adapted
+    /// file's lineage would cost a whole-file decode per metadata read.
+    /// Run [`ModelStore::migrate`] to rewrite such files to v2, after
+    /// which their lineage (if any) is visible here.
+    pub fn lineage(&self, name: &str) -> Option<AdaptationLineage> {
+        let (meta, eager) = {
+            let inner = self.lock();
+            let entry = inner.entries.get(name)?;
+            (entry.meta.clone(), entry.eager.clone())
+        };
+        if meta.version == 1 {
+            // Legacy files predate adaptation: the store only ever writes
+            // the current format, so a v1 file cannot be one of our
+            // adapted snapshots — and decoding it whole just to prove
+            // that would make a metadata read cost a full points decode.
+            // (`store migrate` rewrites v1 files to v2.)
+            return None;
+        }
+        let train: Vec<u8> = match eager {
+            Some(eager) => eager.train.clone(),
+            None => {
+                let path = self.model_path(name);
+                let file_len = fs::metadata(&path).ok()?.len();
+                load_eager(&path, file_len).ok()?.train
+            }
+        };
+        codec::peek_train_lineage(&train).ok().flatten()
     }
 
     /// Metadata of every stored model, ordered by name.
@@ -612,6 +659,10 @@ impl ModelStorage for ModelStore {
 
     fn meta(&self, name: &str) -> Option<StoredModelMeta> {
         ModelStore::meta(self, name)
+    }
+
+    fn lineage(&self, name: &str) -> Option<AdaptationLineage> {
+        ModelStore::lineage(self, name)
     }
 
     fn remove(&self, name: &str) -> Result<bool> {

@@ -340,3 +340,91 @@ fn corrupt_manifest_degrades_to_a_rescan() {
     assert!(text.starts_with("s2g-store-manifest"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn adapted_snapshot_round_trips_with_lineage_and_equal_checksum() {
+    let dir = test_dir("adapted_lineage");
+    let parent = fitted(70.0);
+    let parent_checksum = codec::model_checksum(&parent);
+
+    // An adapted snapshot: same structure, lineage stamped (as the
+    // adaptation layer publishes them).
+    let mut snapshot = (*parent).clone();
+    snapshot
+        .reweight_transition(0, 0, 0.0)
+        .expect("λ=0 reweight is a no-op sanity call");
+    snapshot.set_lineage(Some(s2g_core::AdaptationLineage {
+        parent_checksum,
+        update_count: 1234,
+        decay_lambda: 0.0625,
+    }));
+    let snapshot = Arc::new(snapshot);
+    let snapshot_checksum = codec::model_checksum(&snapshot);
+    assert_ne!(snapshot_checksum, parent_checksum);
+
+    {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        let meta = store.put("live", &snapshot).unwrap();
+        assert_eq!(meta.checksum, snapshot_checksum);
+        // Lineage reads straight from the resident eager sections.
+        let lineage = store.lineage("live").unwrap();
+        assert_eq!(lineage.parent_checksum, parent_checksum);
+        assert_eq!(lineage.update_count, 1234);
+        assert_eq!(lineage.decay_lambda.to_bits(), 0.0625f64.to_bits());
+        // A pristine fit alongside it reports no lineage.
+        store.put("pristine", &parent).unwrap();
+        assert!(store.lineage("pristine").is_none());
+        assert!(store.lineage("missing").is_none());
+    }
+
+    // Restart: the snapshot reloads with lineage intact and the *same*
+    // checksum — the round trip is bit-exact.
+    let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.meta("live").unwrap().checksum, snapshot_checksum);
+    let lineage = store.lineage("live").expect("lineage survives restart");
+    assert_eq!(lineage.parent_checksum, parent_checksum);
+    assert_eq!(lineage.update_count, 1234);
+    assert_eq!(lineage.decay_lambda.to_bits(), 0.0625f64.to_bits());
+    let reloaded = store.get("live").unwrap();
+    assert_eq!(codec::model_checksum(&reloaded), snapshot_checksum);
+    assert_eq!(reloaded.lineage().copied(), Some(lineage));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn budget_eviction_respects_fault_completion_recency() {
+    // Regression: a model's recency must be stamped when its fault
+    // *completes*, not when it begins — otherwise a just-faulted model
+    // could be the first eviction victim despite being the most recently
+    // used.
+    let dir = test_dir("fault_recency");
+    let (a, b, c) = (fitted(70.0), fitted(55.0), fitted(45.0));
+    let one_model_bytes = {
+        let store = ModelStore::open(&dir, StoreConfig::default()).unwrap();
+        store.put("a", &a).unwrap();
+        store.put("b", &b).unwrap();
+        store.put("c", &c).unwrap();
+        store.meta("a").unwrap().points_bytes
+    };
+
+    // Budget for two resident models.
+    let store = ModelStore::open(
+        &dir,
+        StoreConfig::default().with_resident_budget_bytes(2 * one_model_bytes + 16),
+    )
+    .unwrap();
+    store.get("a").unwrap();
+    store.get("b").unwrap();
+    assert_eq!(store.resident_models(), 2);
+    // Faulting c must evict a (the LRU), and c — just used — must stay.
+    store.get("c").unwrap();
+    assert_eq!(store.resident_models(), 2);
+    store.get("b").unwrap();
+    store.get("c").unwrap();
+    assert_eq!(
+        store.resident_bytes(),
+        2 * one_model_bytes,
+        "b and c resident, a dropped"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,6 +10,7 @@
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | [`core`] | `s2g-core` | the Series2Graph model (`fit` → `score` → `top-k`) |
+//! | [`adapt`] | `s2g-adapt` | online graph adaptation: decayed edge updates, drift detection, adaptive policy, versioned snapshots |
 //! | [`engine`] | `s2g-engine` | concurrent multi-series serving: model registry, persistence, sharded worker pool |
 //! | [`store`] | `s2g-store` | durable model store: crash-safe directory, manifest, lazy section residency |
 //! | [`server`] | `s2g-server` | TCP/HTTP front-end over the engine, protocol client, `s2g` CLI |
@@ -99,6 +100,9 @@
 /// The Series2Graph model (re-export of `s2g-core`).
 pub use s2g_core as core;
 
+/// Online graph adaptation (re-export of `s2g-adapt`).
+pub use s2g_adapt as adapt;
+
 /// Concurrent multi-series detection engine (re-export of `s2g-engine`).
 pub use s2g_engine as engine;
 
@@ -128,7 +132,8 @@ pub use s2g_eval as eval;
 
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
-    pub use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
+    pub use s2g_adapt::{AdaptAction, AdaptConfig, AdaptiveScorer, DriftStats};
+    pub use s2g_core::{AdaptationLineage, S2gConfig, Series2Graph, StreamingScorer};
     pub use s2g_datasets::{AnomalyKind, AnomalyRange, Dataset, LabeledSeries};
     pub use s2g_engine::{Engine, EngineConfig, ModelRegistry};
     pub use s2g_eval::topk::{top_k_accuracy, GroundTruth};
