@@ -33,6 +33,52 @@ fn scoring_unseen_series(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-gap contribution lookups: the frozen CSR snapshot versus walking
+/// the mutable `BTreeMap` adjacency per transition (the pre-overhaul hot
+/// path, reproduced here through the still-public map API).
+fn gap_lookup_csr_vs_btreemap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring/gap_lookups");
+    group.sample_size(20);
+    let train = generate_mba_with_length(MbaRecord::R803, 20_000, 5);
+    let model = Series2Graph::fit(&train.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
+    let graph = model.graph();
+    // A realistic transition stream: the training trajectory's own
+    // transitions, tiled to 200k lookups.
+    let unseen = generate_mba_with_length(MbaRecord::R803, 20_001, 11);
+    let points = model.embedding().project(&unseen.series).unwrap();
+    let transitions: Vec<(usize, usize)> = {
+        let base = s2g_core::edges::EdgeExtraction::map_transitions(&points, model.node_set());
+        let mut tiled = Vec::with_capacity(200_000);
+        while tiled.len() < 200_000 {
+            tiled.extend_from_slice(&base);
+        }
+        tiled.truncate(200_000);
+        tiled
+    };
+    group.bench_function("csr_200k", |b| {
+        b.iter(|| {
+            let csr = graph.csr();
+            transitions
+                .iter()
+                .map(|&(from, to)| csr.contribution(from, to))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("btreemap_200k", |b| {
+        b.iter(|| {
+            transitions
+                .iter()
+                .map(|&(from, to)| {
+                    let weight = graph.edge_weight(from, to).unwrap_or(0.0);
+                    let degree = graph.degree(from) as f64;
+                    weight * (degree - 1.0).max(0.0)
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 fn single_subsequence_scoring(c: &mut Criterion) {
     let data = generate_mba_with_length(MbaRecord::R803, 10_000, 5);
     let model = Series2Graph::fit(&data.series, &S2gConfig::new(50).with_lambda(16)).unwrap();
@@ -46,6 +92,7 @@ criterion_group!(
     benches,
     scoring_vs_query_length,
     scoring_unseen_series,
+    gap_lookup_csr_vs_btreemap,
     single_subsequence_scoring
 );
 criterion_main!(benches);

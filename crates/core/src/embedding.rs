@@ -10,7 +10,7 @@
 //! shapes form dense trajectories and anomalies remain isolated.
 
 use s2g_linalg::matrix::DMatrix;
-use s2g_linalg::pca::Pca;
+use s2g_linalg::pca::{Pca, PcaSolver};
 use s2g_linalg::rotation::{align_to_x_axis, Rotation3};
 use s2g_linalg::vector::{Vec2, Vec3};
 use s2g_timeseries::{stats, TimeSeries};
@@ -59,21 +59,30 @@ impl Embedding {
             });
         }
 
-        // Convolution matrix Proj(T, ℓ, λ): row i = rolling sums of width λ of
-        // T_{i, ℓ}. Using the global rolling-sum vector, row i is simply the
-        // slice conv[i .. i + ℓ - λ], so the whole matrix costs O(|T|·(ℓ−λ))
-        // to materialise and O(|T|) to compute the sums.
+        // Rolling-sum vector: row i of the conceptual projection matrix
+        // Proj(T, ℓ, λ) is the stride-1 slice conv[i .. i + ℓ - λ], so the
+        // matrix never needs to exist — every consumer below reads the
+        // overlapping slices directly.
         let conv = stats::rolling_sum(series.values(), lambda);
         let n_points = series.len() - ell + 1;
         debug_assert!(conv.len() >= n_points + dim - 1);
 
-        let mut proj = DMatrix::zeros(n_points, dim);
-        for i in 0..n_points {
-            proj.row_mut(i).copy_from_slice(&conv[i..i + dim]);
-        }
-
-        // 3-component PCA (covariance or randomized, per config).
-        let pca = Pca::fit_with(&proj, 3, config.pca_solver)?;
+        // 3-component PCA. The covariance solver accumulates the column
+        // means and the (ℓ−λ)² Gram matrix straight from the slices —
+        // peak fit memory drops from O(|T|·(ℓ−λ)) to O((ℓ−λ)²) with
+        // bit-identical output (same summation order). The randomized-SVD
+        // solver needs the explicit matrix for its sketch products, so it
+        // alone still materialises (and promptly drops) it.
+        let pca = match config.pca_solver {
+            PcaSolver::Covariance => Pca::fit_sliding_covariance(&conv, n_points, dim, 3)?,
+            solver @ PcaSolver::RandomizedSvd { .. } => {
+                let mut proj = DMatrix::zeros(n_points, dim);
+                for i in 0..n_points {
+                    proj.row_mut(i).copy_from_slice(&conv[i..i + dim]);
+                }
+                Pca::fit_with(&proj, 3, solver)?
+            }
+        };
         let explained = pca.explained_variance_ratio();
 
         // Reference vector: the image of the difference between the constant-
@@ -96,10 +105,13 @@ impl Embedding {
         }
         let rotation = align_to_x_axis(v_ref);
 
-        // Project and rotate every subsequence, keeping (y, z).
+        // Project and rotate every subsequence row-by-row from the rolling
+        // sums, keeping (y, z). The slice conv[i..i+dim] carries exactly the
+        // values row i of the materialised matrix held, so the trajectory is
+        // bit-identical to the matrix-backed fit.
         let mut points = Vec::with_capacity(n_points);
         for i in 0..n_points {
-            let reduced = pca.transform_row(proj.row(i))?;
+            let reduced = pca.transform_row(&conv[i..i + dim])?;
             let rotated = rotation.apply(Vec3::from_slice(&reduced));
             points.push(Vec2::new(rotated.y, rotated.z));
         }

@@ -18,14 +18,16 @@ use s2g_timeseries::filter::moving_average;
 /// Computes the per-gap normality contribution `w(e)·(deg(src)−1)` of the
 /// transition observed at each trajectory gap. Transitions that do not exist
 /// in the graph (possible when scoring unseen data) contribute zero.
+///
+/// Lookups go through the graph's frozen [`s2g_graph::CsrView`] snapshot —
+/// binary search over contiguous memory with a precomputed degree factor —
+/// instead of per-transition `BTreeMap` walks; the values (and every output
+/// bit) are identical.
 pub fn gap_contributions(graph: &DiGraph, transitions: &[(usize, usize)]) -> Vec<f64> {
+    let csr = graph.csr();
     transitions
         .iter()
-        .map(|&(from, to)| {
-            let weight = graph.edge_weight(from, to).unwrap_or(0.0);
-            let degree = graph.degree(from) as f64;
-            weight * (degree - 1.0).max(0.0)
-        })
+        .map(|&(from, to)| csr.contribution(from, to))
         .collect()
 }
 
@@ -88,8 +90,13 @@ pub fn anomaly_profile(normality: &[f64]) -> Vec<f64> {
     if normality.is_empty() {
         return Vec::new();
     }
-    let max = normality.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let min = normality.iter().cloned().fold(f64::INFINITY, f64::min);
+    // Min and max in one pass over the profile (same f64::min/f64::max
+    // folds as the former two passes, so NaN handling is unchanged).
+    let (min, max) = normality
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+            (lo.min(s), hi.max(s))
+        });
     let range = max - min;
     if range <= 0.0 || !range.is_finite() {
         return vec![0.0; normality.len()];
@@ -103,13 +110,10 @@ pub fn path_normality(graph: &DiGraph, transitions: &[(usize, usize)], query_len
     if query_length == 0 {
         return 0.0;
     }
+    let csr = graph.csr();
     let total: f64 = transitions
         .iter()
-        .map(|&(from, to)| {
-            let weight = graph.edge_weight(from, to).unwrap_or(0.0);
-            let degree = graph.degree(from) as f64;
-            weight * (degree - 1.0).max(0.0)
-        })
+        .map(|&(from, to)| csr.contribution(from, to))
         .sum();
     total / query_length as f64
 }

@@ -148,10 +148,11 @@ impl StreamingScorer {
                     let contribution = match (self.last_node, node) {
                         (Some(prev), Some(current)) => {
                             self.last_transition = Some((prev, current));
-                            let graph = self.model.graph();
-                            let weight = graph.edge_weight(prev, current).unwrap_or(0.0);
-                            let degree = graph.degree(prev) as f64;
-                            weight * (degree - 1.0).max(0.0)
+                            // The CSR snapshot is cached on the graph; after
+                            // an adaptation reweight the cache is dropped and
+                            // this rebuilds it, so reads never see stale
+                            // weights.
+                            self.model.graph().csr().contribution(prev, current)
                         }
                         _ => {
                             self.last_transition = None;

@@ -48,7 +48,7 @@ USAGE:
                [--refit-cooldown <n>] [--adapted-out <model.s2g>] <input.csv>
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
-                         [--batches <n>] [--json]
+                         [--batches <n>] [--skew] [--json]
     s2g help
 
 Series files are single-column CSVs (one value per line; `#` comments and a
@@ -500,7 +500,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             "--query-length",
             "--batches",
         ],
-        &["--json"],
+        &["--json", "--skew"],
     )?;
     let workers = args
         .usize_flag("--workers", Some(EngineConfig::default().workers))?
@@ -511,13 +511,26 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let query_length = args.usize_flag("--query-length", Some(150))?;
     let batches = args.usize_flag("--batches", Some(9))?.max(1);
     let json = args.has("--json");
+    let skew = args.has("--skew");
 
     // Deterministic synthetic fleet: phase-shifted sines with a small
-    // index-dependent wobble, so every run measures identical work.
+    // index-dependent wobble, so every run measures identical work. With
+    // `--skew`, series 0 is 8× the nominal length and the rest shrink to a
+    // quarter — the batch shape that defeats round-robin dispatch and that
+    // the work-stealing scheduler rebalances.
+    let series_length = |idx: usize| -> usize {
+        if !skew {
+            length
+        } else if idx == 0 {
+            length * 8
+        } else {
+            (length / 4).max(4 * query_length.max(pattern_length))
+        }
+    };
     let make_series = |idx: usize| -> TimeSeries {
         let phase = idx as f64 * 0.37;
         TimeSeries::from(
-            (0..length)
+            (0..series_length(idx))
                 .map(|i| {
                     let t = i as f64;
                     (std::f64::consts::TAU * t / 100.0 + phase).sin()
@@ -575,6 +588,10 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         ));
     }
 
+    let stats = pool.worker_stats();
+    let executed_tasks: u64 = stats.iter().map(|s| s.executed).sum();
+    let stolen_tasks: u64 = stats.iter().map(|s| s.stolen).sum();
+
     let mut sorted = batch_ms.clone();
     sorted.sort_by(f64::total_cmp);
     let (p50, p95, p99) = (
@@ -594,11 +611,12 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         println!(
             "{{\"bench\":\"throughput\",\"workers\":{workers},\"series\":{n_series},\
              \"length\":{length},\"pattern_length\":{pattern_length},\
-             \"query_length\":{query_length},\"batches\":{batches},\
+             \"query_length\":{query_length},\"batches\":{batches},\"skew\":{skew},\
              \"total_points\":{total_points},\
              \"sequential_ms\":{:.3},\"sequential_points_per_sec\":{:.0},\
              \"batch_p50_ms\":{p50:.3},\"batch_p95_ms\":{p95:.3},\"batch_p99_ms\":{p99:.3},\
              \"pool_points_per_sec\":{pool_pps:.0},\"speedup\":{speedup:.3},\
+             \"executed_tasks\":{executed_tasks},\"stolen_tasks\":{stolen_tasks},\
              \"deterministic\":true}}",
             seq_time.as_secs_f64() * 1e3,
             seq_pps,
@@ -606,13 +624,15 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
 
+    let shape = if skew { " (skewed)" } else { "" };
     println!(
-        "bench-throughput: {n_series} series × {length} points, ℓ={pattern_length}, ℓq={query_length}, {batches} batches"
+        "bench-throughput: {n_series} series{shape}, {total_points} points total, ℓ={pattern_length}, ℓq={query_length}, {batches} batches"
     );
     println!("sequential: {seq_time:.2?} ({seq_pps:>12.0} points/s)");
     println!(
         "pool ({workers} workers): p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms per batch ({pool_pps:>12.0} points/s, {speedup:.2}x)"
     );
+    println!("scheduler: {executed_tasks} tasks executed, {stolen_tasks} stolen");
     println!("determinism: pool output identical to sequential across all batches ✓");
     Ok(())
 }

@@ -140,6 +140,13 @@ impl Engine {
         self.pool.workers()
     }
 
+    /// Cumulative per-worker scheduler counters of the pool (executed and
+    /// stolen batch tasks; see [`crate::pool::WorkerStats`]). Exported by
+    /// the serving layer as `GET /metrics` gauges.
+    pub fn worker_stats(&self) -> Vec<crate::pool::WorkerStats> {
+        self.pool.worker_stats()
+    }
+
     /// Registers a freshly fitted model, persisting it first when a store
     /// is mounted (save-on-fit): the model becomes durable *before* it
     /// becomes visible, so a crash can never leave a registered-but-lost

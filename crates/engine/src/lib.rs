@@ -70,7 +70,7 @@ mod util;
 
 pub use engine::{AdaptStatus, Engine, EngineConfig};
 pub use error::{Error, Result};
-pub use pool::{AdaptReport, FitJob, ScoreJob, StreamPush, WorkerPool};
+pub use pool::{AdaptReport, FitJob, ScoreJob, StreamPush, WorkerPool, WorkerStats};
 pub use registry::{validate_model_name, ModelInfo, ModelRegistry};
 pub use storage::{ModelStorage, StoredModelMeta};
 

@@ -1,19 +1,32 @@
-//! Sharded worker pool fanning fit/score/stream jobs across OS threads.
+//! Work-stealing worker pool fanning fit/score/stream jobs across OS threads.
 //!
-//! The pool owns `n` worker threads, each with its own job queue (shard).
-//! Batch jobs are dispatched round-robin by job index — a deterministic
-//! assignment, so repeated runs of the same batch land on the same shards —
-//! and results are reassembled in submission order, which makes pool output
-//! **identical** to a sequential run (scoring is a pure function of
-//! `(model, series, query_length)`).
+//! The pool owns `n` worker threads. **Batch** jobs (fit/score) go through a
+//! work-stealing scheduler: submission pushes every task into a shared
+//! *injector* queue, each woken worker grabs a chunk into its own deque,
+//! executes from the front of that deque, and — once its deque and the
+//! injector are empty — *steals* single tasks from the back of a sibling's
+//! deque. A skewed batch (one huge series among many tiny ones) therefore
+//! keeps every worker busy until the last task finishes, where the previous
+//! round-robin dispatch idled all but the unlucky shard. Results are
+//! reassembled in submission order, and since every task is a pure function
+//! of its inputs, *which* worker runs it cannot change a single output bit:
+//! pool output stays **identical** to a sequential run.
+//!
+//! Per-worker `executed`/`stolen` counters ([`WorkerPool::worker_stats`])
+//! expose the scheduler's balance; the serving layer exports them through
+//! `GET /metrics`.
 //!
 //! Streaming sessions are *pinned*: a session id hashes to one shard and all
 //! its pushes execute there in order, so each per-model
 //! [`StreamingScorer`] lives on exactly one thread and needs no locking.
+//! Session work and batch work interleave on a worker at job granularity —
+//! a worker drains the batch it was woken for before returning to its
+//! channel, exactly as it previously drained its round-robin share.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use s2g_adapt::{AdaptAction, AdaptConfig, AdaptiveScorer, DriftStats};
@@ -88,7 +101,10 @@ impl WorkerSession {
     }
 }
 
-enum Job {
+/// One unit of batch work, carrying its submission index and a clone of the
+/// batch's reply sender. Tasks are self-contained, so any worker can run
+/// any task — the precondition for stealing.
+enum BatchTask {
     Fit {
         idx: usize,
         job: FitJob,
@@ -99,6 +115,83 @@ enum Job {
         job: ScoreJob,
         reply: Sender<(usize, Result<Vec<f64>>)>,
     },
+}
+
+impl BatchTask {
+    /// Executes the task and sends its `(submission index, result)` reply.
+    /// Pure: the result depends only on the task's inputs, never on the
+    /// executing worker.
+    fn run(self) {
+        match self {
+            BatchTask::Fit { idx, job, reply } => {
+                let result = Series2Graph::fit(&job.series, &job.config).map_err(Error::from);
+                let _ = reply.send((idx, result));
+            }
+            BatchTask::Score { idx, job, reply } => {
+                let result = job
+                    .model
+                    .anomaly_scores(&job.series, job.query_length)
+                    .map_err(Error::from);
+                let _ = reply.send((idx, result));
+            }
+        }
+    }
+}
+
+/// Shared state of one in-flight batch: the global injector plus one deque
+/// per worker. Plain mutex-guarded deques keep the scheduler free of
+/// `unsafe`; the tasks themselves (a fit or a full-series scoring pass) are
+/// orders of magnitude heavier than a lock round-trip.
+struct BatchShared {
+    /// Tasks not yet claimed by any worker.
+    injector: Mutex<VecDeque<BatchTask>>,
+    /// Per-worker local queues; the owner pops the front, thieves pop the
+    /// back (oldest-queued work first, farthest from what the owner touches
+    /// next).
+    deques: Vec<Mutex<VecDeque<BatchTask>>>,
+}
+
+/// Per-worker scheduler counters, cumulative over the pool's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Batch tasks this worker executed (claimed from the injector, its own
+    /// deque, or stolen).
+    pub executed: u64,
+    /// Batch tasks this worker stole from a sibling's deque.
+    pub stolen: u64,
+}
+
+/// Shared atomic backing of [`WorkerStats`], one slot per worker.
+#[derive(Debug, Default)]
+struct PoolStats {
+    executed: Vec<AtomicU64>,
+    stolen: Vec<AtomicU64>,
+}
+
+impl PoolStats {
+    fn new(workers: usize) -> Self {
+        PoolStats {
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<WorkerStats> {
+        self.executed
+            .iter()
+            .zip(&self.stolen)
+            .map(|(executed, stolen)| WorkerStats {
+                executed: executed.load(Ordering::Relaxed),
+                stolen: stolen.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+enum Job {
+    /// Wake-up for an in-flight batch: the worker drains the batch (own
+    /// deque → injector chunk → stealing) before returning to its channel.
+    Batch(Arc<BatchShared>),
     OpenStream {
         id: String,
         model: Arc<Series2Graph>,
@@ -120,29 +213,42 @@ enum Job {
     },
 }
 
-/// Fixed-size pool of worker threads with per-worker job queues.
+/// Fixed-size pool of worker threads with a work-stealing batch scheduler
+/// and per-worker channels for pinned session work.
 pub struct WorkerPool {
     shards: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+    /// Rotates which worker a batch's wake-ups start at, so small batches
+    /// (the single-series serving case) spread across workers instead of
+    /// all landing on worker 0.
+    next_wake: AtomicU64,
 }
 
 impl WorkerPool {
     /// Spawns a pool of `workers` threads (minimum 1).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
+        let stats = Arc::new(PoolStats::new(workers));
         let mut shards = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
             let (tx, rx) = channel::<Job>();
             shards.push(tx);
+            let stats = Arc::clone(&stats);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("s2g-worker-{shard}"))
-                    .spawn(move || worker_loop(rx))
+                    .spawn(move || worker_loop(shard, rx, &stats))
                     .expect("spawn worker thread"),
             );
         }
-        WorkerPool { shards, handles }
+        WorkerPool {
+            shards,
+            handles,
+            stats,
+            next_wake: AtomicU64::new(0),
+        }
     }
 
     /// Number of worker threads.
@@ -150,47 +256,80 @@ impl WorkerPool {
         self.shards.len()
     }
 
+    /// Cumulative per-worker scheduler counters: how many batch tasks each
+    /// worker executed and how many of those it stole from a sibling.
+    /// `stolen > 0` is the signature of a skewed batch being rebalanced.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.stats.snapshot()
+    }
+
     fn shard_for_stream(&self, id: &str) -> usize {
         (crate::util::fnv1a(id.as_bytes()) % self.shards.len() as u64) as usize
     }
 
-    /// Fits one model per job, in parallel across the shards. Results come
-    /// back in submission order; each job fails independently.
+    /// Pushes a prepared batch into a fresh injector and wakes
+    /// `min(tasks, workers)` workers — waking the whole pool for a
+    /// one-task batch (the single-series serving case) would cost `n − 1`
+    /// futile wake-ups per request and queue no-op messages behind pinned
+    /// session work. The wake set rotates so small batches spread across
+    /// workers. If no woken worker is reachable (the pool is shutting
+    /// down), the tasks — and with them their reply senders — drop here,
+    /// which the collector observes as `PoolClosed` slots.
+    fn submit_batch(&self, tasks: VecDeque<BatchTask>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let workers = self.workers();
+        let wake = tasks.len().min(workers);
+        let shared = Arc::new(BatchShared {
+            injector: Mutex::new(tasks),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        });
+        let start = self.next_wake.fetch_add(1, Ordering::Relaxed) as usize;
+        for offset in 0..wake {
+            let _ = self.shards[(start + offset) % workers].send(Job::Batch(Arc::clone(&shared)));
+        }
+    }
+
+    /// Fits one model per job, in parallel across the pool's work-stealing
+    /// scheduler. Results come back in submission order; each job fails
+    /// independently.
     pub fn fit_batch(&self, jobs: Vec<FitJob>) -> Vec<Result<Series2Graph>> {
         let n = jobs.len();
         let (reply, inbox) = channel();
-        for (idx, job) in jobs.into_iter().enumerate() {
-            let msg = Job::Fit {
+        let tasks: VecDeque<BatchTask> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, job)| BatchTask::Fit {
                 idx,
                 job,
                 reply: reply.clone(),
-            };
-            if self.shards[idx % self.shards.len()].send(msg).is_err() {
-                return (0..n).map(|_| Err(Error::PoolClosed)).collect();
-            }
-        }
+            })
+            .collect();
         drop(reply);
+        self.submit_batch(tasks);
         Self::collect(n, inbox)
     }
 
     /// Scores one series per job against its (shared) model, in parallel
-    /// across the shards. Results are anomaly-score profiles in submission
-    /// order, identical to what a sequential loop over
-    /// [`Series2Graph::anomaly_scores`] produces.
+    /// across the pool's work-stealing scheduler. Results are anomaly-score
+    /// profiles in submission order, identical to what a sequential loop
+    /// over [`Series2Graph::anomaly_scores`] produces — stealing moves
+    /// tasks between workers, never across result slots.
     pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f64>>> {
         let n = jobs.len();
         let (reply, inbox) = channel();
-        for (idx, job) in jobs.into_iter().enumerate() {
-            let msg = Job::Score {
+        let tasks: VecDeque<BatchTask> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, job)| BatchTask::Score {
                 idx,
                 job,
                 reply: reply.clone(),
-            };
-            if self.shards[idx % self.shards.len()].send(msg).is_err() {
-                return (0..n).map(|_| Err(Error::PoolClosed)).collect();
-            }
-        }
+            })
+            .collect();
         drop(reply);
+        self.submit_batch(tasks);
         Self::collect(n, inbox)
     }
 
@@ -326,21 +465,75 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Job>) {
+/// Drains one batch from the perspective of `worker`: own deque first, then
+/// a chunk from the shared injector, then single-task steals from siblings.
+/// Returns when no queued task of this batch remains anywhere (tasks still
+/// *executing* on other workers are theirs to finish).
+fn run_batch(worker: usize, shared: &BatchShared, stats: &PoolStats) {
+    let workers = shared.deques.len();
+    loop {
+        // 1. Own deque: chunks claimed from the injector land here.
+        let mut task = {
+            let mut own = shared.deques[worker]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            own.pop_front()
+        };
+        // 2. Shared injector: claim a chunk sized to leave work for the
+        //    other workers; the first task runs now, the rest queue locally
+        //    (and are visible to thieves).
+        if task.is_none() {
+            let mut injector = shared.injector.lock().unwrap_or_else(|e| e.into_inner());
+            if !injector.is_empty() {
+                let chunk = (injector.len() / workers).max(1);
+                task = injector.pop_front();
+                if chunk > 1 {
+                    let mut own = shared.deques[worker]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    for _ in 1..chunk {
+                        match injector.pop_front() {
+                            Some(t) => own.push_back(t),
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Steal: scan siblings in a fixed ring order, taking one task
+        //    from the back of the first non-empty deque.
+        if task.is_none() {
+            for offset in 1..workers {
+                let victim = (worker + offset) % workers;
+                let stolen = shared.deques[victim]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_back();
+                if let Some(t) = stolen {
+                    stats.stolen[worker].fetch_add(1, Ordering::Relaxed);
+                    task = Some(t);
+                    break;
+                }
+            }
+        }
+        match task {
+            Some(task) => {
+                // Counted before the task replies: the channel send inside
+                // `run` happens-after this store, so a caller that has
+                // collected every reply always reads fully-summed counters.
+                stats.executed[worker].fetch_add(1, Ordering::Relaxed);
+                task.run();
+            }
+            None => break,
+        }
+    }
+}
+
+fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats) {
     let mut sessions: HashMap<String, WorkerSession> = HashMap::new();
     while let Ok(job) = rx.recv() {
         match job {
-            Job::Fit { idx, job, reply } => {
-                let result = Series2Graph::fit(&job.series, &job.config).map_err(Error::from);
-                let _ = reply.send((idx, result));
-            }
-            Job::Score { idx, job, reply } => {
-                let result = job
-                    .model
-                    .anomaly_scores(&job.series, job.query_length)
-                    .map_err(Error::from);
-                let _ = reply.send((idx, result));
-            }
+            Job::Batch(shared) => run_batch(worker, &shared, stats),
             Job::OpenStream {
                 id,
                 model,
@@ -493,6 +686,48 @@ mod tests {
             pool.close_stream("gone"),
             Err(Error::UnknownStream(_))
         ));
+    }
+
+    #[test]
+    fn skewed_batch_is_stolen_and_stays_deterministic() {
+        // One giant series among many tiny ones: round-robin would chain
+        // every job of one shard behind the giant; stealing lets the other
+        // workers drain the tail. Output must match a sequential loop
+        // bit-for-bit regardless.
+        let model =
+            Arc::new(Series2Graph::fit(&sine(6000, 80.0, 0.0), &S2gConfig::new(40)).unwrap());
+        let mut series = vec![sine(40_000, 80.0, 0.2)];
+        series.extend((0..12).map(|i| sine(600 + 10 * i, 80.0, 0.1 * i as f64)));
+        let sequential: Vec<Vec<f64>> = series
+            .iter()
+            .map(|s| model.anomaly_scores(s, 120).unwrap())
+            .collect();
+        for workers in [1usize, 2, 3, 4] {
+            let pool = WorkerPool::new(workers);
+            let jobs: Vec<ScoreJob> = series
+                .iter()
+                .map(|s| ScoreJob {
+                    model: Arc::clone(&model),
+                    series: s.clone(),
+                    query_length: 120,
+                })
+                .collect();
+            let pooled: Vec<Vec<f64>> = pool
+                .score_batch(jobs)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(pooled, sequential, "workers={workers}");
+            let stats = pool.worker_stats();
+            assert_eq!(stats.len(), workers);
+            let executed: u64 = stats.iter().map(|s| s.executed).sum();
+            assert_eq!(executed, series.len() as u64, "workers={workers}");
+            let stolen: u64 = stats.iter().map(|s| s.stolen).sum();
+            assert!(
+                stolen <= executed,
+                "stolen {stolen} cannot exceed executed {executed}"
+            );
+        }
     }
 
     #[test]

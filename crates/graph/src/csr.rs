@@ -1,0 +1,207 @@
+//! Frozen compact-adjacency (CSR) snapshot of a [`DiGraph`] for the scoring
+//! hot path.
+//!
+//! Scoring evaluates `w(from, to) · (deg(from) − 1).max(0)` once per
+//! trajectory gap. On the mutable [`DiGraph`] every evaluation walks a
+//! `BTreeMap` (`O(log deg)` with pointer-chasing node allocations) and
+//! recounts two map lengths for the degree. The [`CsrView`] freezes the
+//! adjacency into three contiguous arrays — classic compressed sparse row —
+//! plus a precomputed per-node degree factor, so one lookup is a branch-light
+//! binary search over a short contiguous `targets` slice and one multiply:
+//!
+//! ```text
+//! row_start: [0,        2,    3, ...]   one entry per node, +1 sentinel
+//! targets:   [ 1, 4,    2,   ... ]      out-neighbours, sorted per row
+//! weights:   [ w01,w04, w12, ... ]      parallel to `targets`
+//! factor:    [ (deg(0)−1)⁺, ... ]       (deg(n) − 1).max(0) as f64
+//! ```
+//!
+//! The view is *value-identical* to the source graph: weights are copied
+//! bit-for-bit and the factor is computed with exactly the arithmetic the
+//! scorer used against the maps (`(deg as f64 − 1.0).max(0.0)`), so switching
+//! a scorer to the CSR view cannot change a single output bit.
+//!
+//! A view describes one frozen graph state. [`DiGraph`] caches it lazily
+//! and keeps it coherent across mutations (see [`DiGraph::csr`]): general
+//! mutations drop the cache (rebuilt in `O(V + E)` on the next read), while
+//! the adaptive hot path — a decayed reweight of one node's existing
+//! out-edges, once per emitted window — patches the cached row **in place**
+//! in `O(deg)` (`CsrView::apply_reweight`, crate-internal), with the
+//! identical floating-point operations the maps receive.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// A frozen compressed-sparse-row snapshot of a [`DiGraph`]'s outgoing
+/// adjacency plus the per-node normality degree factor.
+#[derive(Debug, Clone, Default)]
+pub struct CsrView {
+    /// `row_start[n] .. row_start[n + 1]` indexes the out-edges of node `n`
+    /// in `targets`/`weights`. Length `node_count + 1`.
+    row_start: Vec<usize>,
+    /// Destination of every edge, sorted ascending within each row.
+    targets: Vec<NodeId>,
+    /// Weight of every edge, parallel to `targets`.
+    weights: Vec<f64>,
+    /// `(deg(n) − 1).max(0)` per node, precomputed as `f64`.
+    factor: Vec<f64>,
+}
+
+impl CsrView {
+    /// Builds the snapshot from a graph in `O(V + E)` (the per-node maps are
+    /// already ordered, so no sorting happens here).
+    pub fn build(graph: &DiGraph) -> CsrView {
+        let n = graph.node_count();
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(graph.edge_count());
+        let mut weights = Vec::with_capacity(targets.capacity());
+        let mut factor = Vec::with_capacity(n);
+        row_start.push(0);
+        for node in 0..n {
+            for edge in graph.out_edges(node) {
+                targets.push(edge.to);
+                weights.push(edge.weight);
+            }
+            row_start.push(targets.len());
+            factor.push((graph.degree(node) as f64 - 1.0).max(0.0));
+        }
+        CsrView {
+            row_start,
+            targets,
+            weights,
+            factor,
+        }
+    }
+
+    /// Number of nodes the snapshot covers.
+    pub fn node_count(&self) -> usize {
+        self.factor.len()
+    }
+
+    /// Number of edges the snapshot covers.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Weight of the edge `from -> to`, or `None` when absent — equal to
+    /// [`DiGraph::edge_weight`] on the snapshotted state, via binary search
+    /// over the contiguous row instead of a `BTreeMap` walk.
+    #[inline]
+    pub fn edge_weight(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        if from >= self.node_count() {
+            return None;
+        }
+        let row = self.row_start[from]..self.row_start[from + 1];
+        let targets = &self.targets[row.clone()];
+        targets
+            .binary_search(&to)
+            .ok()
+            .map(|i| self.weights[row.start + i])
+    }
+
+    /// The precomputed normality degree factor `(deg(n) − 1).max(0)` of a
+    /// node (`0.0` for an out-of-range id, matching `deg = 0`).
+    #[inline]
+    pub fn degree_factor(&self, node: NodeId) -> f64 {
+        self.factor.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Per-gap normality contribution `w(from, to) · (deg(from) − 1).max(0)`
+    /// of one transition; an absent edge contributes `0.0` exactly like the
+    /// map-based scorer (`0.0 · factor`).
+    #[inline]
+    pub fn contribution(&self, from: NodeId, to: NodeId) -> f64 {
+        let weight = self.edge_weight(from, to).unwrap_or(0.0);
+        weight * self.degree_factor(from)
+    }
+
+    /// Applies a decayed-reweight update in place: every weight of `from`'s
+    /// row is scaled by `retain` and the edge `from -> to` gains
+    /// `reinforcement` — exactly the arithmetic
+    /// [`DiGraph::reweight_out_edge`] performs on the maps, in the same
+    /// `*w *= retain` / `+= reinforcement` operations, so the patched view
+    /// stays bit-identical to a fresh build. `O(deg(from))`, which is what
+    /// keeps adaptive sessions (one update per emitted window) from paying
+    /// an `O(V + E)` snapshot rebuild per push.
+    ///
+    /// Returns `false` — leaving the view untouched — when the edge does
+    /// not exist in the row (a brand-new transition changes degrees and row
+    /// shapes; the caller must drop the cache instead) or `from` is out of
+    /// range.
+    pub(crate) fn apply_reweight(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        retain: f64,
+        reinforcement: f64,
+    ) -> bool {
+        if from >= self.node_count() {
+            return false;
+        }
+        let row = self.row_start[from]..self.row_start[from + 1];
+        let Ok(i) = self.targets[row.clone()].binary_search(&to) else {
+            return false;
+        };
+        for w in &mut self.weights[row.clone()] {
+            *w *= retain;
+        }
+        self.weights[row.start + i] += reinforcement;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn braided() -> DiGraph {
+        let mut g = DiGraph::with_nodes(6);
+        for _ in 0..7 {
+            g.record_transition(0, 1).unwrap();
+            g.record_transition(1, 2).unwrap();
+            g.record_transition(2, 0).unwrap();
+        }
+        g.record_transition(1, 4).unwrap();
+        g.record_transition(4, 5).unwrap();
+        g.add_edge_weight(5, 2, 0.5).unwrap();
+        g.record_transition(2, 2).unwrap(); // self loop
+        g
+    }
+
+    #[test]
+    fn view_matches_map_lookups_bit_for_bit() {
+        let g = braided();
+        let csr = CsrView::build(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for from in 0..g.node_count() + 2 {
+            let expected_factor = (g.degree(from) as f64 - 1.0).max(0.0);
+            assert_eq!(csr.degree_factor(from).to_bits(), expected_factor.to_bits());
+            for to in 0..g.node_count() + 2 {
+                assert_eq!(csr.edge_weight(from, to), g.edge_weight(from, to));
+                let legacy =
+                    g.edge_weight(from, to).unwrap_or(0.0) * (g.degree(from) as f64 - 1.0).max(0.0);
+                assert_eq!(csr.contribution(from, to).to_bits(), legacy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_contiguous() {
+        let csr = CsrView::build(&braided());
+        for n in 0..csr.node_count() {
+            let row = &csr.targets[csr.row_start[n]..csr.row_start[n + 1]];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {n} not sorted");
+        }
+        assert_eq!(*csr.row_start.last().unwrap(), csr.targets.len());
+        assert_eq!(csr.targets.len(), csr.weights.len());
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_view() {
+        let csr = CsrView::build(&DiGraph::new());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.edge_weight(0, 0), None);
+        assert_eq!(csr.contribution(0, 0), 0.0);
+    }
+}

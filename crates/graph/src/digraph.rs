@@ -1,7 +1,9 @@
 //! Directed weighted graph with cumulative edge weights.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
+use crate::csr::CsrView;
 use crate::error::{Error, Result};
 
 /// Identifier of a node inside a [`DiGraph`]. Node ids are dense indices
@@ -31,6 +33,11 @@ pub struct DiGraph {
     out_edges: Vec<BTreeMap<NodeId, f64>>,
     /// Incoming adjacency: `incoming[v][u] = w(u, v)`.
     in_edges: Vec<BTreeMap<NodeId, f64>>,
+    /// Lazily-built frozen scoring snapshot (see [`DiGraph::csr`]). Every
+    /// mutating method drops it; readers rebuild on first use. Cloning a
+    /// graph clones the cache, which stays consistent because the adjacency
+    /// it was built from is cloned with it.
+    csr: OnceLock<CsrView>,
 }
 
 impl DiGraph {
@@ -44,6 +51,7 @@ impl DiGraph {
         Self {
             out_edges: vec![BTreeMap::new(); n],
             in_edges: vec![BTreeMap::new(); n],
+            csr: OnceLock::new(),
         }
     }
 
@@ -66,9 +74,28 @@ impl DiGraph {
 
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
+        self.invalidate_csr();
         self.out_edges.push(BTreeMap::new());
         self.in_edges.push(BTreeMap::new());
         self.out_edges.len() - 1
+    }
+
+    /// The frozen compressed-sparse-row scoring snapshot of this graph
+    /// (see [`CsrView`]), built lazily on first use and kept coherent
+    /// across mutations: structural changes drop the cache, while
+    /// [`DiGraph::reweight_out_edge`] on an existing edge patches the
+    /// cached row in place (`O(deg)`). Scoring hot paths read edge weights
+    /// and degree factors through this view — a binary search over
+    /// contiguous memory — instead of walking the mutable `BTreeMap`
+    /// adjacency per lookup.
+    pub fn csr(&self) -> &CsrView {
+        self.csr.get_or_init(|| CsrView::build(self))
+    }
+
+    /// Drops the cached scoring snapshot; called by every mutating method
+    /// so a stale view can never serve reads after a write.
+    fn invalidate_csr(&mut self) {
+        self.csr = OnceLock::new();
     }
 
     /// Number of nodes.
@@ -102,6 +129,7 @@ impl DiGraph {
         if !self.contains_node(to) {
             return Err(Error::UnknownNode(to));
         }
+        self.invalidate_csr();
         *self.out_edges[from].entry(to).or_insert(0.0) += weight;
         *self.in_edges[to].entry(from).or_insert(0.0) += weight;
         Ok(())
@@ -217,6 +245,19 @@ impl DiGraph {
             return Ok(0.0);
         }
         let retain = 1.0 - lambda;
+        let reinforcement = lambda * strength;
+        // Patch the cached scoring snapshot in place when the touched edge
+        // already exists (the common adaptive-session case — O(deg(from))
+        // instead of an O(V + E) rebuild per update). A brand-new edge
+        // changes degrees and row shapes, so that case drops the cache and
+        // the next read rebuilds.
+        let patched = match self.csr.get_mut() {
+            None => true, // nothing cached, nothing to go stale
+            Some(view) => view.apply_reweight(from, to, retain, reinforcement),
+        };
+        if !patched {
+            self.invalidate_csr();
+        }
         // Decay every outgoing edge of `from`, mirroring into the incoming
         // adjacency so both views stay consistent.
         let targets: Vec<NodeId> = self.out_edges[from].keys().copied().collect();
@@ -228,7 +269,6 @@ impl DiGraph {
                 *w *= retain;
             }
         }
-        let reinforcement = lambda * strength;
         *self.out_edges[from].entry(to).or_insert(0.0) += reinforcement;
         *self.in_edges[to].entry(from).or_insert(0.0) += reinforcement;
         Ok(reinforcement)
@@ -374,6 +414,69 @@ mod tests {
         let before = g.edge_weight(0, 1).unwrap().to_bits();
         assert_eq!(g.reweight_out_edge(0, 1, 0.0).unwrap(), 0.0);
         assert_eq!(g.edge_weight(0, 1).unwrap().to_bits(), before);
+    }
+
+    #[test]
+    fn csr_reweight_patch_is_bit_identical_to_fresh_build() {
+        // Weights with noisy low bits, so a patched snapshot diverging from
+        // a rebuilt one by even a ulp would be caught.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge_weight(0, 1, 0.1 + 0.2).unwrap();
+        g.add_edge_weight(0, 2, 1.0 / 3.0).unwrap();
+        g.add_edge_weight(1, 0, 0.7).unwrap();
+        let _ = g.csr(); // populate the cache so reweight patches it
+
+        // Existing-edge reweight: the cached view is patched in place.
+        g.reweight_out_edge(0, 2, 0.3).unwrap();
+        let fresh = crate::csr::CsrView::build(&g);
+        for from in 0..g.node_count() {
+            assert_eq!(
+                g.csr().degree_factor(from).to_bits(),
+                fresh.degree_factor(from).to_bits()
+            );
+            for to in 0..g.node_count() {
+                assert_eq!(
+                    g.csr().edge_weight(from, to).map(f64::to_bits),
+                    fresh.edge_weight(from, to).map(f64::to_bits),
+                    "patched view diverged at ({from}, {to})"
+                );
+            }
+        }
+
+        // Brand-new-edge reweight: degrees change, so the cache is dropped
+        // and rebuilt — values must still agree with the maps.
+        g.reweight_out_edge(0, 3, 0.3).unwrap();
+        assert_eq!(
+            g.csr().edge_weight(0, 3).map(f64::to_bits),
+            g.edge_weight(0, 3).map(f64::to_bits)
+        );
+        assert_eq!(g.csr().degree_factor(3).to_bits(), 0f64.to_bits());
+    }
+
+    #[test]
+    fn csr_cache_invalidated_by_every_mutation() {
+        let mut g = triangle();
+        assert_eq!(g.csr().edge_weight(0, 1), Some(1.0));
+        // record_transition (via add_edge_weight) drops the cache.
+        g.record_transition(0, 1).unwrap();
+        assert_eq!(g.csr().edge_weight(0, 1), Some(2.0));
+        // add_node grows the node range the view covers.
+        let n = g.add_node();
+        assert_eq!(g.csr().node_count(), 4);
+        assert_eq!(g.csr().degree_factor(n), 0.0);
+        // reweight_out_edge rewrites weights in place.
+        g.add_edge_weight(0, 2, 1.0).unwrap();
+        let before = g.csr().edge_weight(0, 1).unwrap();
+        g.reweight_out_edge(0, 2, 0.5).unwrap();
+        let after = g.csr().edge_weight(0, 1).unwrap();
+        assert!((after - before * 0.5).abs() < 1e-12);
+        assert_eq!(g.csr().edge_weight(0, 1), g.edge_weight(0, 1));
+        // A λ=0 reweight is a no-op and may keep the cache; values still match.
+        g.reweight_out_edge(0, 2, 0.0).unwrap();
+        assert_eq!(g.csr().edge_weight(0, 2), g.edge_weight(0, 2));
+        // Cloning carries a consistent cache along.
+        let clone = g.clone();
+        assert_eq!(clone.csr().edge_weight(0, 1), g.csr().edge_weight(0, 1));
     }
 
     #[test]

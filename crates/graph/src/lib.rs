@@ -13,6 +13,9 @@
 //! This crate provides:
 //!
 //! * [`DiGraph`] — a compact directed multigraph with cumulative edge weights,
+//! * [`csr`] — a frozen compressed-sparse-row scoring snapshot ([`CsrView`])
+//!   cached on the graph and invalidated by mutation, which turns per-gap
+//!   edge lookups into binary searches over contiguous memory,
 //! * [`normality`] — θ-Normality / θ-Anomaly subgraph extraction following
 //!   Definitions 3–5 of the paper,
 //! * [`dot`] — GraphViz export used by the figure harnesses for inspection.
@@ -20,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod digraph;
 pub mod dot;
 pub mod error;
 pub mod normality;
 
+pub use csr::CsrView;
 pub use digraph::{DiGraph, EdgeRef, NodeId};
 pub use error::{Error, Result};

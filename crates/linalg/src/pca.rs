@@ -66,22 +66,7 @@ impl Pca {
             PcaSolver::Covariance => {
                 let mut cov = centered.gram();
                 cov.scale_in_place(1.0 / denom);
-                let eig = symmetric_eigen(&cov)?;
-                let total_variance: f64 = eig.eigenvalues.iter().map(|v| v.max(0.0)).sum();
-                let mut components = DMatrix::zeros(d, k);
-                let mut explained = Vec::with_capacity(k);
-                for c in 0..k {
-                    explained.push(eig.eigenvalues[c].max(0.0));
-                    for r in 0..d {
-                        components.set(r, c, eig.eigenvectors.get(r, c));
-                    }
-                }
-                Ok(Self {
-                    mean,
-                    components,
-                    explained_variance: explained,
-                    total_variance,
-                })
+                Self::from_covariance(mean, &cov, k)
             }
             PcaSolver::RandomizedSvd {
                 oversample,
@@ -112,6 +97,106 @@ impl Pca {
                 })
             }
         }
+    }
+
+    /// Fits a covariance-solver PCA on the `n` overlapping windows
+    /// `windows[i .. i + d]`, `i ∈ [0, n)`, of a flat buffer — the shape of
+    /// the subsequence projection matrix `Proj(T, ℓ, λ)`, whose row `i` is a
+    /// stride-1 slice of the series' rolling-sum vector.
+    ///
+    /// This is the **materialization-free** fit path: instead of copying the
+    /// windows into an `n × d` matrix (`O(n·d)` memory — hundreds of MB for
+    /// million-point series), the column means and the `d × d` Gram matrix
+    /// are accumulated directly from the overlapping slices, so peak extra
+    /// memory is `O(d²)`. Every accumulation runs in exactly the summation
+    /// order of [`DMatrix::column_means`] / [`DMatrix::gram`] on the
+    /// materialized matrix (including the skip of zero entries), so the
+    /// fitted model is **bit-identical** to
+    /// `Pca::fit_with(&materialized, k, PcaSolver::Covariance)`.
+    ///
+    /// # Errors
+    /// * [`Error::EmptyMatrix`] when `n == 0` or `d == 0`.
+    /// * [`Error::ShapeMismatch`] when `windows` is shorter than the
+    ///   `n + d − 1` values the windows span.
+    /// * [`Error::TooManyComponents`] when `k == 0` or `k > min(n, d)`.
+    pub fn fit_sliding_covariance(windows: &[f64], n: usize, d: usize, k: usize) -> Result<Self> {
+        if n == 0 || d == 0 {
+            return Err(Error::EmptyMatrix);
+        }
+        if windows.len() + 1 < n + d {
+            return Err(Error::ShapeMismatch {
+                op: "pca_fit_sliding",
+                left: (1, windows.len()),
+                right: (n, d),
+            });
+        }
+        if k == 0 || k > n.min(d) {
+            return Err(Error::TooManyComponents {
+                requested: k,
+                available: n.min(d),
+            });
+        }
+
+        // Column means, in DMatrix::column_means order (rows outer, columns
+        // inner, one division at the end).
+        let mut mean = vec![0.0; d];
+        for r in 0..n {
+            let row = &windows[r..r + d];
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        let rows = n.max(1) as f64;
+        for m in &mut mean {
+            *m /= rows;
+        }
+
+        // Gram matrix of the centred rows, in DMatrix::gram order. One
+        // scratch row of length d replaces the n × d centred matrix; the
+        // `ri == 0.0` skip is kept because adding `0.0 * rj` can still flip
+        // a `-0.0` accumulator to `+0.0` — same arithmetic, same bits.
+        let mut cov = DMatrix::zeros(d, d);
+        let mut centered = vec![0.0; d];
+        for r in 0..n {
+            for (c, v) in centered.iter_mut().enumerate() {
+                *v = windows[r + c] - mean[c];
+            }
+            for i in 0..d {
+                let ri = centered[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let out_row = cov.row_mut(i);
+                for (j, &rj) in centered.iter().enumerate() {
+                    out_row[j] += ri * rj;
+                }
+            }
+        }
+        let denom = (n.max(2) - 1) as f64;
+        cov.scale_in_place(1.0 / denom);
+        Self::from_covariance(mean, &cov, k)
+    }
+
+    /// Shared tail of the covariance solvers: eigen-decomposes the already
+    /// scaled covariance matrix and keeps the top-`k` directions.
+    fn from_covariance(mean: Vec<f64>, cov: &DMatrix, k: usize) -> Result<Self> {
+        let d = cov.nrows();
+        let eig = symmetric_eigen(cov)?;
+        let total_variance: f64 = eig.eigenvalues.iter().map(|v| v.max(0.0)).sum();
+        let mut components = DMatrix::zeros(d, k);
+        let mut explained = Vec::with_capacity(k);
+        for c in 0..k {
+            explained.push(eig.eigenvalues[c].max(0.0));
+            for r in 0..d {
+                components.set(r, c, eig.eigenvectors.get(r, c));
+            }
+        }
+        Ok(Self {
+            mean,
+            components,
+            explained_variance: explained,
+            total_variance,
+        })
     }
 
     /// Reassembles a fitted PCA from its raw parts, as produced by
@@ -331,6 +416,55 @@ mod tests {
             let mean: f64 = proj.col(c).iter().sum::<f64>() / proj.nrows() as f64;
             assert!(mean.abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn sliding_covariance_is_bit_identical_to_materialized() {
+        // A buffer with noisy low bits, cut into stride-1 overlapping
+        // windows exactly like the subsequence projection matrix.
+        let buffer: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + (i as f64 * 0.011).cos() + 0.1)
+            .collect();
+        let d = 40;
+        let n = buffer.len() - d + 1;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| buffer[i..i + d].to_vec()).collect();
+        let materialized = DMatrix::from_rows(&rows).unwrap();
+
+        let via_matrix = Pca::fit(&materialized, 3).unwrap();
+        let via_slices = Pca::fit_sliding_covariance(&buffer, n, d, 3).unwrap();
+
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(via_matrix.mean()), bits(via_slices.mean()));
+        assert_eq!(
+            bits(via_matrix.components().as_slice()),
+            bits(via_slices.components().as_slice())
+        );
+        assert_eq!(
+            bits(via_matrix.explained_variance()),
+            bits(via_slices.explained_variance())
+        );
+        assert_eq!(
+            via_matrix.total_variance().to_bits(),
+            via_slices.total_variance().to_bits()
+        );
+        // And the projections agree bit-for-bit too.
+        for i in [0usize, 7, n - 1] {
+            let a = via_matrix.transform_row(&buffer[i..i + d]).unwrap();
+            let b = via_slices.transform_row(&buffer[i..i + d]).unwrap();
+            assert_eq!(bits(&a), bits(&b));
+        }
+    }
+
+    #[test]
+    fn sliding_covariance_validates_inputs() {
+        let buffer = vec![1.0; 20];
+        assert!(Pca::fit_sliding_covariance(&buffer, 0, 5, 1).is_err());
+        assert!(Pca::fit_sliding_covariance(&buffer, 5, 0, 1).is_err());
+        // 10 windows of width 12 need 21 values; 20 is one short.
+        assert!(Pca::fit_sliding_covariance(&buffer, 10, 12, 2).is_err());
+        assert!(Pca::fit_sliding_covariance(&buffer, 10, 5, 0).is_err());
+        assert!(Pca::fit_sliding_covariance(&buffer, 10, 5, 6).is_err());
+        assert!(Pca::fit_sliding_covariance(&buffer, 16, 5, 3).is_ok());
     }
 
     #[test]

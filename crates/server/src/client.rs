@@ -1,9 +1,13 @@
 //! A minimal blocking client for the `s2g-server` protocol.
 //!
-//! [`Client`] opens one TCP connection per request (the server closes every
-//! connection after responding), writes a protocol request and parses the
-//! NDJSON response. The typed helpers cover every endpoint; [`Client::request`]
-//! is the raw escape hatch.
+//! [`Client`] writes protocol requests and parses NDJSON responses over
+//! **persistent** connections: it sends `Connection: keep-alive`, frames
+//! responses by `Content-Length`, and when the server agrees to keep the
+//! socket open, pools it for the next request — one TCP + one round-trip
+//! saved per call. A pooled socket the server has since idle-closed is
+//! detected on reuse and transparently replaced by a fresh connection.
+//! The typed helpers cover every endpoint; [`Client::request`] is the raw
+//! escape hatch.
 //!
 //! Float fidelity: score values cross the wire as JSON numbers in Rust's
 //! shortest round-trip formatting, so the `f64`s this client returns are
@@ -11,6 +15,7 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::json::{Json, JsonError};
@@ -119,6 +124,11 @@ impl ClientResponse {
 pub struct Client {
     addr: String,
     timeout: Duration,
+    /// The keep-alive socket left over from the previous request, if the
+    /// server kept it open. One exchange *takes* the socket out under the
+    /// lock, so concurrent requests through clones never serialise on each
+    /// other — they simply open fresh connections.
+    pooled: Arc<Mutex<Option<TcpStream>>>,
 }
 
 impl Client {
@@ -127,6 +137,7 @@ impl Client {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(60),
+            pooled: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -134,6 +145,14 @@ impl Client {
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
         self
+    }
+
+    fn take_pooled(&self) -> Option<TcpStream> {
+        self.pooled.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+
+    fn store_pooled(&self, stream: Option<TcpStream>) {
+        *self.pooled.lock().unwrap_or_else(|e| e.into_inner()) = stream;
     }
 
     /// The server address this client talks to.
@@ -154,34 +173,74 @@ impl Client {
         target: &str,
         body: &[u8],
     ) -> Result<ClientResponse, ClientError> {
-        let mut stream = TcpStream::connect(&self.addr)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        let head = format!(
-            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.addr,
-            body.len()
-        );
-        let write_result = stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(body))
-            .and_then(|()| stream.flush());
-
-        // The server closes the connection after one response. A failed
-        // write does not end the exchange: the server may have rejected
-        // the request early (e.g. 413 before reading an over-cap body) and
-        // its response can still be readable — prefer that response over
-        // the local broken-pipe error.
-        let mut raw = Vec::new();
-        let read_result = stream.read_to_end(&mut raw);
-        if !raw.is_empty() {
-            if let Ok(response) = parse_response(&raw) {
-                return Ok(response);
+        // Reuse the pooled keep-alive socket first. A pooled socket may
+        // have been idle-closed by the server while it sat in the pool —
+        // the classic keep-alive race. The common form of the race is
+        // caught *before any bytes are sent*: the server's FIN is already
+        // in the socket, so a cheap liveness probe detects it and a fresh
+        // connection is used instead — always safe, nothing was sent.
+        //
+        // A stale-looking failure *after* the request went out (EOF/reset
+        // with zero response bytes) is silently retried only for GET:
+        // a server that died after executing but before responding is
+        // indistinguishable from one that closed before reading, and
+        // resending a non-idempotent request (a session push, a delete)
+        // could execute it twice — those surface to the caller instead.
+        if let Some(stream) = self.take_pooled().filter(pooled_socket_alive) {
+            match self.exchange(stream, method, target, body) {
+                Ok((response, reusable)) => {
+                    self.store_pooled(reusable);
+                    return Ok(response);
+                }
+                Err(e) if method != "GET" || !stale_socket_error(&e) => return Err(e),
+                Err(_) => {} // stale pooled socket under GET: reconnect
             }
         }
-        write_result?;
-        read_result?;
-        parse_response(&raw)
+        let stream = TcpStream::connect(&self.addr)?;
+        let (response, reusable) = self.exchange(stream, method, target, body)?;
+        self.store_pooled(reusable);
+        Ok(response)
+    }
+
+    /// Runs one request/response exchange on `stream`. Returns the parsed
+    /// response plus the stream itself when the server kept the connection
+    /// open (`Connection: keep-alive` on a fully successful exchange).
+    fn exchange(
+        &self,
+        mut stream: TcpStream,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<(ClientResponse, Option<TcpStream>), ClientError> {
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        // One write per request (and no Nagle): on a reused connection a
+        // separate body segment would wait out the server's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let mut wire = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body);
+        let write_result = stream.write_all(&wire).and_then(|()| stream.flush());
+
+        // A failed write does not end the exchange: the server may have
+        // rejected the request early (e.g. 413 before reading an over-cap
+        // body) and its response can still be readable — prefer that
+        // response over the local broken-pipe error. A half-written
+        // request never leaves the socket reusable.
+        match read_framed_response(&mut stream) {
+            Ok((response, server_keeps)) => {
+                let reusable = write_result.is_ok() && server_keeps;
+                Ok((response, reusable.then_some(stream)))
+            }
+            Err(read_error) => {
+                write_result?;
+                Err(read_error)
+            }
+        }
     }
 
     /// Like [`Client::request`], turning error statuses into
@@ -429,13 +488,134 @@ impl Client {
     }
 }
 
-fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
-    let header_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| ClientError::Protocol("response without header terminator".into()))?;
+/// `true` when a just-unpooled socket is still usable: no EOF, no error,
+/// no unsolicited bytes waiting (a non-blocking peek). Detects the common
+/// stale-keep-alive case — the server idle-closed the pooled socket, its
+/// FIN already delivered — before anything is sent, which is the only
+/// point where switching to a fresh connection is unconditionally safe.
+fn pooled_socket_alive(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let alive = match stream.peek(&mut [0u8; 1]) {
+        Ok(0) => false,                                               // EOF: server closed
+        Ok(_) => false, // unsolicited bytes: protocol state unknown, drop it
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true, // quiet and open
+        Err(_) => false,
+    };
+    alive && stream.set_nonblocking(false).is_ok()
+}
+
+/// `true` when a request failure shows the peer closed or reset the
+/// connection **before any byte of a response arrived** — the keep-alive
+/// race a client may retry on a fresh connection for idempotent requests.
+/// Timeouts and partial responses are deliberately excluded: there the
+/// request may have been executed, and a resend would double
+/// non-idempotent operations. (The zero-byte signature itself cannot
+/// distinguish "never read the request" from "died after executing it",
+/// which is why even this retry is restricted to GET by the caller.)
+fn stale_socket_error(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(io) if matches!(
+            io.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::NotConnected
+        )
+    )
+}
+
+/// Reads exactly one `Content-Length`-framed response from a (possibly
+/// persistent) connection. Returns the parsed response and whether the
+/// server advertised `Connection: keep-alive` — i.e. whether the socket can
+/// carry another request.
+fn read_framed_response(stream: &mut TcpStream) -> Result<(ClientResponse, bool), ClientError> {
+    const MAX_HEAD: usize = 64 * 1024;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 2048];
+    let header_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if raw.len() > MAX_HEAD {
+            return Err(ClientError::Protocol("response head too large".into()));
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            // Once any response byte has arrived the server has started
+            // executing/answering the request, so a subsequent failure
+            // (reset, timeout) must NOT look like the stale-socket race —
+            // map it to Protocol so the caller never silently retries a
+            // request that may have been executed.
+            Err(e) if !raw.is_empty() => {
+                return Err(ClientError::Protocol(format!(
+                    "connection broken mid-response: {e}"
+                )));
+            }
+            Err(e) => return Err(ClientError::Io(e)),
+        };
+        if n == 0 && raw.is_empty() {
+            // Clean close before any response byte: the stale-pooled-socket
+            // signature ([`stale_socket_error`]), kept distinguishable from
+            // a mid-response truncation.
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before any response byte",
+            )));
+        }
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a full response head".into(),
+            ));
+        }
+        raw.extend_from_slice(&chunk[..n]);
+    };
     let head = std::str::from_utf8(&raw[..header_end])
         .map_err(|_| ClientError::Protocol("non-UTF-8 response head".into()))?;
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok();
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+        }
+    }
+    let content_length = content_length
+        .ok_or_else(|| ClientError::Protocol("response without Content-Length".into()))?;
+
+    // Pull in exactly the declared body (part of it may already sit in
+    // `raw` behind the head).
+    let body_start = header_end + 4;
+    let have = raw.len() - body_start;
+    if have < content_length {
+        let old_len = raw.len();
+        raw.resize(body_start + content_length, 0);
+        // The head already arrived, so a body-read failure is mid-response
+        // by definition — never the retriable stale-socket race.
+        stream
+            .read_exact(&mut raw[old_len..])
+            .map_err(|e| ClientError::Protocol(format!("connection broken mid-response: {e}")))?;
+    } else {
+        raw.truncate(body_start + content_length);
+    }
+    // `raw` may have reallocated since the head was validated; re-slice it.
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| ClientError::Protocol("non-UTF-8 response head".into()))?;
+    Ok((assemble_response(head, &raw[body_start..])?, keep_alive))
+}
+
+/// Builds a [`ClientResponse`] from an already-split head and body — the
+/// single place status lines and NDJSON bodies are parsed, shared by the
+/// framed reader above and [`parse_response`].
+fn assemble_response(head: &str, body: &[u8]) -> Result<ClientResponse, ClientError> {
     let status_line = head
         .lines()
         .next()
@@ -446,7 +626,7 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
-    let body = std::str::from_utf8(&raw[header_end + 4..])
+    let body = std::str::from_utf8(body)
         .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
     let lines = body
         .lines()
@@ -459,6 +639,18 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Parses a complete raw response buffer (head terminator included)
+    /// via [`assemble_response`].
+    fn parse_response(raw: &[u8]) -> Result<ClientResponse, ClientError> {
+        let header_end = raw
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| ClientError::Protocol("response without header terminator".into()))?;
+        let head = std::str::from_utf8(&raw[..header_end])
+            .map_err(|_| ClientError::Protocol("non-UTF-8 response head".into()))?;
+        assemble_response(head, &raw[header_end + 4..])
+    }
 
     #[test]
     fn parse_response_splits_status_and_lines() {

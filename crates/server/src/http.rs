@@ -4,17 +4,21 @@
 //! (`curl` included) while staying dependency-free:
 //!
 //! * request line `METHOD SP /path[?query] SP HTTP/1.1`, CRLF line endings;
-//! * headers until an empty line; only `Content-Length` is interpreted;
+//! * headers until an empty line; `Content-Length` and `Connection` are
+//!   interpreted, the rest are skipped;
 //! * bodies require an explicit `Content-Length` (no chunked encoding);
-//! * each connection carries **exactly one** request; every response closes
-//!   the connection (`Connection: close`).
+//! * connections are **persistent** by default for HTTP/1.1
+//!   (`Connection: close` opts out) and close by default for HTTP/1.0
+//!   (`Connection: keep-alive` opts in). Error responses (status ≥ 400)
+//!   always close. The response's `Connection` header states what the
+//!   server actually did.
 //!
 //! Hard limits protect the server from hostile or broken peers: an
 //! over-long request line or header section is rejected with `400`, a body
 //! larger than the configured cap with `413` — *before* the body is read
 //! into memory. See `docs/PROTOCOL.md` for the full wire contract.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, Write};
 
 /// Maximum accepted request-line length in bytes.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -73,6 +77,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the peer asked to keep the connection open after the
+    /// response: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -116,7 +124,13 @@ pub enum ParseError {
     Io(std::io::ErrorKind),
 }
 
-/// Reads and parses one request from a stream.
+/// Reads and parses one request from a buffered stream.
+///
+/// The reader is taken as [`BufRead`] (not wrapped internally) so that a
+/// **persistent connection can keep one buffer across requests**: any
+/// bytes of a pipelined next request that read-ahead pulls in survive in
+/// the caller's `BufReader` instead of being dropped with a throwaway one,
+/// which would desynchronise the connection.
 ///
 /// `max_body_bytes` caps the accepted `Content-Length`; a larger declared
 /// body is rejected as [`ParseError::BodyTooLarge`] without reading it.
@@ -137,9 +151,10 @@ pub enum ParseError {
 ///
 /// # Errors
 /// [`ParseError`] describing the first violation encountered.
-pub fn read_request<R: Read>(stream: R, max_body_bytes: usize) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream);
-
+pub fn read_request<R: BufRead>(
+    mut reader: R,
+    max_body_bytes: usize,
+) -> Result<Request, ParseError> {
     let request_line = read_crlf_line(&mut reader, MAX_REQUEST_LINE)?;
     if request_line.is_empty() {
         return Err(ParseError::ConnectionClosed);
@@ -160,22 +175,36 @@ pub fn read_request<R: Read>(stream: R, max_body_bytes: usize) -> Result<Request
         return Err(ParseError::Malformed("request target must start with '/'"));
     }
 
-    // Headers: only Content-Length is interpreted, the rest are skipped.
+    // Headers: Content-Length and Connection are interpreted, the rest are
+    // skipped. Persistence defaults follow the HTTP version: 1.1 keeps the
+    // connection unless told otherwise, 1.0 closes unless told otherwise.
     let mut content_length: usize = 0;
+    let mut keep_alive = version == "HTTP/1.1";
     for _ in 0..MAX_HEADERS {
         let line = read_crlf_line(&mut reader, MAX_HEADER_LINE)?;
         if line.is_empty() {
             let body = read_body(&mut reader, content_length, max_body_bytes)?;
-            return Ok(build_request(method, target, body));
+            return Ok(build_request(method, target, body, keep_alive));
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(ParseError::Malformed("header line without ':'"));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::Malformed("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token list; the tokens we honor are `close` and `keep-alive`.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
         }
     }
     Err(ParseError::Malformed("too many headers"))
@@ -199,7 +228,7 @@ fn read_body<R: BufRead>(
     Ok(body)
 }
 
-fn build_request(method: Method, target: &str, body: Vec<u8>) -> Request {
+fn build_request(method: Method, target: &str, body: Vec<u8>, keep_alive: bool) -> Request {
     let (path, query_text) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -223,6 +252,7 @@ fn build_request(method: Method, target: &str, body: Vec<u8>) -> Request {
         segments,
         query,
         body,
+        keep_alive,
     }
 }
 
@@ -306,25 +336,43 @@ impl Response {
         }
     }
 
-    /// Serializes the response head + body; every response closes the
-    /// connection.
+    /// Serializes the response head + body with `Connection: close`
+    /// (the non-persistent form; see [`Response::write_to_conn`]).
     ///
     /// # Errors
     /// Propagates socket write failures.
-    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        let mut body = self.lines.join("\n");
-        if !body.is_empty() {
-            body.push('\n');
-        }
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    pub fn write_to<W: Write>(&self, w: W) -> std::io::Result<()> {
+        self.write_to_conn(w, false)
+    }
+
+    /// Serializes the response head + body, advertising in the
+    /// `Connection` header whether the server keeps the connection open
+    /// (`keep_alive`) for the next request on the same socket.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write_to_conn<W: Write>(&self, mut w: W, keep_alive: bool) -> std::io::Result<()> {
+        let body = self.lines.join("\n");
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let body_len = if body.is_empty() { 0 } else { body.len() + 1 };
+        // Head and body go out in a single write: on a persistent
+        // connection a trailing small segment would otherwise sit in the
+        // kernel behind Nagle's algorithm until the peer's delayed ACK
+        // (tens of milliseconds) — the old close-per-request design never
+        // noticed because the FIN flushed it.
+        let mut wire = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            body.len()
-        );
-        w.write_all(head.as_bytes())?;
-        w.write_all(body.as_bytes())?;
+            body_len,
+        )
+        .into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        if !body.is_empty() {
+            wire.push(b'\n');
+        }
+        w.write_all(&wire)?;
         w.flush()
     }
 }
@@ -356,6 +404,41 @@ mod tests {
         assert_eq!(req.method, Method::Get);
         assert!(req.body.is_empty());
         assert!(req.query.is_empty());
+    }
+
+    #[test]
+    fn connection_persistence_follows_version_and_header() {
+        // HTTP/1.1 defaults to keep-alive…
+        assert!(parse(b"GET /models HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        // …unless the peer opts out.
+        assert!(
+            !parse(b"GET /models HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // HTTP/1.0 defaults to close…
+        assert!(!parse(b"GET /models HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        // …unless the peer opts in (any case, token lists allowed).
+        assert!(
+            parse(b"GET /models HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse(b"GET /models HTTP/1.1\r\nConnection: foo, CLOSE\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn response_advertises_keep_alive() {
+        let mut out = Vec::new();
+        Response::ok(vec!["{}".to_string()])
+            .write_to_conn(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 
     #[test]

@@ -125,29 +125,78 @@ impl ServerConfig {
 
 /// Counting semaphore bounding concurrent connection-handler threads.
 struct Slots {
-    free: Mutex<usize>,
+    state: Mutex<SlotState>,
     available: Condvar,
+}
+
+struct SlotState {
+    free: usize,
+    /// Acquirers currently blocked in [`Slots::acquire`] — i.e. fresh
+    /// connections actually starving, as opposed to slots merely being
+    /// held by idle keep-alive peers.
+    waiting: usize,
+    /// Idle connections that have claimed a yield (hang-up in progress)
+    /// whose slot has not been released yet. Caps concurrent yields at the
+    /// number of waiters, so one starving acceptor triggers one hang-up —
+    /// not a thundering herd of every idle connection at once.
+    yielding: usize,
 }
 
 impl Slots {
     fn new(count: usize) -> Self {
         Slots {
-            free: Mutex::new(count.max(1)),
+            state: Mutex::new(SlotState {
+                free: count.max(1),
+                waiting: 0,
+                yielding: 0,
+            }),
             available: Condvar::new(),
         }
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn acquire(&self) {
-        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
-        while *free == 0 {
-            free = self.available.wait(free).unwrap_or_else(|e| e.into_inner());
+        let mut state = self.lock();
+        while state.free == 0 {
+            state.waiting += 1;
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+            state.waiting -= 1;
         }
-        *free -= 1;
+        state.free -= 1;
     }
 
     fn release(&self) {
-        *self.free.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        let mut state = self.lock();
+        state.free += 1;
+        // Any freed slot satisfies one waiter, so one outstanding yield
+        // credit (if any) is no longer needed.
+        state.yielding = state.yielding.saturating_sub(1);
+        drop(state);
         self.available.notify_one();
+    }
+
+    /// Claims a yield: `true` when a fresh connection is blocked in
+    /// [`Slots::acquire`] and not enough hang-ups are already in flight to
+    /// satisfy the waiters. Idle persistent connections poll this and hang
+    /// up on `true`, so keep-alive can never starve fresh connections for
+    /// longer than one idle-poll tick — while a fleet of idle keep-alive
+    /// peers that merely *holds* every slot, with nobody waiting, keeps
+    /// its connections, and one waiter costs one hang-up, not a
+    /// thundering herd of all idle peers.
+    fn claim_yield(&self) -> bool {
+        let mut state = self.lock();
+        if state.waiting > state.yielding {
+            state.yielding += 1;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -350,25 +399,130 @@ impl std::fmt::Debug for Server {
 // Connection handling and routing
 // ---------------------------------------------------------------------------
 
+/// What [`wait_for_request`] observed while a persistent connection sat
+/// between requests.
+enum IdleOutcome {
+    /// Bytes of a next request are ready to be parsed.
+    Ready,
+    /// The peer closed, the idle timeout elapsed, the server is shutting
+    /// down, or the socket failed — hang up either way.
+    HangUp,
+}
+
+/// Parks a persistent connection until the next request arrives, the idle
+/// timeout (`read_timeout`) elapses, the peer hangs up, or the server
+/// starts shutting down. Polling with a short socket timeout keeps parked
+/// keep-alive handlers from delaying shutdown by the full idle timeout.
+///
+/// `buffered` reports whether the connection's `BufReader` already holds
+/// read-ahead bytes (a pipelined next request) — then there is nothing to
+/// wait for and no socket to peek.
+///
+/// `yield_on_saturation` additionally hangs up when a fresh connection is
+/// blocked waiting for an accept slot — set for parks *between* requests
+/// (an idle keep-alive connection must not starve fresh connections),
+/// never for a connection's first request (which must be served
+/// regardless of contention).
+fn wait_for_request(
+    shared: &Shared,
+    stream: &TcpStream,
+    buffered: bool,
+    yield_on_saturation: bool,
+) -> IdleOutcome {
+    if buffered {
+        let _ = stream.set_read_timeout(Some(shared.read_timeout));
+        return IdleOutcome::Ready;
+    }
+    let tick =
+        (shared.read_timeout / 8).clamp(Duration::from_millis(20), Duration::from_millis(250));
+    let deadline = Instant::now() + shared.read_timeout;
+    let _ = stream.set_read_timeout(Some(tick));
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return IdleOutcome::HangUp;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return IdleOutcome::HangUp, // peer closed cleanly
+            Ok(_) => {
+                // Restore the full per-request stall guard before parsing.
+                let _ = stream.set_read_timeout(Some(shared.read_timeout));
+                return IdleOutcome::Ready;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return IdleOutcome::HangUp;
+                }
+                // Genuinely idle (the peek found nothing). When a fresh
+                // connection is blocked waiting for a slot, an idle
+                // slot-holding connection is pure starvation: give the
+                // slot back (the peer's pooled client reconnects
+                // transparently). Checked only after the peek so a
+                // connection whose next request already arrived is served,
+                // never dropped — and the claim caps hang-ups at the
+                // number of actual waiters.
+                if yield_on_saturation && shared.slots.claim_yield() {
+                    return IdleOutcome::HangUp;
+                }
+            }
+            Err(_) => return IdleOutcome::HangUp,
+        }
+    }
+}
+
+/// Serves one connection: a loop of request → response exchanges that
+/// persists across requests for HTTP/1.1 peers (see `docs/PROTOCOL.md`).
+/// The connection closes when the peer asks for it (`Connection: close`),
+/// on any error response or unparseable request, after `read_timeout` of
+/// idleness, or at server shutdown.
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
-    let request = match read_request(&stream, shared.max_body_bytes) {
-        Ok(request) => request,
-        Err(ParseError::ConnectionClosed) => return, // probe; nothing to say
-        Err(e) => {
-            let response = ApiError::from(e).to_response();
-            shared.metrics.record_request("(unparsed)", response.status);
-            let _ = response.write_to(&stream);
+    // Request/response exchanges are strictly serial per connection, so
+    // Nagle buys nothing and costs delayed-ACK stalls between the segments
+    // of consecutive exchanges on a persistent connection.
+    let _ = stream.set_nodelay(true);
+    // One read buffer for the connection's whole life: read-ahead bytes of
+    // a pipelined next request survive between requests (see
+    // [`read_request`]). Writes go straight to the stream.
+    let mut reader = std::io::BufReader::new(&stream);
+    let mut first = true;
+    loop {
+        let buffered = !reader.buffer().is_empty();
+        match wait_for_request(shared, &stream, buffered, !first) {
+            IdleOutcome::Ready => {}
+            IdleOutcome::HangUp => return,
+        }
+        let request = match read_request(&mut reader, shared.max_body_bytes) {
+            Ok(request) => request,
+            Err(ParseError::ConnectionClosed) => return, // probe; nothing to say
+            Err(ParseError::Io(_)) if !first => return,  // stalled mid-keep-alive
+            Err(e) => {
+                let response = ApiError::from(e).to_response();
+                shared.metrics.record_request("(unparsed)", response.status);
+                let _ = response.write_to(&stream);
+                return;
+            }
+        };
+        first = false;
+        let (pattern, result) = route(shared, &request);
+        let response = match result {
+            Ok(response) => response,
+            Err(e) => e.to_response(),
+        };
+        shared.metrics.record_request(pattern, response.status);
+        // Error responses always close: the connection state after a
+        // rejected request is not worth trusting. Success responses honor
+        // the peer's persistence preference unless shutdown began.
+        let keep_alive =
+            request.keep_alive && response.status < 400 && !shared.shutdown.load(Ordering::SeqCst);
+        if response.write_to_conn(&stream, keep_alive).is_err() || !keep_alive {
             return;
         }
-    };
-    let (pattern, result) = route(shared, &request);
-    let response = match result {
-        Ok(response) => response,
-        Err(e) => e.to_response(),
-    };
-    shared.metrics.record_request(pattern, response.status);
-    let _ = response.write_to(&stream);
+    }
 }
 
 /// Dispatches one parsed request to its endpoint handler. Returns the
@@ -523,7 +677,21 @@ fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
         ("s2g_workers", shared.engine.workers() as u64),
         ("s2g_uptime_seconds", shared.started.elapsed().as_secs()),
     ];
-    Ok(Response::plain_text(shared.metrics.render(&gauges)))
+    let mut lines = shared.metrics.render(&gauges);
+    // Pool scheduler balance: per-worker executed/stolen task counters.
+    // `stolen > 0` means the work-stealing scheduler rebalanced a skewed
+    // batch; worker cardinality is bounded by the pool size.
+    for (worker, stats) in shared.engine.worker_stats().iter().enumerate() {
+        lines.push(format!(
+            "s2g_pool_tasks_executed_total{{worker=\"{worker}\"}} {}",
+            stats.executed
+        ));
+        lines.push(format!(
+            "s2g_pool_tasks_stolen_total{{worker=\"{worker}\"}} {}",
+            stats.stolen
+        ));
+    }
+    Ok(Response::plain_text(lines))
 }
 
 fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {

@@ -1,0 +1,236 @@
+//! HTTP keep-alive acceptance: persistent connections serve multiple
+//! requests, honor explicit `Connection: close`, idle out, and the client
+//! transparently replaces a pooled socket the server has closed.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use s2g_server::{Client, Server, ServerConfig, ShutdownHandle};
+
+fn start_server(config: ServerConfig) -> (String, ShutdownHandle, thread::JoinHandle<()>) {
+    let server = Server::bind(config.with_addr("127.0.0.1:0")).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let thread = thread::spawn(move || server.run().unwrap());
+    (addr, handle, thread)
+}
+
+fn sine_csv(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("{}\n", (std::f64::consts::TAU * i as f64 / 80.0).sin()))
+        .collect()
+}
+
+/// Reads exactly one `Content-Length`-framed response off a raw socket.
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // Head: read until CRLFCRLF.
+    while !raw.ends_with(b"\r\n\r\n") {
+        assert_eq!(stream.read(&mut byte).unwrap(), 1, "EOF inside head");
+        raw.push(byte[0]);
+    }
+    let head = String::from_utf8(raw.clone()).unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).unwrap();
+    raw.extend_from_slice(&body);
+    String::from_utf8(raw).unwrap()
+}
+
+#[test]
+fn one_socket_serves_many_requests_then_honors_close() {
+    let (addr, handle, server_thread) = start_server(ServerConfig::default());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Three requests on the same socket: every response advertises
+    // keep-alive and the socket stays usable.
+    for round in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut stream);
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK"),
+            "round {round}: {response}"
+        );
+        assert!(
+            response.contains("Connection: keep-alive\r\n"),
+            "round {round} not persistent"
+        );
+        assert!(response.contains("\"status\":\"ok\""));
+    }
+
+    // An explicit `Connection: close` is honored: the response says close
+    // and the server hangs up.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut stream);
+    assert!(response.contains("Connection: close\r\n"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "server should close after Connection: close"
+    );
+
+    // HTTP/1.0 defaults to close.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut stream);
+    assert!(response.contains("Connection: close\r\n"));
+
+    handle.shutdown();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn pipelined_requests_are_not_desynchronised_by_read_ahead() {
+    // Two requests written back-to-back in a single TCP segment: the
+    // server's per-connection read buffer must hand the second request to
+    // the next parse intact (a throwaway buffer would swallow the
+    // read-ahead bytes and desync the connection).
+    let (addr, handle, server_thread) = start_server(ServerConfig::default());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /models HTTP/1.1\r\nHost: t\r\n\r\n",
+        )
+        .unwrap();
+    let first = read_one_response(&mut stream);
+    assert!(first.contains("\"status\":\"ok\""), "{first}");
+    let second = read_one_response(&mut stream);
+    assert!(second.contains("\"models\":[]"), "{second}");
+
+    handle.shutdown();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn idle_connection_at_the_connection_cap_keeps_its_socket_when_nobody_waits() {
+    // max_clients = 1: this connection holds the only slot. With no fresh
+    // connection actually blocked in accept, the idle park must NOT give
+    // the socket up (a free==0 check would self-defeat keep-alive exactly
+    // at the cap); only a real waiter forces a yield.
+    let (addr, handle, server_thread) = start_server(ServerConfig::default().with_max_clients(1));
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for round in 0..3 {
+        // Sit idle past several idle-poll ticks before each request.
+        thread::sleep(Duration::from_millis(400));
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut stream);
+        assert!(
+            response.contains("Connection: keep-alive\r\n"),
+            "round {round}: connection was dropped at the cap with no waiter: {response}"
+        );
+    }
+
+    handle.shutdown();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn error_responses_close_the_connection() {
+    let (addr, handle, server_thread) = start_server(ServerConfig::default());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"GET /models/ghost HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let response = read_one_response(&mut stream);
+    assert!(response.starts_with("HTTP/1.1 404"));
+    assert!(response.contains("Connection: close\r\n"));
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    handle.shutdown();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn client_pools_sockets_and_survives_server_idle_close() {
+    // Short connection idle timeout so the server reaps the pooled socket
+    // between two client calls.
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, server_thread) = start_server(config);
+
+    let client = Client::new(addr);
+    client
+        .fit_model("m", "pattern_length=40", &sine_csv(2000))
+        .unwrap();
+
+    // Rapid-fire requests ride the pooled connection.
+    for _ in 0..5 {
+        let health = client.health().unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    // Let the server idle-close the pooled socket, then keep going: the
+    // client must fall back to a fresh connection transparently.
+    thread::sleep(Duration::from_millis(600));
+    let scores = client.score("m", 120, &[vec![0.0; 500]]).unwrap();
+    assert_eq!(scores.len(), 1);
+    let health = client.health().unwrap();
+    assert_eq!(health.get("models").unwrap().as_usize(), Some(1));
+
+    handle.shutdown();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn keep_alive_scores_are_bit_identical_to_in_process() {
+    let (addr, handle, server_thread) = start_server(ServerConfig::default());
+    let client = Client::new(addr);
+
+    let csv = sine_csv(3000);
+    client.fit_model("ka", "pattern_length=40", &csv).unwrap();
+
+    let series: Vec<f64> = (0..700)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 80.0 + 0.3).sin())
+        .collect();
+
+    // Same request twice on the same pooled connection: identical bytes on
+    // the wire, identical f64s after the round-trip.
+    let first = client
+        .score("ka", 160, std::slice::from_ref(&series))
+        .unwrap();
+    let second = client.score("ka", 160, &[series]).unwrap();
+    let a = first[0].as_ref().unwrap();
+    let b = second[0].as_ref().unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+
+    handle.shutdown();
+    server_thread.join().unwrap();
+}
