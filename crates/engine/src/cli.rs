@@ -556,6 +556,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     // Run the same batch repeatedly through the pool and collect one
     // latency sample per batch, so tail percentiles mean something.
     let pool = crate::pool::WorkerPool::new(workers);
+    // Per-task stage instrumentation: every task's queue wait (submit →
+    // pickup) and execute time land in lock-free histograms, so the
+    // report can split scheduling latency from scoring work.
+    let obs = Arc::new(s2g_obs::Obs::new(&[], &[]));
+    pool.attach_obs(Arc::clone(&obs));
     let mut batch_ms: Vec<f64> = Vec::with_capacity(batches);
     let mut pooled: Vec<Vec<f64>> = Vec::new();
     for round in 0..batches {
@@ -592,6 +597,22 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let executed_tasks: u64 = stats.iter().map(|s| s.executed).sum();
     let stolen_tasks: u64 = stats.iter().map(|s| s.stolen).sum();
 
+    // Histogram-derived per-task percentiles: where a batch's wall time
+    // went — waiting in a worker's queue vs executing the scoring kernel.
+    let queue_wait = obs.pool_queue_wait.snapshot();
+    let execute = obs.pool_execute.snapshot();
+    let ns_to_ms = |ns: u64| ns as f64 / 1e6;
+    let (qw_p50, qw_p95, qw_p99) = (
+        ns_to_ms(queue_wait.quantile(0.50)),
+        ns_to_ms(queue_wait.quantile(0.95)),
+        ns_to_ms(queue_wait.quantile(0.99)),
+    );
+    let (ex_p50, ex_p95, ex_p99) = (
+        ns_to_ms(execute.quantile(0.50)),
+        ns_to_ms(execute.quantile(0.95)),
+        ns_to_ms(execute.quantile(0.99)),
+    );
+
     let mut sorted = batch_ms.clone();
     sorted.sort_by(f64::total_cmp);
     let (p50, p95, p99) = (
@@ -617,9 +638,15 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
              \"batch_p50_ms\":{p50:.3},\"batch_p95_ms\":{p95:.3},\"batch_p99_ms\":{p99:.3},\
              \"pool_points_per_sec\":{pool_pps:.0},\"speedup\":{speedup:.3},\
              \"executed_tasks\":{executed_tasks},\"stolen_tasks\":{stolen_tasks},\
+             \"task_queue_wait_p50_ms\":{qw_p50:.3},\"task_queue_wait_p95_ms\":{qw_p95:.3},\
+             \"task_queue_wait_p99_ms\":{qw_p99:.3},\"task_queue_wait_mean_ms\":{:.3},\
+             \"task_execute_p50_ms\":{ex_p50:.3},\"task_execute_p95_ms\":{ex_p95:.3},\
+             \"task_execute_p99_ms\":{ex_p99:.3},\"task_execute_mean_ms\":{:.3},\
              \"deterministic\":true}}",
             seq_time.as_secs_f64() * 1e3,
             seq_pps,
+            queue_wait.mean() / 1e6,
+            execute.mean() / 1e6,
         );
         return Ok(());
     }
@@ -633,6 +660,10 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         "pool ({workers} workers): p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms per batch ({pool_pps:>12.0} points/s, {speedup:.2}x)"
     );
     println!("scheduler: {executed_tasks} tasks executed, {stolen_tasks} stolen");
+    println!(
+        "per-task: queue wait p50 {qw_p50:.3} ms / p95 {qw_p95:.3} ms / p99 {qw_p99:.3} ms; \
+         execute p50 {ex_p50:.3} ms / p95 {ex_p95:.3} ms / p99 {ex_p99:.3} ms"
+    );
     println!("determinism: pool output identical to sequential across all batches ✓");
     Ok(())
 }

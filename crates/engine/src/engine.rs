@@ -15,9 +15,11 @@
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use s2g_adapt::{AdaptAction, AdaptConfig, DriftStats};
 use s2g_core::{AdaptationLineage, S2gConfig, Series2Graph};
+use s2g_obs::{Obs, SpanCtx};
 use s2g_timeseries::TimeSeries;
 
 use crate::codec;
@@ -86,6 +88,9 @@ pub struct Engine {
     registry: ModelRegistry,
     pool: WorkerPool,
     storage: Option<Arc<dyn ModelStorage>>,
+    /// Observability registry, when the serving layer attached one; every
+    /// instrument is optional and recording never changes a result bit.
+    obs: Option<Arc<Obs>>,
     /// Serialises (persist, register) and (unregister, delete) pairs so
     /// the store and the registry can never disagree about which fit of a
     /// name won an interleaving. Never held across a fit or a score —
@@ -107,6 +112,7 @@ impl Engine {
             registry: ModelRegistry::new(config.registry_capacity),
             pool: WorkerPool::new(config.workers),
             storage: None,
+            obs: None,
             registration: Mutex::new(()),
         }
     }
@@ -128,6 +134,29 @@ impl Engine {
     /// The mounted durable store, if any.
     pub fn storage(&self) -> Option<&Arc<dyn ModelStorage>> {
         self.storage.as_ref()
+    }
+
+    /// Attaches the observability registry (see [`s2g_obs::Obs`]): fit
+    /// durations, pool queue-wait/execute splits and adaptation push
+    /// latency start recording, and traced request variants
+    /// ([`Engine::score_many_traced`] and friends) attach engine- and
+    /// pool-level spans. Call before serving, alongside
+    /// [`Engine::attach_storage`].
+    pub fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.pool.attach_obs(Arc::clone(&obs));
+        self.obs = Some(obs);
+    }
+
+    /// The attached observability registry, if any.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.obs.as_ref()
+    }
+
+    /// Current channel backlog per pool worker (see
+    /// [`crate::pool::WorkerPool::queue_depths`]); exported by the serving
+    /// layer as per-worker queue-depth gauges.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.pool.queue_depths()
     }
 
     /// The engine's model registry.
@@ -156,13 +185,14 @@ impl Engine {
         &self,
         name: String,
         model: Arc<Series2Graph>,
+        span: Option<&SpanCtx>,
     ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
         // Save + insert must be atomic per name: without the guard, two
         // concurrent fits of the same name could interleave so that the
         // store keeps one model while the registry serves the other —
         // and a restart would silently change which model answers.
         let _guard = self.registration_guard();
-        self.register_fitted_locked(name, model)
+        self.register_fitted_locked(name, model, span)
     }
 
     /// [`Engine::register_fitted`] body; the caller holds the
@@ -171,10 +201,17 @@ impl Engine {
         &self,
         name: String,
         model: Arc<Series2Graph>,
+        span: Option<&SpanCtx>,
     ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
         match &self.storage {
             Some(storage) => {
+                let save_span = span.map(|ctx| {
+                    let mut span = ctx.child("store.save");
+                    span.attr("model", name.clone());
+                    span
+                });
                 let checksum = storage.save(&name, &model)?;
+                drop(save_span);
                 Ok(self
                     .registry
                     .insert_arc_with_checksum(name, model, checksum))
@@ -211,10 +248,35 @@ impl Engine {
         series: &TimeSeries,
         config: &S2gConfig,
     ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
+        self.fit_model_traced(name, series, config, None)
+    }
+
+    /// [`Engine::fit_model_with_info`] under a trace: an `engine.fit`
+    /// span covers the inline fit and a `store.save` span the
+    /// save-on-fit write. The fit-duration histogram records either way
+    /// once an [`Obs`] is attached. Results are identical.
+    pub fn fit_model_traced(
+        &self,
+        name: impl Into<String>,
+        series: &TimeSeries,
+        config: &S2gConfig,
+        span: Option<&SpanCtx>,
+    ) -> Result<(Arc<Series2Graph>, ModelInfo)> {
         let name = name.into();
         registry::validate_model_name(&name)?;
+        let fit_span = span.map(|ctx| {
+            let mut span = ctx.child("engine.fit");
+            span.attr("model", name.clone());
+            span.attr("train_len", series.len().to_string());
+            span
+        });
+        let started = Instant::now();
         let model = Arc::new(Series2Graph::fit(series, config)?);
-        self.register_fitted(name, model)
+        if let Some(obs) = &self.obs {
+            obs.fit.record_duration(started.elapsed());
+        }
+        drop(fit_span);
+        self.register_fitted(name, model, span)
     }
 
     /// Fits many models in parallel across the pool and registers each under
@@ -247,10 +309,10 @@ impl Engine {
             .zip(names)
             .zip(slots)
         {
-            out[slot] = Some(
-                result
-                    .and_then(|model| self.register_fitted(name, Arc::new(model)).map(|(m, _)| m)),
-            );
+            out[slot] = Some(result.and_then(|model| {
+                self.register_fitted(name, Arc::new(model), None)
+                    .map(|(m, _)| m)
+            }));
         }
         out.into_iter()
             .map(|slot| slot.expect("every slot is filled"))
@@ -265,13 +327,32 @@ impl Engine {
     /// [`crate::Error::UnknownModel`] when neither the registry nor the
     /// store has the model; store I/O or decode errors otherwise.
     pub fn model_handle(&self, name: &str) -> Result<Arc<Series2Graph>> {
+        self.model_handle_traced(name, None)
+    }
+
+    /// [`Engine::model_handle`] under a trace: a registry miss that falls
+    /// through to the store is covered by a `store.load` span — the
+    /// store-layer leg of a traced request's span tree. Results are
+    /// identical.
+    pub fn model_handle_traced(
+        &self,
+        name: &str,
+        span: Option<&SpanCtx>,
+    ) -> Result<Arc<Series2Graph>> {
         if let Some(model) = self.registry.get(name) {
             return Ok(model);
         }
         if let Some(storage) = &self.storage {
+            let load_span = span.map(|ctx| {
+                let mut span = ctx.child("store.load");
+                span.attr("model", name.to_string());
+                span
+            });
             // The (slow, idempotent) store load runs outside the
             // registration guard; only the insert is serialised.
-            if let Some(model) = storage.load(name)? {
+            let loaded = storage.load(name)?;
+            drop(load_span);
+            if let Some(model) = loaded {
                 let _guard = self.registration_guard();
                 // A fit may have registered a *newer* model while we were
                 // loading; it takes precedence over our (by now stale)
@@ -306,7 +387,21 @@ impl Engine {
         series: Vec<TimeSeries>,
         query_length: usize,
     ) -> Result<Vec<Result<Vec<f64>>>> {
-        let model = self.model_handle(model_name)?;
+        self.score_many_traced(model_name, series, query_length, None)
+    }
+
+    /// [`Engine::score_many`] under a trace: a load-through registry miss
+    /// gets a `store.load` span and every pool task a `pool.score` span,
+    /// all children of `span` — the server→pool→store tree a traced
+    /// request shows. Results are identical.
+    pub fn score_many_traced(
+        &self,
+        model_name: &str,
+        series: Vec<TimeSeries>,
+        query_length: usize,
+        span: Option<&SpanCtx>,
+    ) -> Result<Vec<Result<Vec<f64>>>> {
+        let model = self.model_handle_traced(model_name, span)?;
         let jobs = series
             .into_iter()
             .map(|series| ScoreJob {
@@ -315,7 +410,7 @@ impl Engine {
                 query_length,
             })
             .collect();
-        Ok(self.pool.score_batch(jobs))
+        Ok(self.pool.score_batch_traced(jobs, span.cloned()))
     }
 
     /// Scores heterogeneous `(model, series, query_length)` jobs in parallel.
@@ -492,13 +587,29 @@ impl Engine {
         stream_id: &str,
         values: &[f64],
     ) -> Result<(Vec<(usize, f64)>, Option<AdaptStatus>)> {
-        let push = self.pool.push_stream_detailed(stream_id, values)?;
+        self.push_stream_detailed_traced(stream_id, values, None)
+    }
+
+    /// [`Engine::push_stream_detailed`] under a trace: the pinned worker
+    /// opens a `pool.push` span, and a due snapshot's publication an
+    /// `engine.publish` span (with `store.save` below it when a store is
+    /// mounted). Results are identical.
+    #[allow(clippy::type_complexity)]
+    pub fn push_stream_detailed_traced(
+        &self,
+        stream_id: &str,
+        values: &[f64],
+        span: Option<&SpanCtx>,
+    ) -> Result<(Vec<(usize, f64)>, Option<AdaptStatus>)> {
+        let push = self
+            .pool
+            .push_stream_traced(stream_id, values, span.cloned())?;
         let status = match push.adapt {
             None => None,
             Some(report) => {
                 let published_checksum = match report.snapshot {
                     Some(snapshot) => {
-                        self.publish_adapted(&report.model_name, Arc::new(snapshot))?
+                        self.publish_adapted_traced(&report.model_name, Arc::new(snapshot), span)?
                     }
                     None => None,
                 };
@@ -525,7 +636,25 @@ impl Engine {
     /// pinned `Arc` handles; everything that resolves `name` from now on
     /// gets the snapshot.
     pub fn publish_adapted(&self, name: &str, snapshot: Arc<Series2Graph>) -> Result<Option<u64>> {
+        self.publish_adapted_traced(name, snapshot, None)
+    }
+
+    /// [`Engine::publish_adapted`] under a trace: the registration (and
+    /// its save-on-fit `store.save`) nests below an `engine.publish`
+    /// span. Results are identical.
+    pub fn publish_adapted_traced(
+        &self,
+        name: &str,
+        snapshot: Arc<Series2Graph>,
+        span: Option<&SpanCtx>,
+    ) -> Result<Option<u64>> {
         registry::validate_model_name(name)?;
+        let publish_span = span.map(|ctx| {
+            let mut span = ctx.child("engine.publish");
+            span.attr("model", name.to_string());
+            span
+        });
+        let publish_ctx = publish_span.as_ref().map(|s| s.ctx());
         // The existence check and the swap share the registration guard,
         // so a concurrent remove_model either completes before (and the
         // publication is skipped) or after (and removes the snapshot) —
@@ -539,7 +668,8 @@ impl Engine {
         if !exists {
             return Ok(None);
         }
-        let (_, info) = self.register_fitted_locked(name.to_string(), snapshot)?;
+        let (_, info) =
+            self.register_fitted_locked(name.to_string(), snapshot, publish_ctx.as_ref())?;
         Ok(Some(info.checksum))
     }
 

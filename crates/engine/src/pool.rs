@@ -26,14 +26,22 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use s2g_adapt::{AdaptAction, AdaptConfig, AdaptiveScorer, DriftStats};
 use s2g_core::{S2gConfig, Series2Graph, StreamingScorer};
+use s2g_obs::{Obs, SpanCtx};
 use s2g_timeseries::TimeSeries;
 
 use crate::error::{Error, Result};
+
+/// The pool's late-bound observability hook: empty until the serving layer
+/// (or the bench harness) attaches an [`Obs`], after which every worker
+/// records queue-wait/execute histograms. A `OnceLock` keeps the
+/// unattached fast path at a single atomic load.
+type ObsSlot = OnceLock<Arc<Obs>>;
 
 /// A fit request: one series plus its configuration.
 pub struct FitJob {
@@ -118,20 +126,109 @@ enum BatchTask {
 }
 
 impl BatchTask {
-    /// Executes the task and sends its `(submission index, result)` reply.
+    /// Span / stage-histogram name of this task kind.
+    fn kind(&self) -> &'static str {
+        match self {
+            BatchTask::Fit { .. } => "pool.fit",
+            BatchTask::Score { .. } => "pool.score",
+        }
+    }
+
+    /// Submission index, for span attributes.
+    fn idx(&self) -> usize {
+        match self {
+            BatchTask::Fit { idx, .. } | BatchTask::Score { idx, .. } => *idx,
+        }
+    }
+
+    /// Executes the task's computation, returning the reply *unsent*.
     /// Pure: the result depends only on the task's inputs, never on the
     /// executing worker.
-    fn run(self) {
+    fn compute(self) -> BatchReply {
         match self {
             BatchTask::Fit { idx, job, reply } => {
                 let result = Series2Graph::fit(&job.series, &job.config).map_err(Error::from);
-                let _ = reply.send((idx, result));
+                BatchReply::Fit {
+                    idx,
+                    result: Box::new(result),
+                    reply,
+                }
             }
             BatchTask::Score { idx, job, reply } => {
                 let result = job
                     .model
                     .anomaly_scores(&job.series, job.query_length)
                     .map_err(Error::from);
+                BatchReply::Score { idx, result, reply }
+            }
+        }
+    }
+
+    /// Executes the task and sends its `(submission index, result)` reply.
+    fn run(self) {
+        self.compute().send();
+    }
+
+    /// [`BatchTask::run`] wrapped in instrumentation: queue-wait and
+    /// execute histograms, the per-kind stage histogram, and — when the
+    /// batch is traced — a span naming the worker that ran it. The result
+    /// bits are untouched: instrumentation only ever *times* the compute.
+    fn run_observed(self, worker: usize, enqueued: Instant, trace: Option<&SpanCtx>, obs: &Obs) {
+        let wait = enqueued.elapsed();
+        obs.pool_queue_wait.record_duration(wait);
+        let kind = self.kind();
+        let mut span = trace.map(|ctx| {
+            let mut span = ctx.child(kind);
+            span.attr("worker", worker.to_string());
+            span.attr("idx", self.idx().to_string());
+            span.attr("queue_wait_ns", wait.as_nanos().to_string());
+            span
+        });
+        let started = Instant::now();
+        let outcome = self.compute();
+        let execute = started.elapsed();
+        obs.pool_execute.record_duration(execute);
+        match kind {
+            "pool.fit" => obs.fit.record_duration(execute),
+            _ => obs.score.record_duration(execute),
+        }
+        if let Some(span) = span.take() {
+            span.finish();
+        }
+        // The reply goes out only after every histogram and span above is
+        // recorded: a caller that has collected its batch — and anything
+        // sequenced after it, like a `/metrics` scrape racing right behind
+        // the response — always observes the task's recordings.
+        outcome.send();
+    }
+}
+
+/// A computed batch-task result not yet delivered. Separating compute from
+/// delivery lets the instrumented path record its histograms and finish
+/// its span strictly *before* the caller can observe the result.
+enum BatchReply {
+    Fit {
+        idx: usize,
+        // Boxed: a fitted model dwarfs the score variant, and the box costs
+        // one allocation per *fit* — noise next to the fit itself.
+        result: Box<Result<Series2Graph>>,
+        reply: Sender<(usize, Result<Series2Graph>)>,
+    },
+    Score {
+        idx: usize,
+        result: Result<Vec<f64>>,
+        reply: Sender<(usize, Result<Vec<f64>>)>,
+    },
+}
+
+impl BatchReply {
+    /// Delivers the `(submission index, result)` reply.
+    fn send(self) {
+        match self {
+            BatchReply::Fit { idx, result, reply } => {
+                let _ = reply.send((idx, *result));
+            }
+            BatchReply::Score { idx, result, reply } => {
                 let _ = reply.send((idx, result));
             }
         }
@@ -149,6 +246,13 @@ struct BatchShared {
     /// back (oldest-queued work first, farthest from what the owner touches
     /// next).
     deques: Vec<Mutex<VecDeque<BatchTask>>>,
+    /// When the batch was submitted — every task of a batch enqueues at
+    /// this instant, so `enqueued.elapsed()` at pickup is that task's
+    /// queue wait.
+    enqueued: Instant,
+    /// Trace context of the request that submitted the batch, if any;
+    /// workers open one child span per task under it.
+    trace: Option<SpanCtx>,
 }
 
 /// Per-worker scheduler counters, cumulative over the pool's lifetime.
@@ -166,6 +270,9 @@ pub struct WorkerStats {
 struct PoolStats {
     executed: Vec<AtomicU64>,
     stolen: Vec<AtomicU64>,
+    /// Per-shard channel backlog: jobs sent but not yet picked up by the
+    /// worker — the queue-depth gauge `GET /metrics` samples.
+    depth: Vec<AtomicU64>,
 }
 
 impl PoolStats {
@@ -173,6 +280,7 @@ impl PoolStats {
         PoolStats {
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            depth: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -205,6 +313,10 @@ enum Job {
     PushStream {
         id: String,
         values: Vec<f64>,
+        /// Send time, for the queue-wait histogram.
+        enqueued: Instant,
+        /// Trace context of the pushing request, if traced.
+        span: Option<SpanCtx>,
         reply: Sender<Result<StreamPush>>,
     },
     CloseStream {
@@ -219,6 +331,7 @@ pub struct WorkerPool {
     shards: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<PoolStats>,
+    obs: Arc<ObsSlot>,
     /// Rotates which worker a batch's wake-ups start at, so small batches
     /// (the single-series serving case) spread across workers instead of
     /// all landing on worker 0.
@@ -230,16 +343,18 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let stats = Arc::new(PoolStats::new(workers));
+        let obs: Arc<ObsSlot> = Arc::new(OnceLock::new());
         let mut shards = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
             let (tx, rx) = channel::<Job>();
             shards.push(tx);
             let stats = Arc::clone(&stats);
+            let obs = Arc::clone(&obs);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("s2g-worker-{shard}"))
-                    .spawn(move || worker_loop(shard, rx, &stats))
+                    .spawn(move || worker_loop(shard, rx, &stats, &obs))
                     .expect("spawn worker thread"),
             );
         }
@@ -247,8 +362,36 @@ impl WorkerPool {
             shards,
             handles,
             stats,
+            obs,
             next_wake: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches the observability registry: from here on, workers record
+    /// queue-wait and execute time per batch task, per-kind fit/score
+    /// stage histograms, and adaptation push latency. Idempotent — the
+    /// first attach wins; instrumentation never changes a result bit.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// Current channel backlog per worker shard: jobs sent (batch wake-ups
+    /// and pinned session work) but not yet picked up.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.stats
+            .depth
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn send_job(&self, shard: usize, job: Job) -> std::result::Result<(), ()> {
+        // Depth is incremented before the send so a sampled gauge can
+        // never miss a job the worker is about to see.
+        self.stats.depth[shard].fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].send(job).map_err(|_| {
+            self.stats.depth[shard].fetch_sub(1, Ordering::Relaxed);
+        })
     }
 
     /// Number of worker threads.
@@ -275,7 +418,7 @@ impl WorkerPool {
     /// workers. If no woken worker is reachable (the pool is shutting
     /// down), the tasks — and with them their reply senders — drop here,
     /// which the collector observes as `PoolClosed` slots.
-    fn submit_batch(&self, tasks: VecDeque<BatchTask>) {
+    fn submit_batch(&self, tasks: VecDeque<BatchTask>, trace: Option<SpanCtx>) {
         if tasks.is_empty() {
             return;
         }
@@ -284,10 +427,12 @@ impl WorkerPool {
         let shared = Arc::new(BatchShared {
             injector: Mutex::new(tasks),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            enqueued: Instant::now(),
+            trace,
         });
         let start = self.next_wake.fetch_add(1, Ordering::Relaxed) as usize;
         for offset in 0..wake {
-            let _ = self.shards[(start + offset) % workers].send(Job::Batch(Arc::clone(&shared)));
+            let _ = self.send_job((start + offset) % workers, Job::Batch(Arc::clone(&shared)));
         }
     }
 
@@ -295,6 +440,16 @@ impl WorkerPool {
     /// scheduler. Results come back in submission order; each job fails
     /// independently.
     pub fn fit_batch(&self, jobs: Vec<FitJob>) -> Vec<Result<Series2Graph>> {
+        self.fit_batch_traced(jobs, None)
+    }
+
+    /// [`WorkerPool::fit_batch`] under a trace: each task's worker opens a
+    /// `pool.fit` span below `trace`. Results are identical.
+    pub fn fit_batch_traced(
+        &self,
+        jobs: Vec<FitJob>,
+        trace: Option<SpanCtx>,
+    ) -> Vec<Result<Series2Graph>> {
         let n = jobs.len();
         let (reply, inbox) = channel();
         let tasks: VecDeque<BatchTask> = jobs
@@ -307,7 +462,7 @@ impl WorkerPool {
             })
             .collect();
         drop(reply);
-        self.submit_batch(tasks);
+        self.submit_batch(tasks, trace);
         Self::collect(n, inbox)
     }
 
@@ -317,6 +472,16 @@ impl WorkerPool {
     /// over [`Series2Graph::anomaly_scores`] produces — stealing moves
     /// tasks between workers, never across result slots.
     pub fn score_batch(&self, jobs: Vec<ScoreJob>) -> Vec<Result<Vec<f64>>> {
+        self.score_batch_traced(jobs, None)
+    }
+
+    /// [`WorkerPool::score_batch`] under a trace: each task's worker opens
+    /// a `pool.score` span below `trace`. Results are identical.
+    pub fn score_batch_traced(
+        &self,
+        jobs: Vec<ScoreJob>,
+        trace: Option<SpanCtx>,
+    ) -> Vec<Result<Vec<f64>>> {
         let n = jobs.len();
         let (reply, inbox) = channel();
         let tasks: VecDeque<BatchTask> = jobs
@@ -329,7 +494,7 @@ impl WorkerPool {
             })
             .collect();
         drop(reply);
-        self.submit_batch(tasks);
+        self.submit_batch(tasks, trace);
         Self::collect(n, inbox)
     }
 
@@ -398,15 +563,17 @@ impl WorkerPool {
     ) -> Result<()> {
         let shard = self.shard_for_stream(&id);
         let (reply, inbox) = channel();
-        self.shards[shard]
-            .send(Job::OpenStream {
+        self.send_job(
+            shard,
+            Job::OpenStream {
                 id,
                 model,
                 query_length,
                 adapt,
                 reply,
-            })
-            .map_err(|_| Error::PoolClosed)?;
+            },
+        )
+        .map_err(|_| Error::PoolClosed)?;
         inbox.recv().map_err(|_| Error::PoolClosed)?
     }
 
@@ -421,15 +588,31 @@ impl WorkerPool {
     /// Feeds points into an open streaming session, returning the emitted
     /// windows plus, for adaptive sessions, the adaptation report.
     pub fn push_stream_detailed(&self, id: &str, values: &[f64]) -> Result<StreamPush> {
+        self.push_stream_traced(id, values, None)
+    }
+
+    /// [`WorkerPool::push_stream_detailed`] under a trace: the pinned
+    /// worker opens a `pool.push` span below `span`. Results are
+    /// identical.
+    pub fn push_stream_traced(
+        &self,
+        id: &str,
+        values: &[f64],
+        span: Option<SpanCtx>,
+    ) -> Result<StreamPush> {
         let shard = self.shard_for_stream(id);
         let (reply, inbox) = channel();
-        self.shards[shard]
-            .send(Job::PushStream {
+        self.send_job(
+            shard,
+            Job::PushStream {
                 id: id.to_string(),
                 values: values.to_vec(),
+                enqueued: Instant::now(),
+                span,
                 reply,
-            })
-            .map_err(|_| Error::PoolClosed)?;
+            },
+        )
+        .map_err(|_| Error::PoolClosed)?;
         inbox.recv().map_err(|_| Error::PoolClosed)?
     }
 
@@ -437,12 +620,14 @@ impl WorkerPool {
     pub fn close_stream(&self, id: &str) -> Result<usize> {
         let shard = self.shard_for_stream(id);
         let (reply, inbox) = channel();
-        self.shards[shard]
-            .send(Job::CloseStream {
+        self.send_job(
+            shard,
+            Job::CloseStream {
                 id: id.to_string(),
                 reply,
-            })
-            .map_err(|_| Error::PoolClosed)?;
+            },
+        )
+        .map_err(|_| Error::PoolClosed)?;
         inbox.recv().map_err(|_| Error::PoolClosed)?
     }
 }
@@ -469,7 +654,7 @@ impl std::fmt::Debug for WorkerPool {
 /// a chunk from the shared injector, then single-task steals from siblings.
 /// Returns when no queued task of this batch remains anywhere (tasks still
 /// *executing* on other workers are theirs to finish).
-fn run_batch(worker: usize, shared: &BatchShared, stats: &PoolStats) {
+fn run_batch(worker: usize, shared: &BatchShared, stats: &PoolStats, obs: Option<&Arc<Obs>>) {
     let workers = shared.deques.len();
     loop {
         // 1. Own deque: chunks claimed from the injector land here.
@@ -522,18 +707,25 @@ fn run_batch(worker: usize, shared: &BatchShared, stats: &PoolStats) {
                 // `run` happens-after this store, so a caller that has
                 // collected every reply always reads fully-summed counters.
                 stats.executed[worker].fetch_add(1, Ordering::Relaxed);
-                task.run();
+                match obs {
+                    Some(obs) => {
+                        task.run_observed(worker, shared.enqueued, shared.trace.as_ref(), obs)
+                    }
+                    None => task.run(),
+                }
             }
             None => break,
         }
     }
 }
 
-fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats) {
+fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats, obs_slot: &ObsSlot) {
     let mut sessions: HashMap<String, WorkerSession> = HashMap::new();
     while let Ok(job) = rx.recv() {
+        stats.depth[worker].fetch_sub(1, Ordering::Relaxed);
+        let obs = obs_slot.get();
         match job {
-            Job::Batch(shared) => run_batch(worker, &shared, stats),
+            Job::Batch(shared) => run_batch(worker, &shared, stats, obs),
             Job::OpenStream {
                 id,
                 model,
@@ -571,7 +763,24 @@ fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats) {
                 };
                 let _ = reply.send(result);
             }
-            Job::PushStream { id, values, reply } => {
+            Job::PushStream {
+                id,
+                values,
+                enqueued,
+                span,
+                reply,
+            } => {
+                if let Some(obs) = obs {
+                    obs.pool_queue_wait.record_duration(enqueued.elapsed());
+                }
+                let mut push_span = span.map(|ctx| {
+                    let mut span = ctx.child("pool.push");
+                    span.attr("worker", worker.to_string());
+                    span.attr("points", values.len().to_string());
+                    span
+                });
+                let started = Instant::now();
+                let adaptive = matches!(sessions.get(&id), Some(WorkerSession::Adaptive { .. }));
                 let result = match sessions.get_mut(&id) {
                     Some(WorkerSession::Frozen(scorer)) => scorer
                         .push_batch(&values)
@@ -596,6 +805,16 @@ fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats) {
                         .map_err(Error::from),
                     None => Err(Error::UnknownStream(id)),
                 };
+                if let Some(obs) = obs {
+                    let execute = started.elapsed();
+                    obs.pool_execute.record_duration(execute);
+                    if adaptive {
+                        obs.adapt_push.record_duration(execute);
+                    }
+                }
+                if let Some(span) = push_span.take() {
+                    span.finish();
+                }
                 let _ = reply.send(result);
             }
             Job::CloseStream { id, reply } => {

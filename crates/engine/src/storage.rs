@@ -97,4 +97,13 @@ pub trait ModelStorage: Send + Sync + std::fmt::Debug {
 
     /// Bytes of lazily-loaded sections currently resident in memory.
     fn resident_bytes(&self) -> u64;
+
+    /// Cumulative count of residency evictions: how many times a model's
+    /// lazy section was dropped from memory to enforce a residency
+    /// budget. `0` for backends without a budget (the default). Exported
+    /// by the serving layer as the `s2g_store_residency_evictions_total`
+    /// counter.
+    fn residency_evictions(&self) -> u64 {
+        0
+    }
 }

@@ -1,0 +1,79 @@
+//! Observability must be a pure *observer*: attaching an [`s2g_obs::Obs`]
+//! registry and running every traced engine variant under live spans must
+//! produce results bit-identical to a bare engine — fits (checksums),
+//! batch scores, and streamed session scores alike.
+
+use std::sync::Arc;
+
+use s2g_engine::{codec, Engine, EngineConfig, S2gConfig};
+use s2g_obs::Obs;
+use s2g_timeseries::TimeSeries;
+
+fn series(n: usize, period: f64, phase: f64) -> TimeSeries {
+    TimeSeries::from(
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / period + phase).sin())
+            .collect::<Vec<f64>>(),
+    )
+}
+
+#[test]
+fn traced_fit_score_and_stream_are_bit_identical_to_bare_engine() {
+    let train = series(3000, 80.0, 0.0);
+    let config = S2gConfig::new(50);
+    let probes: Vec<TimeSeries> = (0..4)
+        .map(|k| series(900 + 41 * k, 64.0, 0.17 * k as f64))
+        .collect();
+    let stream: Vec<f64> = series(700, 72.0, 0.3).into_vec();
+
+    // Bare reference: no obs, untraced entry points.
+    let bare = Engine::new(EngineConfig::default().with_workers(3));
+    let bare_model = bare.fit_model("m", &train, &config).unwrap();
+    let bare_scores = bare.score_many("m", probes.clone(), 150).unwrap();
+    bare.open_stream("s", "m", 160).unwrap();
+    let bare_emitted = bare.push_stream("s", &stream).unwrap();
+
+    // Instrumented run: obs attached, every call under a live span tree.
+    let mut engine = Engine::new(EngineConfig::default().with_workers(3));
+    let obs = Arc::new(Obs::new(&[], &[]));
+    engine.attach_obs(Arc::clone(&obs));
+    let trace = obs.start_trace();
+    let root = trace.begin("request", None);
+    let ctx = root.ctx();
+
+    let (model, _) = engine
+        .fit_model_traced("m", &train, &config, Some(&ctx))
+        .unwrap();
+    assert_eq!(
+        codec::model_checksum(&model),
+        codec::model_checksum(&bare_model),
+        "traced fit must produce a bit-identical model"
+    );
+
+    let scores = engine
+        .score_many_traced("m", probes, 150, Some(&ctx))
+        .unwrap();
+    assert_eq!(scores.len(), bare_scores.len());
+    for (traced, bare) in scores.iter().zip(&bare_scores) {
+        let (traced, bare) = (traced.as_ref().unwrap(), bare.as_ref().unwrap());
+        assert_eq!(traced.len(), bare.len());
+        for (t, b) in traced.iter().zip(bare) {
+            assert_eq!(t.to_bits(), b.to_bits(), "traced score must match bare");
+        }
+    }
+
+    engine.open_stream("s", "m", 160).unwrap();
+    let (emitted, _) = engine
+        .push_stream_detailed_traced("s", &stream, Some(&ctx))
+        .unwrap();
+    assert_eq!(emitted.len(), bare_emitted.len());
+    for ((ts, tv), (bs, bv)) in emitted.iter().zip(&bare_emitted) {
+        assert_eq!(ts, bs);
+        assert_eq!(tv.to_bits(), bv.to_bits(), "streamed score must match bare");
+    }
+
+    // The run really was instrumented: stage histograms saw the work.
+    assert!(obs.fit.count() >= 1, "fit histogram must have recorded");
+    assert!(obs.score.count() >= 4, "score histogram must have recorded");
+    assert!(obs.pool_queue_wait.count() >= 1);
+}

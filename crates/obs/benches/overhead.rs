@@ -1,0 +1,57 @@
+//! Instrumentation-overhead benchmarks: what one observation costs on the
+//! hot path, and what the *disabled* paths cost — the numbers quoted in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! The disabled paths are the ones every uninstrumented request pays:
+//! a `None` check where a task context would be, and the single relaxed
+//! atomic load behind a filtered `debug!`. Both must stay in the
+//! sub-nanosecond range for "observability is free when off" to hold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2g_obs::{log, Histogram, Obs};
+
+fn histogram_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/record");
+    group.sample_size(50);
+    let h = Histogram::new();
+    let mut v = 0u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(0x9e37_79b9);
+            h.record(std::hint::black_box(v));
+        })
+    });
+    let obs = Obs::new(&["POST /models/{name}/score"], &[]);
+    group.bench_function("family_lookup_and_record", |b| {
+        b.iter(|| {
+            obs.request(std::hint::black_box("POST /models/{name}/score"))
+                .record(std::hint::black_box(1_000));
+        })
+    });
+    group.finish();
+}
+
+fn disabled_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/disabled");
+    group.sample_size(50);
+    // The pool's per-task cost when no obs is attached: matching on None.
+    let ctx: Option<std::sync::Arc<Obs>> = None;
+    group.bench_function("option_none_check", |b| {
+        b.iter(|| {
+            if let Some(obs) = std::hint::black_box(&ctx) {
+                obs.score.record(1);
+            }
+        })
+    });
+    // A filtered-out debug! line: one relaxed load, no formatting.
+    log::set_level(log::Level::Info);
+    group.bench_function("filtered_debug_line", |b| {
+        b.iter(|| {
+            s2g_obs::debug!("bench", "never formatted {}", std::hint::black_box(42));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(overhead, histogram_record, disabled_paths);
+criterion_main!(overhead);

@@ -1,0 +1,229 @@
+//! # s2g-obs — observability substrate for the serving stack
+//!
+//! Std-only, dependency-free instrumentation threaded through every layer
+//! of the serving stack (server → engine → worker pool → model store):
+//!
+//! * [`hist`] — lock-free log-bucketed latency [`Histogram`]s (128
+//!   `AtomicU64` buckets, mergeable, nanosecond recording cost) with exact
+//!   max and bounded-error p50/p95/p99;
+//! * [`trace`] — request-scoped tracing: a [`TraceId`] minted per request,
+//!   [`Span`]s propagated across threads via [`SpanCtx`], finished traces
+//!   kept in a fixed-size [`TraceSink`] ring with slow-request retention;
+//! * [`log`] — structured leveled logging (`error!`/`warn!`/`info!`/
+//!   `debug!`) with monotonic timestamps and optional JSON lines;
+//! * [`Obs`] — the process-wide instrument registry the layers share: one
+//!   histogram per stage (request-per-route, fit, score, pool queue-wait,
+//!   pool execute, store fault, store write, adaptation push), the trace
+//!   sink, and the trace-id mint.
+//!
+//! The cardinal rule: **observability never perturbs outputs**. Recording
+//! is wait-free on the hot path, and every instrument is behind an
+//! `Option`/`Arc` so an unattached engine runs the exact code it ran
+//! before this crate existed (the engine's bit-identity test pins that
+//! down).
+//!
+//! ```
+//! use s2g_obs::Obs;
+//!
+//! let obs = Obs::new(&["POST /models/{name}/score"], &["GET /metrics"]);
+//! obs.score.record_duration(std::time::Duration::from_micros(250));
+//! obs.request("POST /models/{name}/score").record(1_500_000);
+//! let trace = obs.start_trace();
+//! let root = trace.begin("request", None);
+//! root.finish();
+//! let (finished, _slow) = obs
+//!     .traces
+//!     .finish(&trace, "POST /models/{name}/score", 200, 1_500_000);
+//! assert_eq!(finished.spans.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod log;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use log::Level;
+pub use trace::{FinishedTrace, Span, SpanCtx, SpanRecord, TraceHandle, TraceId, TraceSink};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic process clock: nanoseconds since the first observation.
+pub mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static START: OnceLock<Instant> = OnceLock::new();
+
+    /// Nanoseconds of monotonic time since the process clock was first
+    /// read. Cheap, never goes backwards, safe from any thread.
+    pub fn now_ns() -> u64 {
+        let start = *START.get_or_init(Instant::now);
+        u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A fixed set of histograms keyed by a small, pre-registered label set
+/// (normalised route patterns). Lookup is a linear scan over `&'static
+/// str` keys — at the dozen-route cardinality this stays cheaper than any
+/// hash — and unknown keys fall back to a catch-all `(other)` entry, so
+/// recording can never allocate or fail.
+#[derive(Debug)]
+pub struct Family {
+    entries: Vec<(&'static str, Histogram)>,
+    other: Histogram,
+}
+
+impl Family {
+    /// A family with one histogram per pre-registered key.
+    pub fn new(keys: &[&'static str]) -> Self {
+        Family {
+            entries: keys.iter().map(|&k| (k, Histogram::new())).collect(),
+            other: Histogram::new(),
+        }
+    }
+
+    /// The histogram for `key`, or the catch-all when unregistered.
+    pub fn get(&self, key: &str) -> &Histogram {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h)
+            .unwrap_or(&self.other)
+    }
+
+    /// Iterates `(key, histogram)` pairs, the catch-all last (keyed
+    /// `(other)` if it recorded anything).
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.entries
+            .iter()
+            .map(|(k, h)| (*k, h))
+            .chain((self.other.count() > 0).then_some(("(other)", &self.other)))
+    }
+}
+
+/// The process-wide instrument registry shared by server, engine, worker
+/// pool and model store (one per server; attached via
+/// `Engine::attach_obs` / `ModelStore::attach_obs`).
+#[derive(Debug)]
+pub struct Obs {
+    /// Request latency per normalised route — external traffic only.
+    pub requests: Family,
+    /// Request latency of internal routes (`/healthz`, `/metrics`,
+    /// `/debug/*`), kept out of [`Obs::requests`] so 1 Hz scraping never
+    /// skews serving percentiles.
+    pub internal: Family,
+    /// Model fit execution time.
+    pub fit: Histogram,
+    /// Per-series score execution time (on the worker that ran it).
+    pub score: Histogram,
+    /// Pool task queue wait: submit → a worker picks the task up.
+    pub pool_queue_wait: Histogram,
+    /// Pool task execute time: pickup → result ready.
+    pub pool_execute: Histogram,
+    /// Store fault latency: bytes → resident model on first touch.
+    pub store_fault: Histogram,
+    /// Store write latency: encode + crash-safe write on save.
+    pub store_write: Histogram,
+    /// Adaptation push latency (per streaming push on adaptive sessions).
+    pub adapt_push: Histogram,
+    /// Finished traces: lookup ring + slow-request retention.
+    pub traces: TraceSink,
+    nonce: u64,
+    counter: AtomicU64,
+}
+
+impl Obs {
+    /// Default trace-ring capacity (`recent` lookup window).
+    pub const TRACE_RING: usize = 256;
+    /// Default slow-trace retention depth.
+    pub const SLOW_KEEP: usize = 32;
+
+    /// A registry with request histograms pre-registered for the given
+    /// external and internal route patterns.
+    pub fn new(routes: &[&'static str], internal_routes: &[&'static str]) -> Self {
+        // Process nonce: the pid, FNV-mixed so two quick restarts get
+        // visibly different high bits. Deterministic within a process.
+        let mut nonce = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(std::process::id());
+        nonce = nonce.wrapping_mul(0x0000_0100_0000_01b3);
+        Obs {
+            requests: Family::new(routes),
+            internal: Family::new(internal_routes),
+            fit: Histogram::new(),
+            score: Histogram::new(),
+            pool_queue_wait: Histogram::new(),
+            pool_execute: Histogram::new(),
+            store_fault: Histogram::new(),
+            store_write: Histogram::new(),
+            adapt_push: Histogram::new(),
+            traces: TraceSink::new(Self::TRACE_RING, Self::SLOW_KEEP),
+            nonce: nonce & 0xffff_ffff,
+            counter: AtomicU64::new(1),
+        }
+    }
+
+    /// The request-latency histogram for a normalised route pattern.
+    pub fn request(&self, route: &str) -> &Histogram {
+        self.requests.get(route)
+    }
+
+    /// Mints the next [`TraceId`]: process nonce in the high 32 bits, a
+    /// monotone counter in the low 32.
+    pub fn next_trace_id(&self) -> TraceId {
+        let seq = self.counter.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff;
+        TraceId((self.nonce << 32) | seq)
+    }
+
+    /// Starts a new trace with a freshly minted id.
+    pub fn start_trace(&self) -> TraceHandle {
+        TraceHandle::new(self.next_trace_id())
+    }
+
+    /// Every named stage histogram, for uniform rendering:
+    /// `(instrument name, histogram)`.
+    pub fn stages(&self) -> [(&'static str, &Histogram); 7] {
+        [
+            ("s2g_fit_duration_ns", &self.fit),
+            ("s2g_score_duration_ns", &self.score),
+            ("s2g_pool_queue_wait_ns", &self.pool_queue_wait),
+            ("s2g_pool_execute_ns", &self.pool_execute),
+            ("s2g_store_fault_ns", &self.store_fault),
+            ("s2g_store_write_ns", &self.store_write),
+            ("s2g_adapt_push_ns", &self.adapt_push),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_share_the_nonce() {
+        let obs = Obs::new(&[], &[]);
+        let a = obs.next_trace_id();
+        let b = obs.next_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.0 >> 32, b.0 >> 32);
+    }
+
+    #[test]
+    fn family_falls_back_to_other() {
+        let family = Family::new(&["GET /models"]);
+        family.get("GET /models").record(10);
+        family.get("GET /nope").record(20);
+        let keys: Vec<&str> = family.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["GET /models", "(other)"]);
+        assert_eq!(family.get("GET /models").count(), 1);
+        assert_eq!(family.get("anything-else").count(), 1);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let a = clock::now_ns();
+        let b = clock::now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,194 @@
+//! Structured leveled logging to stderr.
+//!
+//! A deliberately small substrate: four levels behind one process-wide
+//! atomic (so a disabled `debug!` costs a single relaxed load), a
+//! single-writer stderr path (one `Stderr::lock` per line — lines never
+//! interleave), monotonic timestamps (seconds since process start, which
+//! diffs cleanly and never jumps with wall-clock adjustments), and an
+//! optional JSON rendering for log shippers (`serve --log-json`).
+//!
+//! Use through the [`error!`](crate::error!), [`warn!`](crate::warn!),
+//! [`info!`](crate::info!) and [`debug!`](crate::debug!) macros:
+//!
+//! ```
+//! s2g_obs::log::set_level(s2g_obs::log::Level::Info);
+//! s2g_obs::info!("server", "listening on {}", "127.0.0.1:7878");
+//! s2g_obs::debug!("pool", "this line is filtered out");
+//! ```
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+use crate::clock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unexpected failures that lose work.
+    Error = 0,
+    /// Degraded but recovering conditions (evictions, timeouts).
+    Warn = 1,
+    /// Lifecycle events (startup, shutdown, mounts). The default.
+    Info = 2,
+    /// Per-request detail; off unless debugging.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case name (`error`, `warn`, `info`, `debug`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a level name, case-insensitively.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide maximum level; lines above it are dropped.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current maximum level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Switches between human-readable (`false`, default) and JSON lines.
+pub fn set_json(json: bool) {
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would currently be emitted — the single
+/// relaxed load a disabled call site costs.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one line; prefer the macros, which check [`enabled`] before
+/// formatting.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let elapsed_ns = clock::now_ns();
+    let secs = elapsed_ns / 1_000_000_000;
+    let millis = (elapsed_ns % 1_000_000_000) / 1_000_000;
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let result = if JSON.load(Ordering::Relaxed) {
+        writeln!(
+            out,
+            "{{\"ts\":\"{secs}.{millis:03}\",\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}",
+            level.as_str(),
+            json_escape(target),
+            json_escape(&args.to_string()),
+        )
+    } else {
+        writeln!(
+            out,
+            "{secs:>6}.{millis:03} {:<5} {target}: {args}",
+            level.as_str().to_ascii_uppercase()
+        )
+    };
+    // A full or closed stderr must never take the serving path down.
+    let _ = result;
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Logs at [`Level::Error`]: `error!("server", "accept failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::log($crate::log::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

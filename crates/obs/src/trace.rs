@@ -1,0 +1,396 @@
+//! Request-scoped tracing: trace ids, spans, and a fixed-size sink.
+//!
+//! A [`TraceId`] is minted per request (process nonce in the high bits, a
+//! deterministic counter in the low bits — unique across restarts on one
+//! host, reproducible within a run). The serving layer opens a root span,
+//! and every layer it crosses — engine, worker pool, model store — attaches
+//! child spans through a cloneable [`SpanCtx`]. Span records accumulate in
+//! the trace itself (one uncontended mutex per request), so recording never
+//! contends across requests.
+//!
+//! Finished traces land in a [`TraceSink`]: a fixed-size ring buffer (slot
+//! chosen by one atomic counter, so writers never queue behind each other)
+//! serving `GET /debug/trace/{id}`, plus a small bounded retention list for
+//! requests slower than a configurable threshold — the slow-request log.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::clock;
+
+/// Identifier of one traced request: `nonce << 32 | counter`, rendered as
+/// 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Parses the 16-hex-digit rendering back into an id.
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One finished span: what happened, under which parent, when, for how long.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span id, unique within its trace (root is `0`).
+    pub id: u32,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u32>,
+    /// Static name, dot-scoped by layer (`request`, `engine.score`,
+    /// `pool.score`, `store.load`, …).
+    pub name: &'static str,
+    /// Start, in nanoseconds of monotonic process time ([`clock::now_ns`]).
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Free-form `key=value` attributes (worker index, model name, bytes…).
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+struct TraceInner {
+    id: TraceId,
+    next_span: AtomicU32,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Cloneable handle to one in-flight trace; spans opened anywhere in the
+/// stack record back into it.
+#[derive(Clone)]
+pub struct TraceHandle {
+    inner: Arc<TraceInner>,
+}
+
+impl TraceHandle {
+    /// Starts a new trace with the given id.
+    pub fn new(id: TraceId) -> Self {
+        TraceHandle {
+            inner: Arc::new(TraceInner {
+                id,
+                next_span: AtomicU32::new(0),
+                spans: Mutex::new(Vec::with_capacity(8)),
+            }),
+        }
+    }
+
+    /// This trace's id.
+    pub fn id(&self) -> TraceId {
+        self.inner.id
+    }
+
+    /// Opens a span; it records itself into the trace when finished (or
+    /// dropped). The first span opened is the root (id 0).
+    pub fn begin(&self, name: &'static str, parent: Option<u32>) -> Span {
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        Span {
+            trace: self.clone(),
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+            start_ns: clock::now_ns(),
+            attrs: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// All spans recorded so far, sorted by start time.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        spans
+    }
+
+    fn push(&self, record: SpanRecord) {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("id", &self.id())
+            .finish()
+    }
+}
+
+/// An open span; finishing (or dropping) it records a [`SpanRecord`].
+#[derive(Debug)]
+pub struct Span {
+    trace: TraceHandle,
+    id: u32,
+    parent: Option<u32>,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    attrs: Vec<(&'static str, String)>,
+    finished: bool,
+}
+
+impl Span {
+    /// This span's id — what child spans name as their parent.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Context for opening child spans under this one, possibly on
+    /// another thread.
+    pub fn ctx(&self) -> SpanCtx {
+        SpanCtx {
+            trace: self.trace.clone(),
+            parent: self.id,
+        }
+    }
+
+    /// Attaches a `key=value` attribute.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<String>) {
+        self.attrs.push((key, value.into()));
+    }
+
+    /// Ends the span now, recording its duration.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let duration = self.start.elapsed();
+        self.trace.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_ns: self.start_ns,
+            duration_ns: u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Cloneable, thread-hopping span context: which trace, which parent.
+///
+/// Task envelopes carry this across the worker-pool boundary so a span
+/// opened on a worker thread nests under the request's server-side span.
+#[derive(Debug, Clone)]
+pub struct SpanCtx {
+    /// The trace being recorded into.
+    pub trace: TraceHandle,
+    /// Parent span id for children opened from this context.
+    pub parent: u32,
+}
+
+impl SpanCtx {
+    /// Opens a child span under this context.
+    pub fn child(&self, name: &'static str) -> Span {
+        self.trace.begin(name, Some(self.parent))
+    }
+}
+
+/// One finished, sunk trace.
+#[derive(Debug, Clone)]
+pub struct FinishedTrace {
+    /// The trace id.
+    pub id: TraceId,
+    /// Normalised route pattern of the request.
+    pub route: &'static str,
+    /// HTTP status the request answered with.
+    pub status: u16,
+    /// End-to-end request duration in nanoseconds.
+    pub total_ns: u64,
+    /// Every span recorded, sorted by start time.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Fixed-size ring of recently finished traces plus bounded slow-request
+/// retention.
+#[derive(Debug)]
+pub struct TraceSink {
+    slots: Vec<Mutex<Option<Arc<FinishedTrace>>>>,
+    cursor: AtomicU64,
+    slow: Mutex<std::collections::VecDeque<Arc<FinishedTrace>>>,
+    slow_keep: usize,
+    slow_threshold_ns: AtomicU64,
+}
+
+impl TraceSink {
+    /// A sink keeping the last `capacity` traces and the last `slow_keep`
+    /// traces over the slow threshold (initially disabled:
+    /// `u64::MAX`).
+    pub fn new(capacity: usize, slow_keep: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceSink {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            slow: Mutex::new(std::collections::VecDeque::new()),
+            slow_keep: slow_keep.max(1),
+            slow_threshold_ns: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Sets the slow-request threshold; traces at least this slow are
+    /// retained separately and reported by [`TraceSink::slow`].
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-request threshold in nanoseconds.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sinks a finished trace; returns the stored record, and whether it
+    /// crossed the slow threshold.
+    pub fn finish(
+        &self,
+        trace: &TraceHandle,
+        route: &'static str,
+        status: u16,
+        total_ns: u64,
+    ) -> (Arc<FinishedTrace>, bool) {
+        let finished = Arc::new(FinishedTrace {
+            id: trace.id(),
+            route,
+            status,
+            total_ns,
+            spans: trace.spans(),
+        });
+        let slot = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(finished.clone());
+        let slow = total_ns >= self.slow_threshold_ns();
+        if slow {
+            let mut retained = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+            if retained.len() == self.slow_keep {
+                retained.pop_front();
+            }
+            retained.push_back(finished.clone());
+        }
+        (finished, slow)
+    }
+
+    /// Looks a trace up by id, checking slow retention first (slow traces
+    /// outlive their ring slot).
+    pub fn lookup(&self, id: TraceId) -> Option<Arc<FinishedTrace>> {
+        {
+            let retained = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = retained.iter().rev().find(|t| t.id == id) {
+                return Some(t.clone());
+            }
+        }
+        self.slots.iter().find_map(|slot| {
+            let guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+            guard.as_ref().filter(|t| t.id == id).cloned()
+        })
+    }
+
+    /// The most recently sunk traces, newest first, up to `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<Arc<FinishedTrace>> {
+        let end = self.cursor.load(Ordering::Relaxed);
+        let n = (self.slots.len() as u64).min(end).min(limit as u64);
+        let mut out = Vec::with_capacity(n as usize);
+        for back in 1..=n {
+            let slot = ((end - back) as usize) % self.slots.len();
+            let guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(t) = guard.as_ref() {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Retained slow traces, oldest first.
+    pub fn slow(&self) -> Vec<Arc<FinishedTrace>> {
+        self.slow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_round_trips_through_display() {
+        let id = TraceId(0xdead_beef_0000_002a);
+        assert_eq!(TraceId::parse(&id.to_string()), Some(id));
+        assert_eq!(TraceId::parse("xyz"), None);
+        assert_eq!(TraceId::parse("00"), None);
+    }
+
+    #[test]
+    fn spans_nest_across_contexts() {
+        let trace = TraceHandle::new(TraceId(7));
+        let root = trace.begin("request", None);
+        let ctx = root.ctx();
+        let mut child = ctx.child("engine.score");
+        child.attr("model", "turbine");
+        let grandchild = child.ctx().child("store.load");
+        grandchild.finish();
+        child.finish();
+        root.finish();
+
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 3);
+        let root = spans.iter().find(|s| s.name == "request").unwrap();
+        let mid = spans.iter().find(|s| s.name == "engine.score").unwrap();
+        let leaf = spans.iter().find(|s| s.name == "store.load").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(mid.parent, Some(root.id));
+        assert_eq!(leaf.parent, Some(mid.id));
+        assert_eq!(mid.attrs, vec![("model", "turbine".to_string())]);
+    }
+
+    #[test]
+    fn sink_ring_evicts_but_slow_retention_keeps() {
+        let sink = TraceSink::new(2, 2);
+        sink.set_slow_threshold_ns(1_000);
+        let mut ids = Vec::new();
+        for i in 0..4u64 {
+            let trace = TraceHandle::new(TraceId(i));
+            trace.begin("request", None).finish();
+            // Only trace 0 crosses the slow threshold.
+            let total = if i == 0 { 5_000 } else { 10 };
+            let (_, slow) = sink.finish(&trace, "GET /x", 200, total);
+            assert_eq!(slow, i == 0);
+            ids.push(trace.id());
+        }
+        // Ring holds the last two; trace 0 survives via slow retention.
+        assert!(sink.lookup(ids[3]).is_some());
+        assert!(sink.lookup(ids[2]).is_some());
+        assert!(sink.lookup(ids[1]).is_none());
+        assert!(sink.lookup(ids[0]).is_some());
+        assert_eq!(sink.slow().len(), 1);
+        assert_eq!(sink.recent(10).len(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Acceptance tests of the histogram substrate — the edge cases the
+//! serving stack leans on:
+//!
+//! * extreme durations (`0`, `u64::MAX`) and bucket-boundary values land
+//!   in valid buckets whose bounds contain them;
+//! * concurrent recording from 8 threads sums exactly (no dropped
+//!   counts under contention);
+//! * merging shard-local histograms equals recording into one shared
+//!   histogram, bucket for bucket;
+//! * quantiles are monotone in `q` and bounded by `[min bucket, max]`
+//!   (property-tested over random value streams).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use s2g_obs::hist::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};
+
+#[test]
+fn zero_and_max_durations_are_recorded() {
+    let h = Histogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.max(), u64::MAX);
+    // Sum wraps by contract: 0 + u64::MAX = u64::MAX exactly here.
+    assert_eq!(h.sum(), u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.quantile(0.0), 0);
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn bucket_boundaries_are_tight() {
+    // Around every power of two and half-octave mark, the value must fall
+    // inside its bucket's range: above the previous bucket's bound, at or
+    // below its own.
+    for e in 1..64u32 {
+        let marks = [
+            (1u64 << e).wrapping_sub(1),
+            1u64 << e,
+            (1u64 << e).wrapping_add(1),
+            (1u64 << e) | (1u64 << (e - 1)),
+        ];
+        for v in marks {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS);
+            assert!(v <= bucket_upper_bound(idx));
+            if idx > 0 {
+                assert!(
+                    v > bucket_upper_bound(idx - 1),
+                    "{v} not above previous bucket bound"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_from_8_threads_sums_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread values across many buckets, deterministic per thread.
+                    h.record((t as u64 + 1) * 997 + i * 13);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(h.count(), total);
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), total);
+    // The exact sum of the recorded arithmetic progressions.
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| PER_THREAD * (t + 1) * 997 + 13 * (PER_THREAD * (PER_THREAD - 1) / 2))
+        .sum();
+    assert_eq!(h.sum(), expected_sum);
+}
+
+#[test]
+fn merge_of_shard_locals_equals_single_histogram() {
+    const SHARDS: usize = 4;
+    let shards: Vec<Histogram> = (0..SHARDS).map(|_| Histogram::new()).collect();
+    let single = Histogram::new();
+    for (s, shard) in shards.iter().enumerate() {
+        for i in 0..10_000u64 {
+            let v = (s as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i * 31);
+            shard.record(v);
+            single.record(v);
+        }
+    }
+    let merged = Histogram::new();
+    for shard in &shards {
+        merged.merge_from(shard);
+    }
+    assert_eq!(merged.count(), single.count());
+    assert_eq!(merged.sum(), single.sum());
+    assert_eq!(merged.max(), single.max());
+    let a = merged.snapshot();
+    let b = single.snapshot();
+    assert_eq!(a.cumulative_buckets(), b.cumulative_buckets());
+    for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        assert_eq!(a.quantile(q), b.quantile(q));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Quantiles are monotone in `q`, never exceed the exact max, and
+    /// never undershoot the smallest recorded value's bucket.
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(0u64..u64::MAX, 1..400)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let mut last = 0u64;
+        for step in 0..=20u32 {
+            let q = f64::from(step) / 20.0;
+            let quantile = snap.quantile(q);
+            prop_assert!(quantile >= last, "quantile regressed at q={q}");
+            prop_assert!(quantile <= max);
+            prop_assert!(quantile >= min.min(bucket_upper_bound(bucket_index(min))));
+            last = quantile;
+        }
+        prop_assert_eq!(snap.quantile(1.0), max);
+    }
+}

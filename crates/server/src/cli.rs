@@ -51,7 +51,8 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g serve  [--addr <host:port>] [--workers <n>] [--registry-capacity <n>]
                [--max-clients <n>] [--max-body-bytes <n>]
                [--session-idle-secs <n>] [--data-dir <dir>]
-               [--store-budget-mb <n>]
+               [--store-budget-mb <n>] [--log-level <error|warn|info|debug>]
+               [--log-json] [--slow-request-ms <n>]
     s2g client fit      --addr <host:port> --name <model> --input <series.csv>
                         --pattern-length <n> [--lambda <n>] [--rate <n>]
                         [--kde-grid <n>] [--sigma-ratio <x>] [--seed <n>]
@@ -68,7 +69,8 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g client delete   --addr <host:port> --name <model>
     s2g client models   --addr <host:port> [--json]
     s2g client health   --addr <host:port>
-    s2g client metrics  --addr <host:port>
+    s2g client metrics  --addr <host:port> [--json]
+    s2g client trace    --addr <host:port> <trace-id>
     s2g client shutdown --addr <host:port>
     s2g models          --addr <host:port> [--json]   (same as client models)
     s2g help
@@ -145,8 +147,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--session-idle-secs",
             "--data-dir",
             "--store-budget-mb",
+            "--log-level",
+            "--slow-request-ms",
         ],
-        &[],
+        &["--log-json"],
     )?;
     let addr = args.get("--addr").unwrap_or("127.0.0.1:7878").to_string();
     let mut engine = EngineConfig::default();
@@ -172,6 +176,20 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(budget_mb) = opt_usize(&args, "--store-budget-mb")? {
         config = config.with_store_budget_bytes(budget_mb as u64 * 1024 * 1024);
+    }
+    if let Some(level) = args.get("--log-level") {
+        let level = s2g_obs::Level::parse(level).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--log-level expects error|warn|info|debug, got {level:?}"
+            ))
+        })?;
+        config = config.with_log_level(level);
+    }
+    if args.has("--log-json") {
+        config = config.with_log_json(true);
+    }
+    if let Some(ms) = opt_usize(&args, "--slow-request-ms")? {
+        config = config.with_slow_request_ms(Some(ms as u64));
     }
 
     let server = Server::bind(config).map_err(runtime)?;
@@ -207,6 +225,7 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &["--json"])?),
         "health" => client_health(rest),
         "metrics" => client_metrics(rest),
+        "trace" => client_trace(rest),
         "shutdown" => client_shutdown(rest),
         other => Err(CliError::Usage(format!("unknown client action {other:?}"))),
     }
@@ -410,11 +429,80 @@ fn client_stream(args: &[String]) -> Result<(), CliError> {
 }
 
 fn client_metrics(args: &[String]) -> Result<(), CliError> {
-    let args = ParsedArgs::parse(args, &["--addr"], &[])?;
+    let args = ParsedArgs::parse(args, &["--addr"], &["--json"])?;
     let client = connect(&args)?;
+    if args.has("--json") {
+        // One machine-readable line: gauges plus latency summaries
+        // (p50/p95/p99 per route and per stage) from `GET /metrics/json`.
+        println!("{}", client.metrics_json().map_err(runtime)?.encode());
+        return Ok(());
+    }
     for line in client.metrics().map_err(runtime)? {
         println!("{line}");
     }
+    Ok(())
+}
+
+fn client_trace(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr"], &[])?;
+    let client = connect(&args)?;
+    let [id] = args.positional() else {
+        return Err(CliError::Usage(
+            "client trace needs exactly one trace id (16 hex digits)".to_string(),
+        ));
+    };
+    let trace = client.trace(id).map_err(runtime)?;
+    // A human-readable span tree: indent children under their parent,
+    // durations in milliseconds; the raw JSON stays one `encode()` away.
+    let route = trace.get("route").and_then(Json::as_str).unwrap_or("?");
+    let status = trace.get("status").and_then(Json::as_usize).unwrap_or(0);
+    let total_ns = trace.get("total_ns").and_then(Json::as_usize).unwrap_or(0);
+    println!(
+        "trace {id}  {route} -> {status}  total {:.3} ms",
+        total_ns as f64 / 1e6
+    );
+    let spans = trace
+        .get("spans")
+        .and_then(Json::as_array)
+        .map(<[Json]>::to_vec)
+        .unwrap_or_default();
+    fn print_children(spans: &[Json], parent: Option<usize>, depth: usize) {
+        for span in spans {
+            let this_parent = span.get("parent").and_then(Json::as_usize);
+            if this_parent != parent {
+                continue;
+            }
+            let id = span.get("id").and_then(Json::as_usize);
+            let name = span.get("name").and_then(Json::as_str).unwrap_or("?");
+            let duration = span
+                .get("duration_ns")
+                .and_then(Json::as_usize)
+                .unwrap_or(0);
+            let attrs = match span.get("attrs") {
+                Some(Json::Obj(pairs)) if !pairs.is_empty() => {
+                    let rendered: Vec<String> = pairs
+                        .iter()
+                        .map(|(k, v)| match v {
+                            Json::Str(s) => format!("{k}={s}"),
+                            other => format!("{k}={}", other.encode()),
+                        })
+                        .collect();
+                    format!("  [{}]", rendered.join(" "))
+                }
+                _ => String::new(),
+            };
+            println!(
+                "{:indent$}{name}  {:.3} ms{attrs}",
+                "",
+                duration as f64 / 1e6,
+                indent = depth * 2
+            );
+            if let Some(id) = id {
+                print_children(spans, Some(id), depth + 1);
+            }
+        }
+    }
+    print_children(&spans, None, 1);
     Ok(())
 }
 

@@ -276,6 +276,38 @@ impl Client {
         Ok(self.request_ok("GET", "/metrics", b"")?.lines)
     }
 
+    /// `GET /metrics/json`: the machine-readable metrics summary —
+    /// gauges plus per-route and per-stage latency histograms
+    /// (count/sum/max/mean and p50/p95/p99).
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn metrics_json(&self) -> Result<Json, ClientError> {
+        self.request_ok("GET", "/metrics/json", b"")?.json_line(0)
+    }
+
+    /// `GET /debug/trace/{id}`: the span tree of one retained trace
+    /// (ids come from the `X-S2g-Trace` response header or
+    /// [`Client::slow_traces`]).
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection or protocol errors; `404 not_found`
+    /// surfaces as [`ClientError::Api`] when the trace is no longer
+    /// retained.
+    pub fn trace(&self, id: &str) -> Result<Json, ClientError> {
+        self.request_ok("GET", &format!("/debug/trace/{id}"), b"")?
+            .json_line(0)
+    }
+
+    /// `GET /debug/slow`: the retained slow-request traces and the active
+    /// threshold.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection, protocol or server errors.
+    pub fn slow_traces(&self) -> Result<Json, ClientError> {
+        self.request_ok("GET", "/debug/slow", b"")?.json_line(0)
+    }
+
     /// `PUT /models/{name}?{query}` with a CSV body (one value per line):
     /// fits and registers a model server-side. Returns the metadata object
     /// (including the `"checksum"` fingerprint).

@@ -54,6 +54,7 @@ impl ApiError {
             status: self.status,
             lines: vec![self.to_json().encode()],
             content_type: crate::http::CONTENT_TYPE_NDJSON,
+            trace_id: None,
         }
     }
 }

@@ -294,6 +294,9 @@ pub struct Response {
     pub lines: Vec<String>,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// When set, emitted as an `X-S2g-Trace` response header — the id to
+    /// feed `GET /debug/trace/{id}` for the request's span tree.
+    pub trace_id: Option<String>,
 }
 
 /// Content type of the NDJSON API responses.
@@ -308,6 +311,7 @@ impl Response {
             status: 200,
             lines,
             content_type: CONTENT_TYPE_NDJSON,
+            trace_id: None,
         }
     }
 
@@ -317,6 +321,7 @@ impl Response {
             status: 200,
             lines,
             content_type: CONTENT_TYPE_TEXT,
+            trace_id: None,
         }
     }
 
@@ -355,13 +360,17 @@ impl Response {
         let body = self.lines.join("\n");
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let body_len = if body.is_empty() { 0 } else { body.len() + 1 };
+        let trace_header = match &self.trace_id {
+            Some(id) => format!("X-S2g-Trace: {id}\r\n"),
+            None => String::new(),
+        };
         // Head and body go out in a single write: on a persistent
         // connection a trailing small segment would otherwise sit in the
         // kernel behind Nagle's algorithm until the peer's delayed ACK
         // (tens of milliseconds) — the old close-per-request design never
         // noticed because the FIN flushed it.
         let mut wire = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n{trace_header}\r\n",
             self.status,
             self.reason(),
             self.content_type,

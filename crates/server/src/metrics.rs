@@ -4,21 +4,71 @@
 //! The format is the Prometheus text exposition subset — `name{labels} value`
 //! lines — so any scraper (or `grep`) can consume it. Counters are
 //! monotonic over the life of the process; gauges (sessions, residency)
-//! are sampled at scrape time from the live engine. Everything is either
-//! an atomic or a small mutex-guarded map touched once per request, so
-//! recording costs nanoseconds on the serving path.
+//! are sampled at scrape time from the live engine.
+//!
+//! Request counting is **wait-free**: the route patterns and status codes
+//! the server can produce are both finite and known at compile time, so
+//! the `(route, status)` counters live in a pre-registered flat
+//! `AtomicU64` grid — recording is two bounded linear scans over
+//! `&'static` tables plus one relaxed `fetch_add`, no lock, no allocation,
+//! no map rebalancing on the serving path. Unknown routes and statuses
+//! fall into catch-all cells instead of growing the grid, so cardinality
+//! stays bounded no matter what traffic arrives.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+/// Every normalised route pattern the router can produce, including the
+/// synthetic ones for unparseable and unroutable requests. The final
+/// `(other)` entry doubles as the catch-all cell for patterns this table
+/// does not know (which would indicate route-table drift — visible in the
+/// exposition rather than silently merged).
+pub const ROUTE_PATTERNS: &[&str] = &[
+    "GET /healthz",
+    "GET /metrics",
+    "GET /metrics/json",
+    "GET /debug/trace/{id}",
+    "GET /debug/slow",
+    "GET /models",
+    "PUT /models/{name}",
+    "GET /models/{name}",
+    "DELETE /models/{name}",
+    "POST /models/{name}/score",
+    "POST /sessions",
+    "POST /sessions/{id}/push",
+    "DELETE /sessions/{id}",
+    "POST /admin/shutdown",
+    "(method_not_allowed)",
+    "(unparsed)",
+    "(other)",
+];
+
+/// Every status code the server emits (see [`crate::http::Response::reason`]);
+/// the trailing `0` cell catches anything outside the set and renders as
+/// `status="other"`.
+const STATUS_CODES: &[u16] = &[200, 400, 404, 405, 409, 413, 422, 500, 503, 0];
+
+fn route_slot(route: &str) -> usize {
+    ROUTE_PATTERNS
+        .iter()
+        .position(|&r| r == route)
+        .unwrap_or(ROUTE_PATTERNS.len() - 1)
+}
+
+fn status_slot(status: u16) -> usize {
+    STATUS_CODES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUS_CODES.len() - 1)
+}
 
 /// Process-wide serving counters (one instance per [`crate::Server`]).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
-    /// Requests by `(route pattern, status)` — route patterns are
+    /// Requests by `(route pattern, status)`, flattened row-major over
+    /// [`ROUTE_PATTERNS`] × [`STATUS_CODES`]. Route patterns are
     /// normalised (`PUT /models/{name}`), not raw paths, so cardinality
     /// stays bounded.
-    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    requests: Vec<AtomicU64>,
     /// Successful model fits (`PUT /models/{name}`).
     fits: AtomicU64,
     /// Series scored by `POST /models/{name}/score` (one per input line).
@@ -33,11 +83,28 @@ pub struct Metrics {
     adapt_published: AtomicU64,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: (0..ROUTE_PATTERNS.len() * STATUS_CODES.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            fits: AtomicU64::new(0),
+            scored_series: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            adapt_updates: AtomicU64::new(0),
+            adapt_refits: AtomicU64::new(0),
+            adapt_published: AtomicU64::new(0),
+        }
+    }
+}
+
 impl Metrics {
-    /// Records one served request under its normalised route pattern.
+    /// Records one served request under its normalised route pattern —
+    /// a pure atomic increment into the pre-registered grid.
     pub fn record_request(&self, route: &'static str, status: u16) {
-        let mut requests = self.requests.lock().unwrap_or_else(|e| e.into_inner());
-        *requests.entry((route, status)).or_insert(0) += 1;
+        let slot = route_slot(route) * STATUS_CODES.len() + status_slot(status);
+        self.requests[slot].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one successful fit.
@@ -66,14 +133,23 @@ impl Metrics {
     }
 
     /// Renders the exposition: counters from this struct plus the gauges
-    /// sampled by the caller.
+    /// sampled by the caller. Only `(route, status)` cells that counted
+    /// something are emitted, so the grid's size never bloats the scrape.
     pub fn render(&self, gauges: &[(&str, u64)]) -> Vec<String> {
         let mut lines = Vec::new();
-        {
-            let requests = self.requests.lock().unwrap_or_else(|e| e.into_inner());
-            for (&(route, status), &count) in requests.iter() {
+        for (r, &route) in ROUTE_PATTERNS.iter().enumerate() {
+            for (s, &status) in STATUS_CODES.iter().enumerate() {
+                let count = self.requests[r * STATUS_CODES.len() + s].load(Ordering::Relaxed);
+                if count == 0 {
+                    continue;
+                }
+                let status_label = if status == 0 {
+                    "other".to_string()
+                } else {
+                    status.to_string()
+                };
                 lines.push(format!(
-                    "s2g_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+                    "s2g_requests_total{{route=\"{route}\",status=\"{status_label}\"}} {count}"
                 ));
             }
         }
@@ -136,5 +212,25 @@ mod tests {
         assert!(text.contains("s2g_adapt_refits_total 1"));
         assert!(text.contains("s2g_adapt_published_total 1"));
         assert!(text.contains("s2g_models_registered 2"));
+    }
+
+    #[test]
+    fn unknown_routes_and_statuses_fall_into_catch_all_cells() {
+        let metrics = Metrics::default();
+        metrics.record_request("GET /made-up", 200);
+        metrics.record_request("GET /healthz", 299);
+        let text = metrics.render(&[]).join("\n");
+        assert!(text.contains("s2g_requests_total{route=\"(other)\",status=\"200\"} 1"));
+        assert!(text.contains("s2g_requests_total{route=\"GET /healthz\",status=\"other\"} 1"));
+    }
+
+    #[test]
+    fn every_emitted_status_is_pre_registered() {
+        // The grid must know every status `ApiError`/handlers can emit;
+        // a new status code should be added to STATUS_CODES, not silently
+        // merged into the catch-all.
+        for status in [200, 400, 404, 405, 409, 413, 422, 500, 503] {
+            assert_ne!(status_slot(status), STATUS_CODES.len() - 1, "{status}");
+        }
     }
 }

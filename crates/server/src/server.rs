@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use s2g_core::config::BandwidthRule;
 use s2g_core::S2gConfig;
 use s2g_engine::{AdaptConfig, Engine, EngineConfig, ModelInfo};
+use s2g_obs::{FinishedTrace, HistogramSnapshot, Obs, SpanCtx, TraceId};
 use s2g_store::{ModelStore, StoreConfig};
 use s2g_timeseries::{io as ts_io, TimeSeries};
 
@@ -35,6 +36,35 @@ use crate::http::{read_request, Method, ParseError, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::sessions::SessionTable;
+
+/// Route patterns of external (serving) traffic; their latency feeds the
+/// `s2g_request_duration_ns` histogram family.
+const EXTERNAL_ROUTES: &[&str] = &[
+    "GET /models",
+    "PUT /models/{name}",
+    "GET /models/{name}",
+    "DELETE /models/{name}",
+    "POST /models/{name}/score",
+    "POST /sessions",
+    "POST /sessions/{id}/push",
+    "DELETE /sessions/{id}",
+    "POST /admin/shutdown",
+];
+
+/// Route patterns of internal traffic (liveness probes, scrapes, debug
+/// endpoints), recorded under `s2g_internal_request_duration_ns` so a 1 Hz
+/// scraper can never skew the serving percentiles it is reporting.
+const INTERNAL_ROUTES: &[&str] = &[
+    "GET /healthz",
+    "GET /metrics",
+    "GET /metrics/json",
+    "GET /debug/trace/{id}",
+    "GET /debug/slow",
+];
+
+fn is_internal_route(pattern: &str) -> bool {
+    INTERNAL_ROUTES.contains(&pattern)
+}
 
 /// Construction parameters for a [`Server`].
 #[derive(Debug, Clone)]
@@ -61,6 +91,15 @@ pub struct ServerConfig {
     /// Residency budget of the mounted store in bytes (`0` = unbounded);
     /// only meaningful with `data_dir`.
     pub store_budget_bytes: u64,
+    /// Process-wide log verbosity (`serve --log-level`).
+    pub log_level: s2g_obs::Level,
+    /// Emit JSON log lines instead of the human format
+    /// (`serve --log-json`).
+    pub log_json: bool,
+    /// Requests at least this slow are retained in the slow-trace log and
+    /// emitted as `warn` lines (`serve --slow-request-ms`); `None`
+    /// disables slow-request capture.
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +113,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(30),
             data_dir: None,
             store_budget_bytes: 0,
+            log_level: s2g_obs::Level::Info,
+            log_json: false,
+            slow_request_ms: None,
         }
     }
 }
@@ -121,10 +163,30 @@ impl ServerConfig {
         self.store_budget_bytes = bytes;
         self
     }
+
+    /// Sets the process-wide log verbosity.
+    pub fn with_log_level(mut self, level: s2g_obs::Level) -> Self {
+        self.log_level = level;
+        self
+    }
+
+    /// Switches log output to JSON lines.
+    pub fn with_log_json(mut self, json: bool) -> Self {
+        self.log_json = json;
+        self
+    }
+
+    /// Sets the slow-request threshold in milliseconds (`None` disables
+    /// slow-trace retention).
+    pub fn with_slow_request_ms(mut self, ms: Option<u64>) -> Self {
+        self.slow_request_ms = ms;
+        self
+    }
 }
 
 /// Counting semaphore bounding concurrent connection-handler threads.
 struct Slots {
+    capacity: usize,
     state: Mutex<SlotState>,
     available: Condvar,
 }
@@ -145,6 +207,7 @@ struct SlotState {
 impl Slots {
     fn new(count: usize) -> Self {
         Slots {
+            capacity: count.max(1),
             state: Mutex::new(SlotState {
                 free: count.max(1),
                 waiting: 0,
@@ -152,6 +215,13 @@ impl Slots {
             }),
             available: Condvar::new(),
         }
+    }
+
+    /// `(slots in use, acquirers currently blocked)` — the accept-slot
+    /// occupancy gauges `/metrics` samples at scrape time.
+    fn occupancy(&self) -> (usize, usize) {
+        let state = self.lock();
+        (self.capacity - state.free, state.waiting)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SlotState> {
@@ -215,6 +285,7 @@ struct Shared {
     engine: Engine,
     sessions: SessionTable,
     metrics: Metrics,
+    obs: Arc<Obs>,
     max_body_bytes: usize,
     read_timeout: Duration,
     shutdown: AtomicBool,
@@ -229,6 +300,7 @@ impl Shared {
     /// (`0.0.0.0` / `::`) is not connectable on every platform, so the
     /// wake-up always targets the matching loopback address instead.
     fn trigger_shutdown(&self) {
+        s2g_obs::info!("server", "shutdown requested");
         self.shutdown.store(true, Ordering::SeqCst);
         let mut wake_addr = self.local_addr;
         if wake_addr.ip().is_unspecified() {
@@ -279,21 +351,40 @@ impl Server {
     /// # Errors
     /// Propagates socket bind errors and store-mount failures.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        s2g_obs::log::set_level(config.log_level);
+        s2g_obs::log::set_json(config.log_json);
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        // One instrument registry for the whole stack, attached to every
+        // layer before the first request can arrive.
+        let obs = Arc::new(Obs::new(EXTERNAL_ROUTES, INTERNAL_ROUTES));
+        if let Some(ms) = config.slow_request_ms {
+            obs.traces
+                .set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+        }
         let mut engine = Engine::new(config.engine);
+        engine.attach_obs(Arc::clone(&obs));
         if let Some(data_dir) = &config.data_dir {
             let store = ModelStore::open(
                 data_dir,
                 StoreConfig::default().with_resident_budget_bytes(config.store_budget_bytes),
             )
             .map_err(io::Error::other)?;
+            store.attach_obs(Arc::clone(&obs));
+            s2g_obs::info!(
+                "server",
+                "mounted model store at {} ({} model(s) on disk)",
+                data_dir.display(),
+                store.list().len()
+            );
             engine.attach_storage(Arc::new(store));
         }
+        s2g_obs::info!("server", "listening on {local_addr}");
         let shared = Arc::new(Shared {
             engine,
             sessions: SessionTable::new(config.session_idle),
             metrics: Metrics::default(),
+            obs,
             max_body_bytes: config.max_body_bytes,
             read_timeout: config.read_timeout,
             shutdown: AtomicBool::new(false),
@@ -508,12 +599,57 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         first = false;
-        let (pattern, result) = route(shared, &request);
-        let response = match result {
+        // Per-request middleware: mint a trace, open the root span, time
+        // the dispatch, and record the latency under the route's family —
+        // internal routes (probes, scrapes) are kept out of the serving
+        // percentiles. The trace id travels back in the `X-S2g-Trace`
+        // header, ready for `GET /debug/trace/{id}`.
+        let started = Instant::now();
+        let trace = shared.obs.start_trace();
+        let mut root = trace.begin("request", None);
+        root.attr("method", request.method.to_string());
+        root.attr("path", request.path.clone());
+        let ctx = root.ctx();
+        let (pattern, result) = route(shared, &request, &ctx);
+        let mut response = match result {
             Ok(response) => response,
             Err(e) => e.to_response(),
         };
+        root.finish();
+        let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let family = if is_internal_route(pattern) {
+            &shared.obs.internal
+        } else {
+            &shared.obs.requests
+        };
+        family.get(pattern).record(total_ns);
         shared.metrics.record_request(pattern, response.status);
+        response.trace_id = Some(trace.id().to_string());
+        let (_, slow) = shared
+            .obs
+            .traces
+            .finish(&trace, pattern, response.status, total_ns);
+        if slow {
+            s2g_obs::warn!(
+                "server",
+                "slow request: {} {} -> {} in {:.3} ms (trace {})",
+                request.method,
+                request.path,
+                response.status,
+                total_ns as f64 / 1e6,
+                trace.id()
+            );
+        } else {
+            s2g_obs::debug!(
+                "server",
+                "{} {} -> {} in {:.3} ms (trace {})",
+                request.method,
+                request.path,
+                response.status,
+                total_ns as f64 / 1e6,
+                trace.id()
+            );
+        }
         // Error responses always close: the connection state after a
         // rejected request is not worth trusting. Success responses honor
         // the peer's persistence preference unless shutdown began.
@@ -531,24 +667,31 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 /// under (names never leak into labels). One match produces both, so the
 /// dispatch table and the metrics labels can never drift apart.
 #[allow(clippy::type_complexity)]
-fn route(shared: &Shared, request: &Request) -> (&'static str, Result<Response, ApiError>) {
+fn route(
+    shared: &Shared,
+    request: &Request,
+    ctx: &SpanCtx,
+) -> (&'static str, Result<Response, ApiError>) {
     use Method::{Delete, Get, Post, Put};
     let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
     match (request.method, segments.as_slice()) {
         (Get, ["healthz"]) => ("GET /healthz", handle_healthz(shared)),
         (Get, ["metrics"]) => ("GET /metrics", handle_metrics(shared)),
+        (Get, ["metrics", "json"]) => ("GET /metrics/json", handle_metrics_json(shared)),
+        (Get, ["debug", "trace", id]) => ("GET /debug/trace/{id}", handle_debug_trace(shared, id)),
+        (Get, ["debug", "slow"]) => ("GET /debug/slow", handle_debug_slow(shared)),
         (Get, ["models"]) => ("GET /models", handle_list_models(shared)),
-        (Put, ["models", name]) => ("PUT /models/{name}", handle_fit(shared, name, request)),
+        (Put, ["models", name]) => ("PUT /models/{name}", handle_fit(shared, name, request, ctx)),
         (Get, ["models", name]) => ("GET /models/{name}", handle_model_info(shared, name)),
         (Delete, ["models", name]) => ("DELETE /models/{name}", handle_delete_model(shared, name)),
         (Post, ["models", name, "score"]) => (
             "POST /models/{name}/score",
-            handle_score(shared, name, request),
+            handle_score(shared, name, request, ctx),
         ),
         (Post, ["sessions"]) => ("POST /sessions", handle_open_session(shared, request)),
         (Post, ["sessions", id, "push"]) => (
             "POST /sessions/{id}/push",
-            handle_push_session(shared, id, request),
+            handle_push_session(shared, id, request, ctx),
         ),
         (Delete, ["sessions", id]) => ("DELETE /sessions/{id}", handle_close_session(shared, id)),
         (Post, ["admin", "shutdown"]) => ("POST /admin/shutdown", handle_shutdown(shared)),
@@ -556,6 +699,8 @@ fn route(shared: &Shared, request: &Request) -> (&'static str, Result<Response, 
         (
             _,
             ["healthz" | "metrics" | "models"]
+            | ["metrics", "json"]
+            | ["debug", ..]
             | ["models", ..]
             | ["sessions", ..]
             | ["admin", "shutdown"],
@@ -658,9 +803,60 @@ fn checksum_string(checksum: u64) -> String {
     format!("{checksum:#018x}")
 }
 
-fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
+/// Appends one histogram's Prometheus-subset lines: `quantile` samples,
+/// `_count`/`_sum`/`_max`, and cumulative `_bucket{le=...}` lines (only
+/// non-empty buckets, closed by `le="+Inf"`). Empty histograms emit
+/// nothing — a scrape never lists instruments that saw no traffic.
+fn render_histogram(
+    lines: &mut Vec<String>,
+    name: &str,
+    label: Option<(&str, &str)>,
+    snap: &HistogramSnapshot,
+) {
+    if snap.count() == 0 {
+        return;
+    }
+    let labels = |extra: Option<(&str, String)>| -> String {
+        let mut parts = Vec::new();
+        if let Some((k, v)) = label {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    };
+    for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        lines.push(format!(
+            "{name}{} {}",
+            labels(Some(("quantile", tag.to_string()))),
+            snap.quantile(q)
+        ));
+    }
+    lines.push(format!("{name}_count{} {}", labels(None), snap.count()));
+    lines.push(format!("{name}_sum{} {}", labels(None), snap.sum()));
+    lines.push(format!("{name}_max{} {}", labels(None), snap.max()));
+    for (le, cum) in snap.cumulative_buckets() {
+        lines.push(format!(
+            "{name}_bucket{} {cum}",
+            labels(Some(("le", le.to_string())))
+        ));
+    }
+    lines.push(format!(
+        "{name}_bucket{} {}",
+        labels(Some(("le", "+Inf".to_string()))),
+        snap.count()
+    ));
+}
+
+fn sampled_gauges(shared: &Shared) -> Vec<(&'static str, u64)> {
     let storage = shared.engine.storage();
-    let gauges = [
+    let (slots_in_use, accept_waiting) = shared.slots.occupancy();
+    vec![
         (
             "s2g_models_registered",
             shared.engine.registry().len() as u64,
@@ -673,14 +869,26 @@ fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
             "s2g_store_resident_bytes",
             storage.map_or(0, |s| s.resident_bytes()),
         ),
+        (
+            "s2g_store_residency_evictions_total",
+            storage.map_or(0, |s| s.residency_evictions()),
+        ),
         ("s2g_sessions_open", shared.sessions.len() as u64),
         ("s2g_workers", shared.engine.workers() as u64),
+        ("s2g_accept_slots", shared.slots.capacity as u64),
+        ("s2g_accept_slots_in_use", slots_in_use as u64),
+        ("s2g_accept_waiting", accept_waiting as u64),
         ("s2g_uptime_seconds", shared.started.elapsed().as_secs()),
-    ];
-    let mut lines = shared.metrics.render(&gauges);
-    // Pool scheduler balance: per-worker executed/stolen task counters.
-    // `stolen > 0` means the work-stealing scheduler rebalanced a skewed
-    // batch; worker cardinality is bounded by the pool size.
+    ]
+}
+
+fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
+    let mut lines = shared.metrics.render(&sampled_gauges(shared));
+    // Pool scheduler balance: per-worker executed/stolen task counters and
+    // current queue depth. `stolen > 0` means the work-stealing scheduler
+    // rebalanced a skewed batch; worker cardinality is bounded by the pool
+    // size.
+    let depths = shared.engine.queue_depths();
     for (worker, stats) in shared.engine.worker_stats().iter().enumerate() {
         lines.push(format!(
             "s2g_pool_tasks_executed_total{{worker=\"{worker}\"}} {}",
@@ -690,8 +898,168 @@ fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
             "s2g_pool_tasks_stolen_total{{worker=\"{worker}\"}} {}",
             stats.stolen
         ));
+        lines.push(format!(
+            "s2g_pool_queue_depth{{worker=\"{worker}\"}} {}",
+            depths.get(worker).copied().unwrap_or(0)
+        ));
+    }
+    // Latency histograms: per-route request latency (external and
+    // internal families kept apart) and the per-stage instruments.
+    for (route, hist) in shared.obs.requests.iter() {
+        render_histogram(
+            &mut lines,
+            "s2g_request_duration_ns",
+            Some(("route", route)),
+            &hist.snapshot(),
+        );
+    }
+    for (route, hist) in shared.obs.internal.iter() {
+        render_histogram(
+            &mut lines,
+            "s2g_internal_request_duration_ns",
+            Some(("route", route)),
+            &hist.snapshot(),
+        );
+    }
+    for (name, hist) in shared.obs.stages() {
+        render_histogram(&mut lines, name, None, &hist.snapshot());
     }
     Ok(Response::plain_text(lines))
+}
+
+/// One histogram snapshot as the `/metrics/json` object shape.
+fn histogram_json(snap: &HistogramSnapshot) -> Json {
+    Json::obj([
+        ("count", Json::from(snap.count() as usize)),
+        ("sum_ns", Json::from(snap.sum() as usize)),
+        ("max_ns", Json::from(snap.max() as usize)),
+        ("mean_ns", Json::from(snap.mean())),
+        ("p50_ns", Json::from(snap.quantile(0.5) as usize)),
+        ("p95_ns", Json::from(snap.quantile(0.95) as usize)),
+        ("p99_ns", Json::from(snap.quantile(0.99) as usize)),
+    ])
+}
+
+/// Non-empty histograms of a family as a `route → summary` JSON object.
+fn family_json(family: &s2g_obs::Family) -> Json {
+    Json::Obj(
+        family
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(route, h)| (route.to_string(), histogram_json(&h.snapshot())))
+            .collect(),
+    )
+}
+
+fn handle_metrics_json(shared: &Shared) -> Result<Response, ApiError> {
+    let gauges = Json::Obj(
+        sampled_gauges(shared)
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), Json::from(value as usize)))
+            .collect(),
+    );
+    let stages = Json::Obj(
+        shared
+            .obs
+            .stages()
+            .into_iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| (name.to_string(), histogram_json(&h.snapshot())))
+            .collect(),
+    );
+    let threshold = shared.obs.traces.slow_threshold_ns();
+    let body = Json::obj([
+        ("gauges", gauges),
+        ("requests", family_json(&shared.obs.requests)),
+        ("internal", family_json(&shared.obs.internal)),
+        ("stages", stages),
+        (
+            "slow_threshold_ms",
+            if threshold == u64::MAX {
+                Json::Null
+            } else {
+                Json::from((threshold / 1_000_000) as usize)
+            },
+        ),
+    ]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+/// One finished trace as its `/debug/trace/{id}` JSON rendering: the span
+/// tree flattened to records with explicit `parent` ids.
+fn finished_trace_json(trace: &FinishedTrace) -> Json {
+    let spans: Vec<Json> = trace
+        .spans
+        .iter()
+        .map(|span| {
+            let attrs: Vec<(String, Json)> = span
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::from(v.clone())))
+                .collect();
+            Json::obj([
+                ("id", Json::from(span.id as usize)),
+                (
+                    "parent",
+                    span.parent.map_or(Json::Null, |p| Json::from(p as usize)),
+                ),
+                ("name", Json::from(span.name)),
+                ("start_ns", Json::from(span.start_ns as usize)),
+                ("duration_ns", Json::from(span.duration_ns as usize)),
+                ("attrs", Json::Obj(attrs)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("trace", Json::from(trace.id.to_string())),
+        ("route", Json::from(trace.route)),
+        ("status", Json::from(trace.status as usize)),
+        ("total_ns", Json::from(trace.total_ns as usize)),
+        ("spans", Json::Arr(spans)),
+    ])
+}
+
+fn handle_debug_trace(shared: &Shared, id: &str) -> Result<Response, ApiError> {
+    let id = TraceId::parse(id)
+        .ok_or_else(|| ApiError::bad_request("trace id must be 16 lowercase hex digits"))?;
+    let trace = shared.obs.traces.lookup(id).ok_or_else(|| {
+        ApiError::not_found(format!(
+            "no retained trace {id} (the ring keeps the last {} traces, plus slow ones)",
+            Obs::TRACE_RING
+        ))
+    })?;
+    Ok(Response::ok(vec![finished_trace_json(&trace).encode()]))
+}
+
+fn handle_debug_slow(shared: &Shared) -> Result<Response, ApiError> {
+    let threshold = shared.obs.traces.slow_threshold_ns();
+    let traces: Vec<Json> = shared
+        .obs
+        .traces
+        .slow()
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("trace", Json::from(t.id.to_string())),
+                ("route", Json::from(t.route)),
+                ("status", Json::from(t.status as usize)),
+                ("total_ns", Json::from(t.total_ns as usize)),
+                ("spans", Json::from(t.spans.len())),
+            ])
+        })
+        .collect();
+    let body = Json::obj([
+        (
+            "slow_threshold_ms",
+            if threshold == u64::MAX {
+                Json::Null
+            } else {
+                Json::from((threshold / 1_000_000) as usize)
+            },
+        ),
+        ("traces", Json::Arr(traces)),
+    ]);
+    Ok(Response::ok(vec![body.encode()]))
 }
 
 fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {
@@ -731,7 +1099,12 @@ fn handle_list_models(shared: &Shared) -> Result<Response, ApiError> {
     Ok(Response::ok(vec![body.encode()]))
 }
 
-fn handle_fit(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+fn handle_fit(
+    shared: &Shared,
+    name: &str,
+    request: &Request,
+    ctx: &SpanCtx,
+) -> Result<Response, ApiError> {
     validate_name(name)?;
     let config = config_from_query(request)?;
     // The posted CSV goes through the *same* parser as the file reader, so a
@@ -743,7 +1116,9 @@ fn handle_fit(shared: &Shared, name: &str, request: &Request) -> Result<Response
     // The info describes the model *this* request fitted (no registry
     // re-lookup a concurrent re-fit of the same name could race), and its
     // checksum was computed once at registration.
-    let (_model, info) = shared.engine.fit_model_with_info(name, &series, &config)?;
+    let (_model, info) = shared
+        .engine
+        .fit_model_traced(name, &series, &config, Some(ctx))?;
     shared.metrics.record_fit();
     let mut body = model_info_json(&info);
     if let Json::Obj(pairs) = &mut body {
@@ -814,7 +1189,12 @@ fn parse_series_line(line: &str) -> Result<Vec<f64>, String> {
     Ok(values)
 }
 
-fn handle_score(shared: &Shared, name: &str, request: &Request) -> Result<Response, ApiError> {
+fn handle_score(
+    shared: &Shared,
+    name: &str,
+    request: &Request,
+    ctx: &SpanCtx,
+) -> Result<Response, ApiError> {
     let query_length = required_query_usize(request, "query_length")?;
     let text = request.body_text()?;
     let mut series = Vec::new();
@@ -844,7 +1224,9 @@ fn handle_score(shared: &Shared, name: &str, request: &Request) -> Result<Respon
 
     // One line per input series, submission-ordered by the worker pool.
     let n_series = series.len() as u64;
-    let results = shared.engine.score_many(name, series, query_length)?;
+    let results = shared
+        .engine
+        .score_many_traced(name, series, query_length, Some(ctx))?;
     shared.metrics.record_scores(n_series);
     let lines = results
         .into_iter()
@@ -954,10 +1336,18 @@ fn handle_open_session(shared: &Shared, request: &Request) -> Result<Response, A
     Ok(Response::ok(vec![body.encode()]))
 }
 
-fn handle_push_session(shared: &Shared, id: &str, request: &Request) -> Result<Response, ApiError> {
+fn handle_push_session(
+    shared: &Shared,
+    id: &str,
+    request: &Request,
+    ctx: &SpanCtx,
+) -> Result<Response, ApiError> {
     shared.sessions.touch(&shared.engine, id)?;
     let series = ts_io::parse_series(request.body_text()?)?;
-    let (emitted, status) = shared.engine.push_stream_detailed(id, series.values())?;
+    let (emitted, status) =
+        shared
+            .engine
+            .push_stream_detailed_traced(id, series.values(), Some(ctx))?;
     let pairs: Vec<Json> = emitted
         .iter()
         .map(|&(start, normality)| Json::Arr(vec![Json::from(start), Json::from(normality)]))

@@ -25,13 +25,15 @@ use std::fs::{self, File};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 use s2g_core::{AdaptationLineage, Series2Graph};
 use s2g_engine::codec::{self, SectionIndex, SectionKind};
 use s2g_engine::error::{Error, Result};
 use s2g_engine::storage::{ModelStorage, StoredModelMeta};
 use s2g_engine::validate_model_name;
+use s2g_obs::Obs;
 
 use crate::manifest::{self, MANIFEST_FILE};
 
@@ -104,6 +106,13 @@ pub struct ModelStore {
     dir: PathBuf,
     budget: u64,
     inner: Mutex<Inner>,
+    /// Cumulative residency evictions (budget enforcement dropping a
+    /// model's points section); atomic so the gauge reads without the
+    /// store lock.
+    evictions: AtomicU64,
+    /// Late-bound observability hook: once attached, faults and writes
+    /// record their latency histograms. Never affects store behaviour.
+    obs: OnceLock<Arc<Obs>>,
 }
 
 /// Outcome of [`ModelStore::verify`].
@@ -215,6 +224,8 @@ impl ModelStore {
                 resident_bytes: 0,
                 unreadable,
             }),
+            evictions: AtomicU64::new(0),
+            obs: OnceLock::new(),
         };
         // Re-seal the manifest so the next open trusts every line — but
         // only when reconciliation actually changed something, and only
@@ -241,6 +252,19 @@ impl ModelStore {
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attaches the observability registry: from here on, faults record
+    /// `store_fault` latency and writes `store_write` latency. Idempotent
+    /// (the first attach wins); never changes store behaviour.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// Cumulative count of residency evictions performed by budget
+    /// enforcement.
+    pub fn residency_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     fn model_path(&self, name: &str) -> PathBuf {
@@ -291,6 +315,7 @@ impl ModelStore {
     /// failure).
     pub fn put(&self, name: &str, model: &Arc<Series2Graph>) -> Result<StoredModelMeta> {
         validate_model_name(name)?;
+        let write_started = Instant::now();
         let bytes = codec::encode_model(model);
         let index = codec::parse_section_index(&bytes)?;
         let points = *index.require(SectionKind::Points)?;
@@ -308,6 +333,12 @@ impl ModelStore {
         };
         let eager = Arc::new(slice_eager(&bytes, index)?);
         self.atomic_write(&format!("{name}.{MODEL_EXT}"), &bytes)?;
+        // Write latency covers encode + the crash-safe file write; the
+        // manifest rewrite below is shared bookkeeping, not this model's
+        // payload cost.
+        if let Some(obs) = self.obs.get() {
+            obs.store_write.record_duration(write_started.elapsed());
+        }
 
         let mut inner = self.lock();
         inner.clock += 1;
@@ -368,8 +399,12 @@ impl ModelStore {
             (entry.meta.clone(), entry.eager.clone())
         };
 
+        let fault_started = Instant::now();
         match fault_model(&path, &meta, eager) {
             Ok((model, eager)) => {
+                if let Some(obs) = self.obs.get() {
+                    obs.store_fault.record_duration(fault_started.elapsed());
+                }
                 let mut inner = self.lock();
                 // Re-stamp recency at fault *completion*: the stamp taken
                 // when the fault began predates every get that ran while
@@ -413,6 +448,9 @@ impl ModelStore {
                 let bytes = fs::read(&path)?;
                 let model = Arc::new(codec::decode_model(&bytes)?);
                 let trailer = codec::checksum_trailer(&bytes);
+                if let Some(obs) = self.obs.get() {
+                    obs.store_fault.record_duration(fault_started.elapsed());
+                }
                 let mut inner = self.lock();
                 inner.clock += 1;
                 let stamp = inner.clock;
@@ -448,6 +486,7 @@ impl ModelStore {
             let entry = inner.entries.get_mut(&victim).expect("victim exists");
             entry.resident = None;
             inner.resident_bytes -= entry.meta.points_bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -679,6 +718,10 @@ impl ModelStorage for ModelStore {
 
     fn resident_bytes(&self) -> u64 {
         ModelStore::resident_bytes(self)
+    }
+
+    fn residency_evictions(&self) -> u64 {
+        ModelStore::residency_evictions(self)
     }
 }
 

@@ -14,6 +14,7 @@
 //! | [`engine`] | `s2g-engine` | concurrent multi-series serving: model registry, persistence, sharded worker pool |
 //! | [`store`] | `s2g-store` | durable model store: crash-safe directory, manifest, lazy section residency |
 //! | [`server`] | `s2g-server` | TCP/HTTP front-end over the engine, protocol client, `s2g` CLI |
+//! | [`obs`] | `s2g-obs` | observability: lock-free latency histograms, request tracing, leveled logging |
 //! | [`timeseries`] | `s2g-timeseries` | series container, distances, windows, filters, CSV I/O |
 //! | [`linalg`] | `s2g-linalg` | PCA, randomized SVD, rotations, KDE |
 //! | [`graph`] | `s2g-graph` | weighted digraph, θ-Normality subgraphs |
@@ -112,6 +113,10 @@ pub use s2g_store as store;
 /// TCP/HTTP serving front-end over the engine (re-export of `s2g-server`).
 pub use s2g_server as server;
 
+/// Latency histograms, request tracing and leveled logging (re-export of
+/// `s2g-obs`). See `docs/OBSERVABILITY.md` for the serving-stack wiring.
+pub use s2g_obs as obs;
+
 /// Time-series substrate (re-export of `s2g-timeseries`).
 pub use s2g_timeseries as timeseries;
 
@@ -137,6 +142,7 @@ pub mod prelude {
     pub use s2g_datasets::{AnomalyKind, AnomalyRange, Dataset, LabeledSeries};
     pub use s2g_engine::{Engine, EngineConfig, ModelRegistry};
     pub use s2g_eval::topk::{top_k_accuracy, GroundTruth};
+    pub use s2g_obs::{Histogram, Obs, TraceId};
     pub use s2g_store::{ModelStore, StoreConfig};
     pub use s2g_timeseries::TimeSeries;
 }
