@@ -37,7 +37,7 @@ impl Default for GrammarVizParams {
 
 /// Symbol of the working sequence during grammar induction: either an
 /// original SAX word (terminal) or an induced rule id (non-terminal).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum Symbol {
     Terminal(u32),
     Rule(u32),
@@ -108,7 +108,16 @@ pub fn grammarviz_anomaly_scores(
         for pair in sequence.windows(2) {
             *counts.entry((pair[0], pair[1])).or_insert(0) += 1;
         }
-        let Some((&best_digram, &best_count)) = counts.iter().max_by_key(|(_, &c)| c) else {
+        // Tie-break equal counts on the smallest digram: `max_by_key` over a
+        // HashMap alone would pick by iteration order, which is seeded per
+        // process and would make the whole profile non-deterministic.
+        // Preferring the smallest digram favours terminal pairs over induced
+        // rules, so induction keeps spreading coverage instead of deepening
+        // one hierarchy.
+        let Some((&best_digram, &best_count)) = counts
+            .iter()
+            .max_by_key(|(&digram, &c)| (c, std::cmp::Reverse(digram)))
+        else {
             break;
         };
         if best_count < 2 {
@@ -154,9 +163,15 @@ pub fn grammarviz_anomaly_scores(
     }
 
     // 5. Anomaly score: low coverage = anomalous. Rescale to max - coverage so
-    //    the convention (higher = more anomalous) matches the other detectors.
+    //    the convention (higher = more anomalous) matches the other detectors,
+    //    then aggregate over the window span: GrammarViz ranks discords by the
+    //    rule *density* across a candidate subsequence, not by the single word
+    //    at its start. The aggregation also keeps an isolated flickering SAX
+    //    word (uncovered for a handful of offsets) from tying with a genuine
+    //    discord, which stays uncovered across its whole span.
     let max_cover = coverage.iter().cloned().fold(0.0, f64::max);
-    Ok(coverage.into_iter().map(|c| max_cover - c).collect())
+    let inverted: Vec<f64> = coverage.into_iter().map(|c| max_cover - c).collect();
+    Ok(crate::sax::windowed_mean(&inverted, window))
 }
 
 #[cfg(test)]

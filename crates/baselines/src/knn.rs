@@ -1,0 +1,191 @@
+//! k-nearest-neighbour distance detector (Ramaswamy et al., SIGMOD 2000)
+//! applied to subsequences.
+//!
+//! Each subsequence of length `ℓ` is z-normalised and summarised by a PAA
+//! vector (the same embedding as [`crate::lof`]); its anomaly score is the
+//! *mean distance to its k nearest neighbours* among the candidate vectors.
+//! Unlike LOF the score is a raw distance, not a density ratio — the classic
+//! "distance-based outlier" definition. Candidates are stride-sampled
+//! (default `ℓ/4`) and every position inherits the score of the candidate it
+//! overlaps most, exactly as in the LOF adaptation.
+
+use s2g_timeseries::{normalize, TimeSeries};
+
+use crate::error::{Error, Result};
+use crate::sax::paa;
+
+/// Parameters of the kNN-distance detector.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnParams {
+    /// Number of neighbours averaged into the score.
+    pub k: usize,
+    /// Stride between candidate subsequences (`ℓ/4` when `None`).
+    pub stride: Option<usize>,
+    /// Dimensionality of the PAA summary of each subsequence.
+    pub paa_segments: usize,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            stride: None,
+            paa_segments: 12,
+        }
+    }
+}
+
+/// Computes kNN-distance anomaly scores for every subsequence of length
+/// `window`. Returns one score per start offset (higher = more anomalous).
+///
+/// # Errors
+/// * [`Error::InvalidParameter`] for degenerate windows or `k == 0`.
+/// * [`Error::SeriesTooShort`] when fewer than `k + 2` candidates exist.
+pub fn knn_anomaly_scores(
+    series: &TimeSeries,
+    window: usize,
+    params: KnnParams,
+) -> Result<Vec<f64>> {
+    if window < 4 {
+        return Err(Error::InvalidParameter {
+            name: "window",
+            message: format!("must be at least 4, got {window}"),
+        });
+    }
+    if params.k == 0 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            message: "must be at least 1".into(),
+        });
+    }
+    let n = series.len();
+    if n < window {
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: window,
+        });
+    }
+    let stride = params.stride.unwrap_or((window / 4).max(1)).max(1);
+    let n_sub = n - window + 1;
+
+    // Candidate subsequences: z-normalised PAA vectors (shared embedding with
+    // the LOF detector so the two baselines differ only in their scoring).
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut pos = 0usize;
+    while pos < n_sub {
+        let win = &series.values()[pos..pos + window];
+        let z = normalize::znormalize(win);
+        features.push(paa(&z, params.paa_segments));
+        pos += stride;
+    }
+    let m = features.len();
+    if m < params.k + 2 {
+        return Err(Error::SeriesTooShort {
+            series_len: n,
+            required: (params.k + 2) * stride + window,
+        });
+    }
+    let k = params.k.min(m - 1);
+
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    // Score of a candidate: mean distance to its k nearest neighbours.
+    let mut knn_score = vec![0.0; m];
+    for (i, score) in knn_score.iter_mut().enumerate() {
+        let mut distances: Vec<f64> = (0..m)
+            .filter(|&j| j != i)
+            .map(|j| dist(&features[i], &features[j]))
+            .collect();
+        distances.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        *score = distances[..k].iter().sum::<f64>() / k as f64;
+    }
+
+    // Expand candidate scores back to one score per subsequence start.
+    let mut out = vec![0.0; n_sub];
+    for (i, o) in out.iter_mut().enumerate() {
+        let candidate = ((i + stride / 2) / stride).min(m - 1);
+        *o = knn_score[candidate];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_with_anomaly(n: usize, at: usize, len: usize) -> TimeSeries {
+        let mut values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        for (i, v) in values
+            .iter_mut()
+            .enumerate()
+            .take((at + len).min(n))
+            .skip(at)
+        {
+            *v = 1.2 * (std::f64::consts::TAU * i as f64 / 11.0).sin();
+        }
+        TimeSeries::from(values)
+    }
+
+    #[test]
+    fn output_length_matches_subsequence_count() {
+        let series = sine_with_anomaly(1500, 700, 60);
+        let scores = knn_anomaly_scores(&series, 60, KnnParams::default()).unwrap();
+        assert_eq!(scores.len(), 1500 - 60 + 1);
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn anomalous_region_scores_higher() {
+        let series = sine_with_anomaly(2000, 1000, 80);
+        let scores = knn_anomaly_scores(&series, 80, KnnParams::default()).unwrap();
+        let anomaly_peak = scores[950..1080]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let normal_peak = scores[100..500]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            anomaly_peak > normal_peak,
+            "anomaly kNN distance {anomaly_peak} should exceed normal {normal_peak}"
+        );
+    }
+
+    #[test]
+    fn uniform_periodic_series_scores_near_zero() {
+        let series = TimeSeries::from(
+            (0..1200)
+                .map(|i| (std::f64::consts::TAU * i as f64 / 60.0).sin())
+                .collect::<Vec<_>>(),
+        );
+        let scores = knn_anomaly_scores(&series, 60, KnnParams::default()).unwrap();
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean < 0.5, "mean kNN distance on uniform data = {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let series = sine_with_anomaly(400, 200, 20);
+        assert!(knn_anomaly_scores(&series, 2, KnnParams::default()).is_err());
+        assert!(knn_anomaly_scores(
+            &series,
+            40,
+            KnnParams {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let tiny = TimeSeries::from(vec![1.0, 2.0, 3.0]);
+        assert!(knn_anomaly_scores(&tiny, 40, KnnParams::default()).is_err());
+    }
+}

@@ -8,8 +8,11 @@
 //! * [`discord`] — Top-k 1st discords and **m-th discords** (the definition
 //!   used by the Disk-Aware Discord Discovery algorithm, DAD).
 //! * [`lof`] — **Local Outlier Factor** over embedded subsequence vectors.
+//! * [`knn`] — **kNN distance** (distance-based outliers) over the same
+//!   embedding.
 //! * [`iforest`] — **Isolation Forest** over subsequence summaries.
-//! * [`sax`] + [`grammar`] — SAX discretisation and a grammar-induction
+//! * [`sax`] + [`grammar`] — SAX discretisation (plus a **word-rarity**
+//!   detector in the TARZAN lineage) and a grammar-induction
 //!   (Sequitur/Re-Pair style) rule-density discord detector in the spirit of
 //!   **GrammarViz**.
 //! * [`forecast`] — an autoregressive neural forecaster standing in for
@@ -28,6 +31,7 @@ pub mod error;
 pub mod forecast;
 pub mod grammar;
 pub mod iforest;
+pub mod knn;
 pub mod lof;
 pub mod matrix_profile;
 pub mod sax;

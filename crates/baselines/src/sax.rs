@@ -8,7 +8,9 @@
 //! the input representation of the GrammarViz-style detector in
 //! [`crate::grammar`].
 
-use s2g_timeseries::normalize;
+use s2g_timeseries::{normalize, TimeSeries};
+
+use crate::error::{Error, Result};
 
 /// Piecewise Aggregate Approximation: mean of `segments` equal-width chunks.
 /// When the input is shorter than `segments`, the input itself is returned.
@@ -108,6 +110,106 @@ pub fn sax_transform(values: &[f64], window: usize, segments: usize, alphabet: u
     }
 }
 
+/// Parameters of the SAX word-rarity detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SaxRarityParams {
+    /// Number of PAA segments per SAX word.
+    pub segments: usize,
+    /// SAX alphabet size.
+    pub alphabet: usize,
+}
+
+impl Default for SaxRarityParams {
+    fn default() -> Self {
+        Self {
+            segments: 6,
+            alphabet: 4,
+        }
+    }
+}
+
+/// SAX word-rarity anomaly scores (TARZAN / HOT SAX lineage): every
+/// subsequence is scored by the rarity of the SAX words it spans, so
+/// subsequences whose symbolic shape is rare in the series score high.
+///
+/// Word frequencies are counted over the numerosity-reduced positions only
+/// (runs of identical consecutive words count once), the classical guard
+/// against slow-moving regions inflating their own word count. The raw
+/// rarity of one start offset is `1 / count(word)` over that reduced census;
+/// the reported score is the *mean* raw rarity over the `window` starts
+/// beginning at the offset — TARZAN's surprise-aggregation step. Without it
+/// a single flickering word (one segment mean hovering on a breakpoint) ties
+/// with a genuine discord; a discord stays rare across its whole span, a
+/// flicker is rare for a handful of offsets and gets averaged away.
+/// Returns one score per start offset (higher = more anomalous).
+///
+/// # Errors
+/// * [`Error::InvalidParameter`] for degenerate windows, `segments == 0` or
+///   an alphabet smaller than 2.
+/// * [`Error::SeriesTooShort`] when the series is shorter than `window`.
+pub fn sax_rarity_scores(
+    series: &TimeSeries,
+    window: usize,
+    params: SaxRarityParams,
+) -> Result<Vec<f64>> {
+    if window < 4 {
+        return Err(Error::InvalidParameter {
+            name: "window",
+            message: format!("must be at least 4, got {window}"),
+        });
+    }
+    if params.segments == 0 {
+        return Err(Error::InvalidParameter {
+            name: "segments",
+            message: "must be at least 1".into(),
+        });
+    }
+    if params.alphabet < 2 {
+        return Err(Error::InvalidParameter {
+            name: "alphabet",
+            message: format!("must be at least 2, got {}", params.alphabet),
+        });
+    }
+    if series.len() < window {
+        return Err(Error::SeriesTooShort {
+            series_len: series.len(),
+            required: window,
+        });
+    }
+    let sax = sax_transform(series.values(), window, params.segments, params.alphabet);
+    let mut counts: std::collections::HashMap<&SaxWord, usize> = std::collections::HashMap::new();
+    for &pos in &sax.reduced_positions {
+        *counts.entry(&sax.words[pos]).or_insert(0) += 1;
+    }
+    let raw: Vec<f64> = sax
+        .words
+        .iter()
+        .map(|w| 1.0 / counts.get(w).copied().unwrap_or(1) as f64)
+        .collect();
+    Ok(windowed_mean(&raw, window))
+}
+
+/// Forward box mean: element `i` becomes the mean of `raw[i..i+width]`
+/// (clamped at the end). Used by the symbolic detectors to aggregate
+/// per-word scores over a whole subsequence, so an isolated rare word
+/// cannot outrank a genuinely anomalous span.
+pub(crate) fn windowed_mean(raw: &[f64], width: usize) -> Vec<f64> {
+    let width = width.max(1);
+    let mut prefix = Vec::with_capacity(raw.len() + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0;
+    for &v in raw {
+        acc += v;
+        prefix.push(acc);
+    }
+    (0..raw.len())
+        .map(|i| {
+            let end = (i + width).min(raw.len());
+            (prefix[end] - prefix[i]) / (end - i) as f64
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +269,55 @@ mod tests {
         assert_eq!(sax.reduced_positions[0], 0);
         // Reduced positions are strictly increasing.
         assert!(sax.reduced_positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rarity_scores_flag_a_planted_burst() {
+        let mut values: Vec<f64> = (0..1500)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+            .collect();
+        for (i, v) in values.iter_mut().enumerate().take(800).skip(700) {
+            *v = 1.2 * (std::f64::consts::TAU * i as f64 / 9.0).sin();
+        }
+        let series = TimeSeries::from(values);
+        let scores = sax_rarity_scores(&series, 50, SaxRarityParams::default()).unwrap();
+        assert_eq!(scores.len(), 1500 - 50 + 1);
+        // Compare region *means*, not peaks: floating-point flicker near a
+        // SAX breakpoint can hand an isolated normal window a singleton word
+        // (score 1.0), but the burst region is rare word after rare word.
+        let mean = |r: &[f64]| r.iter().sum::<f64>() / r.len() as f64;
+        let anomaly_mean = mean(&scores[700..751]);
+        let normal_mean = mean(&scores[100..500]);
+        assert!(
+            anomaly_mean > 4.0 * normal_mean,
+            "burst rarity {anomaly_mean} should dwarf normal rarity {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn rarity_rejects_bad_parameters() {
+        let series = TimeSeries::from((0..100).map(|i| i as f64).collect::<Vec<_>>());
+        assert!(sax_rarity_scores(&series, 2, SaxRarityParams::default()).is_err());
+        assert!(sax_rarity_scores(
+            &series,
+            20,
+            SaxRarityParams {
+                segments: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(sax_rarity_scores(
+            &series,
+            20,
+            SaxRarityParams {
+                alphabet: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let tiny = TimeSeries::from(vec![1.0, 2.0]);
+        assert!(sax_rarity_scores(&tiny, 20, SaxRarityParams::default()).is_err());
     }
 
     #[test]

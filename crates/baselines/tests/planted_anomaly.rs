@@ -1,0 +1,116 @@
+//! Smoke tests: every baseline detector must rank a trivially planted
+//! anomaly among its top candidates.
+//!
+//! The series is a pure period-50 sinusoid with one 100-point high-frequency
+//! burst planted at offset 1200. Any subsequence detector worth benchmarking
+//! must put that burst in its top-3 non-overlapping candidates — these tests
+//! are the floor under the scenario gauntlet (`s2g-eval`), guarding against a
+//! baseline silently degenerating into noise and making S2G's shoot-out wins
+//! meaningless.
+
+use s2g_baselines::discord::dad_anomaly_scores;
+use s2g_baselines::forecast::{forecast_anomaly_scores, ForecastParams};
+use s2g_baselines::grammar::{grammarviz_anomaly_scores, GrammarVizParams};
+use s2g_baselines::iforest::{iforest_anomaly_scores, IsolationForestParams};
+use s2g_baselines::knn::{knn_anomaly_scores, KnnParams};
+use s2g_baselines::lof::{lof_anomaly_scores, LofParams};
+use s2g_baselines::matrix_profile::stomp_anomaly_scores;
+use s2g_baselines::sax::{sax_rarity_scores, SaxRarityParams};
+use s2g_timeseries::{window, TimeSeries};
+
+const N: usize = 3000;
+const ANOMALY_START: usize = 1200;
+const ANOMALY_LEN: usize = 100;
+const WINDOW: usize = 100;
+
+/// Pure period-50 sine with a high-frequency burst at `ANOMALY_START`.
+fn planted_series() -> TimeSeries {
+    let mut values: Vec<f64> = (0..N)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 50.0).sin())
+        .collect();
+    for (i, v) in values
+        .iter_mut()
+        .enumerate()
+        .take(ANOMALY_START + ANOMALY_LEN)
+        .skip(ANOMALY_START)
+    {
+        *v = 1.2 * (std::f64::consts::TAU * i as f64 / 13.0).sin();
+    }
+    TimeSeries::from(values)
+}
+
+/// Asserts that one of the top-3 non-overlapping candidates overlaps the
+/// planted anomaly.
+fn assert_top3_hits(scores: &[f64], detector: &str) {
+    assert_eq!(scores.len(), N - WINDOW + 1, "{detector}: score length");
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "{detector}: non-finite scores"
+    );
+    let top = window::top_k_non_overlapping(scores, 3, WINDOW);
+    let hit = top
+        .iter()
+        .any(|&s| s + WINDOW > ANOMALY_START && s < ANOMALY_START + ANOMALY_LEN);
+    assert!(
+        hit,
+        "{detector}: top-3 candidates {top:?} miss the anomaly at \
+         [{ANOMALY_START}, {})",
+        ANOMALY_START + ANOMALY_LEN
+    );
+}
+
+#[test]
+fn stomp_ranks_planted_anomaly() {
+    let scores = stomp_anomaly_scores(&planted_series(), WINDOW).unwrap();
+    assert_top3_hits(&scores, "STOMP");
+}
+
+#[test]
+fn dad_ranks_planted_anomaly() {
+    let scores = dad_anomaly_scores(&planted_series(), WINDOW, 3).unwrap();
+    assert_top3_hits(&scores, "DAD");
+}
+
+#[test]
+fn grammarviz_ranks_planted_anomaly() {
+    let scores =
+        grammarviz_anomaly_scores(&planted_series(), WINDOW, GrammarVizParams::default()).unwrap();
+    assert_top3_hits(&scores, "GrammarViz");
+}
+
+#[test]
+fn lof_ranks_planted_anomaly() {
+    let scores = lof_anomaly_scores(&planted_series(), WINDOW, LofParams::default()).unwrap();
+    assert_top3_hits(&scores, "LOF");
+}
+
+#[test]
+fn knn_ranks_planted_anomaly() {
+    let scores = knn_anomaly_scores(&planted_series(), WINDOW, KnnParams::default()).unwrap();
+    assert_top3_hits(&scores, "kNN");
+}
+
+#[test]
+fn iforest_ranks_planted_anomaly() {
+    let scores =
+        iforest_anomaly_scores(&planted_series(), WINDOW, IsolationForestParams::default())
+            .unwrap();
+    assert_top3_hits(&scores, "IsolationForest");
+}
+
+#[test]
+fn forecast_ranks_planted_anomaly() {
+    // Train on the clean 40% prefix so the burst sits in the scored region.
+    let params = ForecastParams {
+        train_fraction: 0.4,
+        ..Default::default()
+    };
+    let scores = forecast_anomaly_scores(&planted_series(), WINDOW, params).unwrap();
+    assert_top3_hits(&scores, "Forecast");
+}
+
+#[test]
+fn sax_rarity_ranks_planted_anomaly() {
+    let scores = sax_rarity_scores(&planted_series(), WINDOW, SaxRarityParams::default()).unwrap();
+    assert_top3_hits(&scores, "SAX-rarity");
+}

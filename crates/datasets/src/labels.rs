@@ -105,13 +105,19 @@ impl LabeledSeries {
 
     /// Returns a copy with the series truncated to its first `len` points and
     /// labels clipped accordingly (used for prefix-training experiments).
+    ///
+    /// An anomaly straddling the cut is **clipped** to the retained prefix,
+    /// not dropped: its anomalous points are still present in the truncated
+    /// series, and silently unlabelling them would let an evaluation count
+    /// detections there as false positives (and a prefix-trained model
+    /// believe its training data was cleaner than it is).
     pub fn truncated(&self, len: usize) -> LabeledSeries {
         let series = self.series.prefix(len);
         let anomalies = self
             .anomalies
             .iter()
-            .copied()
-            .filter(|a| a.end() <= series.len())
+            .filter(|a| a.start < series.len())
+            .map(|a| AnomalyRange::new(a.start, a.length.min(series.len() - a.start), a.kind))
             .collect();
         LabeledSeries {
             series,
@@ -177,5 +183,24 @@ mod tests {
         assert_eq!(cut.len(), 500);
         assert_eq!(cut.anomaly_count(), 1);
         assert_eq!(cut.anomalies[0].start, 100);
+    }
+
+    #[test]
+    fn truncation_keeps_clipped_tail_of_straddling_anomaly() {
+        // An anomaly cut in half leaves anomalous points inside the prefix;
+        // they must stay labelled (clipped), not silently become "normal".
+        let ts = TimeSeries::zeros(1000);
+        let ls = LabeledSeries::new(
+            "toy",
+            ts,
+            vec![AnomalyRange::new(450, 100, AnomalyKind::Shape)],
+        );
+        let cut = ls.truncated(500);
+        assert_eq!(cut.anomaly_count(), 1);
+        assert_eq!(cut.anomalies[0].start, 450);
+        assert_eq!(cut.anomalies[0].length, 50);
+        assert_eq!(cut.anomalies[0].end(), 500);
+        // An anomaly entirely beyond the cut disappears.
+        assert_eq!(ls.truncated(400).anomaly_count(), 0);
     }
 }

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod drift;
 pub mod keogh;
 pub mod labels;
 pub mod mba;

@@ -1,0 +1,318 @@
+//! Golden-label regression tests: every generator, at a pinned seed, must
+//! reproduce an exact FNV-1a checksum of its series bytes and exact label
+//! intervals — forever. The accuracy trajectory in `BENCH_ACCURACY.json`
+//! compares numbers across revisions; these goldens are what makes that
+//! comparison meaningful (a silently drifting generator would invalidate
+//! every line ever committed).
+//!
+//! Also home of the **twin audits**: with every noise knob at zero, a
+//! generator's RNG draws background material *before* anomaly placement, so
+//! a zero-anomaly twin produces bit-identical values outside the labelled
+//! ranges. Any label off-by-one shows up as a modified point outside a
+//! label — the boundary-alignment check `examples/quickstart_data.rs` never
+//! performed.
+//!
+//! Regenerate the golden constants with:
+//! `cargo test -p s2g-datasets --test golden_labels print_goldens -- --ignored --nocapture`
+
+use s2g_datasets::catalog::Dataset;
+use s2g_datasets::drift::{generate_drift, DriftConfig};
+use s2g_datasets::keogh::DiscordDataset;
+use s2g_datasets::mba::MbaRecord;
+use s2g_datasets::periodic::{self, AnomalySpec, PeriodicConfig};
+use s2g_datasets::srw::{generate_srw, SrwConfig};
+use s2g_datasets::{AnomalyKind, LabeledSeries};
+
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_LENGTH: usize = 8_000;
+
+/// FNV-1a (64-bit) over the little-endian bytes of the series values.
+fn fnv1a(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn intervals(ls: &LabeledSeries) -> Vec<(usize, usize)> {
+    ls.anomalies.iter().map(|a| (a.start, a.length)).collect()
+}
+
+fn srw_golden() -> LabeledSeries {
+    generate_srw(SrwConfig {
+        length: GOLDEN_LENGTH,
+        num_anomalies: 5,
+        noise_ratio: 0.05,
+        anomaly_length: 200,
+        seed: GOLDEN_SEED,
+    })
+}
+
+fn periodic_golden() -> LabeledSeries {
+    periodic::generate(PeriodicConfig {
+        name: "periodic-golden".into(),
+        length: GOLDEN_LENGTH,
+        period: 100,
+        template: periodic::harmonic_template(vec![1.0, 0.3], vec![0.0, 0.5]),
+        amplitude_jitter: 0.02,
+        noise_ratio: 0.02,
+        trend_step_std: 0.005,
+        anomalies: vec![AnomalySpec {
+            count: 4,
+            length: 150,
+            kind: AnomalyKind::Shape,
+            shape: Box::new(|p| 2.0 * (std::f64::consts::TAU * 3.0 * p).sin()),
+            blend: 1.0,
+        }],
+        seed: GOLDEN_SEED,
+    })
+}
+
+fn drift_golden() -> LabeledSeries {
+    generate_drift(DriftConfig {
+        seed: GOLDEN_SEED,
+        ..DriftConfig::default()
+    })
+}
+
+/// The committed goldens: (generator, series checksum, label intervals).
+/// A mismatch means the generator changed behaviour — if that is
+/// intentional, regenerate (see module docs), bump these constants in the
+/// same commit, and call out in the PR that earlier `BENCH_ACCURACY.json`
+/// lines predate the change.
+struct Golden {
+    name: &'static str,
+    checksum: u64,
+    intervals: &'static [(usize, usize)],
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        name: "sed",
+        checksum: 0xd7ab_f2b5_c33c_eb78,
+        intervals: &[(876, 75), (3564, 75), (4335, 75), (5897, 75)],
+    },
+    Golden {
+        name: "mba",
+        checksum: 0x7981_7b4e_fe69_23fe,
+        intervals: &[(2258, 75), (2471, 75), (3836, 75), (4018, 75), (4190, 75)],
+    },
+    Golden {
+        name: "keogh",
+        checksum: 0x90b2_7f75_8e42_b740,
+        intervals: &[(2879, 1000)],
+    },
+    Golden {
+        name: "srw",
+        checksum: 0x073e_817e_d2b2_07c4,
+        intervals: &[
+            (590, 200),
+            (2859, 200),
+            (5257, 200),
+            (5753, 200),
+            (6924, 200),
+        ],
+    },
+    Golden {
+        name: "periodic",
+        checksum: 0xba40_13d7_0334_07f6,
+        intervals: &[(1223, 150), (2146, 150), (5459, 150), (6678, 150)],
+    },
+    Golden {
+        name: "drift",
+        checksum: 0xe13d_f35c_b908_1351,
+        intervals: &[
+            (1818, 100),
+            (2416, 100),
+            (2706, 100),
+            (4231, 100),
+            (5388, 100),
+            (7175, 100),
+            (10416, 100),
+            (11433, 100),
+        ],
+    },
+];
+
+fn generate(name: &str) -> LabeledSeries {
+    match name {
+        "sed" => Dataset::Sed.generate_with_length(GOLDEN_LENGTH, GOLDEN_SEED),
+        "mba" => Dataset::Mba(MbaRecord::R803).generate_with_length(GOLDEN_LENGTH, GOLDEN_SEED),
+        "keogh" => Dataset::Discord(DiscordDataset::MarottaValve)
+            .generate_with_length(GOLDEN_LENGTH, GOLDEN_SEED),
+        "srw" => srw_golden(),
+        "periodic" => periodic_golden(),
+        "drift" => drift_golden(),
+        other => panic!("unknown generator {other}"),
+    }
+}
+
+#[test]
+fn generators_match_committed_goldens() {
+    for golden in GOLDENS {
+        let ls = generate(golden.name);
+        assert_eq!(
+            fnv1a(ls.series.values()),
+            golden.checksum,
+            "{}: series bytes drifted from the committed golden",
+            golden.name
+        );
+        assert_eq!(
+            intervals(&ls),
+            golden.intervals,
+            "{}: label intervals drifted from the committed golden",
+            golden.name
+        );
+    }
+}
+
+#[test]
+fn goldens_are_stable_across_repeated_generation() {
+    for golden in GOLDENS {
+        let a = generate(golden.name);
+        let b = generate(golden.name);
+        assert_eq!(a.series, b.series, "{}", golden.name);
+        assert_eq!(a.anomalies, b.anomalies, "{}", golden.name);
+    }
+}
+
+/// Prints current golden values (run ignored, with --nocapture) so the
+/// constants above can be regenerated after an intentional generator change.
+#[test]
+#[ignore]
+fn print_goldens() {
+    for golden in GOLDENS {
+        let ls = generate(golden.name);
+        println!(
+            "Golden {{ name: \"{}\", checksum: 0x{:016x}, intervals: &{:?} }},",
+            golden.name,
+            fnv1a(ls.series.values()),
+            intervals(&ls)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Twin audits: labels cover exactly the modified points.
+// ---------------------------------------------------------------------------
+
+/// Asserts that `with` differs from its zero-anomaly `twin` *only* inside
+/// the labelled ranges, and that every labelled range actually contains
+/// modified points near both of its edges (so the label is neither shifted
+/// nor padded).
+fn assert_labels_cover_modifications(with: &LabeledSeries, twin: &LabeledSeries, name: &str) {
+    assert_eq!(with.len(), twin.len(), "{name}: twin length");
+    assert!(with.anomaly_count() >= 1, "{name}: no anomalies to audit");
+    assert_eq!(twin.anomaly_count(), 0, "{name}: twin must be anomaly-free");
+    let v = with.series.values();
+    let w = twin.series.values();
+    for i in 0..v.len() {
+        let labelled = with.anomalies.iter().any(|a| a.contains(i));
+        if !labelled {
+            assert!(
+                v[i] == w[i],
+                "{name}: point {i} differs from the twin but is not labelled \
+                 (label boundary misaligned)"
+            );
+        }
+    }
+    for a in &with.anomalies {
+        let head_modified = (a.start..a.start + 3.min(a.length)).any(|i| v[i] != w[i]);
+        let tail_modified =
+            (a.end().saturating_sub(3.min(a.length))..a.end()).any(|i| v[i] != w[i]);
+        assert!(
+            head_modified,
+            "{name}: label [{}, {}) starts before the modified region",
+            a.start,
+            a.end()
+        );
+        assert!(
+            tail_modified,
+            "{name}: label [{}, {}) ends after the modified region",
+            a.start,
+            a.end()
+        );
+    }
+}
+
+#[test]
+fn srw_labels_exactly_cover_modified_points() {
+    let config = SrwConfig {
+        length: 20_000,
+        num_anomalies: 8,
+        noise_ratio: 0.0,
+        anomaly_length: 200,
+        seed: 11,
+    };
+    let with = generate_srw(config);
+    let twin = generate_srw(SrwConfig {
+        num_anomalies: 0,
+        ..config
+    });
+    assert_labels_cover_modifications(&with, &twin, "srw");
+}
+
+#[test]
+fn drift_labels_exactly_cover_modified_points() {
+    let config = DriftConfig {
+        seed: 11,
+        ..DriftConfig::default()
+    };
+    let with = generate_drift(config);
+    let twin = generate_drift(DriftConfig {
+        num_anomalies: 0,
+        ..config
+    });
+    assert_labels_cover_modifications(&with, &twin, "drift");
+}
+
+#[test]
+fn periodic_labels_exactly_cover_modified_points() {
+    // The periodic skeleton is what SED / MBA / Keogh all inject through, so
+    // auditing it at zero noise covers their shared placement arithmetic
+    // (their own configs add noise, which a twin audit cannot see through).
+    let make = |count: usize| {
+        periodic::generate(PeriodicConfig {
+            name: "twin".into(),
+            length: 20_000,
+            period: 100,
+            template: periodic::harmonic_template(vec![1.0], vec![0.0]),
+            amplitude_jitter: 0.02,
+            noise_ratio: 0.0,
+            trend_step_std: 0.0,
+            anomalies: vec![AnomalySpec {
+                count,
+                length: 150,
+                kind: AnomalyKind::Shape,
+                shape: Box::new(|p| 3.0 * (std::f64::consts::TAU * 4.0 * p).sin() + 10.0),
+                blend: 1.0,
+            }],
+            seed: 11,
+        })
+    };
+    assert_labels_cover_modifications(&make(8), &make(0), "periodic");
+}
+
+#[test]
+fn all_generator_labels_are_in_bounds_and_non_overlapping() {
+    for golden in GOLDENS {
+        let ls = generate(golden.name);
+        for a in &ls.anomalies {
+            assert!(a.end() <= ls.len(), "{}: label out of bounds", golden.name);
+            assert!(a.length > 0, "{}: empty label", golden.name);
+        }
+        for (i, a) in ls.anomalies.iter().enumerate() {
+            for b in ls.anomalies.iter().skip(i + 1) {
+                assert!(
+                    !a.overlaps_window(b.start, b.length),
+                    "{}: overlapping labels",
+                    golden.name
+                );
+            }
+        }
+    }
+}

@@ -12,7 +12,11 @@
 //!   adaptation summary,
 //! * `s2g bench-throughput` — synthetic multi-series throughput benchmark of
 //!   the worker pool vs. a sequential loop, with per-batch latency
-//!   percentiles and optional machine-readable `--json` output.
+//!   percentiles and optional machine-readable `--json` output,
+//! * `s2g eval` — the accuracy gauntlet: S2G (frozen and adaptive) plus all
+//!   eight baselines over the labelled scenario registry, with AUC / top-k
+//!   metrics, deterministic `--json` lines for `BENCH_ACCURACY.json`, and a
+//!   `--check` mode that fails when a win condition is violated.
 //!
 //! Argument parsing is hand-rolled (the workspace is offline; no `clap`).
 //! All functions are library-level so integration tests can drive the CLI
@@ -49,6 +53,8 @@ USAGE:
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
                          [--batches <n>] [--skew] [--json]
+    s2g eval   [--seed <n>] [--scenario <id>[,<id>...]] [--rev <tag>]
+               [--fast] [--json] [--check] [--list]
     s2g help
 
 Series files are single-column CSVs (one value per line; `#` comments and a
@@ -109,6 +115,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "score" => cmd_score(rest),
         "stream" => cmd_stream(rest),
         "bench-throughput" => cmd_bench(rest),
+        "eval" => cmd_eval(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -668,6 +675,86 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// eval
+// ---------------------------------------------------------------------------
+
+/// `s2g eval`: runs the accuracy gauntlet — S2G (frozen and adaptive) plus
+/// the eight baselines over the labelled scenario registry.
+///
+/// `--json` prints one deterministic line per detector × scenario in the
+/// `BENCH_ACCURACY.json` run-line schema (no timings, byte-identical across
+/// runs of one seed); the default output is a human table per scenario.
+/// `--check` additionally enforces the win conditions (S2G strictly tops
+/// every baseline on paper-favorable scenarios; the adaptive session beats
+/// the frozen model on drift scenarios) and fails with a runtime error
+/// listing every violation.
+fn cmd_eval(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(
+        args,
+        &["--seed", "--scenario", "--rev"],
+        &["--fast", "--json", "--check", "--list"],
+    )?;
+
+    if args.has("--list") {
+        for s in s2g_eval::scenario::registry() {
+            println!(
+                "{:<18} {}{}{}{}",
+                s.id,
+                s.description,
+                if s.paper_favorable {
+                    " [paper-favorable]"
+                } else {
+                    ""
+                },
+                if s.drift { " [drift]" } else { "" },
+                if s.fast { " [fast]" } else { "" },
+            );
+        }
+        return Ok(());
+    }
+
+    let seed = args.usize_flag("--seed", Some(42))? as u64;
+    let scenarios: Vec<String> = args
+        .get("--scenario")
+        .map(|ids| {
+            ids.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let config = s2g_eval::GauntletConfig {
+        seed,
+        fast: args.has("--fast"),
+        scenarios,
+        rev: args.get("--rev").unwrap_or("dev").to_string(),
+    };
+
+    let results = s2g_eval::run_gauntlet(&config).map_err(CliError::Usage)?;
+
+    if args.has("--json") {
+        print!("{}", s2g_eval::gauntlet::to_json_lines(&results, &config));
+    } else {
+        print!("{}", s2g_eval::gauntlet::render_table(&results));
+    }
+
+    if args.has("--check") {
+        let violations = s2g_eval::gauntlet::validate(&results);
+        if !violations.is_empty() {
+            return Err(CliError::Runtime(format!(
+                "win conditions violated:\n  {}",
+                violations.join("\n  ")
+            )));
+        }
+        if !args.has("--json") {
+            println!("win conditions: all green ✓");
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,6 +801,35 @@ mod tests {
             dispatch(&strs(&["score", "--model"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn eval_lists_scenarios_and_rejects_unknown_ids() {
+        assert!(dispatch(&strs(&["eval", "--list"])).is_ok());
+        assert!(matches!(
+            dispatch(&strs(&["eval", "--scenario", "no-such-scenario"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            dispatch(&strs(&["eval", "--seed", "forty-two"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn eval_runs_one_scenario_with_win_conditions_enforced() {
+        // One paper-favorable scenario end-to-end through the CLI layer,
+        // with --check promoting any win-condition violation to a failure.
+        dispatch(&strs(&[
+            "eval",
+            "--scenario",
+            "srw-clean",
+            "--seed",
+            "42",
+            "--json",
+            "--check",
+        ]))
+        .unwrap();
     }
 
     #[test]

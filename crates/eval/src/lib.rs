@@ -11,17 +11,30 @@
 //!   point-wise labels, useful for finer-grained comparisons and ablations.
 //! * [`table`] — small fixed-width / markdown table renderer used by the
 //!   experiment binaries to print paper-style tables.
+//! * [`detector`] — the common [`detector::Detector`] trait with adapters
+//!   for Series2Graph (frozen and adaptive) and all eight baselines.
+//! * [`scenario`] — the scenario registry: dataset generators × noise /
+//!   contamination / drift knobs, each with its win condition.
+//! * [`gauntlet`] — the runner: every detector over every scenario,
+//!   AUC-ROC / AUC-PR / top-k + wall-clock, a human table, deterministic
+//!   JSON lines for `BENCH_ACCURACY.json`, and the win-condition validator.
 //!
-//! The crate is detector-agnostic: every detector (Series2Graph and all the
-//! baselines) produces a score per subsequence start offset with the
-//! convention "higher = more anomalous", and the functions here consume those
-//! profiles together with ground-truth anomaly ranges.
+//! The metric layer is detector-agnostic: every detector produces a score
+//! per subsequence start offset with the convention "higher = more
+//! anomalous", and the functions here consume those profiles together with
+//! ground-truth anomaly ranges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detector;
+pub mod gauntlet;
 pub mod metrics;
+pub mod scenario;
 pub mod table;
 pub mod topk;
 
+pub use detector::{Detector, DetectorInput, ScoreProfile};
+pub use gauntlet::{run_gauntlet, run_scenario, GauntletConfig, ScenarioResult};
+pub use scenario::Scenario;
 pub use topk::{top_k_accuracy, top_k_hits, GroundTruth};

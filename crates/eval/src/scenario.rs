@@ -1,0 +1,217 @@
+//! The scenario registry of the gauntlet: each scenario pairs a dataset
+//! generator (with its noise / contamination / drift knobs) with ground-truth
+//! labels, an anomaly length, and its win condition.
+//!
+//! Scenario lengths are kept in the 6–12k range so the quadratic baselines
+//! (LOF, DAD) finish in seconds; the generators scale anomaly counts with
+//! length, so the statistical structure of the full-size datasets survives.
+
+use s2g_datasets::catalog::Dataset;
+use s2g_datasets::drift::{generate_drift, DriftConfig};
+use s2g_datasets::keogh::DiscordDataset;
+use s2g_datasets::mba::MbaRecord;
+use s2g_datasets::srw::{generate_srw, SrwConfig};
+use s2g_datasets::{mba, sed, LabeledSeries};
+
+/// The data source of a scenario.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// A catalogue dataset generated at a custom length.
+    Catalog(Dataset, usize),
+    /// An SRW configuration with explicit knobs (length baked in).
+    Srw(SrwConfig),
+    /// The mode-shift drift dataset.
+    Drift(DriftConfig),
+}
+
+/// One gauntlet scenario: a labelled data source plus its evaluation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Stable identifier used in JSON lines and `--scenario` filters.
+    pub id: &'static str,
+    /// One-line description for tables and docs.
+    pub description: &'static str,
+    source: Source,
+    /// Anomaly length `ℓ_A` — the window every detector scores with.
+    pub window: usize,
+    /// Fraction of the series offered as training prefix (1.0 = train on
+    /// everything, the paper's unsupervised protocol).
+    pub train_fraction: f64,
+    /// S2G must beat every baseline's AUC-ROC here (the paper's recurrent
+    /// periodic-anomaly regime).
+    pub paper_favorable: bool,
+    /// The adaptive session must beat the frozen model here.
+    pub drift: bool,
+    /// Included in the `--fast` CI subset.
+    pub fast: bool,
+}
+
+impl Scenario {
+    /// Generates the scenario's labelled series for a gauntlet seed.
+    /// Deterministic: the same `(scenario, seed)` always yields the same
+    /// bytes (the golden-label tests in `s2g-datasets` pin the generators).
+    pub fn generate(&self, seed: u64) -> LabeledSeries {
+        match self.source {
+            Source::Catalog(dataset, length) => dataset.generate_with_length(length, seed),
+            Source::Srw(config) => generate_srw(SrwConfig { seed, ..config }),
+            Source::Drift(config) => generate_drift(DriftConfig { seed, ..config }),
+        }
+    }
+
+    /// Training-prefix length for a series of `n` points.
+    pub fn train_len(&self, n: usize) -> usize {
+        ((n as f64 * self.train_fraction) as usize).clamp(1, n)
+    }
+}
+
+/// The full scenario registry, in gauntlet order.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            id: "sed-periodic",
+            description: "NASA disk revolutions: recurrent shape anomalies in a strong period",
+            source: Source::Catalog(Dataset::Sed, 8_000),
+            window: sed::SED_ANOMALY_LENGTH,
+            train_fraction: 1.0,
+            paper_favorable: true,
+            drift: false,
+            fast: true,
+        },
+        Scenario {
+            id: "mba-ecg",
+            description: "MBA(803) electrocardiogram: recurrent premature heartbeats",
+            source: Source::Catalog(Dataset::Mba(MbaRecord::R803), 8_000),
+            window: mba::MBA_ANOMALY_LENGTH,
+            train_fraction: 1.0,
+            paper_favorable: true,
+            drift: false,
+            fast: false,
+        },
+        Scenario {
+            id: "srw-clean",
+            description: "SRW sinusoid + random walk, no noise, 6 frequency anomalies",
+            source: Source::Srw(SrwConfig {
+                length: 8_000,
+                num_anomalies: 6,
+                noise_ratio: 0.0,
+                anomaly_length: 200,
+                seed: 0,
+            }),
+            window: 200,
+            train_fraction: 1.0,
+            paper_favorable: true,
+            drift: false,
+            fast: true,
+        },
+        Scenario {
+            id: "srw-noise",
+            description: "SRW with 10% relative noise: the robustness knob",
+            source: Source::Srw(SrwConfig {
+                length: 8_000,
+                num_anomalies: 6,
+                noise_ratio: 0.10,
+                anomaly_length: 200,
+                seed: 0,
+            }),
+            window: 200,
+            train_fraction: 1.0,
+            paper_favorable: false,
+            drift: false,
+            fast: false,
+        },
+        Scenario {
+            id: "srw-contaminated",
+            description: "SRW with 12 anomalies: ~30% of the training points are anomalous",
+            source: Source::Srw(SrwConfig {
+                length: 8_000,
+                num_anomalies: 12,
+                noise_ratio: 0.0,
+                anomaly_length: 200,
+                seed: 0,
+            }),
+            window: 200,
+            train_fraction: 1.0,
+            paper_favorable: false,
+            drift: false,
+            fast: false,
+        },
+        Scenario {
+            id: "keogh-valve",
+            description: "Marotta valve cycles: a single isolated discord",
+            source: Source::Catalog(Dataset::Discord(DiscordDataset::MarottaValve), 8_000),
+            window: 1_000,
+            train_fraction: 1.0,
+            paper_favorable: false,
+            drift: false,
+            fast: false,
+        },
+        Scenario {
+            id: "drift-mode-shift",
+            description: "Mode-shift drift: the normal cycle migrates mid-series",
+            source: Source::Drift(DriftConfig {
+                seed: 0,
+                ..DriftConfig::default()
+            }),
+            window: 100,
+            train_fraction: 0.35,
+            paper_favorable: false,
+            drift: true,
+            fast: true,
+        },
+    ]
+}
+
+/// Looks a scenario up by id.
+pub fn find(id: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_shape() {
+        let all = registry();
+        assert!(all.len() >= 6, "gauntlet needs at least 6 scenarios");
+        assert!(all.iter().filter(|s| s.paper_favorable).count() >= 3);
+        assert_eq!(all.iter().filter(|s| s.drift).count(), 1);
+        assert!(all.iter().filter(|s| s.fast).count() >= 2);
+        // Ids are unique.
+        let mut ids: Vec<&str> = all.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_labelled() {
+        for s in registry() {
+            let a = s.generate(42);
+            let b = s.generate(42);
+            assert_eq!(a.series, b.series, "{}", s.id);
+            assert_eq!(a.anomalies, b.anomalies, "{}", s.id);
+            assert!(a.anomaly_count() >= 1, "{}", s.id);
+            assert!(
+                a.anomalies.iter().all(|r| r.end() <= a.len()),
+                "{}: label out of bounds",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn find_by_id() {
+        assert!(find("sed-periodic").is_some());
+        assert!(find("drift-mode-shift").unwrap().drift);
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn drift_scenario_trains_on_stable_prefix() {
+        let s = find("drift-mode-shift").unwrap();
+        let n = s.generate(42).len();
+        let train = s.train_len(n);
+        assert!(train < n / 2, "frozen model must not see the drifted tail");
+    }
+}

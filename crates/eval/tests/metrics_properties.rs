@@ -1,0 +1,162 @@
+//! Property tests for the metric layer: the invariants the gauntlet's
+//! trajectory depends on. If any of these break, every number in
+//! `BENCH_ACCURACY.json` becomes incomparable across revisions.
+
+use proptest::prelude::*;
+use s2g_eval::metrics::{auc_pr, auc_roc, pointwise_labels, precision_at_k, recall_at_k};
+use s2g_eval::{top_k_accuracy, GroundTruth};
+
+/// Random (score, label) pairs with at least one of each class most of the
+/// time; scores drawn from a small lattice so ties actually occur.
+fn score_pairs(max_len: usize) -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((0u8..20u8, 0u8..2u8), 2..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(s, y)| (s as f64 / 4.0, y == 1))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// AUC-ROC only sees the *ranking*: any strictly monotone transform of
+    /// the scores (here exp(x/2) + affine) must leave it untouched.
+    #[test]
+    fn auc_roc_invariant_under_strictly_monotone_transforms(pairs in score_pairs(64)) {
+        let base = auc_roc(&pairs);
+        let transformed: Vec<(f64, bool)> = pairs
+            .iter()
+            .map(|&(s, y)| ((s / 2.0).exp() * 3.0 + 7.0, y))
+            .collect();
+        prop_assert!((auc_roc(&transformed) - base).abs() < 1e-9,
+            "monotone transform changed AUC: {} vs {}", base, auc_roc(&transformed));
+    }
+
+    /// Reversing the ranking flips AUC-ROC around 1/2.
+    #[test]
+    fn auc_roc_of_negated_scores_is_complement(pairs in score_pairs(64)) {
+        let positives = pairs.iter().filter(|(_, y)| *y).count();
+        prop_assume!(positives > 0 && positives < pairs.len());
+        let negated: Vec<(f64, bool)> = pairs.iter().map(|&(s, y)| (-s, y)).collect();
+        prop_assert!((auc_roc(&pairs) + auc_roc(&negated) - 1.0).abs() < 1e-9);
+    }
+
+    /// Both AUCs live in [0, 1] on arbitrary input.
+    #[test]
+    fn aucs_are_bounded(pairs in score_pairs(128)) {
+        let roc = auc_roc(&pairs);
+        let pr = auc_pr(&pairs);
+        prop_assert!((0.0..=1.0).contains(&roc), "auc_roc = {roc}");
+        prop_assert!((0.0..=1.0).contains(&pr), "auc_pr = {pr}");
+    }
+
+    /// Top-k metrics are bounded in [0, 1] for arbitrary score profiles and
+    /// ground truths.
+    #[test]
+    fn topk_metrics_are_bounded(
+        scores in prop::collection::vec(-1e3f64..1e3, 10..300),
+        starts in prop::collection::vec(0usize..250, 0..6),
+        window in 1usize..40,
+        k in 0usize..8,
+    ) {
+        let truth = GroundTruth::new(starts.iter().map(|&s| (s, 20)).collect());
+        for value in [
+            precision_at_k(&scores, window, &truth, k),
+            recall_at_k(&scores, window, &truth, k),
+            top_k_accuracy(&scores, window, &truth, k),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&value), "metric out of bounds: {value}");
+        }
+    }
+
+    /// Point-wise labelling marks exactly the starts whose window overlaps
+    /// an anomaly — the boundary contract the AUC inputs rest on.
+    #[test]
+    fn pointwise_labels_match_overlap_rule(
+        n in 50usize..200,
+        start in 0usize..150,
+        len in 1usize..30,
+        window in 1usize..40,
+    ) {
+        let scores = vec![0.0; n];
+        let truth = GroundTruth::new(vec![(start, len)]);
+        let labels = pointwise_labels(&scores, window, &truth);
+        prop_assert_eq!(labels.len(), n);
+        for (i, &(_, y)) in labels.iter().enumerate() {
+            let overlaps = i < start + len && start < i + window;
+            prop_assert!(y == overlaps, "start {i} window {window} label {y}");
+        }
+    }
+}
+
+/// Hand-computed 6-point fixture with ties, checked against the trapezoidal
+/// ROC definition.
+///
+/// Scores/labels (sorted by descending score):
+///
+/// | score | label |
+/// |-------|-------|
+/// | 0.9   | +     |
+/// | 0.8   | −     |
+/// | 0.7   | +     |
+/// | 0.7   | −     |  ← tie spans one positive and one negative
+/// | 0.3   | +     |
+/// | 0.1   | −     |
+///
+/// Trapezoidal ROC (tie handled as a diagonal segment): sweeping thresholds
+/// gives points (FPR, TPR) = (0,0) → (0,1/3) → (1/3,1/3) → (2/3,2/3, via the
+/// diagonal tie segment) → (2/3,1) → (1,1). Area = 1/3·1/3 + tie trapezoid
+/// 1/3·(1/3+2/3)/2 + 1/3·1 = 1/9 + 1/6 + 1/3 = 11/18.
+#[test]
+fn auc_roc_tie_handling_matches_trapezoidal_fixture() {
+    let pairs = vec![
+        (0.9, true),
+        (0.8, false),
+        (0.7, true),
+        (0.7, false),
+        (0.3, true),
+        (0.1, false),
+    ];
+    let expected = 11.0 / 18.0;
+    assert!(
+        (auc_roc(&pairs) - expected).abs() < 1e-12,
+        "auc_roc = {}, expected {expected}",
+        auc_roc(&pairs)
+    );
+    // Order of the input must not matter.
+    let mut shuffled = pairs.clone();
+    shuffled.reverse();
+    shuffled.swap(1, 4);
+    assert!((auc_roc(&shuffled) - expected).abs() < 1e-12);
+}
+
+/// Average-precision fixture on the same 6 points: AP = mean over positives
+/// of precision at each positive's rank. With the tie broken by sort
+/// stability the positive of the tied pair precedes the negative, giving
+/// ranks 1, 3, 5 for the positives: AP = (1/1 + 2/3 + 3/5)/3 = 34/45.
+#[test]
+fn auc_pr_matches_hand_computed_fixture() {
+    let pairs = vec![
+        (0.9, true),
+        (0.8, false),
+        (0.7, true),
+        (0.7, false),
+        (0.3, true),
+        (0.1, false),
+    ];
+    let expected = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+    assert!(
+        (auc_pr(&pairs) - expected).abs() < 1e-12,
+        "auc_pr = {}, expected {expected}",
+        auc_pr(&pairs)
+    );
+}
+
+/// Perfect and inverted rankings pin the AUC-ROC endpoints.
+#[test]
+fn auc_roc_endpoints() {
+    let perfect: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, i >= 15)).collect();
+    assert!((auc_roc(&perfect) - 1.0).abs() < 1e-12);
+    let inverted: Vec<(f64, bool)> = (0..20).map(|i| (i as f64, i < 5)).collect();
+    assert!(auc_roc(&inverted).abs() < 1e-12);
+}

@@ -20,7 +20,7 @@
 //! | [`graph`] | `s2g-graph` | weighted digraph, θ-Normality subgraphs |
 //! | [`datasets`] | `s2g-datasets` | synthetic equivalents of the paper's evaluation corpus |
 //! | [`baselines`] | `s2g-baselines` | STOMP, discords/DAD, LOF, Isolation Forest, GrammarViz-style, forecasting |
-//! | [`eval`] | `s2g-eval` | Top-k accuracy, precision/recall, AUC, result tables |
+//! | [`eval`] | `s2g-eval` | Top-k accuracy, precision/recall, AUC, result tables, the scenario gauntlet (`s2g eval`) |
 //!
 //! ## Quick start
 //!
@@ -53,7 +53,7 @@
 //! score; a sharded worker pool ([`engine::WorkerPool`]) fanning batched
 //! fit/score jobs and pinned streaming sessions across threads with
 //! deterministic, submission-ordered results; and the `s2g` binary exposing
-//! `fit`, `score`, `stream` and `bench-throughput` over CSV files:
+//! `fit`, `score`, `stream`, `bench-throughput` and `eval` over CSV files:
 //!
 //! ```bash
 //! s2g fit   --input traffic.csv --output traffic.s2g --pattern-length 50
@@ -88,6 +88,21 @@
 //! )];
 //! let profiles = engine.score_many("line-7", fleet, 150).unwrap();
 //! assert_eq!(profiles[0].as_ref().unwrap().len(), 800 - 150 + 1);
+//! ```
+//!
+//! ## Measuring accuracy: the scenario gauntlet
+//!
+//! `s2g eval` runs Series2Graph (frozen and adaptive) plus eight baseline
+//! detectors over a registry of labelled scenarios — periodic anomalies,
+//! noise, training contamination, long discords, concept drift — and scores
+//! every run with AUC-ROC / AUC-PR / precision@k / top-k accuracy. With a
+//! fixed `--seed` the `--json` output is byte-identical across runs; the
+//! committed trajectory lives in `BENCH_ACCURACY.json` and the protocol in
+//! `docs/EVALUATION.md`:
+//!
+//! ```bash
+//! s2g eval --seed 42 --check          # human table + win-condition check
+//! s2g eval --seed 42 --rev pr7 --json # deterministic BENCH_ACCURACY lines
 //! ```
 //!
 //! See the `examples/` directory for complete scenarios (ECG monitoring,
@@ -142,6 +157,7 @@ pub mod prelude {
     pub use s2g_datasets::{AnomalyKind, AnomalyRange, Dataset, LabeledSeries};
     pub use s2g_engine::{Engine, EngineConfig, ModelRegistry};
     pub use s2g_eval::topk::{top_k_accuracy, GroundTruth};
+    pub use s2g_eval::{run_gauntlet, GauntletConfig, Scenario};
     pub use s2g_obs::{Histogram, Obs, TraceId};
     pub use s2g_store::{ModelStore, StoreConfig};
     pub use s2g_timeseries::TimeSeries;
