@@ -52,7 +52,8 @@ USAGE:
                [--refit-cooldown <n>] [--adapted-out <model.s2g>] <input.csv>
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
-                         [--batches <n>] [--skew] [--json]
+                         [--batches <n>] [--sample-interval-ms <n>]
+                         [--skew] [--json]
     s2g eval   [--seed <n>] [--scenario <id>[,<id>...]] [--rev <tag>]
                [--fast] [--json] [--check] [--list]
     s2g help
@@ -506,6 +507,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             "--pattern-length",
             "--query-length",
             "--batches",
+            "--sample-interval-ms",
         ],
         &["--json", "--skew"],
     )?;
@@ -517,6 +519,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let pattern_length = args.usize_flag("--pattern-length", Some(50))?;
     let query_length = args.usize_flag("--query-length", Some(150))?;
     let batches = args.usize_flag("--batches", Some(9))?.max(1);
+    let sample_interval_ms = args.usize_flag("--sample-interval-ms", Some(0))? as u64;
     let json = args.has("--json");
     let skew = args.has("--skew");
 
@@ -568,6 +571,44 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     // report can split scheduling latency from scoring work.
     let obs = Arc::new(s2g_obs::Obs::new(&[], &[]));
     pool.attach_obs(Arc::clone(&obs));
+    // Optional flight-recorder sampler riding along, mirroring `serve`'s
+    // background sampling so the bench measures recorder overhead too:
+    // one compact sample of every stage histogram per interval.
+    let recorder = (sample_interval_ms > 0).then(|| {
+        let schema = s2g_obs::recorder::SeriesSchema {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: obs.stages().iter().map(|(n, _)| n.to_string()).collect(),
+        };
+        Arc::new(s2g_obs::recorder::Recorder::new(
+            schema,
+            sample_interval_ms,
+            4096,
+        ))
+    });
+    let sampler_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = recorder.as_ref().map(|recorder| {
+        let recorder = Arc::clone(recorder);
+        let obs = Arc::clone(&obs);
+        let stop = Arc::clone(&sampler_stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                recorder.push(s2g_obs::recorder::Sample {
+                    t_ns: s2g_obs::clock::now_ns(),
+                    counters: Vec::new(),
+                    gauges: Vec::new(),
+                    histograms: obs
+                        .stages()
+                        .iter()
+                        .map(|(_, hist)| {
+                            s2g_obs::recorder::CompactHistogram::from_snapshot(&hist.snapshot())
+                        })
+                        .collect(),
+                });
+                std::thread::sleep(std::time::Duration::from_millis(sample_interval_ms));
+            }
+        })
+    });
     let mut batch_ms: Vec<f64> = Vec::with_capacity(batches);
     let mut pooled: Vec<Vec<f64>> = Vec::new();
     for round in 0..batches {
@@ -594,6 +635,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             ));
         }
     }
+    sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(handle) = sampler {
+        let _ = handle.join();
+    }
+    let sampler_samples = recorder.as_ref().map_or(0, |r| r.len());
     if pooled != sequential {
         return Err(CliError::Runtime(
             "pool scores diverged from sequential scores".to_string(),
@@ -649,6 +695,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
              \"task_queue_wait_p99_ms\":{qw_p99:.3},\"task_queue_wait_mean_ms\":{:.3},\
              \"task_execute_p50_ms\":{ex_p50:.3},\"task_execute_p95_ms\":{ex_p95:.3},\
              \"task_execute_p99_ms\":{ex_p99:.3},\"task_execute_mean_ms\":{:.3},\
+             \"sampler_interval_ms\":{sample_interval_ms},\
+             \"sampler_samples\":{sampler_samples},\
              \"deterministic\":true}}",
             seq_time.as_secs_f64() * 1e3,
             seq_pps,
@@ -671,6 +719,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         "per-task: queue wait p50 {qw_p50:.3} ms / p95 {qw_p95:.3} ms / p99 {qw_p99:.3} ms; \
          execute p50 {ex_p50:.3} ms / p95 {ex_p95:.3} ms / p99 {ex_p99:.3} ms"
     );
+    if sample_interval_ms > 0 {
+        println!(
+            "flight recorder: {sampler_samples} samples @ {sample_interval_ms} ms while benching"
+        );
+    }
     println!("determinism: pool output identical to sequential across all batches ✓");
     Ok(())
 }

@@ -211,6 +211,17 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Non-empty buckets as `(bucket index, count)` pairs — the sparse
+    /// shape the flight recorder retains (see [`crate::recorder`]).
+    pub fn sparse_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
     /// Non-empty buckets as `(inclusive upper bound, cumulative count)`
     /// pairs — the shape Prometheus `_bucket{le=...}` lines want.
     pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {

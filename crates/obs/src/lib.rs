@@ -11,6 +11,14 @@
 //!   kept in a fixed-size [`TraceSink`] ring with slow-request retention;
 //! * [`log`] — structured leveled logging (`error!`/`warn!`/`info!`/
 //!   `debug!`) with monotonic timestamps and optional JSON lines;
+//! * [`recorder`] — the flight recorder: a fixed-memory ring of periodic
+//!   telemetry snapshots ([`Sample`]s of every counter, gauge and
+//!   histogram as sparse [`CompactHistogram`]s), with windowed-delta
+//!   math for rate-over-window views instead of lifetime averages;
+//! * [`watch`] — self-watch: [`SignalWatch`] hysteresis state machines
+//!   scoring derived telemetry series through a pluggable
+//!   [`SignalScorer`] (the server plugs Series2Graph in — the detector
+//!   watching its own vitals);
 //! * [`Obs`] — the process-wide instrument registry the layers share: one
 //!   histogram per stage (request-per-route, fit, score, pool queue-wait,
 //!   pool execute, store fault, store write, adaptation push), the trace
@@ -42,11 +50,15 @@
 
 pub mod hist;
 pub mod log;
+pub mod recorder;
 pub mod trace;
+pub mod watch;
 
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use log::Level;
+pub use recorder::{CompactHistogram, Recorder, Sample, SeriesSchema};
 pub use trace::{FinishedTrace, Span, SpanCtx, SpanRecord, TraceHandle, TraceId, TraceSink};
+pub use watch::{Hysteresis, SignalScorer, SignalWatch, WatchState, WatchTransition};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -142,8 +154,20 @@ impl Obs {
     pub const SLOW_KEEP: usize = 32;
 
     /// A registry with request histograms pre-registered for the given
-    /// external and internal route patterns.
+    /// external and internal route patterns, and default-size trace
+    /// rings ([`Obs::TRACE_RING`] / [`Obs::SLOW_KEEP`]).
     pub fn new(routes: &[&'static str], internal_routes: &[&'static str]) -> Self {
+        Self::with_rings(routes, internal_routes, Self::TRACE_RING, Self::SLOW_KEEP)
+    }
+
+    /// Like [`Obs::new`] with explicit trace-ring sizes (`serve
+    /// --trace-ring` / `--slow-ring`); both are floored at 1.
+    pub fn with_rings(
+        routes: &[&'static str],
+        internal_routes: &[&'static str],
+        trace_ring: usize,
+        slow_keep: usize,
+    ) -> Self {
         // Process nonce: the pid, FNV-mixed so two quick restarts get
         // visibly different high bits. Deterministic within a process.
         let mut nonce = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(std::process::id());
@@ -158,7 +182,7 @@ impl Obs {
             store_fault: Histogram::new(),
             store_write: Histogram::new(),
             adapt_push: Histogram::new(),
-            traces: TraceSink::new(Self::TRACE_RING, Self::SLOW_KEEP),
+            traces: TraceSink::new(trace_ring, slow_keep),
             nonce: nonce & 0xffff_ffff,
             counter: AtomicU64::new(1),
         }

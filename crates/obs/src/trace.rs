@@ -255,6 +255,16 @@ impl TraceSink {
         }
     }
 
+    /// Configured ring capacity (`recent` lookup window).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Configured slow-trace retention depth.
+    pub fn slow_keep(&self) -> usize {
+        self.slow_keep
+    }
+
     /// Sets the slow-request threshold; traces at least this slow are
     /// retained separately and reported by [`TraceSink::slow`].
     pub fn set_slow_threshold_ns(&self, ns: u64) {

@@ -1,0 +1,364 @@
+//! Self-watch: anomaly watchdogs over the server's own telemetry.
+//!
+//! The paper's thesis applied to ourselves: a derived telemetry series
+//! (request p99, queue-wait mean, store fault rate) is just a time
+//! series, so the same scorer that watches customer data can watch the
+//! server — Series2Graph dogfooded as its own watchdog.
+//!
+//! This module holds the core-free machinery: the [`SignalScorer`] trait
+//! (the server plugs a `StreamingScorer` adapter in; [`RobustScorer`] is
+//! the built-in fallback for degenerate warm-up telemetry), warm-up
+//! threshold calibration, and the [`SignalWatch`] hysteresis state
+//! machine (`ok` → `degraded` → `anomalous`, with consecutive-tick
+//! debouncing in both directions so one noisy sample never flips the
+//! verdict).
+
+use std::fmt;
+
+/// The verdict a watched signal (or the whole server) is in. Ordered by
+/// severity so `max` aggregates a board of signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WatchState {
+    /// Scores inside the calibrated normal band.
+    Ok,
+    /// Scores below threshold for `degrade_after` consecutive ticks.
+    Degraded,
+    /// Scores below threshold for `anomalous_after` consecutive ticks.
+    Anomalous,
+}
+
+impl WatchState {
+    /// Lowercase wire name (`ok` / `degraded` / `anomalous`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WatchState::Ok => "ok",
+            WatchState::Degraded => "degraded",
+            WatchState::Anomalous => "anomalous",
+        }
+    }
+}
+
+impl fmt::Display for WatchState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A streaming normality scorer: feed one derived-telemetry value per
+/// sampler tick, get a normality score once warmed up (**higher = more
+/// normal**, matching `s2g-core` streaming scores).
+pub trait SignalScorer: Send {
+    /// Pushes one value; `None` while the scorer is still warming up.
+    fn push(&mut self, value: f64) -> Option<f64>;
+    /// Short name of the scoring backend (`s2g` / `robust-z`), reported
+    /// on the wire so operators know which watchdog is on duty.
+    fn kind(&self) -> &'static str;
+}
+
+/// Fallback scorer for degenerate warm-up telemetry (constant series
+/// carry no shape for a graph embedding): a robust z-score against the
+/// warm-up median/MAD, emitted as `-|z|` so higher stays more normal.
+#[derive(Debug, Clone)]
+pub struct RobustScorer {
+    median: f64,
+    sigma: f64,
+}
+
+/// Median of `values` (`0.0` when empty). Sorts a copy; fine at
+/// warm-up-window sizes.
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Robust spread estimate: `1.4826 * MAD`, floored so a constant
+/// baseline still yields a usable (if tiny) band.
+fn robust_sigma(values: &[f64], center: f64) -> f64 {
+    let deviations: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    let mad = median(&deviations);
+    (1.4826 * mad).max(1e-9 + 0.01 * center.abs())
+}
+
+impl RobustScorer {
+    /// Calibrates against a warm-up baseline. `None` when fewer than 3
+    /// values — no spread to estimate.
+    pub fn from_baseline(values: &[f64]) -> Option<Self> {
+        if values.len() < 3 {
+            return None;
+        }
+        let center = median(values);
+        Some(RobustScorer {
+            median: center,
+            sigma: robust_sigma(values, center),
+        })
+    }
+}
+
+impl SignalScorer for RobustScorer {
+    fn push(&mut self, value: f64) -> Option<f64> {
+        Some(-((value - self.median).abs() / self.sigma))
+    }
+
+    fn kind(&self) -> &'static str {
+        "robust-z"
+    }
+}
+
+/// Warm-up threshold below the lowest score the calibration window
+/// produced. Scores at or above the threshold are normal.
+///
+/// Two regimes, because the two scorer families live on different
+/// half-lines:
+///
+/// * **Strictly positive warm-up scores** (S2G normality: path-weight
+///   sums, where an anomalous window degrades toward `0` as its
+///   transitions leave the graph): the threshold is half the warm-up
+///   minimum — comfortably below every normal score, yet far above the
+///   near-zero scores a genuine anomaly produces. A `min − k·σ` margin
+///   would land below zero here and never fire.
+/// * **Scores reaching `≤ 0`** (robust z as `-|z|`, best score `0`):
+///   the threshold is the minimum minus `k` robust sigmas of the
+///   window's scores, the margin floored so a perfectly flat warm-up
+///   still leaves room for float jitter.
+pub fn calibrate_threshold(warmup_scores: &[f64], k: f64) -> f64 {
+    let min = warmup_scores.iter().copied().fold(f64::INFINITY, f64::min);
+    if !min.is_finite() {
+        return -1e-6; // empty warm-up: alarm only on negative scores
+    }
+    if min > 0.0 {
+        return min * 0.5;
+    }
+    let center = median(warmup_scores);
+    let margin = (k * robust_sigma(warmup_scores, center)).max(0.05 * min.abs() + 1e-6);
+    min - margin
+}
+
+/// Consecutive-tick debouncing knobs for [`SignalWatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct Hysteresis {
+    /// Consecutive below-threshold ticks before `ok → degraded`.
+    pub degrade_after: u32,
+    /// Consecutive below-threshold ticks before `degraded → anomalous`.
+    pub anomalous_after: u32,
+    /// Consecutive normal ticks before recovering to `ok`.
+    pub recover_after: u32,
+}
+
+impl Default for Hysteresis {
+    fn default() -> Self {
+        Hysteresis {
+            degrade_after: 2,
+            anomalous_after: 4,
+            recover_after: 3,
+        }
+    }
+}
+
+/// A state transition reported by [`SignalWatch::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchTransition {
+    /// State before this tick.
+    pub from: WatchState,
+    /// State after this tick.
+    pub to: WatchState,
+}
+
+/// One watched signal: a named derived series, its scorer, the
+/// calibrated threshold, and the hysteresis state machine.
+pub struct SignalWatch {
+    name: &'static str,
+    scorer: Box<dyn SignalScorer>,
+    threshold: f64,
+    hysteresis: Hysteresis,
+    state: WatchState,
+    bad_streak: u32,
+    good_streak: u32,
+    last_value: Option<f64>,
+    last_score: Option<f64>,
+}
+
+impl fmt::Debug for SignalWatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SignalWatch")
+            .field("name", &self.name)
+            .field("scorer", &self.scorer.kind())
+            .field("threshold", &self.threshold)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SignalWatch {
+    /// A watch over `name`, scoring with `scorer` against `threshold`.
+    pub fn new(
+        name: &'static str,
+        scorer: Box<dyn SignalScorer>,
+        threshold: f64,
+        hysteresis: Hysteresis,
+    ) -> Self {
+        SignalWatch {
+            name,
+            scorer,
+            threshold,
+            hysteresis,
+            state: WatchState::Ok,
+            bad_streak: 0,
+            good_streak: 0,
+            last_value: None,
+            last_score: None,
+        }
+    }
+
+    /// Signal name (e.g. `request_p99_ns`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Scoring backend on duty (`s2g` / `robust-z`).
+    pub fn scorer_kind(&self) -> &'static str {
+        self.scorer.kind()
+    }
+
+    /// Calibrated normality threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Current hysteresis state.
+    pub fn state(&self) -> WatchState {
+        self.state
+    }
+
+    /// Most recent raw signal value fed in.
+    pub fn last_value(&self) -> Option<f64> {
+        self.last_value
+    }
+
+    /// Most recent normality score (None while the scorer warms up).
+    pub fn last_score(&self) -> Option<f64> {
+        self.last_score
+    }
+
+    /// Feeds one sampler-tick value through the scorer and advances the
+    /// state machine; returns the transition when the state changed.
+    pub fn observe(&mut self, value: f64) -> Option<WatchTransition> {
+        self.last_value = Some(value);
+        let score = self.scorer.push(value)?;
+        self.last_score = Some(score);
+        let bad = score < self.threshold;
+        if bad {
+            self.bad_streak += 1;
+            self.good_streak = 0;
+        } else {
+            self.good_streak += 1;
+            self.bad_streak = 0;
+        }
+        let from = self.state;
+        self.state = if bad {
+            if self.bad_streak >= self.hysteresis.anomalous_after {
+                WatchState::Anomalous
+            } else if self.bad_streak >= self.hysteresis.degrade_after {
+                WatchState::Degraded
+            } else {
+                from
+            }
+        } else if self.good_streak >= self.hysteresis.recover_after {
+            WatchState::Ok
+        } else {
+            from
+        };
+        (self.state != from).then_some(WatchTransition {
+            from,
+            to: self.state,
+        })
+    }
+}
+
+/// Worst state across a board of watches (`Ok` when the board is empty).
+pub fn overall(watches: &[SignalWatch]) -> WatchState {
+    watches
+        .iter()
+        .map(SignalWatch::state)
+        .max()
+        .unwrap_or(WatchState::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robust_scorer_flags_a_spike_but_not_baseline() {
+        let baseline: Vec<f64> = (0..30).map(|i| 100.0 + (i % 5) as f64).collect();
+        let mut scorer = RobustScorer::from_baseline(&baseline).unwrap();
+        let normal = scorer.push(102.0).unwrap();
+        let spike = scorer.push(5_000.0).unwrap();
+        assert!(normal > spike, "spike must score less normal");
+        assert!(normal > -3.0, "baseline value within ~3 sigma: {normal}");
+        assert!(spike < -10.0, "spike far outside the band: {spike}");
+    }
+
+    #[test]
+    fn threshold_leaves_room_below_flat_warmup() {
+        let scores = vec![-1.0; 20];
+        let threshold = calibrate_threshold(&scores, 3.0);
+        assert!(threshold < -1.0, "threshold {threshold} must sit below min");
+        // A score equal to warm-up min stays normal.
+        assert!(-1.0 >= threshold);
+    }
+
+    #[test]
+    fn threshold_for_positive_normality_sits_between_zero_and_min() {
+        // S2G-style scores: positive path weights, anomaly degrades to ~0.
+        let scores = vec![22.0, 18.5, 30.0, 19.2, 25.0];
+        let threshold = calibrate_threshold(&scores, 4.0);
+        assert!(threshold > 0.0, "must stay reachable from above zero");
+        assert!(threshold < 18.5, "must sit below every warm-up score");
+        // A collapsed-to-zero anomaly score fires; warm-up scores do not.
+        assert!(0.5 < threshold);
+        assert!(scores.iter().all(|&s| s >= threshold));
+    }
+
+    #[test]
+    fn hysteresis_debounces_in_both_directions() {
+        let baseline: Vec<f64> = (0..30).map(|i| 10.0 + (i % 3) as f64).collect();
+        let scorer = RobustScorer::from_baseline(&baseline).unwrap();
+        let mut probe = scorer.clone();
+        let warmup_scores: Vec<f64> = baseline.iter().map(|&v| probe.push(v).unwrap()).collect();
+        let threshold = calibrate_threshold(&warmup_scores, 3.0);
+        let mut watch = SignalWatch::new("sig", Box::new(scorer), threshold, Hysteresis::default());
+
+        // One bad tick: still ok (debounced).
+        assert!(watch.observe(1_000.0).is_none());
+        assert_eq!(watch.state(), WatchState::Ok);
+        // Second consecutive bad tick: degraded.
+        let t = watch.observe(1_000.0).unwrap();
+        assert_eq!((t.from, t.to), (WatchState::Ok, WatchState::Degraded));
+        // Two more: anomalous.
+        assert!(watch.observe(1_000.0).is_none());
+        let t = watch.observe(1_000.0).unwrap();
+        assert_eq!(t.to, WatchState::Anomalous);
+        // Recovery needs recover_after consecutive good ticks.
+        assert!(watch.observe(10.0).is_none());
+        assert!(watch.observe(11.0).is_none());
+        let t = watch.observe(10.0).unwrap();
+        assert_eq!((t.from, t.to), (WatchState::Anomalous, WatchState::Ok));
+        assert_eq!(overall(&[watch]), WatchState::Ok);
+    }
+
+    #[test]
+    fn overall_takes_the_worst_signal() {
+        assert_eq!(overall(&[]), WatchState::Ok);
+        assert!(WatchState::Anomalous > WatchState::Degraded);
+        assert!(WatchState::Degraded > WatchState::Ok);
+    }
+}

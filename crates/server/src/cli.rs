@@ -53,6 +53,11 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
                [--session-idle-secs <n>] [--data-dir <dir>]
                [--store-budget-mb <n>] [--log-level <error|warn|info|debug>]
                [--log-json] [--slow-request-ms <n>]
+               [--sample-interval-ms <n>] [--history-retention <n>]
+               [--watch-warmup <n>] [--trace-ring <n>] [--slow-ring <n>]
+               [--debug-sleep]
+    s2g top    [--addr <host:port>] [--window <secs>] [--refresh-ms <n>]
+               [--once]
     s2g client fit      --addr <host:port> --name <model> --input <series.csv>
                         --pattern-length <n> [--lambda <n>] [--rate <n>]
                         [--kde-grid <n>] [--sigma-ratio <x>] [--seed <n>]
@@ -116,6 +121,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
     };
     match command.as_str() {
         "serve" => cmd_serve(rest),
+        "top" => crate::top::cmd_top(rest),
         "client" => cmd_client(rest),
         "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &["--json"])?),
         "store" => cmd_store(rest),
@@ -149,8 +155,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--store-budget-mb",
             "--log-level",
             "--slow-request-ms",
+            "--sample-interval-ms",
+            "--history-retention",
+            "--watch-warmup",
+            "--trace-ring",
+            "--slow-ring",
         ],
-        &["--log-json"],
+        &["--log-json", "--debug-sleep"],
     )?;
     let addr = args.get("--addr").unwrap_or("127.0.0.1:7878").to_string();
     let mut engine = EngineConfig::default();
@@ -190,6 +201,24 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(ms) = opt_usize(&args, "--slow-request-ms")? {
         config = config.with_slow_request_ms(Some(ms as u64));
+    }
+    if let Some(ms) = opt_usize(&args, "--sample-interval-ms")? {
+        config = config.with_sample_interval_ms(ms as u64);
+    }
+    if let Some(retention) = opt_usize(&args, "--history-retention")? {
+        config = config.with_history_retention(retention);
+    }
+    if let Some(warmup) = opt_usize(&args, "--watch-warmup")? {
+        config = config.with_watch_warmup(warmup);
+    }
+    if let Some(ring) = opt_usize(&args, "--trace-ring")? {
+        config = config.with_trace_ring(ring);
+    }
+    if let Some(ring) = opt_usize(&args, "--slow-ring")? {
+        config = config.with_slow_ring(ring);
+    }
+    if args.has("--debug-sleep") {
+        config = config.with_debug_sleep(true);
     }
 
     let server = Server::bind(config).map_err(runtime)?;

@@ -286,6 +286,40 @@ impl Client {
         self.request_ok("GET", "/metrics/json", b"")?.json_line(0)
     }
 
+    /// `GET /metrics/history?window=&step=`: the flight recorder's
+    /// retained telemetry series (cumulative per-sample summaries plus
+    /// the series schema). `window` is in seconds, `0` = everything
+    /// retained; `step` keeps every Nth sample.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection or protocol errors; `404 not_found`
+    /// surfaces as [`ClientError::Api`] when sampling is disabled.
+    pub fn metrics_history(&self, window_secs: u64, step: usize) -> Result<Json, ClientError> {
+        let target = format!("/metrics/history?window={window_secs}&step={step}");
+        self.request_ok("GET", &target, b"")?.json_line(0)
+    }
+
+    /// `GET /metrics/delta?window=`: counter rates and windowed latency
+    /// summaries over the last `window` seconds of retained samples.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection or protocol errors; `404 not_found`
+    /// surfaces as [`ClientError::Api`] when sampling is disabled.
+    pub fn metrics_delta(&self, window_secs: u64) -> Result<Json, ClientError> {
+        let target = format!("/metrics/delta?window={window_secs}");
+        self.request_ok("GET", &target, b"")?.json_line(0)
+    }
+
+    /// `GET /watch`: the self-watch board — overall state, warm-up
+    /// progress, and per-signal scorer/threshold/score.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection or protocol errors; `404 not_found`
+    /// surfaces as [`ClientError::Api`] when sampling is disabled.
+    pub fn watch(&self) -> Result<Json, ClientError> {
+        self.request_ok("GET", "/watch", b"")?.json_line(0)
+    }
+
     /// `GET /debug/trace/{id}`: the span tree of one retained trace
     /// (ids come from the `X-S2g-Trace` response header or
     /// [`Client::slow_traces`]).

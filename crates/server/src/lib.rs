@@ -72,11 +72,14 @@
 pub mod cli;
 pub mod client;
 pub mod error;
+mod history;
 pub mod http;
 pub mod json;
 pub mod metrics;
+mod selfwatch;
 pub mod server;
 pub mod sessions;
+mod top;
 
 pub use client::{Client, ClientError, ClientResponse};
 pub use error::ApiError;

@@ -26,8 +26,12 @@ pub const ROUTE_PATTERNS: &[&str] = &[
     "GET /healthz",
     "GET /metrics",
     "GET /metrics/json",
+    "GET /metrics/history",
+    "GET /metrics/delta",
+    "GET /watch",
     "GET /debug/trace/{id}",
     "GET /debug/slow",
+    "POST /debug/sleep",
     "GET /models",
     "PUT /models/{name}",
     "GET /models/{name}",
@@ -132,6 +136,62 @@ impl Metrics {
         }
     }
 
+    /// The fixed counter-series naming the flight recorder retains: one
+    /// `s2g_requests_total{route}` per pre-registered pattern (summed
+    /// over statuses), one global `s2g_request_errors_total`, then the
+    /// scalar counters. Positions align with [`Metrics::counter_values`].
+    pub fn counter_schema() -> Vec<String> {
+        let mut names: Vec<String> = ROUTE_PATTERNS
+            .iter()
+            .map(|route| format!("s2g_requests_total{{route=\"{route}\"}}"))
+            .collect();
+        names.push("s2g_request_errors_total".to_string());
+        for name in [
+            "s2g_fits_total",
+            "s2g_scored_series_total",
+            "s2g_sessions_opened_total",
+            "s2g_adapt_updates_total",
+            "s2g_adapt_refits_total",
+            "s2g_adapt_published_total",
+        ] {
+            names.push(name.to_string());
+        }
+        names
+    }
+
+    /// Live counter values, positionally aligned to
+    /// [`Metrics::counter_schema`].
+    pub fn counter_values(&self) -> Vec<u64> {
+        let mut errors = 0u64;
+        let mut values: Vec<u64> = (0..ROUTE_PATTERNS.len())
+            .map(|r| {
+                let mut total = 0u64;
+                for (s, &status) in STATUS_CODES.iter().enumerate() {
+                    let count = self.requests[r * STATUS_CODES.len() + s].load(Ordering::Relaxed);
+                    total += count;
+                    // The catch-all status cell (0) holds unknown codes —
+                    // counted as errors to be safe.
+                    if status >= 400 || status == 0 {
+                        errors += count;
+                    }
+                }
+                total
+            })
+            .collect();
+        values.push(errors);
+        for counter in [
+            &self.fits,
+            &self.scored_series,
+            &self.sessions_opened,
+            &self.adapt_updates,
+            &self.adapt_refits,
+            &self.adapt_published,
+        ] {
+            values.push(counter.load(Ordering::Relaxed));
+        }
+        values
+    }
+
     /// Renders the exposition: counters from this struct plus the gauges
     /// sampled by the caller. Only `(route, status)` cells that counted
     /// something are emitted, so the grid's size never bloats the scrape.
@@ -222,6 +282,29 @@ mod tests {
         let text = metrics.render(&[]).join("\n");
         assert!(text.contains("s2g_requests_total{route=\"(other)\",status=\"200\"} 1"));
         assert!(text.contains("s2g_requests_total{route=\"GET /healthz\",status=\"other\"} 1"));
+    }
+
+    #[test]
+    fn counter_schema_and_values_stay_aligned() {
+        let metrics = Metrics::default();
+        let schema = Metrics::counter_schema();
+        assert_eq!(schema.len(), metrics.counter_values().len());
+        metrics.record_request("GET /healthz", 200);
+        metrics.record_request("GET /healthz", 200);
+        metrics.record_request("PUT /models/{name}", 422);
+        metrics.record_fit();
+        let values = metrics.counter_values();
+        let value_of = |name: &str| -> u64 {
+            let i = schema.iter().position(|n| n == name).expect(name);
+            values[i]
+        };
+        assert_eq!(value_of("s2g_requests_total{route=\"GET /healthz\"}"), 2);
+        assert_eq!(
+            value_of("s2g_requests_total{route=\"PUT /models/{name}\"}"),
+            1
+        );
+        assert_eq!(value_of("s2g_request_errors_total"), 1);
+        assert_eq!(value_of("s2g_fits_total"), 1);
     }
 
     #[test]

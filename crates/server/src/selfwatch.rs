@@ -1,0 +1,320 @@
+//! Self-watch: the server scoring its own telemetry for anomalies.
+//!
+//! Each sampler tick derives three operational signals from consecutive
+//! flight-recorder samples — windowed external-request p99, windowed
+//! pool queue-wait mean, store fault rate — and feeds them through
+//! per-signal watchdogs. The first `watch_warmup` ticks are warm-up
+//! telemetry: after them, each signal gets a `StreamingScorer` fitted on
+//! its own warm-up series via `Engine::fit_watch_scorer` (Series2Graph
+//! watching Series2Graph) — holdout-validated, and falling back to a
+//! robust z-score watchdog when the warm-up series is too flat, short,
+//! or unstructured to embed. Normality thresholds are calibrated from
+//! the held-out warm-up scores, and the
+//! `ok`/`degraded`/`anomalous` verdict of each signal advances through
+//! the hysteresis machine in `s2g_obs::watch`, with every transition
+//! logged (`warn!` when worsening).
+
+use std::sync::Mutex;
+
+use s2g_core::StreamingScorer;
+use s2g_obs::recorder::{Recorder, Sample};
+use s2g_obs::watch::{
+    calibrate_threshold, overall, Hysteresis, RobustScorer, SignalScorer, SignalWatch,
+};
+
+use crate::history;
+use crate::json::Json;
+use crate::server::Shared;
+
+/// The watched signals, in column order of the warm-up matrix.
+const SIGNALS: [&str; 3] = [
+    "request_p99_ms",
+    "queue_wait_mean_ms",
+    "store_fault_per_sec",
+];
+
+/// Window length ℓ of the tiny self-watch models.
+const WATCH_PATTERN_LEN: usize = 8;
+/// Streaming query length ℓq fed to the self-watch scorers.
+const WATCH_QUERY_LEN: usize = 16;
+/// Threshold margin in robust sigmas below the worst warm-up score.
+const THRESHOLD_SIGMAS: f64 = 4.0;
+
+/// A fitted `StreamingScorer` behind the core-free [`SignalScorer`]
+/// trait: one raw signal value in per tick, the window's normality out.
+struct S2gSignalScorer(StreamingScorer);
+
+impl SignalScorer for S2gSignalScorer {
+    fn push(&mut self, value: f64) -> Option<f64> {
+        self.0.push(value).ok().flatten().map(|(_, score)| score)
+    }
+
+    fn kind(&self) -> &'static str {
+        "s2g"
+    }
+}
+
+struct Inner {
+    /// Last derived value per signal — carried forward through ticks
+    /// whose window saw no traffic, so an idle lull never reads as a
+    /// latency collapse.
+    last: [f64; 3],
+    /// Warm-up telemetry, one row per tick, until the scorers are fitted.
+    collected: Vec<[f64; 3]>,
+    /// The fitted watch board; `None` while warming up.
+    watches: Option<Vec<SignalWatch>>,
+}
+
+/// The per-server self-watch state, driven by the sampler thread and
+/// read by `GET /watch` / `GET /healthz`.
+pub(crate) struct SelfWatch {
+    warmup_target: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SelfWatch {
+    /// A self-watch that fits its scorers after `warmup` sampler ticks
+    /// (floored at 8 — below that there is nothing to calibrate on).
+    pub(crate) fn new(warmup: usize) -> Self {
+        SelfWatch {
+            warmup_target: warmup.max(8),
+            inner: Mutex::new(Inner {
+                last: [0.0; 3],
+                collected: Vec::new(),
+                watches: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The healthz `watch` field: `warming` until the scorers are
+    /// fitted, then the worst signal state.
+    pub(crate) fn health_state(&self) -> &'static str {
+        let inner = self.lock();
+        match &inner.watches {
+            None => "warming",
+            Some(watches) => overall(watches).as_str(),
+        }
+    }
+
+    /// One sampler tick: derive the signals from the delta between the
+    /// previous and current flight-recorder samples, then either collect
+    /// warm-up telemetry or advance the watch board.
+    pub(crate) fn tick(&self, shared: &Shared, prev: Option<&Sample>, current: &Sample) {
+        let Some(prev) = prev else {
+            return; // first tick has no window yet
+        };
+        let mut inner = self.lock();
+        let values = signal_values(prev, current, &inner.last);
+        inner.last = values;
+        if let Some(watches) = &mut inner.watches {
+            for (watch, &value) in watches.iter_mut().zip(values.iter()) {
+                if let Some(transition) = watch.observe(value) {
+                    if transition.to > transition.from {
+                        s2g_obs::warn!(
+                            "selfwatch",
+                            "signal {} {} -> {} (value {:.4}, score {:.4}, threshold {:.4})",
+                            watch.name(),
+                            transition.from,
+                            transition.to,
+                            value,
+                            watch.last_score().unwrap_or(f64::NAN),
+                            watch.threshold()
+                        );
+                    } else {
+                        s2g_obs::info!(
+                            "selfwatch",
+                            "signal {} recovered: {} -> {}",
+                            watch.name(),
+                            transition.from,
+                            transition.to
+                        );
+                    }
+                }
+            }
+        } else {
+            inner.collected.push(values);
+            if inner.collected.len() >= self.warmup_target {
+                let watches = fit_watches(shared, &inner.collected);
+                for watch in &watches {
+                    s2g_obs::info!(
+                        "selfwatch",
+                        "signal {} armed: scorer={} threshold={:.4}",
+                        watch.name(),
+                        watch.scorer_kind(),
+                        watch.threshold()
+                    );
+                }
+                inner.watches = Some(watches);
+                inner.collected = Vec::new();
+            }
+        }
+    }
+
+    /// The `GET /watch` body.
+    pub(crate) fn status_json(&self, recorder: &Recorder) -> Json {
+        let inner = self.lock();
+        let (state, collected) = match &inner.watches {
+            None => ("warming".to_string(), inner.collected.len()),
+            Some(watches) => (overall(watches).as_str().to_string(), self.warmup_target),
+        };
+        let signals: Vec<Json> = match &inner.watches {
+            None => SIGNALS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    Json::obj([
+                        ("name", Json::from(*name)),
+                        ("state", Json::from("warming")),
+                        ("scorer", Json::Null),
+                        ("threshold", Json::Null),
+                        ("value", Json::from(inner.last[i])),
+                        ("score", Json::Null),
+                    ])
+                })
+                .collect(),
+            Some(watches) => watches
+                .iter()
+                .map(|watch| {
+                    Json::obj([
+                        ("name", Json::from(watch.name())),
+                        ("state", Json::from(watch.state().as_str())),
+                        ("scorer", Json::from(watch.scorer_kind())),
+                        ("threshold", Json::from(watch.threshold())),
+                        ("value", watch.last_value().map_or(Json::Null, Json::from)),
+                        ("score", watch.last_score().map_or(Json::Null, Json::from)),
+                    ])
+                })
+                .collect(),
+        };
+        Json::obj([
+            ("state", Json::from(state)),
+            (
+                "warmup",
+                Json::obj([
+                    ("target", Json::from(self.warmup_target)),
+                    ("collected", Json::from(collected)),
+                    ("complete", Json::from(inner.watches.is_some())),
+                ]),
+            ),
+            (
+                "sampler",
+                Json::obj([
+                    ("interval_ms", Json::from(recorder.interval_ms() as usize)),
+                    ("retention", Json::from(recorder.retention())),
+                    ("samples", Json::from(recorder.len())),
+                ]),
+            ),
+            ("signals", Json::Arr(signals)),
+        ])
+    }
+}
+
+/// Derives the three signal values from one sampler window. Windows with
+/// no traffic carry the previous value forward (`last`) instead of
+/// reading as zero latency.
+fn signal_values(prev: &Sample, current: &Sample, last: &[f64; 3]) -> [f64; 3] {
+    let dt_secs = current.t_ns.saturating_sub(prev.t_ns) as f64 / 1e9;
+    if dt_secs <= 0.0 {
+        return *last;
+    }
+    let external = history::external_delta(prev, current);
+    let request_p99_ms = if external.count > 0 {
+        external.quantile(0.99) as f64 / 1e6
+    } else {
+        last[0]
+    };
+    let queue_wait = stage_delta(prev, current, "s2g_pool_queue_wait_ns");
+    let queue_wait_mean_ms = match &queue_wait {
+        Some(delta) if delta.count > 0 => delta.mean() / 1e6,
+        _ => last[1],
+    };
+    let store_fault_per_sec = stage_delta(prev, current, "s2g_store_fault_ns")
+        .map_or(0.0, |delta| delta.count as f64 / dt_secs);
+    [request_p99_ms, queue_wait_mean_ms, store_fault_per_sec]
+}
+
+fn stage_delta(prev: &Sample, current: &Sample, name: &str) -> Option<s2g_obs::CompactHistogram> {
+    let index = history::stage_index(name)?;
+    Some(
+        current
+            .histograms
+            .get(index)?
+            .delta(prev.histograms.get(index)?),
+    )
+}
+
+/// Fits one watchdog per signal on the warm-up telemetry: Series2Graph
+/// when the series embeds, robust z-score otherwise, threshold
+/// calibrated from the warm-up scores either way.
+fn fit_watches(shared: &Shared, collected: &[[f64; 3]]) -> Vec<SignalWatch> {
+    SIGNALS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let column: Vec<f64> = collected.iter().map(|row| row[i]).collect();
+            let (scorer, scores) = fit_signal_scorer(shared, name, &column);
+            let threshold = calibrate_threshold(&scores, THRESHOLD_SIGMAS);
+            SignalWatch::new(name, scorer, threshold, Hysteresis::default())
+        })
+        .collect()
+}
+
+/// One signal's scorer plus its calibration scores. Tries the S2G
+/// streaming path first with **holdout validation**: the model is fitted
+/// on the first 60% of the warm-up only, then must keep the held-out
+/// 40% strictly normal (enough scores, all positive). Replaying the
+/// training data always scores well — only unseen telemetry reveals
+/// whether the signal has repeating structure for the graph to embed; a
+/// signal that is pure jitter at the sampling timescale collapses to
+/// zero-normality on fresh data and would false-alarm forever. Such
+/// signals (and fit failures, e.g. a constant series) fall back to the
+/// robust z watchdog.
+fn fit_signal_scorer(
+    shared: &Shared,
+    name: &str,
+    column: &[f64],
+) -> (Box<dyn SignalScorer>, Vec<f64>) {
+    let split = column.len() * 3 / 5;
+    match shared
+        .engine
+        .fit_watch_scorer(&column[..split], WATCH_PATTERN_LEN, WATCH_QUERY_LEN)
+    {
+        Ok(streaming) => {
+            let mut scorer = S2gSignalScorer(streaming);
+            // Warm the scorer through the training portion (scores over
+            // fitted data are discarded), then score the holdout.
+            for &value in &column[..split] {
+                let _ = scorer.push(value);
+            }
+            let holdout: Vec<f64> = column[split..]
+                .iter()
+                .filter_map(|&v| scorer.push(v))
+                .collect();
+            if holdout.len() >= 4 && holdout.iter().all(|&s| s > 0.0) {
+                return (Box::new(scorer), holdout);
+            }
+            s2g_obs::warn!(
+                "selfwatch",
+                "signal {name}: holdout rejected the streaming scorer \
+                 ({} scores, min {:.4}), falling back to robust z",
+                holdout.len(),
+                holdout.iter().copied().fold(f64::INFINITY, f64::min)
+            );
+        }
+        Err(e) => {
+            s2g_obs::warn!(
+                "selfwatch",
+                "signal {name}: S2G warm-up fit failed ({e}), falling back to robust z"
+            );
+        }
+    }
+    let robust = RobustScorer::from_baseline(column)
+        .unwrap_or_else(|| RobustScorer::from_baseline(&[0.0, 0.0, 0.0]).expect("3 values"));
+    let mut probe = robust.clone();
+    let scores: Vec<f64> = column.iter().filter_map(|&v| probe.push(v)).collect();
+    (Box::new(robust), scores)
+}

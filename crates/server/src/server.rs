@@ -27,19 +27,24 @@ use std::time::{Duration, Instant};
 use s2g_core::config::BandwidthRule;
 use s2g_core::S2gConfig;
 use s2g_engine::{AdaptConfig, Engine, EngineConfig, ModelInfo};
-use s2g_obs::{FinishedTrace, HistogramSnapshot, Obs, SpanCtx, TraceId};
+use s2g_obs::{FinishedTrace, HistogramSnapshot, Obs, Recorder, SpanCtx, TraceId};
 use s2g_store::{ModelStore, StoreConfig};
 use s2g_timeseries::{io as ts_io, TimeSeries};
 
 use crate::error::ApiError;
+use crate::history;
 use crate::http::{read_request, Method, ParseError, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::selfwatch::SelfWatch;
 use crate::sessions::SessionTable;
 
 /// Route patterns of external (serving) traffic; their latency feeds the
-/// `s2g_request_duration_ns` histogram family.
-const EXTERNAL_ROUTES: &[&str] = &[
+/// `s2g_request_duration_ns` histogram family. `POST /debug/sleep` is the
+/// flag-gated artificial slow handler ([`ServerConfig::debug_sleep`]) —
+/// external on purpose, so an injected spike lands in the serving
+/// percentiles the self-watch scores.
+pub(crate) const EXTERNAL_ROUTES: &[&str] = &[
     "GET /models",
     "PUT /models/{name}",
     "GET /models/{name}",
@@ -49,15 +54,19 @@ const EXTERNAL_ROUTES: &[&str] = &[
     "POST /sessions/{id}/push",
     "DELETE /sessions/{id}",
     "POST /admin/shutdown",
+    "POST /debug/sleep",
 ];
 
 /// Route patterns of internal traffic (liveness probes, scrapes, debug
 /// endpoints), recorded under `s2g_internal_request_duration_ns` so a 1 Hz
 /// scraper can never skew the serving percentiles it is reporting.
-const INTERNAL_ROUTES: &[&str] = &[
+pub(crate) const INTERNAL_ROUTES: &[&str] = &[
     "GET /healthz",
     "GET /metrics",
     "GET /metrics/json",
+    "GET /metrics/history",
+    "GET /metrics/delta",
+    "GET /watch",
     "GET /debug/trace/{id}",
     "GET /debug/slow",
 ];
@@ -100,6 +109,25 @@ pub struct ServerConfig {
     /// emitted as `warn` lines (`serve --slow-request-ms`); `None`
     /// disables slow-request capture.
     pub slow_request_ms: Option<u64>,
+    /// Flight-recorder sampling interval in milliseconds
+    /// (`serve --sample-interval-ms`); `0` disables the sampler thread,
+    /// `/metrics/history` and the self-watch entirely.
+    pub sample_interval_ms: u64,
+    /// Maximum retained flight-recorder samples
+    /// (`serve --history-retention`); memory stays fixed past it.
+    pub history_retention: usize,
+    /// Sampler ticks of warm-up telemetry collected before the
+    /// self-watch scorers are fitted (`serve --watch-warmup`).
+    pub watch_warmup: usize,
+    /// Trace-ring capacity — how many finished traces
+    /// `GET /debug/trace/{id}` can look up (`serve --trace-ring`).
+    pub trace_ring: usize,
+    /// Slow-trace retention depth (`serve --slow-ring`).
+    pub slow_ring: usize,
+    /// Enables `POST /debug/sleep?ms=` — an artificial slow handler for
+    /// drills and self-watch acceptance tests. Off by default; the route
+    /// answers 404 when disabled.
+    pub debug_sleep: bool,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +144,12 @@ impl Default for ServerConfig {
             log_level: s2g_obs::Level::Info,
             log_json: false,
             slow_request_ms: None,
+            sample_interval_ms: 1_000,
+            history_retention: 600,
+            watch_warmup: 60,
+            trace_ring: Obs::TRACE_RING,
+            slow_ring: Obs::SLOW_KEEP,
+            debug_sleep: false,
         }
     }
 }
@@ -182,11 +216,48 @@ impl ServerConfig {
         self.slow_request_ms = ms;
         self
     }
+
+    /// Sets the flight-recorder sampling interval (`0` disables the
+    /// sampler, history and self-watch).
+    pub fn with_sample_interval_ms(mut self, ms: u64) -> Self {
+        self.sample_interval_ms = ms;
+        self
+    }
+
+    /// Sets the flight-recorder retention in samples (minimum 2).
+    pub fn with_history_retention(mut self, samples: usize) -> Self {
+        self.history_retention = samples.max(2);
+        self
+    }
+
+    /// Sets the self-watch warm-up length in sampler ticks.
+    pub fn with_watch_warmup(mut self, ticks: usize) -> Self {
+        self.watch_warmup = ticks;
+        self
+    }
+
+    /// Sets the trace-ring capacity (minimum 1).
+    pub fn with_trace_ring(mut self, capacity: usize) -> Self {
+        self.trace_ring = capacity.max(1);
+        self
+    }
+
+    /// Sets the slow-trace retention depth (minimum 1).
+    pub fn with_slow_ring(mut self, depth: usize) -> Self {
+        self.slow_ring = depth.max(1);
+        self
+    }
+
+    /// Enables the `POST /debug/sleep` artificial slow handler.
+    pub fn with_debug_sleep(mut self, enabled: bool) -> Self {
+        self.debug_sleep = enabled;
+        self
+    }
 }
 
 /// Counting semaphore bounding concurrent connection-handler threads.
-struct Slots {
-    capacity: usize,
+pub(crate) struct Slots {
+    pub(crate) capacity: usize,
     state: Mutex<SlotState>,
     available: Condvar,
 }
@@ -219,7 +290,7 @@ impl Slots {
 
     /// `(slots in use, acquirers currently blocked)` — the accept-slot
     /// occupancy gauges `/metrics` samples at scrape time.
-    fn occupancy(&self) -> (usize, usize) {
+    pub(crate) fn occupancy(&self) -> (usize, usize) {
         let state = self.lock();
         (self.capacity - state.free, state.waiting)
     }
@@ -280,18 +351,27 @@ impl Drop for SlotGuard {
     }
 }
 
-/// State shared by the accept loop, handler threads and shutdown handles.
-struct Shared {
-    engine: Engine,
-    sessions: SessionTable,
-    metrics: Metrics,
-    obs: Arc<Obs>,
+/// State shared by the accept loop, handler threads, the sampler and
+/// shutdown handles. Crate-visible so the flight-recorder collection
+/// ([`crate::history`]) and the self-watch ([`crate::selfwatch`]) can
+/// read the live instruments without widening the public API.
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) sessions: SessionTable,
+    pub(crate) metrics: Metrics,
+    pub(crate) obs: Arc<Obs>,
     max_body_bytes: usize,
     read_timeout: Duration,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
-    slots: Slots,
-    started: Instant,
+    pub(crate) slots: Slots,
+    pub(crate) started: Instant,
+    /// The flight recorder; `None` when sampling is disabled
+    /// (`sample_interval_ms = 0`).
+    pub(crate) recorder: Option<Arc<Recorder>>,
+    /// The self-watch board; present exactly when the recorder is.
+    pub(crate) watch: Option<SelfWatch>,
+    debug_sleep: bool,
 }
 
 impl Shared {
@@ -357,7 +437,12 @@ impl Server {
         let local_addr = listener.local_addr()?;
         // One instrument registry for the whole stack, attached to every
         // layer before the first request can arrive.
-        let obs = Arc::new(Obs::new(EXTERNAL_ROUTES, INTERNAL_ROUTES));
+        let obs = Arc::new(Obs::with_rings(
+            EXTERNAL_ROUTES,
+            INTERNAL_ROUTES,
+            config.trace_ring,
+            config.slow_ring,
+        ));
         if let Some(ms) = config.slow_request_ms {
             obs.traces
                 .set_slow_threshold_ns(ms.saturating_mul(1_000_000));
@@ -380,6 +465,26 @@ impl Server {
             engine.attach_storage(Arc::new(store));
         }
         s2g_obs::info!("server", "listening on {local_addr}");
+        // Flight recorder + self-watch: both exist exactly when sampling
+        // is on. The recorder's schema is frozen here, before the first
+        // sample, so every retained sample stays positionally aligned.
+        let (recorder, watch) = if config.sample_interval_ms > 0 {
+            let recorder = Arc::new(Recorder::new(
+                history::build_schema(),
+                config.sample_interval_ms,
+                config.history_retention.max(2),
+            ));
+            s2g_obs::info!(
+                "server",
+                "flight recorder on: {} ms interval, {} samples retained, self-watch warmup {} ticks",
+                recorder.interval_ms(),
+                recorder.retention(),
+                config.watch_warmup
+            );
+            (Some(recorder), Some(SelfWatch::new(config.watch_warmup)))
+        } else {
+            (None, None)
+        };
         let shared = Arc::new(Shared {
             engine,
             sessions: SessionTable::new(config.session_idle),
@@ -391,6 +496,9 @@ impl Server {
             local_addr,
             slots: Slots::new(config.max_clients),
             started: Instant::now(),
+            recorder,
+            watch,
+            debug_sleep: config.debug_sleep,
         });
         Ok(Server { listener, shared })
     }
@@ -422,6 +530,7 @@ impl Server {
     /// swallowed).
     pub fn run(&self) -> io::Result<()> {
         let sweeper = self.spawn_sweeper();
+        let sampler = self.spawn_sampler();
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
 
         for stream in self.listener.incoming() {
@@ -456,6 +565,9 @@ impl Server {
         if let Some(sweeper) = sweeper {
             let _ = sweeper.join();
         }
+        if let Some(sampler) = sampler {
+            let _ = sampler.join();
+        }
         Ok(())
     }
 
@@ -470,6 +582,35 @@ impl Server {
                 while !shared.shutdown.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
                     shared.sessions.evict_idle(&shared.engine);
+                }
+            })
+            .ok()
+    }
+
+    /// Background sampler: every `sample_interval_ms` it freezes all
+    /// instruments into the flight recorder and advances the self-watch.
+    /// Runs entirely off the serving path — handlers never wait on it.
+    fn spawn_sampler(&self) -> Option<JoinHandle<()>> {
+        let recorder = Arc::clone(self.shared.recorder.as_ref()?);
+        let shared = Arc::clone(&self.shared);
+        let tick = Duration::from_millis(recorder.interval_ms());
+        std::thread::Builder::new()
+            .name("s2g-sampler".to_string())
+            .spawn(move || {
+                let mut prev: Option<Arc<s2g_obs::Sample>> = None;
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    recorder.push(history::collect_sample(&shared));
+                    let Some(current) = recorder.latest() else {
+                        continue;
+                    };
+                    if let Some(watch) = &shared.watch {
+                        watch.tick(&shared, prev.as_deref(), &current);
+                    }
+                    prev = Some(current);
                 }
             })
             .ok()
@@ -592,8 +733,23 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             Err(ParseError::ConnectionClosed) => return, // probe; nothing to say
             Err(ParseError::Io(_)) if !first => return,  // stalled mid-keep-alive
             Err(e) => {
-                let response = ApiError::from(e).to_response();
+                // Even an unparseable request gets a trace: the error
+                // response carries `X-S2g-Trace` like every routed
+                // response, so failed requests stay debuggable through
+                // `GET /debug/trace/{id}` too.
+                let started = Instant::now();
+                let trace = shared.obs.start_trace();
+                let mut root = trace.begin("request", None);
+                root.attr("error", "unparsed");
+                let mut response = ApiError::from(e).to_response();
+                root.finish();
+                let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 shared.metrics.record_request("(unparsed)", response.status);
+                response.trace_id = Some(trace.id().to_string());
+                shared
+                    .obs
+                    .traces
+                    .finish(&trace, "(unparsed)", response.status, total_ns);
                 let _ = response.write_to(&stream);
                 return;
             }
@@ -678,8 +834,17 @@ fn route(
         (Get, ["healthz"]) => ("GET /healthz", handle_healthz(shared)),
         (Get, ["metrics"]) => ("GET /metrics", handle_metrics(shared)),
         (Get, ["metrics", "json"]) => ("GET /metrics/json", handle_metrics_json(shared)),
+        (Get, ["metrics", "history"]) => (
+            "GET /metrics/history",
+            handle_metrics_history(shared, request),
+        ),
+        (Get, ["metrics", "delta"]) => {
+            ("GET /metrics/delta", handle_metrics_delta(shared, request))
+        }
+        (Get, ["watch"]) => ("GET /watch", handle_watch(shared)),
         (Get, ["debug", "trace", id]) => ("GET /debug/trace/{id}", handle_debug_trace(shared, id)),
         (Get, ["debug", "slow"]) => ("GET /debug/slow", handle_debug_slow(shared)),
+        (Post, ["debug", "sleep"]) => ("POST /debug/sleep", handle_debug_sleep(shared, request)),
         (Get, ["models"]) => ("GET /models", handle_list_models(shared)),
         (Put, ["models", name]) => ("PUT /models/{name}", handle_fit(shared, name, request, ctx)),
         (Get, ["models", name]) => ("GET /models/{name}", handle_model_info(shared, name)),
@@ -698,8 +863,8 @@ fn route(
         // Known resource, wrong method.
         (
             _,
-            ["healthz" | "metrics" | "models"]
-            | ["metrics", "json"]
+            ["healthz" | "metrics" | "models" | "watch"]
+            | ["metrics", ..]
             | ["debug", ..]
             | ["models", ..]
             | ["sessions", ..]
@@ -853,37 +1018,8 @@ fn render_histogram(
     ));
 }
 
-fn sampled_gauges(shared: &Shared) -> Vec<(&'static str, u64)> {
-    let storage = shared.engine.storage();
-    let (slots_in_use, accept_waiting) = shared.slots.occupancy();
-    vec![
-        (
-            "s2g_models_registered",
-            shared.engine.registry().len() as u64,
-        ),
-        (
-            "s2g_models_stored",
-            storage.map_or(0, |s| s.stored()) as u64,
-        ),
-        (
-            "s2g_store_resident_bytes",
-            storage.map_or(0, |s| s.resident_bytes()),
-        ),
-        (
-            "s2g_store_residency_evictions_total",
-            storage.map_or(0, |s| s.residency_evictions()),
-        ),
-        ("s2g_sessions_open", shared.sessions.len() as u64),
-        ("s2g_workers", shared.engine.workers() as u64),
-        ("s2g_accept_slots", shared.slots.capacity as u64),
-        ("s2g_accept_slots_in_use", slots_in_use as u64),
-        ("s2g_accept_waiting", accept_waiting as u64),
-        ("s2g_uptime_seconds", shared.started.elapsed().as_secs()),
-    ]
-}
-
 fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
-    let mut lines = shared.metrics.render(&sampled_gauges(shared));
+    let mut lines = shared.metrics.render(&history::sampled_gauges(shared));
     // Pool scheduler balance: per-worker executed/stolen task counters and
     // current queue depth. `stolen > 0` means the work-stealing scheduler
     // rebalanced a skewed batch; worker cardinality is bounded by the pool
@@ -953,7 +1089,7 @@ fn family_json(family: &s2g_obs::Family) -> Json {
 
 fn handle_metrics_json(shared: &Shared) -> Result<Response, ApiError> {
     let gauges = Json::Obj(
-        sampled_gauges(shared)
+        history::sampled_gauges(shared)
             .into_iter()
             .map(|(name, value)| (name.to_string(), Json::from(value as usize)))
             .collect(),
@@ -968,6 +1104,14 @@ fn handle_metrics_json(shared: &Shared) -> Result<Response, ApiError> {
             .collect(),
     );
     let threshold = shared.obs.traces.slow_threshold_ns();
+    let sampler = match &shared.recorder {
+        None => Json::Null,
+        Some(recorder) => Json::obj([
+            ("interval_ms", Json::from(recorder.interval_ms() as usize)),
+            ("retention", Json::from(recorder.retention())),
+            ("samples", Json::from(recorder.len())),
+        ]),
+    };
     let body = Json::obj([
         ("gauges", gauges),
         ("requests", family_json(&shared.obs.requests)),
@@ -981,7 +1125,67 @@ fn handle_metrics_json(shared: &Shared) -> Result<Response, ApiError> {
                 Json::from((threshold / 1_000_000) as usize)
             },
         ),
+        ("trace_ring", Json::from(shared.obs.traces.capacity())),
+        ("slow_ring", Json::from(shared.obs.traces.slow_keep())),
+        ("sampler", sampler),
     ]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+/// `GET /metrics/history?window=&step=`: the flight recorder's retained
+/// series (404 when sampling is disabled). `window` is in seconds
+/// (0 / absent = everything retained); `step` keeps every Nth sample.
+fn handle_metrics_history(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    let Some(recorder) = &shared.recorder else {
+        return Err(ApiError::not_found(
+            "flight recorder disabled (serve with --sample-interval-ms > 0)",
+        ));
+    };
+    let window = query_usize(request, "window")?.unwrap_or(0) as u64;
+    let step = query_usize(request, "step")?.unwrap_or(1).max(1);
+    Ok(Response::ok(vec![history::history_json(
+        recorder, window, step,
+    )
+    .encode()]))
+}
+
+/// `GET /metrics/delta?window=`: rates and windowed latency summaries over
+/// the last `window` seconds of retained samples (default 60).
+fn handle_metrics_delta(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    let Some(recorder) = &shared.recorder else {
+        return Err(ApiError::not_found(
+            "flight recorder disabled (serve with --sample-interval-ms > 0)",
+        ));
+    };
+    let window = query_usize(request, "window")?.unwrap_or(60) as u64;
+    Ok(Response::ok(vec![
+        history::delta_json(recorder, window).encode()
+    ]))
+}
+
+/// `GET /watch`: the self-watch board (404 when sampling is disabled).
+fn handle_watch(shared: &Shared) -> Result<Response, ApiError> {
+    let (Some(watch), Some(recorder)) = (&shared.watch, &shared.recorder) else {
+        return Err(ApiError::not_found(
+            "self-watch disabled (serve with --sample-interval-ms > 0)",
+        ));
+    };
+    Ok(Response::ok(vec![watch.status_json(recorder).encode()]))
+}
+
+/// `POST /debug/sleep?ms=`: an artificial slow handler for exercising the
+/// latency instruments (gated behind `--debug-sleep`; 404 otherwise). The
+/// sleep happens on the connection thread, so its full duration lands in
+/// the external serving histograms like any genuinely slow request.
+fn handle_debug_sleep(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    if !shared.debug_sleep {
+        return Err(ApiError::not_found(
+            "debug sleep disabled (serve with --debug-sleep)",
+        ));
+    }
+    let ms = query_usize(request, "ms")?.unwrap_or(10).min(1_000);
+    std::thread::sleep(Duration::from_millis(ms as u64));
+    let body = Json::obj([("slept_ms", Json::from(ms))]);
     Ok(Response::ok(vec![body.encode()]))
 }
 
@@ -1025,7 +1229,7 @@ fn handle_debug_trace(shared: &Shared, id: &str) -> Result<Response, ApiError> {
     let trace = shared.obs.traces.lookup(id).ok_or_else(|| {
         ApiError::not_found(format!(
             "no retained trace {id} (the ring keeps the last {} traces, plus slow ones)",
-            Obs::TRACE_RING
+            shared.obs.traces.capacity()
         ))
     })?;
     Ok(Response::ok(vec![finished_trace_json(&trace).encode()]))
@@ -1083,6 +1287,13 @@ fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {
         (
             "resident_bytes",
             Json::from(storage.map_or(0, |s| s.resident_bytes()) as usize),
+        ),
+        (
+            "watch",
+            Json::from(match &shared.watch {
+                None => "disabled",
+                Some(watch) => watch.health_state(),
+            }),
         ),
     ]);
     Ok(Response::ok(vec![body.encode()]))

@@ -1,0 +1,349 @@
+//! `s2g top` — a live terminal dashboard over a running server.
+//!
+//! Polls `GET /metrics/history`, `GET /metrics/delta` and `GET /watch`
+//! on a refresh interval and renders the retained telemetry as
+//! sparklines (request rate, windowed mean latency, pool queue depth)
+//! plus the self-watch board and a windowed per-route table. Std-only:
+//! the "UI" is ANSI clear-screen plus Unicode block characters, so it
+//! works in any terminal and `--once` degrades it to a plain printout
+//! for scripts and smoke tests.
+
+use std::time::Duration;
+
+use s2g_engine::cli::{CliError, ParsedArgs};
+
+use crate::client::{Client, ClientError};
+use crate::json::Json;
+
+/// Eight-level bar alphabet for sparklines.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as one sparkline character per value, scaled to the
+/// series maximum (all-minimum when the series is flat at zero).
+fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || !v.is_finite() {
+                BARS[0]
+            } else {
+                let level = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+                BARS[level]
+            }
+        })
+        .collect()
+}
+
+/// `s2g top [--addr <host:port>] [--window <secs>] [--refresh-ms <n>]
+/// [--once]`.
+///
+/// # Errors
+/// [`CliError::Usage`] for bad flags, [`CliError::Runtime`] when the
+/// server cannot be reached.
+pub(crate) fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(args, &["--addr", "--window", "--refresh-ms"], &["--once"])?;
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let window = args.usize_flag("--window", Some(60))? as u64;
+    let refresh_ms = args.usize_flag("--refresh-ms", Some(1_000))?.max(100) as u64;
+    let once = args.has("--once");
+    let client = Client::new(addr.clone());
+    loop {
+        let frame =
+            render_frame(&client, &addr, window).map_err(|e| CliError::Runtime(e.to_string()))?;
+        if once {
+            println!("{frame}");
+            return Ok(());
+        }
+        // Clear screen + home, then the frame — a full redraw per tick.
+        print!("\x1b[2J\x1b[H{frame}\n(refresh {refresh_ms} ms, ctrl-c to quit)");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(refresh_ms));
+    }
+}
+
+/// A 404 means the feature is off server-side (sampling disabled);
+/// render that instead of dying. Everything else is a real failure.
+fn optional(result: Result<Json, ClientError>) -> Result<Option<Json>, ClientError> {
+    match result {
+        Ok(json) => Ok(Some(json)),
+        Err(ClientError::Api { status: 404, .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// One full dashboard frame as a string (no ANSI control codes — the
+/// caller decides whether to clear the screen around it).
+fn render_frame(client: &Client, addr: &str, window: u64) -> Result<String, ClientError> {
+    let health = client.health()?;
+    let history = optional(client.metrics_history(window, 1))?;
+    let delta = optional(client.metrics_delta(window))?;
+    let watch = optional(client.watch())?;
+
+    let field = |json: &Json, key: &str| json.get(key).and_then(Json::as_usize).unwrap_or(0);
+    let state = health
+        .get("watch")
+        .and_then(Json::as_str)
+        .unwrap_or("disabled")
+        .to_string();
+    let mut out = format!(
+        "s2g top — {addr}   watch: {state}   uptime {}s   models {}   sessions {}   workers {}\n",
+        field(&health, "uptime_secs"),
+        field(&health, "models"),
+        field(&health, "sessions"),
+        field(&health, "workers"),
+    );
+
+    match &history {
+        None => out.push_str("\nflight recorder: disabled (serve with --sample-interval-ms > 0)\n"),
+        Some(history) => render_history(&mut out, history),
+    }
+    if let Some(watch) = &watch {
+        render_watch(&mut out, watch);
+    }
+    match &delta {
+        None => {}
+        Some(delta) => render_delta(&mut out, delta, window),
+    }
+    Ok(out)
+}
+
+/// Positions of the schema names matching `predicate`.
+fn matching_indices(schema: &Json, kind: &str, predicate: impl Fn(&str) -> bool) -> Vec<usize> {
+    schema
+        .get(kind)
+        .and_then(Json::as_array)
+        .map(|names| {
+            names
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.as_str().is_some_and(&predicate))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The flight-recorder block: sample count plus rate / latency / queue
+/// sparklines derived from consecutive cumulative samples.
+fn render_history(out: &mut String, history: &Json) {
+    let interval_ms = history
+        .get("interval_ms")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    let retention = history
+        .get("retention")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    let samples = history
+        .get("series")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    out.push_str(&format!(
+        "\nflight recorder: {} samples @ {interval_ms} ms (retention {retention})\n",
+        samples.len()
+    ));
+    if samples.len() < 2 {
+        out.push_str("  (need two samples for rates — waiting)\n");
+        return;
+    }
+    let schema = history.get("schema").cloned().unwrap_or(Json::Null);
+    let request_counters = matching_indices(&schema, "counters", |n| {
+        n.starts_with("s2g_requests_total{")
+    });
+    let external_hists = matching_indices(&schema, "histograms", |n| {
+        n.starts_with("s2g_request_duration_ns{")
+    });
+    let queue_gauge = matching_indices(&schema, "gauges", |n| n == "s2g_pool_queue_depth_total")
+        .first()
+        .copied();
+
+    // Cumulative totals per sample, then consecutive deltas.
+    let totals: Vec<(f64, f64, f64, f64)> = samples
+        .iter()
+        .map(|sample| {
+            let counters = sample
+                .get("counters")
+                .and_then(Json::as_array)
+                .unwrap_or(&[]);
+            let hists = sample
+                .get("histograms")
+                .and_then(Json::as_array)
+                .unwrap_or(&[]);
+            let requests: f64 = request_counters
+                .iter()
+                .filter_map(|&i| counters.get(i).and_then(Json::as_f64))
+                .sum();
+            let (mut count, mut sum_ns) = (0.0, 0.0);
+            for &i in &external_hists {
+                if let Some(h) = hists.get(i) {
+                    count += h.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+                    sum_ns += h.get("sum_ns").and_then(Json::as_f64).unwrap_or(0.0);
+                }
+            }
+            let t_ns = sample.get("t_ns").and_then(Json::as_f64).unwrap_or(0.0);
+            (t_ns, requests, count, sum_ns)
+        })
+        .collect();
+    let mut rates = Vec::new();
+    let mut means_ms = Vec::new();
+    for pair in totals.windows(2) {
+        let (t0, r0, c0, s0) = pair[0];
+        let (t1, r1, c1, s1) = pair[1];
+        let dt = ((t1 - t0) / 1e9).max(1e-9);
+        rates.push((r1 - r0).max(0.0) / dt);
+        let dc = (c1 - c0).max(0.0);
+        means_ms.push(if dc > 0.0 {
+            (s1 - s0).max(0.0) / dc / 1e6
+        } else {
+            0.0
+        });
+    }
+    let queue: Vec<f64> = match queue_gauge {
+        None => Vec::new(),
+        Some(i) => samples
+            .iter()
+            .filter_map(|s| s.get("gauges").and_then(Json::as_array)?.get(i)?.as_f64())
+            .collect(),
+    };
+    let last = |v: &[f64]| v.last().copied().unwrap_or(0.0);
+    out.push_str(&format!(
+        "  req/s    {}  last {:.1}/s\n",
+        sparkline(&rates),
+        last(&rates)
+    ));
+    out.push_str(&format!(
+        "  mean ms  {}  last {:.3} ms\n",
+        sparkline(&means_ms),
+        last(&means_ms)
+    ));
+    if !queue.is_empty() {
+        out.push_str(&format!(
+            "  queue    {}  last {:.0}\n",
+            sparkline(&queue),
+            last(&queue)
+        ));
+    }
+}
+
+/// The self-watch block: overall state, warm-up progress, one line per
+/// signal.
+fn render_watch(out: &mut String, watch: &Json) {
+    let state = watch.get("state").and_then(Json::as_str).unwrap_or("?");
+    let warmup = watch.get("warmup").cloned().unwrap_or(Json::Null);
+    let target = warmup.get("target").and_then(Json::as_usize).unwrap_or(0);
+    let collected = warmup
+        .get("collected")
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "\nself-watch: {state} (warmup {collected}/{target})\n"
+    ));
+    let signals = watch.get("signals").and_then(Json::as_array).unwrap_or(&[]);
+    if signals.is_empty() {
+        return;
+    }
+    out.push_str(&format!(
+        "  {:<22} {:<10} {:<9} {:>12} {:>12} {:>12}\n",
+        "signal", "state", "scorer", "value", "score", "threshold"
+    ));
+    for signal in signals {
+        let text = |key: &str| {
+            signal
+                .get(key)
+                .and_then(Json::as_str)
+                .unwrap_or("-")
+                .to_string()
+        };
+        let num = |key: &str| match signal.get(key).and_then(Json::as_f64) {
+            Some(v) => format!("{v:.4}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "  {:<22} {:<10} {:<9} {:>12} {:>12} {:>12}\n",
+            text("name"),
+            text("state"),
+            text("scorer"),
+            num("value"),
+            num("score"),
+            num("threshold"),
+        ));
+    }
+}
+
+/// The windowed-delta block: per-route rates and windowed percentiles
+/// from `GET /metrics/delta`, busiest routes first.
+fn render_delta(out: &mut String, delta: &Json, window: u64) {
+    if delta.get("ready") != Some(&Json::Bool(true)) {
+        out.push_str(&format!(
+            "\nlast {window}s: not ready (waiting for samples to span the window)\n"
+        ));
+        return;
+    }
+    let seconds = delta.get("seconds").and_then(Json::as_f64).unwrap_or(0.0);
+    out.push_str(&format!("\nlast {seconds:.1}s (windowed):\n"));
+    let Some(Json::Obj(histograms)) = delta.get("histograms") else {
+        return;
+    };
+    let mut rows: Vec<(&str, f64, f64, f64, f64)> = histograms
+        .iter()
+        .filter_map(|(name, summary)| {
+            let route = name
+                .strip_prefix("s2g_request_duration_ns{route=\"")?
+                .strip_suffix("\"}")?;
+            let get = |key: &str| summary.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            Some((
+                route,
+                get("per_sec"),
+                get("count"),
+                get("p50_ns") / 1e6,
+                get("p99_ns") / 1e6,
+            ))
+        })
+        .collect();
+    if rows.is_empty() {
+        out.push_str("  (no external traffic in the window)\n");
+        return;
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+    out.push_str(&format!(
+        "  {:<34} {:>8} {:>8} {:>9} {:>9}\n",
+        "route", "req/s", "count", "p50 ms", "p99 ms"
+    ));
+    for (route, per_sec, count, p50, p99) in rows {
+        out.push_str(&format!(
+            "  {route:<34} {per_sec:>8.1} {count:>8.0} {p50:>9.3} {p99:>9.3}\n"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let line = sparkline(&[0.0, 3.5, 7.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn top_rejects_bad_flags() {
+        let args: Vec<String> = vec!["--bogus".to_string()];
+        assert!(matches!(cmd_top(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn top_against_nothing_is_a_runtime_error() {
+        let args: Vec<String> = ["--addr", "127.0.0.1:1", "--once"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(cmd_top(&args), Err(CliError::Runtime(_))));
+    }
+}
