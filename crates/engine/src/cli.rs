@@ -53,7 +53,7 @@ USAGE:
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
                          [--batches <n>] [--sample-interval-ms <n>]
-                         [--skew] [--json]
+                         [--journal-dir <dir>] [--skew] [--json]
     s2g eval   [--seed <n>] [--scenario <id>[,<id>...]] [--rev <tag>]
                [--fast] [--json] [--check] [--list]
     s2g help
@@ -508,6 +508,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             "--query-length",
             "--batches",
             "--sample-interval-ms",
+            "--journal-dir",
         ],
         &["--json", "--skew"],
     )?;
@@ -519,7 +520,13 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let pattern_length = args.usize_flag("--pattern-length", Some(50))?;
     let query_length = args.usize_flag("--query-length", Some(150))?;
     let batches = args.usize_flag("--batches", Some(9))?.max(1);
-    let sample_interval_ms = args.usize_flag("--sample-interval-ms", Some(0))? as u64;
+    let journal_dir = args.get("--journal-dir").map(std::path::PathBuf::from);
+    // Journaling rides on the sampler thread; `--journal-dir` alone turns
+    // the sampler on at its densest cadence so there is traffic to write.
+    let sample_interval_ms = match args.usize_flag("--sample-interval-ms", Some(0))? as u64 {
+        0 if journal_dir.is_some() => 1,
+        ms => ms,
+    };
     let json = args.has("--json");
     let skew = args.has("--skew");
 
@@ -586,14 +593,29 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             4096,
         ))
     });
+    // Optional durable journal under the sampler: every retained sample is
+    // also streamed to segment files, so the bench doubles as the journal
+    // overhead guard (the writer sheds under pressure, never blocks).
+    let journal = match (&journal_dir, &recorder) {
+        (Some(dir), Some(recorder)) => {
+            let (journal, thread) = s2g_obs::journal::Journal::open(
+                s2g_obs::journal::JournalConfig::new(dir),
+                recorder.schema().clone(),
+            )
+            .map_err(|e| CliError::Runtime(format!("journal at {}: {e}", dir.display())))?;
+            Some((journal, thread))
+        }
+        _ => None,
+    };
     let sampler_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let sampler = recorder.as_ref().map(|recorder| {
         let recorder = Arc::clone(recorder);
         let obs = Arc::clone(&obs);
         let stop = Arc::clone(&sampler_stop);
+        let journal = journal.as_ref().map(|(journal, _)| journal.clone());
         std::thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                recorder.push(s2g_obs::recorder::Sample {
+                let sample = s2g_obs::recorder::Sample {
                     t_ns: s2g_obs::clock::now_ns(),
                     counters: Vec::new(),
                     gauges: Vec::new(),
@@ -604,7 +626,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
                             s2g_obs::recorder::CompactHistogram::from_snapshot(&hist.snapshot())
                         })
                         .collect(),
-                });
+                };
+                if let Some(journal) = &journal {
+                    journal.publish(s2g_obs::journal::JournalEvent::sample(sample.clone()));
+                }
+                recorder.push(sample);
                 std::thread::sleep(std::time::Duration::from_millis(sample_interval_ms));
             }
         })
@@ -640,6 +666,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         let _ = handle.join();
     }
     let sampler_samples = recorder.as_ref().map_or(0, |r| r.len());
+    let journal_stats = journal.map(|(journal, thread)| {
+        journal.close();
+        thread.join();
+        journal.stats()
+    });
     if pooled != sequential {
         return Err(CliError::Runtime(
             "pool scores diverged from sequential scores".to_string(),
@@ -696,12 +727,19 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
              \"task_execute_p50_ms\":{ex_p50:.3},\"task_execute_p95_ms\":{ex_p95:.3},\
              \"task_execute_p99_ms\":{ex_p99:.3},\"task_execute_mean_ms\":{:.3},\
              \"sampler_interval_ms\":{sample_interval_ms},\
-             \"sampler_samples\":{sampler_samples},\
+             \"sampler_samples\":{sampler_samples},{}\
              \"deterministic\":true}}",
             seq_time.as_secs_f64() * 1e3,
             seq_pps,
             queue_wait.mean() / 1e6,
             execute.mean() / 1e6,
+            journal_stats.as_ref().map_or_else(String::new, |s| {
+                format!(
+                    "\"journal_written\":{},\"journal_dropped\":{},\"journal_bytes\":{},\
+                     \"journal_segments\":{},",
+                    s.written, s.dropped, s.bytes, s.segments
+                )
+            }),
         );
         return Ok(());
     }
@@ -722,6 +760,12 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     if sample_interval_ms > 0 {
         println!(
             "flight recorder: {sampler_samples} samples @ {sample_interval_ms} ms while benching"
+        );
+    }
+    if let Some(stats) = &journal_stats {
+        println!(
+            "journal: {} event(s) written across {} segment(s) ({} bytes), {} shed",
+            stats.written, stats.segments, stats.bytes, stats.dropped
         );
     }
     println!("determinism: pool output identical to sequential across all batches ✓");

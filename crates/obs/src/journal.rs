@@ -1,0 +1,1460 @@
+//! Durable telemetry journal: the serving stack's black box.
+//!
+//! Everything PR 6/PR 8 built — traces, histograms, the retained flight
+//! recorder, self-watch — lives in process memory and evaporates on crash
+//! or restart, which is exactly when an operator needs it. The journal
+//! streams those events into append-only segment files under
+//! `<data-dir>/obs/` so a `kill -9` leaves a readable record:
+//!
+//! * **Framing** — each record is `len (u32 LE) | kind + payload |
+//!   fnv1a(kind + payload) (u64 LE)`. A segment is the 8-byte magic
+//!   `S2GJRNL1` followed by records, the first always the segment meta
+//!   (format version, sequence number, wall clock at open, and the
+//!   [`SeriesSchema`] every journalled [`Sample`] is aligned to). Every
+//!   read verifies the checksum, so a torn tail — the partial record a
+//!   `kill -9` mid-write leaves — is detected *by construction*: the
+//!   writer truncates it on reopen, the reader skips it and flags the
+//!   segment as torn.
+//! * **Rotation & retention** — segments are size-bounded. Rotation
+//!   creates the next file with the store's tmp + fsync + rename
+//!   discipline (a segment that is visible under its final name always
+//!   carries a valid meta record) and reclaims the oldest segments
+//!   beyond `max_segments`, so disk use is bounded like the in-memory
+//!   rings it mirrors.
+//! * **Load shedding** — [`Journal::publish`] is a bounded `try_send`
+//!   into the writer thread; when the writer falls behind, events are
+//!   counted in [`JournalStats::dropped`] and discarded. The serving
+//!   path never blocks on the journal, and never queues unboundedly.
+//! * **Postmortems** — [`write_postmortem`] freezes a final batch of
+//!   events (in-flight traces, the newest recorder samples, the watch
+//!   board) into a `postmortem-<ts>.s2gj` written atomically in one
+//!   tmp + fsync + rename; the server's panic hook calls it before the
+//!   process dies. Postmortems share the segment format, so every
+//!   `s2g obs` subcommand reads them too.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crate::log::Level;
+use crate::recorder::{CompactHistogram, Sample, SeriesSchema};
+use crate::trace::{FinishedTrace, SpanRecord, TraceId};
+
+/// Magic bytes opening every journal segment and postmortem file.
+pub const MAGIC: &[u8; 8] = b"S2GJRNL1";
+
+/// Journal format version written into every segment meta record.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File extension shared by segments and postmortems.
+pub const FILE_EXT: &str = "s2gj";
+
+/// Upper bound on a single record's framed payload — anything larger is
+/// treated as corruption, not allocated.
+const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+const KIND_META: u8 = 1;
+const KIND_SAMPLE: u8 = 2;
+const KIND_TRACE: u8 = 3;
+const KIND_WATCH: u8 = 4;
+const KIND_LOG: u8 = 5;
+const KIND_PANIC: u8 = 6;
+
+/// FNV-1a over `bytes` — the checksum guarding every journal record.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Milliseconds of wall-clock time since the Unix epoch — the cross-boot
+/// timestamp every journalled event carries (the monotonic process clock
+/// resets on restart and cannot order events across boots).
+pub fn wall_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .ok()
+        .and_then(|d| u64::try_from(d.as_millis()).ok())
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Event model
+// ---------------------------------------------------------------------------
+
+/// A flight-recorder sample freeze, aligned to its segment's schema.
+#[derive(Debug, Clone)]
+pub struct SampleEvent {
+    /// Wall clock at enqueue (Unix milliseconds).
+    pub wall_ms: u64,
+    /// The frozen sample (monotonic `t_ns`, counters, gauges, histograms).
+    pub sample: Sample,
+}
+
+/// One span of a journalled trace — the owned mirror of [`SpanRecord`]
+/// (live spans borrow `&'static str` names; decoded ones own their text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span id, unique within its trace (root is `0`).
+    pub id: u32,
+    /// Parent span id; `None` for the root.
+    pub parent: Option<u32>,
+    /// Span name (`request`, `engine.score`, `store.load`, …).
+    pub name: String,
+    /// Start in nanoseconds of monotonic process time.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+    /// `key=value` attributes.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanEvent {
+    fn from_record(r: &SpanRecord) -> Self {
+        SpanEvent {
+            id: r.id,
+            parent: r.parent,
+            name: r.name.to_string(),
+            start_ns: r.start_ns,
+            duration_ns: r.duration_ns,
+            attrs: r
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A journalled trace: finished slow/error traces on the live path, or an
+/// in-flight trace drained into a postmortem by the panic hook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Wall clock at enqueue (Unix milliseconds).
+    pub wall_ms: u64,
+    /// The trace id (render with [`TraceId`] for the 16-hex form).
+    pub id: u64,
+    /// Normalised route pattern, or the raw `METHOD /target` of an
+    /// in-flight request whose route was not yet resolved.
+    pub route: String,
+    /// HTTP status answered (0 for in-flight traces).
+    pub status: u16,
+    /// End-to-end duration in nanoseconds (0 for in-flight traces).
+    pub total_ns: u64,
+    /// `true` when drained mid-request by the panic hook.
+    pub in_flight: bool,
+    /// Spans recorded (finished) at capture time, sorted by start.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl TraceEvent {
+    /// Freezes a finished trace for journalling.
+    pub fn from_finished(t: &FinishedTrace) -> Self {
+        TraceEvent {
+            wall_ms: wall_ms_now(),
+            id: t.id.0,
+            route: t.route.to_string(),
+            status: t.status,
+            total_ns: t.total_ns,
+            in_flight: false,
+            spans: t.spans.iter().map(SpanEvent::from_record).collect(),
+        }
+    }
+
+    /// Freezes an in-flight trace (spans finished so far) for a
+    /// postmortem.
+    pub fn from_in_flight(id: TraceId, route: &str, spans: &[SpanRecord]) -> Self {
+        TraceEvent {
+            wall_ms: wall_ms_now(),
+            id: id.0,
+            route: route.to_string(),
+            status: 0,
+            total_ns: 0,
+            in_flight: true,
+            spans: spans.iter().map(SpanEvent::from_record).collect(),
+        }
+    }
+}
+
+/// A self-watch hysteresis state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchEvent {
+    /// Wall clock at enqueue (Unix milliseconds).
+    pub wall_ms: u64,
+    /// Monotonic process time of the tick.
+    pub t_ns: u64,
+    /// Watched signal name (`request_p99_ms`, …).
+    pub signal: String,
+    /// State before the tick (`ok` / `degraded` / `anomalous`).
+    pub from: String,
+    /// State after the tick.
+    pub to: String,
+    /// The signal value that drove the transition.
+    pub value: f64,
+    /// The scorer's normality score for that value.
+    pub score: f64,
+}
+
+/// A warn/error log line teed into the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Wall clock at enqueue (Unix milliseconds).
+    pub wall_ms: u64,
+    /// Monotonic process time of the line.
+    pub t_ns: u64,
+    /// Severity.
+    pub level: Level,
+    /// Log target (`server`, `store`, `watch`, …).
+    pub target: String,
+    /// The formatted message.
+    pub msg: String,
+    /// Trace id active when the line was emitted, `0` when none.
+    pub trace_id: u64,
+}
+
+/// The terminal record of a postmortem: what panicked, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicEvent {
+    /// Wall clock at capture (Unix milliseconds).
+    pub wall_ms: u64,
+    /// The panic payload, rendered.
+    pub message: String,
+    /// `file:line` of the panic site when known.
+    pub location: String,
+}
+
+/// One journalled event — everything the black box records.
+#[derive(Debug, Clone)]
+pub enum JournalEvent {
+    /// A flight-recorder sample freeze.
+    Sample(SampleEvent),
+    /// A finished slow/error trace, or an in-flight postmortem trace.
+    Trace(TraceEvent),
+    /// A self-watch state transition.
+    Watch(WatchEvent),
+    /// A warn/error log line.
+    Log(LogEvent),
+    /// The panic record closing a postmortem.
+    Panic(PanicEvent),
+}
+
+impl JournalEvent {
+    /// Wraps a recorder sample, stamped with the current wall clock.
+    pub fn sample(sample: Sample) -> Self {
+        JournalEvent::Sample(SampleEvent {
+            wall_ms: wall_ms_now(),
+            sample,
+        })
+    }
+
+    /// Wall-clock enqueue time (Unix milliseconds) of any event kind.
+    pub fn wall_ms(&self) -> u64 {
+        match self {
+            JournalEvent::Sample(e) => e.wall_ms,
+            JournalEvent::Trace(e) => e.wall_ms,
+            JournalEvent::Watch(e) => e.wall_ms,
+            JournalEvent::Log(e) => e.wall_ms,
+            JournalEvent::Panic(e) => e.wall_ms,
+        }
+    }
+
+    /// Stable lowercase kind name (`sample`, `trace`, `watch`, `log`,
+    /// `panic`) — the vocabulary `obs grep`/`obs export` filter on.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::Sample(_) => "sample",
+            JournalEvent::Trace(_) => "trace",
+            JournalEvent::Watch(_) => "watch",
+            JournalEvent::Log(_) => "log",
+            JournalEvent::Panic(_) => "panic",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, u32::try_from(s.len()).unwrap_or(u32::MAX));
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_str_list(buf: &mut Vec<u8>, items: &[String]) {
+    put_u32(buf, u32::try_from(items.len()).unwrap_or(u32::MAX));
+    for s in items {
+        put_str(buf, s);
+    }
+}
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn str_list(&mut self) -> Option<Vec<String>> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return None; // length cannot exceed remaining bytes
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Some(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_compact(buf: &mut Vec<u8>, h: &CompactHistogram) {
+    put_u64(buf, h.count);
+    put_u64(buf, h.sum);
+    put_u64(buf, h.max);
+    put_u32(buf, u32::try_from(h.buckets.len()).unwrap_or(u32::MAX));
+    for &(i, n) in &h.buckets {
+        put_u32(buf, u32::try_from(i).unwrap_or(u32::MAX));
+        put_u64(buf, n);
+    }
+}
+
+fn decode_compact(cur: &mut Cur<'_>) -> Option<CompactHistogram> {
+    let count = cur.u64()?;
+    let sum = cur.u64()?;
+    let max = cur.u64()?;
+    let n = cur.u32()? as usize;
+    if n > cur.buf.len() {
+        return None;
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = cur.u32()? as usize;
+        let c = cur.u64()?;
+        buckets.push((i, c));
+    }
+    Some(CompactHistogram {
+        count,
+        sum,
+        max,
+        buckets,
+    })
+}
+
+fn encode_u64_list(buf: &mut Vec<u8>, items: &[u64]) {
+    put_u32(buf, u32::try_from(items.len()).unwrap_or(u32::MAX));
+    for &v in items {
+        put_u64(buf, v);
+    }
+}
+
+fn decode_u64_list(cur: &mut Cur<'_>) -> Option<Vec<u64>> {
+    let n = cur.u32()? as usize;
+    if n > cur.buf.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.u64()?);
+    }
+    Some(out)
+}
+
+/// Encodes `kind + payload` (unframed) for one event.
+fn encode_event(ev: &JournalEvent) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match ev {
+        JournalEvent::Sample(e) => {
+            put_u8(&mut buf, KIND_SAMPLE);
+            put_u64(&mut buf, e.wall_ms);
+            put_u64(&mut buf, e.sample.t_ns);
+            encode_u64_list(&mut buf, &e.sample.counters);
+            encode_u64_list(&mut buf, &e.sample.gauges);
+            put_u32(
+                &mut buf,
+                u32::try_from(e.sample.histograms.len()).unwrap_or(u32::MAX),
+            );
+            for h in &e.sample.histograms {
+                encode_compact(&mut buf, h);
+            }
+        }
+        JournalEvent::Trace(e) => {
+            put_u8(&mut buf, KIND_TRACE);
+            put_u64(&mut buf, e.wall_ms);
+            put_u64(&mut buf, e.id);
+            put_str(&mut buf, &e.route);
+            put_u16(&mut buf, e.status);
+            put_u64(&mut buf, e.total_ns);
+            put_u8(&mut buf, u8::from(e.in_flight));
+            put_u32(&mut buf, u32::try_from(e.spans.len()).unwrap_or(u32::MAX));
+            for s in &e.spans {
+                put_u32(&mut buf, s.id);
+                put_u8(&mut buf, u8::from(s.parent.is_some()));
+                put_u32(&mut buf, s.parent.unwrap_or(0));
+                put_str(&mut buf, &s.name);
+                put_u64(&mut buf, s.start_ns);
+                put_u64(&mut buf, s.duration_ns);
+                put_u32(&mut buf, u32::try_from(s.attrs.len()).unwrap_or(u32::MAX));
+                for (k, v) in &s.attrs {
+                    put_str(&mut buf, k);
+                    put_str(&mut buf, v);
+                }
+            }
+        }
+        JournalEvent::Watch(e) => {
+            put_u8(&mut buf, KIND_WATCH);
+            put_u64(&mut buf, e.wall_ms);
+            put_u64(&mut buf, e.t_ns);
+            put_str(&mut buf, &e.signal);
+            put_str(&mut buf, &e.from);
+            put_str(&mut buf, &e.to);
+            put_f64(&mut buf, e.value);
+            put_f64(&mut buf, e.score);
+        }
+        JournalEvent::Log(e) => {
+            put_u8(&mut buf, KIND_LOG);
+            put_u64(&mut buf, e.wall_ms);
+            put_u64(&mut buf, e.t_ns);
+            put_u8(&mut buf, e.level as u8);
+            put_str(&mut buf, &e.target);
+            put_str(&mut buf, &e.msg);
+            put_u64(&mut buf, e.trace_id);
+        }
+        JournalEvent::Panic(e) => {
+            put_u8(&mut buf, KIND_PANIC);
+            put_u64(&mut buf, e.wall_ms);
+            put_str(&mut buf, &e.message);
+            put_str(&mut buf, &e.location);
+        }
+    }
+    buf
+}
+
+fn level_from_u8(v: u8) -> Option<Level> {
+    match v {
+        0 => Some(Level::Error),
+        1 => Some(Level::Warn),
+        2 => Some(Level::Info),
+        3 => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Decodes one unframed `kind + payload` record into an event; `None` on
+/// any malformed payload. A meta record decodes separately.
+fn decode_event(record: &[u8]) -> Option<JournalEvent> {
+    let mut cur = Cur::new(record);
+    let kind = cur.u8()?;
+    let ev = match kind {
+        KIND_SAMPLE => {
+            let wall_ms = cur.u64()?;
+            let t_ns = cur.u64()?;
+            let counters = decode_u64_list(&mut cur)?;
+            let gauges = decode_u64_list(&mut cur)?;
+            let n = cur.u32()? as usize;
+            if n > record.len() {
+                return None;
+            }
+            let mut histograms = Vec::with_capacity(n);
+            for _ in 0..n {
+                histograms.push(decode_compact(&mut cur)?);
+            }
+            JournalEvent::Sample(SampleEvent {
+                wall_ms,
+                sample: Sample {
+                    t_ns,
+                    counters,
+                    gauges,
+                    histograms,
+                },
+            })
+        }
+        KIND_TRACE => {
+            let wall_ms = cur.u64()?;
+            let id = cur.u64()?;
+            let route = cur.str()?;
+            let status = cur.u16()?;
+            let total_ns = cur.u64()?;
+            let in_flight = cur.u8()? != 0;
+            let n = cur.u32()? as usize;
+            if n > record.len() {
+                return None;
+            }
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                let sid = cur.u32()?;
+                let has_parent = cur.u8()? != 0;
+                let parent_raw = cur.u32()?;
+                let name = cur.str()?;
+                let start_ns = cur.u64()?;
+                let duration_ns = cur.u64()?;
+                let na = cur.u32()? as usize;
+                if na > record.len() {
+                    return None;
+                }
+                let mut attrs = Vec::with_capacity(na);
+                for _ in 0..na {
+                    let k = cur.str()?;
+                    let v = cur.str()?;
+                    attrs.push((k, v));
+                }
+                spans.push(SpanEvent {
+                    id: sid,
+                    parent: has_parent.then_some(parent_raw),
+                    name,
+                    start_ns,
+                    duration_ns,
+                    attrs,
+                });
+            }
+            JournalEvent::Trace(TraceEvent {
+                wall_ms,
+                id,
+                route,
+                status,
+                total_ns,
+                in_flight,
+                spans,
+            })
+        }
+        KIND_WATCH => JournalEvent::Watch(WatchEvent {
+            wall_ms: cur.u64()?,
+            t_ns: cur.u64()?,
+            signal: cur.str()?,
+            from: cur.str()?,
+            to: cur.str()?,
+            value: cur.f64()?,
+            score: cur.f64()?,
+        }),
+        KIND_LOG => JournalEvent::Log(LogEvent {
+            wall_ms: cur.u64()?,
+            t_ns: cur.u64()?,
+            level: level_from_u8(cur.u8()?)?,
+            target: cur.str()?,
+            msg: cur.str()?,
+            trace_id: cur.u64()?,
+        }),
+        KIND_PANIC => JournalEvent::Panic(PanicEvent {
+            wall_ms: cur.u64()?,
+            message: cur.str()?,
+            location: cur.str()?,
+        }),
+        _ => return None,
+    };
+    cur.done().then_some(ev)
+}
+
+/// The first record of every segment: format version, sequence number,
+/// wall clock at open, and the sample schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Journal format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Monotone segment sequence number (0 for postmortems).
+    pub seq: u64,
+    /// Wall clock when the segment was opened (Unix milliseconds).
+    pub created_unix_ms: u64,
+    /// Schema every [`SampleEvent`] in this segment is aligned to.
+    pub schema: SeriesSchema,
+}
+
+fn encode_meta(meta: &SegmentMeta) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u8(&mut buf, KIND_META);
+    put_u32(&mut buf, meta.version);
+    put_u64(&mut buf, meta.seq);
+    put_u64(&mut buf, meta.created_unix_ms);
+    put_str_list(&mut buf, &meta.schema.counters);
+    put_str_list(&mut buf, &meta.schema.gauges);
+    put_str_list(&mut buf, &meta.schema.histograms);
+    buf
+}
+
+fn decode_meta(record: &[u8]) -> Option<SegmentMeta> {
+    let mut cur = Cur::new(record);
+    if cur.u8()? != KIND_META {
+        return None;
+    }
+    let version = cur.u32()?;
+    let seq = cur.u64()?;
+    let created_unix_ms = cur.u64()?;
+    let counters = cur.str_list()?;
+    let gauges = cur.str_list()?;
+    let histograms = cur.str_list()?;
+    cur.done().then_some(SegmentMeta {
+        version,
+        seq,
+        created_unix_ms,
+        schema: SeriesSchema {
+            counters,
+            gauges,
+            histograms,
+        },
+    })
+}
+
+/// Frames an unframed record: `len | record | fnv1a(record)`.
+fn frame(record: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(record.len() + 12);
+    put_u32(&mut out, u32::try_from(record.len()).unwrap_or(u32::MAX));
+    out.extend_from_slice(record);
+    put_u64(&mut out, fnv1a(record));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Everything decoded from one segment or postmortem file.
+#[derive(Debug, Clone)]
+pub struct SegmentData {
+    /// Path the segment was read from.
+    pub path: PathBuf,
+    /// The segment meta record (defaulted when the meta itself was torn).
+    pub meta: SegmentMeta,
+    /// Every checksum-verified event, in append order.
+    pub events: Vec<JournalEvent>,
+    /// `true` when the file ended in a torn or corrupt tail; the events
+    /// before the tear are still returned.
+    pub torn: bool,
+    /// Bytes of the valid prefix (magic + intact records).
+    pub valid_bytes: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// `true` for `postmortem-*` files.
+    pub postmortem: bool,
+}
+
+impl SegmentData {
+    /// Wall-clock range `(first, last)` over the decoded events (Unix
+    /// milliseconds), `None` when the segment holds no events.
+    pub fn wall_range_ms(&self) -> Option<(u64, u64)> {
+        let first = self.events.first()?.wall_ms();
+        let last = self.events.iter().map(JournalEvent::wall_ms).max()?;
+        Some((first, last))
+    }
+}
+
+/// Scans `bytes` (a whole segment file) into records. Returns the meta,
+/// events, whether the tail was torn, and the valid prefix length.
+fn scan_bytes(bytes: &[u8]) -> (Option<SegmentMeta>, Vec<JournalEvent>, bool, u64) {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return (None, Vec::new(), !bytes.is_empty(), 0);
+    }
+    let mut pos = MAGIC.len();
+    let mut meta = None;
+    let mut events = Vec::new();
+    let mut torn = false;
+    let mut first = true;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 4) else {
+            torn = true;
+            break;
+        };
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        if len == 0 || len > MAX_RECORD_BYTES {
+            torn = true;
+            break;
+        }
+        let body_start = pos + 4;
+        let body_end = body_start + len as usize;
+        let sum_end = body_end + 8;
+        let Some(body) = bytes.get(body_start..body_end) else {
+            torn = true;
+            break;
+        };
+        let Some(sum_bytes) = bytes.get(body_end..sum_end) else {
+            torn = true;
+            break;
+        };
+        let stored = u64::from_le_bytes([
+            sum_bytes[0],
+            sum_bytes[1],
+            sum_bytes[2],
+            sum_bytes[3],
+            sum_bytes[4],
+            sum_bytes[5],
+            sum_bytes[6],
+            sum_bytes[7],
+        ]);
+        if fnv1a(body) != stored {
+            torn = true;
+            break;
+        }
+        if first {
+            first = false;
+            match decode_meta(body) {
+                Some(m) => {
+                    meta = Some(m);
+                    pos = sum_end;
+                    continue;
+                }
+                None => {
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        match decode_event(body) {
+            Some(ev) => events.push(ev),
+            None => {
+                // Checksum held but the payload didn't decode: an
+                // unknown kind from a newer writer. Skip it, keep going.
+            }
+        }
+        pos = sum_end;
+    }
+    (meta, events, torn, pos as u64)
+}
+
+/// Reads and verifies one segment or postmortem file. Torn tails are
+/// tolerated and flagged; every returned event passed its checksum.
+pub fn read_segment(path: &Path) -> io::Result<SegmentData> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let file_bytes = bytes.len() as u64;
+    let (meta, events, torn, valid_bytes) = scan_bytes(&bytes);
+    let postmortem = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("postmortem-"));
+    Ok(SegmentData {
+        path: path.to_path_buf(),
+        meta: meta.unwrap_or_default(),
+        events,
+        torn,
+        valid_bytes,
+        file_bytes,
+        postmortem,
+    })
+}
+
+fn segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("journal-")?
+        .strip_suffix(".s2gj")?
+        .parse()
+        .ok()
+}
+
+fn segment_paths(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = segment_seq(name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn postmortem_paths(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("postmortem-") && name.ends_with(".s2gj") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Reads every segment (by sequence) then every postmortem (by name)
+/// under `dir`. An empty directory yields an empty vec; a missing one is
+/// an error.
+pub fn read_dir_all(dir: &Path) -> io::Result<Vec<SegmentData>> {
+    let mut out = Vec::new();
+    for (_, path) in segment_paths(dir)? {
+        out.push(read_segment(&path)?);
+    }
+    for path in postmortem_paths(dir)? {
+        out.push(read_segment(&path)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Sizing and retention knobs for a [`Journal`].
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory the segments live in (created if missing).
+    pub dir: PathBuf,
+    /// Rotation threshold per segment, in bytes (floored at 4 KiB).
+    pub segment_bytes: u64,
+    /// Retained segment count; the oldest beyond this are reclaimed.
+    pub max_segments: usize,
+    /// Bounded writer queue depth; a full queue sheds (drops) events.
+    pub queue: usize,
+}
+
+impl JournalConfig {
+    /// Defaults: 1 MiB segments, 8 retained, a 1024-event queue.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig {
+            dir: dir.into(),
+            segment_bytes: 1024 * 1024,
+            max_segments: 8,
+            queue: 1024,
+        }
+    }
+}
+
+/// Writer-health counters surfaced by `GET /metrics/journal`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Retained segment files on disk.
+    pub segments: u64,
+    /// Total bytes across retained segments.
+    pub bytes: u64,
+    /// Events durably appended.
+    pub written: u64,
+    /// Events shed because the queue was full, the journal was closed,
+    /// or an append failed.
+    pub dropped: u64,
+    /// Segment rotations since open.
+    pub rotations: u64,
+    /// Sequence number of the segment currently being appended to.
+    pub current_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    segments: AtomicU64,
+    bytes: AtomicU64,
+    written: AtomicU64,
+    dropped: AtomicU64,
+    rotations: AtomicU64,
+    current_seq: AtomicU64,
+}
+
+/// Single-threaded segment appender — the mechanics behind the writer
+/// thread, also usable directly (the bench harness appends inline).
+#[derive(Debug)]
+pub struct SegmentWriter {
+    config: JournalConfig,
+    schema: SeriesSchema,
+    file: File,
+    seq: u64,
+    len: u64,
+}
+
+impl SegmentWriter {
+    /// Opens `config.dir` for appending: creates the directory, truncates
+    /// the newest segment's torn tail if the last writer died mid-record,
+    /// then starts a fresh segment (a new boot never appends into an old
+    /// boot's schema).
+    pub fn open(config: JournalConfig, schema: SeriesSchema) -> io::Result<Self> {
+        let config = JournalConfig {
+            segment_bytes: config.segment_bytes.max(4096),
+            max_segments: config.max_segments.max(1),
+            queue: config.queue.max(1),
+            ..config
+        };
+        fs::create_dir_all(&config.dir)?;
+        let existing = segment_paths(&config.dir)?;
+        if let Some((_, newest)) = existing.last() {
+            repair_torn_tail(newest)?;
+        }
+        let next_seq = existing.last().map(|&(s, _)| s + 1).unwrap_or(1);
+        let file = create_segment(&config.dir, next_seq, &schema)?;
+        let len = file.metadata()?.len();
+        let writer = SegmentWriter {
+            config,
+            schema,
+            file,
+            seq: next_seq,
+            len,
+        };
+        writer.enforce_retention()?;
+        Ok(writer)
+    }
+
+    /// Sequence number of the segment currently being appended to.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Appends one event, rotating first when the segment is full.
+    /// Returns the framed record size in bytes.
+    pub fn append(&mut self, event: &JournalEvent) -> io::Result<u64> {
+        let framed = frame(&encode_event(event));
+        if self.len + framed.len() as u64 > self.config.segment_bytes {
+            self.rotate()?;
+        }
+        self.file.write_all(&framed)?;
+        self.len += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+
+    /// Flushes buffered appends to the OS (survives process death; a
+    /// machine crash is what rotation's fsync narrows).
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+
+    /// Fsyncs the current segment.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Closes the current segment (fsync) and opens the next.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.seq += 1;
+        self.file = create_segment(&self.config.dir, self.seq, &self.schema)?;
+        self.len = self.file.metadata()?.len();
+        self.enforce_retention()?;
+        Ok(())
+    }
+
+    /// Deletes the oldest segments beyond `max_segments`.
+    fn enforce_retention(&self) -> io::Result<()> {
+        let paths = segment_paths(&self.config.dir)?;
+        if paths.len() > self.config.max_segments {
+            let excess = paths.len() - self.config.max_segments;
+            for (_, path) in &paths[..excess] {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Retained segment count and total bytes on disk.
+    pub fn disk_usage(&self) -> io::Result<(u64, u64)> {
+        let paths = segment_paths(&self.config.dir)?;
+        let mut bytes = 0;
+        for (_, path) in &paths {
+            bytes += fs::metadata(path)?.len();
+        }
+        Ok((paths.len() as u64, bytes))
+    }
+}
+
+/// Truncates the torn tail of `path` in place: scans the valid record
+/// prefix and cuts the file there. Returns `true` when bytes were cut.
+pub fn repair_torn_tail(path: &Path) -> io::Result<bool> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let (_, _, torn, valid) = scan_bytes(&bytes);
+    if !torn || valid as usize == bytes.len() {
+        return Ok(false);
+    }
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid)?;
+    file.sync_all()?;
+    Ok(true)
+}
+
+/// Creates `journal-<seq>.s2gj` with the store's atomic discipline: the
+/// magic and meta record are written to a `.tmp` sibling, fsynced, and
+/// renamed into place — a segment visible under its final name always
+/// opens with a valid meta. The returned handle stays open for appends.
+fn create_segment(dir: &Path, seq: u64, schema: &SeriesSchema) -> io::Result<File> {
+    let final_path = dir.join(format!("journal-{seq:08}.s2gj"));
+    let tmp_path = dir.join(format!("journal-{seq:08}.s2gj.tmp"));
+    let meta = SegmentMeta {
+        version: FORMAT_VERSION,
+        seq,
+        created_unix_ms: wall_ms_now(),
+        schema: schema.clone(),
+    };
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .read(true)
+        .write(true)
+        .open(&tmp_path)?;
+    file.write_all(MAGIC)?;
+    file.write_all(&frame(&encode_meta(&meta)))?;
+    file.sync_all()?;
+    fs::rename(&tmp_path, &final_path)?;
+    // Make the rename itself durable (matches the store's discipline);
+    // best-effort on filesystems that refuse directory fsync.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(file)
+}
+
+/// Writes a postmortem file atomically (one tmp + fsync + rename):
+/// `postmortem-<unix-ms>.s2gj` holding the given events under a seq-0
+/// meta. Returns the final path.
+pub fn write_postmortem(
+    dir: &Path,
+    schema: &SeriesSchema,
+    events: &[JournalEvent],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let meta = SegmentMeta {
+        version: FORMAT_VERSION,
+        seq: 0,
+        created_unix_ms: wall_ms_now(),
+        schema: schema.clone(),
+    };
+    let mut buf = Vec::with_capacity(4096);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&frame(&encode_meta(&meta)));
+    for ev in events {
+        buf.extend_from_slice(&frame(&encode_event(ev)));
+    }
+    let mut ms = meta.created_unix_ms;
+    let final_path = loop {
+        let candidate = dir.join(format!("postmortem-{ms}.s2gj"));
+        if !candidate.exists() {
+            break candidate;
+        }
+        ms += 1; // two panics in the same millisecond
+    };
+    let tmp_path = final_path.with_extension("s2gj.tmp");
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp_path)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    fs::rename(&tmp_path, &final_path)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+struct JournalShared {
+    sender: SyncSender<JournalEvent>,
+    closed: AtomicBool,
+    stats: StatsInner,
+    dir: PathBuf,
+}
+
+/// Cloneable, non-blocking publisher into the journal writer thread.
+///
+/// [`Journal::publish`] never blocks: a full queue (or a closed journal)
+/// counts the event dropped and returns. Clones share one writer.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<JournalShared>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.inner.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Opens the journal under `config.dir` and spawns the writer thread
+    /// (`s2g-journal`). Returns the publisher handle and the thread
+    /// handle to join on shutdown.
+    pub fn open(
+        config: JournalConfig,
+        schema: SeriesSchema,
+    ) -> io::Result<(Journal, JournalThread)> {
+        let writer = SegmentWriter::open(config.clone(), schema)?;
+        let (sender, receiver) = sync_channel(config.queue.max(1));
+        let shared = Arc::new(JournalShared {
+            sender,
+            closed: AtomicBool::new(false),
+            stats: StatsInner::default(),
+            dir: config.dir.clone(),
+        });
+        if let Ok((segments, bytes)) = writer.disk_usage() {
+            shared.stats.segments.store(segments, Ordering::Relaxed);
+            shared.stats.bytes.store(bytes, Ordering::Relaxed);
+        }
+        shared
+            .stats
+            .current_seq
+            .store(writer.seq(), Ordering::Relaxed);
+        let thread_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("s2g-journal".into())
+            .spawn(move || writer_loop(writer, receiver, thread_shared))
+            .map_err(io::Error::other)?;
+        Ok((
+            Journal { inner: shared },
+            JournalThread {
+                handle: Some(handle),
+            },
+        ))
+    }
+
+    /// The directory segments are written under.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Publishes one event; `false` means it was shed (queue full or
+    /// journal closed), never blocked on.
+    pub fn publish(&self, event: JournalEvent) -> bool {
+        if self.inner.closed.load(Ordering::Relaxed) {
+            self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        match self.inner.sender.try_send(event) {
+            Ok(()) => true,
+            Err(_) => {
+                self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Current writer-health counters.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            segments: self.inner.stats.segments.load(Ordering::Relaxed),
+            bytes: self.inner.stats.bytes.load(Ordering::Relaxed),
+            written: self.inner.stats.written.load(Ordering::Relaxed),
+            dropped: self.inner.stats.dropped.load(Ordering::Relaxed),
+            rotations: self.inner.stats.rotations.load(Ordering::Relaxed),
+            current_seq: self.inner.stats.current_seq.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Marks the journal closed: later publishes shed immediately and the
+    /// writer thread drains what is queued, then exits.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Join handle for the writer thread; [`JournalThread::join`] drains
+/// and joins it.
+#[derive(Debug)]
+pub struct JournalThread {
+    handle: Option<JoinHandle<()>>,
+}
+
+impl JournalThread {
+    /// Signals shutdown via the paired [`Journal::close`] having been
+    /// called (or calls it for you through the drain timeout) and joins
+    /// the writer after it drains the queue.
+    pub fn join(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut writer: SegmentWriter,
+    receiver: Receiver<JournalEvent>,
+    shared: Arc<JournalShared>,
+) {
+    let mut wrote_since_flush = false;
+    loop {
+        match receiver.recv_timeout(Duration::from_millis(100)) {
+            Ok(event) => {
+                append_one(&mut writer, &event, &shared);
+                // Opportunistically drain whatever else queued up, then
+                // flush the batch in one syscall-ish burst.
+                while let Ok(event) = receiver.try_recv() {
+                    append_one(&mut writer, &event, &shared);
+                }
+                let _ = writer.flush();
+                wrote_since_flush = false;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if wrote_since_flush {
+                    let _ = writer.flush();
+                    wrote_since_flush = false;
+                }
+                if shared.closed.load(Ordering::Relaxed) {
+                    while let Ok(event) = receiver.try_recv() {
+                        append_one(&mut writer, &event, &shared);
+                    }
+                    let _ = writer.flush();
+                    let _ = writer.sync();
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let _ = writer.flush();
+                let _ = writer.sync();
+                return;
+            }
+        }
+    }
+}
+
+fn append_one(writer: &mut SegmentWriter, event: &JournalEvent, shared: &JournalShared) {
+    let seq_before = writer.seq();
+    match writer.append(event) {
+        Ok(bytes) => {
+            shared.stats.written.fetch_add(1, Ordering::Relaxed);
+            shared.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+            if writer.seq() != seq_before {
+                shared.stats.rotations.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .current_seq
+                    .store(writer.seq(), Ordering::Relaxed);
+                if let Ok((segments, disk_bytes)) = writer.disk_usage() {
+                    shared.stats.segments.store(segments, Ordering::Relaxed);
+                    shared.stats.bytes.store(disk_bytes, Ordering::Relaxed);
+                }
+            }
+        }
+        Err(_) => {
+            // A journal failure must never take the serving path down.
+            shared.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offline run reconstruction
+// ---------------------------------------------------------------------------
+
+/// Samples of the last boot recorded under `dir`, oldest first, with the
+/// schema they are aligned to. Boots are split where the monotonic
+/// `t_ns` resets; only segments of the newest boot contribute (counters
+/// reset at restart, so deltas across the boundary would be nonsense).
+pub fn last_boot_samples(segments: &[SegmentData]) -> (SeriesSchema, Vec<SampleEvent>) {
+    let mut samples: Vec<(usize, SampleEvent)> = Vec::new();
+    let mut schema_by_segment: Vec<&SeriesSchema> = Vec::new();
+    for (si, seg) in segments.iter().enumerate() {
+        if seg.postmortem {
+            continue;
+        }
+        schema_by_segment.push(&seg.meta.schema);
+        for ev in &seg.events {
+            if let JournalEvent::Sample(s) = ev {
+                samples.push((si, s.clone()));
+            }
+        }
+    }
+    // Walk backwards until t_ns stops decreasing monotonically-forward:
+    // the newest contiguous run is the suffix where t_ns is ascending.
+    let mut start = samples.len();
+    let mut prev_t = u64::MAX;
+    for (i, (_, s)) in samples.iter().enumerate().rev() {
+        if s.sample.t_ns > prev_t {
+            break;
+        }
+        prev_t = s.sample.t_ns;
+        start = i;
+    }
+    let run: Vec<SampleEvent> = samples[start..].iter().map(|(_, s)| s.clone()).collect();
+    let schema = samples[start..]
+        .last()
+        .and_then(|(si, _)| segments.get(*si).map(|seg| seg.meta.schema.clone()))
+        .unwrap_or_default();
+    (schema, run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(t_ns: u64, c: u64) -> JournalEvent {
+        JournalEvent::Sample(SampleEvent {
+            wall_ms: 1_000 + t_ns,
+            sample: Sample {
+                t_ns,
+                counters: vec![c, c * 2],
+                gauges: vec![7],
+                histograms: vec![CompactHistogram {
+                    count: c,
+                    sum: c * 10,
+                    max: 99,
+                    buckets: vec![(3, c)],
+                }],
+            },
+        })
+    }
+
+    fn schema() -> SeriesSchema {
+        SeriesSchema {
+            counters: vec!["a".into(), "b".into()],
+            gauges: vec!["g".into()],
+            histograms: vec!["h".into()],
+        }
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn events_round_trip_through_the_codec() {
+        let events = vec![
+            sample_event(5, 3),
+            JournalEvent::Trace(TraceEvent {
+                wall_ms: 10,
+                id: 0xdead_beef,
+                route: "GET /models".into(),
+                status: 200,
+                total_ns: 1234,
+                in_flight: false,
+                spans: vec![SpanEvent {
+                    id: 0,
+                    parent: None,
+                    name: "request".into(),
+                    start_ns: 1,
+                    duration_ns: 2,
+                    attrs: vec![("k".into(), "v".into())],
+                }],
+            }),
+            JournalEvent::Watch(WatchEvent {
+                wall_ms: 11,
+                t_ns: 99,
+                signal: "request_p99_ms".into(),
+                from: "ok".into(),
+                to: "degraded".into(),
+                value: 1.5,
+                score: -0.25,
+            }),
+            JournalEvent::Log(LogEvent {
+                wall_ms: 12,
+                t_ns: 100,
+                level: Level::Warn,
+                target: "server".into(),
+                msg: "slow request".into(),
+                trace_id: 42,
+            }),
+            JournalEvent::Panic(PanicEvent {
+                wall_ms: 13,
+                message: "boom".into(),
+                location: "src/x.rs:7".into(),
+            }),
+        ];
+        for ev in &events {
+            let encoded = encode_event(ev);
+            let decoded = decode_event(&encoded).expect("decodes");
+            assert_eq!(format!("{decoded:?}"), format!("{ev:?}"));
+        }
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = SegmentMeta {
+            version: FORMAT_VERSION,
+            seq: 17,
+            created_unix_ms: 1_700_000_000_000,
+            schema: schema(),
+        };
+        assert_eq!(decode_meta(&encode_meta(&meta)), Some(meta));
+    }
+
+    #[test]
+    fn corrupt_record_fails_checksum_not_decode() {
+        let mut framed = frame(&encode_event(&sample_event(1, 2)));
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&frame(&encode_meta(&SegmentMeta::default())));
+        let flip = framed.len() / 2;
+        framed[flip] ^= 0xff;
+        bytes.extend_from_slice(&framed);
+        let (_, events, torn, _) = scan_bytes(&bytes);
+        assert!(events.is_empty());
+        assert!(torn);
+    }
+
+    #[test]
+    fn last_boot_splits_on_tns_reset() {
+        let seg = |seq: u64, ts: &[u64]| SegmentData {
+            path: PathBuf::from(format!("journal-{seq:08}.s2gj")),
+            meta: SegmentMeta {
+                version: FORMAT_VERSION,
+                seq,
+                created_unix_ms: 0,
+                schema: schema(),
+            },
+            events: ts.iter().map(|&t| sample_event(t, t)).collect(),
+            torn: false,
+            valid_bytes: 0,
+            file_bytes: 0,
+            postmortem: false,
+        };
+        // Boot 1 recorded t_ns 100, 200; boot 2 restarted at 50, 60.
+        let segments = vec![seg(1, &[100, 200]), seg(2, &[50, 60])];
+        let (sch, run) = last_boot_samples(&segments);
+        let ts: Vec<u64> = run.iter().map(|s| s.sample.t_ns).collect();
+        assert_eq!(ts, vec![50, 60]);
+        assert_eq!(sch.counters, vec!["a".to_string(), "b".to_string()]);
+    }
+}

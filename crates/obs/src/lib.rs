@@ -19,6 +19,10 @@
 //!   scoring derived telemetry series through a pluggable
 //!   [`SignalScorer`] (the server plugs Series2Graph in — the detector
 //!   watching its own vitals);
+//! * [`journal`] — the black box: samples, slow/error traces, watch
+//!   transitions and warn/error log lines streamed by a shedding writer
+//!   thread into append-only, checksummed, size-bounded segment files
+//!   that survive `kill -9`, plus atomic panic postmortems;
 //! * [`Obs`] — the process-wide instrument registry the layers share: one
 //!   histogram per stage (request-per-route, fit, score, pool queue-wait,
 //!   pool execute, store fault, store write, adaptation push), the trace
@@ -49,15 +53,23 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod journal;
 pub mod log;
 pub mod recorder;
 pub mod trace;
 pub mod watch;
 
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{
+    Journal, JournalConfig, JournalEvent, JournalStats, LogEvent, PanicEvent, SampleEvent,
+    SegmentData, SegmentMeta, TraceEvent, WatchEvent,
+};
 pub use log::Level;
-pub use recorder::{CompactHistogram, Recorder, Sample, SeriesSchema};
-pub use trace::{FinishedTrace, Span, SpanCtx, SpanRecord, TraceHandle, TraceId, TraceSink};
+pub use recorder::{CompactHistogram, DeltaError, Recorder, Sample, SeriesSchema};
+pub use trace::{
+    ActiveTraces, FinishedTrace, Span, SpanCtx, SpanRecord, TraceHandle, TraceId, TraceScope,
+    TraceSink,
+};
 pub use watch::{Hysteresis, SignalScorer, SignalWatch, WatchState, WatchTransition};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -143,6 +155,9 @@ pub struct Obs {
     pub adapt_push: Histogram,
     /// Finished traces: lookup ring + slow-request retention.
     pub traces: TraceSink,
+    /// In-flight traces, registered per request so the panic hook can
+    /// drain what was running when the process died.
+    pub active: ActiveTraces,
     nonce: u64,
     counter: AtomicU64,
 }
@@ -152,6 +167,8 @@ impl Obs {
     pub const TRACE_RING: usize = 256;
     /// Default slow-trace retention depth.
     pub const SLOW_KEEP: usize = 32;
+    /// Bound on concurrently registered in-flight traces.
+    pub const ACTIVE_CAP: usize = 1024;
 
     /// A registry with request histograms pre-registered for the given
     /// external and internal route patterns, and default-size trace
@@ -183,6 +200,7 @@ impl Obs {
             store_write: Histogram::new(),
             adapt_push: Histogram::new(),
             traces: TraceSink::new(trace_ring, slow_keep),
+            active: ActiveTraces::new(Self::ACTIVE_CAP),
             nonce: nonce & 0xffff_ffff,
             counter: AtomicU64::new(1),
         }

@@ -18,8 +18,10 @@
 
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::clock;
+use crate::trace::{current_trace_id, TraceId};
 
 /// Log severity, ordered from most to least severe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -61,6 +63,22 @@ impl Level {
 static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
 static JSON: AtomicBool = AtomicBool::new(false);
 
+/// A tee receiving every emitted warn/error line: `(level, target,
+/// message, monotonic ns, active trace id)`. The journal installs one to
+/// make the log stream durable.
+pub type LogSink = Arc<dyn Fn(Level, &str, &str, u64, Option<TraceId>) + Send + Sync>;
+
+static SINK: Mutex<Option<LogSink>> = Mutex::new(None);
+
+/// Installs (or with `None`, removes) the process-wide warn/error sink.
+pub fn set_sink(sink: Option<LogSink>) {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = sink;
+}
+
+fn sink() -> Option<LogSink> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
 /// Sets the process-wide maximum level; lines above it are dropped.
 pub fn set_level(level: Level) {
     LEVEL.store(level as u8, Ordering::Relaxed);
@@ -97,25 +115,52 @@ pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
     let elapsed_ns = clock::now_ns();
     let secs = elapsed_ns / 1_000_000_000;
     let millis = (elapsed_ns % 1_000_000_000) / 1_000_000;
-    let stderr = std::io::stderr();
-    let mut out = stderr.lock();
-    let result = if JSON.load(Ordering::Relaxed) {
-        writeln!(
-            out,
-            "{{\"ts\":\"{secs}.{millis:03}\",\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}",
-            level.as_str(),
-            json_escape(target),
-            json_escape(&args.to_string()),
-        )
-    } else {
-        writeln!(
-            out,
-            "{secs:>6}.{millis:03} {:<5} {target}: {args}",
-            level.as_str().to_ascii_uppercase()
-        )
-    };
-    // A full or closed stderr must never take the serving path down.
-    let _ = result;
+    // A log line emitted while a request is being handled carries the
+    // active trace id, correlating logs with span trees.
+    let trace = current_trace_id();
+    let msg = args.to_string();
+    {
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let result = if JSON.load(Ordering::Relaxed) {
+            match trace {
+                Some(id) => writeln!(
+                    out,
+                    "{{\"ts\":\"{secs}.{millis:03}\",\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\",\"trace\":\"{id}\"}}",
+                    level.as_str(),
+                    json_escape(target),
+                    json_escape(&msg),
+                ),
+                None => writeln!(
+                    out,
+                    "{{\"ts\":\"{secs}.{millis:03}\",\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"}}",
+                    level.as_str(),
+                    json_escape(target),
+                    json_escape(&msg),
+                ),
+            }
+        } else {
+            match trace {
+                Some(id) => writeln!(
+                    out,
+                    "{secs:>6}.{millis:03} {:<5} {target}: {msg} [trace {id}]",
+                    level.as_str().to_ascii_uppercase()
+                ),
+                None => writeln!(
+                    out,
+                    "{secs:>6}.{millis:03} {:<5} {target}: {msg}",
+                    level.as_str().to_ascii_uppercase()
+                ),
+            }
+        };
+        // A full or closed stderr must never take the serving path down.
+        let _ = result;
+    }
+    if level <= Level::Warn {
+        if let Some(sink) = sink() {
+            sink(level, target, &msg, elapsed_ns, trace);
+        }
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -190,5 +235,31 @@ mod tests {
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sink_sees_warns_with_the_active_trace() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let tee = seen.clone();
+        set_sink(Some(Arc::new(move |level, target, msg, _t_ns, trace| {
+            tee.lock()
+                .unwrap()
+                .push((level, target.to_string(), msg.to_string(), trace));
+        })));
+        {
+            let _scope = crate::trace::TraceScope::enter(TraceId(0xab));
+            crate::warn!("test", "inside {}", "scope");
+        }
+        crate::info!("test", "info lines are not teed");
+        crate::warn!("test", "outside scope");
+        set_sink(None);
+        crate::warn!("test", "after removal");
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, Level::Warn);
+        assert_eq!(seen[0].2, "inside scope");
+        assert_eq!(seen[0].3, Some(TraceId(0xab)));
+        assert_eq!(seen[1].2, "outside scope");
+        assert_eq!(seen[1].3, None);
     }
 }

@@ -19,9 +19,50 @@
 //! quantiles — rates over the last N samples, not lifetime averages.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use crate::hist::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+
+/// Why [`CompactHistogram::checked_delta`] refused to subtract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The earlier freeze holds more counts than the later one — the
+    /// instrument was reset between samples, or the two freezes belong
+    /// to different schemas. `bucket` names the offending bucket index;
+    /// `None` means the scalar totals regressed.
+    Regressed {
+        /// Bucket index where counts regressed, `None` for the totals.
+        bucket: Option<usize>,
+    },
+    /// A bucket index is outside the fixed 128-bucket layout — the
+    /// freeze came from an incompatible (wider) histogram.
+    BucketOutOfRange {
+        /// The out-of-range index.
+        bucket: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Regressed { bucket: Some(i) } => {
+                write!(f, "schema drift: bucket {i} regressed between samples")
+            }
+            DeltaError::Regressed { bucket: None } => {
+                write!(f, "schema drift: total count regressed between samples")
+            }
+            DeltaError::BucketOutOfRange { bucket } => {
+                write!(
+                    f,
+                    "bucket index {bucket} outside the {BUCKETS}-bucket layout"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// A histogram frozen into sparse `(bucket index, count)` pairs, plus the
 /// scalar tails (`count`, `sum`, `max`). Indices follow the
@@ -97,6 +138,78 @@ impl CompactHistogram {
         }
     }
 
+    /// Like [`CompactHistogram::delta`], but *strict*: where the
+    /// infallible form saturates a regressed bucket to zero (fine inside
+    /// one process, where counters are monotone by construction), this
+    /// one refuses. Offline journal forensics use it — two freezes from
+    /// different boots or different schemas must surface as an error,
+    /// not silently underflow into a plausible-looking window.
+    pub fn checked_delta(
+        &self,
+        earlier: &CompactHistogram,
+    ) -> Result<CompactHistogram, DeltaError> {
+        if earlier.count > self.count {
+            return Err(DeltaError::Regressed { bucket: None });
+        }
+        let mut counts = [0u64; BUCKETS];
+        for &(i, n) in &self.buckets {
+            if i >= BUCKETS {
+                return Err(DeltaError::BucketOutOfRange { bucket: i });
+            }
+            counts[i] = n;
+        }
+        for &(i, n) in &earlier.buckets {
+            if i >= BUCKETS {
+                return Err(DeltaError::BucketOutOfRange { bucket: i });
+            }
+            if n > counts[i] {
+                return Err(DeltaError::Regressed { bucket: Some(i) });
+            }
+            counts[i] -= n;
+        }
+        let buckets: Vec<(usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        let max = buckets
+            .last()
+            .map(|&(i, _)| bucket_upper_bound(i).min(self.max))
+            .unwrap_or(0);
+        Ok(CompactHistogram {
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max,
+            buckets,
+        })
+    }
+
+    /// Merges two freezes: per-bucket count addition over the union of
+    /// their sparse buckets, summed totals, the larger max. Disjoint
+    /// sparse buckets interleave by index.
+    pub fn merge(&self, other: &CompactHistogram) -> CompactHistogram {
+        let mut counts = [0u64; BUCKETS];
+        for &(i, n) in self.buckets.iter().chain(&other.buckets) {
+            if i < BUCKETS {
+                counts[i] = counts[i].saturating_add(n);
+            }
+        }
+        let buckets: Vec<(usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i, n))
+            .collect();
+        CompactHistogram {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
     /// Mean of the retained values, `0.0` when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -130,7 +243,7 @@ impl CompactHistogram {
 /// The fixed, ordered naming of every series a [`Sample`] carries.
 /// Positions in the schema vectors index the corresponding positions in
 /// each sample, so samples store no names.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SeriesSchema {
     /// Monotonic counter names (requests by route/status, fits, …).
     pub counters: Vec<String>,

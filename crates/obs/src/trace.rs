@@ -13,12 +13,46 @@
 //! serving `GET /debug/trace/{id}`, plus a small bounded retention list for
 //! requests slower than a configurable threshold — the slow-request log.
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::clock;
+
+thread_local! {
+    static CURRENT_TRACE: Cell<Option<TraceId>> = const { Cell::new(None) };
+}
+
+/// The trace id active on this thread, set by the innermost live
+/// [`TraceScope`]. Log lines emitted under a scope carry it.
+pub fn current_trace_id() -> Option<TraceId> {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// RAII guard marking a trace as active on the current thread, so log
+/// lines emitted while handling the request correlate to it (`obs grep
+/// --trace` then returns span tree *and* log lines). Scopes nest; drop
+/// restores the previous id.
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: Option<TraceId>,
+}
+
+impl TraceScope {
+    /// Marks `id` active on this thread until the guard drops.
+    pub fn enter(id: TraceId) -> TraceScope {
+        let prev = CURRENT_TRACE.with(|c| c.replace(Some(id)));
+        TraceScope { prev }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
 
 /// Identifier of one traced request: `nonce << 32 | counter`, rendered as
 /// 16 lowercase hex digits.
@@ -229,6 +263,63 @@ pub struct FinishedTrace {
     pub spans: Vec<SpanRecord>,
 }
 
+/// Bounded registry of in-flight traces: each request registers on entry
+/// and unregisters after its trace is sunk, so a panic hook can drain
+/// whatever was mid-flight when the process died. Registration past the
+/// bound is silently skipped — the registry must never block or grow.
+#[derive(Debug)]
+pub struct ActiveTraces {
+    slots: Mutex<Vec<(TraceId, String, TraceHandle)>>,
+    capacity: usize,
+}
+
+impl ActiveTraces {
+    /// A registry holding at most `capacity` in-flight traces.
+    pub fn new(capacity: usize) -> Self {
+        ActiveTraces {
+            slots: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers an in-flight trace under a route description (the raw
+    /// `METHOD /target` — the normalised pattern isn't known yet).
+    pub fn register(&self, route: impl Into<String>, handle: &TraceHandle) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if slots.len() < self.capacity {
+            slots.push((handle.id(), route.into(), handle.clone()));
+        }
+    }
+
+    /// Removes a trace once it has finished and been sunk.
+    pub fn unregister(&self, id: TraceId) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = slots.iter().position(|(tid, _, _)| *tid == id) {
+            slots.swap_remove(pos);
+        }
+    }
+
+    /// Number of traces currently in flight.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every in-flight trace: id, route description, and the
+    /// spans finished so far.
+    pub fn snapshot(&self) -> Vec<(TraceId, String, Vec<SpanRecord>)> {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots
+            .iter()
+            .map(|(id, route, handle)| (*id, route.clone(), handle.spans()))
+            .collect()
+    }
+}
+
 /// Fixed-size ring of recently finished traces plus bounded slow-request
 /// retention.
 #[derive(Debug)]
@@ -402,5 +493,39 @@ mod tests {
         assert!(sink.lookup(ids[0]).is_some());
         assert_eq!(sink.slow().len(), 1);
         assert_eq!(sink.recent(10).len(), 2);
+    }
+
+    #[test]
+    fn trace_scopes_nest_and_restore() {
+        assert_eq!(current_trace_id(), None);
+        let outer = TraceScope::enter(TraceId(1));
+        assert_eq!(current_trace_id(), Some(TraceId(1)));
+        {
+            let _inner = TraceScope::enter(TraceId(2));
+            assert_eq!(current_trace_id(), Some(TraceId(2)));
+        }
+        assert_eq!(current_trace_id(), Some(TraceId(1)));
+        drop(outer);
+        assert_eq!(current_trace_id(), None);
+    }
+
+    #[test]
+    fn active_registry_tracks_in_flight_spans() {
+        let active = ActiveTraces::new(2);
+        let a = TraceHandle::new(TraceId(1));
+        let b = TraceHandle::new(TraceId(2));
+        active.register("GET /a", &a);
+        active.register("POST /b", &b);
+        a.begin("request", None).finish();
+        // Past capacity: silently skipped.
+        active.register("GET /c", &TraceHandle::new(TraceId(3)));
+        assert_eq!(active.len(), 2);
+        let snap = active.snapshot();
+        let (_, route, spans) = snap.iter().find(|(id, _, _)| *id == TraceId(1)).unwrap();
+        assert_eq!(route, "GET /a");
+        assert_eq!(spans.len(), 1);
+        active.unregister(TraceId(1));
+        assert_eq!(active.len(), 1);
+        assert_eq!(active.snapshot()[0].0, TraceId(2));
     }
 }

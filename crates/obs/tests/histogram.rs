@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use s2g_obs::hist::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};
+use s2g_obs::recorder::{CompactHistogram, DeltaError};
 
 #[test]
 fn zero_and_max_durations_are_recorded() {
@@ -139,4 +140,142 @@ proptest! {
         }
         prop_assert_eq!(snap.quantile(1.0), max);
     }
+}
+
+// ---------------------------------------------------------------------------
+// CompactHistogram edge cases: the freezes the flight recorder retains
+// and the journal replays offline.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checked_delta_rejects_schema_drift_instead_of_underflowing() {
+    // The "later" freeze has *fewer* counts than the earlier one — what
+    // offline forensics see when two samples straddle a process restart
+    // or come from different schemas. The strict delta must error; the
+    // infallible delta saturates (by design, for in-process monotone
+    // counters) — pinning both contracts side by side.
+    let later = CompactHistogram {
+        count: 3,
+        sum: 30,
+        max: 16,
+        buckets: vec![(4, 3)],
+    };
+    let earlier = CompactHistogram {
+        count: 5,
+        sum: 50,
+        max: 16,
+        buckets: vec![(4, 5)],
+    };
+    assert_eq!(
+        later.checked_delta(&earlier),
+        Err(DeltaError::Regressed { bucket: None })
+    );
+    let saturated = later.delta(&earlier);
+    assert_eq!(saturated.count, 0);
+
+    // Same total, but one bucket regressed (counts moved buckets): the
+    // per-bucket check catches what the scalar check cannot.
+    let later = CompactHistogram {
+        count: 5,
+        sum: 50,
+        max: 16,
+        buckets: vec![(2, 2), (4, 3)],
+    };
+    let earlier = CompactHistogram {
+        count: 5,
+        sum: 50,
+        max: 16,
+        buckets: vec![(4, 5)],
+    };
+    assert_eq!(
+        later.checked_delta(&earlier),
+        Err(DeltaError::Regressed { bucket: Some(4) })
+    );
+}
+
+#[test]
+fn checked_delta_rejects_buckets_outside_the_layout() {
+    // A freeze from a hypothetical wider layout (bucket count larger
+    // than BUCKETS) must be refused, not silently dropped the way the
+    // infallible delta's bounds guard does.
+    let alien = CompactHistogram {
+        count: 1,
+        sum: 1,
+        max: 1,
+        buckets: vec![(BUCKETS + 7, 1)],
+    };
+    let empty = CompactHistogram::empty();
+    assert_eq!(
+        alien.checked_delta(&empty),
+        Err(DeltaError::BucketOutOfRange {
+            bucket: BUCKETS + 7
+        })
+    );
+    assert_eq!(
+        empty.checked_delta(&alien),
+        Err(DeltaError::Regressed { bucket: None })
+    );
+}
+
+#[test]
+fn empty_window_quantiles_are_zero() {
+    // A delta over a quiet window (identical samples) is empty: every
+    // quantile, the mean and the max must all be zero — not NaN, not a
+    // leftover cumulative value.
+    let h = Histogram::new();
+    for v in [3u64, 900, 4_000_000] {
+        h.record(v);
+    }
+    let frozen = CompactHistogram::from_snapshot(&h.snapshot());
+    let empty = frozen.checked_delta(&frozen).expect("self-delta is valid");
+    assert_eq!(empty.count, 0);
+    assert!(empty.buckets.is_empty());
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(empty.quantile(q), 0, "q={q} on an empty window");
+    }
+    assert_eq!(empty.mean(), 0.0);
+    assert_eq!(empty.max, 0);
+    // Fully empty freezes behave the same.
+    let nothing = CompactHistogram::empty();
+    assert_eq!(nothing.quantile(0.99), 0);
+    assert_eq!(nothing.mean(), 0.0);
+}
+
+#[test]
+fn merge_interleaves_disjoint_sparse_buckets() {
+    // Two freezes whose sparse buckets are fully disjoint (one recorded
+    // only fast values, the other only slow ones) must merge into the
+    // union with indices ascending — the same histogram one combined
+    // recording stream would have produced.
+    let fast = Histogram::new();
+    let slow = Histogram::new();
+    let both = Histogram::new();
+    for v in [1u64, 2, 3, 6] {
+        fast.record(v);
+        both.record(v);
+    }
+    for v in [1_000_000u64, 2_000_000, 9_000_000] {
+        slow.record(v);
+        both.record(v);
+    }
+    let a = CompactHistogram::from_snapshot(&fast.snapshot());
+    let b = CompactHistogram::from_snapshot(&slow.snapshot());
+    // Disjointness is the premise of the test — check it holds.
+    for (i, _) in &a.buckets {
+        assert!(!b.buckets.iter().any(|(j, _)| j == i));
+    }
+    let merged = a.merge(&b);
+    let expected = CompactHistogram::from_snapshot(&both.snapshot());
+    assert_eq!(merged.count, expected.count);
+    assert_eq!(merged.sum, expected.sum);
+    assert_eq!(merged.max, expected.max);
+    assert_eq!(merged.buckets, expected.buckets);
+    let indices: Vec<usize> = merged.buckets.iter().map(|&(i, _)| i).collect();
+    let mut sorted = indices.clone();
+    sorted.sort_unstable();
+    assert_eq!(indices, sorted, "merged indices must ascend");
+    // Merge is symmetric.
+    let ba = b.merge(&a);
+    assert_eq!(ba.buckets, merged.buckets);
+    assert_eq!(ba.quantile(0.5), merged.quantile(0.5));
 }

@@ -1,0 +1,309 @@
+//! Acceptance tests of the durable telemetry journal — the crash-safety
+//! contracts the black box rests on:
+//!
+//! * events published through the writer thread land on disk and decode
+//!   back checksum-verified, in order;
+//! * a torn tail (the partial record a `kill -9` mid-write leaves) is
+//!   tolerated by the reader, flagged, and truncated by the next writer;
+//! * segments rotate at the size bound and the oldest are reclaimed;
+//! * a closed journal sheds instead of blocking, counting drops;
+//! * postmortems are written atomically and read back like segments.
+
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use s2g_obs::journal::{
+    read_dir_all, read_segment, write_postmortem, Journal, JournalConfig, JournalEvent, LogEvent,
+    PanicEvent, SampleEvent, TraceEvent, WatchEvent,
+};
+use s2g_obs::recorder::{CompactHistogram, Sample, SeriesSchema};
+use s2g_obs::Level;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "s2g-journal-{tag}-{}-{}",
+        std::process::id(),
+        s2g_obs::clock::now_ns()
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn schema() -> SeriesSchema {
+    SeriesSchema {
+        counters: vec!["req_total".into()],
+        gauges: vec!["sessions".into()],
+        histograms: vec!["s2g_request_duration_ns".into()],
+    }
+}
+
+fn sample_event(t_ns: u64, c: u64) -> JournalEvent {
+    JournalEvent::Sample(SampleEvent {
+        wall_ms: 1_700_000_000_000 + t_ns,
+        sample: Sample {
+            t_ns,
+            counters: vec![c],
+            gauges: vec![2],
+            histograms: vec![CompactHistogram {
+                count: c,
+                sum: c * 100,
+                max: 512,
+                buckets: vec![(10, c)],
+            }],
+        },
+    })
+}
+
+fn log_event(msg: &str, trace_id: u64) -> JournalEvent {
+    JournalEvent::Log(LogEvent {
+        wall_ms: 1_700_000_000_000,
+        t_ns: 5,
+        level: Level::Warn,
+        target: "server".into(),
+        msg: msg.into(),
+        trace_id,
+    })
+}
+
+fn drain(journal: &Journal, want_written: u64) {
+    for _ in 0..200 {
+        if journal.stats().written >= want_written {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!(
+        "journal writer never caught up: {:?} (wanted {want_written})",
+        journal.stats()
+    );
+}
+
+fn newest_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("journal-") && n.ends_with(".s2gj"))
+        })
+        .collect();
+    segs.sort();
+    segs.pop().expect("at least one segment")
+}
+
+#[test]
+fn published_events_round_trip_through_disk() {
+    let dir = temp_dir("roundtrip");
+    let (journal, thread) = Journal::open(JournalConfig::new(&dir), schema()).unwrap();
+    assert!(journal.publish(sample_event(10, 1)));
+    assert!(journal.publish(JournalEvent::Trace(TraceEvent {
+        wall_ms: 1_700_000_000_001,
+        id: 0x1234,
+        route: "POST /models/{name}/score".into(),
+        status: 500,
+        total_ns: 77,
+        in_flight: false,
+        spans: Vec::new(),
+    })));
+    assert!(journal.publish(JournalEvent::Watch(WatchEvent {
+        wall_ms: 1_700_000_000_002,
+        t_ns: 20,
+        signal: "request_p99_ms".into(),
+        from: "ok".into(),
+        to: "degraded".into(),
+        value: 40.0,
+        score: -1.5,
+    })));
+    assert!(journal.publish(log_event("slow request", 0x1234)));
+    drain(&journal, 4);
+    journal.close();
+    thread.join();
+
+    let segments = read_dir_all(&dir).unwrap();
+    assert_eq!(segments.len(), 1);
+    let seg = &segments[0];
+    assert!(!seg.torn, "clean shutdown must leave no torn tail");
+    assert_eq!(seg.meta.schema, schema());
+    assert_eq!(seg.meta.seq, 1);
+    let kinds: Vec<&str> = seg.events.iter().map(JournalEvent::kind).collect();
+    assert_eq!(kinds, vec!["sample", "trace", "watch", "log"]);
+    match &seg.events[1] {
+        JournalEvent::Trace(t) => {
+            assert_eq!(t.id, 0x1234);
+            assert_eq!(t.status, 500);
+            assert_eq!(t.route, "POST /models/{name}/score");
+        }
+        other => panic!("expected trace, got {other:?}"),
+    }
+    match &seg.events[3] {
+        JournalEvent::Log(l) => assert_eq!(l.trace_id, 0x1234),
+        other => panic!("expected log, got {other:?}"),
+    }
+    let stats = journal.stats();
+    assert_eq!(stats.written, 4);
+    assert_eq!(stats.rotations, 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_is_flagged_by_reader_and_truncated_by_next_writer() {
+    let dir = temp_dir("torn");
+    let (journal, thread) = Journal::open(JournalConfig::new(&dir), schema()).unwrap();
+    for i in 0..5 {
+        journal.publish(sample_event(i * 100, i));
+    }
+    drain(&journal, 5);
+    journal.close();
+    thread.join();
+
+    // Simulate the kill -9 mid-write: append half a record of garbage.
+    let seg_path = newest_segment(&dir);
+    let clean_len = fs::metadata(&seg_path).unwrap().len();
+    let mut f = OpenOptions::new().append(true).open(&seg_path).unwrap();
+    use std::io::Write;
+    f.write_all(&42u32.to_le_bytes()).unwrap();
+    f.write_all(b"torn-partial-record").unwrap();
+    drop(f);
+
+    // Reader: survives, flags, and still returns every intact record.
+    let seg = read_segment(&seg_path).unwrap();
+    assert!(seg.torn, "torn tail must be flagged");
+    assert_eq!(seg.events.len(), 5);
+    assert_eq!(seg.valid_bytes, clean_len);
+    assert!(seg.file_bytes > clean_len);
+
+    // Next writer: truncates the tail on open, then carries on.
+    let (journal2, thread2) = Journal::open(JournalConfig::new(&dir), schema()).unwrap();
+    assert_eq!(fs::metadata(&seg_path).unwrap().len(), clean_len);
+    assert!(!read_segment(&seg_path).unwrap().torn);
+    journal2.publish(sample_event(999, 9));
+    drain(&journal2, 1);
+    journal2.close();
+    thread2.join();
+    // The new boot wrote into a fresh segment, leaving the old intact.
+    let segments = read_dir_all(&dir).unwrap();
+    assert_eq!(segments.len(), 2);
+    assert_eq!(segments[1].meta.seq, 2);
+    assert_eq!(segments[1].events.len(), 1);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn segments_rotate_and_oldest_are_reclaimed() {
+    let dir = temp_dir("rotate");
+    let config = JournalConfig {
+        segment_bytes: 4096, // floor: forces rotation every few events
+        max_segments: 3,
+        ..JournalConfig::new(&dir)
+    };
+    let (journal, thread) = Journal::open(config, schema()).unwrap();
+    let published: u64 = 200;
+    for i in 0..published {
+        // Fat log lines so a handful overflow each 4 KiB segment.
+        journal.publish(log_event(&format!("event {i} {}", "x".repeat(200)), 0));
+        // Pace the publisher so the bounded queue never sheds — this
+        // test is about rotation, not load shedding.
+        if i % 16 == 0 {
+            drain(&journal, journal.stats().written + 1);
+        }
+    }
+    drain(&journal, published - journal.stats().dropped);
+    journal.close();
+    thread.join();
+
+    let stats = journal.stats();
+    assert!(stats.rotations >= 2, "expected rotations, got {stats:?}");
+    assert!(stats.current_seq > 3);
+    let segments = read_dir_all(&dir).unwrap();
+    assert!(
+        segments.len() <= 3,
+        "retention must bound segments, got {}",
+        segments.len()
+    );
+    // Sequence numbers of the survivors are the newest, contiguous.
+    let seqs: Vec<u64> = segments.iter().map(|s| s.meta.seq).collect();
+    for pair in seqs.windows(2) {
+        assert_eq!(pair[1], pair[0] + 1);
+    }
+    assert_eq!(*seqs.last().unwrap(), stats.current_seq);
+    // Every surviving record decodes checksum-verified.
+    for seg in &segments {
+        assert!(!seg.torn);
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn closed_journal_sheds_and_counts_drops() {
+    let dir = temp_dir("shed");
+    let (journal, thread) = Journal::open(JournalConfig::new(&dir), schema()).unwrap();
+    journal.publish(sample_event(1, 1));
+    drain(&journal, 1);
+    journal.close();
+    thread.join();
+    // Publishing after close must neither block nor panic — it sheds.
+    assert!(!journal.publish(sample_event(2, 2)));
+    assert!(!journal.publish(log_event("late", 0)));
+    let stats = journal.stats();
+    assert_eq!(stats.written, 1);
+    assert_eq!(stats.dropped, 2);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn postmortem_is_atomic_and_reads_like_a_segment() {
+    let dir = temp_dir("postmortem");
+    let events = vec![
+        sample_event(50, 7),
+        JournalEvent::Trace(TraceEvent {
+            wall_ms: 1_700_000_000_003,
+            id: 0xfeed,
+            route: "POST /debug/panic".into(),
+            status: 0,
+            total_ns: 0,
+            in_flight: true,
+            spans: Vec::new(),
+        }),
+        JournalEvent::Panic(PanicEvent {
+            wall_ms: 1_700_000_000_004,
+            message: "induced".into(),
+            location: "server.rs:1".into(),
+        }),
+    ];
+    let path = write_postmortem(&dir, &schema(), &events).unwrap();
+    assert!(path
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .starts_with("postmortem-"));
+    // No tmp residue: the write is one atomic rename.
+    assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+        .unwrap()
+        .path()
+        .to_string_lossy()
+        .ends_with(".tmp")));
+    let seg = read_segment(&path).unwrap();
+    assert!(seg.postmortem);
+    assert!(!seg.torn);
+    assert_eq!(seg.meta.seq, 0);
+    assert_eq!(seg.events.len(), 3);
+    match &seg.events[1] {
+        JournalEvent::Trace(t) => {
+            assert!(t.in_flight);
+            assert_eq!(t.route, "POST /debug/panic");
+        }
+        other => panic!("expected in-flight trace, got {other:?}"),
+    }
+    assert_eq!(seg.events[2].kind(), "panic");
+    // A second postmortem in the same millisecond picks a fresh name.
+    let path2 = write_postmortem(&dir, &schema(), &events).unwrap();
+    assert_ne!(path, path2);
+    // read_dir_all lists postmortems after segments.
+    let all = read_dir_all(&dir).unwrap();
+    assert_eq!(all.len(), 2);
+    assert!(all.iter().all(|s| s.postmortem));
+    fs::remove_dir_all(&dir).ok();
+}

@@ -45,7 +45,7 @@ USAGE — local (in-process):
                [--refit-cooldown <n>] [--adapted-out <model.s2g>] <input.csv>
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
-                         [--batches <n>] [--json]
+                         [--batches <n>] [--journal-dir <dir>] [--json]
 
 USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g serve  [--addr <host:port>] [--workers <n>] [--registry-capacity <n>]
@@ -55,9 +55,10 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
                [--log-json] [--slow-request-ms <n>]
                [--sample-interval-ms <n>] [--history-retention <n>]
                [--watch-warmup <n>] [--trace-ring <n>] [--slow-ring <n>]
-               [--debug-sleep]
+               [--debug-sleep] [--no-journal] [--journal-segment-kb <n>]
+               [--journal-segments <n>]
     s2g top    [--addr <host:port>] [--window <secs>] [--refresh-ms <n>]
-               [--once]
+               [--once]   (NO_COLOR or a pipe disables ANSI redraws)
     s2g client fit      --addr <host:port> --name <model> --input <series.csv>
                         --pattern-length <n> [--lambda <n>] [--rate <n>]
                         [--kde-grid <n>] [--sigma-ratio <x>] [--seed <n>]
@@ -85,6 +86,14 @@ USAGE — model store maintenance (offline, docs/STORAGE.md):
     s2g store verify   --data-dir <dir>
     s2g store gc       --data-dir <dir>
     s2g store migrate  --data-dir <dir>
+
+USAGE — telemetry journal forensics (offline, docs/OBSERVABILITY.md):
+    s2g obs ls      (--data-dir <dir> | --journal-dir <dir>) [--json]
+    s2g obs report  (--data-dir <dir> | --journal-dir <dir>) [--window <secs>]
+    s2g obs grep    (--data-dir <dir> | --journal-dir <dir>) [--route <substr>]
+                    [--trace <hex-id>] [--level <error|warn|info|debug>]
+                    [--kind <sample|trace|watch|log|panic>]
+    s2g obs export  (--data-dir <dir> | --journal-dir <dir>) [--json]
 
 Series files are single-column CSVs (one value per line; `#` comments and a
 header row are tolerated). Model files use the versioned `S2GMDL` binary
@@ -125,6 +134,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "client" => cmd_client(rest),
         "models" => client_models(&ParsedArgs::parse(rest, &["--addr"], &["--json"])?),
         "store" => cmd_store(rest),
+        "obs" => crate::obscli::cmd_obs(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -160,8 +170,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--watch-warmup",
             "--trace-ring",
             "--slow-ring",
+            "--journal-segment-kb",
+            "--journal-segments",
         ],
-        &["--log-json", "--debug-sleep"],
+        &["--log-json", "--debug-sleep", "--no-journal"],
     )?;
     let addr = args.get("--addr").unwrap_or("127.0.0.1:7878").to_string();
     let mut engine = EngineConfig::default();
@@ -219,6 +231,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if args.has("--debug-sleep") {
         config = config.with_debug_sleep(true);
+    }
+    if args.has("--no-journal") {
+        config = config.with_journal(false);
+    }
+    if let Some(kb) = opt_usize(&args, "--journal-segment-kb")? {
+        config = config.with_journal_segment_kb(kb as u64);
+    }
+    if let Some(segments) = opt_usize(&args, "--journal-segments")? {
+        config = config.with_journal_segments(segments);
     }
 
     let server = Server::bind(config).map_err(runtime)?;

@@ -320,6 +320,17 @@ impl Client {
         self.request_ok("GET", "/watch", b"")?.json_line(0)
     }
 
+    /// `GET /metrics/journal`: writer health of the durable telemetry
+    /// journal — segments, bytes on disk, events written/shed, rotations.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connection or protocol errors; `404 not_found`
+    /// surfaces as [`ClientError::Api`] when journaling is disabled.
+    pub fn metrics_journal(&self) -> Result<Json, ClientError> {
+        self.request_ok("GET", "/metrics/journal", b"")?
+            .json_line(0)
+    }
+
     /// `GET /debug/trace/{id}`: the span tree of one retained trace
     /// (ids come from the `X-S2g-Trace` response header or
     /// [`Client::slow_traces`]).

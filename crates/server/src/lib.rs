@@ -76,6 +76,7 @@ mod history;
 pub mod http;
 pub mod json;
 pub mod metrics;
+mod obscli;
 mod selfwatch;
 pub mod server;
 pub mod sessions;

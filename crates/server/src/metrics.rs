@@ -28,10 +28,12 @@ pub const ROUTE_PATTERNS: &[&str] = &[
     "GET /metrics/json",
     "GET /metrics/history",
     "GET /metrics/delta",
+    "GET /metrics/journal",
     "GET /watch",
     "GET /debug/trace/{id}",
     "GET /debug/slow",
     "POST /debug/sleep",
+    "POST /debug/panic",
     "GET /models",
     "PUT /models/{name}",
     "GET /models/{name}",

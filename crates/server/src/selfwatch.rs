@@ -17,6 +17,7 @@
 use std::sync::Mutex;
 
 use s2g_core::StreamingScorer;
+use s2g_obs::journal::{self, JournalEvent, WatchEvent};
 use s2g_obs::recorder::{Recorder, Sample};
 use s2g_obs::watch::{
     calibrate_threshold, overall, Hysteresis, RobustScorer, SignalScorer, SignalWatch,
@@ -113,6 +114,19 @@ impl SelfWatch {
         if let Some(watches) = &mut inner.watches {
             for (watch, &value) in watches.iter_mut().zip(values.iter()) {
                 if let Some(transition) = watch.observe(value) {
+                    // Every transition becomes durable: the journal replays
+                    // the board's history long after the process is gone.
+                    if let Some(journal) = &shared.journal {
+                        journal.publish(JournalEvent::Watch(WatchEvent {
+                            wall_ms: journal::wall_ms_now(),
+                            t_ns: s2g_obs::clock::now_ns(),
+                            signal: watch.name().to_string(),
+                            from: transition.from.as_str().to_string(),
+                            to: transition.to.as_str().to_string(),
+                            value,
+                            score: watch.last_score().unwrap_or(f64::NAN),
+                        }));
+                    }
                     if transition.to > transition.from {
                         s2g_obs::warn!(
                             "selfwatch",
@@ -151,6 +165,43 @@ impl SelfWatch {
                 inner.watches = Some(watches);
                 inner.collected = Vec::new();
             }
+        }
+    }
+
+    /// The watch board frozen for a postmortem: one [`WatchEvent`] per
+    /// signal with `from == to` (a state *snapshot*, not a transition),
+    /// carrying the last observed value and score. Warming boards report
+    /// every signal as `"warming"`.
+    pub(crate) fn postmortem_events(&self) -> Vec<WatchEvent> {
+        let inner = self.lock();
+        let wall_ms = journal::wall_ms_now();
+        let t_ns = s2g_obs::clock::now_ns();
+        match &inner.watches {
+            None => SIGNALS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| WatchEvent {
+                    wall_ms,
+                    t_ns,
+                    signal: (*name).to_string(),
+                    from: "warming".to_string(),
+                    to: "warming".to_string(),
+                    value: inner.last[i],
+                    score: f64::NAN,
+                })
+                .collect(),
+            Some(watches) => watches
+                .iter()
+                .map(|watch| WatchEvent {
+                    wall_ms,
+                    t_ns,
+                    signal: watch.name().to_string(),
+                    from: watch.state().as_str().to_string(),
+                    to: watch.state().as_str().to_string(),
+                    value: watch.last_value().unwrap_or(f64::NAN),
+                    score: watch.last_score().unwrap_or(f64::NAN),
+                })
+                .collect(),
         }
     }
 

@@ -20,14 +20,17 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Once, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use s2g_core::config::BandwidthRule;
 use s2g_core::S2gConfig;
 use s2g_engine::{AdaptConfig, Engine, EngineConfig, ModelInfo};
-use s2g_obs::{FinishedTrace, HistogramSnapshot, Obs, Recorder, SpanCtx, TraceId};
+use s2g_obs::journal::{
+    self, Journal, JournalConfig, JournalEvent, JournalThread, LogEvent, PanicEvent, TraceEvent,
+};
+use s2g_obs::{FinishedTrace, HistogramSnapshot, Obs, Recorder, SpanCtx, TraceId, TraceScope};
 use s2g_store::{ModelStore, StoreConfig};
 use s2g_timeseries::{io as ts_io, TimeSeries};
 
@@ -43,7 +46,9 @@ use crate::sessions::SessionTable;
 /// `s2g_request_duration_ns` histogram family. `POST /debug/sleep` is the
 /// flag-gated artificial slow handler ([`ServerConfig::debug_sleep`]) —
 /// external on purpose, so an injected spike lands in the serving
-/// percentiles the self-watch scores.
+/// percentiles the self-watch scores. `POST /debug/panic` (same gate)
+/// panics mid-handler to drill the postmortem path; it never completes,
+/// so it can never skew any percentile.
 pub(crate) const EXTERNAL_ROUTES: &[&str] = &[
     "GET /models",
     "PUT /models/{name}",
@@ -55,6 +60,7 @@ pub(crate) const EXTERNAL_ROUTES: &[&str] = &[
     "DELETE /sessions/{id}",
     "POST /admin/shutdown",
     "POST /debug/sleep",
+    "POST /debug/panic",
 ];
 
 /// Route patterns of internal traffic (liveness probes, scrapes, debug
@@ -69,6 +75,7 @@ pub(crate) const INTERNAL_ROUTES: &[&str] = &[
     "GET /watch",
     "GET /debug/trace/{id}",
     "GET /debug/slow",
+    "GET /metrics/journal",
 ];
 
 fn is_internal_route(pattern: &str) -> bool {
@@ -125,9 +132,23 @@ pub struct ServerConfig {
     /// Slow-trace retention depth (`serve --slow-ring`).
     pub slow_ring: usize,
     /// Enables `POST /debug/sleep?ms=` — an artificial slow handler for
-    /// drills and self-watch acceptance tests. Off by default; the route
-    /// answers 404 when disabled.
+    /// drills and self-watch acceptance tests — and `POST /debug/panic`,
+    /// the postmortem drill. Off by default; the routes answer 404 when
+    /// disabled.
     pub debug_sleep: bool,
+    /// Streams telemetry (flight-recorder samples, slow/error traces,
+    /// self-watch transitions, warn/error log lines) into the durable
+    /// journal under `data_dir/obs/` (`serve --no-journal` turns it
+    /// off). Only effective with [`ServerConfig::data_dir`] set — the
+    /// journal shares the store's directory and durability discipline.
+    pub journal: bool,
+    /// Journal segment size in KiB: a segment rotates once it grows past
+    /// this (`serve --journal-segment-kb`).
+    pub journal_segment_kb: u64,
+    /// Retained journal segments; the oldest is reclaimed past this
+    /// (`serve --journal-segments`). Bounds disk to roughly
+    /// `journal_segment_kb * journal_segments` KiB.
+    pub journal_segments: usize,
 }
 
 impl Default for ServerConfig {
@@ -150,6 +171,9 @@ impl Default for ServerConfig {
             trace_ring: Obs::TRACE_RING,
             slow_ring: Obs::SLOW_KEEP,
             debug_sleep: false,
+            journal: true,
+            journal_segment_kb: 1024,
+            journal_segments: 8,
         }
     }
 }
@@ -248,9 +272,29 @@ impl ServerConfig {
         self
     }
 
-    /// Enables the `POST /debug/sleep` artificial slow handler.
+    /// Enables the `POST /debug/sleep` artificial slow handler and the
+    /// `POST /debug/panic` postmortem drill.
     pub fn with_debug_sleep(mut self, enabled: bool) -> Self {
         self.debug_sleep = enabled;
+        self
+    }
+
+    /// Enables or disables the durable telemetry journal (on by default;
+    /// effective only with a `data_dir`).
+    pub fn with_journal(mut self, enabled: bool) -> Self {
+        self.journal = enabled;
+        self
+    }
+
+    /// Sets the journal segment size in KiB (minimum 4).
+    pub fn with_journal_segment_kb(mut self, kb: u64) -> Self {
+        self.journal_segment_kb = kb.max(4);
+        self
+    }
+
+    /// Sets the journal segment retention count (minimum 2).
+    pub fn with_journal_segments(mut self, segments: usize) -> Self {
+        self.journal_segments = segments.max(2);
         self
     }
 }
@@ -351,6 +395,22 @@ impl Drop for SlotGuard {
     }
 }
 
+/// RAII guard keeping one request in the in-flight trace registry for
+/// exactly as long as it is being handled. Panic ordering is the point:
+/// the panic hook runs *before* unwinding, so it still sees the trace
+/// registered; the guard then unregisters during unwind, keeping the
+/// bounded registry from silting up with dead entries.
+struct ActiveGuard<'a> {
+    shared: &'a Shared,
+    id: TraceId,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.obs.active.unregister(self.id);
+    }
+}
+
 /// State shared by the accept loop, handler threads, the sampler and
 /// shutdown handles. Crate-visible so the flight-recorder collection
 /// ([`crate::history`]) and the self-watch ([`crate::selfwatch`]) can
@@ -372,6 +432,12 @@ pub(crate) struct Shared {
     /// The self-watch board; present exactly when the recorder is.
     pub(crate) watch: Option<SelfWatch>,
     debug_sleep: bool,
+    /// The durable telemetry journal; `None` without a `data_dir` or with
+    /// journaling disabled. Publishing is try-send load shedding — the
+    /// serving path never blocks on it.
+    pub(crate) journal: Option<Journal>,
+    /// The journal writer thread, joined at the end of [`Server::run`].
+    journal_thread: Mutex<Option<JournalThread>>,
 }
 
 impl Shared {
@@ -412,6 +478,93 @@ impl ShutdownHandle {
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic postmortems
+// ---------------------------------------------------------------------------
+
+/// Journaled servers registered for postmortem capture — weak, so a
+/// dropped server never outlives its scope through the hook.
+static PANIC_TARGETS: Mutex<Vec<Weak<Shared>>> = Mutex::new(Vec::new());
+static PANIC_HOOK: Once = Once::new();
+
+/// Registers a journaled server with the process-wide panic hook (chained
+/// in front of the default hook, installed once per process).
+fn register_panic_target(shared: &Arc<Shared>) {
+    let mut targets = PANIC_TARGETS.lock().unwrap_or_else(|e| e.into_inner());
+    targets.retain(|t| t.strong_count() > 0);
+    targets.push(Arc::downgrade(shared));
+    drop(targets);
+    PANIC_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // A second panic inside the postmortem writer would abort the
+            // process before the original panic even reports — swallow it
+            // and let the chained hook speak.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                write_postmortems(info);
+            }));
+            previous(info);
+        }));
+    });
+}
+
+/// Drains the black box of every live journaled server into an atomic
+/// `postmortem-<ts>.s2gj`: the panic itself, every in-flight trace (the
+/// spans it had finished when the panic hit), the newest retained
+/// flight-recorder samples, and the self-watch board.
+fn write_postmortems(info: &std::panic::PanicHookInfo<'_>) {
+    let message = if let Some(s) = info.payload().downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = info.payload().downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    let location = info.location().map_or_else(
+        || "unknown".to_string(),
+        |l| format!("{}:{}", l.file(), l.line()),
+    );
+    let targets: Vec<Weak<Shared>> = PANIC_TARGETS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    for target in targets {
+        let Some(shared) = target.upgrade() else {
+            continue;
+        };
+        let Some(journal) = &shared.journal else {
+            continue;
+        };
+        let mut events = vec![JournalEvent::Panic(PanicEvent {
+            wall_ms: journal::wall_ms_now(),
+            message: message.clone(),
+            location: location.clone(),
+        })];
+        for (id, route, spans) in shared.obs.active.snapshot() {
+            events.push(JournalEvent::Trace(TraceEvent::from_in_flight(
+                id, &route, &spans,
+            )));
+        }
+        if let Some(recorder) = &shared.recorder {
+            // The newest few samples reconstruct the final window offline.
+            let samples = recorder.window(u64::MAX, 1);
+            let skip = samples.len().saturating_sub(8);
+            for sample in samples.into_iter().skip(skip) {
+                events.push(JournalEvent::sample((*sample).clone()));
+            }
+        }
+        if let Some(watch) = &shared.watch {
+            events.extend(
+                watch
+                    .postmortem_events()
+                    .into_iter()
+                    .map(JournalEvent::Watch),
+            );
+        }
+        let _ = journal::write_postmortem(journal.dir(), &history::build_schema(), &events);
     }
 }
 
@@ -485,6 +638,31 @@ impl Server {
         } else {
             (None, None)
         };
+        // Durable telemetry journal: shares the store's directory (under
+        // `obs/`) and its atomicity discipline. The schema frozen into
+        // each segment is the same one the recorder uses, so offline
+        // `s2g obs` forensics replay with positional alignment intact.
+        let data_dir = config.journal.then(|| config.data_dir.clone()).flatten();
+        let (journal, journal_thread) = if let Some(data_dir) = data_dir {
+            let dir = data_dir.join("obs");
+            let journal_config = JournalConfig {
+                segment_bytes: config.journal_segment_kb.max(4) * 1024,
+                max_segments: config.journal_segments.max(2),
+                ..JournalConfig::new(&dir)
+            };
+            let (journal, thread) =
+                Journal::open(journal_config, history::build_schema()).map_err(io::Error::other)?;
+            s2g_obs::info!(
+                "server",
+                "telemetry journal on at {} ({} KiB segments, {} retained)",
+                dir.display(),
+                config.journal_segment_kb.max(4),
+                config.journal_segments.max(2)
+            );
+            (Some(journal), Some(thread))
+        } else {
+            (None, None)
+        };
         let shared = Arc::new(Shared {
             engine,
             sessions: SessionTable::new(config.session_idle),
@@ -499,7 +677,27 @@ impl Server {
             recorder,
             watch,
             debug_sleep: config.debug_sleep,
+            journal,
+            journal_thread: Mutex::new(journal_thread),
         });
+        if let Some(journal) = shared.journal.clone() {
+            // Tee warn/error log lines into the journal. The sink is
+            // process-global (last journaled server wins); a sink holding
+            // a closed journal sheds harmlessly.
+            s2g_obs::log::set_sink(Some(Arc::new(
+                move |level, target: &str, msg: &str, t_ns, trace: Option<TraceId>| {
+                    journal.publish(JournalEvent::Log(LogEvent {
+                        wall_ms: journal::wall_ms_now(),
+                        t_ns,
+                        level,
+                        target: target.to_string(),
+                        msg: msg.to_string(),
+                        trace_id: trace.map_or(0, |t| t.0),
+                    }));
+                },
+            )));
+            register_panic_target(&shared);
+        }
         Ok(Server { listener, shared })
     }
 
@@ -568,6 +766,21 @@ impl Server {
         if let Some(sampler) = sampler {
             let _ = sampler.join();
         }
+        // Drain-then-exit: close the journal (publishes from here on shed)
+        // and join the writer so every queued event reaches the segment
+        // before run returns.
+        if let Some(journal) = &self.shared.journal {
+            journal.close();
+        }
+        if let Some(thread) = self
+            .shared
+            .journal_thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            thread.join();
+        }
         Ok(())
     }
 
@@ -603,7 +816,11 @@ impl Server {
                     if shared.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    recorder.push(history::collect_sample(&shared));
+                    let sample = history::collect_sample(&shared);
+                    if let Some(journal) = &shared.journal {
+                        journal.publish(JournalEvent::sample(sample.clone()));
+                    }
+                    recorder.push(sample);
                     let Some(current) = recorder.latest() else {
                         continue;
                     };
@@ -746,10 +963,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
                 let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 shared.metrics.record_request("(unparsed)", response.status);
                 response.trace_id = Some(trace.id().to_string());
-                shared
-                    .obs
-                    .traces
-                    .finish(&trace, "(unparsed)", response.status, total_ns);
+                let (finished, _) =
+                    shared
+                        .obs
+                        .traces
+                        .finish(&trace, "(unparsed)", response.status, total_ns);
+                if let Some(journal) = &shared.journal {
+                    journal.publish(JournalEvent::Trace(TraceEvent::from_finished(&finished)));
+                }
                 let _ = response.write_to(&stream);
                 return;
             }
@@ -762,6 +983,21 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         // header, ready for `GET /debug/trace/{id}`.
         let started = Instant::now();
         let trace = shared.obs.start_trace();
+        // The scope makes the trace id ambient for the request: every log
+        // line emitted while handling it (any thread-local depth) carries
+        // the id, correlating logs with the span tree. The registry makes
+        // the trace visible to the panic hook — a handler panic drains it
+        // into the postmortem with the spans it had finished so far; the
+        // guard unregisters on the way out, unwinding included.
+        let _trace_scope = TraceScope::enter(trace.id());
+        shared
+            .obs
+            .active
+            .register(format!("{} {}", request.method, request.path), &trace);
+        let _active_guard = ActiveGuard {
+            shared,
+            id: trace.id(),
+        };
         let mut root = trace.begin("request", None);
         root.attr("method", request.method.to_string());
         root.attr("path", request.path.clone());
@@ -781,10 +1017,17 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         family.get(pattern).record(total_ns);
         shared.metrics.record_request(pattern, response.status);
         response.trace_id = Some(trace.id().to_string());
-        let (_, slow) = shared
+        let (finished, slow) = shared
             .obs
             .traces
             .finish(&trace, pattern, response.status, total_ns);
+        // Slow and error traces are the forensically interesting ones —
+        // they go to the journal (shedding, never blocking).
+        if slow || response.status >= 400 {
+            if let Some(journal) = &shared.journal {
+                journal.publish(JournalEvent::Trace(TraceEvent::from_finished(&finished)));
+            }
+        }
         if slow {
             s2g_obs::warn!(
                 "server",
@@ -841,10 +1084,12 @@ fn route(
         (Get, ["metrics", "delta"]) => {
             ("GET /metrics/delta", handle_metrics_delta(shared, request))
         }
+        (Get, ["metrics", "journal"]) => ("GET /metrics/journal", handle_metrics_journal(shared)),
         (Get, ["watch"]) => ("GET /watch", handle_watch(shared)),
         (Get, ["debug", "trace", id]) => ("GET /debug/trace/{id}", handle_debug_trace(shared, id)),
         (Get, ["debug", "slow"]) => ("GET /debug/slow", handle_debug_slow(shared)),
         (Post, ["debug", "sleep"]) => ("POST /debug/sleep", handle_debug_sleep(shared, request)),
+        (Post, ["debug", "panic"]) => ("POST /debug/panic", handle_debug_panic(shared, ctx)),
         (Get, ["models"]) => ("GET /models", handle_list_models(shared)),
         (Put, ["models", name]) => ("PUT /models/{name}", handle_fit(shared, name, request, ctx)),
         (Get, ["models", name]) => ("GET /models/{name}", handle_model_info(shared, name)),
@@ -1186,6 +1431,47 @@ fn handle_debug_sleep(shared: &Shared, request: &Request) -> Result<Response, Ap
     let ms = query_usize(request, "ms")?.unwrap_or(10).min(1_000);
     std::thread::sleep(Duration::from_millis(ms as u64));
     let body = Json::obj([("slept_ms", Json::from(ms))]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+/// `POST /debug/panic`: panics mid-handler to drill the postmortem path
+/// (gated behind `--debug-sleep` with the other drill endpoint; 404
+/// otherwise). One child span is finished *before* the panic, so the
+/// postmortem's in-flight trace demonstrably carries the spans the
+/// request had completed when it died. No response is ever written — the
+/// connection thread unwinds and the peer sees the socket close.
+fn handle_debug_panic(shared: &Shared, ctx: &SpanCtx) -> Result<Response, ApiError> {
+    if !shared.debug_sleep {
+        return Err(ApiError::not_found(
+            "debug panic disabled (serve with --debug-sleep)",
+        ));
+    }
+    let mut span = ctx.child("about_to_panic");
+    span.attr("drill", "postmortem");
+    span.finish();
+    panic!("induced panic: POST /debug/panic");
+}
+
+/// `GET /metrics/journal`: writer health of the durable telemetry
+/// journal — segment/byte footprint on disk, events written, events shed
+/// (`dropped`; the writer never blocks the serving path), rotations, and
+/// the live segment's sequence number. 404 when journaling is off.
+fn handle_metrics_journal(shared: &Shared) -> Result<Response, ApiError> {
+    let Some(journal) = &shared.journal else {
+        return Err(ApiError::not_found(
+            "journal disabled (serve with --data-dir, without --no-journal)",
+        ));
+    };
+    let stats = journal.stats();
+    let body = Json::obj([
+        ("dir", Json::from(journal.dir().display().to_string())),
+        ("segments", Json::from(stats.segments as usize)),
+        ("bytes", Json::from(stats.bytes as usize)),
+        ("written", Json::from(stats.written as usize)),
+        ("dropped", Json::from(stats.dropped as usize)),
+        ("rotations", Json::from(stats.rotations as usize)),
+        ("current_seq", Json::from(stats.current_seq as usize)),
+    ]);
     Ok(Response::ok(vec![body.encode()]))
 }
 

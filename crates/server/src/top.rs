@@ -7,7 +7,13 @@
 //! the "UI" is ANSI clear-screen plus Unicode block characters, so it
 //! works in any terminal and `--once` degrades it to a plain printout
 //! for scripts and smoke tests.
+//!
+//! ANSI escapes are emitted only when they will be understood: a
+//! non-terminal stdout (pipe, file, CI log) or a set `NO_COLOR`
+//! environment variable (<https://no-color.org/>) switches the loop to
+//! plain separated redraws with no control codes at all.
 
+use std::io::IsTerminal;
 use std::time::Duration;
 
 use s2g_engine::cli::{CliError, ParsedArgs};
@@ -35,6 +41,14 @@ fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
+/// Whether ANSI control codes should be emitted: only to a real
+/// terminal, and only when the user has not opted out via a non-empty
+/// `NO_COLOR` (the <https://no-color.org/> convention). Pure so it can
+/// be pinned by tests without a TTY.
+fn ansi_enabled(no_color: Option<&str>, stdout_is_tty: bool) -> bool {
+    stdout_is_tty && no_color.is_none_or(str::is_empty)
+}
+
 /// `s2g top [--addr <host:port>] [--window <secs>] [--refresh-ms <n>]
 /// [--once]`.
 ///
@@ -47,6 +61,8 @@ pub(crate) fn cmd_top(args: &[String]) -> Result<(), CliError> {
     let window = args.usize_flag("--window", Some(60))? as u64;
     let refresh_ms = args.usize_flag("--refresh-ms", Some(1_000))?.max(100) as u64;
     let once = args.has("--once");
+    let no_color = std::env::var("NO_COLOR").ok();
+    let ansi = ansi_enabled(no_color.as_deref(), std::io::stdout().is_terminal());
     let client = Client::new(addr.clone());
     loop {
         let frame =
@@ -55,8 +71,14 @@ pub(crate) fn cmd_top(args: &[String]) -> Result<(), CliError> {
             println!("{frame}");
             return Ok(());
         }
-        // Clear screen + home, then the frame — a full redraw per tick.
-        print!("\x1b[2J\x1b[H{frame}\n(refresh {refresh_ms} ms, ctrl-c to quit)");
+        if ansi {
+            // Clear screen + home, then the frame — a full redraw per tick.
+            print!("\x1b[2J\x1b[H{frame}\n(refresh {refresh_ms} ms, ctrl-c to quit)");
+        } else {
+            // Plain redraw: no control codes for pipes, logs, NO_COLOR.
+            println!("{frame}");
+            println!("--- (refresh {refresh_ms} ms, ctrl-c to quit)");
+        }
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
         std::thread::sleep(Duration::from_millis(refresh_ms));
@@ -330,6 +352,18 @@ mod tests {
         assert_eq!(line.chars().count(), 3);
         assert!(line.starts_with('▁'));
         assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn ansi_only_for_a_tty_without_no_color() {
+        // The NO_COLOR convention: any non-empty value disables escapes;
+        // unset or empty defers to whether stdout is a terminal.
+        assert!(ansi_enabled(None, true));
+        assert!(ansi_enabled(Some(""), true));
+        assert!(!ansi_enabled(Some("1"), true));
+        assert!(!ansi_enabled(Some("anything"), true));
+        assert!(!ansi_enabled(None, false));
+        assert!(!ansi_enabled(Some("1"), false));
     }
 
     #[test]

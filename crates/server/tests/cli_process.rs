@@ -369,3 +369,210 @@ fn usage_errors_exit_with_code_two() {
     assert!(help.status.success());
     assert!(String::from_utf8_lossy(&help.stdout).contains("bench-throughput"));
 }
+
+/// One raw HTTP/1.1 request over a fresh connection; returns the full
+/// response text ("" if the server dropped the connection mid-request,
+/// which is exactly what a panicking handler does).
+fn raw_request(addr: &str, method: &str, target: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let wire =
+        format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+    stream.write_all(wire.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).ok();
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+fn obs(s2g: &str, args: &[&str]) -> String {
+    let out = Command::new(s2g).arg("obs").args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "obs {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The crash drill: a journaled server is killed with SIGKILL mid-traffic,
+/// and the offline `s2g obs` forensics still reconstruct the final window
+/// from whatever reached disk — torn tails flagged, never fatal.
+#[test]
+fn crash_drill_obs_forensics_survive_sigkill() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let data_dir = tmp("crash_drill");
+    std::fs::remove_dir_all(&data_dir).ok();
+    let dir = data_dir.to_str().unwrap().to_string();
+    let (mut server, addr) = spawn_server_with(
+        s2g,
+        &[
+            "--data-dir",
+            &dir,
+            "--sample-interval-ms",
+            "5",
+            "--slow-request-ms",
+            "0",
+            "--journal-segment-kb",
+            "4",
+        ],
+    );
+
+    // Paced so the 5 ms sampler ticks many times while traffic is live —
+    // otherwise a release build answers all 50 requests inside one tick
+    // and there are no samples to reconstruct.
+    for _ in 0..50 {
+        let response = raw_request(&addr, "GET", "/healthz");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        std::thread::sleep(std::time::Duration::from_millis(3));
+    }
+    // SIGKILL mid-traffic: no shutdown path runs, no writer flush, no
+    // segment finalisation — whatever the journal fsynced is all there is.
+    server.kill().unwrap();
+    server.wait().unwrap();
+
+    let ls = obs(s2g, &["ls", "--data-dir", &dir]);
+    assert!(ls.contains("segment"), "{ls}");
+
+    let report = obs(s2g, &["report", "--data-dir", &dir, "--window", "60"]);
+    assert!(report.contains("journal report"), "{report}");
+    // The sampler ticked every 5 ms across 50 requests: the retained
+    // samples reconstruct the crash window's counters and percentiles.
+    assert!(report.contains("sample(s) spanning"), "{report}");
+    assert!(report.contains("GET /healthz"), "{report}");
+
+    // Every trace survived with its route; grep narrows by substring.
+    let grep = obs(
+        s2g,
+        &[
+            "grep",
+            "--data-dir",
+            &dir,
+            "--kind",
+            "trace",
+            "--route",
+            "healthz",
+        ],
+    );
+    assert!(grep.contains("GET /healthz"), "{grep}");
+
+    // Export emits one JSON object per event.
+    let export = obs(s2g, &["export", "--data-dir", &dir]);
+    assert!(export
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(export.contains("\"kind\":\"sample\""));
+    assert!(export.contains("\"kind\":\"trace\""));
+
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+/// The panic drill: an induced handler panic leaves a postmortem journal
+/// holding the panic site and the in-flight trace — and the server keeps
+/// serving other connections afterwards.
+#[test]
+fn panic_drill_writes_postmortem_with_in_flight_trace() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let data_dir = tmp("panic_drill");
+    std::fs::remove_dir_all(&data_dir).ok();
+    let dir = data_dir.to_str().unwrap().to_string();
+    let (mut server, addr) = spawn_server_with(s2g, &["--data-dir", &dir, "--debug-sleep"]);
+
+    // The handler panics before writing a response: the connection just
+    // drops. The panic hook runs before unwinding, draining the in-flight
+    // trace into a postmortem file.
+    let response = raw_request(&addr, "POST", "/debug/panic");
+    assert!(
+        response.is_empty(),
+        "panicking handler answered: {response}"
+    );
+
+    let obs_dir = data_dir.join("obs");
+    let postmortem_written = || {
+        std::fs::read_dir(&obs_dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .any(|e| e.file_name().to_string_lossy().starts_with("postmortem-"))
+            })
+            .unwrap_or(false)
+    };
+    for _ in 0..100 {
+        if postmortem_written() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(postmortem_written(), "no postmortem file appeared");
+
+    // One worker panicked; the server is still up for everyone else.
+    assert!(raw_request(&addr, "GET", "/healthz").starts_with("HTTP/1.1 200"));
+    server.kill().unwrap();
+    server.wait().unwrap();
+
+    // The postmortem names the panic and carries the in-flight trace of
+    // the very request that died, spans included.
+    let files = s2g_obs::journal::read_dir_all(&obs_dir).unwrap();
+    let postmortem = files
+        .iter()
+        .find(|f| f.postmortem)
+        .expect("postmortem segment");
+    let mut saw_panic = false;
+    let mut saw_in_flight = false;
+    for event in &postmortem.events {
+        match event {
+            s2g_obs::journal::JournalEvent::Panic(p) => {
+                assert!(p.message.contains("induced panic"), "{}", p.message);
+                assert!(p.location.contains("server"), "{}", p.location);
+                saw_panic = true;
+            }
+            s2g_obs::journal::JournalEvent::Trace(t) if t.in_flight => {
+                assert_eq!(t.route, "POST /debug/panic");
+                assert!(t.spans.iter().any(|s| s.name == "about_to_panic"));
+                saw_in_flight = true;
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_panic, "postmortem missing the panic event");
+    assert!(saw_in_flight, "postmortem missing the in-flight trace");
+
+    // `obs grep --kind panic` surfaces it offline too.
+    let grep = obs(
+        s2g,
+        &[
+            "grep",
+            "--journal-dir",
+            obs_dir.to_str().unwrap(),
+            "--kind",
+            "panic",
+        ],
+    );
+    assert!(grep.contains("induced panic"), "{grep}");
+
+    std::fs::remove_dir_all(&data_dir).ok();
+}
+
+/// `s2g top --once` with NO_COLOR set (or stdout piped, as here) renders a
+/// plain frame: no ANSI clear/home escapes anywhere in the output.
+#[test]
+fn top_once_honors_no_color() {
+    let s2g = env!("CARGO_BIN_EXE_s2g");
+    let (mut server, addr) = spawn_server(s2g);
+
+    let top = Command::new(s2g)
+        .args(["top", "--addr", &addr, "--once"])
+        .env("NO_COLOR", "1")
+        .output()
+        .unwrap();
+    assert!(
+        top.status.success(),
+        "top failed: {}",
+        String::from_utf8_lossy(&top.stderr)
+    );
+    let frame = String::from_utf8_lossy(&top.stdout);
+    assert!(!frame.contains('\x1b'), "ANSI escapes despite NO_COLOR");
+    assert!(!frame.is_empty());
+
+    server.kill().unwrap();
+    server.wait().unwrap();
+}

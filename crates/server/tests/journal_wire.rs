@@ -1,0 +1,171 @@
+//! Acceptance tests for the durable telemetry journal: a journaled server
+//! streams flight-recorder samples, slow/error traces and warn-level log
+//! lines (carrying their trace ids) into segment files that an offline
+//! reader reconstructs; `GET /metrics/journal` exposes writer health; and
+//! journaling never perturbs scoring — fit/score with the journal on is
+//! bit-identical to the same fit/score with it off.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::thread;
+use std::time::Duration;
+
+use s2g_obs::journal::{read_dir_all, JournalEvent};
+use s2g_server::{Client, Server, ServerConfig, ShutdownHandle};
+
+/// The journal log sink and panic-hook targets are process-global (last
+/// journaled server wins), so journaled servers in this binary must not
+/// overlap — each test takes the lock for its whole server lifetime.
+static JOURNAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("s2g_journal_wire_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn start(config: ServerConfig) -> (String, ShutdownHandle, thread::JoinHandle<()>) {
+    let server = Server::bind(config.with_addr("127.0.0.1:0")).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let thread = thread::spawn(move || server.run().unwrap());
+    (addr, handle, thread)
+}
+
+fn sine_csv(n: usize, period: f64) -> String {
+    (0..n)
+        .map(|i| format!("{}\n", (std::f64::consts::TAU * i as f64 / period).sin()))
+        .collect()
+}
+
+#[test]
+fn journal_captures_samples_traces_and_correlated_logs() {
+    let _guard = JOURNAL_LOCK.lock().unwrap();
+    let dir = test_dir("capture");
+    // Threshold 0 marks every request slow, so each one both journals its
+    // finished trace and emits a warn log line inside the trace scope.
+    let (addr, handle, server) = start(
+        ServerConfig::default()
+            .with_data_dir(&dir)
+            .with_sample_interval_ms(10)
+            .with_slow_request_ms(Some(0)),
+    );
+    let client = Client::new(addr);
+    client.health().unwrap();
+    assert!(client.list_models().unwrap().is_empty());
+    // Let the sampler tick a few times so samples reach the journal.
+    thread::sleep(Duration::from_millis(80));
+    handle.shutdown();
+    server.join().unwrap();
+
+    // run() closed the journal and joined the writer: everything published
+    // is on disk, checksummed, under <data-dir>/obs.
+    let files = read_dir_all(&dir.join("obs")).unwrap();
+    assert!(!files.is_empty(), "no journal segments written");
+    assert!(
+        files.iter().all(|f| !f.torn),
+        "clean shutdown left a torn tail"
+    );
+
+    let events: Vec<&JournalEvent> = files.iter().flat_map(|f| &f.events).collect();
+    let samples = events
+        .iter()
+        .filter(|e| matches!(e, JournalEvent::Sample(_)))
+        .count();
+    assert!(
+        samples >= 2,
+        "expected sampler ticks in the journal, got {samples}"
+    );
+
+    let trace_ids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::Trace(t) => Some(t.id),
+            _ => None,
+        })
+        .collect();
+    assert!(!trace_ids.is_empty(), "no finished traces journaled");
+
+    // Logs ↔ traces: the slow-request warn line fired inside the request's
+    // trace scope, so its journaled log event carries that trace's id.
+    let correlated = events.iter().any(|e| match e {
+        JournalEvent::Log(l) => l.trace_id != 0 && trace_ids.contains(&l.trace_id),
+        _ => false,
+    });
+    assert!(
+        correlated,
+        "no warn log line correlated to a journaled trace id"
+    );
+
+    // Every segment carries the schema it was written under.
+    for file in &files {
+        assert!(!file.meta.schema.counters.is_empty());
+        assert!(!file.meta.schema.histograms.is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_journal_endpoint_reports_writer_health() {
+    let _guard = JOURNAL_LOCK.lock().unwrap();
+    let dir = test_dir("endpoint");
+    let (addr, handle, server) = start(ServerConfig::default().with_data_dir(&dir));
+    let client = Client::new(addr);
+    client.health().unwrap();
+    let body = client.metrics_journal().unwrap();
+    assert!(body.get("segments").unwrap().as_usize().unwrap() >= 1);
+    assert!(body.get("bytes").unwrap().as_usize().unwrap() > 0);
+    assert_eq!(body.get("dropped").unwrap().as_usize(), Some(0));
+    handle.shutdown();
+    server.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Without a journal (no --data-dir) the endpoint is a clean 404.
+    let (addr, handle, server) = start(ServerConfig::default());
+    let client = Client::new(addr);
+    assert!(client.metrics_journal().is_err());
+    handle.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn scoring_is_bit_identical_with_journal_on_and_off() {
+    let _guard = JOURNAL_LOCK.lock().unwrap();
+    let dir = test_dir("identical");
+    let csv = sine_csv(3000, 80.0);
+    let probe: Vec<f64> = (0..600)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 80.0).sin())
+        .collect();
+
+    let score_with = |config: ServerConfig| -> Vec<f64> {
+        let (addr, handle, server) = start(config);
+        let client = Client::new(addr);
+        client
+            .fit_model("drill", "pattern_length=40", &csv)
+            .unwrap();
+        let scores = client
+            .score("drill", 160, std::slice::from_ref(&probe))
+            .unwrap()[0]
+            .as_ref()
+            .unwrap()
+            .clone();
+        handle.shutdown();
+        server.join().unwrap();
+        scores
+    };
+
+    let journaled = score_with(
+        ServerConfig::default()
+            .with_data_dir(&dir)
+            .with_sample_interval_ms(10)
+            .with_slow_request_ms(Some(0)),
+    );
+    let plain = score_with(ServerConfig::default().with_journal(false));
+    assert_eq!(journaled.len(), plain.len());
+    // Bit-identical, not approximately equal: journaling rides entirely
+    // outside the scoring path.
+    for (a, b) in journaled.iter().zip(plain.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
