@@ -53,7 +53,8 @@ USAGE:
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
                          [--batches <n>] [--sample-interval-ms <n>]
-                         [--journal-dir <dir>] [--skew] [--json]
+                         [--journal-dir <dir>] [--deadline-ms <n>]
+                         [--skew] [--json]
     s2g eval   [--seed <n>] [--scenario <id>[,<id>...]] [--rev <tag>]
                [--fast] [--json] [--check] [--list]
     s2g help
@@ -509,6 +510,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             "--batches",
             "--sample-interval-ms",
             "--journal-dir",
+            "--deadline-ms",
         ],
         &["--json", "--skew"],
     )?;
@@ -529,6 +531,10 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     };
     let json = args.has("--json");
     let skew = args.has("--skew");
+    // Per-batch deadline budget: every batch is submitted under a root
+    // span whose deadline is `now + budget`, exercising the pool's
+    // expired-task skip path under real scoring load. 0 disables.
+    let deadline_ms = args.usize_flag("--deadline-ms", Some(0))? as u64;
 
     // Deterministic synthetic fleet: phase-shifted sines with a small
     // index-dependent wobble, so every run measures identical work. With
@@ -636,7 +642,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         })
     });
     let mut batch_ms: Vec<f64> = Vec::with_capacity(batches);
-    let mut pooled: Vec<Vec<f64>> = Vec::new();
+    let mut completed_tasks = 0u64;
     for round in 0..batches {
         let jobs: Vec<ScoreJob> = fleet
             .iter()
@@ -646,19 +652,38 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
                 query_length,
             })
             .collect();
-        let t1 = Instant::now();
-        let result: Vec<Vec<f64>> = pool
-            .score_batch(jobs)
-            .into_iter()
-            .collect::<Result<_, _>>()
-            .map_err(CliError::from)?;
-        batch_ms.push(t1.elapsed().as_secs_f64() * 1e3);
-        if round == 0 {
-            pooled = result;
-        } else if pooled != result {
-            return Err(CliError::Runtime(
-                "pool scores diverged across batches".to_string(),
+        // With a deadline budget, each batch runs under its own root span
+        // carrying `now + budget` — the same shape the serving layer builds
+        // from `X-S2g-Deadline-Ms` — so queued tasks that outlive the
+        // budget are skipped by the pool, not executed late.
+        let ctx = (deadline_ms > 0).then(|| {
+            let trace = s2g_obs::TraceHandle::new(s2g_obs::TraceId(round as u64 + 1));
+            let root = trace.begin("bench.batch", None);
+            let ctx = root.ctx().with_deadline(Some(
+                Instant::now() + std::time::Duration::from_millis(deadline_ms),
             ));
+            root.finish();
+            ctx
+        });
+        let t1 = Instant::now();
+        let result = pool.score_batch_traced(jobs, ctx);
+        batch_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+        // Determinism gate: every task that ran must match the sequential
+        // reference bit-for-bit; deadline-expired slots are skipped work
+        // (never partial work) and are excluded from the comparison.
+        for (idx, slot) in result.into_iter().enumerate() {
+            match slot {
+                Ok(scores) => {
+                    completed_tasks += 1;
+                    if scores != sequential[idx] {
+                        return Err(CliError::Runtime(
+                            "pool scores diverged from sequential scores".to_string(),
+                        ));
+                    }
+                }
+                Err(crate::Error::DeadlineExceeded) if deadline_ms > 0 => {}
+                Err(e) => return Err(CliError::from(e)),
+            }
         }
     }
     sampler_stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -671,15 +696,16 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         thread.join();
         journal.stats()
     });
-    if pooled != sequential {
-        return Err(CliError::Runtime(
-            "pool scores diverged from sequential scores".to_string(),
-        ));
-    }
-
     let stats = pool.worker_stats();
     let executed_tasks: u64 = stats.iter().map(|s| s.executed).sum();
     let stolen_tasks: u64 = stats.iter().map(|s| s.stolen).sum();
+    let expired_tasks = pool.deadline_expired();
+    if deadline_ms == 0 && completed_tasks != (n_series * batches) as u64 {
+        return Err(CliError::Runtime(format!(
+            "pool completed {completed_tasks} of {} tasks",
+            n_series * batches
+        )));
+    }
 
     // Histogram-derived per-task percentiles: where a batch's wall time
     // went — waiting in a worker's queue vs executing the scoring kernel.
@@ -722,6 +748,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
              \"batch_p50_ms\":{p50:.3},\"batch_p95_ms\":{p95:.3},\"batch_p99_ms\":{p99:.3},\
              \"pool_points_per_sec\":{pool_pps:.0},\"speedup\":{speedup:.3},\
              \"executed_tasks\":{executed_tasks},\"stolen_tasks\":{stolen_tasks},\
+             \"deadline_ms\":{deadline_ms},\"deadline_expired_tasks\":{expired_tasks},\
+             \"completed_tasks\":{completed_tasks},\
              \"task_queue_wait_p50_ms\":{qw_p50:.3},\"task_queue_wait_p95_ms\":{qw_p95:.3},\
              \"task_queue_wait_p99_ms\":{qw_p99:.3},\"task_queue_wait_mean_ms\":{:.3},\
              \"task_execute_p50_ms\":{ex_p50:.3},\"task_execute_p95_ms\":{ex_p95:.3},\
@@ -753,6 +781,12 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         "pool ({workers} workers): p50 {p50:.1} ms, p95 {p95:.1} ms, p99 {p99:.1} ms per batch ({pool_pps:>12.0} points/s, {speedup:.2}x)"
     );
     println!("scheduler: {executed_tasks} tasks executed, {stolen_tasks} stolen");
+    if deadline_ms > 0 {
+        println!(
+            "deadlines: {expired_tasks} of {} tasks expired unrun @ {deadline_ms} ms budget ({completed_tasks} completed)",
+            n_series * batches
+        );
+    }
     println!(
         "per-task: queue wait p50 {qw_p50:.3} ms / p95 {qw_p95:.3} ms / p99 {qw_p99:.3} ms; \
          execute p50 {ex_p50:.3} ms / p95 {ex_p95:.3} ms / p99 {ex_p99:.3} ms"
@@ -768,7 +802,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
             stats.written, stats.segments, stats.bytes, stats.dropped
         );
     }
-    println!("determinism: pool output identical to sequential across all batches ✓");
+    if deadline_ms > 0 {
+        println!("determinism: every completed task identical to sequential ✓ (expired slots skipped unrun)");
+    } else {
+        println!("determinism: pool output identical to sequential across all batches ✓");
+    }
     Ok(())
 }
 

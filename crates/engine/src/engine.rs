@@ -176,6 +176,23 @@ impl Engine {
         self.pool.worker_stats()
     }
 
+    /// Pool tasks admitted but not yet claimed by a worker — the backlog
+    /// gauge the serving layer's admission gate sheds on.
+    pub fn pending_tasks(&self) -> u64 {
+        self.pool.pending_tasks()
+    }
+
+    /// Pool tasks whose compute panicked (the worker survived and the
+    /// submitter got a typed error).
+    pub fn task_panics(&self) -> u64 {
+        self.pool.task_panics()
+    }
+
+    /// Pool tasks rejected because their deadline expired while queued.
+    pub fn deadline_expired(&self) -> u64 {
+        self.pool.deadline_expired()
+    }
+
     /// Registers a freshly fitted model, persisting it first when a store
     /// is mounted (save-on-fit): the model becomes durable *before* it
     /// becomes visible, so a crash can never leave a registered-but-lost

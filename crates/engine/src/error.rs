@@ -47,6 +47,16 @@ pub enum Error {
     StreamExists(String),
     /// The worker pool has shut down or a worker died mid-job.
     PoolClosed,
+    /// The task's deadline had already passed when a worker picked it up;
+    /// the work was skipped, not attempted.
+    DeadlineExceeded,
+    /// The task body panicked on its worker; the worker caught the unwind
+    /// and kept running, the task's output is lost.
+    WorkerPanicked,
+    /// The durable model store is in read-only degraded mode after a
+    /// persistent I/O failure; writes are refused until the background
+    /// probe re-arms them.
+    StoreDegraded,
 }
 
 impl fmt::Display for Error {
@@ -70,6 +80,14 @@ impl fmt::Display for Error {
             Error::UnknownStream(id) => write!(f, "no open streaming session {id:?}"),
             Error::StreamExists(id) => write!(f, "streaming session {id:?} already open"),
             Error::PoolClosed => write!(f, "worker pool is shut down"),
+            Error::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the task started executing")
+            }
+            Error::WorkerPanicked => write!(f, "worker panicked while executing the task"),
+            Error::StoreDegraded => write!(
+                f,
+                "model store is in read-only degraded mode (writes re-arm when the disk recovers)"
+            ),
         }
     }
 }

@@ -72,7 +72,7 @@ pub use engine::{AdaptStatus, Engine, EngineConfig};
 pub use error::{Error, Result};
 pub use pool::{AdaptReport, FitJob, ScoreJob, StreamPush, WorkerPool, WorkerStats};
 pub use registry::{validate_model_name, ModelInfo, ModelRegistry};
-pub use storage::{ModelStorage, StoredModelMeta};
+pub use storage::{ModelStorage, StoreMode, StoredModelMeta};
 
 // Re-exported so downstream users of the engine see the model types it
 // serves and the adaptation vocabulary its streams speak.

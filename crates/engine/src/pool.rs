@@ -24,6 +24,7 @@
 //! channel, exactly as it previously drained its round-robin share.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -141,10 +142,55 @@ impl BatchTask {
         }
     }
 
+    /// Clones this task's reply channel and submission index, so a
+    /// catch_unwind wrapper can still answer the submitter after the
+    /// compute panicked (the original sender unwinds away with the task).
+    fn responder(&self) -> BatchResponder {
+        match self {
+            BatchTask::Fit { idx, reply, .. } => BatchResponder::Fit {
+                idx: *idx,
+                reply: reply.clone(),
+            },
+            BatchTask::Score { idx, reply, .. } => BatchResponder::Score {
+                idx: *idx,
+                reply: reply.clone(),
+            },
+        }
+    }
+
+    /// Answers the submitter with `error` without computing anything —
+    /// the expired-deadline path.
+    fn reject(self, error: Error) {
+        match self {
+            BatchTask::Fit { idx, reply, .. } => {
+                let _ = reply.send((idx, Err(error)));
+            }
+            BatchTask::Score { idx, reply, .. } => {
+                let _ = reply.send((idx, Err(error)));
+            }
+        }
+    }
+
     /// Executes the task's computation, returning the reply *unsent*.
     /// Pure: the result depends only on the task's inputs, never on the
-    /// executing worker.
+    /// executing worker. The `pool.task.panic` failpoint fires here, so
+    /// injected panics unwind exactly like a real compute panic.
     fn compute(self) -> BatchReply {
+        if let Some(err) = s2g_failpoints::hit("pool.task.panic") {
+            // Armed as `error` instead of `panic`: fail the task cleanly.
+            return match self {
+                BatchTask::Fit { idx, reply, .. } => BatchReply::Fit {
+                    idx,
+                    result: Box::new(Err(Error::Io(err))),
+                    reply,
+                },
+                BatchTask::Score { idx, reply, .. } => BatchReply::Score {
+                    idx,
+                    result: Err(Error::Io(err)),
+                    reply,
+                },
+            };
+        }
         match self {
             BatchTask::Fit { idx, job, reply } => {
                 let result = Series2Graph::fit(&job.series, &job.config).map_err(Error::from);
@@ -200,6 +246,35 @@ impl BatchTask {
         // sequenced after it, like a `/metrics` scrape racing right behind
         // the response — always observes the task's recordings.
         outcome.send();
+    }
+}
+
+/// A detached reply handle for one batch task: the submission index plus a
+/// clone of the reply sender, held *outside* the catch_unwind closure so a
+/// panicking task can still be answered with a typed error instead of the
+/// collector seeing a dead channel.
+enum BatchResponder {
+    Fit {
+        idx: usize,
+        reply: Sender<(usize, Result<Series2Graph>)>,
+    },
+    Score {
+        idx: usize,
+        reply: Sender<(usize, Result<Vec<f64>>)>,
+    },
+}
+
+impl BatchResponder {
+    /// Delivers `error` to the submitter's slot.
+    fn send_err(self, error: Error) {
+        match self {
+            BatchResponder::Fit { idx, reply } => {
+                let _ = reply.send((idx, Err(error)));
+            }
+            BatchResponder::Score { idx, reply } => {
+                let _ = reply.send((idx, Err(error)));
+            }
+        }
     }
 }
 
@@ -273,6 +348,18 @@ struct PoolStats {
     /// Per-shard channel backlog: jobs sent but not yet picked up by the
     /// worker — the queue-depth gauge `GET /metrics` samples.
     depth: Vec<AtomicU64>,
+    /// Batch tasks and stream pushes admitted but not yet claimed by a
+    /// worker — the backlog the server's admission gate sheds against.
+    /// Unlike `depth` (channel messages), this counts *tasks*: a 64-task
+    /// batch is 64 here even though it wakes at most `workers` channel
+    /// messages.
+    pending: AtomicU64,
+    /// Tasks whose compute panicked; the worker caught the unwind, answered
+    /// the submitter with [`Error::WorkerPanicked`], and kept running.
+    panics: AtomicU64,
+    /// Tasks answered [`Error::DeadlineExceeded`] at pickup without
+    /// executing: their deadline had already passed while they queued.
+    deadline_expired: AtomicU64,
 }
 
 impl PoolStats {
@@ -281,6 +368,9 @@ impl PoolStats {
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             depth: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            pending: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
         }
     }
 
@@ -406,6 +496,24 @@ impl WorkerPool {
         self.stats.snapshot()
     }
 
+    /// Batch tasks and stream pushes admitted but not yet claimed by a
+    /// worker — the instantaneous backlog an admission gate sheds against.
+    pub fn pending_tasks(&self) -> u64 {
+        self.stats.pending.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative tasks whose compute panicked. Each was answered with
+    /// [`Error::WorkerPanicked`]; the worker survived.
+    pub fn task_panics(&self) -> u64 {
+        self.stats.panics.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative tasks answered [`Error::DeadlineExceeded`] at pickup
+    /// without executing.
+    pub fn deadline_expired(&self) -> u64 {
+        self.stats.deadline_expired.load(Ordering::Relaxed)
+    }
+
     fn shard_for_stream(&self, id: &str) -> usize {
         (crate::util::fnv1a(id.as_bytes()) % self.shards.len() as u64) as usize
     }
@@ -424,6 +532,9 @@ impl WorkerPool {
         }
         let workers = self.workers();
         let wake = tasks.len().min(workers);
+        self.stats
+            .pending
+            .fetch_add(tasks.len() as u64, Ordering::Relaxed);
         let shared = Arc::new(BatchShared {
             injector: Mutex::new(tasks),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -431,8 +542,24 @@ impl WorkerPool {
             trace,
         });
         let start = self.next_wake.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut woken = 0usize;
         for offset in 0..wake {
-            let _ = self.send_job((start + offset) % workers, Job::Batch(Arc::clone(&shared)));
+            if self
+                .send_job((start + offset) % workers, Job::Batch(Arc::clone(&shared)))
+                .is_ok()
+            {
+                woken += 1;
+            }
+        }
+        if woken == 0 {
+            // Pool is shutting down: no worker will ever drain this batch,
+            // so the pending count added above must come back out here.
+            let queued = shared
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len() as u64;
+            self.stats.pending.fetch_sub(queued, Ordering::Relaxed);
         }
     }
 
@@ -602,6 +729,7 @@ impl WorkerPool {
     ) -> Result<StreamPush> {
         let shard = self.shard_for_stream(id);
         let (reply, inbox) = channel();
+        self.stats.pending.fetch_add(1, Ordering::Relaxed);
         self.send_job(
             shard,
             Job::PushStream {
@@ -612,7 +740,10 @@ impl WorkerPool {
                 reply,
             },
         )
-        .map_err(|_| Error::PoolClosed)?;
+        .map_err(|_| {
+            self.stats.pending.fetch_sub(1, Ordering::Relaxed);
+            Error::PoolClosed
+        })?;
         inbox.recv().map_err(|_| Error::PoolClosed)?
     }
 
@@ -656,6 +787,7 @@ impl std::fmt::Debug for WorkerPool {
 /// *executing* on other workers are theirs to finish).
 fn run_batch(worker: usize, shared: &BatchShared, stats: &PoolStats, obs: Option<&Arc<Obs>>) {
     let workers = shared.deques.len();
+    let deadline = shared.trace.as_ref().and_then(|t| t.deadline);
     loop {
         // 1. Own deque: chunks claimed from the injector land here.
         let mut task = {
@@ -703,15 +835,38 @@ fn run_batch(worker: usize, shared: &BatchShared, stats: &PoolStats, obs: Option
         }
         match task {
             Some(task) => {
+                // Claimed: out of the backlog (decremented before the reply
+                // can be observed, so a caller that has collected its batch
+                // always reads a fully-drained gauge).
+                stats.pending.fetch_sub(1, Ordering::Relaxed);
+                // Deadline check at pickup: a task whose deadline passed
+                // while it queued is answered without executing — the
+                // submitter has (or will) stop waiting, so computing the
+                // result would only burn a worker the live requests need.
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    task.reject(Error::DeadlineExceeded);
+                    continue;
+                }
                 // Counted before the task replies: the channel send inside
                 // `run` happens-after this store, so a caller that has
                 // collected every reply always reads fully-summed counters.
                 stats.executed[worker].fetch_add(1, Ordering::Relaxed);
-                match obs {
+                // The responder clone outlives the catch_unwind closure: a
+                // panicking compute drops the task (and its reply sender)
+                // mid-unwind, and without this clone the collector would
+                // see a dead channel (`PoolClosed`) instead of the typed
+                // `WorkerPanicked` error.
+                let responder = task.responder();
+                let outcome = catch_unwind(AssertUnwindSafe(|| match obs {
                     Some(obs) => {
                         task.run_observed(worker, shared.enqueued, shared.trace.as_ref(), obs)
                     }
                     None => task.run(),
+                }));
+                if outcome.is_err() {
+                    stats.panics.fetch_add(1, Ordering::Relaxed);
+                    responder.send_err(Error::WorkerPanicked);
                 }
             }
             None => break,
@@ -770,6 +925,16 @@ fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats, obs_slot: &O
                 span,
                 reply,
             } => {
+                stats.pending.fetch_sub(1, Ordering::Relaxed);
+                // Deadline check at pickup, same contract as batch tasks:
+                // an expired push is answered without touching the scorer,
+                // so the session's consumed-point count stays exactly what
+                // the client can account for from its own successes.
+                if span.as_ref().is_some_and(|ctx| ctx.deadline_expired()) {
+                    stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(Err(Error::DeadlineExceeded));
+                    continue;
+                }
                 if let Some(obs) = obs {
                     obs.pool_queue_wait.record_duration(enqueued.elapsed());
                 }
@@ -781,7 +946,7 @@ fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats, obs_slot: &O
                 });
                 let started = Instant::now();
                 let adaptive = matches!(sessions.get(&id), Some(WorkerSession::Adaptive { .. }));
-                let result = match sessions.get_mut(&id) {
+                let computed = catch_unwind(AssertUnwindSafe(|| match sessions.get_mut(&id) {
                     Some(WorkerSession::Frozen(scorer)) => scorer
                         .push_batch(&values)
                         .map(|emitted| StreamPush {
@@ -803,7 +968,18 @@ fn worker_loop(worker: usize, rx: Receiver<Job>, stats: &PoolStats, obs_slot: &O
                             }),
                         })
                         .map_err(Error::from),
-                    None => Err(Error::UnknownStream(id)),
+                    None => Err(Error::UnknownStream(id.clone())),
+                }));
+                let result = match computed {
+                    Ok(result) => result,
+                    Err(_) => {
+                        // The scorer unwound mid-push: its ring buffers may
+                        // be torn, so the session is closed rather than
+                        // left to emit garbage on the next push.
+                        stats.panics.fetch_add(1, Ordering::Relaxed);
+                        sessions.remove(&id);
+                        Err(Error::WorkerPanicked)
+                    }
                 };
                 if let Some(obs) = obs {
                     let execute = started.elapsed();

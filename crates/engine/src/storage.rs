@@ -47,6 +47,29 @@ pub struct StoredModelMeta {
     pub points_bytes: u64,
 }
 
+/// Write-availability mode of a durable store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// Normal operation: reads and writes accepted.
+    ReadWrite,
+    /// Read-only after a persistent disk fault (ENOSPC/EIO): loads and
+    /// resident models keep serving, saves and removals answer
+    /// [`crate::Error::StoreDegraded`] until the backend's recovery probe
+    /// re-arms writes.
+    Degraded,
+}
+
+impl StoreMode {
+    /// Stable lowercase label (`read_write` / `degraded`) for healthz and
+    /// metrics surfaces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreMode::ReadWrite => "read_write",
+            StoreMode::Degraded => "degraded",
+        }
+    }
+}
+
 /// A durable model store the [`crate::Engine`] mounts at startup.
 ///
 /// Implementations must be thread-safe: the engine calls these methods
@@ -104,6 +127,24 @@ pub trait ModelStorage: Send + Sync + std::fmt::Debug {
     /// by the serving layer as the `s2g_store_residency_evictions_total`
     /// counter.
     fn residency_evictions(&self) -> u64 {
+        0
+    }
+
+    /// Current write-availability mode. Backends without degraded-mode
+    /// handling are always [`StoreMode::ReadWrite`] (the default).
+    fn mode(&self) -> StoreMode {
+        StoreMode::ReadWrite
+    }
+
+    /// Cumulative times the backend entered degraded mode. `0` for
+    /// backends without degraded-mode handling (the default).
+    fn degradations(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative times the backend's recovery probe re-armed writes.
+    /// `0` for backends without degraded-mode handling (the default).
+    fn recoveries(&self) -> u64 {
         0
     }
 }

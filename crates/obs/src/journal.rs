@@ -954,7 +954,15 @@ impl SegmentWriter {
 
     /// Appends one event, rotating first when the segment is full.
     /// Returns the framed record size in bytes.
+    ///
+    /// The `journal.write.enospc` failpoint injects a disk-full error
+    /// here; the writer thread sheds the event and counts it in
+    /// [`JournalStats::dropped`] — a dying disk never takes the journal
+    /// thread (or the serving path behind it) down.
     pub fn append(&mut self, event: &JournalEvent) -> io::Result<u64> {
+        if let Some(e) = s2g_failpoints::hit("journal.write.enospc") {
+            return Err(e);
+        }
         let framed = frame(&encode_event(event));
         if self.len + framed.len() as u64 > self.config.segment_bytes {
             self.rotate()?;

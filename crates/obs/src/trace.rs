@@ -136,6 +136,7 @@ impl TraceHandle {
             start_ns: clock::now_ns(),
             attrs: Vec::new(),
             finished: false,
+            deadline: None,
         }
     }
 
@@ -179,6 +180,7 @@ pub struct Span {
     start_ns: u64,
     attrs: Vec<(&'static str, String)>,
     finished: bool,
+    deadline: Option<Instant>,
 }
 
 impl Span {
@@ -188,11 +190,12 @@ impl Span {
     }
 
     /// Context for opening child spans under this one, possibly on
-    /// another thread.
+    /// another thread. The request deadline (if any) rides along.
     pub fn ctx(&self) -> SpanCtx {
         SpanCtx {
             trace: self.trace.clone(),
             parent: self.id,
+            deadline: self.deadline,
         }
     }
 
@@ -239,12 +242,32 @@ pub struct SpanCtx {
     pub trace: TraceHandle,
     /// Parent span id for children opened from this context.
     pub parent: u32,
+    /// Absolute request deadline, propagated layer to layer so the worker
+    /// pool can skip tasks that expired while queued. `None` means the
+    /// request carries no deadline.
+    pub deadline: Option<Instant>,
 }
 
 impl SpanCtx {
-    /// Opens a child span under this context.
+    /// Opens a child span under this context; the deadline propagates to
+    /// contexts derived from the child.
     pub fn child(&self, name: &'static str) -> Span {
-        self.trace.begin(name, Some(self.parent))
+        let mut span = self.trace.begin(name, Some(self.parent));
+        span.deadline = self.deadline;
+        span
+    }
+
+    /// This context with an absolute deadline attached (the serving layer
+    /// sets it from the request's `X-S2g-Deadline-Ms` header).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// `true` when a deadline is set and has already passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 

@@ -45,7 +45,8 @@ USAGE — local (in-process):
                [--refit-cooldown <n>] [--adapted-out <model.s2g>] <input.csv>
     s2g bench-throughput [--workers <n>] [--series <n>] [--length <n>]
                          [--pattern-length <n>] [--query-length <n>]
-                         [--batches <n>] [--journal-dir <dir>] [--json]
+                         [--batches <n>] [--journal-dir <dir>]
+                         [--deadline-ms <n>] [--json]
 
 USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
     s2g serve  [--addr <host:port>] [--workers <n>] [--registry-capacity <n>]
@@ -56,7 +57,10 @@ USAGE — serving (over TCP, protocol in docs/PROTOCOL.md):
                [--sample-interval-ms <n>] [--history-retention <n>]
                [--watch-warmup <n>] [--trace-ring <n>] [--slow-ring <n>]
                [--debug-sleep] [--no-journal] [--journal-segment-kb <n>]
-               [--journal-segments <n>]
+               [--journal-segments <n>] [--failpoints <spec|on>]
+               [--admission-queue <n>]
+               (S2G_FAILPOINTS env = --failpoints; spec grammar in
+                docs/ROBUSTNESS.md, e.g. store.write.enospc=error;budget=3)
     s2g top    [--addr <host:port>] [--window <secs>] [--refresh-ms <n>]
                [--once]   (NO_COLOR or a pipe disables ANSI redraws)
     s2g client fit      --addr <host:port> --name <model> --input <series.csv>
@@ -172,6 +176,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--slow-ring",
             "--journal-segment-kb",
             "--journal-segments",
+            "--failpoints",
+            "--admission-queue",
         ],
         &["--log-json", "--debug-sleep", "--no-journal"],
     )?;
@@ -240,6 +246,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     if let Some(segments) = opt_usize(&args, "--journal-segments")? {
         config = config.with_journal_segments(segments);
+    }
+    // `--failpoints` wins over the env var; either enables the
+    // `/debug/failpoint` drill endpoints and applies its spec at startup.
+    let failpoints = args
+        .get("--failpoints")
+        .map(str::to_string)
+        .or_else(|| std::env::var("S2G_FAILPOINTS").ok());
+    if let Some(spec) = failpoints {
+        config = config.with_failpoints(spec);
+    }
+    if let Some(depth) = opt_usize(&args, "--admission-queue")? {
+        config = config.with_admission_queue(depth);
     }
 
     let server = Server::bind(config).map_err(runtime)?;

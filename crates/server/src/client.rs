@@ -37,6 +37,21 @@ pub enum ClientError {
         /// Human-readable server message.
         message: String,
     },
+    /// The server is temporarily unable to take the request (`429` from
+    /// the admission gate, `503` from a degraded store, an expired
+    /// deadline, or a closing pool) — retrying later may succeed, and
+    /// [`RetryPolicy`] does so automatically for idempotent requests.
+    Unavailable {
+        /// HTTP status (`429` or `503`).
+        status: u16,
+        /// Stable protocol error code (e.g. `"overloaded"`,
+        /// `"store_degraded"`, `"deadline_exceeded"`).
+        code: String,
+        /// Human-readable server message.
+        message: String,
+        /// The server's `Retry-After` hint, when it sent one.
+        retry_after: Option<Duration>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -49,6 +64,18 @@ impl std::fmt::Display for ClientError {
                 code,
                 message,
             } => write!(f, "server error {status} ({code}): {message}"),
+            ClientError::Unavailable {
+                status,
+                code,
+                message,
+                retry_after,
+            } => {
+                write!(f, "server unavailable {status} ({code}): {message}")?;
+                if let Some(after) = retry_after {
+                    write!(f, " (retry after {} s)", after.as_secs())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -74,6 +101,9 @@ pub struct ClientResponse {
     pub status: u16,
     /// Non-empty body lines, one JSON document each.
     pub lines: Vec<String>,
+    /// The `Retry-After` header in seconds, when the server sent one
+    /// (load-shed `429`s do).
+    pub retry_after: Option<u64>,
 }
 
 impl ClientResponse {
@@ -89,11 +119,13 @@ impl ClientResponse {
         Ok(Json::parse(line)?)
     }
 
-    /// Converts an error-status response into [`ClientError::Api`]; returns
+    /// Converts an error-status response into a typed error; returns
     /// `self` unchanged for 2xx statuses.
     ///
     /// # Errors
-    /// [`ClientError::Api`] for non-2xx statuses.
+    /// [`ClientError::Unavailable`] for `429`/`503` (carrying the
+    /// `Retry-After` hint), [`ClientError::Api`] for every other non-2xx
+    /// status.
     pub fn into_result(self) -> Result<ClientResponse, ClientError> {
         if (200..300).contains(&self.status) {
             return Ok(self);
@@ -111,6 +143,14 @@ impl ClientResponse {
             ),
             Err(_) => ("unknown".to_string(), self.lines.join(" ")),
         };
+        if matches!(self.status, 429 | 503) {
+            return Err(ClientError::Unavailable {
+                status: self.status,
+                code,
+                message,
+                retry_after: self.retry_after.map(Duration::from_secs),
+            });
+        }
         Err(ClientError::Api {
             status: self.status,
             code,
@@ -119,11 +159,81 @@ impl ClientResponse {
     }
 }
 
+/// How a [`Client`] retries unavailability responses (`429`/`503`).
+///
+/// Only **idempotent** requests (GET, PUT, DELETE) are ever retried —
+/// resending a session push or a shutdown could execute it twice. Each
+/// wait is exponential backoff with jitter (so a shed fleet does not
+/// re-arrive in lockstep), floored by the server's `Retry-After` hint
+/// when one was sent, and the total time spent waiting is capped by
+/// `budget`.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial request.
+    pub max_retries: u32,
+    /// Base backoff: attempt `n` waits a jittered value of roughly
+    /// `base_delay * 2^n`.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff wait (the `Retry-After` floor may
+    /// still exceed it).
+    pub max_delay: Duration,
+    /// Total wait budget across all retries of one request; once spent,
+    /// the unavailability error surfaces to the caller.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            budget: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `attempt` (0-based): jittered exponential
+    /// backoff, floored by the server's `Retry-After` hint.
+    fn delay(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16).min(31));
+        // Jitter across [exp/2, exp]: desynchronises a shed fleet without
+        // ever waiting less than half the intended backoff.
+        let nanos = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX);
+        let half = nanos / 2;
+        let span = nanos - half + 1;
+        let wait = Duration::from_nanos(half + jitter() % span).min(self.max_delay);
+        match retry_after {
+            Some(hint) => wait.max(hint),
+            None => wait,
+        }
+    }
+}
+
+/// A jitter draw seeded from the wall clock — good enough to spread a
+/// retrying fleet, with no RNG dependency.
+fn jitter() -> u64 {
+    let mut x = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0x9e37_79b9, |d| u64::from(d.subsec_nanos()))
+        | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
 /// A blocking client addressing one `s2g-server` instance.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     timeout: Duration,
+    /// When set, [`Client::request_ok`] retries unavailability responses
+    /// for idempotent requests under this policy.
+    retry: Option<RetryPolicy>,
     /// The keep-alive socket left over from the previous request, if the
     /// server kept it open. One exchange *takes* the socket out under the
     /// lock, so concurrent requests through clones never serialise on each
@@ -137,6 +247,7 @@ impl Client {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(60),
+            retry: None,
             pooled: Arc::new(Mutex::new(None)),
         }
     }
@@ -144,6 +255,13 @@ impl Client {
     /// Sets the per-request socket timeout (default 60 s).
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self
+    }
+
+    /// Enables automatic retries of `429`/`503` responses for idempotent
+    /// requests (see [`RetryPolicy`]; off by default).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(policy);
         self
     }
 
@@ -243,8 +361,11 @@ impl Client {
         }
     }
 
-    /// Like [`Client::request`], turning error statuses into
-    /// [`ClientError::Api`].
+    /// Like [`Client::request`], turning error statuses into typed errors
+    /// ([`ClientError::Unavailable`] for `429`/`503`, [`ClientError::Api`]
+    /// otherwise). With a [`RetryPolicy`] configured, unavailability
+    /// responses to **idempotent** requests (GET, PUT, DELETE) are retried
+    /// under it; everything else surfaces immediately.
     ///
     /// # Errors
     /// See [`Client::request`] and [`ClientResponse::into_result`].
@@ -254,7 +375,32 @@ impl Client {
         target: &str,
         body: &[u8],
     ) -> Result<ClientResponse, ClientError> {
-        self.request(method, target, body)?.into_result()
+        let idempotent = matches!(method, "GET" | "PUT" | "DELETE");
+        let mut attempt = 0u32;
+        let mut spent = Duration::ZERO;
+        loop {
+            let error = match self.request(method, target, body)?.into_result() {
+                Err(e @ ClientError::Unavailable { .. }) => e,
+                other => return other,
+            };
+            let Some(policy) = self.retry.as_ref().filter(|_| idempotent) else {
+                return Err(error);
+            };
+            if attempt >= policy.max_retries {
+                return Err(error);
+            }
+            let retry_after = match &error {
+                ClientError::Unavailable { retry_after, .. } => *retry_after,
+                _ => None,
+            };
+            let wait = policy.delay(attempt, retry_after);
+            if spent + wait > policy.budget {
+                return Err(error);
+            }
+            std::thread::sleep(wait);
+            spent += wait;
+            attempt += 1;
+        }
     }
 
     // -- typed endpoint helpers --------------------------------------------
@@ -703,6 +849,13 @@ fn assemble_response(head: &str, body: &[u8]) -> Result<ClientResponse, ClientEr
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    let retry_after = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse().ok())
+            .flatten()
+    });
     let body = std::str::from_utf8(body)
         .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
     let lines = body
@@ -710,7 +863,11 @@ fn assemble_response(head: &str, body: &[u8]) -> Result<ClientResponse, ClientEr
         .filter(|l| !l.trim().is_empty())
         .map(str::to_string)
         .collect();
-    Ok(ClientResponse { status, lines })
+    Ok(ClientResponse {
+        status,
+        lines,
+        retry_after,
+    })
 }
 
 #[cfg(test)]
@@ -745,5 +902,62 @@ mod tests {
     fn parse_response_rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn unavailability_statuses_surface_typed_with_retry_after() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 3\r\nContent-Length: 46\r\n\r\n{\"error\":\"overloaded\",\"message\":\"queue full\"}\n";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.retry_after, Some(3));
+        match response.into_result() {
+            Err(ClientError::Unavailable {
+                status,
+                code,
+                retry_after,
+                ..
+            }) => {
+                assert_eq!(status, 429);
+                assert_eq!(code, "overloaded");
+                assert_eq!(retry_after, Some(Duration::from_secs(3)));
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // 503 without a hint is still Unavailable; 404 stays Api.
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 49\r\n\r\n{\"error\":\"store_degraded\",\"message\":\"disk full\"}\n";
+        assert!(matches!(
+            parse_response(raw).unwrap().into_result(),
+            Err(ClientError::Unavailable {
+                status: 503,
+                retry_after: None,
+                ..
+            })
+        ));
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 40\r\n\r\n{\"error\":\"not_found\",\"message\":\"nope\"}\n";
+        assert!(matches!(
+            parse_response(raw).unwrap().into_result(),
+            Err(ClientError::Api { status: 404, .. })
+        ));
+    }
+
+    #[test]
+    fn retry_policy_backs_off_and_honors_retry_after() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(250),
+            budget: Duration::from_secs(5),
+        };
+        for _ in 0..20 {
+            // Attempt 0 jitters within [base/2, base].
+            let d = policy.delay(0, None);
+            assert!(d >= Duration::from_millis(50) && d <= Duration::from_millis(100));
+            // Attempt 2 would be 400 ms — clamped to max_delay.
+            assert!(policy.delay(2, None) <= Duration::from_millis(250));
+            // The server's hint floors the wait, even past max_delay.
+            assert_eq!(
+                policy.delay(0, Some(Duration::from_secs(2))),
+                Duration::from_secs(2)
+            );
+        }
     }
 }

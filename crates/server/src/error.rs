@@ -17,6 +17,9 @@ pub struct ApiError {
     pub code: &'static str,
     /// Human-readable diagnostic message.
     pub message: String,
+    /// When set, the response carries a `Retry-After: <seconds>` header
+    /// (load-shed `429`s tell the client when to come back).
+    pub retry_after: Option<u64>,
 }
 
 impl ApiError {
@@ -26,7 +29,21 @@ impl ApiError {
             status,
             code,
             message: message.into(),
+            retry_after: None,
         }
+    }
+
+    /// This error with a `Retry-After` hint of `secs` seconds.
+    #[must_use]
+    pub fn with_retry_after(mut self, secs: u64) -> ApiError {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// `429 overloaded` with a `Retry-After` hint — the admission gate's
+    /// load-shed response.
+    pub fn overloaded(message: impl Into<String>, retry_after_secs: u64) -> ApiError {
+        ApiError::new(429, "overloaded", message).with_retry_after(retry_after_secs)
     }
 
     /// `400 bad_request`.
@@ -55,6 +72,7 @@ impl ApiError {
             lines: vec![self.to_json().encode()],
             content_type: crate::http::CONTENT_TYPE_NDJSON,
             trace_id: None,
+            retry_after: self.retry_after,
         }
     }
 }
@@ -116,6 +134,16 @@ impl From<s2g_engine::Error> for ApiError {
             ),
             E::Core(core) => ApiError::from_core(core, e.to_string()),
             E::PoolClosed => ApiError::new(503, "pool_closed", e.to_string()),
+            // The queued work expired before a worker picked it up; the
+            // client chose the budget, so this is unavailability, not a
+            // client mistake.
+            E::DeadlineExceeded => ApiError::new(503, "deadline_exceeded", e.to_string()),
+            // The store refuses writes until its disk recovers; reads (and
+            // therefore scoring) keep working, so only write routes see it.
+            E::StoreDegraded => ApiError::new(503, "store_degraded", e.to_string()),
+            // The task's compute panicked; the worker survived and the
+            // request gets a clean 500 instead of a dropped connection.
+            E::WorkerPanicked => ApiError::new(500, "worker_panicked", e.to_string()),
             // The name is syntactically fine HTTP but semantically unusable
             // as a model/store identifier.
             E::InvalidName(_) => ApiError::new(422, "invalid_name", e.to_string()),

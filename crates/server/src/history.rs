@@ -25,6 +25,8 @@ const GAUGE_NAMES: &[&str] = &[
     "s2g_sessions_open",
     "s2g_workers",
     "s2g_pool_queue_depth_total",
+    "s2g_pool_tasks_pending",
+    "s2g_store_degraded",
     "s2g_accept_slots",
     "s2g_accept_slots_in_use",
     "s2g_accept_waiting",
@@ -68,6 +70,15 @@ pub(crate) fn sampled_gauges(shared: &Shared) -> Vec<(&'static str, u64)> {
         ("s2g_sessions_open", shared.sessions.len() as u64),
         ("s2g_workers", shared.engine.workers() as u64),
         ("s2g_pool_queue_depth_total", queue_depth_total),
+        ("s2g_pool_tasks_pending", shared.engine.pending_tasks()),
+        (
+            // 1 while the store's disk is refusing writes — an anomaly the
+            // self-watch history makes legible after the fact.
+            "s2g_store_degraded",
+            storage.map_or(0, |s| {
+                u64::from(s.mode() == s2g_engine::StoreMode::Degraded)
+            }),
+        ),
         ("s2g_accept_slots", shared.slots.capacity as u64),
         ("s2g_accept_slots_in_use", slots_in_use as u64),
         ("s2g_accept_waiting", accept_waiting as u64),

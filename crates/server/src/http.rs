@@ -81,6 +81,10 @@ pub struct Request {
     /// response: HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
     /// `Connection: keep-alive`.
     pub keep_alive: bool,
+    /// Request deadline budget from the `X-S2g-Deadline-Ms` header, in
+    /// milliseconds from arrival. Work still queued when the budget runs
+    /// out is answered `503 deadline_exceeded` without executing.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -180,11 +184,12 @@ pub fn read_request<R: BufRead>(
     // connection unless told otherwise, 1.0 closes unless told otherwise.
     let mut content_length: usize = 0;
     let mut keep_alive = version == "HTTP/1.1";
+    let mut deadline_ms: Option<u64> = None;
     for _ in 0..MAX_HEADERS {
         let line = read_crlf_line(&mut reader, MAX_HEADER_LINE)?;
         if line.is_empty() {
             let body = read_body(&mut reader, content_length, max_body_bytes)?;
-            return Ok(build_request(method, target, body, keep_alive));
+            return Ok(build_request(method, target, body, keep_alive, deadline_ms));
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(ParseError::Malformed("header line without ':'"));
@@ -195,6 +200,13 @@ pub fn read_request<R: BufRead>(
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::Malformed("unparseable Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("x-s2g-deadline-ms") {
+            deadline_ms = Some(
+                value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("unparseable X-S2g-Deadline-Ms"))?,
+            );
         } else if name.eq_ignore_ascii_case("connection") {
             // Token list; the tokens we honor are `close` and `keep-alive`.
             for token in value.split(',') {
@@ -228,7 +240,13 @@ fn read_body<R: BufRead>(
     Ok(body)
 }
 
-fn build_request(method: Method, target: &str, body: Vec<u8>, keep_alive: bool) -> Request {
+fn build_request(
+    method: Method,
+    target: &str,
+    body: Vec<u8>,
+    keep_alive: bool,
+    deadline_ms: Option<u64>,
+) -> Request {
     let (path, query_text) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -253,6 +271,7 @@ fn build_request(method: Method, target: &str, body: Vec<u8>, keep_alive: bool) 
         query,
         body,
         keep_alive,
+        deadline_ms,
     }
 }
 
@@ -297,6 +316,9 @@ pub struct Response {
     /// When set, emitted as an `X-S2g-Trace` response header — the id to
     /// feed `GET /debug/trace/{id}` for the request's span tree.
     pub trace_id: Option<String>,
+    /// When set, emitted as a `Retry-After: <seconds>` response header —
+    /// load-shed responses (`429`) tell the client when to come back.
+    pub retry_after: Option<u64>,
 }
 
 /// Content type of the NDJSON API responses.
@@ -312,6 +334,7 @@ impl Response {
             lines,
             content_type: CONTENT_TYPE_NDJSON,
             trace_id: None,
+            retry_after: None,
         }
     }
 
@@ -322,6 +345,7 @@ impl Response {
             lines,
             content_type: CONTENT_TYPE_TEXT,
             trace_id: None,
+            retry_after: None,
         }
     }
 
@@ -333,6 +357,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             409 => "Conflict",
+            429 => "Too Many Requests",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             500 => "Internal Server Error",
@@ -364,13 +389,17 @@ impl Response {
             Some(id) => format!("X-S2g-Trace: {id}\r\n"),
             None => String::new(),
         };
+        let retry_header = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         // Head and body go out in a single write: on a persistent
         // connection a trailing small segment would otherwise sit in the
         // kernel behind Nagle's algorithm until the peer's delayed ACK
         // (tens of milliseconds) — the old close-per-request design never
         // noticed because the FIN flushed it.
         let mut wire = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n{trace_header}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n{trace_header}{retry_header}\r\n",
             self.status,
             self.reason(),
             self.content_type,

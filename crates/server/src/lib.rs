@@ -82,7 +82,7 @@ pub mod server;
 pub mod sessions;
 mod top;
 
-pub use client::{Client, ClientError, ClientResponse};
+pub use client::{Client, ClientError, ClientResponse, RetryPolicy};
 pub use error::ApiError;
 pub use json::Json;
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -34,6 +34,8 @@ pub const ROUTE_PATTERNS: &[&str] = &[
     "GET /debug/slow",
     "POST /debug/sleep",
     "POST /debug/panic",
+    "POST /debug/failpoint",
+    "GET /debug/failpoint",
     "GET /models",
     "PUT /models/{name}",
     "GET /models/{name}",
@@ -51,7 +53,7 @@ pub const ROUTE_PATTERNS: &[&str] = &[
 /// Every status code the server emits (see [`crate::http::Response::reason`]);
 /// the trailing `0` cell catches anything outside the set and renders as
 /// `status="other"`.
-const STATUS_CODES: &[u16] = &[200, 400, 404, 405, 409, 413, 422, 500, 503, 0];
+const STATUS_CODES: &[u16] = &[200, 400, 404, 405, 409, 413, 422, 429, 500, 503, 0];
 
 fn route_slot(route: &str) -> usize {
     ROUTE_PATTERNS
@@ -314,7 +316,7 @@ mod tests {
         // The grid must know every status `ApiError`/handlers can emit;
         // a new status code should be added to STATUS_CODES, not silently
         // merged into the catch-all.
-        for status in [200, 400, 404, 405, 409, 413, 422, 500, 503] {
+        for status in [200, 400, 404, 405, 409, 413, 422, 429, 500, 503] {
             assert_ne!(status_slot(status), STATUS_CODES.len() - 1, "{status}");
         }
     }

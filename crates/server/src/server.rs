@@ -19,7 +19,7 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Once, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,6 +76,8 @@ pub(crate) const INTERNAL_ROUTES: &[&str] = &[
     "GET /debug/trace/{id}",
     "GET /debug/slow",
     "GET /metrics/journal",
+    "POST /debug/failpoint",
+    "GET /debug/failpoint",
 ];
 
 fn is_internal_route(pattern: &str) -> bool {
@@ -149,6 +151,20 @@ pub struct ServerConfig {
     /// (`serve --journal-segments`). Bounds disk to roughly
     /// `journal_segment_kb * journal_segments` KiB.
     pub journal_segments: usize,
+    /// Failpoint spec applied at startup (`serve --failpoints`, or the
+    /// `S2G_FAILPOINTS` env var), in the
+    /// `name=action[;p=..][;budget=..]` grammar of
+    /// [`s2g_failpoints::apply_spec`]; the literal `"on"` arms nothing.
+    /// `Some` also enables the `POST /debug/failpoint` /
+    /// `GET /debug/failpoint` drill endpoints; `None` (the default) keeps
+    /// failure injection off and those routes answering 404.
+    pub failpoints: Option<String>,
+    /// Admission gate (`serve --admission-queue`): when greater than zero
+    /// and the pool backlog (tasks admitted but not yet claimed by a
+    /// worker) is at least this deep, pool-bound routes shed with
+    /// `429 Retry-After` instead of queueing more work. `0` disables the
+    /// gate.
+    pub admission_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -174,6 +190,8 @@ impl Default for ServerConfig {
             journal: true,
             journal_segment_kb: 1024,
             journal_segments: 8,
+            failpoints: None,
+            admission_queue: 0,
         }
     }
 }
@@ -295,6 +313,20 @@ impl ServerConfig {
     /// Sets the journal segment retention count (minimum 2).
     pub fn with_journal_segments(mut self, segments: usize) -> Self {
         self.journal_segments = segments.max(2);
+        self
+    }
+
+    /// Enables failpoints with the given spec (see
+    /// [`ServerConfig::failpoints`]); `"on"` enables the drill endpoints
+    /// without arming anything.
+    pub fn with_failpoints(mut self, spec: impl Into<String>) -> Self {
+        self.failpoints = Some(spec.into());
+        self
+    }
+
+    /// Sets the admission-gate backlog threshold (`0` disables shedding).
+    pub fn with_admission_queue(mut self, depth: usize) -> Self {
+        self.admission_queue = depth;
         self
     }
 }
@@ -432,6 +464,13 @@ pub(crate) struct Shared {
     /// The self-watch board; present exactly when the recorder is.
     pub(crate) watch: Option<SelfWatch>,
     debug_sleep: bool,
+    /// Whether `--failpoints` was given: gates the
+    /// `POST`/`GET /debug/failpoint` drill endpoints.
+    failpoints: bool,
+    /// Admission-gate backlog threshold; `0` disables shedding.
+    admission_queue: usize,
+    /// Requests shed by the admission gate (`429 overloaded`).
+    shed: AtomicU64,
     /// The durable telemetry journal; `None` without a `data_dir` or with
     /// journaling disabled. Publishing is try-send load shedding — the
     /// serving path never blocks on it.
@@ -663,6 +702,25 @@ impl Server {
         } else {
             (None, None)
         };
+        // Failpoints: apply the startup spec before the first request can
+        // arrive, and tee every trigger into the logs (and, through the
+        // log sink below, the journal) so no injected fault goes
+        // unaccounted for.
+        if let Some(spec) = &config.failpoints {
+            s2g_failpoints::apply_spec(spec)
+                .map_err(|e| io::Error::other(format!("--failpoints: {e}")))?;
+            s2g_failpoints::set_trigger_hook(Arc::new(|name, kind| {
+                s2g_obs::warn!("failpoints", "failpoint {name} fired ({kind})");
+            }));
+            s2g_obs::info!("server", "failpoints enabled (spec {spec:?})");
+        }
+        if config.admission_queue > 0 {
+            s2g_obs::info!(
+                "server",
+                "admission gate on: shedding past {} queued pool tasks",
+                config.admission_queue
+            );
+        }
         let shared = Arc::new(Shared {
             engine,
             sessions: SessionTable::new(config.session_idle),
@@ -677,6 +735,9 @@ impl Server {
             recorder,
             watch,
             debug_sleep: config.debug_sleep,
+            failpoints: config.failpoints.is_some(),
+            admission_queue: config.admission_queue,
+            shed: AtomicU64::new(0),
             journal,
             journal_thread: Mutex::new(journal_thread),
         });
@@ -945,6 +1006,12 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             IdleOutcome::Ready => {}
             IdleOutcome::HangUp => return,
         }
+        // `net.read.stall`: armed as a delay it stalls the read here (then
+        // proceeds normally); armed as an error it drops the connection,
+        // the way a dying NIC or middlebox would.
+        if s2g_failpoints::hit("net.read.stall").is_some() {
+            return;
+        }
         let request = match read_request(&mut reader, shared.max_body_bytes) {
             Ok(request) => request,
             Err(ParseError::ConnectionClosed) => return, // probe; nothing to say
@@ -1001,7 +1068,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         let mut root = trace.begin("request", None);
         root.attr("method", request.method.to_string());
         root.attr("path", request.path.clone());
-        let ctx = root.ctx();
+        // The client's latency budget (`X-S2g-Deadline-Ms`) counts from
+        // request arrival; it rides the span context into the pool, where
+        // queued work that expires answers 503 without executing.
+        let ctx = root.ctx().with_deadline(
+            request
+                .deadline_ms
+                .map(|ms| started + Duration::from_millis(ms)),
+        );
         let (pattern, result) = route(shared, &request, &ctx);
         let mut response = match result {
             Ok(response) => response,
@@ -1090,6 +1164,11 @@ fn route(
         (Get, ["debug", "slow"]) => ("GET /debug/slow", handle_debug_slow(shared)),
         (Post, ["debug", "sleep"]) => ("POST /debug/sleep", handle_debug_sleep(shared, request)),
         (Post, ["debug", "panic"]) => ("POST /debug/panic", handle_debug_panic(shared, ctx)),
+        (Post, ["debug", "failpoint"]) => (
+            "POST /debug/failpoint",
+            handle_failpoint_set(shared, request),
+        ),
+        (Get, ["debug", "failpoint"]) => ("GET /debug/failpoint", handle_failpoint_list(shared)),
         (Get, ["models"]) => ("GET /models", handle_list_models(shared)),
         (Put, ["models", name]) => ("PUT /models/{name}", handle_fit(shared, name, request, ctx)),
         (Get, ["models", name]) => ("GET /models/{name}", handle_model_info(shared, name)),
@@ -1284,6 +1363,39 @@ fn handle_metrics(shared: &Shared) -> Result<Response, ApiError> {
             depths.get(worker).copied().unwrap_or(0)
         ));
     }
+    // Robustness accounting: panic-isolated tasks, queued work that
+    // expired, requests shed at the admission gate, store disk health,
+    // and per-failpoint injected-fault counts.
+    lines.push(format!(
+        "s2g_pool_task_panics_total {}",
+        shared.engine.task_panics()
+    ));
+    lines.push(format!(
+        "s2g_pool_deadline_expired_total {}",
+        shared.engine.deadline_expired()
+    ));
+    lines.push(format!(
+        "s2g_admission_shed_total {}",
+        shared.shed.load(Ordering::Relaxed)
+    ));
+    if let Some(storage) = shared.engine.storage() {
+        lines.push(format!(
+            "s2g_store_degradations_total {}",
+            storage.degradations()
+        ));
+        lines.push(format!(
+            "s2g_store_recoveries_total {}",
+            storage.recoveries()
+        ));
+    }
+    for status in s2g_failpoints::snapshot() {
+        if status.triggers > 0 {
+            lines.push(format!(
+                "s2g_failpoint_triggers_total{{name=\"{}\"}} {}",
+                status.name, status.triggers
+            ));
+        }
+    }
     // Latency histograms: per-route request latency (external and
     // internal families kept apart) and the per-stage instruments.
     for (route, hist) in shared.obs.requests.iter() {
@@ -1415,7 +1527,19 @@ fn handle_watch(shared: &Shared) -> Result<Response, ApiError> {
             "self-watch disabled (serve with --sample-interval-ms > 0)",
         ));
     };
-    Ok(Response::ok(vec![watch.status_json(recorder).encode()]))
+    let mut body = watch.status_json(recorder);
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push((
+            "store_mode".to_string(),
+            Json::from(
+                shared
+                    .engine
+                    .storage()
+                    .map_or("none", |s| s.mode().as_str()),
+            ),
+        ));
+    }
+    Ok(Response::ok(vec![body.encode()]))
 }
 
 /// `POST /debug/sleep?ms=`: an artificial slow handler for exercising the
@@ -1450,6 +1574,124 @@ fn handle_debug_panic(shared: &Shared, ctx: &SpanCtx) -> Result<Response, ApiErr
     span.attr("drill", "postmortem");
     span.finish();
     panic!("induced panic: POST /debug/panic");
+}
+
+/// One failpoint's live state as its wire JSON shape.
+fn failpoint_status_json(status: &s2g_failpoints::Status) -> Json {
+    Json::obj([
+        ("name", Json::from(status.name)),
+        ("action", Json::from(status.action)),
+        ("delay_ms", Json::from(status.delay_ms as usize)),
+        ("probability", Json::from(status.probability)),
+        (
+            "budget_remaining",
+            status
+                .budget_remaining
+                .map_or(Json::Null, |b| Json::from(b as usize)),
+        ),
+        ("triggers", Json::from(status.triggers as usize)),
+    ])
+}
+
+/// Both failpoint drill endpoints answer 404 unless `--failpoints` was
+/// given — failure injection must be opted into, never reachable by
+/// default.
+fn require_failpoints(shared: &Shared) -> Result<(), ApiError> {
+    if !shared.failpoints {
+        return Err(ApiError::not_found(
+            "failpoints disabled (serve with --failpoints)",
+        ));
+    }
+    Ok(())
+}
+
+/// `GET /debug/failpoint`: live status of every compiled failpoint.
+fn handle_failpoint_list(shared: &Shared) -> Result<Response, ApiError> {
+    require_failpoints(shared)?;
+    let points: Vec<Json> = s2g_failpoints::snapshot()
+        .iter()
+        .map(failpoint_status_json)
+        .collect();
+    let body = Json::obj([("failpoints", Json::Arr(points))]);
+    Ok(Response::ok(vec![body.encode()]))
+}
+
+/// `POST /debug/failpoint`: arms (or disarms) one failpoint over the
+/// wire. Body: `{"name":..., "action":"off|error|delay|panic"}` plus
+/// optional `"delay_ms"` (required for `delay`), `"p"` (probability,
+/// default 1) and `"budget"` (max triggers, default unlimited). Responds
+/// with the failpoint's resulting status.
+fn handle_failpoint_set(shared: &Shared, request: &Request) -> Result<Response, ApiError> {
+    require_failpoints(shared)?;
+    let body = Json::parse(request.body_text()?)
+        .map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))?;
+    let name = body
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("body must set \"name\" to a failpoint name"))?;
+    let action = body.get("action").and_then(Json::as_str).ok_or_else(|| {
+        ApiError::bad_request("body must set \"action\" to off|error|delay|panic")
+    })?;
+    let action = match action {
+        "off" => s2g_failpoints::Action::Off,
+        "error" => s2g_failpoints::Action::Error,
+        "panic" => s2g_failpoints::Action::Panic,
+        "delay" => {
+            let ms = body
+                .get("delay_ms")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| {
+                    ApiError::bad_request("action \"delay\" needs \"delay_ms\" (an integer)")
+                })?;
+            s2g_failpoints::Action::Delay(Duration::from_millis(ms as u64))
+        }
+        other => {
+            return Err(ApiError::bad_request(format!(
+                "unknown action {other:?} (off|error|delay|panic)"
+            )))
+        }
+    };
+    let mut settings = s2g_failpoints::Settings::new(action);
+    if let Some(p) = body.get("p") {
+        settings.probability = p
+            .as_f64()
+            .filter(|p| (0.0..=1.0).contains(p))
+            .ok_or_else(|| ApiError::bad_request("\"p\" must be a probability in [0, 1]"))?;
+    }
+    if let Some(budget) = body.get("budget") {
+        settings.budget = Some(
+            budget
+                .as_usize()
+                .ok_or_else(|| ApiError::bad_request("\"budget\" must be a non-negative integer"))?
+                as u64,
+        );
+    }
+    s2g_failpoints::arm(name, settings)
+        .map_err(|e| ApiError::new(422, "unknown_failpoint", e.to_string()))?;
+    s2g_obs::warn!(
+        "server",
+        "failpoint {name} set to {} over the wire",
+        action.kind()
+    );
+    let status = s2g_failpoints::status(name)
+        .map_err(|e| ApiError::new(422, "unknown_failpoint", e.to_string()))?;
+    Ok(Response::ok(vec![failpoint_status_json(&status).encode()]))
+}
+
+/// The admission gate: pool-bound routes call this before queueing work.
+/// With the gate on and the pool backlog at the threshold, the request is
+/// shed with `429 Retry-After` — refusing cheaply at the door beats
+/// queueing work that will only expire.
+fn admit(shared: &Shared) -> Result<(), ApiError> {
+    let limit = shared.admission_queue;
+    if limit > 0 && shared.engine.pending_tasks() >= limit as u64 {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(ApiError::overloaded(
+            format!("scoring backlog at {limit} queued tasks; retry shortly"),
+            1,
+        ));
+    }
+    Ok(())
 }
 
 /// `GET /metrics/journal`: writer health of the durable telemetry
@@ -1567,6 +1809,12 @@ fn handle_healthz(shared: &Shared) -> Result<Response, ApiError> {
         ),
         ("persistent", Json::from(storage.is_some())),
         (
+            // `read_write` in health, `degraded` while the store's disk is
+            // refusing writes (scoring still works), `none` memory-only.
+            "store_mode",
+            Json::from(storage.map_or("none", |s| s.mode().as_str())),
+        ),
+        (
             "stored_models",
             Json::from(storage.map_or(0, |s| s.stored())),
         ),
@@ -1602,6 +1850,7 @@ fn handle_fit(
     request: &Request,
     ctx: &SpanCtx,
 ) -> Result<Response, ApiError> {
+    admit(shared)?;
     validate_name(name)?;
     let config = config_from_query(request)?;
     // The posted CSV goes through the *same* parser as the file reader, so a
@@ -1692,6 +1941,7 @@ fn handle_score(
     request: &Request,
     ctx: &SpanCtx,
 ) -> Result<Response, ApiError> {
+    admit(shared)?;
     let query_length = required_query_usize(request, "query_length")?;
     let text = request.body_text()?;
     let mut series = Vec::new();
@@ -1839,6 +2089,7 @@ fn handle_push_session(
     request: &Request,
     ctx: &SpanCtx,
 ) -> Result<Response, ApiError> {
+    admit(shared)?;
     shared.sessions.touch(&shared.engine, id)?;
     let series = ts_io::parse_series(request.body_text()?)?;
     let (emitted, status) =

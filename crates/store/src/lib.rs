@@ -67,4 +67,4 @@ pub mod store;
 pub use store::{GcReport, MigrateReport, ModelStore, StoreConfig, VerifyReport};
 
 // Re-exported so store embedders see the trait the engine mounts it by.
-pub use s2g_engine::storage::{ModelStorage, StoredModelMeta};
+pub use s2g_engine::storage::{ModelStorage, StoreMode, StoredModelMeta};

@@ -24,14 +24,14 @@ use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use s2g_core::{AdaptationLineage, Series2Graph};
 use s2g_engine::codec::{self, SectionIndex, SectionKind};
 use s2g_engine::error::{Error, Result};
-use s2g_engine::storage::{ModelStorage, StoredModelMeta};
+use s2g_engine::storage::{ModelStorage, StoreMode, StoredModelMeta};
 use s2g_engine::validate_model_name;
 use s2g_obs::Obs;
 
@@ -46,6 +46,107 @@ pub const TEMP_EXT: &str = "tmp";
 
 /// Monotonic nonce distinguishing concurrent temp files of one process.
 static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// How often the recovery probe re-tests the disk while degraded.
+const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// `true` for the I/O errors that flip the store into degraded mode: the
+/// disk itself refused the write (full or failing), as opposed to a bad
+/// path or permissions, which retrying will not fix either but which are
+/// operator errors rather than a dying disk.
+fn is_disk_fault(e: &std::io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(28) | Some(5)) // ENOSPC, EIO
+}
+
+/// Disk-health state shared between the store and its background recovery
+/// probe. Lives in its own `Arc` so the probe thread needs no reference to
+/// the store itself (and thus cannot keep entries alive).
+struct DiskHealth {
+    dir: PathBuf,
+    /// `true` while writes are refused ([`StoreMode::Degraded`]).
+    degraded: AtomicBool,
+    /// Guards against spawning more than one probe thread.
+    probe_running: AtomicBool,
+    /// Set when the owning store drops, so the probe exits instead of
+    /// retrying forever against a directory nobody serves from anymore.
+    closed: AtomicBool,
+    /// Cumulative entries into degraded mode.
+    degradations: AtomicU64,
+    /// Cumulative successful probe recoveries.
+    recoveries: AtomicU64,
+}
+
+impl DiskHealth {
+    fn new(dir: PathBuf) -> Arc<DiskHealth> {
+        Arc::new(DiskHealth {
+            dir,
+            degraded: AtomicBool::new(false),
+            probe_running: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            degradations: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        })
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Flips into degraded mode (idempotent) and ensures exactly one
+    /// recovery probe is running.
+    fn degrade(self: &Arc<Self>) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            self.degradations.fetch_add(1, Ordering::Relaxed);
+        }
+        if !self.probe_running.swap(true, Ordering::SeqCst) {
+            let health = Arc::clone(self);
+            // Spawn failure leaves probe_running=true with no probe — the
+            // store would stay degraded forever — so undo the claim.
+            if std::thread::Builder::new()
+                .name("s2g-store-probe".into())
+                .spawn(move || health.probe_loop())
+                .is_err()
+            {
+                self.probe_running.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Retries a small probe write until it succeeds (re-arming writes) or
+    /// the store is dropped. The probe passes through the
+    /// `store.write.enospc` failpoint, so an injected disk fault holds the
+    /// store degraded exactly until the failpoint is disarmed — the same
+    /// contract as a real disk staying full.
+    fn probe_loop(&self) {
+        while !self.closed.load(Ordering::SeqCst) {
+            std::thread::sleep(PROBE_INTERVAL);
+            if self.probe_once().is_ok() {
+                self.degraded.store(false, Ordering::SeqCst);
+                self.recoveries.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.probe_running.store(false, Ordering::SeqCst);
+    }
+
+    /// One full write-fsync-delete round trip on a `*.tmp` sibling (so a
+    /// probe file that survives a crash is ordinary temp debris for
+    /// [`ModelStore::gc`]).
+    fn probe_once(&self) -> std::io::Result<()> {
+        if let Some(e) = s2g_failpoints::hit("store.write.enospc") {
+            return Err(e);
+        }
+        let path = self
+            .dir
+            .join(format!(".probe-{}.{TEMP_EXT}", std::process::id()));
+        let mut file = File::create(&path)?;
+        file.write_all(b"s2g disk probe")?;
+        file.sync_all()?;
+        drop(file);
+        fs::remove_file(&path)?;
+        Ok(())
+    }
+}
 
 /// Construction parameters for a [`ModelStore`].
 #[derive(Debug, Clone, Default)]
@@ -113,6 +214,8 @@ pub struct ModelStore {
     /// Late-bound observability hook: once attached, faults and writes
     /// record their latency histograms. Never affects store behaviour.
     obs: OnceLock<Arc<Obs>>,
+    /// Degraded-mode state, shared with the background recovery probe.
+    health: Arc<DiskHealth>,
 }
 
 /// Outcome of [`ModelStore::verify`].
@@ -215,6 +318,7 @@ impl ModelStore {
             );
         }
 
+        let health = DiskHealth::new(dir.clone());
         let store = ModelStore {
             dir,
             budget: config.resident_budget_bytes,
@@ -226,6 +330,7 @@ impl ModelStore {
             }),
             evictions: AtomicU64::new(0),
             obs: OnceLock::new(),
+            health,
         };
         // Re-seal the manifest so the next open trusts every line — but
         // only when reconciliation actually changed something, and only
@@ -267,6 +372,28 @@ impl ModelStore {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Current write-availability mode: [`StoreMode::Degraded`] after a
+    /// persistent disk fault (writes refused, reads and resident models
+    /// keep serving), [`StoreMode::ReadWrite`] otherwise. The background
+    /// probe flips the mode back once the disk accepts writes again.
+    pub fn mode(&self) -> StoreMode {
+        if self.health.is_degraded() {
+            StoreMode::Degraded
+        } else {
+            StoreMode::ReadWrite
+        }
+    }
+
+    /// Cumulative times this store entered degraded mode.
+    pub fn degradations(&self) -> u64 {
+        self.health.degradations.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative times the recovery probe re-armed writes.
+    pub fn recoveries(&self) -> u64 {
+        self.health.recoveries.load(Ordering::Relaxed)
+    }
+
     fn model_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.{MODEL_EXT}"))
     }
@@ -280,12 +407,31 @@ impl ModelStore {
     }
 
     /// Writes `bytes` to `final_name` inside the store directory via the
-    /// atomic temp + fsync + rename + dir-fsync sequence.
+    /// atomic temp + fsync + rename + dir-fsync sequence. This is the
+    /// single chokepoint every store write funnels through, so it is also
+    /// where a disk fault (ENOSPC/EIO, real or injected through the
+    /// `store.write.enospc` failpoint) flips the store into degraded mode.
     fn atomic_write(&self, final_name: &str, bytes: &[u8]) -> Result<()> {
+        let result = self.atomic_write_inner(final_name, bytes);
+        if let Err(Error::Io(e)) = &result {
+            if is_disk_fault(e) {
+                self.health.degrade();
+            }
+        }
+        result
+    }
+
+    fn atomic_write_inner(&self, final_name: &str, bytes: &[u8]) -> Result<()> {
         let temp = self.temp_path(final_name);
         let write = (|| -> Result<()> {
             let mut file = File::create(&temp)?;
             file.write_all(bytes)?;
+            // Mid-save, after the payload landed in the temp file but
+            // before it is durable — the worst instant for a disk to die,
+            // and exactly what the cleanup below must survive.
+            if let Some(e) = s2g_failpoints::hit("store.write.enospc") {
+                return Err(e.into());
+            }
             file.sync_all()?;
             Ok(())
         })();
@@ -310,11 +456,15 @@ impl ModelStore {
     /// to [`codec::model_checksum`]).
     ///
     /// # Errors
-    /// [`Error::InvalidName`] for names unusable as file names; filesystem
-    /// errors otherwise (the previous version, if any, is untouched on
-    /// failure).
+    /// [`Error::InvalidName`] for names unusable as file names;
+    /// [`Error::StoreDegraded`] while the store is in read-only degraded
+    /// mode; filesystem errors otherwise (the previous version, if any, is
+    /// untouched on failure).
     pub fn put(&self, name: &str, model: &Arc<Series2Graph>) -> Result<StoredModelMeta> {
         validate_model_name(name)?;
+        if self.health.is_degraded() {
+            return Err(Error::StoreDegraded);
+        }
         let write_started = Instant::now();
         let bytes = codec::encode_model(model);
         let index = codec::parse_section_index(&bytes)?;
@@ -398,6 +548,13 @@ impl ModelStore {
             }
             (entry.meta.clone(), entry.eager.clone())
         };
+
+        // The read-fault injection point sits *after* the resident check:
+        // a dying disk fails cold faults, never models already in memory —
+        // that is exactly the degraded-serving contract.
+        if let Some(e) = s2g_failpoints::hit("store.read.eio") {
+            return Err(e.into());
+        }
 
         let fault_started = Instant::now();
         match fault_model(&path, &meta, eager) {
@@ -494,8 +651,12 @@ impl ModelStore {
     /// state). `Ok(false)` when it was not present.
     ///
     /// # Errors
-    /// Filesystem failures.
+    /// [`Error::StoreDegraded`] while the store is in read-only degraded
+    /// mode; filesystem failures otherwise.
     pub fn remove(&self, name: &str) -> Result<bool> {
+        if self.health.is_degraded() {
+            return Err(Error::StoreDegraded);
+        }
         let mut inner = self.lock();
         let Some(entry) = inner.entries.remove(name) else {
             return Ok(false);
@@ -671,6 +832,14 @@ impl ModelStore {
     }
 }
 
+impl Drop for ModelStore {
+    fn drop(&mut self) {
+        // Let a still-running recovery probe exit at its next wake-up
+        // instead of retrying forever against an unmounted directory.
+        self.health.closed.store(true, Ordering::SeqCst);
+    }
+}
+
 impl std::fmt::Debug for ModelStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.lock();
@@ -722,6 +891,18 @@ impl ModelStorage for ModelStore {
 
     fn residency_evictions(&self) -> u64 {
         ModelStore::residency_evictions(self)
+    }
+
+    fn mode(&self) -> StoreMode {
+        ModelStore::mode(self)
+    }
+
+    fn degradations(&self) -> u64 {
+        ModelStore::degradations(self)
+    }
+
+    fn recoveries(&self) -> u64 {
+        ModelStore::recoveries(self)
     }
 }
 
